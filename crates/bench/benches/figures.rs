@@ -1,0 +1,62 @@
+//! `cargo bench --bench figures` — regenerates every table and figure
+//! of the paper at the `quick` workload scale and prints the rows the
+//! paper reports.
+//!
+//! This is a custom (non-Criterion) harness: the "benchmark" *is* the
+//! experiment suite. Full-scale numbers (recorded in EXPERIMENTS.md)
+//! come from `cargo run --release -p gtr-bench --bin all`.
+
+use std::time::Instant;
+
+use gtr_workloads::scale::Scale;
+
+fn main() {
+    // Honor `cargo bench -- --help`-style filter args minimally: any
+    // argument selects a subset by substring match on section names.
+    let filter: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let scale = Scale::quick();
+    type Section = (&'static str, Box<dyn Fn() -> String>);
+    let sections: Vec<Section> = vec![
+        ("table1", Box::new(gtr_bench::figures::table1)),
+        ("table2", Box::new(move || gtr_bench::figures::table2(scale))),
+        ("fig02_03", Box::new(move || gtr_bench::figures::fig02_03(scale))),
+        ("fig04_05", Box::new(move || gtr_bench::figures::fig04_05(scale))),
+        ("fig11", Box::new(move || gtr_bench::figures::fig11(scale))),
+        ("fig13a", Box::new(move || gtr_bench::figures::fig13a(scale))),
+        ("fig13b", Box::new(move || gtr_bench::figures::fig13b(scale))),
+        ("fig13c", Box::new(move || gtr_bench::figures::fig13c(scale))),
+        (
+            "fig14",
+            Box::new(move || {
+                let m = gtr_bench::figures::main_matrix(scale);
+                format!(
+                    "{}\n{}",
+                    gtr_bench::figures::fig14ab_from(&m),
+                    gtr_bench::figures::fig14c(scale)
+                )
+            }),
+        ),
+        ("fig15", Box::new(move || gtr_bench::figures::fig15(scale))),
+        ("fig16a", Box::new(move || gtr_bench::figures::fig16a(scale))),
+        ("fig16b", Box::new(move || gtr_bench::figures::fig16b(scale))),
+        ("fig16c", Box::new(move || gtr_bench::figures::fig16c(scale))),
+        (
+            "ablation_segment",
+            Box::new(move || gtr_bench::figures::ablation_segment_size(scale)),
+        ),
+    ];
+    let total = Instant::now();
+    for (name, f) in sections {
+        if !filter.is_empty() && !filter.iter().any(|s| name.contains(s.as_str())) {
+            continue;
+        }
+        let t = Instant::now();
+        let out = f();
+        println!("==== {name} ({:.1}s) ====", t.elapsed().as_secs_f64());
+        println!("{out}");
+    }
+    println!(
+        "figures bench complete in {:.1}s (quick scale; see EXPERIMENTS.md for paper scale)",
+        total.elapsed().as_secs_f64()
+    );
+}

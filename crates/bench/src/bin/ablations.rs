@@ -1,0 +1,18 @@
+//! Regenerates the design-choice ablations (victim-vs-prefetch, PWC
+//! on/off, coalescer on/off, LDS segment size).
+fn main() {
+    let scale = scale_from_args();
+    println!("{}", gtr_bench::figures::ablations(scale));
+    println!("{}", gtr_bench::figures::ablation_segment_size(scale));
+    println!("{}", gtr_bench::figures::multi_app(scale));
+}
+
+fn scale_from_args() -> gtr_workloads::scale::Scale {
+    if std::env::args().any(|a| a == "--quick") {
+        gtr_workloads::scale::Scale::quick()
+    } else if std::env::args().any(|a| a == "--tiny") {
+        gtr_workloads::scale::Scale::tiny()
+    } else {
+        gtr_workloads::scale::Scale::paper()
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates every table and figure. `--quick`/`--tiny` reduce the
+//! scale; `--csv <dir>` additionally writes the main matrices as CSV
+//! for external plotting.
+fn main() {
+    let scale = scale_from_args();
+    println!("{}", gtr_bench::figures::all(scale));
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        let dir = args.get(i + 1).map(String::as_str).unwrap_or("results");
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let m = gtr_bench::figures::main_matrix(scale);
+        std::fs::write(format!("{dir}/fig13b_improvement.csv"), m.improvement_csv())
+            .expect("write csv");
+        std::fs::write(
+            format!("{dir}/fig14b_walks.csv"),
+            m.normalized_csv(|s| s.page_walks as f64),
+        )
+        .expect("write csv");
+        std::fs::write(
+            format!("{dir}/fig13c_energy.csv"),
+            m.normalized_csv(|s| s.dram_energy_nj),
+        )
+        .expect("write csv");
+        eprintln!("CSV written to {dir}/");
+    }
+}
+
+fn scale_from_args() -> gtr_workloads::scale::Scale {
+    if std::env::args().any(|a| a == "--quick") {
+        gtr_workloads::scale::Scale::quick()
+    } else if std::env::args().any(|a| a == "--tiny") {
+        gtr_workloads::scale::Scale::tiny()
+    } else {
+        gtr_workloads::scale::Scale::paper()
+    }
+}

@@ -1,0 +1,13 @@
+//! Developer calibration snapshot: Table 2 + the main result matrix.
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--paper") {
+        gtr_workloads::scale::Scale::paper()
+    } else {
+        gtr_workloads::scale::Scale::quick()
+    };
+    println!("{}", gtr_bench::figures::table2(scale));
+    let m = gtr_bench::figures::main_matrix(scale);
+    println!("{}", gtr_bench::figures::fig13b_from(&m));
+    println!("{}", gtr_bench::figures::fig14ab_from(&m));
+    println!("{}", gtr_bench::figures::fig15_from(&m));
+}

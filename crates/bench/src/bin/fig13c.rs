@@ -1,0 +1,14 @@
+//! Regenerates Figure 13c (DRAM energy). `--quick`/`--tiny` reduce scale.
+fn main() {
+    println!("{}", gtr_bench::figures::fig13c(scale_from_args()));
+}
+
+fn scale_from_args() -> gtr_workloads::scale::Scale {
+    if std::env::args().any(|a| a == "--quick") {
+        gtr_workloads::scale::Scale::quick()
+    } else if std::env::args().any(|a| a == "--tiny") {
+        gtr_workloads::scale::Scale::tiny()
+    } else {
+        gtr_workloads::scale::Scale::paper()
+    }
+}

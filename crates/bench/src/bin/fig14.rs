@@ -1,0 +1,17 @@
+//! Regenerates Figure 14 (sharing, normalized walks, page sizes).
+fn main() {
+    let scale = scale_from_args();
+    let m = gtr_bench::figures::main_matrix(scale);
+    println!("{}", gtr_bench::figures::fig14ab_from(&m));
+    println!("{}", gtr_bench::figures::fig14c(scale));
+}
+
+fn scale_from_args() -> gtr_workloads::scale::Scale {
+    if std::env::args().any(|a| a == "--quick") {
+        gtr_workloads::scale::Scale::quick()
+    } else if std::env::args().any(|a| a == "--tiny") {
+        gtr_workloads::scale::Scale::tiny()
+    } else {
+        gtr_workloads::scale::Scale::paper()
+    }
+}

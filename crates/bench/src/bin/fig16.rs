@@ -1,0 +1,19 @@
+//! Regenerates Figure 16 (sharers, wire latency, DUCATI) and the
+//! §6.3.1 segment-size ablation.
+fn main() {
+    let scale = scale_from_args();
+    println!("{}", gtr_bench::figures::fig16a(scale));
+    println!("{}", gtr_bench::figures::fig16b(scale));
+    println!("{}", gtr_bench::figures::fig16c(scale));
+    println!("{}", gtr_bench::figures::ablation_segment_size(scale));
+}
+
+fn scale_from_args() -> gtr_workloads::scale::Scale {
+    if std::env::args().any(|a| a == "--quick") {
+        gtr_workloads::scale::Scale::quick()
+    } else if std::env::args().any(|a| a == "--tiny") {
+        gtr_workloads::scale::Scale::tiny()
+    } else {
+        gtr_workloads::scale::Scale::paper()
+    }
+}

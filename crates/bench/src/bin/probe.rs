@@ -1,0 +1,29 @@
+//! Developer probe: detailed per-app counters under one config.
+use gtr_bench::harness::run_one;
+use gtr_core::config::ReachConfig;
+use gtr_gpu::config::GpuConfig;
+use gtr_workloads::scale::Scale;
+use gtr_workloads::suite;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "GEV".into());
+    let app = suite::by_name(&name, Scale::quick()).unwrap();
+    for (label, reach) in [
+        ("baseline", ReachConfig::baseline()),
+        ("lds", ReachConfig::lds_only()),
+        ("ic", ReachConfig::ic_only()),
+        ("ic+lds", ReachConfig::ic_plus_lds()),
+        ("ic+lds-hh", ReachConfig::ic_plus_lds().with_lds_home_hashing()),
+    ] {
+        let s = run_one(&app, GpuConfig::default(), reach);
+        println!(
+            "{label:>9}: cyc={:>12} treq={:>9} l1={}/{} l2={}/{} ldsTx={}/{} icTx={}/{} walks={} peak={} dram={}",
+            s.total_cycles, s.translation_requests,
+            s.l1_tlb.hits, s.l1_tlb.misses,
+            s.l2_tlb.hits, s.l2_tlb.misses,
+            s.lds_tx.hits, s.lds_tx.misses,
+            s.ic_tx.hits, s.ic_tx.misses,
+            s.page_walks, s.peak_tx_entries, s.dram_accesses,
+        );
+    }
+}

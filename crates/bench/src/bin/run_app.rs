@@ -1,0 +1,104 @@
+//! Run one application under one configuration and dump its full
+//! statistics — the workhorse CLI for exploring the design space.
+//!
+//! ```sh
+//! cargo run --release -p gtr-bench --bin run_app -- ATAX ic+lds --quick
+//! cargo run --release -p gtr-bench --bin run_app -- GUPS baseline
+//! cargo run --release -p gtr-bench --bin run_app -- NW lds --sharers 8 --pages 2m
+//! ```
+
+use gtr_core::config::ReachConfig;
+use gtr_core::system::System;
+use gtr_gpu::config::GpuConfig;
+use gtr_vm::addr::PageSize;
+use gtr_workloads::scale::Scale;
+use gtr_workloads::suite;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: run_app <APP> <CONFIG> [--quick|--tiny] [--sharers N] [--pages 4k|64k|2m] [--l2-tlb N] [--ducati]\n\
+         APP:    {}\n\
+         CONFIG: baseline | lds | ic | ic+lds",
+        suite::TABLE2.iter().map(|i| i.name).collect::<Vec<_>>().join(" | ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = args.iter().filter(|a| !a.starts_with("--"));
+    let Some(app_name) = positional.next() else { usage() };
+    let config_name = positional.next().map(String::as_str).unwrap_or("ic+lds");
+
+    let scale = if args.iter().any(|a| a == "--tiny") {
+        Scale::tiny()
+    } else if args.iter().any(|a| a == "--quick") {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    };
+    let reach = match config_name {
+        "baseline" => ReachConfig::baseline(),
+        "lds" => ReachConfig::lds_only(),
+        "ic" => ReachConfig::ic_only(),
+        "ic+lds" | "ic_lds" => ReachConfig::ic_plus_lds(),
+        other => {
+            eprintln!("unknown config {other:?}");
+            usage()
+        }
+    };
+    let mut gpu = GpuConfig::default();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse::<usize>().expect("numeric flag value"))
+    };
+    if let Some(sharers) = flag_value("--sharers") {
+        gpu = gpu.with_icache_sharers(sharers);
+    }
+    if let Some(entries) = flag_value("--l2-tlb") {
+        gpu = gpu.with_l2_tlb_entries(entries);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--pages") {
+        gpu = gpu.with_page_size(match args.get(i + 1).map(String::as_str) {
+            Some("4k") | Some("4K") => PageSize::Size4K,
+            Some("64k") | Some("64K") => PageSize::Size64K,
+            Some("2m") | Some("2M") => PageSize::Size2M,
+            other => {
+                eprintln!("unknown page size {other:?}");
+                usage()
+            }
+        });
+    }
+
+    let Some(app) = suite::by_name(app_name, scale) else {
+        eprintln!("unknown app {app_name:?}");
+        usage()
+    };
+
+    let mut sys = System::new(gpu, reach);
+    if args.iter().any(|a| a == "--ducati") {
+        sys = sys.with_side_cache(Box::new(gtr_ducati::Ducati::new(512 * 1024)));
+    }
+    let start = std::time::Instant::now();
+    let s = sys.run(&app);
+    let wall = start.elapsed();
+
+    println!("app: {} | config: {config_name} | {} kernels, {} wave-ops", s.app, s.kernels.len(), s.instructions);
+    println!("cycles:              {}", s.total_cycles);
+    println!("thread instructions: {}", s.thread_instructions);
+    println!("translation reqs:    {}", s.translation_requests);
+    println!("L1 TLB:              {}/{} ({:.1}%)", s.l1_tlb.hits, s.l1_tlb.total(), s.l1_hit_ratio() * 100.0);
+    println!("LDS victim cache:    {}/{} hits", s.lds_tx.hits, s.lds_tx.total());
+    println!("I-cache victim:      {}/{} hits", s.ic_tx.hits, s.ic_tx.total());
+    println!("L2 TLB:              {}/{} ({:.1}%)", s.l2_tlb.hits, s.l2_tlb.total(), s.l2_hit_ratio() * 100.0);
+    println!("page walks:          {} (PTW-PKI {:.2}, category {})", s.page_walks, s.ptw_pki(), s.category());
+    println!("inst fetches:        {}/{} hits", s.inst_fetch.hits, s.inst_fetch.total());
+    println!("DRAM accesses:       {} | energy {:.1} uJ", s.dram_accesses, s.dram_energy_nj / 1000.0);
+    println!("peak extra reach:    {} translations", s.peak_tx_entries);
+    println!("tx shared across CUs: {:.0}%", s.tx_shared_fraction * 100.0);
+    println!("LDS req/WG:          {}", s.lds_request_summary);
+    println!("IC utilization:      {}", s.icache_utilization_summary);
+    println!("(simulated in {:.2}s)", wall.as_secs_f64());
+}

@@ -1,0 +1,549 @@
+//! One function per table/figure of the paper.
+//!
+//! Every function returns the printed report as a `String`, so the
+//! binaries, the `figures` bench target and the integration tests all
+//! share the exact same experiment code. See `EXPERIMENTS.md` at the
+//! workspace root for paper-vs-measured commentary.
+
+use gtr_core::config::{ReachConfig, Replacement, SegmentSize, TxPerLine};
+use gtr_core::stats::RunStats;
+use gtr_gpu::config::GpuConfig;
+use gtr_vm::addr::PageSize;
+use gtr_workloads::scale::Scale;
+use gtr_workloads::suite;
+
+use crate::harness::{row, Matrix, Variant};
+
+/// POM-TLB entries used for the DUCATI comparison (512 K entries,
+/// 4 MB of device memory).
+pub const DUCATI_POM_ENTRIES: u64 = 512 * 1024;
+
+/// Table 1: the simulated setup (printed for reference).
+pub fn table1() -> String {
+    let g = GpuConfig::default();
+    let r = ReachConfig::ic_plus_lds();
+    format!(
+        "### Table 1: simulated setup\n\
+         GPU: {} CUs, {} SIMDs/CU, {} waves/SIMD, {} threads/wave\n\
+         L1 TLB: {} entries, fully assoc, {} cy | L2 TLB: {} entries, {}-way, {} cy\n\
+         I-cache: {} KB, {}-way, shared by {} CUs; IC tag {} cy, Tx tag {} cy, \
+         scan {} cy, mux {} cy, decompress {} cy\n\
+         LDS: {} KB/CU, segment {} B ({} tx ways); LDS-mode {} cy, Tx-mode {} cy\n\
+         Data caches: L1 {} KB/{}-way, L2 {} MB/{}-way | DRAM: DDR3-1600, 2ch x 2rk x 16bk\n\
+         IOMMU: {} walkers; dev TLBs {}/{}; PWC {}/{}/{}\n",
+        g.cus,
+        g.simds_per_cu,
+        g.waves_per_simd,
+        g.threads_per_wave,
+        g.l1_tlb.entries,
+        g.l1_tlb.latency,
+        g.l2_tlb.entries,
+        g.l2_tlb.assoc,
+        g.l2_tlb.latency,
+        g.icache_bytes / 1024,
+        g.icache_assoc,
+        g.cus_per_icache,
+        g.ic_tag_latency,
+        r.ic_tx_tag_latency,
+        r.ic_tx_scan_latency,
+        r.mux_latency,
+        r.decompress_latency,
+        g.lds_bytes / 1024,
+        r.segment_size.bytes(),
+        r.segment_size.ways(),
+        g.lds_latency,
+        r.lds_tx_latency,
+        g.l1d.capacity_bytes / 1024,
+        g.l1d.assoc,
+        g.memory.l2.capacity_bytes / (1024 * 1024),
+        g.memory.l2.assoc,
+        g.iommu.walkers,
+        g.iommu.l1_entries,
+        g.iommu.l2_entries,
+        g.iommu.pwc.pgd_entries,
+        g.iommu.pwc.pud_entries,
+        g.iommu.pwc.pmd_entries,
+    )
+}
+
+/// Table 2: benchmark characterization under the baseline.
+pub fn table2(scale: Scale) -> String {
+    let apps = suite::all(scale);
+    let baseline = Variant::new("baseline", ReachConfig::baseline());
+    let m = Matrix::run_apps(&apps, baseline, vec![]);
+    let mut out = String::from(
+        "### Table 2: benchmarks (measured on the baseline simulator)\n\
+         App        Suite      Kernels  B2B  L1-HR%  L2-HR%  PTW-PKI  Category\n",
+    );
+    for (i, app) in apps.iter().enumerate() {
+        let info = suite::info(app.name()).expect("suite metadata");
+        let s = &m.baseline[i];
+        out.push_str(&format!(
+            "{:<10} {:<10} {:>7}  {:<3}  {:>6.1}  {:>6.1}  {:>7.2}  {}\n",
+            app.name(),
+            info.suite,
+            app.kernels().len(),
+            if app.has_back_to_back_kernels() { "Yes" } else { "No" },
+            s.l1_hit_ratio() * 100.0,
+            s.l2_hit_ratio() * 100.0,
+            s.ptw_pki(),
+            s.category(),
+        ));
+    }
+    out
+}
+
+/// Figures 2 and 3: page walks and performance vs L2 TLB size
+/// (512 → 64 K entries, plus a perfect L2 TLB).
+pub fn fig02_03(scale: Scale) -> String {
+    let sizes: [(&str, usize); 5] =
+        [("1K", 1024), ("2K", 2048), ("4K", 4096), ("8K", 8192), ("64K", 65536)];
+    let mut variants: Vec<Variant> = sizes
+        .iter()
+        .map(|(label, entries)| {
+            Variant::with_gpu(
+                format!("L2-TLB-{label}"),
+                GpuConfig::default().with_l2_tlb_entries(*entries),
+                ReachConfig::baseline(),
+            )
+        })
+        .collect();
+    variants.push(Variant::with_gpu(
+        "Perfect-L2-TLB",
+        GpuConfig::default().with_perfect_l2_tlb(),
+        ReachConfig::baseline(),
+    ));
+    let m = Matrix::run(scale, Variant::new("512 (baseline)", ReachConfig::baseline()), variants);
+    let mut out = m.normalized_table(
+        "Fig 2: page walks normalized to the 512-entry baseline",
+        |s: &RunStats| s.page_walks as f64,
+    );
+    out.push('\n');
+    out.push_str(&m.improvement_table("Fig 3: performance improvement vs 512-entry baseline"));
+    out
+}
+
+/// Figures 4 and 5: LDS/I-cache capacity and port-bandwidth
+/// under-utilization in the baseline.
+pub fn fig04_05(scale: Scale) -> String {
+    let apps = suite::all(scale);
+    let m = Matrix::run_apps(&apps, Variant::new("baseline", ReachConfig::baseline()), vec![]);
+    let mut out = String::from(
+        "### Fig 4a: LDS bytes requested per workgroup (box-and-whisker)\n\
+         App        min      q1     med      q3     max   (LDS capacity/CU = 16384 B)\n",
+    );
+    for (i, app) in m.apps.iter().enumerate() {
+        let f = m.baseline[i].lds_request_summary;
+        out.push_str(&format!(
+            "{:<10} {:>6.0} {:>7.0} {:>7.0} {:>7.0} {:>7.0}\n",
+            app, f.min, f.q1, f.median, f.q3, f.max
+        ));
+    }
+    out.push_str("\n### Fig 4b: idle cycles between LDS port accesses\n");
+    out.push_str("App        min      q1     med      q3     max\n");
+    for (i, app) in m.apps.iter().enumerate() {
+        let f = m.baseline[i].lds_idle_summary;
+        out.push_str(&format!(
+            "{:<10} {:>6.0} {:>7.0} {:>7.0} {:>7.0} {:>7.0}\n",
+            app, f.min, f.q1, f.median, f.q3, f.max
+        ));
+    }
+    out.push_str("\n### Fig 5a: per-kernel I-cache utilization %, Eq 1 (box-and-whisker)\n");
+    out.push_str("App        min      q1     med      q3     max\n");
+    for (i, app) in m.apps.iter().enumerate() {
+        let f = m.baseline[i].icache_utilization_summary;
+        out.push_str(&format!(
+            "{:<10} {:>6.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1}\n",
+            app, f.min, f.q1, f.median, f.q3, f.max
+        ));
+    }
+    out.push_str("\n### Fig 5b: idle cycles between I-cache port accesses\n");
+    out.push_str("App        min      q1     med      q3     max\n");
+    for (i, app) in m.apps.iter().enumerate() {
+        let f = m.baseline[i].icache_idle_summary;
+        out.push_str(&format!(
+            "{:<10} {:>6.0} {:>7.0} {:>7.0} {:>7.0} {:>7.0}\n",
+            app, f.min, f.q1, f.median, f.q3, f.max
+        ));
+    }
+    out
+}
+
+/// Figure 11: I-cache utilization per kernel over time.
+pub fn fig11(scale: Scale) -> String {
+    let names = ["ATAX", "BICG", "MVT", "BFS", "NW", "PRK", "SSSP", "GUPS"];
+    let mut out = String::from(
+        "### Fig 11: per-kernel I-cache utilization over time (first 24 launches)\n",
+    );
+    for name in names {
+        let app = suite::by_name(name, scale).expect("known app");
+        let stats = crate::harness::run_one(&app, GpuConfig::default(), ReachConfig::baseline());
+        let series: Vec<String> = stats
+            .kernels
+            .iter()
+            .take(24)
+            .map(|k| format!("{:.0}", k.icache_utilization_pct))
+            .collect();
+        out.push_str(&format!("{name:<6} [{} kernels] {}\n", stats.kernels.len(), series.join(" ")));
+    }
+    out
+}
+
+/// The main (Fig 13/14/15) run matrix: LDS-only, IC-only, IC+LDS.
+pub fn main_matrix(scale: Scale) -> Matrix {
+    Matrix::run(
+        scale,
+        Variant::new("baseline", ReachConfig::baseline()),
+        vec![
+            Variant::new("LDS", ReachConfig::lds_only()),
+            Variant::new("IC", ReachConfig::ic_only()),
+            Variant::new("IC+LDS", ReachConfig::ic_plus_lds()),
+        ],
+    )
+}
+
+/// Figure 13a: reconfigurable I-cache design variants.
+pub fn fig13a(scale: Scale) -> String {
+    let ic = |tx, repl, flush| {
+        ReachConfig::ic_only()
+            .with_tx_per_line(tx)
+            .with_replacement(repl)
+            .with_flush(flush)
+    };
+    let m = Matrix::run(
+        scale,
+        Variant::new("baseline", ReachConfig::baseline()),
+        vec![
+            Variant::new("IC-1tx/way", ic(TxPerLine::One, Replacement::InstructionAware, false)),
+            Variant::new("IC-8tx-naive-repl", ic(TxPerLine::Eight, Replacement::NaiveLru, false)),
+            Variant::new("IC-8tx-instr-aware", ic(TxPerLine::Eight, Replacement::InstructionAware, false)),
+            Variant::new("IC-8tx-IA+flush", ic(TxPerLine::Eight, Replacement::InstructionAware, true)),
+        ],
+    );
+    m.improvement_table("Fig 13a: reconfigurable I-cache variants (% improvement)")
+}
+
+/// Figure 13b: LDS / IC / IC+LDS performance (from a prebuilt matrix).
+pub fn fig13b_from(m: &Matrix) -> String {
+    let mut out = m.improvement_table("Fig 13b: reconfigurable LDS / IC / IC+LDS (% improvement)");
+    out.push_str(&m.geomean_chart());
+    let high_medium = ["ATAX", "GEV", "MVT", "BICG", "GUPS", "NW", "BFS"];
+    out.push_str("\nHigh+Medium-only geomeans: ");
+    for v in 0..m.variants.len() {
+        out.push_str(&format!(
+            "{}={:+.1}% ",
+            m.variants[v].0,
+            m.geomean_improvement_subset(v, &high_medium)
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+/// Figure 13b standalone.
+pub fn fig13b(scale: Scale) -> String {
+    fig13b_from(&main_matrix(scale))
+}
+
+/// Figure 13c: normalized DRAM energy (from a prebuilt matrix).
+pub fn fig13c_from(m: &Matrix) -> String {
+    m.normalized_table("Fig 13c: DRAM energy normalized to baseline", |s| s.dram_energy_nj)
+}
+
+/// Figure 13c standalone.
+pub fn fig13c(scale: Scale) -> String {
+    fig13c_from(&main_matrix(scale))
+}
+
+/// Figure 14a/14b: translation sharing across CUs and normalized page
+/// walks (from a prebuilt matrix).
+pub fn fig14ab_from(m: &Matrix) -> String {
+    let mut out = String::from("### Fig 14a: % of translations shared across CUs\n");
+    let ic_lds = m.variants.len() - 1;
+    out.push_str(&row(
+        "app",
+        &m.apps.iter().map(String::as_str).collect::<Vec<_>>(),
+        "",
+    ));
+    let cells: Vec<String> = m.variants[ic_lds]
+        .1
+        .iter()
+        .map(|s| format!("{:.0}%", s.tx_shared_fraction * 100.0))
+        .collect();
+    out.push_str(&row(
+        "shared",
+        &cells.iter().map(String::as_str).collect::<Vec<_>>(),
+        "",
+    ));
+    out.push('\n');
+    out.push_str(
+        &m.normalized_table("Fig 14b: page walks normalized to baseline", |s| {
+            s.page_walks as f64
+        }),
+    );
+    out
+}
+
+/// Figure 14c: IC+LDS improvement at 4 KB / 64 KB / 2 MB pages.
+pub fn fig14c(scale: Scale) -> String {
+    let mut out = String::from("### Fig 14c: IC+LDS geomean improvement by page size\n");
+    for size in PageSize::all() {
+        let gpu = GpuConfig::default().with_page_size(size);
+        let m = Matrix::run(
+            scale,
+            Variant::with_gpu("baseline", gpu.clone(), ReachConfig::baseline()),
+            vec![Variant::with_gpu("IC+LDS", gpu, ReachConfig::ic_plus_lds())],
+        );
+        out.push_str(&format!("{size:>5} pages: {:+.1}%\n", m.geomean_improvement(0)));
+    }
+    out
+}
+
+/// Figure 15: additional translation entries gained (peak resident).
+pub fn fig15_from(m: &Matrix) -> String {
+    let ic_lds = m.variants.len() - 1;
+    let mut out = String::from(
+        "### Fig 15: additional translation entries gained (peak; max 16K = 12K LDS + 4K IC)\n",
+    );
+    for (i, app) in m.apps.iter().enumerate() {
+        out.push_str(&format!(
+            "{:<10} {:>6}\n",
+            app, m.variants[ic_lds].1[i].peak_tx_entries
+        ));
+    }
+    out
+}
+
+/// Figure 15 standalone.
+pub fn fig15(scale: Scale) -> String {
+    fig15_from(&main_matrix(scale))
+}
+
+/// Figure 16a: sensitivity to the number of CUs sharing an I-cache
+/// (total I-cache capacity constant).
+pub fn fig16a(scale: Scale) -> String {
+    let variants = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&sharers| {
+            Variant::with_gpu(
+                format!("{sharers}-CU-sharers"),
+                GpuConfig::default().with_icache_sharers(sharers),
+                ReachConfig::ic_plus_lds(),
+            )
+        })
+        .collect();
+    let m = Matrix::run(scale, Variant::new("baseline", ReachConfig::baseline()), variants);
+    m.improvement_table("Fig 16a: IC+LDS improvement vs CUs per I-cache (capacity constant)")
+}
+
+/// Figure 16b: sensitivity to additional datapath/wire latency.
+pub fn fig16b(scale: Scale) -> String {
+    let mut variants = Vec::new();
+    for extra in [10u64, 50, 100] {
+        variants.push(Variant::new(
+            format!("IC_only+{extra}cy"),
+            ReachConfig::ic_plus_lds().with_wire_latency(0, extra),
+        ));
+        variants.push(Variant::new(
+            format!("LDS_only+{extra}cy"),
+            ReachConfig::ic_plus_lds().with_wire_latency(extra, 0),
+        ));
+        variants.push(Variant::new(
+            format!("IC_LDS+{extra}cy"),
+            ReachConfig::ic_plus_lds().with_wire_latency(extra, extra),
+        ));
+    }
+    let m = Matrix::run(scale, Variant::new("baseline", ReachConfig::baseline()), variants);
+    m.improvement_table("Fig 16b: IC+LDS improvement with extra translation wire latency")
+}
+
+/// Figure 16c: composing with DUCATI.
+pub fn fig16c(scale: Scale) -> String {
+    let m = Matrix::run(
+        scale,
+        Variant::new("baseline", ReachConfig::baseline()),
+        vec![
+            Variant::new("DUCATI", ReachConfig::baseline()).with_ducati(DUCATI_POM_ENTRIES),
+            Variant::new("IC+LDS", ReachConfig::ic_plus_lds()),
+            Variant::new("DUCATI+IC+LDS", ReachConfig::ic_plus_lds())
+                .with_ducati(DUCATI_POM_ENTRIES),
+        ],
+    );
+    m.improvement_table("Fig 16c: DUCATI vs and with the reconfigurable design")
+}
+
+/// §6.3.1: LDS segment-size ablation (32 B / 3-way vs 64 B / 6-way).
+pub fn ablation_segment_size(scale: Scale) -> String {
+    let m = Matrix::run(
+        scale,
+        Variant::new("baseline", ReachConfig::baseline()),
+        vec![
+            Variant::new("IC+LDS-32B-seg", ReachConfig::ic_plus_lds()),
+            Variant::new(
+                "IC+LDS-64B-seg",
+                ReachConfig::ic_plus_lds().with_segment_size(SegmentSize::Bytes64),
+            ),
+        ],
+    );
+    m.improvement_table("§6.3.1: LDS segment size 32 B vs 64 B (% improvement)")
+}
+
+/// Design-choice ablations beyond the paper's own sensitivity studies
+/// (promised by DESIGN.md): victim-cache vs prefetch-buffer fills
+/// (§4.1), page-walk caches on/off, and the SIMT coalescer on/off.
+pub fn ablations(scale: Scale) -> String {
+    use gtr_core::config::TxFillPolicy;
+    let mut out = String::new();
+    // (a) Victim cache vs prefetch buffer, irregular apps only.
+    let apps: Vec<_> = ["ATAX", "GUPS", "BFS"]
+        .iter()
+        .map(|n| suite::by_name(n, scale).expect("known app"))
+        .collect();
+    let m = Matrix::run_apps(
+        &apps,
+        Variant::new("baseline", ReachConfig::baseline()),
+        vec![
+            Variant::new("victim-cache (paper)", ReachConfig::ic_plus_lds()),
+            Variant::new(
+                "prefetch-buffer",
+                ReachConfig::ic_plus_lds().with_fill_policy(TxFillPolicy::PrefetchBuffer),
+            ),
+        ],
+    );
+    out.push_str(&m.improvement_table(
+        "Ablation §4.1: victim cache vs prefetch buffer (irregular apps)",
+    ));
+    out.push('\n');
+    // (b) Home-node-hashed LDS: the duplication-limiting optimization
+    // the paper defers. Dedup multiplies GUPS's effective reach ~8x;
+    // apps whose per-CU LDS already covers their hot set mostly pay
+    // the remote hop.
+    let apps: Vec<_> = ["ATAX", "GUPS", "BFS"]
+        .iter()
+        .map(|n| suite::by_name(n, scale).expect("known app"))
+        .collect();
+    let m = Matrix::run_apps(
+        &apps,
+        Variant::new("baseline", ReachConfig::baseline()),
+        vec![
+            Variant::new("IC+LDS (duplicated)", ReachConfig::ic_plus_lds()),
+            Variant::new(
+                "IC+LDS home-hashed",
+                ReachConfig::ic_plus_lds().with_lds_home_hashing(),
+            ),
+        ],
+    );
+    out.push_str(&m.improvement_table(
+        "Ablation (paper future work): home-node-hashed LDS vs per-CU duplication",
+    ));
+    out.push('\n');
+    // (c) Page-walk caches on/off (baseline machine).
+    let apps: Vec<_> = ["ATAX", "GEV", "GUPS"]
+        .iter()
+        .map(|n| suite::by_name(n, scale).expect("known app"))
+        .collect();
+    let m = Matrix::run_apps(
+        &apps,
+        Variant::new("with PWCs (baseline)", ReachConfig::baseline()),
+        vec![Variant::with_gpu(
+            "without PWCs",
+            GpuConfig::default().without_page_walk_caches(),
+            ReachConfig::baseline(),
+        )],
+    );
+    out.push_str(&m.improvement_table("Ablation: split page-walk caches removed"));
+    out.push('\n');
+    // (d) SIMT coalescer on/off (baseline machine).
+    let m = Matrix::run_apps(
+        &apps,
+        Variant::new("with coalescer (baseline)", ReachConfig::baseline()),
+        vec![Variant::with_gpu(
+            "without coalescer",
+            GpuConfig::default().without_coalescing(),
+            ReachConfig::baseline(),
+        )],
+    );
+    out.push_str(&m.improvement_table("Ablation: SIMT page coalescer removed"));
+    out
+}
+
+/// §7.2 multi-application scenario: ATAX and BICG interleaved in two
+/// address spaces, with and without the reconfigurable architecture.
+pub fn multi_app(scale: Scale) -> String {
+    use gtr_gpu::kernel::AppTrace;
+    let a = suite::by_name("ATAX", scale).expect("known app");
+    let b = suite::by_name("BICG", scale).expect("known app");
+    let merged = AppTrace::interleave(&a, &b);
+    let m = Matrix::run_apps(
+        std::slice::from_ref(&merged),
+        Variant::new("baseline", ReachConfig::baseline()),
+        vec![
+            Variant::new("LDS", ReachConfig::lds_only()),
+            Variant::new("IC", ReachConfig::ic_only()),
+            Variant::new("IC+LDS", ReachConfig::ic_plus_lds()),
+        ],
+    );
+    m.improvement_table("§7.2: two tenants (ATAX+BICG interleaved, distinct VM-IDs)")
+}
+
+/// Everything, in paper order (shares the main matrix across Figs
+/// 13b/13c/14ab/15).
+pub fn all(scale: Scale) -> String {
+    let mut out = String::new();
+    out.push_str(&table1());
+    out.push('\n');
+    out.push_str(&table2(scale));
+    out.push('\n');
+    out.push_str(&fig02_03(scale));
+    out.push('\n');
+    out.push_str(&fig04_05(scale));
+    out.push('\n');
+    out.push_str(&fig11(scale));
+    out.push('\n');
+    out.push_str(&fig13a(scale));
+    out.push('\n');
+    let m = main_matrix(scale);
+    out.push_str(&fig13b_from(&m));
+    out.push('\n');
+    out.push_str(&fig13c_from(&m));
+    out.push('\n');
+    out.push_str(&fig14ab_from(&m));
+    out.push('\n');
+    out.push_str(&fig14c(scale));
+    out.push('\n');
+    out.push_str(&fig15_from(&m));
+    out.push('\n');
+    out.push_str(&fig16a(scale));
+    out.push('\n');
+    out.push_str(&fig16b(scale));
+    out.push('\n');
+    out.push_str(&fig16c(scale));
+    out.push('\n');
+    out.push_str(&ablation_segment_size(scale));
+    out.push('\n');
+    out.push_str(&ablations(scale));
+    out.push('\n');
+    out.push_str(&multi_app(scale));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_mentions_table_values() {
+        let t = table1();
+        assert!(t.contains("8 CUs"));
+        assert!(t.contains("512 entries"));
+        assert!(t.contains("32 walkers"));
+    }
+
+    #[test]
+    fn table2_runs_at_tiny_scale() {
+        let t = table2(Scale::tiny());
+        assert!(t.contains("ATAX"));
+        assert!(t.contains("GUPS"));
+        assert!(t.contains("PTW-PKI"));
+    }
+}

@@ -1,0 +1,376 @@
+//! Shared experiment machinery: run matrices, geomeans, table printing.
+
+use gtr_core::config::ReachConfig;
+use gtr_core::stats::RunStats;
+use gtr_core::system::System;
+use gtr_ducati::Ducati;
+use gtr_gpu::config::GpuConfig;
+use gtr_gpu::kernel::AppTrace;
+use gtr_sim::stats::geomean;
+use gtr_workloads::scale::Scale;
+use gtr_workloads::suite;
+
+/// The application names in Table-2 order.
+pub fn app_names() -> Vec<&'static str> {
+    suite::TABLE2.iter().map(|i| i.name).collect()
+}
+
+/// Runs one application under one configuration.
+pub fn run_one(app: &AppTrace, gpu: GpuConfig, reach: ReachConfig) -> RunStats {
+    System::new(gpu, reach).run(app)
+}
+
+/// Runs one application with a DUCATI side cache attached.
+pub fn run_one_with_ducati(
+    app: &AppTrace,
+    gpu: GpuConfig,
+    reach: ReachConfig,
+    pom_entries: u64,
+) -> RunStats {
+    System::new(gpu, reach)
+        .with_side_cache(Box::new(Ducati::new(pom_entries)))
+        .run(app)
+}
+
+/// A named machine+reach configuration for a run matrix.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Label shown in tables.
+    pub label: String,
+    /// Machine configuration.
+    pub gpu: GpuConfig,
+    /// Reconfigurable-architecture configuration.
+    pub reach: ReachConfig,
+    /// Attach a DUCATI side cache with this many POM entries.
+    pub ducati_entries: Option<u64>,
+}
+
+impl Variant {
+    /// A variant on the default Table-1 machine.
+    pub fn new(label: impl Into<String>, reach: ReachConfig) -> Self {
+        Self { label: label.into(), gpu: GpuConfig::default(), reach, ducati_entries: None }
+    }
+
+    /// A variant with a custom machine.
+    pub fn with_gpu(label: impl Into<String>, gpu: GpuConfig, reach: ReachConfig) -> Self {
+        Self { label: label.into(), gpu, reach, ducati_entries: None }
+    }
+
+    /// Adds a DUCATI side cache.
+    pub fn with_ducati(mut self, entries: u64) -> Self {
+        self.ducati_entries = Some(entries);
+        self
+    }
+
+    /// Executes this variant on one application.
+    pub fn run(&self, app: &AppTrace) -> RunStats {
+        match self.ducati_entries {
+            Some(entries) => {
+                run_one_with_ducati(app, self.gpu.clone(), self.reach, entries)
+            }
+            None => run_one(app, self.gpu.clone(), self.reach),
+        }
+    }
+}
+
+/// Results of a full (apps × variants) matrix, baseline first.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    /// Application names, in run order.
+    pub apps: Vec<String>,
+    /// Baseline stats per app.
+    pub baseline: Vec<RunStats>,
+    /// Per variant: label and per-app stats.
+    pub variants: Vec<(String, Vec<RunStats>)>,
+}
+
+impl Matrix {
+    /// Runs the whole Table-2 suite: the baseline plus every variant.
+    /// Applications run on parallel threads (each simulation itself is
+    /// deterministic and single-threaded).
+    pub fn run(scale: Scale, baseline: Variant, variants: Vec<Variant>) -> Self {
+        let apps = suite::all(scale);
+        Self::run_apps(&apps, baseline, variants)
+    }
+
+    /// Runs an explicit application list.
+    pub fn run_apps(apps: &[AppTrace], baseline: Variant, variants: Vec<Variant>) -> Self {
+        let mut all_variants = vec![baseline];
+        all_variants.extend(variants);
+        // One thread per (app), each running all variants sequentially.
+        let results: Vec<Vec<RunStats>> = std::thread::scope(|s| {
+            let handles: Vec<_> = apps
+                .iter()
+                .map(|app| {
+                    let variants = &all_variants;
+                    s.spawn(move || variants.iter().map(|v| v.run(app)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("sim thread")).collect()
+        });
+        let mut baseline_stats = Vec::with_capacity(apps.len());
+        let mut variant_stats: Vec<(String, Vec<RunStats>)> = all_variants[1..]
+            .iter()
+            .map(|v| (v.label.clone(), Vec::with_capacity(apps.len())))
+            .collect();
+        for per_app in results {
+            let mut it = per_app.into_iter();
+            baseline_stats.push(it.next().expect("baseline run"));
+            for (slot, stats) in variant_stats.iter_mut().zip(it) {
+                slot.1.push(stats);
+            }
+        }
+        Self {
+            apps: apps.iter().map(|a| a.name().to_string()).collect(),
+            baseline: baseline_stats,
+            variants: variant_stats,
+        }
+    }
+
+    /// Percent improvement of variant `v` on app `a`.
+    pub fn improvement(&self, v: usize, a: usize) -> f64 {
+        gtr_sim::stats::improvement_pct(
+            self.baseline[a].total_cycles,
+            self.variants[v].1[a].total_cycles,
+        )
+    }
+
+    /// Geometric-mean improvement of a variant across all apps (the
+    /// paper reports geomean of speedups).
+    pub fn geomean_improvement(&self, v: usize) -> f64 {
+        let speedups = self
+            .baseline
+            .iter()
+            .zip(&self.variants[v].1)
+            .map(|(b, r)| b.total_cycles as f64 / r.total_cycles.max(1) as f64);
+        (geomean(speedups) - 1.0) * 100.0
+    }
+
+    /// Geomean improvement over a subset of apps by name.
+    pub fn geomean_improvement_subset(&self, v: usize, names: &[&str]) -> f64 {
+        let speedups = self
+            .apps
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| names.contains(&a.as_str()))
+            .map(|(i, _)| {
+                self.baseline[i].total_cycles as f64
+                    / self.variants[v].1[i].total_cycles.max(1) as f64
+            });
+        (geomean(speedups) - 1.0) * 100.0
+    }
+
+    /// Formats a percent-improvement table (rows = variants).
+    pub fn improvement_table(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {title}\n"));
+        out.push_str(&row(
+            "config",
+            &self.apps.iter().map(String::as_str).collect::<Vec<_>>(),
+            "GeoMean",
+        ));
+        for (v, (label, _)) in self.variants.iter().enumerate() {
+            let cells: Vec<String> = (0..self.apps.len())
+                .map(|a| format!("{:+.1}%", self.improvement(v, a)))
+                .collect();
+            out.push_str(&row(
+                label,
+                &cells.iter().map(String::as_str).collect::<Vec<_>>(),
+                &format!("{:+.1}%", self.geomean_improvement(v)),
+            ));
+        }
+        out
+    }
+
+    /// Formats a normalized-metric table (variant metric / baseline
+    /// metric), e.g. normalized page walks or DRAM energy.
+    pub fn normalized_table(
+        &self,
+        title: &str,
+        metric: impl Fn(&RunStats) -> f64,
+    ) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {title}\n"));
+        out.push_str(&row(
+            "config",
+            &self.apps.iter().map(String::as_str).collect::<Vec<_>>(),
+            "GeoMean",
+        ));
+        for (label, stats) in &self.variants {
+            let ratios: Vec<f64> = self
+                .baseline
+                .iter()
+                .zip(stats)
+                .map(|(b, r)| {
+                    let base = metric(b);
+                    if base == 0.0 {
+                        1.0
+                    } else {
+                        metric(r) / base
+                    }
+                })
+                .collect();
+            let cells: Vec<String> = ratios.iter().map(|x| format!("{x:.3}")).collect();
+            out.push_str(&row(
+                label,
+                &cells.iter().map(String::as_str).collect::<Vec<_>>(),
+                &format!("{:.3}", geomean(ratios.iter().copied())),
+            ));
+        }
+        out
+    }
+}
+
+impl Matrix {
+    /// Serializes per-app percent improvements as CSV (header row of
+    /// app names plus GeoMean; one row per variant) for external
+    /// plotting pipelines.
+    pub fn improvement_csv(&self) -> String {
+        let mut out = String::from("config,");
+        out.push_str(&self.apps.join(","));
+        out.push_str(",geomean\n");
+        for v in 0..self.variants.len() {
+            out.push_str(&self.variants[v].0);
+            for a in 0..self.apps.len() {
+                out.push_str(&format!(",{:.2}", self.improvement(v, a)));
+            }
+            out.push_str(&format!(",{:.2}\n", self.geomean_improvement(v)));
+        }
+        out
+    }
+
+    /// Serializes a normalized metric as CSV (same layout as
+    /// [`Matrix::improvement_csv`]).
+    pub fn normalized_csv(&self, metric: impl Fn(&RunStats) -> f64) -> String {
+        let mut out = String::from("config,");
+        out.push_str(&self.apps.join(","));
+        out.push('\n');
+        for (label, stats) in &self.variants {
+            out.push_str(label);
+            for (b, r) in self.baseline.iter().zip(stats) {
+                let base = metric(b);
+                let ratio = if base == 0.0 { 1.0 } else { metric(r) / base };
+                out.push_str(&format!(",{ratio:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders an ASCII bar chart of per-variant geomean improvements
+    /// (one glyph per 5%), appended below tables by the binaries.
+    pub fn geomean_chart(&self) -> String {
+        let mut out = String::new();
+        for v in 0..self.variants.len() {
+            let g = self.geomean_improvement(v);
+            let bars = ((g / 5.0).round().max(0.0) as usize).min(60);
+            out.push_str(&format!(
+                "{:<26} {:+7.1}% |{}
+",
+                self.variants[v].0,
+                g,
+                "#".repeat(bars)
+            ));
+        }
+        out
+    }
+}
+
+/// Formats one fixed-width table row.
+pub fn row(label: &str, cells: &[&str], last: &str) -> String {
+    let mut s = format!("{label:<26}");
+    for c in cells {
+        s.push_str(&format!("{c:>9}"));
+    }
+    s.push_str(&format!("{last:>10}\n"));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_apps() -> Vec<AppTrace> {
+        vec![
+            suite::by_name("SRAD", Scale::tiny()).unwrap(),
+            suite::by_name("GUPS", Scale::tiny()).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn matrix_shape() {
+        let m = Matrix::run_apps(
+            &tiny_apps(),
+            Variant::new("baseline", ReachConfig::baseline()),
+            vec![Variant::new("IC+LDS", ReachConfig::ic_plus_lds())],
+        );
+        assert_eq!(m.apps.len(), 2);
+        assert_eq!(m.baseline.len(), 2);
+        assert_eq!(m.variants.len(), 1);
+        assert_eq!(m.variants[0].1.len(), 2);
+    }
+
+    #[test]
+    fn improvement_table_renders() {
+        let m = Matrix::run_apps(
+            &tiny_apps(),
+            Variant::new("baseline", ReachConfig::baseline()),
+            vec![Variant::new("IC+LDS", ReachConfig::ic_plus_lds())],
+        );
+        let t = m.improvement_table("demo");
+        assert!(t.contains("GeoMean"));
+        assert!(t.contains("IC+LDS"));
+        assert!(t.contains("SRAD"));
+    }
+
+    #[test]
+    fn parallel_matrix_matches_sequential_runs() {
+        let apps = tiny_apps();
+        let m = Matrix::run_apps(
+            &apps,
+            Variant::new("baseline", ReachConfig::baseline()),
+            vec![],
+        );
+        let direct = run_one(&apps[0], GpuConfig::default(), ReachConfig::baseline());
+        assert_eq!(m.baseline[0].total_cycles, direct.total_cycles);
+    }
+
+    #[test]
+    fn csv_round_trips_shape() {
+        let m = Matrix::run_apps(
+            &tiny_apps(),
+            Variant::new("baseline", ReachConfig::baseline()),
+            vec![Variant::new("IC+LDS", ReachConfig::ic_plus_lds())],
+        );
+        let csv = m.improvement_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 2, "header + one variant");
+        assert!(lines[0].starts_with("config,"));
+        assert_eq!(lines[1].split(',').count(), 2 + m.apps.len());
+        let ncsv = m.normalized_csv(|s| s.page_walks as f64);
+        assert_eq!(ncsv.trim().lines().count(), 2);
+    }
+
+    #[test]
+    fn geomean_chart_renders_bars() {
+        let m = Matrix::run_apps(
+            &tiny_apps(),
+            Variant::new("baseline", ReachConfig::baseline()),
+            vec![Variant::new("IC+LDS", ReachConfig::ic_plus_lds())],
+        );
+        let chart = m.geomean_chart();
+        assert!(chart.contains("IC+LDS"));
+        assert!(chart.contains('|'));
+    }
+
+    #[test]
+    fn ducati_variant_runs() {
+        let apps = vec![suite::by_name("SRAD", Scale::tiny()).unwrap()];
+        let m = Matrix::run_apps(
+            &apps,
+            Variant::new("baseline", ReachConfig::baseline()),
+            vec![Variant::new("ducati", ReachConfig::baseline()).with_ducati(1 << 18)],
+        );
+        assert!(m.variants[0].1[0].total_cycles > 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # gtr-bench
+//!
+//! Experiment harnesses that regenerate **every table and figure** of
+//! the paper's evaluation (§3 motivation and §6 results).
+//!
+//! Each figure is a pure function in [`figures`] returning its printed
+//! report, so the same code backs:
+//!
+//! * the `fig*`/`table2`/`all` binaries (`cargo run -p gtr-bench --bin all`),
+//! * the `figures` bench target (`cargo bench -p gtr-bench --bench figures`),
+//! * assertions in the integration-test suite.
+//!
+//! [`harness`] holds the shared machinery: run matrices over
+//! (application × configuration), geometric means, and table
+//! formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod harness;

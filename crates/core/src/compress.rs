@@ -1,0 +1,230 @@
+//! Base-delta tag compression (Figs 7b and 10c).
+//!
+//! Both reconfigurable structures must squeeze several wide translation
+//! tags into the narrow tag storage they inherit:
+//!
+//! * **LDS** (Fig 7b): three 25-bit VA tags compress into one 8-byte
+//!   word as a 16-bit base plus three 16-bit deltas.
+//! * **I-cache** (Fig 10c): eight 30-bit VA tags compress into the
+//!   widened 12-byte tag as a 32-bit base plus eight 8-bit deltas.
+//!
+//! A new tag can only join a populated group if its delta from the
+//! group's base fits the delta width; otherwise the hardware must evict
+//! the residents and re-base (the "compression conflict" path this
+//! module surfaces).
+
+/// A base-delta compressed tag group with fixed-width signed deltas.
+///
+/// # Example
+///
+/// ```
+/// use gtr_core::compress::TagGroup;
+/// let mut g = TagGroup::new(8); // 8-bit deltas (I-cache layout)
+/// assert!(g.try_admit(1000));
+/// assert!(g.try_admit(1100));  // delta 100 fits i8? no -> rejected
+/// assert!(g.try_admit(1050));  // delta 50 fits
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagGroup {
+    base: Option<u64>,
+    delta_bits: u32,
+    residents: u32,
+    conflicts: u64,
+}
+
+impl TagGroup {
+    /// Creates an empty group with signed deltas of `delta_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= delta_bits <= 63`.
+    pub fn new(delta_bits: u32) -> Self {
+        assert!((1..=63).contains(&delta_bits), "delta width out of range");
+        Self { base: None, delta_bits, residents: 0, conflicts: 0 }
+    }
+
+    /// LDS layout (Fig 7b): 16-bit deltas.
+    pub fn lds() -> Self {
+        Self::new(16)
+    }
+
+    /// I-cache layout (Fig 10c): 8-bit deltas.
+    pub fn icache() -> Self {
+        Self::new(8)
+    }
+
+    /// Whether `tag` can be represented against the current base.
+    /// Always true when the group is empty.
+    pub fn fits(&self, tag: u64) -> bool {
+        match self.base {
+            None => true,
+            Some(base) => {
+                let delta = tag as i128 - base as i128;
+                let half = 1i128 << (self.delta_bits - 1);
+                (-half..half).contains(&delta)
+            }
+        }
+    }
+
+    /// Attempts to admit `tag`. On success the group's resident count
+    /// grows (and the base is set on first admit). Returns `false` on
+    /// a compression conflict, counting it.
+    pub fn try_admit(&mut self, tag: u64) -> bool {
+        if self.fits(tag) {
+            if self.base.is_none() {
+                self.base = Some(tag);
+            }
+            self.residents += 1;
+            true
+        } else {
+            self.conflicts += 1;
+            false
+        }
+    }
+
+    /// Removes one resident; when the last leaves, the base resets so
+    /// the next admit re-bases freely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is empty.
+    pub fn retire(&mut self) {
+        assert!(self.residents > 0, "retire from empty tag group");
+        self.residents -= 1;
+        if self.residents == 0 {
+            self.base = None;
+        }
+    }
+
+    /// Clears the group entirely (hardware re-base after a conflict
+    /// eviction).
+    pub fn clear(&mut self) {
+        self.base = None;
+        self.residents = 0;
+    }
+
+    /// Current base, if any resident.
+    pub fn base(&self) -> Option<u64> {
+        self.base
+    }
+
+    /// Resident tag count.
+    pub fn residents(&self) -> u32 {
+        self.residents
+    }
+
+    /// Compression conflicts observed (rejections).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Signed-delta width in bits.
+    pub fn delta_bits(&self) -> u32 {
+        self.delta_bits
+    }
+}
+
+/// Storage accounting for the paper's overhead claims.
+pub mod overhead {
+    /// Bits per uncompressed LDS translation tag (Fig 7a):
+    /// 25 VA + 2 VM-ID + 2 VRF-ID + 2 LRU + 1 valid.
+    pub const LDS_TAG_BITS: u32 = 25 + 2 + 2 + 2 + 1;
+
+    /// Bits per uncompressed I-cache translation tag (Fig 10b):
+    /// 30 VA + 2 VM-ID + 2 VRF-ID + 4 LRU + 1 valid.
+    pub const IC_TAG_BITS: u32 = 30 + 2 + 2 + 4 + 1;
+
+    /// Compressed LDS tag word: 16-bit base + 3 × 16-bit deltas = 64
+    /// bits (one 8-byte way of a 32-byte segment).
+    pub const LDS_COMPRESSED_BITS: u32 = 16 + 3 * 16;
+
+    /// Compressed I-cache tag block: 32-bit base + 8 × 8-bit deltas =
+    /// 96 bits, fitting the widened 12-byte tag.
+    pub const IC_COMPRESSED_BITS: u32 = 32 + 8 * 8;
+
+    /// Mode-bit overhead of the reconfigurable LDS: 1 bit per 32-byte
+    /// segment = 1/256 of capacity ≈ 0.4% (§4.2.4).
+    pub fn lds_mode_bit_overhead() -> f64 {
+        1.0 / 256.0
+    }
+
+    /// Tag-widening overhead of the reconfigurable I-cache: tags grow
+    /// from 6 to 12 bytes for each of the 256 lines of a 16 KB
+    /// instance = 1.5 KB (§4.3.1).
+    pub fn icache_tag_widening_bytes(lines: usize) -> usize {
+        6 * lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_group_admits_anything() {
+        let mut g = TagGroup::lds();
+        assert!(g.try_admit(u64::MAX >> 1));
+        assert_eq!(g.base(), Some(u64::MAX >> 1));
+        assert_eq!(g.residents(), 1);
+    }
+
+    #[test]
+    fn delta_window_is_signed() {
+        let mut g = TagGroup::new(8); // deltas in [-128, 127]
+        assert!(g.try_admit(1000));
+        assert!(g.try_admit(1000 + 127));
+        assert!(g.try_admit(1000 - 128));
+        assert!(!g.try_admit(1000 + 128));
+        assert!(!g.try_admit(1000 - 129));
+        assert_eq!(g.conflicts(), 2);
+    }
+
+    #[test]
+    fn lds_window_wider_than_icache() {
+        let mut lds = TagGroup::lds();
+        let mut ic = TagGroup::icache();
+        lds.try_admit(0x8000);
+        ic.try_admit(0x8000);
+        let far = 0x8000 + 1000;
+        assert!(lds.fits(far));
+        assert!(!ic.fits(far));
+    }
+
+    #[test]
+    fn retire_to_empty_resets_base() {
+        let mut g = TagGroup::icache();
+        assert!(g.try_admit(5000));
+        g.retire();
+        assert_eq!(g.base(), None);
+        // Far-away tag now fits: re-based.
+        assert!(g.try_admit(5));
+        assert_eq!(g.base(), Some(5));
+    }
+
+    #[test]
+    fn clear_resets_residents_and_base() {
+        let mut g = TagGroup::lds();
+        g.try_admit(10);
+        g.try_admit(11);
+        g.clear();
+        assert_eq!(g.residents(), 0);
+        assert!(g.try_admit(1 << 40));
+    }
+
+    #[test]
+    #[should_panic(expected = "retire from empty")]
+    fn retire_empty_panics() {
+        TagGroup::lds().retire();
+    }
+
+    #[test]
+    fn overhead_constants_match_paper() {
+        use overhead::*;
+        assert_eq!(LDS_TAG_BITS, 32); // "each address translation in LDS contains 32-bits"
+        assert_eq!(IC_TAG_BITS, 39); // "a total of 39-bits"
+        assert_eq!(LDS_COMPRESSED_BITS, 64); // fits the 8-byte tag way
+        assert_eq!(IC_COMPRESSED_BITS, 96); // fits the widened 12-byte tag
+        assert_eq!(icache_tag_widening_bytes(256), 1536); // 1.5 KB per I-cache
+        assert!((lds_mode_bit_overhead() - 0.004).abs() < 0.001); // ~0.4%
+    }
+}

@@ -1,0 +1,294 @@
+//! Configuration of the reconfigurable translation-reach architecture.
+
+use gtr_sim::Cycle;
+
+/// Replacement policy of the reconfigurable I-cache (§4.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Replacement {
+    /// Translations may replace instruction lines (Fig 13a, second
+    /// bar — shown by the paper to *hurt* performance).
+    NaiveLru,
+    /// Instruction-aware: a translation fill may only claim an invalid
+    /// line or replace translations in its direct-mapped line;
+    /// instruction fills prefer Tx-mode victims (the paper's design).
+    #[default]
+    InstructionAware,
+}
+
+/// How many translations one 64-byte I-cache line stores in Tx-mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TxPerLine {
+    /// One 8-byte translation per line (Fig 8b, the naive design —
+    /// wastes 56 of 64 bytes).
+    One,
+    /// Eight translations packed per line with widened, base-delta
+    /// compressed tags (Fig 8c, the paper's design).
+    #[default]
+    Eight,
+}
+
+impl TxPerLine {
+    /// Entry slots per line.
+    pub fn slots(self) -> usize {
+        match self {
+            TxPerLine::One => 1,
+            TxPerLine::Eight => 8,
+        }
+    }
+}
+
+/// How the reconfigurable structures are *filled* (§4.1's design
+/// argument: the paper chooses a victim cache "as opposed to a
+/// prefetch buffer because the access patterns of irregular
+/// applications are hard to predict" — the prefetch-buffer variant is
+/// provided as an ablation to test exactly that claim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TxFillPolicy {
+    /// Store L1-TLB victims (the paper's design).
+    #[default]
+    VictimCache,
+    /// Drop L1-TLB victims to the L2 TLB; instead, on every page walk
+    /// prefetch the next two pages' translations into the structures.
+    PrefetchBuffer,
+}
+
+/// LDS segment size (§6.3.1 sensitivity study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SegmentSize {
+    /// 32-byte segments: 3 translation ways + 1 compressed tag word.
+    #[default]
+    Bytes32,
+    /// 64-byte segments: 6 translation ways + 2 tag words (same 3:1
+    /// data:tag ratio, doubled associativity, half the sets).
+    Bytes64,
+}
+
+impl SegmentSize {
+    /// Segment size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            SegmentSize::Bytes32 => 32,
+            SegmentSize::Bytes64 => 64,
+        }
+    }
+
+    /// Translation ways per segment.
+    pub fn ways(self) -> usize {
+        match self {
+            SegmentSize::Bytes32 => 3,
+            SegmentSize::Bytes64 => 6,
+        }
+    }
+}
+
+/// The full knob set of the reconfigurable architecture.
+///
+/// Use the provided constructors for the paper's named configurations:
+///
+/// * [`ReachConfig::baseline`] — everything off (the Table-1 GPU).
+/// * [`ReachConfig::lds_only`] — translations in idle LDS (Fig 13b).
+/// * [`ReachConfig::ic_only`] — translations in idle I-cache lines
+///   (Fig 13a, best variant).
+/// * [`ReachConfig::ic_plus_lds`] — the headline combined scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReachConfig {
+    /// Store victims in idle LDS segments.
+    pub lds_enabled: bool,
+    /// Store victims in idle I-cache lines.
+    pub icache_enabled: bool,
+    /// Translations per Tx-mode I-cache line.
+    pub tx_per_line: TxPerLine,
+    /// I-cache replacement policy.
+    pub replacement: Replacement,
+    /// Flush instruction lines at kernel boundaries when the next
+    /// kernel differs (§4.3.3).
+    pub flush_opt: bool,
+    /// LDS segment size.
+    pub segment_size: SegmentSize,
+    /// Extra datapath/wire latency added to LDS Tx lookups (Fig 16b).
+    pub lds_wire_latency: Cycle,
+    /// Extra datapath/wire latency added to I-cache Tx lookups
+    /// (Fig 16b).
+    pub ic_wire_latency: Cycle,
+    /// Tx-mode I-cache tag access latency (Table 1: 20 cycles).
+    pub ic_tx_tag_latency: Cycle,
+    /// Serialized way-scan penalty for 8-per-line tag comparison
+    /// (§4.3.1: 16 cycles).
+    pub ic_tx_scan_latency: Cycle,
+    /// LDS Tx-mode access latency (Table 1: 35 cycles).
+    pub lds_tx_latency: Cycle,
+    /// MUX latency (Table 1: 1 cycle).
+    pub mux_latency: Cycle,
+    /// Base-delta decompression latency (Table 1: 4 cycles).
+    pub decompress_latency: Cycle,
+    /// Fill policy: victim cache (paper) vs next-page prefetch buffer
+    /// (ablation).
+    pub fill_policy: TxFillPolicy,
+    /// Home-node hashing for the LDS victim store: each VPN lives in
+    /// exactly one CU's LDS (`vpn % CUs`), eliminating the cross-CU
+    /// duplication of Fig 14a at the price of a remote-LDS hop. This
+    /// implements the optimization the paper explicitly defers ("we
+    /// leave optimizations to limit the translation duplication for
+    /// future investigations", §6.1.1).
+    pub lds_home_hashing: bool,
+    /// Extra latency of a remote (other-CU) LDS access under home
+    /// hashing.
+    pub lds_remote_latency: Cycle,
+}
+
+impl Default for ReachConfig {
+    fn default() -> Self {
+        Self::ic_plus_lds()
+    }
+}
+
+impl ReachConfig {
+    fn base() -> Self {
+        Self {
+            lds_enabled: false,
+            icache_enabled: false,
+            tx_per_line: TxPerLine::Eight,
+            replacement: Replacement::InstructionAware,
+            flush_opt: false,
+            segment_size: SegmentSize::Bytes32,
+            lds_wire_latency: 0,
+            ic_wire_latency: 0,
+            ic_tx_tag_latency: 20,
+            ic_tx_scan_latency: 16,
+            lds_tx_latency: 35,
+            mux_latency: 1,
+            decompress_latency: 4,
+            fill_policy: TxFillPolicy::VictimCache,
+            lds_home_hashing: false,
+            lds_remote_latency: 20,
+        }
+    }
+
+    /// The unmodified Table-1 GPU.
+    pub fn baseline() -> Self {
+        Self::base()
+    }
+
+    /// Reconfigurable LDS only (§6.1.1).
+    pub fn lds_only() -> Self {
+        Self { lds_enabled: true, ..Self::base() }
+    }
+
+    /// Reconfigurable I-cache only, instruction-aware 8-per-line with
+    /// flush (§6.1.2's best variant).
+    pub fn ic_only() -> Self {
+        Self { icache_enabled: true, flush_opt: true, ..Self::base() }
+    }
+
+    /// The combined headline scheme (§6.1.3).
+    pub fn ic_plus_lds() -> Self {
+        Self { lds_enabled: true, icache_enabled: true, flush_opt: true, ..Self::base() }
+    }
+
+    /// Effective LDS Tx lookup latency (structure + MUX + decompression
+    /// + wire).
+    pub fn lds_tx_lookup_latency(&self) -> Cycle {
+        self.lds_tx_latency + self.mux_latency + self.decompress_latency + self.lds_wire_latency
+    }
+
+    /// Effective I-cache Tx lookup latency. The 8-per-line design pays
+    /// the serialized way scan and decompression; the 1-per-line design
+    /// reuses the instruction comparators directly.
+    pub fn ic_tx_lookup_latency(&self) -> Cycle {
+        let packing = match self.tx_per_line {
+            TxPerLine::One => 0,
+            TxPerLine::Eight => self.ic_tx_scan_latency + self.decompress_latency,
+        };
+        self.ic_tx_tag_latency + self.mux_latency + packing + self.ic_wire_latency
+    }
+
+    /// Builder-style: set both wire latencies (Fig 16b).
+    pub fn with_wire_latency(mut self, lds: Cycle, ic: Cycle) -> Self {
+        self.lds_wire_latency = lds;
+        self.ic_wire_latency = ic;
+        self
+    }
+
+    /// Builder-style: set the LDS segment size (§6.3.1).
+    pub fn with_segment_size(mut self, size: SegmentSize) -> Self {
+        self.segment_size = size;
+        self
+    }
+
+    /// Builder-style: set the I-cache packing density (Fig 13a).
+    pub fn with_tx_per_line(mut self, tx: TxPerLine) -> Self {
+        self.tx_per_line = tx;
+        self
+    }
+
+    /// Builder-style: set the replacement policy (Fig 13a).
+    pub fn with_replacement(mut self, r: Replacement) -> Self {
+        self.replacement = r;
+        self
+    }
+
+    /// Builder-style: enable/disable the kernel-boundary flush.
+    pub fn with_flush(mut self, flush: bool) -> Self {
+        self.flush_opt = flush;
+        self
+    }
+
+    /// Builder-style: set the fill policy (§4.1 ablation).
+    pub fn with_fill_policy(mut self, policy: TxFillPolicy) -> Self {
+        self.fill_policy = policy;
+        self
+    }
+
+    /// Builder-style: enable home-node-hashed LDS placement (the
+    /// paper's deferred duplication-limiting optimization).
+    pub fn with_lds_home_hashing(mut self) -> Self {
+        self.lds_home_hashing = true;
+        self
+    }
+
+    /// Whether any reconfigurable structure is active.
+    pub fn any_enabled(&self) -> bool {
+        self.lds_enabled || self.icache_enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_configs() {
+        assert!(!ReachConfig::baseline().any_enabled());
+        assert!(ReachConfig::lds_only().lds_enabled);
+        assert!(!ReachConfig::lds_only().icache_enabled);
+        assert!(ReachConfig::ic_only().icache_enabled);
+        let both = ReachConfig::ic_plus_lds();
+        assert!(both.lds_enabled && both.icache_enabled && both.flush_opt);
+    }
+
+    #[test]
+    fn table1_latencies() {
+        let c = ReachConfig::ic_plus_lds();
+        // LDS: 35 + 1 + 4 = 40.
+        assert_eq!(c.lds_tx_lookup_latency(), 40);
+        // IC (8/line): 20 + 1 + 16 + 4 = 41.
+        assert_eq!(c.ic_tx_lookup_latency(), 41);
+        // IC (1/line): 20 + 1 = 21.
+        assert_eq!(c.with_tx_per_line(TxPerLine::One).ic_tx_lookup_latency(), 21);
+    }
+
+    #[test]
+    fn wire_latency_adds() {
+        let c = ReachConfig::ic_plus_lds().with_wire_latency(50, 100);
+        assert_eq!(c.lds_tx_lookup_latency(), 90);
+        assert_eq!(c.ic_tx_lookup_latency(), 141);
+    }
+
+    #[test]
+    fn segment_sizes() {
+        assert_eq!(SegmentSize::Bytes32.ways(), 3);
+        assert_eq!(SegmentSize::Bytes64.ways(), 6);
+        assert_eq!(TxPerLine::One.slots(), 1);
+        assert_eq!(TxPerLine::Eight.slots(), 8);
+    }
+}

@@ -1,0 +1,140 @@
+//! Driver-initiated events during a run: page migrations with TLB
+//! shootdowns (§7.1).
+//!
+//! The GPU driver migrates (or swaps) pages while kernels execute; the
+//! PM4-style shootdown packet must invalidate the stale translation in
+//! **every** caching structure — the per-CU L1 TLBs, the shared L2
+//! TLB, the IOMMU's device TLBs, *and* (with the reconfigurable
+//! architecture) the LDS segments and I-cache lines that may hold it.
+//! [`crate::system::System::with_driver_schedule`] attaches a schedule;
+//! the system executes each event once the global translation-request
+//! count passes its trigger.
+//!
+//! Invalidation is modeled as instantaneous at the trigger boundary —
+//! the run-level effect of interest is the re-walk traffic and the
+//! coherence obligation, both of which the integration tests check.
+//! The PM4 command-path latencies themselves (enqueue, parse,
+//! per-sink broadcast) are modeled in [`gtr_vm::shootdown`] for
+//! structure-level studies such as the `shootdown_storm` example.
+
+use gtr_vm::addr::{TranslationKey, VmId, Vpn};
+
+/// One driver event: migrate `pages` (in the given address spaces) and
+/// shoot the stale translations down everywhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationEvent {
+    /// Fires once the run has issued at least this many translation
+    /// requests (a deterministic, workload-relative trigger).
+    pub after_translations: u64,
+    /// Pages to migrate.
+    pub pages: Vec<(VmId, Vpn)>,
+}
+
+impl MigrationEvent {
+    /// Convenience constructor for address space 0.
+    pub fn new(after_translations: u64, vpns: impl IntoIterator<Item = u64>) -> Self {
+        Self {
+            after_translations,
+            pages: vpns.into_iter().map(|v| (VmId::default(), Vpn(v))).collect(),
+        }
+    }
+
+    /// The shootdown keys this event will broadcast.
+    pub fn keys(&self) -> impl Iterator<Item = TranslationKey> + '_ {
+        self.pages.iter().map(|&(vmid, vpn)| TranslationKey {
+            vpn,
+            vmid,
+            vrf: gtr_vm::addr::VrfId::default(),
+        })
+    }
+}
+
+/// An ordered schedule of driver events.
+#[derive(Debug, Clone, Default)]
+pub struct DriverSchedule {
+    events: Vec<MigrationEvent>,
+}
+
+impl DriverSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event (kept sorted by trigger point).
+    pub fn migrate(mut self, event: MigrationEvent) -> Self {
+        self.events.push(event);
+        self.events.sort_by_key(|e| e.after_translations);
+        self
+    }
+
+    /// Events in trigger order.
+    pub fn events(&self) -> &[MigrationEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Outcome counters for executed driver events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShootdownReport {
+    /// Events executed.
+    pub events: u64,
+    /// Pages migrated.
+    pub pages_migrated: u64,
+    /// Stale copies found in L1 TLBs.
+    pub l1_hits: u64,
+    /// Stale copies found in the L2 TLB.
+    pub l2_hits: u64,
+    /// Stale copies found in reconfigurable LDS segments.
+    pub lds_hits: u64,
+    /// Stale copies found in reconfigurable I-cache lines.
+    pub ic_hits: u64,
+}
+
+impl ShootdownReport {
+    /// Total stale copies invalidated anywhere.
+    pub fn total_hits(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.lds_hits + self.ic_hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sorts_by_trigger() {
+        let s = DriverSchedule::new()
+            .migrate(MigrationEvent::new(500, [1, 2]))
+            .migrate(MigrationEvent::new(100, [3]));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.events()[0].after_translations, 100);
+        assert_eq!(s.events()[1].after_translations, 500);
+    }
+
+    #[test]
+    fn event_keys_cover_all_pages() {
+        let e = MigrationEvent::new(0, [7, 8, 9]);
+        let keys: Vec<_> = e.keys().collect();
+        assert_eq!(keys.len(), 3);
+        assert_eq!(keys[0].vpn, Vpn(7));
+        assert_eq!(keys[0].vmid, VmId::default());
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = DriverSchedule::new();
+        assert!(s.is_empty());
+        assert_eq!(ShootdownReport::default().total_hits(), 0);
+    }
+}

@@ -1,0 +1,611 @@
+//! Reconfigurable instruction cache (§4.3).
+//!
+//! A 16 KB, 8-way I-cache shared by a group of CUs. Every line carries
+//! a mode bit: **IC-mode** lines hold instructions, **Tx-mode** lines
+//! hold 1 or 8 translations (Fig 8). Translations are indexed
+//! *direct-mapped* over the whole line array (Fig 9) so the existing
+//! per-way comparators are reused; the price is a serialized way scan
+//! (+16 cycles) and base-delta decompression (+4 cycles), charged by
+//! the timing layer from [`crate::config::ReachConfig`].
+//!
+//! Replacement follows §4.3.2: instruction fills prefer invalid lines,
+//! then the LRU *Tx-mode* line, then the LRU instruction line; a
+//! translation fill may claim only an invalid line or its own
+//! direct-mapped Tx line (instruction-aware), unless the naive policy
+//! of Fig 13a's second bar is selected, which lets translations evict
+//! instructions. §4.3.3's kernel-boundary flush invalidates instruction
+//! lines so the next kernel starts with reclaimable capacity.
+
+use gtr_sim::resource::TrackedPort;
+use gtr_sim::stats::HitMiss;
+use gtr_vm::addr::{Ppn, Translation, TranslationKey};
+
+use crate::compress::TagGroup;
+use crate::config::{Replacement, TxPerLine};
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: TranslationKey,
+    ppn: Ppn,
+    last_use: u64,
+}
+
+#[derive(Debug, Clone)]
+enum LineState {
+    Invalid,
+    Inst { tag: u64 },
+    Tx { tags: TagGroup, slots: Vec<Option<Slot>> },
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    state: LineState,
+    last_use: u64,
+}
+
+/// Outcome of a translation insert attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcInsert {
+    /// Stored; `evicted` must be forwarded to the L2 TLB
+    /// (Fig 12 flow ❶→❷→❸→❺→❻).
+    Inserted {
+        /// Victim displaced by this insert, if any.
+        evicted: Option<Translation>,
+    },
+    /// The direct-mapped line holds instructions (instruction-aware
+    /// policy): the candidate is forwarded to the L2 TLB.
+    Bypassed,
+}
+
+/// Statistics of one reconfigurable I-cache instance.
+#[derive(Debug, Clone, Default)]
+pub struct TxIcacheStats {
+    /// Instruction fetch hits/misses.
+    pub inst: HitMiss,
+    /// Translation lookup hits/misses.
+    pub tx_lookups: HitMiss,
+    /// Successful translation inserts.
+    pub tx_inserts: u64,
+    /// Translation inserts bypassed (IC-mode direct-mapped line).
+    pub tx_bypassed: u64,
+    /// Translations evicted by newer translations.
+    pub tx_evictions: u64,
+    /// Translations evicted by instruction fills.
+    pub tx_evicted_by_inst: u64,
+    /// Instruction lines evicted by translations (naive policy only).
+    pub inst_evicted_by_tx: u64,
+    /// Prefetch fills (next-line prefetcher; counted by Eq 1).
+    pub prefetches: u64,
+    /// Instruction lines invalidated by kernel-boundary flushes.
+    pub flushed_lines: u64,
+    /// Base-delta compression conflicts.
+    pub compression_conflicts: u64,
+    /// Translations dropped during conflict re-basing.
+    pub conflict_drops: u64,
+    /// Shootdowns that found an entry.
+    pub shootdowns: u64,
+}
+
+/// One reconfigurable I-cache instance (shared by a group of CUs).
+///
+/// # Example
+///
+/// ```
+/// use gtr_core::icache_tx::{IcInsert, TxIcache};
+/// use gtr_core::config::{Replacement, TxPerLine};
+/// use gtr_vm::addr::{Ppn, Translation, TranslationKey, Vpn};
+///
+/// let mut ic = TxIcache::new(16 * 1024, 8, TxPerLine::Eight, Replacement::InstructionAware);
+/// let tx = Translation::new(TranslationKey::for_vpn(Vpn(3)), Ppn(30));
+/// assert!(matches!(ic.insert_tx(tx), IcInsert::Inserted { evicted: None }));
+/// assert_eq!(ic.lookup_tx(tx.key), Some(tx));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TxIcache {
+    lines: Vec<Line>, // index = set * assoc + way
+    sets: usize,
+    assoc: usize,
+    tx_per_line: TxPerLine,
+    replacement: Replacement,
+    tick: u64,
+    fills_this_kernel: u64,
+    port: TrackedPort,
+    stats: TxIcacheStats,
+}
+
+impl TxIcache {
+    /// Creates an empty reconfigurable I-cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide into whole sets.
+    pub fn new(bytes: u32, assoc: usize, tx_per_line: TxPerLine, replacement: Replacement) -> Self {
+        let line_count = (bytes / 64) as usize;
+        assert!(assoc > 0 && line_count.is_multiple_of(assoc), "lines must divide into ways");
+        Self {
+            lines: (0..line_count)
+                .map(|_| Line { state: LineState::Invalid, last_use: 0 })
+                .collect(),
+            sets: line_count / assoc,
+            assoc,
+            tx_per_line,
+            replacement,
+            tick: 0,
+            fills_this_kernel: 0,
+            port: TrackedPort::new(),
+            stats: TxIcacheStats::default(),
+        }
+    }
+
+    /// Total lines.
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Number of sets (instruction indexing).
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Translation slots per Tx line.
+    pub fn tx_slots(&self) -> usize {
+        self.tx_per_line.slots()
+    }
+
+    /// The shared fetch/translation port (Fig 5b idle-gap tracking).
+    pub fn port_mut(&mut self) -> &mut TrackedPort {
+        &mut self.port
+    }
+
+    /// Immutable view of the port.
+    pub fn port(&self) -> &TrackedPort {
+        &self.port
+    }
+
+    // ----- instruction side ------------------------------------------------
+
+    /// Fetches the instruction line with global index `line_addr`;
+    /// returns `true` on hit. A miss fills the line according to the
+    /// replacement rules.
+    pub fn fetch(&mut self, line_addr: u64) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = (line_addr as usize) % self.sets;
+        let tag = line_addr / self.sets as u64;
+        let base = set * self.assoc;
+        // Probe ways.
+        for way in 0..self.assoc {
+            let line = &mut self.lines[base + way];
+            if let LineState::Inst { tag: t } = line.state {
+                if t == tag {
+                    line.last_use = tick;
+                    self.stats.inst.hit();
+                    return true;
+                }
+            }
+        }
+        self.stats.inst.miss();
+        self.fills_this_kernel += 1;
+        // Victim choice: invalid > LRU Tx > LRU Inst (§4.3.2 rule 1).
+        let victim_way = self.choose_inst_victim(base);
+        let line = &mut self.lines[base + victim_way];
+        if let LineState::Tx { slots, .. } = &line.state {
+            self.stats.tx_evicted_by_inst +=
+                slots.iter().filter(|s| s.is_some()).count() as u64;
+        }
+        line.state = LineState::Inst { tag };
+        line.last_use = tick;
+        false
+    }
+
+    fn choose_inst_victim(&self, base: usize) -> usize {
+        let ways = &self.lines[base..base + self.assoc];
+        if let Some(i) = ways.iter().position(|l| matches!(l.state, LineState::Invalid)) {
+            return i;
+        }
+        let lru_of = |pred: &dyn Fn(&LineState) -> bool| {
+            ways.iter()
+                .enumerate()
+                .filter(|(_, l)| pred(&l.state))
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+        };
+        if let Some(i) = lru_of(&|s| matches!(s, LineState::Tx { .. })) {
+            return i;
+        }
+        lru_of(&|s| matches!(s, LineState::Inst { .. })).expect("set is full of inst lines")
+    }
+
+    /// Prefetches an instruction line (next-line prefetcher): fills it
+    /// if absent without touching the hit/miss counters. Fills count
+    /// toward Eq 1's utilization exactly as the paper's
+    /// `IC_prefetches` term does. Returns whether a fill occurred.
+    pub fn prefetch(&mut self, line_addr: u64) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = (line_addr as usize) % self.sets;
+        let tag = line_addr / self.sets as u64;
+        let base = set * self.assoc;
+        for way in 0..self.assoc {
+            if let LineState::Inst { tag: t } = self.lines[base + way].state {
+                if t == tag {
+                    return false; // already resident
+                }
+            }
+        }
+        self.stats.prefetches += 1;
+        self.fills_this_kernel += 1;
+        let victim_way = self.choose_inst_victim(base);
+        let line = &mut self.lines[base + victim_way];
+        if let LineState::Tx { slots, .. } = &line.state {
+            self.stats.tx_evicted_by_inst +=
+                slots.iter().filter(|s| s.is_some()).count() as u64;
+        }
+        line.state = LineState::Inst { tag };
+        line.last_use = tick;
+        true
+    }
+
+    /// Invalidates all instruction lines (§4.3.3 kernel-boundary
+    /// flush); Tx lines are untouched.
+    pub fn flush_instructions(&mut self) {
+        for line in &mut self.lines {
+            if matches!(line.state, LineState::Inst { .. }) {
+                line.state = LineState::Invalid;
+                self.stats.flushed_lines += 1;
+            }
+        }
+    }
+
+    // ----- translation side -------------------------------------------------
+
+    /// Direct-mapped line index for a translation (Fig 9).
+    fn tx_line_index(&self, key: TranslationKey) -> usize {
+        (key.vpn.0 as usize) % self.lines.len()
+    }
+
+    fn tx_tag(&self, key: TranslationKey) -> u64 {
+        key.vpn.0 / self.lines.len() as u64
+    }
+
+    /// Whether the direct-mapped line for `key` currently operates in
+    /// Tx-mode (the 1-cycle mode-bit check that gates the full Tx
+    /// lookup).
+    pub fn is_tx_line(&self, key: TranslationKey) -> bool {
+        matches!(self.lines[self.tx_line_index(key)].state, LineState::Tx { .. })
+    }
+
+    /// Looks up a translation. A hit refreshes LRU and returns a copy
+    /// for promotion to the requesting CU's L1 TLB; the entry stays
+    /// resident so the other CUs sharing this I-cache can still hit it
+    /// (removal would make one CU's promotion steal entries its three
+    /// neighbours are about to need).
+    pub fn lookup_tx(&mut self, key: TranslationKey) -> Option<Translation> {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.tx_line_index(key);
+        let line = &mut self.lines[idx];
+        if let LineState::Tx { slots, .. } = &mut line.state {
+            if let Some(e) = slots.iter_mut().flatten().find(|e| e.key == key) {
+                e.last_use = tick;
+                line.last_use = tick;
+                self.stats.tx_lookups.hit();
+                return Some(Translation::new(e.key, e.ppn));
+            }
+        }
+        self.stats.tx_lookups.miss();
+        None
+    }
+
+    /// Inserts a translation candidate (an L1-TLB or LDS victim).
+    pub fn insert_tx(&mut self, tx: Translation) -> IcInsert {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.tx_line_index(tx.key);
+        let tag = self.tx_tag(tx.key);
+        let slots_per_line = self.tx_per_line.slots();
+        let naive = self.replacement == Replacement::NaiveLru;
+        let line = &mut self.lines[idx];
+        match &mut line.state {
+            LineState::Inst { .. } => {
+                if naive {
+                    // Fig 13a bar 2: translations may evict instructions.
+                    self.stats.inst_evicted_by_tx += 1;
+                    let mut tags = TagGroup::icache();
+                    assert!(tags.try_admit(tag));
+                    let mut slots = vec![None; slots_per_line];
+                    slots[0] = Some(Slot { key: tx.key, ppn: tx.ppn, last_use: tick });
+                    line.state = LineState::Tx { tags, slots };
+                    line.last_use = tick;
+                    self.stats.tx_inserts += 1;
+                    IcInsert::Inserted { evicted: None }
+                } else {
+                    self.stats.tx_bypassed += 1;
+                    IcInsert::Bypassed
+                }
+            }
+            LineState::Invalid => {
+                let mut tags = TagGroup::icache();
+                assert!(tags.try_admit(tag));
+                let mut slots = vec![None; slots_per_line];
+                slots[0] = Some(Slot { key: tx.key, ppn: tx.ppn, last_use: tick });
+                line.state = LineState::Tx { tags, slots };
+                line.last_use = tick;
+                self.stats.tx_inserts += 1;
+                IcInsert::Inserted { evicted: None }
+            }
+            LineState::Tx { tags, slots } => {
+                line.last_use = tick;
+                if let Some(slot) = slots.iter_mut().flatten().find(|s| s.key == tx.key) {
+                    slot.ppn = tx.ppn;
+                    slot.last_use = tick;
+                    self.stats.tx_inserts += 1;
+                    return IcInsert::Inserted { evicted: None };
+                }
+                let mut evicted = None;
+                if !tags.fits(tag) {
+                    self.stats.compression_conflicts += 1;
+                    let mru = slots
+                        .iter()
+                        .flatten()
+                        .max_by_key(|s| s.last_use)
+                        .map(|s| Translation::new(s.key, s.ppn));
+                    let dropped = slots.iter().filter(|s| s.is_some()).count();
+                    slots.iter_mut().for_each(|s| *s = None);
+                    tags.clear();
+                    self.stats.tx_evictions += dropped as u64;
+                    self.stats.conflict_drops += dropped.saturating_sub(1) as u64;
+                    evicted = mru;
+                } else if slots.iter().all(|s| s.is_some()) {
+                    let (i, victim) = slots
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, s)| s.map(|e| (i, e)))
+                        .min_by_key(|(_, e)| e.last_use)
+                        .expect("full line non-empty");
+                    slots[i] = None;
+                    tags.retire();
+                    self.stats.tx_evictions += 1;
+                    evicted = Some(Translation::new(victim.key, victim.ppn));
+                }
+                assert!(tags.try_admit(tag), "tag checked to fit");
+                let free = slots.iter().position(|s| s.is_none()).expect("slot available");
+                slots[free] = Some(Slot { key: tx.key, ppn: tx.ppn, last_use: tick });
+                self.stats.tx_inserts += 1;
+                IcInsert::Inserted { evicted }
+            }
+        }
+    }
+
+    /// Shootdown: invalidates `key` if present.
+    pub fn shootdown(&mut self, key: TranslationKey) -> bool {
+        let idx = self.tx_line_index(key);
+        if let LineState::Tx { tags, slots } = &mut self.lines[idx].state {
+            if let Some(i) = slots.iter().position(|s| s.map(|e| e.key) == Some(key)) {
+                slots[i] = None;
+                tags.retire();
+                self.stats.shootdowns += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    // ----- measurement ------------------------------------------------------
+
+    /// Begins a kernel: resets the Eq-1 fill counter.
+    pub fn begin_kernel(&mut self) {
+        self.fills_this_kernel = 0;
+    }
+
+    /// Ends a kernel and returns its Eq-1 I-cache utilization in
+    /// percent: `fills * 100 / lines`, capped at 100.
+    pub fn end_kernel_utilization(&self) -> f64 {
+        (self.fills_this_kernel as f64 * 100.0 / self.lines.len() as f64).min(100.0)
+    }
+
+    /// Translations currently resident.
+    pub fn resident_tx(&self) -> usize {
+        self.lines
+            .iter()
+            .map(|l| match &l.state {
+                LineState::Tx { slots, .. } => slots.iter().filter(|s| s.is_some()).count(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Lines currently holding instructions.
+    pub fn inst_lines(&self) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| matches!(l.state, LineState::Inst { .. }))
+            .count()
+    }
+
+    /// Iterates over resident translations (sharing analysis).
+    pub fn iter_tx(&self) -> impl Iterator<Item = Translation> + '_ {
+        self.lines.iter().flat_map(|l| {
+            let slots: &[Option<Slot>] = match &l.state {
+                LineState::Tx { slots, .. } => slots,
+                _ => &[],
+            };
+            slots.iter().flatten().map(|e| Translation::new(e.key, e.ppn))
+        })
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &TxIcacheStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtr_vm::addr::Vpn;
+
+    fn tx(v: u64) -> Translation {
+        Translation::new(TranslationKey::for_vpn(Vpn(v)), Ppn(v + 1))
+    }
+
+    fn ic(policy: Replacement, pack: TxPerLine) -> TxIcache {
+        TxIcache::new(16 * 1024, 8, pack, policy)
+    }
+
+    #[test]
+    fn geometry_matches_paper() {
+        let c = ic(Replacement::InstructionAware, TxPerLine::Eight);
+        assert_eq!(c.line_count(), 256);
+        assert_eq!(c.sets(), 32);
+        // 256 lines × 8 tx = 2048 per instance; 2 instances = 4K
+        // (Fig 15: "4K from I-caches").
+        assert_eq!(c.line_count() * c.tx_slots(), 2048);
+    }
+
+    #[test]
+    fn instruction_fetch_miss_then_hit() {
+        let mut c = ic(Replacement::InstructionAware, TxPerLine::Eight);
+        assert!(!c.fetch(100));
+        assert!(c.fetch(100));
+        assert_eq!(c.stats().inst.hits, 1);
+        assert_eq!(c.inst_lines(), 1);
+    }
+
+    #[test]
+    fn instruction_fill_prefers_tx_victims() {
+        let mut c = ic(Replacement::InstructionAware, TxPerLine::Eight);
+        // Fill set 0's ways: 7 instruction lines + 1 tx line.
+        for i in 0..7u64 {
+            c.fetch(i * 32); // set 0, distinct tags
+        }
+        // vpn 0 maps to line 0 (set 0, way 0 region). Use a vpn whose
+        // direct-mapped line sits in set 0: any vpn % 256 < 8.
+        c.insert_tx(tx(7)); // line 7 -> set 0, way 7
+        assert_eq!(c.resident_tx(), 1);
+        // Next instruction miss in set 0 must evict the tx line, not
+        // an instruction line.
+        assert!(!c.fetch(7 * 32));
+        assert_eq!(c.resident_tx(), 0);
+        assert_eq!(c.stats().tx_evicted_by_inst, 1);
+        assert_eq!(c.inst_lines(), 8);
+    }
+
+    #[test]
+    fn instruction_aware_tx_never_evicts_instructions() {
+        let mut c = ic(Replacement::InstructionAware, TxPerLine::Eight);
+        // Fill every line of the cache with instructions.
+        for set in 0..32u64 {
+            for way in 0..8u64 {
+                c.fetch(set + way * 32);
+            }
+        }
+        assert_eq!(c.inst_lines(), 256);
+        assert_eq!(c.insert_tx(tx(5)), IcInsert::Bypassed);
+        assert_eq!(c.stats().tx_bypassed, 1);
+        assert_eq!(c.inst_lines(), 256);
+    }
+
+    #[test]
+    fn naive_policy_lets_tx_evict_instructions() {
+        let mut c = ic(Replacement::NaiveLru, TxPerLine::Eight);
+        c.fetch(5); // instruction in set 5... which line? set=5, first way.
+        // Find a vpn direct-mapped onto that very line: line index of the
+        // filled line is set 5, way 0 => global line idx 40.
+        let vpn = 40u64;
+        assert!(matches!(c.insert_tx(tx(vpn)), IcInsert::Inserted { .. }));
+        assert_eq!(c.stats().inst_evicted_by_tx, 1);
+    }
+
+    #[test]
+    fn eight_translations_pack_per_line() {
+        let mut c = ic(Replacement::InstructionAware, TxPerLine::Eight);
+        let n = c.line_count() as u64;
+        for i in 0..8u64 {
+            assert!(matches!(c.insert_tx(tx(3 + i * n)), IcInsert::Inserted { evicted: None }));
+        }
+        assert_eq!(c.resident_tx(), 8);
+        // Ninth insert to the same line evicts the LRU.
+        match c.insert_tx(tx(3 + 8 * n)) {
+            IcInsert::Inserted { evicted: Some(e) } => assert_eq!(e.key.vpn, Vpn(3)),
+            other => panic!("expected LRU eviction: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_per_line_design_holds_single_entry() {
+        let mut c = ic(Replacement::InstructionAware, TxPerLine::One);
+        let n = c.line_count() as u64;
+        c.insert_tx(tx(3));
+        match c.insert_tx(tx(3 + n)) {
+            IcInsert::Inserted { evicted: Some(e) } => assert_eq!(e.key.vpn, Vpn(3)),
+            other => panic!("expected displacement: {other:?}"),
+        }
+        assert_eq!(c.resident_tx(), 1);
+    }
+
+    #[test]
+    fn lookup_copies_out_and_stays() {
+        let mut c = ic(Replacement::InstructionAware, TxPerLine::Eight);
+        let t = tx(9);
+        c.insert_tx(t);
+        assert_eq!(c.lookup_tx(t.key), Some(t));
+        assert_eq!(c.lookup_tx(t.key), Some(t), "entry remains for other CUs");
+        assert_eq!(c.resident_tx(), 1);
+        assert_eq!(c.stats().tx_lookups.hits, 2);
+    }
+
+    #[test]
+    fn flush_clears_instructions_only() {
+        let mut c = ic(Replacement::InstructionAware, TxPerLine::Eight);
+        c.fetch(0);
+        c.fetch(1);
+        c.insert_tx(tx(77));
+        c.flush_instructions();
+        assert_eq!(c.inst_lines(), 0);
+        assert_eq!(c.resident_tx(), 1);
+        assert_eq!(c.stats().flushed_lines, 2);
+        // Flushed lines are reclaimable by translations.
+        assert!(matches!(c.insert_tx(tx(0)), IcInsert::Inserted { .. }));
+    }
+
+    #[test]
+    fn utilization_eq1_per_kernel() {
+        let mut c = ic(Replacement::InstructionAware, TxPerLine::Eight);
+        c.begin_kernel();
+        for i in 0..64u64 {
+            c.fetch(i);
+        }
+        assert!((c.end_kernel_utilization() - 25.0).abs() < 1e-9); // 64/256
+        c.begin_kernel();
+        for i in 0..1000u64 {
+            c.fetch(i + 1000);
+        }
+        assert_eq!(c.end_kernel_utilization(), 100.0, "capped at 100%");
+    }
+
+    #[test]
+    fn compression_conflict_rebases() {
+        let mut c = ic(Replacement::InstructionAware, TxPerLine::Eight);
+        let n = c.line_count() as u64;
+        c.insert_tx(tx(3));
+        c.insert_tx(tx(3 + n));
+        // Tag 1 << 20 is far outside the 8-bit delta window.
+        match c.insert_tx(tx(3 + (1 << 20) * n)) {
+            IcInsert::Inserted { evicted: Some(_) } => {}
+            other => panic!("conflict should evict: {other:?}"),
+        }
+        assert_eq!(c.stats().compression_conflicts, 1);
+        assert_eq!(c.resident_tx(), 1);
+    }
+
+    #[test]
+    fn shootdown_finds_direct_mapped_entry() {
+        let mut c = ic(Replacement::InstructionAware, TxPerLine::Eight);
+        let t = tx(123);
+        c.insert_tx(t);
+        assert!(c.shootdown(t.key));
+        assert!(!c.shootdown(t.key));
+        assert_eq!(c.resident_tx(), 0);
+    }
+}

@@ -1,0 +1,562 @@
+//! Reconfigurable LDS: translation victim storage in idle scratchpad
+//! segments (§4.2).
+//!
+//! The LDS is divided into 32-byte segments (64-byte in the §6.3.1
+//! ablation). Each segment carries a mode bit: **App** segments belong
+//! to a live workgroup allocation and are untouchable; **Tx** segments
+//! co-locate one compressed tag word with 3 (or 6) eight-byte
+//! translations; **Idle** segments belong to nobody. Mode transitions
+//! follow §4.2.4: an application allocation may overwrite Tx segments
+//! at any time (no data movement — translations are clean), but a
+//! translation insert can never claim an App segment.
+
+use gtr_sim::stats::HitMiss;
+use gtr_vm::addr::{Ppn, Translation, TranslationKey};
+
+use crate::compress::TagGroup;
+use crate::config::SegmentSize;
+
+/// Operating mode of one LDS segment (the mode bit of §4.2.4, with
+/// "Idle" distinguishing never/no-longer-allocated capacity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SegmentMode {
+    /// No live workgroup allocation and no translations.
+    #[default]
+    Idle,
+    /// Owned by an application workgroup allocation (LDS-mode).
+    App,
+    /// Holding translations (Tx-mode).
+    Tx,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: TranslationKey,
+    ppn: Ppn,
+    last_use: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Segment {
+    mode: SegmentMode,
+    tags: TagGroup,
+    slots: Vec<Option<Slot>>,
+}
+
+impl Segment {
+    fn new(ways: usize) -> Self {
+        Self { mode: SegmentMode::Idle, tags: TagGroup::lds(), slots: vec![None; ways] }
+    }
+
+    fn resident(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    fn drop_all_tx(&mut self) -> usize {
+        let n = self.resident();
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.tags.clear();
+        n
+    }
+}
+
+/// Outcome of a translation insert attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LdsInsert {
+    /// Stored; `evicted` holds a displaced translation that must
+    /// continue down the fill flow (Fig 12 flow ❶→❷→❹→❻).
+    Inserted {
+        /// Victim displaced by this insert, if any.
+        evicted: Option<Translation>,
+    },
+    /// The segment is in App mode — the candidate bypasses the LDS
+    /// (Fig 12 flow ❶→❷→❸→❺).
+    Bypassed,
+}
+
+/// Statistics of one CU's reconfigurable LDS.
+#[derive(Debug, Clone, Default)]
+pub struct TxLdsStats {
+    /// Lookup hits/misses (misses include App-mode segments).
+    pub lookups: HitMiss,
+    /// Successful inserts.
+    pub inserts: u64,
+    /// Inserts bypassed because the segment was App-mode.
+    pub bypassed: u64,
+    /// Translations evicted by newer translations.
+    pub evictions: u64,
+    /// Translations dropped when an app allocation overwrote their
+    /// segment.
+    pub overwritten_by_app: u64,
+    /// Base-delta compression conflicts on insert.
+    pub compression_conflicts: u64,
+    /// Translations silently dropped during conflict re-basing (only
+    /// one victim can be forwarded per insert).
+    pub conflict_drops: u64,
+    /// Shootdown invalidations that found an entry.
+    pub shootdowns: u64,
+}
+
+/// One CU's reconfigurable LDS.
+///
+/// # Example
+///
+/// ```
+/// use gtr_core::lds_tx::{LdsInsert, TxLds};
+/// use gtr_core::config::SegmentSize;
+/// use gtr_vm::addr::{Ppn, Translation, TranslationKey, Vpn};
+///
+/// let mut lds = TxLds::new(16 * 1024, SegmentSize::Bytes32);
+/// let tx = Translation::new(TranslationKey::for_vpn(Vpn(7)), Ppn(70));
+/// assert!(matches!(lds.insert(tx), LdsInsert::Inserted { evicted: None }));
+/// assert_eq!(lds.lookup(tx.key), Some(tx)); // copy promoted to the L1 TLB
+/// assert_eq!(lds.lookup(tx.key), Some(tx)); // entry stays resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct TxLds {
+    segments: Vec<Segment>,
+    segment_bytes: u32,
+    ways: usize,
+    /// VPN bits consumed by home-node selection before segment
+    /// indexing (0 unless home hashing distributes VPNs across CUs; see
+    /// `ReachConfig::lds_home_hashing`). Without the shift, a home LDS
+    /// would only ever see VPNs congruent to its CU id and leave 7/8 of
+    /// its segments idle.
+    index_shift: u32,
+    tick: u64,
+    stats: TxLdsStats,
+}
+
+impl TxLds {
+    /// Creates a reconfigurable LDS over `lds_bytes` of scratchpad.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lds_bytes` is not a multiple of the segment size.
+    pub fn new(lds_bytes: u32, segment_size: SegmentSize) -> Self {
+        let seg = segment_size.bytes();
+        assert!(lds_bytes.is_multiple_of(seg), "LDS must divide into segments");
+        let count = (lds_bytes / seg) as usize;
+        Self {
+            segments: (0..count).map(|_| Segment::new(segment_size.ways())).collect(),
+            segment_bytes: seg,
+            ways: segment_size.ways(),
+            index_shift: 0,
+            tick: 0,
+            stats: TxLdsStats::default(),
+        }
+    }
+
+    /// Sets the number of low VPN bits to skip before segment indexing
+    /// (used with home-node hashing so a home LDS spreads its share of
+    /// the VPN space across all of its segments).
+    pub fn with_index_shift(mut self, shift: u32) -> Self {
+        self.index_shift = shift;
+        self
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Translation ways per segment.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    fn index(&self, key: TranslationKey) -> usize {
+        ((key.vpn.0 >> self.index_shift) as usize) % self.segments.len()
+    }
+
+    fn tag(&self, key: TranslationKey) -> u64 {
+        (key.vpn.0 >> self.index_shift) / self.segments.len() as u64
+    }
+
+    /// Mode of the segment a key maps to (drives the Fig 12 routing).
+    pub fn segment_mode(&self, key: TranslationKey) -> SegmentMode {
+        self.segments[self.index(key)].mode
+    }
+
+    /// Looks up a translation. A hit refreshes the entry's LRU
+    /// position and returns a copy for promotion into the L1 TLB; the
+    /// entry itself stays resident (translations are clean, so
+    /// duplication between the LDS and a TLB is harmless — the same
+    /// duplication the per-CU L1 TLBs already exhibit, Fig 14a).
+    pub fn lookup(&mut self, key: TranslationKey) -> Option<Translation> {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.index(key);
+        let seg = &mut self.segments[idx];
+        if seg.mode != SegmentMode::Tx {
+            self.stats.lookups.miss();
+            return None;
+        }
+        match seg.slots.iter_mut().flatten().find(|e| e.key == key) {
+            Some(entry) => {
+                entry.last_use = tick;
+                self.stats.lookups.hit();
+                Some(Translation::new(entry.key, entry.ppn))
+            }
+            None => {
+                self.stats.lookups.miss();
+                None
+            }
+        }
+    }
+
+    /// Inserts an L1-TLB victim (Fig 12 flows ❶→❷→…).
+    pub fn insert(&mut self, tx: Translation) -> LdsInsert {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.index(tx.key);
+        let tag = self.tag(tx.key);
+        let seg = &mut self.segments[idx];
+        match seg.mode {
+            SegmentMode::App => {
+                self.stats.bypassed += 1;
+                LdsInsert::Bypassed
+            }
+            SegmentMode::Idle => {
+                seg.mode = SegmentMode::Tx;
+                seg.tags.clear();
+                assert!(seg.tags.try_admit(tag), "empty group admits");
+                seg.slots[0] = Some(Slot { key: tx.key, ppn: tx.ppn, last_use: tick });
+                self.stats.inserts += 1;
+                LdsInsert::Inserted { evicted: None }
+            }
+            SegmentMode::Tx => {
+                // Refresh on re-insert of the same key.
+                if let Some(slot) = seg
+                    .slots
+                    .iter_mut()
+                    .flatten()
+                    .find(|s| s.key == tx.key)
+                {
+                    slot.ppn = tx.ppn;
+                    slot.last_use = tick;
+                    self.stats.inserts += 1;
+                    return LdsInsert::Inserted { evicted: None };
+                }
+                let mut evicted = None;
+                if !seg.tags.fits(tag) {
+                    // Compression conflict: the residents' base cannot
+                    // express the new tag. Evict everything and re-base;
+                    // only the most-recently-used victim is forwarded.
+                    self.stats.compression_conflicts += 1;
+                    let mru = seg
+                        .slots
+                        .iter()
+                        .flatten()
+                        .max_by_key(|s| s.last_use)
+                        .map(|s| Translation::new(s.key, s.ppn));
+                    let dropped = seg.drop_all_tx();
+                    self.stats.evictions += dropped as u64;
+                    self.stats.conflict_drops += dropped.saturating_sub(1) as u64;
+                    evicted = mru;
+                } else if seg.slots.iter().all(|s| s.is_some()) {
+                    // Set full: evict the LRU way.
+                    let (i, victim) = seg
+                        .slots
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, s)| s.map(|e| (i, e)))
+                        .min_by_key(|(_, e)| e.last_use)
+                        .expect("full segment non-empty");
+                    seg.slots[i] = None;
+                    seg.tags.retire();
+                    self.stats.evictions += 1;
+                    evicted = Some(Translation::new(victim.key, victim.ppn));
+                }
+                assert!(seg.tags.try_admit(tag), "tag checked to fit");
+                let free = seg
+                    .slots
+                    .iter()
+                    .position(|s| s.is_none())
+                    .expect("a slot was freed or available");
+                seg.slots[free] = Some(Slot { key: tx.key, ppn: tx.ppn, last_use: tick });
+                self.stats.inserts += 1;
+                LdsInsert::Inserted { evicted }
+            }
+        }
+    }
+
+    /// A workgroup allocation claimed `[base, base+size)`: covered
+    /// segments switch to App mode, dropping any translations
+    /// (overwrite without data movement, §4.2.3).
+    pub fn on_app_allocate(&mut self, base: u32, size: u32) {
+        for i in self.covered(base, size) {
+            let seg = &mut self.segments[i];
+            if seg.mode == SegmentMode::Tx {
+                self.stats.overwritten_by_app += seg.drop_all_tx() as u64;
+            }
+            seg.mode = SegmentMode::App;
+        }
+    }
+
+    /// A workgroup allocation over `[base, base+size)` was released:
+    /// covered segments become Idle.
+    pub fn on_app_release(&mut self, base: u32, size: u32) {
+        for i in self.covered(base, size) {
+            let seg = &mut self.segments[i];
+            debug_assert_ne!(seg.mode, SegmentMode::Tx, "Tx can never overwrite App");
+            seg.slots.iter_mut().for_each(|s| *s = None);
+            seg.tags.clear();
+            seg.mode = SegmentMode::Idle;
+        }
+    }
+
+    fn covered(&self, base: u32, size: u32) -> std::ops::Range<usize> {
+        if size == 0 {
+            return 0..0;
+        }
+        let first = (base / self.segment_bytes) as usize;
+        let last = ((base + size - 1) / self.segment_bytes) as usize + 1;
+        first..last.min(self.segments.len())
+    }
+
+    /// Shootdown: invalidates `key` if present; returns whether it was.
+    pub fn shootdown(&mut self, key: TranslationKey) -> bool {
+        let idx = self.index(key);
+        let seg = &mut self.segments[idx];
+        if seg.mode != SegmentMode::Tx {
+            return false;
+        }
+        if let Some(i) = seg.slots.iter().position(|s| s.map(|e| e.key) == Some(key)) {
+            seg.slots[i] = None;
+            seg.tags.retire();
+            self.stats.shootdowns += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Translations currently resident (Fig 15's "entries gained").
+    pub fn resident(&self) -> usize {
+        self.segments.iter().map(Segment::resident).sum()
+    }
+
+    /// Segments currently in each mode `(idle, app, tx)`.
+    pub fn mode_census(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for s in &self.segments {
+            match s.mode {
+                SegmentMode::Idle => c.0 += 1,
+                SegmentMode::App => c.1 += 1,
+                SegmentMode::Tx => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Iterates over resident translations (Fig 14a sharing analysis).
+    pub fn iter(&self) -> impl Iterator<Item = Translation> + '_ {
+        self.segments
+            .iter()
+            .filter(|s| s.mode == SegmentMode::Tx)
+            .flat_map(|s| s.slots.iter().flatten().map(|e| Translation::new(e.key, e.ppn)))
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &TxLdsStats {
+        &self.stats
+    }
+
+    /// Drops every translation (used between independent runs).
+    pub fn clear_tx(&mut self) {
+        for seg in &mut self.segments {
+            if seg.mode == SegmentMode::Tx {
+                seg.drop_all_tx();
+                seg.mode = SegmentMode::Idle;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtr_vm::addr::Vpn;
+
+    fn tx(v: u64) -> Translation {
+        Translation::new(TranslationKey::for_vpn(Vpn(v)), Ppn(v + 1))
+    }
+
+    fn lds() -> TxLds {
+        TxLds::new(16 * 1024, SegmentSize::Bytes32)
+    }
+
+    #[test]
+    fn geometry_matches_paper() {
+        let l = lds();
+        assert_eq!(l.segment_count(), 512); // 16 KB / 32 B
+        assert_eq!(l.ways(), 3);
+        // 512 segments × 3 ways = 1536 entries per CU; ×8 CUs = 12 K
+        // (Fig 15: "12K from LDS").
+        assert_eq!(l.segment_count() * l.ways(), 1536);
+    }
+
+    #[test]
+    fn insert_lookup_promote_cycle() {
+        let mut l = lds();
+        let t = tx(42);
+        assert_eq!(l.insert(t), LdsInsert::Inserted { evicted: None });
+        assert_eq!(l.resident(), 1);
+        assert_eq!(l.lookup(t.key), Some(t));
+        assert_eq!(l.resident(), 1, "hit copies out; the entry stays");
+        assert_eq!(l.lookup(t.key), Some(t), "still resident");
+        assert_eq!(l.stats().lookups.hits, 2);
+    }
+
+    #[test]
+    fn lookup_refreshes_lru() {
+        let mut l = lds();
+        let n = l.segment_count() as u64;
+        let v = |i: u64| tx(5 + i * n);
+        l.insert(v(0));
+        l.insert(v(1));
+        l.insert(v(2));
+        l.lookup(v(0).key); // v(0) becomes MRU; LRU is v(1)
+        match l.insert(v(3)) {
+            LdsInsert::Inserted { evicted: Some(e) } => assert_eq!(e.key, v(1).key),
+            other => panic!("expected eviction of v1: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn three_way_associativity_with_lru() {
+        let mut l = lds();
+        let n = l.segment_count() as u64;
+        // Four VPNs mapping to segment 5.
+        let v = |i: u64| tx(5 + i * n);
+        l.insert(v(0));
+        l.insert(v(1));
+        l.insert(v(2));
+        assert_eq!(l.resident(), 3);
+        // LRU is v(0); inserting v(3) evicts it.
+        match l.insert(v(3)) {
+            LdsInsert::Inserted { evicted: Some(e) } => assert_eq!(e.key, v(0).key),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert_eq!(l.resident(), 3);
+    }
+
+    #[test]
+    fn app_mode_bypasses_and_drops() {
+        let mut l = lds();
+        let t = tx(3);
+        l.insert(t);
+        // Allocation covering segment 3 (bytes [96,128)).
+        l.on_app_allocate(0, 256); // segments 0..8
+        assert_eq!(l.resident(), 0, "app overwrite drops translations");
+        assert_eq!(l.stats().overwritten_by_app, 1);
+        assert_eq!(l.insert(t), LdsInsert::Bypassed);
+        assert_eq!(l.segment_mode(t.key), SegmentMode::App);
+        // Release frees the capacity again.
+        l.on_app_release(0, 256);
+        assert!(matches!(l.insert(t), LdsInsert::Inserted { .. }));
+    }
+
+    #[test]
+    fn compression_conflict_evicts_and_rebases() {
+        let mut l = lds();
+        let n = l.segment_count() as u64;
+        // Tags 0 and 1 coexist; tag 1<<20 cannot (16-bit delta).
+        l.insert(tx(7));
+        l.insert(tx(7 + n));
+        let far = tx(7 + (1 << 20) * n);
+        match l.insert(far) {
+            LdsInsert::Inserted { evicted: Some(_) } => {}
+            other => panic!("conflict should evict and forward one victim: {other:?}"),
+        }
+        assert_eq!(l.stats().compression_conflicts, 1);
+        assert_eq!(l.resident(), 1);
+        assert_eq!(l.lookup(far.key), Some(far));
+    }
+
+    #[test]
+    fn reinsert_refreshes_ppn() {
+        let mut l = lds();
+        let k = TranslationKey::for_vpn(Vpn(9));
+        l.insert(Translation::new(k, Ppn(1)));
+        l.insert(Translation::new(k, Ppn(2)));
+        assert_eq!(l.resident(), 1);
+        assert_eq!(l.lookup(k).unwrap().ppn, Ppn(2));
+    }
+
+    #[test]
+    fn shootdown_removes_entry() {
+        let mut l = lds();
+        let t = tx(11);
+        l.insert(t);
+        assert!(l.shootdown(t.key));
+        assert!(!l.shootdown(t.key));
+        assert_eq!(l.lookup(t.key), None);
+        assert_eq!(l.stats().shootdowns, 1);
+    }
+
+    #[test]
+    fn mode_census_and_clear() {
+        let mut l = lds();
+        l.insert(tx(0));
+        l.on_app_allocate(512, 512);
+        let (_idle, app, txm) = l.mode_census();
+        assert_eq!(app, 16); // 512 bytes / 32
+        assert_eq!(txm, 1);
+        l.clear_tx();
+        let (_, app2, tx2) = l.mode_census();
+        assert_eq!(app2, 16, "clear_tx leaves app segments");
+        assert_eq!(tx2, 0);
+    }
+
+    #[test]
+    fn index_shift_spreads_strided_vpns() {
+        // VPNs all ≡ 3 (mod 8), as a home LDS sees under home hashing.
+        let mut plain = lds();
+        let mut shifted = TxLds::new(16 * 1024, SegmentSize::Bytes32).with_index_shift(3);
+        for i in 0..512u64 {
+            plain.insert(tx(3 + i * 8));
+            shifted.insert(tx(3 + i * 8));
+        }
+        assert!(plain.resident() < 256, "unshifted: 7/8 of segments unused");
+        assert_eq!(shifted.resident(), 512, "shifted: every VPN gets a slot");
+        assert_eq!(shifted.lookup(tx(3).key), Some(tx(3)));
+    }
+
+    #[test]
+    fn sixty_four_byte_segments_double_ways() {
+        let l = TxLds::new(16 * 1024, SegmentSize::Bytes64);
+        assert_eq!(l.segment_count(), 256);
+        assert_eq!(l.ways(), 6);
+        // Same total capacity in entries.
+        assert_eq!(l.segment_count() * l.ways(), 1536);
+    }
+
+    #[test]
+    fn sriov_identities_do_not_alias() {
+        use gtr_vm::addr::{VmId, VrfId};
+        let mut l = lds();
+        let mk = |vm: u8, vrf: u8| TranslationKey {
+            vpn: Vpn(7),
+            vmid: VmId::new(vm),
+            vrf: VrfId::new(vrf),
+        };
+        l.insert(Translation::new(mk(0, 0), Ppn(1)));
+        l.insert(Translation::new(mk(1, 1), Ppn(2)));
+        assert_eq!(l.lookup(mk(0, 0)).unwrap().ppn, Ppn(1));
+        assert_eq!(l.lookup(mk(1, 1)).unwrap().ppn, Ppn(2));
+        assert_eq!(l.lookup(mk(1, 0)), None, "unseen identity must miss");
+        assert!(l.shootdown(mk(0, 0)));
+        assert_eq!(l.lookup(mk(0, 0)), None);
+        assert!(l.lookup(mk(1, 1)).is_some(), "other identity survives");
+    }
+
+    #[test]
+    fn iter_reports_residents() {
+        let mut l = lds();
+        l.insert(tx(1));
+        l.insert(tx(2));
+        assert_eq!(l.iter().count(), 2);
+    }
+}

@@ -1,0 +1,210 @@
+//! Run-level measurements: everything the paper's figures report.
+
+use gtr_sim::stats::{FiveNumberSummary, HitMiss, Sampler};
+
+/// Per-kernel measurement record (Figs 5a and 11).
+#[derive(Debug, Clone)]
+pub struct KernelStats {
+    /// Kernel name.
+    pub name: String,
+    /// Cycles this launch took.
+    pub cycles: u64,
+    /// Ops (instructions) executed.
+    pub instructions: u64,
+    /// Page walks during this launch.
+    pub page_walks: u64,
+    /// Mean I-cache utilization (Eq 1) across instances, in percent.
+    pub icache_utilization_pct: f64,
+    /// LDS bytes requested per workgroup in this launch.
+    pub lds_bytes_per_wg: u32,
+}
+
+/// Everything measured over one application run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Application name.
+    pub app: String,
+    /// End-to-end cycles.
+    pub total_cycles: u64,
+    /// Total wavefront ops executed.
+    pub instructions: u64,
+    /// Thread-level instructions (`instructions` × threads per wave) —
+    /// the denominator of Table 2's PTW-PKI.
+    pub thread_instructions: u64,
+    /// Translation requests issued to the L1 TLBs (post-coalescing).
+    pub translation_requests: u64,
+    /// L1 TLB hits/misses aggregated over CUs.
+    pub l1_tlb: HitMiss,
+    /// L2 TLB hits/misses.
+    pub l2_tlb: HitMiss,
+    /// Reconfigurable-LDS lookup hits/misses.
+    pub lds_tx: HitMiss,
+    /// Reconfigurable-I-cache lookup hits/misses.
+    pub ic_tx: HitMiss,
+    /// Instruction-fetch hits/misses at the I-caches.
+    pub inst_fetch: HitMiss,
+    /// Page walks completed by the IOMMU.
+    pub page_walks: u64,
+    /// PTE memory accesses issued by walks.
+    pub pte_accesses: u64,
+    /// IOMMU device-L1 TLB hits/misses.
+    pub dev_l1_tlb: HitMiss,
+    /// IOMMU device-L2 TLB hits/misses.
+    pub dev_l2_tlb: HitMiss,
+    /// Page-walk-cache hits/misses, deepest level (PMD).
+    pub pwc_pmd: HitMiss,
+    /// DRAM reads + writes.
+    pub dram_accesses: u64,
+    /// Total DRAM energy in nanojoules (Fig 13c numerator).
+    pub dram_energy_nj: f64,
+    /// Peak translations resident in LDS+I-cache (Fig 15).
+    pub peak_tx_entries: usize,
+    /// Fraction of distinct translated VPNs requested by ≥2 CUs
+    /// (Fig 14a).
+    pub tx_shared_fraction: f64,
+    /// Per-kernel records, in launch order (Fig 11).
+    pub kernels: Vec<KernelStats>,
+    /// Distribution of per-workgroup LDS requests (Fig 4a).
+    pub lds_request_summary: FiveNumberSummary,
+    /// Distribution of idle cycles between LDS port accesses (Fig 4b).
+    pub lds_idle_summary: FiveNumberSummary,
+    /// Distribution of idle cycles between I-cache port accesses
+    /// (Fig 5b).
+    pub icache_idle_summary: FiveNumberSummary,
+    /// Distribution of per-kernel I-cache utilization (Fig 5a).
+    pub icache_utilization_summary: FiveNumberSummary,
+}
+
+impl RunStats {
+    /// Page-table walks per thousand *thread* instructions (Table 2's
+    /// PTW-PKI).
+    pub fn ptw_pki(&self) -> f64 {
+        if self.thread_instructions == 0 {
+            0.0
+        } else {
+            self.page_walks as f64 * 1000.0 / self.thread_instructions as f64
+        }
+    }
+
+    /// Table 2 application category by PTW-PKI: High ≥ 20, Medium ≥ 1,
+    /// else Low.
+    pub fn category(&self) -> AppCategory {
+        let pki = self.ptw_pki();
+        if pki >= 20.0 {
+            AppCategory::High
+        } else if pki >= 1.0 {
+            AppCategory::Medium
+        } else {
+            AppCategory::Low
+        }
+    }
+
+    /// Overall L1 TLB hit ratio.
+    pub fn l1_hit_ratio(&self) -> f64 {
+        self.l1_tlb.hit_ratio()
+    }
+
+    /// Overall L2 TLB hit ratio (of requests that reached it).
+    pub fn l2_hit_ratio(&self) -> f64 {
+        self.l2_tlb.hit_ratio()
+    }
+
+    /// Victim-structure hits (LDS + I-cache).
+    pub fn victim_hits(&self) -> u64 {
+        self.lds_tx.hits + self.ic_tx.hits
+    }
+
+    /// Summary of per-kernel utilization samples as a sampler (useful
+    /// for harnesses that need quantiles).
+    pub fn kernel_utilization_sampler(&self) -> Sampler {
+        let mut s = Sampler::new();
+        for k in &self.kernels {
+            s.record(k.icache_utilization_pct);
+        }
+        s
+    }
+}
+
+/// Table 2's High/Medium/Low PTW-PKI classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppCategory {
+    /// ≥ 20 walks per kilo-instruction.
+    High,
+    /// 1–20 walks per kilo-instruction.
+    Medium,
+    /// < 1 walk per kilo-instruction.
+    Low,
+}
+
+impl std::fmt::Display for AppCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppCategory::High => write!(f, "H"),
+            AppCategory::Medium => write!(f, "M"),
+            AppCategory::Low => write!(f, "L"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ptw_pki_and_category() {
+        let mut s = RunStats {
+            instructions: 1_000,
+            thread_instructions: 1_000,
+            page_walks: 40,
+            ..Default::default()
+        };
+        assert!((s.ptw_pki() - 40.0).abs() < 1e-9);
+        assert_eq!(s.category(), AppCategory::High);
+        s.page_walks = 5;
+        assert_eq!(s.category(), AppCategory::Medium);
+        s.page_walks = 0;
+        assert_eq!(s.category(), AppCategory::Low);
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let s = RunStats::default();
+        assert_eq!(s.ptw_pki(), 0.0);
+        assert_eq!(s.victim_hits(), 0);
+        assert_eq!(s.l1_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn category_display() {
+        assert_eq!(AppCategory::High.to_string(), "H");
+        assert_eq!(AppCategory::Medium.to_string(), "M");
+        assert_eq!(AppCategory::Low.to_string(), "L");
+    }
+
+    #[test]
+    fn kernel_sampler_collects_utilization() {
+        let s = RunStats {
+            kernels: vec![
+                KernelStats {
+                    name: "a".into(),
+                    cycles: 1,
+                    instructions: 1,
+                    page_walks: 0,
+                    icache_utilization_pct: 30.0,
+                    lds_bytes_per_wg: 0,
+                },
+                KernelStats {
+                    name: "b".into(),
+                    cycles: 1,
+                    instructions: 1,
+                    page_walks: 0,
+                    icache_utilization_pct: 70.0,
+                    lds_bytes_per_wg: 0,
+                },
+            ],
+            ..Default::default()
+        };
+        let mut sampler = s.kernel_utilization_sampler();
+        assert_eq!(sampler.median(), 50.0);
+    }
+}

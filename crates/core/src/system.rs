@@ -1,0 +1,1208 @@
+//! The full GPU system simulator.
+//!
+//! Executes an [`AppTrace`] on the Table-1 machine with the
+//! reconfigurable translation-reach architecture switched on or off,
+//! producing the [`RunStats`] behind every figure of the paper.
+//!
+//! ## Timing model
+//!
+//! Resource-reservation discrete-event simulation: wavefronts advance
+//! through their op streams, and each component (SIMD issue pipelines,
+//! LDS/I-cache ports, TLB ports, IOMMU walkers, DRAM banks) answers
+//! "when is this request done?" while recording its own occupancy.
+//! Functional state (cache/TLB contents) updates in event order, which
+//! — together with seeded workload generation — makes runs bit-for-bit
+//! reproducible.
+//!
+//! ## Translation path (the paper's Fig 12)
+//!
+//! ```text
+//! coalesced VPN -> L1 TLB (108cy)
+//!     miss -> reconfigurable LDS  (35+1+4 cy, private per CU)
+//!     miss -> reconfigurable IC   (20+16+1+4 cy, shared per 4 CUs)
+//!     miss -> L2 TLB (188cy, GPU-shared)
+//!     miss -> [side cache, e.g. DUCATI]
+//!     miss -> IOMMU (device TLBs, PWCs, 32 walkers, DRAM PTE reads)
+//! ```
+//!
+//! A victim-structure or L2 hit promotes the entry to the L1 TLB; the
+//! displaced L1 victim re-enters the Fig-12 fill flow.
+
+use std::collections::HashMap;
+
+use gtr_gpu::config::GpuConfig;
+use gtr_gpu::dispatch::{Dispatcher, Placement};
+use gtr_gpu::kernel::{AppTrace, KernelDesc, INSTS_PER_LINE};
+use gtr_gpu::lds::LdsAllocator;
+use gtr_gpu::ops::Op;
+use gtr_mem::cache::Cache;
+use gtr_mem::system::MemorySystem;
+use gtr_sim::event::EventQueue;
+use gtr_sim::resource::{Pipeline, Server, Timeline, TrackedPort};
+use gtr_sim::stats::Sampler;
+use gtr_sim::Cycle;
+use gtr_vm::addr::{Ppn, Translation, TranslationKey, VirtAddr, Vpn};
+use gtr_vm::coalescer::CoalescedAccess;
+use gtr_vm::iommu::Iommu;
+use gtr_vm::page_table::PageTable;
+use gtr_vm::tlb::Tlb;
+use gtr_vm::walk::PteAccess;
+
+use crate::config::ReachConfig;
+use crate::driver::{DriverSchedule, ShootdownReport};
+use crate::icache_tx::TxIcache;
+use crate::lds_tx::TxLds;
+use crate::stats::{KernelStats, RunStats};
+use crate::victim;
+
+/// Physical region instruction code occupies (disjoint from data
+/// frames and page-table nodes).
+const CODE_PHYS_BASE_LINE: u64 = (1u64 << 45) / 64;
+
+/// An additional translation repository consulted between the L2 TLB
+/// and the IOMMU (DUCATI implements this in `gtr-ducati`).
+pub trait TranslationSideCache: std::fmt::Debug {
+    /// Looks up `key` starting at `now`; returns `(done, ppn)` on hit.
+    fn lookup(
+        &mut self,
+        now: Cycle,
+        key: TranslationKey,
+        mem: &mut MemorySystem,
+    ) -> Option<(Cycle, Ppn)>;
+
+    /// Stores an L2-TLB victim.
+    fn fill(&mut self, now: Cycle, tx: Translation, mem: &mut MemorySystem);
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+struct PteMem<'a>(&'a mut MemorySystem);
+
+impl PteAccess for PteMem<'_> {
+    fn access(&mut self, now: Cycle, addr: gtr_vm::addr::PhysAddr) -> Cycle {
+        self.0.read(now, addr.raw())
+    }
+}
+
+/// Per-CU state.
+#[derive(Debug)]
+struct Cu {
+    l1_tlb: Tlb,
+    l1_port: Server,
+    pending: HashMap<TranslationKey, (Cycle, Ppn)>,
+    l1d: Cache,
+    tx_lds: TxLds,
+    lds_port: TrackedPort,
+    simds: Vec<Pipeline>,
+    next_simd: usize,
+}
+
+/// Runtime state of one in-flight wavefront.
+#[derive(Debug, Clone)]
+struct WaveRt {
+    wg_rt: usize,
+    kernel_wg: usize,
+    wave_idx: usize,
+    cu: usize,
+    simd: usize,
+    op_idx: usize,
+    inst_idx: u64,
+    cur_line: Option<u64>,
+}
+
+/// Runtime state of one in-flight workgroup.
+#[derive(Debug, Clone)]
+struct WgRt {
+    placement: Placement,
+    lds_block: Option<(u32, u32)>,
+    waves_total: usize,
+    waves_done: usize,
+    barrier_arrived: usize,
+    parked: Vec<usize>,
+}
+
+/// The complete simulated system.
+#[derive(Debug)]
+pub struct System {
+    gpu: GpuConfig,
+    reach: ReachConfig,
+    /// One page table per 2-bit address space (§7.2 multi-application
+    /// scenarios); single-app traces only touch space 0.
+    page_tables: Vec<PageTable>,
+    iommu: Iommu,
+    l2_tlb: Tlb,
+    l2_port: Timeline,
+    mem: MemorySystem,
+    icaches: Vec<TxIcache>,
+    /// One fill engine per I-cache group: instruction misses serialize
+    /// here (a fetch unit has a single outstanding-miss register), so a
+    /// policy that lets translations evict hot code pays with front-end
+    /// bandwidth — the effect behind Fig 13a's naive-replacement bar.
+    fetch_fill: Vec<Timeline>,
+    cus: Vec<Cu>,
+    lds_allocs: Vec<LdsAllocator>,
+    dispatcher: Dispatcher,
+    side_cache: Option<Box<dyn TranslationSideCache>>,
+    driver: DriverSchedule,
+    next_driver_event: usize,
+    shootdown_report: ShootdownReport,
+    // measurement
+    translation_requests: u64,
+    merged_requests: u64,
+    tx_latency_sum: u64,
+    tx_latency_max: u64,
+    op_latency_sum: u64,
+    op_count: u64,
+    fetch_wait_sum: u64,
+    fetch_count: u64,
+    path_stats: [(u64, u64); 6], // (count, latency sum) per resolution path
+    instructions: u64,
+    vpn_cus: HashMap<u64, u8>,
+    peak_tx_entries: usize,
+    sample_countdown: u32,
+    code_bases: HashMap<String, u64>,
+    next_code_line: u64,
+}
+
+impl System {
+    /// Builds a cold system from a machine configuration and a
+    /// reconfigurable-architecture configuration.
+    pub fn new(gpu: GpuConfig, reach: ReachConfig) -> Self {
+        let cus = (0..gpu.cus)
+            .map(|_| Cu {
+                l1_tlb: Tlb::new(gpu.l1_tlb),
+                l1_port: Server::new(1),
+                pending: HashMap::new(),
+                l1d: Cache::new(gpu.l1d),
+                tx_lds: TxLds::new(gpu.lds_bytes, reach.segment_size).with_index_shift(
+                    if reach.lds_home_hashing {
+                        (gpu.cus as u32).trailing_zeros()
+                    } else {
+                        0
+                    },
+                ),
+                lds_port: TrackedPort::new(),
+                simds: (0..gpu.simds_per_cu).map(|_| Pipeline::new(4, 4)).collect(),
+                next_simd: 0,
+            })
+            .collect();
+        let icaches = (0..gpu.icache_count())
+            .map(|_| {
+                TxIcache::new(gpu.icache_bytes, gpu.icache_assoc, reach.tx_per_line, reach.replacement)
+            })
+            .collect();
+        Self {
+            page_tables: (0..4)
+                .map(|i| {
+                    PageTable::with_ids(
+                        gpu.page_size,
+                        gtr_vm::addr::VmId::new(i),
+                        gtr_vm::addr::VrfId::default(),
+                    )
+                })
+                .collect(),
+            iommu: Iommu::new(gpu.iommu),
+            l2_tlb: Tlb::new(gpu.l2_tlb),
+            l2_port: Timeline::new(),
+            mem: MemorySystem::new(gpu.memory),
+            fetch_fill: (0..gpu.icache_count()).map(|_| Timeline::new()).collect(),
+            icaches,
+            cus,
+            lds_allocs: (0..gpu.cus).map(|_| LdsAllocator::new(gpu.lds_bytes)).collect(),
+            dispatcher: Dispatcher::new(gpu.cus, gpu.waves_per_cu()),
+            side_cache: None,
+            driver: DriverSchedule::new(),
+            next_driver_event: 0,
+            shootdown_report: ShootdownReport::default(),
+            translation_requests: 0,
+            merged_requests: 0,
+            tx_latency_sum: 0,
+            tx_latency_max: 0,
+            op_latency_sum: 0,
+            op_count: 0,
+            fetch_wait_sum: 0,
+            fetch_count: 0,
+            path_stats: [(0, 0); 6],
+            instructions: 0,
+            vpn_cus: HashMap::new(),
+            peak_tx_entries: 0,
+            sample_countdown: 4096,
+            code_bases: HashMap::new(),
+            next_code_line: CODE_PHYS_BASE_LINE,
+            gpu,
+            reach,
+        }
+    }
+
+    /// Attaches a side translation cache (DUCATI).
+    pub fn with_side_cache(mut self, sc: Box<dyn TranslationSideCache>) -> Self {
+        self.side_cache = Some(sc);
+        self
+    }
+
+    /// Attaches a driver schedule of runtime page migrations with TLB
+    /// shootdowns (§7.1).
+    pub fn with_driver_schedule(mut self, schedule: DriverSchedule) -> Self {
+        self.driver = schedule;
+        self
+    }
+
+    /// Counters from executed driver events.
+    pub fn shootdown_report(&self) -> ShootdownReport {
+        self.shootdown_report
+    }
+
+    /// Verifies that every translation cached anywhere (L1 TLBs, L2
+    /// TLB, reconfigurable LDS and I-cache) agrees with the current
+    /// page tables. After the shootdown protocol has run, no stale
+    /// frame may survive. Returns the number of entries checked.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first incoherent entry (debugging aid; used by the
+    /// integration tests).
+    pub fn check_translation_coherence(&self) -> usize {
+        let mut checked = 0;
+        let check = |tx: Translation| {
+            let table = &self.page_tables[tx.key.vmid.raw() as usize];
+            let current = table.translate(tx.key.vpn);
+            assert_eq!(
+                current,
+                Some(tx.ppn),
+                "stale translation cached for {}: cached {:?}, table {:?}",
+                tx.key,
+                tx.ppn,
+                current
+            );
+        };
+        for cu in &self.cus {
+            for tx in cu.l1_tlb.iter() {
+                check(tx);
+                checked += 1;
+            }
+            for tx in cu.tx_lds.iter() {
+                check(tx);
+                checked += 1;
+            }
+        }
+        for tx in self.l2_tlb.iter() {
+            check(tx);
+            checked += 1;
+        }
+        for ic in &self.icaches {
+            for tx in ic.iter_tx() {
+                check(tx);
+                checked += 1;
+            }
+        }
+        checked
+    }
+
+    /// Executes every driver event whose trigger has passed: migrate
+    /// the pages in their page tables and invalidate the stale
+    /// translations in the L1 TLBs, the L2 TLB, the IOMMU, and the
+    /// reconfigurable LDS/I-cache structures.
+    fn run_driver_events(&mut self) {
+        while self.next_driver_event < self.driver.events().len()
+            && self.driver.events()[self.next_driver_event].after_translations
+                <= self.translation_requests
+        {
+            let event = self.driver.events()[self.next_driver_event].clone();
+            self.next_driver_event += 1;
+            self.shootdown_report.events += 1;
+            for (vmid, vpn) in &event.pages {
+                if self.page_tables[vmid.raw() as usize].migrate(*vpn).is_none() {
+                    continue; // page was never touched: nothing to shoot down
+                }
+                self.shootdown_report.pages_migrated += 1;
+                let key = TranslationKey {
+                    vpn: *vpn,
+                    vmid: *vmid,
+                    vrf: gtr_vm::addr::VrfId::default(),
+                };
+                for cu in &mut self.cus {
+                    if cu.l1_tlb.invalidate(key) {
+                        self.shootdown_report.l1_hits += 1;
+                    }
+                    if cu.tx_lds.shootdown(key) {
+                        self.shootdown_report.lds_hits += 1;
+                    }
+                    cu.pending.remove(&key);
+                }
+                if self.l2_tlb.invalidate(key) {
+                    self.shootdown_report.l2_hits += 1;
+                }
+                for ic in &mut self.icaches {
+                    if ic.shootdown(key) {
+                        self.shootdown_report.ic_hits += 1;
+                    }
+                }
+                self.iommu.invalidate(key);
+            }
+        }
+    }
+
+    /// The machine configuration.
+    pub fn gpu_config(&self) -> &GpuConfig {
+        &self.gpu
+    }
+
+    /// The reconfigurable-architecture configuration.
+    pub fn reach_config(&self) -> &ReachConfig {
+        &self.reach
+    }
+
+    /// Pre-maps `pages` consecutive pages starting at `start` in
+    /// address space 0 (demand mapping also happens automatically
+    /// during the run).
+    pub fn map_footprint(&mut self, start: VirtAddr, pages: u64) {
+        self.page_tables[0].map_range(start, pages);
+    }
+
+    /// Pre-maps a footprint in a specific address space (§7.2).
+    pub fn map_footprint_in(&mut self, vm: gtr_vm::addr::VmId, start: VirtAddr, pages: u64) {
+        self.page_tables[vm.raw() as usize].map_range(start, pages);
+    }
+
+    /// Executes the application end-to-end and returns the run's
+    /// measurements.
+    pub fn run(&mut self, app: &AppTrace) -> RunStats {
+        let mut t: Cycle = 0;
+        let mut kernels_out: Vec<KernelStats> = Vec::with_capacity(app.kernels().len());
+        let mut prev_kernel: Option<String> = None;
+        for kernel in app.kernels() {
+            let walks_before = self.iommu.walks();
+            let insts_before = self.instructions;
+            for ic in &mut self.icaches {
+                ic.begin_kernel();
+            }
+            if self.reach.flush_opt
+                && self.reach.icache_enabled
+                && prev_kernel.as_deref() != Some(kernel.name())
+            {
+                for ic in &mut self.icaches {
+                    ic.flush_instructions();
+                }
+            }
+            let end = self.run_kernel(t, kernel);
+            let util = self
+                .icaches
+                .iter()
+                .map(TxIcache::end_kernel_utilization)
+                .sum::<f64>()
+                / self.icaches.len() as f64;
+            kernels_out.push(KernelStats {
+                name: kernel.name().to_string(),
+                cycles: end - t,
+                instructions: self.instructions - insts_before,
+                page_walks: self.iommu.walks() - walks_before,
+                icache_utilization_pct: util,
+                lds_bytes_per_wg: kernel.lds_bytes_per_wg(),
+            });
+            t = end;
+            prev_kernel = Some(kernel.name().to_string());
+            self.sample_peak_entries();
+        }
+        self.finalize(app, t, kernels_out)
+    }
+
+    fn code_base(&mut self, kernel: &KernelDesc) -> u64 {
+        if let Some(&b) = self.code_bases.get(kernel.name()) {
+            return b;
+        }
+        let base = self.next_code_line;
+        // 16 KB of slack between kernels' code regions.
+        self.next_code_line += kernel.code_lines() as u64 + 256;
+        self.code_bases.insert(kernel.name().to_string(), base);
+        base
+    }
+
+    fn run_kernel(&mut self, start: Cycle, kernel: &KernelDesc) -> Cycle {
+        if kernel.total_waves() == 0 {
+            return start;
+        }
+        let code_base = self.code_base(kernel);
+        let mut waves: Vec<WaveRt> = Vec::new();
+        let mut wgs: Vec<WgRt> = Vec::new();
+        let mut events: EventQueue<usize> = EventQueue::with_capacity(kernel.total_waves());
+        let mut next_wg = 0usize;
+        let mut t_end = start;
+
+        let dispatch = |s: &mut Self,
+                            now: Cycle,
+                            next_wg: &mut usize,
+                            waves: &mut Vec<WaveRt>,
+                            wgs: &mut Vec<WgRt>,
+                            events: &mut EventQueue<usize>| {
+            while *next_wg < kernel.workgroups().len() {
+                let wg_desc = &kernel.workgroups()[*next_wg];
+                if wg_desc.wave_count() == 0 {
+                    *next_wg += 1;
+                    continue;
+                }
+                assert!(
+                    wg_desc.wave_count() <= s.gpu.waves_per_cu(),
+                    "workgroup of {} waves can never fit a CU with {} slots",
+                    wg_desc.wave_count(),
+                    s.gpu.waves_per_cu()
+                );
+                assert!(
+                    kernel.lds_bytes_per_wg() <= s.gpu.lds_bytes,
+                    "workgroup requests {} B of LDS but a CU has {} B",
+                    kernel.lds_bytes_per_wg(),
+                    s.gpu.lds_bytes
+                );
+                let Some(p) = s.dispatcher.try_place(
+                    wg_desc.wave_count(),
+                    kernel.lds_bytes_per_wg(),
+                    &mut s.lds_allocs,
+                ) else {
+                    break;
+                };
+                let lds_block = p.lds.and_then(|id| {
+                    s.lds_allocs[p.cu].block(id).map(|b| (b.base, b.size))
+                });
+                if let Some((base, size)) = lds_block {
+                    s.cus[p.cu].tx_lds.on_app_allocate(base, size);
+                }
+                // Dispatch-time code warm-up: the command processor
+                // prefetches the kernel's first lines into the group's
+                // I-cache while the waves are being launched, so a
+                // post-flush cold start does not stall the first ops.
+                let ic_idx = p.cu / s.gpu.cus_per_icache;
+                for l in 0..8u64.min(kernel.code_lines() as u64) {
+                    if s.icaches[ic_idx].prefetch(code_base + l) {
+                        s.mem.read(now, (code_base + l) * 64);
+                    }
+                }
+                let wg_rt = wgs.len();
+                wgs.push(WgRt {
+                    placement: p,
+                    lds_block,
+                    waves_total: wg_desc.wave_count(),
+                    waves_done: 0,
+                    barrier_arrived: 0,
+                    parked: Vec::new(),
+                });
+                for wave_idx in 0..wg_desc.wave_count() {
+                    let simd = s.cus[p.cu].next_simd;
+                    s.cus[p.cu].next_simd = (simd + 1) % s.gpu.simds_per_cu;
+                    let id = waves.len();
+                    waves.push(WaveRt {
+                        wg_rt,
+                        kernel_wg: *next_wg,
+                        wave_idx,
+                        cu: p.cu,
+                        simd,
+                        op_idx: 0,
+                        inst_idx: 0,
+                        cur_line: None,
+                    });
+                    events.push(now, id);
+                }
+                *next_wg += 1;
+            }
+        };
+
+        dispatch(self, start, &mut next_wg, &mut waves, &mut wgs, &mut events);
+
+        let mut lane_buf: Vec<VirtAddr> = Vec::with_capacity(self.gpu.threads_per_wave);
+        while let Some((now, wave_id)) = events.pop() {
+            let finished =
+                self.step_wave(now, wave_id, kernel, code_base, &mut waves, &mut wgs, &mut events, &mut lane_buf);
+            if let Some(done_at) = finished {
+                t_end = t_end.max(done_at);
+                let wg_rt = waves[wave_id].wg_rt;
+                let wg = &mut wgs[wg_rt];
+                wg.waves_done += 1;
+                if wg.waves_done == wg.waves_total {
+                    if let Some((base, size)) = wg.lds_block {
+                        self.cus[wg.placement.cu].tx_lds.on_app_release(base, size);
+                    }
+                    let placement = wg.placement;
+                    let total = wg.waves_total;
+                    self.dispatcher.complete(placement, total, &mut self.lds_allocs);
+                    dispatch(self, done_at, &mut next_wg, &mut waves, &mut wgs, &mut events);
+                }
+            }
+        }
+        debug_assert_eq!(next_wg, kernel.workgroups().len(), "all workgroups dispatched");
+        t_end
+    }
+
+    /// Advances one wavefront from `now`; returns `Some(t)` when the
+    /// wave retired at cycle `t`.
+    #[allow(clippy::too_many_arguments)]
+    fn step_wave(
+        &mut self,
+        now: Cycle,
+        wave_id: usize,
+        kernel: &KernelDesc,
+        code_base: u64,
+        waves: &mut [WaveRt],
+        wgs: &mut [WgRt],
+        events: &mut EventQueue<usize>,
+        lane_buf: &mut Vec<VirtAddr>,
+    ) -> Option<Cycle> {
+        let mut t = now;
+        let mut budget = 64u32;
+        loop {
+            let (cu_idx, simd, op_idx, wg_rt) = {
+                let w = &waves[wave_id];
+                (w.cu, w.simd, w.op_idx, w.wg_rt)
+            };
+            let program =
+                kernel.workgroups()[waves[wave_id].kernel_wg].waves()[waves[wave_id].wave_idx].ops();
+            if op_idx >= program.len() {
+                return Some(t);
+            }
+            // Instruction fetch: each op consumes one instruction slot;
+            // the wave's IB holds one I-cache line.
+            let inst_idx = waves[wave_id].inst_idx;
+            let line = code_base + (inst_idx / INSTS_PER_LINE as u64) % kernel.code_lines() as u64;
+            if waves[wave_id].cur_line != Some(line) {
+                t = self.fetch_instruction(cu_idx, t, line, code_base, kernel.code_lines());
+                waves[wave_id].cur_line = Some(line);
+            }
+            waves[wave_id].inst_idx += 1;
+            self.instructions += 1;
+
+            let op = program[op_idx].clone();
+            waves[wave_id].op_idx += 1;
+            match op {
+                Op::Compute { latency } => {
+                    t = self.cus[cu_idx].simds[simd].issue(t) + latency as Cycle;
+                }
+                Op::Lds { .. } => {
+                    t = self.cus[cu_idx].simds[simd].issue(t);
+                    let occupancy = 2;
+                    let port_done = self.cus[cu_idx].lds_port.access(t, occupancy);
+                    t = port_done - occupancy + self.gpu.lds_latency;
+                }
+                Op::Barrier => {
+                    let wg = &mut wgs[wg_rt];
+                    wg.barrier_arrived += 1;
+                    if wg.barrier_arrived + wg.waves_done == wg.waves_total {
+                        // Last arrival releases everyone at its time.
+                        wg.barrier_arrived = 0;
+                        for parked in wg.parked.drain(..) {
+                            events.push(t, parked);
+                        }
+                        // This wave continues in place.
+                    } else {
+                        wg.parked.push(wave_id);
+                        return None;
+                    }
+                }
+                Op::Global { pattern, write } => {
+                    t = self.cus[cu_idx].simds[simd].issue(t);
+                    pattern.expand(lane_buf);
+                    let done = self.global_access(cu_idx, t, kernel.vm_id(), lane_buf, write);
+                    events.push(done, wave_id);
+                    return None;
+                }
+            }
+            budget -= 1;
+            if budget == 0 {
+                events.push(t, wave_id);
+                return None;
+            }
+        }
+    }
+
+    fn fetch_instruction(
+        &mut self,
+        cu_idx: usize,
+        now: Cycle,
+        line: u64,
+        code_base: u64,
+        code_lines: u32,
+    ) -> Cycle {
+        let ic_idx = cu_idx / self.gpu.cus_per_icache;
+        let ic = &mut self.icaches[ic_idx];
+        let occupancy = 2;
+        let port_done = ic.port_mut().access(now, occupancy);
+        self.fetch_wait_sum += port_done - occupancy - now;
+        self.fetch_count += 1;
+        let t = port_done - occupancy + self.gpu.ic_tag_latency;
+        if ic.fetch(line) {
+            t
+        } else {
+            // Instruction miss: fill from the shared L2 / DRAM through
+            // the group's single fill engine (misses serialize), and
+            // run the next-line prefetcher (the `IC_prefetches` of
+            // Eq 1) three lines deep so a straight-line fetch stream
+            // misses once per four lines — fetch units race ahead of
+            // the instruction buffers on real GPUs.
+            let fill = self.mem.read(t, line * 64);
+            let duration = fill - t;
+            let start = self.fetch_fill[ic_idx].reserve(t, duration);
+            let done = start + duration;
+            for ahead in 1..=3u64 {
+                let next = code_base + (line - code_base + ahead) % code_lines as u64;
+                if next != line && self.icaches[ic_idx].prefetch(next) {
+                    // Prefetches consume memory bandwidth in the
+                    // background but do not block the wave.
+                    self.mem.read(t, next * 64);
+                }
+            }
+            done
+        }
+    }
+
+    fn global_access(
+        &mut self,
+        cu_idx: usize,
+        now: Cycle,
+        vm: gtr_vm::addr::VmId,
+        lanes: &[VirtAddr],
+        write: bool,
+    ) -> Cycle {
+        let page_size = self.gpu.page_size;
+        let mut coalesced = CoalescedAccess::from_lanes(lanes, page_size);
+        if !self.gpu.coalescing {
+            // Ablation: without the SIMT coalescer every lane issues
+            // its own translation request, duplicates included.
+            coalesced.pages = lanes.iter().map(|a| a.vpn(page_size)).collect();
+        }
+        // Demand-map the footprint (no fault cost: workloads model
+        // already-resident data).
+        let table = &mut self.page_tables[vm.raw() as usize];
+        for &vpn in &coalesced.pages {
+            if table.translate(vpn).is_none() {
+                table.map_vpn(vpn);
+            }
+        }
+        // Translate each unique page.
+        let mut page_done: Vec<(Vpn, Cycle, Ppn)> = Vec::with_capacity(coalesced.pages.len());
+        for &vpn in &coalesced.pages {
+            let key = TranslationKey { vpn, vmid: vm, vrf: gtr_vm::addr::VrfId::default() };
+            let (done, ppn) = self.translate(cu_idx, now, key);
+            page_done.push((vpn, done, ppn));
+        }
+        let mut max_tx = now;
+        for &(_, done, _) in &page_done {
+            max_tx = max_tx.max(done);
+        }
+        // Data accesses per unique line, dependent on their page's
+        // translation.
+        let mut op_done = now;
+        for &vline in &coalesced.lines {
+            let va = VirtAddr::new(vline * 64);
+            let vpn = va.vpn(page_size);
+            let &(_, tx_done, ppn) = page_done
+                .iter()
+                .find(|(p, _, _)| *p == vpn)
+                .expect("every line's page was translated");
+            let pa = ppn.base(page_size).raw() + va.page_offset(page_size);
+            let t0 = tx_done + self.cus[cu_idx].l1d.latency();
+            let res = self.cus[cu_idx].l1d.access(pa / 64, write);
+            let done = if res.hit {
+                t0
+            } else {
+                if let Some(victim_line) = res.writeback {
+                    self.mem.write(t0, victim_line * 64);
+                }
+                if write {
+                    self.mem.write(t0, pa)
+                } else {
+                    self.mem.read(t0, pa)
+                }
+            };
+            op_done = op_done.max(done);
+        }
+        for &(_, done, _) in &page_done {
+            op_done = op_done.max(done);
+        }
+        let _ = max_tx;
+        self.op_latency_sum += op_done - now;
+        self.op_count += 1;
+        op_done
+    }
+
+    fn translate(&mut self, cu_idx: usize, now: Cycle, key: TranslationKey) -> (Cycle, Ppn) {
+        if self.next_driver_event < self.driver.events().len() {
+            self.run_driver_events();
+        }
+        let (done, ppn, path) = self.translate_inner(cu_idx, now, key);
+        let lat = done.saturating_sub(now);
+        self.tx_latency_sum += lat;
+        self.tx_latency_max = self.tx_latency_max.max(lat);
+        self.path_stats[path].0 += 1;
+        self.path_stats[path].1 += lat;
+        (done, ppn)
+    }
+
+    /// The heart of the model: one translation request through the
+    /// Fig-12 lookup path.
+    fn translate_inner(&mut self, cu_idx: usize, now: Cycle, key: TranslationKey) -> (Cycle, Ppn, usize) {
+        // Split the borrow of `self` into disjoint component borrows.
+        let Self {
+            gpu,
+            reach,
+            page_tables,
+            iommu,
+            l2_tlb,
+            l2_port,
+            mem,
+            icaches,
+            cus,
+            side_cache,
+            translation_requests,
+            merged_requests,
+            vpn_cus,
+            peak_tx_entries,
+            sample_countdown,
+            ..
+        } = self;
+        *translation_requests += 1;
+        if *sample_countdown == 0 {
+            let resident: usize = cus.iter().map(|c| c.tx_lds.resident()).sum::<usize>()
+                + icaches.iter().map(TxIcache::resident_tx).sum::<usize>();
+            *peak_tx_entries = (*peak_tx_entries).max(resident);
+            *sample_countdown = 4096;
+        } else {
+            *sample_countdown -= 1;
+        }
+
+        let ic_idx = cu_idx / gpu.cus_per_icache;
+
+        let start = cus[cu_idx].l1_port.acquire(now, 1);
+        let t0 = start + gpu.l1_tlb.latency;
+        if let Some(tx) = cus[cu_idx].l1_tlb.lookup(key) {
+            // A hit on an entry whose miss is still in flight waits for it.
+            let done = cus[cu_idx].pending.get(&key).map_or(t0, |&(d, _)| t0.max(d));
+            return (done, tx.ppn, 0);
+        }
+        // L1 miss: sharing analysis tracks which CUs want each VPN.
+        *vpn_cus.entry(key.vpn.0).or_insert(0) |= 1 << (cu_idx % 8);
+        // Merge with an in-flight miss to the same page.
+        if let Some(&(d, ppn)) = cus[cu_idx].pending.get(&key) {
+            if d > t0 {
+                *merged_requests += 1;
+                return (d, ppn, 1);
+            }
+            cus[cu_idx].pending.remove(&key);
+        }
+
+        let mut t = t0;
+        // --- Reconfigurable LDS (looked up first: §4.4) ---
+        // The segment's mode bit is checked first (a 1-cycle MUX on the
+        // mode-bit array): only Tx-mode segments pay the full Tx access
+        // latency and consume LDS port bandwidth, so applications whose
+        // segments hold no translations see negligible overhead. Under
+        // home-node hashing the VPN's home CU is probed instead of the
+        // requester's own LDS, with a remote-hop penalty.
+        if reach.lds_enabled {
+            t += reach.mux_latency;
+            let home = Self::lds_home(reach, cus.len(), key, cu_idx);
+            let remote = if home == cu_idx { 0 } else { reach.lds_remote_latency };
+            if cus[home].tx_lds.segment_mode(key) == crate::lds_tx::SegmentMode::Tx {
+                let occupancy = 1;
+                let port_done = cus[home].lds_port.access(t + remote, occupancy);
+                t = port_done - occupancy + reach.lds_tx_lookup_latency() + remote;
+                if let Some(tx) = cus[home].tx_lds.lookup(key) {
+                    Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx);
+                    cus[cu_idx].pending.insert(key, (t, tx.ppn));
+                    return (t, tx.ppn, 2);
+                }
+            }
+        }
+        // --- Reconfigurable I-cache (shared by the CU group) ---
+        // Same mode-bit fast path for the direct-mapped line.
+        if reach.icache_enabled {
+            t += reach.mux_latency;
+            let ic = &mut icaches[ic_idx];
+            if ic.is_tx_line(key) {
+                let occupancy = 1;
+                let port_done = ic.port_mut().access(t, occupancy);
+                t = port_done - occupancy + reach.ic_tx_lookup_latency();
+                if let Some(tx) = ic.lookup_tx(key) {
+                    Self::promote(reach, cus, cu_idx, ic, l2_tlb, tx);
+                    cus[cu_idx].pending.insert(key, (t, tx.ppn));
+                    return (t, tx.ppn, 3);
+                }
+            }
+        }
+        // --- L2 TLB ---
+        let l2_start = l2_port.reserve(t, 1);
+        t = l2_start + 1 + gpu.l2_tlb.latency;
+        let page_table = &page_tables[key.vmid.raw() as usize];
+        if gpu.l2_tlb_perfect {
+            // Upper bound of Figs 2-3: every request hits in the L2 TLB.
+            let ppn = page_table
+                .translate(key.vpn)
+                .expect("footprint is demand-mapped before translation");
+            let tx = Translation::new(key, ppn);
+            l2_tlb.lookup(key); // count the access
+            Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx);
+            cus[cu_idx].pending.insert(key, (t, ppn));
+            return (t, ppn, 4);
+        }
+        if let Some(tx) = l2_tlb.lookup(key) {
+            Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx);
+            cus[cu_idx].pending.insert(key, (t, tx.ppn));
+            return (t, tx.ppn, 4);
+        }
+        // --- Side cache (DUCATI) ---
+        if let Some(sc) = side_cache.as_mut() {
+            if let Some((done, ppn)) = sc.lookup(t, key, mem) {
+                let tx = Translation::new(key, ppn);
+                if let Some(l2_victim) = l2_tlb.insert(tx) {
+                    sc.fill(done, l2_victim, mem);
+                }
+                Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx);
+                cus[cu_idx].pending.insert(key, (done, ppn));
+                return (done, ppn, 4);
+            }
+        }
+        // --- IOMMU page walk ---
+        let outcome = {
+            let mut pte = PteMem(mem);
+            iommu.translate(t, key, page_table, &mut pte)
+        };
+        let tx = outcome
+            .translation
+            .expect("footprint is demand-mapped before translation");
+        t = outcome.done;
+        if let Some(l2_victim) = l2_tlb.insert(tx) {
+            if let Some(sc) = side_cache.as_mut() {
+                sc.fill(t, l2_victim, mem);
+            }
+        }
+        if reach.fill_policy == crate::config::TxFillPolicy::PrefetchBuffer
+            && reach.any_enabled()
+        {
+            // Ablation (§4.1): prefetch the next two pages' translations
+            // into the reconfigurable structures instead of caching
+            // victims. Only already-mapped neighbours are prefetched.
+            for ahead in 1..=2u64 {
+                let nkey = TranslationKey { vpn: Vpn(key.vpn.0 + ahead), ..key };
+                if let Some(ppn) = page_table.translate(nkey.vpn) {
+                    let home = Self::lds_home(reach, cus.len(), nkey, cu_idx);
+                    victim::fill_l1_victim(
+                        reach,
+                        &mut cus[home].tx_lds,
+                        &mut icaches[ic_idx],
+                        l2_tlb,
+                        Translation::new(nkey, ppn),
+                    );
+                }
+            }
+        }
+        Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx);
+        cus[cu_idx].pending.insert(key, (t, tx.ppn));
+        if cus[cu_idx].pending.len() > 512 {
+            let horizon = now;
+            cus[cu_idx].pending.retain(|_, (d, _)| *d > horizon);
+        }
+        (t, tx.ppn, 5)
+    }
+
+    /// Installs `tx` into the CU's L1 TLB and routes the displaced
+    /// victim through the Fig-12 fill flow (fills happen off the
+    /// request's critical path). Under the prefetch-buffer ablation
+    /// victims skip the reconfigurable structures entirely.
+    fn promote(
+        reach: &ReachConfig,
+        cus: &mut [Cu],
+        cu_idx: usize,
+        ic: &mut TxIcache,
+        l2: &mut Tlb,
+        tx: Translation,
+    ) {
+        if let Some(victim) = cus[cu_idx].l1_tlb.insert(tx) {
+            match reach.fill_policy {
+                crate::config::TxFillPolicy::VictimCache => {
+                    let home = Self::lds_home(reach, cus.len(), victim.key, cu_idx);
+                    victim::fill_l1_victim(reach, &mut cus[home].tx_lds, ic, l2, victim);
+                }
+                crate::config::TxFillPolicy::PrefetchBuffer => {
+                    l2.insert(victim);
+                }
+            }
+        }
+    }
+
+    /// Which CU's LDS stores a translation: the requester's own under
+    /// the paper's design, or `vpn % CUs` under home-node hashing (the
+    /// duplication-limiting optimization the paper defers).
+    fn lds_home(reach: &ReachConfig, cus: usize, key: TranslationKey, requester: usize) -> usize {
+        if reach.lds_home_hashing {
+            (key.vpn.0 as usize) % cus
+        } else {
+            requester
+        }
+    }
+
+    fn sample_peak_entries(&mut self) {
+        let resident: usize = self.cus.iter().map(|c| c.tx_lds.resident()).sum::<usize>()
+            + self.icaches.iter().map(TxIcache::resident_tx).sum::<usize>();
+        self.peak_tx_entries = self.peak_tx_entries.max(resident);
+    }
+
+    fn finalize(&mut self, app: &AppTrace, t_end: Cycle, kernels: Vec<KernelStats>) -> RunStats {
+        self.sample_peak_entries();
+        let mut l1 = gtr_sim::stats::HitMiss::new();
+        let mut lds_tx = gtr_sim::stats::HitMiss::new();
+        let mut lds_req = Sampler::new();
+        let mut lds_idle = Sampler::new();
+        for (cu, alloc) in self.cus.iter().zip(&self.lds_allocs) {
+            l1.merge(cu.l1_tlb.stats());
+            lds_tx.merge(cu.tx_lds.stats().lookups);
+            for &v in alloc.request_sizes().samples() {
+                lds_req.record(v);
+            }
+            for &v in cu.lds_port.idle_gaps().samples() {
+                lds_idle.record(v);
+            }
+        }
+        let mut ic_tx = gtr_sim::stats::HitMiss::new();
+        let mut inst_fetch = gtr_sim::stats::HitMiss::new();
+        let mut ic_idle = Sampler::new();
+        for ic in &self.icaches {
+            ic_tx.merge(ic.stats().tx_lookups);
+            inst_fetch.merge(ic.stats().inst);
+            for &v in ic.port().idle_gaps().samples() {
+                ic_idle.record(v);
+            }
+        }
+        let mut util = Sampler::new();
+        for k in &kernels {
+            util.record(k.icache_utilization_pct);
+        }
+        let shared = if self.vpn_cus.is_empty() {
+            0.0
+        } else {
+            self.vpn_cus.values().filter(|m| m.count_ones() > 1).count() as f64
+                / self.vpn_cus.len() as f64
+        };
+        RunStats {
+            app: app.name().to_string(),
+            total_cycles: t_end,
+            instructions: self.instructions,
+            thread_instructions: self.instructions * self.gpu.threads_per_wave as u64,
+            translation_requests: self.translation_requests,
+            l1_tlb: l1,
+            l2_tlb: self.l2_tlb.stats(),
+            lds_tx,
+            ic_tx,
+            inst_fetch,
+            page_walks: self.iommu.walks(),
+            pte_accesses: self.iommu.stats().pte_accesses,
+            dev_l1_tlb: self.iommu.stats().dev_l1,
+            dev_l2_tlb: self.iommu.stats().dev_l2,
+            pwc_pmd: self.iommu.pwc_stats().2,
+            dram_accesses: self.mem.dram().reads() + self.mem.dram().writes(),
+            dram_energy_nj: self.mem.dram_energy_nj(t_end),
+            peak_tx_entries: self.peak_tx_entries,
+            tx_shared_fraction: shared,
+            kernels,
+            lds_request_summary: lds_req.five_number_summary(),
+            lds_idle_summary: lds_idle.five_number_summary(),
+            icache_idle_summary: ic_idle.five_number_summary(),
+            icache_utilization_summary: util.five_number_summary(),
+        }
+    }
+}
+
+impl System {
+    /// Diagnostic summary of component occupancy (for calibration and
+    /// bottleneck analysis; not part of the stable API surface).
+    pub fn debug_busy(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "l2_tlb_port intervals={} | walks={}\n",
+            self.l2_port.interval_count(),
+            self.iommu.walks(),
+        ));
+        for (i, cu) in self.cus.iter().enumerate() {
+            out.push_str(&format!(
+                "cu{i}: l1port busy={} req={} ldsport acc={} pending={}\n",
+                cu.l1_port.busy_cycles(),
+                cu.l1_port.requests(),
+                cu.lds_port.accesses(),
+                cu.pending.len(),
+            ));
+        }
+        for (i, ic) in self.icaches.iter().enumerate() {
+            out.push_str(&format!("ic{i}: port acc={}\n", ic.port().accesses()));
+        }
+        let names = ["l1hit", "merged", "lds", "ic", "l2", "walk"];
+        for (i, (c, sum)) in self.path_stats.iter().enumerate() {
+            if *c > 0 {
+                out.push_str(&format!("path {}: n={} avg={}\n", names[i], c, sum / c));
+            }
+        }
+        out.push_str(&format!(
+            "oplat avg={} n={} | fetchwait avg={} n={}\n",
+            self.op_latency_sum / self.op_count.max(1),
+            self.op_count,
+            self.fetch_wait_sum / self.fetch_count.max(1),
+            self.fetch_count,
+        ));
+        out.push_str(&format!(
+            "txlat avg={} max={}\n",
+            self.tx_latency_sum / self.translation_requests.max(1),
+            self.tx_latency_max,
+        ));
+        out.push_str(&format!(
+            "dram reads={} writes={} rowhit={:.2} | merged={} treq={}\n",
+            self.mem.dram().reads(),
+            self.mem.dram().writes(),
+            self.mem.dram().row_hit_rate(),
+            self.merged_requests,
+            self.translation_requests,
+        ));
+        out
+    }
+
+}
+
+/// Convenience: run `app` under `reach` on a default Table-1 machine.
+pub fn run_app(app: &AppTrace, reach: ReachConfig) -> RunStats {
+    System::new(GpuConfig::default(), reach).run(app)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtr_gpu::kernel::{WaveProgram, WorkgroupDesc};
+
+    fn simple_app(pages: u64, ops_per_wave: usize, waves: usize) -> AppTrace {
+        // Each op reads 64 lanes scattered over `pages` pages.
+        let mut progs = Vec::new();
+        for w in 0..waves {
+            let ops = (0..ops_per_wave)
+                .map(|i| {
+                    let base = ((w * ops_per_wave + i) as u64 * 64) % pages * 4096;
+                    Op::global_read_strided(base, 4096, 64)
+                })
+                .collect();
+            progs.push(WaveProgram::new(ops));
+        }
+        let wgs = progs
+            .chunks(4)
+            .map(|c| WorkgroupDesc::new(c.to_vec()))
+            .collect();
+        AppTrace::new("test", vec![KernelDesc::new("k", 8, 0, wgs)])
+    }
+
+    #[test]
+    fn runs_to_completion_and_counts() {
+        let app = simple_app(256, 4, 8);
+        let stats = run_app(&app, ReachConfig::baseline());
+        assert!(stats.total_cycles > 0);
+        assert_eq!(stats.instructions, app.total_ops());
+        assert!(stats.translation_requests > 0);
+        assert!(stats.page_walks > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let app = simple_app(512, 8, 16);
+        let a = run_app(&app, ReachConfig::ic_plus_lds());
+        let b = run_app(&app, ReachConfig::ic_plus_lds());
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.page_walks, b.page_walks);
+        assert_eq!(a.dram_accesses, b.dram_accesses);
+    }
+
+    #[test]
+    fn victim_structures_reduce_page_walks_when_thrashing() {
+        // Footprint far beyond L1 (32) and L2 (512) TLB reach, revisited
+        // repeatedly: the victim structures should capture the reuse.
+        let pages = 2048u64;
+        let mut progs = Vec::new();
+        for w in 0..16usize {
+            let mut ops = Vec::new();
+            for rep in 0..6 {
+                let _ = rep;
+                for i in 0..8usize {
+                    let first = (w * 8 + i) as u64 * 97 % pages;
+                    ops.push(Op::global_read_strided(first * 4096, 4096 * 8, 64));
+                }
+            }
+            progs.push(WaveProgram::new(ops));
+        }
+        let wgs = progs.chunks(4).map(|c| WorkgroupDesc::new(c.to_vec())).collect();
+        let app = AppTrace::new("thrash", vec![KernelDesc::new("k", 8, 0, wgs)]);
+        let base = run_app(&app, ReachConfig::baseline());
+        let reach = run_app(&app, ReachConfig::ic_plus_lds());
+        assert!(
+            reach.page_walks < base.page_walks,
+            "victim caching should cut walks: base={} reach={}",
+            base.page_walks,
+            reach.page_walks
+        );
+        assert!(reach.victim_hits() > 0);
+    }
+
+    #[test]
+    fn baseline_unaffected_structures_stay_empty() {
+        let app = simple_app(64, 2, 4);
+        let mut sys = System::new(GpuConfig::default(), ReachConfig::baseline());
+        let stats = sys.run(&app);
+        assert_eq!(stats.victim_hits(), 0);
+        assert_eq!(stats.peak_tx_entries, 0);
+    }
+
+    #[test]
+    fn lds_using_workgroups_block_tx_capacity() {
+        // One workgroup per CU holding the whole LDS: Tx inserts bypass.
+        let wave = WaveProgram::new(vec![
+            Op::lds_write(0),
+            Op::global_read_strided(0, 4096, 64),
+            Op::lds_read(0),
+        ]);
+        let wgs = (0..8).map(|_| WorkgroupDesc::new(vec![wave.clone()])).collect();
+        let app = AppTrace::new("ldsy", vec![KernelDesc::new("k", 4, 16 * 1024, wgs)]);
+        let stats = run_app(&app, ReachConfig::lds_only());
+        assert_eq!(stats.lds_tx.hits, 0, "whole LDS app-owned: no tx capacity");
+    }
+
+    #[test]
+    fn barrier_synchronizes_waves() {
+        let fast = WaveProgram::new(vec![Op::compute(1), Op::Barrier, Op::compute(1)]);
+        let slow = WaveProgram::new(vec![Op::compute(10_000), Op::Barrier, Op::compute(1)]);
+        let app = AppTrace::new(
+            "bar",
+            vec![KernelDesc::new("k", 1, 0, vec![WorkgroupDesc::new(vec![fast, slow])])],
+        );
+        let stats = run_app(&app, ReachConfig::baseline());
+        assert!(stats.total_cycles >= 10_000, "fast wave must wait at the barrier");
+    }
+
+    #[test]
+    fn larger_l2_tlb_reduces_walks() {
+        let app = simple_app(4096, 16, 32);
+        let small = System::new(GpuConfig::default(), ReachConfig::baseline()).run(&app);
+        let big = System::new(
+            GpuConfig::default().with_l2_tlb_entries(64 * 1024),
+            ReachConfig::baseline(),
+        )
+        .run(&app);
+        assert!(big.page_walks < small.page_walks);
+        // Cycle time may wobble slightly from second-order interleaving
+        // effects; allow 5% slack on top of the walk reduction.
+        assert!(big.total_cycles as f64 <= small.total_cycles as f64 * 1.05);
+    }
+
+    #[test]
+    fn kernel_stats_cover_all_launches() {
+        let k = |n: &str| {
+            KernelDesc::new(
+                n,
+                4,
+                0,
+                vec![WorkgroupDesc::new(vec![WaveProgram::new(vec![Op::compute(1)])])],
+            )
+        };
+        let app = AppTrace::new("multi", vec![k("a"), k("b"), k("a")]);
+        let stats = run_app(&app, ReachConfig::ic_plus_lds());
+        assert_eq!(stats.kernels.len(), 3);
+        assert_eq!(stats.kernels[0].name, "a");
+        assert!(stats.kernels.iter().all(|k| k.cycles > 0));
+    }
+}

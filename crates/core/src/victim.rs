@@ -1,0 +1,220 @@
+//! The translation fill and lookup flows of Figure 12.
+//!
+//! After an L1-TLB miss the reconfigurable structures are probed in
+//! LDS → I-cache order (LDS first: private and closer). On an L1-TLB
+//! eviction the victim tries the LDS segment for its VPN; if that
+//! segment is App-mode (or the LDS itself displaces a translation) the
+//! candidate continues to the direct-mapped I-cache line; whatever
+//! falls out of the I-cache (or bypasses it) lands in the L2 TLB.
+
+use gtr_vm::addr::{Translation, TranslationKey};
+use gtr_vm::tlb::Tlb;
+
+use crate::config::ReachConfig;
+use crate::icache_tx::{IcInsert, TxIcache};
+use crate::lds_tx::{LdsInsert, TxLds};
+
+/// Which reconfigurable structure produced a victim-cache hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimHit {
+    /// Hit in the CU's reconfigurable LDS.
+    Lds(Translation),
+    /// Hit in the CU group's reconfigurable I-cache.
+    Icache(Translation),
+}
+
+impl VictimHit {
+    /// The translation regardless of source.
+    pub fn translation(&self) -> Translation {
+        match *self {
+            VictimHit::Lds(t) | VictimHit::Icache(t) => t,
+        }
+    }
+}
+
+/// Probes the reconfigurable structures for `key` (Fig 12 lookup
+/// order). A hit returns a copy (the entry stays resident for the
+/// other CUs) — the caller promotes it into the L1 TLB and routes the
+/// displaced L1 victim through [`fill_l1_victim`].
+pub fn lookup_victim(
+    cfg: &ReachConfig,
+    lds: &mut TxLds,
+    icache: &mut TxIcache,
+    key: TranslationKey,
+) -> Option<VictimHit> {
+    if cfg.lds_enabled {
+        if let Some(t) = lds.lookup(key) {
+            return Some(VictimHit::Lds(t));
+        }
+    }
+    if cfg.icache_enabled {
+        if let Some(t) = icache.lookup_tx(key) {
+            return Some(VictimHit::Icache(t));
+        }
+    }
+    None
+}
+
+/// Routes an L1-TLB victim through the Fig 12 fill flow, terminating
+/// in the L2 TLB. Returns the number of structures the victim (or a
+/// displaced translation) was written into.
+pub fn fill_l1_victim(
+    cfg: &ReachConfig,
+    lds: &mut TxLds,
+    icache: &mut TxIcache,
+    l2_tlb: &mut Tlb,
+    victim: Translation,
+) -> usize {
+    let mut writes = 0;
+    // ❶→❷: try the LDS segment for this VPN.
+    let mut candidate = Some(victim);
+    if cfg.lds_enabled {
+        match lds.insert(victim) {
+            LdsInsert::Inserted { evicted } => {
+                writes += 1;
+                candidate = evicted; // ❹: LDS victim continues onward
+            }
+            LdsInsert::Bypassed => candidate = Some(victim), // ❸
+        }
+    }
+    // ❺: the surviving candidate tries its direct-mapped I-cache line.
+    let Some(cand) = candidate else { return writes };
+    let mut to_l2 = Some(cand);
+    if cfg.icache_enabled {
+        match icache.insert_tx(cand) {
+            IcInsert::Inserted { evicted } => {
+                writes += 1;
+                to_l2 = evicted; // ❻: I-cache victim falls to the L2 TLB
+            }
+            IcInsert::Bypassed => to_l2 = Some(cand),
+        }
+    }
+    // ❻: terminate in the L2 TLB (its own victim is simply dropped —
+    // there is nothing below it but the page tables).
+    if let Some(t) = to_l2 {
+        l2_tlb.insert(t);
+        writes += 1;
+    }
+    writes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Replacement, SegmentSize, TxPerLine};
+    use gtr_vm::addr::{Ppn, Vpn};
+    use gtr_vm::tlb::TlbConfig;
+
+    fn parts(cfg: &ReachConfig) -> (TxLds, TxIcache, Tlb) {
+        let _ = cfg;
+        (
+            TxLds::new(16 * 1024, SegmentSize::Bytes32),
+            TxIcache::new(16 * 1024, 8, TxPerLine::Eight, Replacement::InstructionAware),
+            Tlb::new(TlbConfig::set_associative(512, 16, 188)),
+        )
+    }
+
+    fn tx(v: u64) -> Translation {
+        Translation::new(TranslationKey::for_vpn(Vpn(v)), Ppn(v + 1))
+    }
+
+    #[test]
+    fn victim_lands_in_lds_first() {
+        let cfg = ReachConfig::ic_plus_lds();
+        let (mut lds, mut ic, mut l2) = parts(&cfg);
+        fill_l1_victim(&cfg, &mut lds, &mut ic, &mut l2, tx(42));
+        assert_eq!(lds.resident(), 1);
+        assert_eq!(ic.resident_tx(), 0);
+        assert!(l2.probe(tx(42).key).is_none());
+    }
+
+    #[test]
+    fn app_mode_segment_routes_to_icache() {
+        let cfg = ReachConfig::ic_plus_lds();
+        let (mut lds, mut ic, mut l2) = parts(&cfg);
+        lds.on_app_allocate(0, 16 * 1024); // whole LDS app-owned
+        fill_l1_victim(&cfg, &mut lds, &mut ic, &mut l2, tx(42));
+        assert_eq!(lds.resident(), 0);
+        assert_eq!(ic.resident_tx(), 1);
+    }
+
+    #[test]
+    fn ic_mode_line_routes_to_l2_tlb() {
+        let cfg = ReachConfig::ic_plus_lds();
+        let (mut lds, mut ic, mut l2) = parts(&cfg);
+        lds.on_app_allocate(0, 16 * 1024);
+        // Fill the whole I-cache with instructions so every line is IC-mode.
+        for set in 0..32u64 {
+            for way in 0..8u64 {
+                ic.fetch(set + way * 32);
+            }
+        }
+        fill_l1_victim(&cfg, &mut lds, &mut ic, &mut l2, tx(42));
+        assert_eq!(ic.resident_tx(), 0);
+        assert!(l2.probe(tx(42).key).is_some());
+    }
+
+    #[test]
+    fn lds_eviction_cascades_into_icache() {
+        let cfg = ReachConfig::ic_plus_lds();
+        let (mut lds, mut ic, mut l2) = parts(&cfg);
+        let n = lds.segment_count() as u64;
+        // Fill one LDS segment's 3 ways, then a 4th to the same segment.
+        for i in 0..3 {
+            fill_l1_victim(&cfg, &mut lds, &mut ic, &mut l2, tx(9 + i * n));
+        }
+        fill_l1_victim(&cfg, &mut lds, &mut ic, &mut l2, tx(9 + 3 * n));
+        assert_eq!(lds.resident(), 3);
+        assert_eq!(ic.resident_tx(), 1, "LDS LRU victim moved into the I-cache");
+        assert_eq!(ic.iter_tx().next().unwrap().key.vpn, Vpn(9));
+    }
+
+    #[test]
+    fn lds_only_terminates_in_l2() {
+        let cfg = ReachConfig::lds_only();
+        let (mut lds, mut ic, mut l2) = parts(&cfg);
+        lds.on_app_allocate(0, 16 * 1024);
+        fill_l1_victim(&cfg, &mut lds, &mut ic, &mut l2, tx(7));
+        assert_eq!(ic.resident_tx(), 0, "I-cache disabled");
+        assert!(l2.probe(tx(7).key).is_some());
+    }
+
+    #[test]
+    fn baseline_goes_straight_to_l2() {
+        let cfg = ReachConfig::baseline();
+        let (mut lds, mut ic, mut l2) = parts(&cfg);
+        let writes = fill_l1_victim(&cfg, &mut lds, &mut ic, &mut l2, tx(5));
+        assert_eq!(writes, 1);
+        assert_eq!(lds.resident(), 0);
+        assert_eq!(ic.resident_tx(), 0);
+        assert!(l2.probe(tx(5).key).is_some());
+    }
+
+    #[test]
+    fn lookup_order_lds_then_icache() {
+        let cfg = ReachConfig::ic_plus_lds();
+        let (mut lds, mut ic, _l2) = parts(&cfg);
+        let t = tx(3);
+        ic.insert_tx(t);
+        // Only in the I-cache: the LDS misses first, then the IC hits.
+        match lookup_victim(&cfg, &mut lds, &mut ic, t.key) {
+            Some(VictimHit::Icache(found)) => assert_eq!(found, t),
+            other => panic!("expected I-cache hit: {other:?}"),
+        }
+        // Present in both: the (private, closer) LDS answers first.
+        lds.insert(t);
+        match lookup_victim(&cfg, &mut lds, &mut ic, t.key) {
+            Some(VictimHit::Lds(found)) => assert_eq!(found, t),
+            other => panic!("expected LDS hit first: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_structures_never_hit() {
+        let cfg = ReachConfig::baseline();
+        let (mut lds, mut ic, _l2) = parts(&cfg);
+        lds.insert(tx(1));
+        ic.insert_tx(tx(1));
+        assert!(lookup_victim(&cfg, &mut lds, &mut ic, tx(1).key).is_none());
+    }
+}

@@ -1,0 +1,185 @@
+//! Baseline machine configuration (the paper's Table 1).
+
+use gtr_mem::cache::CacheConfig;
+use gtr_mem::system::MemorySystemConfig;
+use gtr_vm::addr::PageSize;
+use gtr_vm::iommu::IommuConfig;
+use gtr_vm::tlb::TlbConfig;
+
+/// Full baseline GPU configuration. Defaults reproduce Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Compute units.
+    pub cus: usize,
+    /// SIMD units per CU.
+    pub simds_per_cu: usize,
+    /// Wave slots per SIMD.
+    pub waves_per_simd: usize,
+    /// SIMD lane width.
+    pub simd_width: usize,
+    /// Threads per wavefront.
+    pub threads_per_wave: usize,
+    /// Per-CU L1 TLB (32 entries, fully associative, 108 cycles).
+    pub l1_tlb: TlbConfig,
+    /// GPU-shared L2 TLB (512 entries, 16-way, 188 cycles).
+    pub l2_tlb: TlbConfig,
+    /// I-cache capacity in bytes (16 KB shared by `cus_per_icache`).
+    pub icache_bytes: u32,
+    /// I-cache associativity (8-way).
+    pub icache_assoc: usize,
+    /// CUs sharing one I-cache (4 in Table 1; swept in Fig 16a).
+    pub cus_per_icache: usize,
+    /// IC-mode tag access latency (16 cycles).
+    pub ic_tag_latency: u64,
+    /// LDS bytes per CU (16 KB in the scaled Table-1 system).
+    pub lds_bytes: u32,
+    /// LDS-mode access latency (31 cycles).
+    pub lds_latency: u64,
+    /// Per-CU L1 data cache.
+    pub l1d: CacheConfig,
+    /// Shared L2 data cache + DRAM.
+    pub memory: MemorySystemConfig,
+    /// IOMMU (32 walkers; device TLBs; PWCs).
+    pub iommu: IommuConfig,
+    /// System page size.
+    pub page_size: PageSize,
+    /// Model a perfect (always-hitting) L2 TLB — the Figs 2–3 upper
+    /// bound configuration.
+    pub l2_tlb_perfect: bool,
+    /// SIMT page-level coalescing before the L1 TLB (ablation knob;
+    /// always on in real hardware and in the paper's baseline).
+    pub coalescing: bool,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self {
+            cus: 8,
+            simds_per_cu: 4,
+            waves_per_simd: 10,
+            simd_width: 16,
+            threads_per_wave: 64,
+            l1_tlb: TlbConfig::fully_associative(32, 108),
+            l2_tlb: TlbConfig::set_associative(512, 16, 188),
+            icache_bytes: 16 * 1024,
+            icache_assoc: 8,
+            cus_per_icache: 4,
+            ic_tag_latency: 16,
+            lds_bytes: 16 * 1024,
+            lds_latency: 31,
+            l1d: CacheConfig::gpu_l1d(),
+            memory: MemorySystemConfig::default(),
+            iommu: IommuConfig::default(),
+            page_size: PageSize::Size4K,
+            l2_tlb_perfect: false,
+            coalescing: true,
+        }
+    }
+}
+
+impl GpuConfig {
+    /// Wave slots per CU.
+    pub fn waves_per_cu(&self) -> usize {
+        self.simds_per_cu * self.waves_per_simd
+    }
+
+    /// Number of I-caches in the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cus` is not a multiple of `cus_per_icache`.
+    pub fn icache_count(&self) -> usize {
+        assert!(
+            self.cus_per_icache > 0 && self.cus.is_multiple_of(self.cus_per_icache),
+            "cus must divide evenly among I-caches"
+        );
+        self.cus / self.cus_per_icache
+    }
+
+    /// I-cache lines per instance.
+    pub fn icache_lines(&self) -> usize {
+        (self.icache_bytes / 64) as usize
+    }
+
+    /// Sets the number of CUs sharing an I-cache while keeping *total*
+    /// I-cache capacity constant (the Fig 16a experiment).
+    pub fn with_icache_sharers(mut self, sharers: usize) -> Self {
+        let total_bytes = self.icache_bytes as u64 * self.icache_count() as u64;
+        assert!(self.cus.is_multiple_of(sharers), "sharers must divide CU count");
+        self.cus_per_icache = sharers;
+        let instances = (self.cus / sharers) as u64;
+        self.icache_bytes = (total_bytes / instances) as u32;
+        self
+    }
+
+    /// Sets the page size everywhere it matters.
+    pub fn with_page_size(mut self, size: PageSize) -> Self {
+        self.page_size = size;
+        self
+    }
+
+    /// Sets the L2 TLB entry count keeping 16-way associativity where
+    /// possible (the Figs 2–3 sweep).
+    pub fn with_l2_tlb_entries(mut self, entries: usize) -> Self {
+        let assoc = if entries.is_multiple_of(16) { 16 } else { entries };
+        self.l2_tlb = TlbConfig::set_associative(entries, assoc, self.l2_tlb.latency);
+        self
+    }
+
+    /// Makes the L2 TLB perfect (always hits; zero page walks) — the
+    /// upper-bound series of Figs 2–3.
+    pub fn with_perfect_l2_tlb(mut self) -> Self {
+        self.l2_tlb_perfect = true;
+        self
+    }
+
+    /// Disables SIMT page coalescing (ablation: quantifies how much
+    /// the coalescer shields the TLBs).
+    pub fn without_coalescing(mut self) -> Self {
+        self.coalescing = false;
+        self
+    }
+
+    /// Disables the IOMMU's split page-walk caches (ablation: shows
+    /// how much walk traffic the PGD/PUD/PMD caches absorb).
+    pub fn without_page_walk_caches(mut self) -> Self {
+        self.iommu.pwc.pgd_entries = 0;
+        self.iommu.pwc.pud_entries = 0;
+        self.iommu.pwc.pmd_entries = 0;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let c = GpuConfig::default();
+        assert_eq!(c.cus, 8);
+        assert_eq!(c.waves_per_cu(), 40);
+        assert_eq!(c.icache_count(), 2);
+        assert_eq!(c.icache_lines(), 256);
+        assert_eq!(c.l1_tlb.entries, 32);
+        assert_eq!(c.l1_tlb.latency, 108);
+        assert_eq!(c.l2_tlb.entries, 512);
+        assert_eq!(c.l2_tlb.latency, 188);
+    }
+
+    #[test]
+    fn sharer_sweep_keeps_total_capacity() {
+        for sharers in [1usize, 2, 4, 8] {
+            let c = GpuConfig::default().with_icache_sharers(sharers);
+            let total = c.icache_bytes as usize * c.icache_count();
+            assert_eq!(total, 32 * 1024, "sharers={sharers}");
+        }
+    }
+
+    #[test]
+    fn l2_tlb_sweep() {
+        let c = GpuConfig::default().with_l2_tlb_entries(8192);
+        assert_eq!(c.l2_tlb.entries, 8192);
+        assert_eq!(c.l2_tlb.assoc, 16);
+    }
+}

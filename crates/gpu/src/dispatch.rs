@@ -1,0 +1,156 @@
+//! Front-end workgroup dispatcher.
+//!
+//! Workgroups are placed whole onto a CU (shared LDS requires it),
+//! consuming wave slots and one contiguous LDS block. Placement is
+//! round-robin first-fit, matching the greedy front-end scheduling
+//! unit §2.2 describes.
+
+use crate::lds::{LdsAllocator, LdsAllocId};
+
+/// A successful workgroup placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Target CU index.
+    pub cu: usize,
+    /// LDS allocation backing the workgroup (`None` when it requested
+    /// zero bytes is still `Some` zero-sized block; `None` only if the
+    /// kernel uses no LDS at all).
+    pub lds: Option<LdsAllocId>,
+}
+
+/// Tracks per-CU wave-slot occupancy and drives placement.
+#[derive(Debug, Clone)]
+pub struct Dispatcher {
+    slots_per_cu: usize,
+    free_slots: Vec<usize>,
+    cursor: usize,
+    dispatched: u64,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher for `cus` CUs with `slots_per_cu` wave
+    /// slots each.
+    pub fn new(cus: usize, slots_per_cu: usize) -> Self {
+        Self { slots_per_cu, free_slots: vec![slots_per_cu; cus], cursor: 0, dispatched: 0 }
+    }
+
+    /// Free wave slots on `cu`.
+    pub fn free_slots(&self, cu: usize) -> usize {
+        self.free_slots[cu]
+    }
+
+    /// Attempts to place a workgroup of `waves` wavefronts that
+    /// requests `lds_bytes` of LDS. `lds` holds one allocator per CU.
+    ///
+    /// Returns `None` if no CU currently has both enough wave slots and
+    /// a contiguous LDS gap — the workgroup waits for a completion.
+    pub fn try_place(
+        &mut self,
+        waves: usize,
+        lds_bytes: u32,
+        lds: &mut [LdsAllocator],
+    ) -> Option<Placement> {
+        let cus = self.free_slots.len();
+        assert_eq!(lds.len(), cus, "one LDS allocator per CU");
+        for i in 0..cus {
+            let cu = (self.cursor + i) % cus;
+            if self.free_slots[cu] < waves || waves == 0 {
+                continue;
+            }
+            let alloc = if lds_bytes > 0 {
+                match lds[cu].allocate(lds_bytes) {
+                    Some(id) => Some(id),
+                    None => continue,
+                }
+            } else {
+                None
+            };
+            self.free_slots[cu] -= waves;
+            self.cursor = (cu + 1) % cus;
+            self.dispatched += 1;
+            return Some(Placement { cu, lds: alloc });
+        }
+        None
+    }
+
+    /// Returns a completed workgroup's resources.
+    pub fn complete(&mut self, p: Placement, waves: usize, lds: &mut [LdsAllocator]) {
+        self.free_slots[p.cu] += waves;
+        assert!(
+            self.free_slots[p.cu] <= self.slots_per_cu,
+            "more waves returned than dispatched"
+        );
+        if let Some(id) = p.lds {
+            lds[p.cu].release(id);
+        }
+    }
+
+    /// Workgroups placed so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lds_per_cu(n: usize, cap: u32) -> Vec<LdsAllocator> {
+        (0..n).map(|_| LdsAllocator::new(cap)).collect()
+    }
+
+    #[test]
+    fn round_robin_placement() {
+        let mut d = Dispatcher::new(2, 4);
+        let mut lds = lds_per_cu(2, 1024);
+        let a = d.try_place(2, 0, &mut lds).unwrap();
+        let b = d.try_place(2, 0, &mut lds).unwrap();
+        assert_ne!(a.cu, b.cu, "round robin should alternate CUs");
+    }
+
+    #[test]
+    fn wave_slot_exhaustion_blocks() {
+        let mut d = Dispatcher::new(1, 4);
+        let mut lds = lds_per_cu(1, 1024);
+        let p = d.try_place(3, 0, &mut lds).unwrap();
+        assert!(d.try_place(2, 0, &mut lds).is_none());
+        d.complete(p, 3, &mut lds);
+        assert!(d.try_place(2, 0, &mut lds).is_some());
+    }
+
+    #[test]
+    fn lds_exhaustion_blocks_even_with_slots() {
+        let mut d = Dispatcher::new(1, 40);
+        let mut lds = lds_per_cu(1, 512);
+        let _p = d.try_place(1, 512, &mut lds).unwrap();
+        assert!(d.try_place(1, 512, &mut lds).is_none(), "no LDS left");
+        assert!(d.try_place(1, 0, &mut lds).is_some(), "zero-LDS workgroups still fit");
+    }
+
+    #[test]
+    fn completion_frees_lds() {
+        let mut d = Dispatcher::new(1, 40);
+        let mut lds = lds_per_cu(1, 512);
+        let p = d.try_place(1, 512, &mut lds).unwrap();
+        assert_eq!(lds[0].bytes_in_use(), 512);
+        d.complete(p, 1, &mut lds);
+        assert_eq!(lds[0].bytes_in_use(), 0);
+    }
+
+    #[test]
+    fn falls_over_to_next_cu_when_first_full() {
+        let mut d = Dispatcher::new(2, 2);
+        let mut lds = lds_per_cu(2, 1024);
+        let _a = d.try_place(2, 0, &mut lds).unwrap(); // cu 0
+        let _b = d.try_place(2, 0, &mut lds).unwrap(); // cu 1
+        // Both full for 2-wave groups; a 2-wave group must wait.
+        assert!(d.try_place(2, 0, &mut lds).is_none());
+    }
+
+    #[test]
+    fn zero_wave_workgroup_is_skipped() {
+        let mut d = Dispatcher::new(1, 4);
+        let mut lds = lds_per_cu(1, 64);
+        assert!(d.try_place(0, 0, &mut lds).is_none());
+    }
+}

@@ -1,0 +1,277 @@
+//! Kernel, workgroup and wavefront descriptors.
+//!
+//! An [`AppTrace`] is a sequence of kernel launches (the unit of the
+//! paper's Figure 11 and of the I-cache flush optimization §4.3.3).
+//! Each kernel carries its instruction footprint (`code_lines`), its
+//! per-workgroup LDS request (Figure 4a), and the wavefront op streams.
+
+use gtr_vm::addr::VmId;
+
+use crate::ops::Op;
+
+/// Instructions per 64-byte I-cache line (8-byte instructions).
+pub const INSTS_PER_LINE: u32 = 8;
+
+/// The op stream of one wavefront.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WaveProgram {
+    ops: Vec<Op>,
+}
+
+impl WaveProgram {
+    /// Creates a wave program from its op list.
+    pub fn new(ops: Vec<Op>) -> Self {
+        Self { ops }
+    }
+
+    /// The ops, in program order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of ops (instructions).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// A workgroup: wavefronts guaranteed to run on the same CU, sharing
+/// one LDS allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WorkgroupDesc {
+    waves: Vec<WaveProgram>,
+}
+
+impl WorkgroupDesc {
+    /// Creates a workgroup from its wavefronts.
+    pub fn new(waves: Vec<WaveProgram>) -> Self {
+        Self { waves }
+    }
+
+    /// The wavefront programs.
+    pub fn waves(&self) -> &[WaveProgram] {
+        &self.waves
+    }
+
+    /// Number of wavefronts.
+    pub fn wave_count(&self) -> usize {
+        self.waves.len()
+    }
+}
+
+/// One kernel launch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelDesc {
+    name: String,
+    /// Instruction footprint in 64-byte I-cache lines.
+    code_lines: u32,
+    /// LDS bytes requested per workgroup.
+    lds_bytes_per_wg: u32,
+    /// Address space this kernel translates in (§7.2 multi-application
+    /// scenarios; single-app traces use the default space 0).
+    vm_id: VmId,
+    workgroups: Vec<WorkgroupDesc>,
+}
+
+impl KernelDesc {
+    /// Creates a kernel descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code_lines == 0` (every kernel has at least one line
+    /// of code).
+    pub fn new(
+        name: impl Into<String>,
+        code_lines: u32,
+        lds_bytes_per_wg: u32,
+        workgroups: Vec<WorkgroupDesc>,
+    ) -> Self {
+        assert!(code_lines > 0, "a kernel needs at least one instruction line");
+        Self {
+            name: name.into(),
+            code_lines,
+            lds_bytes_per_wg,
+            vm_id: VmId::default(),
+            workgroups,
+        }
+    }
+
+    /// Assigns this kernel to a different address space (§7.2).
+    pub fn with_vm_id(mut self, vm_id: VmId) -> Self {
+        self.vm_id = vm_id;
+        self
+    }
+
+    /// The address space this kernel runs in.
+    pub fn vm_id(&self) -> VmId {
+        self.vm_id
+    }
+
+    /// Kernel name (used for back-to-back detection, Table 2).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Instruction footprint in I-cache lines.
+    pub fn code_lines(&self) -> u32 {
+        self.code_lines
+    }
+
+    /// LDS bytes requested per workgroup.
+    pub fn lds_bytes_per_wg(&self) -> u32 {
+        self.lds_bytes_per_wg
+    }
+
+    /// The workgroups to dispatch.
+    pub fn workgroups(&self) -> &[WorkgroupDesc] {
+        &self.workgroups
+    }
+
+    /// Total wavefronts across all workgroups.
+    pub fn total_waves(&self) -> usize {
+        self.workgroups.iter().map(WorkgroupDesc::wave_count).sum()
+    }
+
+    /// Total ops across all wavefronts.
+    pub fn total_ops(&self) -> u64 {
+        self.workgroups
+            .iter()
+            .flat_map(|wg| wg.waves())
+            .map(|w| w.len() as u64)
+            .sum()
+    }
+}
+
+/// A full application: an ordered sequence of kernel launches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppTrace {
+    name: String,
+    kernels: Vec<KernelDesc>,
+}
+
+impl AppTrace {
+    /// Creates an application trace.
+    pub fn new(name: impl Into<String>, kernels: Vec<KernelDesc>) -> Self {
+        Self { name: name.into(), kernels }
+    }
+
+    /// Application name (e.g. "ATAX").
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The kernel launches, in order.
+    pub fn kernels(&self) -> &[KernelDesc] {
+        &self.kernels
+    }
+
+    /// Total ops across the whole application.
+    pub fn total_ops(&self) -> u64 {
+        self.kernels.iter().map(KernelDesc::total_ops).sum()
+    }
+
+    /// Whether any kernel is launched back-to-back with itself
+    /// (Table 2's "B-2-B Kernels?" column; governs the flush
+    /// optimization §4.3.3).
+    pub fn has_back_to_back_kernels(&self) -> bool {
+        self.kernels.windows(2).any(|w| w[0].name() == w[1].name())
+    }
+
+    /// Interleaves two applications' kernel launches into one trace for
+    /// §7.2 multi-application studies: kernels alternate, each keeps
+    /// (or is assigned) its own address space, and names are prefixed
+    /// with the source application so instruction footprints stay
+    /// distinct.
+    pub fn interleave(a: &AppTrace, b: &AppTrace) -> AppTrace {
+        let tag = |app: &AppTrace, k: &KernelDesc, vm: u8| {
+            KernelDesc::new(
+                format!("{}::{}", app.name(), k.name()),
+                k.code_lines(),
+                k.lds_bytes_per_wg(),
+                k.workgroups().to_vec(),
+            )
+            .with_vm_id(VmId::new(vm))
+        };
+        let mut kernels = Vec::with_capacity(a.kernels.len() + b.kernels.len());
+        let mut ia = a.kernels.iter();
+        let mut ib = b.kernels.iter();
+        loop {
+            match (ia.next(), ib.next()) {
+                (None, None) => break,
+                (ka, kb) => {
+                    if let Some(k) = ka {
+                        kernels.push(tag(a, k, 0));
+                    }
+                    if let Some(k) = kb {
+                        kernels.push(tag(b, k, 1));
+                    }
+                }
+            }
+        }
+        AppTrace::new(format!("{}+{}", a.name(), b.name()), kernels)
+    }
+
+    /// Number of distinct kernel names.
+    pub fn distinct_kernels(&self) -> usize {
+        let mut names: Vec<&str> = self.kernels.iter().map(KernelDesc::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(n: usize) -> WaveProgram {
+        WaveProgram::new(vec![Op::compute(1); n])
+    }
+
+    #[test]
+    fn counts_roll_up() {
+        let wg = WorkgroupDesc::new(vec![wave(3), wave(5)]);
+        let k = KernelDesc::new("k", 4, 256, vec![wg.clone(), wg]);
+        assert_eq!(k.total_waves(), 4);
+        assert_eq!(k.total_ops(), 16);
+        let app = AppTrace::new("a", vec![k.clone(), k]);
+        assert_eq!(app.total_ops(), 32);
+    }
+
+    #[test]
+    fn back_to_back_detection() {
+        let k = |n: &str| KernelDesc::new(n, 1, 0, vec![]);
+        let b2b = AppTrace::new("nw", vec![k("nw_kernel1"), k("nw_kernel1"), k("nw_kernel2")]);
+        assert!(b2b.has_back_to_back_kernels());
+        let alt = AppTrace::new("atax", vec![k("k1"), k("k2"), k("k1")]);
+        assert!(!alt.has_back_to_back_kernels());
+        assert_eq!(alt.distinct_kernels(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instruction line")]
+    fn zero_code_lines_rejected() {
+        let _ = KernelDesc::new("bad", 0, 0, vec![]);
+    }
+
+    #[test]
+    fn interleave_alternates_and_tags_address_spaces() {
+        let k = |n: &str| KernelDesc::new(n, 1, 0, vec![]);
+        let a = AppTrace::new("A", vec![k("x"), k("x"), k("x")]);
+        let b = AppTrace::new("B", vec![k("y")]);
+        let m = AppTrace::interleave(&a, &b);
+        assert_eq!(m.name(), "A+B");
+        assert_eq!(m.kernels().len(), 4);
+        assert_eq!(m.kernels()[0].name(), "A::x");
+        assert_eq!(m.kernels()[1].name(), "B::y");
+        assert_eq!(m.kernels()[0].vm_id(), VmId::new(0));
+        assert_eq!(m.kernels()[1].vm_id(), VmId::new(1));
+        // The tail of the longer app keeps flowing.
+        assert_eq!(m.kernels()[3].name(), "A::x");
+    }
+}

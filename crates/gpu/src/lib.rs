@@ -1,0 +1,34 @@
+//! # gtr-gpu
+//!
+//! GPU execution-model substrate: wavefront instruction streams,
+//! kernel/workgroup descriptors, the application-managed LDS scratchpad
+//! allocator (with the fragmentation behaviour §2.2 describes), and the
+//! front-end workgroup dispatcher.
+//!
+//! The baseline machine mirrors the paper's Table 1: 8 CUs, 4 SIMDs per
+//! CU, 10 waves per SIMD, 64 threads per wave, 16-wide SIMDs. The
+//! timing system that executes these descriptors lives in `gtr-core`'s
+//! `system` module, because its translation path *is* the paper's
+//! contribution.
+//!
+//! # Example
+//!
+//! ```
+//! use gtr_gpu::kernel::{AppTrace, KernelDesc, WaveProgram, WorkgroupDesc};
+//! use gtr_gpu::ops::Op;
+//!
+//! let wave = WaveProgram::new(vec![Op::compute(4), Op::global_read_strided(0x1000, 4, 64)]);
+//! let wg = WorkgroupDesc::new(vec![wave]);
+//! let kernel = KernelDesc::new("k0", 8, 0, vec![wg]);
+//! let app = AppTrace::new("demo", vec![kernel]);
+//! assert_eq!(app.total_ops(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dispatch;
+pub mod kernel;
+pub mod lds;
+pub mod ops;

@@ -1,0 +1,149 @@
+//! Wavefront operations: the trace vocabulary of the simulator.
+//!
+//! Each [`Op`] models one wavefront-wide instruction. Global memory
+//! ops carry per-lane virtual addresses (or a compact strided pattern)
+//! that the coalescer in `gtr-vm` reduces to unique pages and lines.
+
+use gtr_vm::addr::VirtAddr;
+
+/// Per-lane address pattern of a global memory instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Explicit per-lane addresses (irregular access).
+    Lanes(Box<[u64]>),
+    /// `base + lane * stride` for `lanes` lanes (regular access,
+    /// stored compactly).
+    Strided {
+        /// Address of lane 0.
+        base: u64,
+        /// Byte stride between lanes.
+        stride: u64,
+        /// Number of active lanes.
+        lanes: u16,
+    },
+}
+
+impl AccessPattern {
+    /// Number of active lanes.
+    pub fn lane_count(&self) -> usize {
+        match self {
+            AccessPattern::Lanes(v) => v.len(),
+            AccessPattern::Strided { lanes, .. } => *lanes as usize,
+        }
+    }
+
+    /// Expands the pattern into `out` (cleared first).
+    pub fn expand(&self, out: &mut Vec<VirtAddr>) {
+        out.clear();
+        match self {
+            AccessPattern::Lanes(v) => out.extend(v.iter().map(|&a| VirtAddr::new(a))),
+            AccessPattern::Strided { base, stride, lanes } => {
+                out.extend((0..*lanes as u64).map(|i| VirtAddr::new(base + i * stride)));
+            }
+        }
+    }
+}
+
+/// One wavefront instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// ALU work: `latency` extra cycles beyond the issue cadence.
+    Compute {
+        /// Extra execution latency in cycles.
+        latency: u32,
+    },
+    /// Global memory access through the TLB + cache hierarchy.
+    Global {
+        /// Per-lane addresses.
+        pattern: AccessPattern,
+        /// Whether the access is a store.
+        write: bool,
+    },
+    /// LDS scratchpad access (byte offset within the workgroup's
+    /// allocation).
+    Lds {
+        /// Offset within the workgroup's LDS allocation.
+        offset: u32,
+        /// Whether the access is a store.
+        write: bool,
+    },
+    /// Workgroup barrier.
+    Barrier,
+}
+
+impl Op {
+    /// ALU op with the given extra latency.
+    pub fn compute(latency: u32) -> Self {
+        Op::Compute { latency }
+    }
+
+    /// Global read with explicit lane addresses.
+    pub fn global_read(lanes: Vec<u64>) -> Self {
+        Op::Global { pattern: AccessPattern::Lanes(lanes.into_boxed_slice()), write: false }
+    }
+
+    /// Global write with explicit lane addresses.
+    pub fn global_write(lanes: Vec<u64>) -> Self {
+        Op::Global { pattern: AccessPattern::Lanes(lanes.into_boxed_slice()), write: true }
+    }
+
+    /// Strided global read (`base + lane*stride`).
+    pub fn global_read_strided(base: u64, stride: u64, lanes: u16) -> Self {
+        Op::Global { pattern: AccessPattern::Strided { base, stride, lanes }, write: false }
+    }
+
+    /// Strided global write.
+    pub fn global_write_strided(base: u64, stride: u64, lanes: u16) -> Self {
+        Op::Global { pattern: AccessPattern::Strided { base, stride, lanes }, write: true }
+    }
+
+    /// LDS read at `offset`.
+    pub fn lds_read(offset: u32) -> Self {
+        Op::Lds { offset, write: false }
+    }
+
+    /// LDS write at `offset`.
+    pub fn lds_write(offset: u32) -> Self {
+        Op::Lds { offset, write: true }
+    }
+
+    /// Whether this op accesses global memory.
+    pub fn is_global(&self) -> bool {
+        matches!(self, Op::Global { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_expansion() {
+        let p = AccessPattern::Strided { base: 100, stride: 8, lanes: 4 };
+        let mut out = Vec::new();
+        p.expand(&mut out);
+        assert_eq!(
+            out,
+            vec![VirtAddr::new(100), VirtAddr::new(108), VirtAddr::new(116), VirtAddr::new(124)]
+        );
+        assert_eq!(p.lane_count(), 4);
+    }
+
+    #[test]
+    fn lanes_expansion_reuses_buffer() {
+        let p = AccessPattern::Lanes(vec![1, 2, 3].into_boxed_slice());
+        let mut out = vec![VirtAddr::new(999)];
+        p.expand(&mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], VirtAddr::new(1));
+    }
+
+    #[test]
+    fn constructors() {
+        assert!(Op::global_read(vec![1]).is_global());
+        assert!(Op::global_write_strided(0, 4, 64).is_global());
+        assert!(!Op::compute(1).is_global());
+        assert!(!Op::lds_read(0).is_global());
+        assert!(!Op::Barrier.is_global());
+    }
+}

@@ -1,0 +1,285 @@
+//! Generic set-associative, write-back, write-allocate cache.
+//!
+//! Instantiated as the per-CU 32 KB 8-way L1 data cache and the
+//! GPU-shared 4 MB 16-way L2 (Table 1). Addresses are 64-byte line
+//! indices; the cache itself is data-less (timing/occupancy only).
+
+use gtr_sim::stats::HitMiss;
+
+/// Cache geometry and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Ways per set.
+    pub assoc: usize,
+    /// Hit latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// GPU L1 data cache per Table 1: 32 KB, 8-way.
+    pub fn gpu_l1d() -> Self {
+        Self { capacity_bytes: 32 * 1024, line_bytes: 64, assoc: 8, latency: 28 }
+    }
+
+    /// GPU shared L2 per Table 1: 4 MB, 16-way.
+    pub fn gpu_l2() -> Self {
+        Self { capacity_bytes: 4 * 1024 * 1024, line_bytes: 64, assoc: 16, latency: 120 }
+    }
+
+    /// Number of lines.
+    pub fn lines(&self) -> usize {
+        (self.capacity_bytes / self.line_bytes) as usize
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn sets(&self) -> usize {
+        let lines = self.lines();
+        assert!(self.assoc > 0 && lines.is_multiple_of(self.assoc), "lines must divide into ways");
+        lines / self.assoc
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    /// Full line index (for writeback address reconstruction under the
+    /// hashed set index).
+    line: u64,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// Whether the line was resident.
+    pub hit: bool,
+    /// A dirty victim line (by line index) that must be written back.
+    pub writeback: Option<u64>,
+}
+
+/// A set-associative LRU cache addressed by line index.
+///
+/// # Example
+///
+/// ```
+/// use gtr_mem::cache::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig { capacity_bytes: 256, line_bytes: 64, assoc: 2, latency: 4 });
+/// assert!(!c.access(7, false).hit);
+/// assert!(c.access(7, false).hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+    stats: HitMiss,
+    writebacks: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = (0..config.sets()).map(|_| Vec::with_capacity(config.assoc)).collect();
+        Self { config, sets, tick: 0, stats: HitMiss::new(), writebacks: 0 }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Hit latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.config.latency
+    }
+
+    fn split(&self, line: u64) -> (usize, u64) {
+        // XOR-folded set index: without it, every page's line `c`
+        // (fixed in-page offset) lands in sets `{64k + c}` only —
+        // column-strided kernels would thrash 64 of 4096 L2 sets while
+        // the rest idle. Real LLCs hash their index bits for the same
+        // reason. The tag keeps the full upper bits, so (set, tag)
+        // still uniquely identifies the line.
+        let sets = self.sets.len() as u64;
+        let hashed = line ^ (line >> 7) ^ (line >> 14);
+        ((hashed % sets) as usize, line / sets)
+    }
+
+    /// Accesses `line` (a 64-byte line index), allocating on miss.
+    pub fn access(&mut self, line: u64, is_write: bool) -> CacheAccess {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set_idx, tag) = self.split(line);
+        let assoc = self.config.assoc;
+        let set = &mut self.sets[set_idx];
+        if let Some(l) = set.iter_mut().find(|l| l.tag == tag) {
+            l.last_use = tick;
+            l.dirty |= is_write;
+            self.stats.hit();
+            return CacheAccess { hit: true, writeback: None };
+        }
+        self.stats.miss();
+        let mut writeback = None;
+        if set.len() == assoc {
+            let (idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .expect("full set non-empty");
+            let victim = set.swap_remove(idx);
+            if victim.dirty {
+                writeback = Some(victim.line);
+                self.writebacks += 1;
+            }
+        }
+        set.push(Line { tag, line, dirty: is_write, last_use: tick });
+        CacheAccess { hit: false, writeback }
+    }
+
+    /// Checks residency without updating LRU or counters.
+    pub fn probe(&self, line: u64) -> bool {
+        let (set_idx, tag) = self.split(line);
+        self.sets[set_idx].iter().any(|l| l.tag == tag)
+    }
+
+    /// Invalidates one line; returns whether it was present (dirty data
+    /// is dropped — used for functional invalidations only).
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let (set_idx, tag) = self.split(line);
+        let set = &mut self.sets[set_idx];
+        let before = set.len();
+        set.retain(|l| l.tag != tag);
+        set.len() != before
+    }
+
+    /// Flushes everything (no writeback accounting — kernel-boundary
+    /// flushes in GPUs invalidate clean instruction/data state).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Valid lines resident.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> HitMiss {
+        self.stats
+    }
+
+    /// Dirty writebacks generated.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Resets counters, keeping contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = HitMiss::new();
+        self.writebacks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig { capacity_bytes: 512, line_bytes: 64, assoc: 2, latency: 1 })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::gpu_l2();
+        assert_eq!(c.lines(), 65536);
+        assert_eq!(c.sets(), 4096);
+        assert_eq!(CacheConfig::gpu_l1d().sets(), 64);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(42, false).hit);
+        assert!(c.access(42, false).hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut c = tiny(); // 4 sets, 2-way: lines 0,4,8 share set 0
+        c.access(0, false);
+        c.access(4, false);
+        c.access(0, false); // 4 is now LRU
+        c.access(8, false); // evicts 4
+        assert!(c.probe(0));
+        assert!(!c.probe(4));
+        assert!(c.probe(8));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.access(0, true); // dirty
+        c.access(4, false);
+        let res = c.access(8, false); // evicts line 0 (dirty)
+        assert_eq!(res.writeback, Some(0));
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn clean_eviction_no_writeback() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(4, false);
+        let res = c.access(8, false);
+        assert_eq!(res.writeback, None);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(0, true); // hit, now dirty
+        c.access(4, false);
+        let res = c.access(8, false);
+        assert_eq!(res.writeback, Some(0));
+    }
+
+    #[test]
+    fn writeback_reconstructs_correct_line_index() {
+        let mut c = tiny(); // 4 sets
+        c.access(5, true); // set 1, tag 1
+        c.access(9, false); // set 1, tag 2
+        let res = c.access(13, false); // set 1, tag 3: evicts 5
+        assert_eq!(res.writeback, Some(5));
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut c = tiny();
+        c.access(1, false);
+        c.access(2, false);
+        assert!(c.invalidate(1));
+        assert!(!c.invalidate(1));
+        assert_eq!(c.len(), 1);
+        c.flush();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! # gtr-mem
+//!
+//! Memory-hierarchy substrate for the `gpu-translation-reach`
+//! workspace: a generic set-associative write-back cache, a DDR3-1600
+//! DRAM timing model (2 channels × 2 ranks × 16 banks, Table 1), and a
+//! DRAMPower-style energy estimator behind the paper's Figure 13c.
+//!
+//! [`system::MemorySystem`] composes the GPU-shared L2 data cache with
+//! DRAM and is the single sink for data, instruction and page-table
+//! traffic.
+//!
+//! # Example
+//!
+//! ```
+//! use gtr_mem::system::{MemorySystem, MemorySystemConfig};
+//!
+//! let mut mem = MemorySystem::new(MemorySystemConfig::default());
+//! let cold = mem.read(0, 0x1000);     // L2 miss -> DRAM
+//! let warm = mem.read(cold, 0x1000);  // L2 hit
+//! assert!(warm - cold < cold);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod dram;
+pub mod energy;
+pub mod system;

@@ -1,0 +1,158 @@
+//! Time-ordered event queue with deterministic tie-breaking.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// A generic event queue ordered by `(time, insertion sequence)`.
+///
+/// Two events scheduled for the same cycle are delivered in the order
+/// they were pushed, which — combined with the workspace-wide rule that
+/// all randomness is seeded — makes every simulation reproducible.
+///
+/// # Example
+///
+/// ```
+/// use gtr_sim::event::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(10, "b");
+/// q.push(5, "a");
+/// q.push(10, "c");
+/// assert_eq!(q.pop(), Some((5, "a")));
+/// assert_eq!(q.pop(), Some((10, "b")));
+/// assert_eq!(q.pop(), Some((10, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    key: Reverse<(Cycle, u64)>,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { heap: BinaryHeap::with_capacity(cap), seq: 0 }
+    }
+
+    /// Schedules `payload` to fire at cycle `at`.
+    pub fn push(&mut self, at: Cycle, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { key: Reverse((at, seq)), payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+        self.heap.pop().map(|e| (e.key.0 .0, e.payload))
+    }
+
+    /// Returns the firing time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.key.0 .0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(3, 30);
+        q.push(1, 10);
+        q.push(2, 20);
+        assert_eq!(q.pop(), Some((1, 10)));
+        assert_eq!(q.pop(), Some((2, 20)));
+        assert_eq!(q.pop(), Some((3, 30)));
+    }
+
+    #[test]
+    fn fifo_within_same_cycle() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(5, 'a');
+        q.push(5, 'b');
+        assert_eq!(q.pop(), Some((5, 'a')));
+        q.push(5, 'c');
+        q.push(4, 'd');
+        assert_eq!(q.pop(), Some((4, 'd')));
+        assert_eq!(q.pop(), Some((5, 'b')));
+        assert_eq!(q.pop(), Some((5, 'c')));
+    }
+
+    #[test]
+    fn peek_len_empty_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(9, ());
+        q.push(2, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(2));
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

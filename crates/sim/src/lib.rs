@@ -1,0 +1,48 @@
+//! # gtr-sim
+//!
+//! Deterministic discrete-event simulation engine underpinning the
+//! `gpu-translation-reach` workspace.
+//!
+//! The engine follows a *resource-reservation* style of timing
+//! simulation: model components are passive objects that own a
+//! timeline of busy intervals (see [`resource::Server`]), and active
+//! entities (wavefronts, page-table walkers, ...) advance by asking
+//! components "given that I arrive at cycle `t`, when am I done?".
+//! Completion events are ordered through [`event::EventQueue`], which
+//! breaks ties with a monotonically increasing sequence number so that
+//! simulations are bit-for-bit reproducible.
+//!
+//! The crate deliberately contains **no** GPU- or VM-specific logic;
+//! it only provides:
+//!
+//! * [`event`] — a generic time-ordered event queue,
+//! * [`resource`] — contention models (multi-unit servers, ports with
+//!   idle-gap tracking, pipelines),
+//! * [`stats`] — counters, log-scale histograms, box-and-whisker
+//!   samplers and geometric-mean helpers used by the experiment
+//!   harnesses,
+//! * [`rng`] — a tiny seeded `SplitMix64` generator so that core
+//!   simulation code does not need an external RNG dependency.
+//!
+//! # Example
+//!
+//! ```
+//! use gtr_sim::resource::Server;
+//!
+//! // Two DMA engines, each transfer takes 100 cycles.
+//! let mut dma = Server::new(2);
+//! assert_eq!(dma.acquire(0, 100), 100);
+//! assert_eq!(dma.acquire(0, 100), 100); // second unit, in parallel
+//! assert_eq!(dma.acquire(0, 100), 200); // queues behind the first
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+
+/// Simulation time, measured in GPU core cycles.
+pub type Cycle = u64;

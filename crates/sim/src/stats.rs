@@ -1,0 +1,375 @@
+//! Measurement utilities: samplers, histograms, ratio helpers.
+//!
+//! The paper reports three kinds of data that these types back:
+//! box-and-whisker distributions (Figs 4 and 5), per-app scalar series
+//! (Figs 2, 3, 13–16) and geometric means over speedups.
+
+/// Collects scalar samples and answers order statistics.
+///
+/// All samples are retained (simulation sample counts are modest), so
+/// quantiles are exact.
+///
+/// # Example
+///
+/// ```
+/// use gtr_sim::stats::Sampler;
+/// let mut s = Sampler::new();
+/// for v in [4.0, 1.0, 3.0, 2.0] { s.record(v); }
+/// assert_eq!(s.median(), 2.5);
+/// assert_eq!(s.quantile(0.25), 1.75);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Sampler {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Sampler {
+    /// Creates an empty sampler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// Exact quantile via linear interpolation; `q` in `[0, 1]`.
+    ///
+    /// Returns 0.0 for an empty sampler.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.samples.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Smallest sample, or 0.0 if empty.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY).pipe_finite()
+    }
+
+    /// Largest sample, or 0.0 if empty.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max).pipe_finite()
+    }
+
+    /// Arithmetic mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Five-number summary `(min, q1, median, q3, max)` matching the
+    /// paper's box-and-whisker plots ("S.P", "IQR", "L.P").
+    pub fn five_number_summary(&mut self) -> FiveNumberSummary {
+        FiveNumberSummary {
+            min: self.min(),
+            q1: self.quantile(0.25),
+            median: self.median(),
+            q3: self.quantile(0.75),
+            max: self.max(),
+        }
+    }
+
+    /// Immutable view of the raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+impl PipeFinite for f64 {
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The five numbers behind one box-and-whisker glyph.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FiveNumberSummary {
+    /// Smallest point ("S.P" in Fig 4a).
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest point ("L.P" in Fig 4a).
+    pub max: f64,
+}
+
+impl std::fmt::Display for FiveNumberSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min={:.1} q1={:.1} med={:.1} q3={:.1} max={:.1}",
+            self.min, self.q1, self.median, self.q3, self.max
+        )
+    }
+}
+
+/// Power-of-two bucketed histogram for latency/gap distributions.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))`; bucket 0 also includes 0.
+#[derive(Debug, Clone, Default)]
+pub struct Log2Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let idx = if v <= 1 { 0 } else { 63 - v.leading_zeros() as usize };
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `(bucket_floor, count)` pairs for non-empty buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, c))
+    }
+}
+
+/// Geometric mean of a series of (positive) values.
+///
+/// Returns 1.0 for an empty series; values `<= 0` are clamped to a tiny
+/// positive epsilon so that a degenerate speedup cannot poison a whole
+/// series.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.max(1e-12).ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Speedup of `new` relative to `baseline` cycle counts (>1 is faster).
+pub fn speedup(baseline_cycles: u64, new_cycles: u64) -> f64 {
+    if new_cycles == 0 {
+        return 1.0;
+    }
+    baseline_cycles as f64 / new_cycles as f64
+}
+
+/// Percentage improvement (`speedup - 1`) * 100.
+pub fn improvement_pct(baseline_cycles: u64, new_cycles: u64) -> f64 {
+    (speedup(baseline_cycles, new_cycles) - 1.0) * 100.0
+}
+
+/// A hit/miss counter pair with ratio helpers, used by every cache-like
+/// structure in the workspace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HitMiss {
+    /// Number of hits.
+    pub hits: u64,
+    /// Number of misses.
+    pub misses: u64,
+}
+
+impl HitMiss {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a hit.
+    pub fn hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records a miss.
+    pub fn miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`; 0.0 when no accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: HitMiss) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_quantiles_exact() {
+        let mut s = Sampler::new();
+        for v in 1..=100 {
+            s.record(v as f64);
+        }
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 100.0);
+        assert!((s.median() - 50.5).abs() < 1e-9);
+        assert!((s.quantile(0.0) - 1.0).abs() < 1e-9);
+        assert!((s.quantile(1.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampler_empty_is_safe() {
+        let mut s = Sampler::new();
+        assert_eq!(s.median(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        let f = s.five_number_summary();
+        assert_eq!(f, FiveNumberSummary::default());
+    }
+
+    #[test]
+    fn sampler_five_number_summary() {
+        let mut s = Sampler::new();
+        for v in [2.0, 4.0, 6.0, 8.0, 10.0] {
+            s.record(v);
+        }
+        let f = s.five_number_summary();
+        assert_eq!(f.min, 2.0);
+        assert_eq!(f.median, 6.0);
+        assert_eq!(f.max, 10.0);
+        assert_eq!(f.q1, 4.0);
+        assert_eq!(f.q3, 8.0);
+    }
+
+    #[test]
+    fn sampler_record_after_quantile() {
+        let mut s = Sampler::new();
+        s.record(1.0);
+        assert_eq!(s.median(), 1.0);
+        s.record(3.0);
+        assert_eq!(s.median(), 2.0);
+    }
+
+    #[test]
+    fn log2_histogram_buckets() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        let buckets: Vec<_> = h.buckets().collect();
+        // 0,1 -> bucket 1(floor=1); 2,3 -> 2; 4,7 -> 4; 8 -> 8; 1024 -> 1024
+        assert_eq!(buckets, vec![(1, 2), (2, 2), (4, 2), (8, 1), (1024, 1)]);
+        assert!((h.mean() - (1 + 2 + 3 + 4 + 7 + 8 + 1024) as f64 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean([1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(std::iter::empty()), 1.0);
+        // non-positive values do not poison the result
+        assert!(geomean([0.0, 1.0]) > 0.0);
+    }
+
+    #[test]
+    fn speedup_and_improvement() {
+        assert_eq!(speedup(200, 100), 2.0);
+        assert!((improvement_pct(130, 100) - 30.0).abs() < 1e-9);
+        assert_eq!(speedup(100, 0), 1.0);
+    }
+
+    #[test]
+    fn hitmiss_ratio() {
+        let mut hm = HitMiss::new();
+        for _ in 0..3 {
+            hm.hit();
+        }
+        hm.miss();
+        assert_eq!(hm.total(), 4);
+        assert!((hm.hit_ratio() - 0.75).abs() < 1e-9);
+        let mut other = HitMiss::new();
+        other.miss();
+        hm.merge(other);
+        assert_eq!(hm.total(), 5);
+    }
+}

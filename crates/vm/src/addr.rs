@@ -1,0 +1,329 @@
+//! Address-space newtypes: virtual/physical addresses, page numbers,
+//! page sizes, and the address-space identifiers the paper's tag
+//! layouts carry (2-bit VM-ID and 2-bit VRF-ID, Fig 7a / Fig 10b).
+
+use std::fmt;
+
+/// Width of the virtual address space in bits (x86-64 canonical, as
+/// assumed by the paper's 25-bit VA tags after removing offset/index).
+pub const VA_BITS: u32 = 48;
+
+/// Bytes in a cache line throughout the system.
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+/// A 48-bit virtual address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Creates a virtual address, masking to [`VA_BITS`].
+    pub fn new(raw: u64) -> Self {
+        Self(raw & ((1u64 << VA_BITS) - 1))
+    }
+
+    /// Raw address value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Virtual page number at the given page size.
+    pub fn vpn(self, size: PageSize) -> Vpn {
+        Vpn(self.0 >> size.bits())
+    }
+
+    /// Offset within the page at the given page size.
+    pub fn page_offset(self, size: PageSize) -> u64 {
+        self.0 & (size.bytes() - 1)
+    }
+
+    /// Index of the 64-byte cache line containing this address.
+    pub fn line(self) -> u64 {
+        self.0 / CACHE_LINE_BYTES
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VA:{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> Self {
+        Self::new(raw)
+    }
+}
+
+/// A physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address.
+    pub fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Raw address value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Index of the 64-byte cache line containing this address.
+    pub fn line(self) -> u64 {
+        self.0 / CACHE_LINE_BYTES
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PA:{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A virtual page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(pub u64);
+
+impl Vpn {
+    /// Base virtual address of this page at the given page size.
+    pub fn base(self, size: PageSize) -> VirtAddr {
+        VirtAddr::new(self.0 << size.bits())
+    }
+}
+
+impl fmt::Display for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VPN:{:#x}", self.0)
+    }
+}
+
+/// A physical page number (frame number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ppn(pub u64);
+
+impl Ppn {
+    /// Base physical address of this frame at the given page size.
+    pub fn base(self, size: PageSize) -> PhysAddr {
+        PhysAddr::new(self.0 << size.bits())
+    }
+}
+
+impl fmt::Display for Ppn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PPN:{:#x}", self.0)
+    }
+}
+
+/// Page granularities evaluated by the paper (§6.2): the 4 KB default,
+/// the 64 KB dGPU size, and 2 MB large pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PageSize {
+    /// 4 KiB pages (baseline).
+    #[default]
+    Size4K,
+    /// 64 KiB pages (discrete-GPU granularity).
+    Size64K,
+    /// 2 MiB large pages.
+    Size2M,
+}
+
+impl PageSize {
+    /// log2 of the page size in bytes.
+    pub fn bits(self) -> u32 {
+        match self {
+            PageSize::Size4K => 12,
+            PageSize::Size64K => 16,
+            PageSize::Size2M => 21,
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn bytes(self) -> u64 {
+        1u64 << self.bits()
+    }
+
+    /// Number of radix levels a full page walk traverses. A 2 MB
+    /// mapping terminates at the PMD (3 levels); 4 KB and 64 KB walk
+    /// all four levels (64 KB pages are PTE-level blocks on AMD GPUs).
+    pub fn walk_levels(self) -> usize {
+        match self {
+            PageSize::Size4K | PageSize::Size64K => 4,
+            PageSize::Size2M => 3,
+        }
+    }
+
+    /// All supported sizes, smallest first.
+    pub fn all() -> [PageSize; 3] {
+        [PageSize::Size4K, PageSize::Size64K, PageSize::Size2M]
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Size4K => write!(f, "4KB"),
+            PageSize::Size64K => write!(f, "64KB"),
+            PageSize::Size2M => write!(f, "2MB"),
+        }
+    }
+}
+
+/// 2-bit address-space identifier carried in every translation tag
+/// (Fig 7a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VmId(u8);
+
+impl VmId {
+    /// Creates a VM-ID, keeping the low 2 bits.
+    pub fn new(raw: u8) -> Self {
+        Self(raw & 0b11)
+    }
+
+    /// Raw 2-bit value.
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+/// 2-bit SR-IOV virtual-function identifier (Fig 7a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VrfId(u8);
+
+impl VrfId {
+    /// Creates a VRF-ID, keeping the low 2 bits.
+    pub fn new(raw: u8) -> Self {
+        Self(raw & 0b11)
+    }
+
+    /// Raw 2-bit value.
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+/// The lookup key of a translation: VPN plus the address-space
+/// identifiers that must match for a tag hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TranslationKey {
+    /// Virtual page number.
+    pub vpn: Vpn,
+    /// Address-space (process) identifier.
+    pub vmid: VmId,
+    /// SR-IOV virtual-function identifier.
+    pub vrf: VrfId,
+}
+
+impl TranslationKey {
+    /// Convenience constructor with zero VM-ID/VRF-ID (the
+    /// single-tenant case used by most experiments).
+    pub fn for_vpn(vpn: Vpn) -> Self {
+        Self { vpn, vmid: VmId::default(), vrf: VrfId::default() }
+    }
+}
+
+impl fmt::Display for TranslationKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/vm{}/vrf{}", self.vpn, self.vmid.raw(), self.vrf.raw())
+    }
+}
+
+/// A completed translation: key plus the physical frame it maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Translation {
+    /// The virtual side.
+    pub key: TranslationKey,
+    /// The physical frame.
+    pub ppn: Ppn,
+}
+
+impl Translation {
+    /// Creates a translation.
+    pub fn new(key: TranslationKey, ppn: Ppn) -> Self {
+        Self { key, ppn }
+    }
+
+    /// Translates a full virtual address to its physical counterpart.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `va` is not inside this translation's page.
+    pub fn apply(&self, va: VirtAddr, size: PageSize) -> PhysAddr {
+        debug_assert_eq!(va.vpn(size), self.key.vpn, "address outside mapped page");
+        PhysAddr::new(self.ppn.base(size).raw() + va.page_offset(size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virt_addr_masks_to_48_bits() {
+        let va = VirtAddr::new(u64::MAX);
+        assert_eq!(va.raw(), (1u64 << 48) - 1);
+    }
+
+    #[test]
+    fn vpn_and_offset_roundtrip() {
+        let va = VirtAddr::new(0x1234_5678);
+        for size in PageSize::all() {
+            let reassembled = va.vpn(size).base(size).raw() + va.page_offset(size);
+            assert_eq!(reassembled, va.raw(), "size {size}");
+        }
+    }
+
+    #[test]
+    fn page_size_properties() {
+        assert_eq!(PageSize::Size4K.bytes(), 4096);
+        assert_eq!(PageSize::Size64K.bytes(), 65536);
+        assert_eq!(PageSize::Size2M.bytes(), 2 * 1024 * 1024);
+        assert_eq!(PageSize::Size4K.walk_levels(), 4);
+        assert_eq!(PageSize::Size64K.walk_levels(), 4);
+        assert_eq!(PageSize::Size2M.walk_levels(), 3);
+    }
+
+    #[test]
+    fn vmid_vrf_clamp_to_two_bits() {
+        assert_eq!(VmId::new(0xFF).raw(), 0b11);
+        assert_eq!(VrfId::new(0b100).raw(), 0);
+    }
+
+    #[test]
+    fn translation_apply() {
+        let key = TranslationKey::for_vpn(Vpn(5));
+        let tx = Translation::new(key, Ppn(9));
+        let va = VirtAddr::new(5 * 4096 + 123);
+        assert_eq!(tx.apply(va, PageSize::Size4K).raw(), 9 * 4096 + 123);
+    }
+
+    #[test]
+    fn cache_line_index() {
+        assert_eq!(VirtAddr::new(0).line(), 0);
+        assert_eq!(VirtAddr::new(63).line(), 0);
+        assert_eq!(VirtAddr::new(64).line(), 1);
+        assert_eq!(PhysAddr::new(128).line(), 2);
+    }
+
+    #[test]
+    fn display_impls_nonempty() {
+        assert!(!format!("{}", VirtAddr::new(1)).is_empty());
+        assert!(!format!("{}", PhysAddr::new(1)).is_empty());
+        assert!(!format!("{}", Vpn(1)).is_empty());
+        assert!(!format!("{}", Ppn(1)).is_empty());
+        assert!(!format!("{}", PageSize::Size64K).is_empty());
+        assert!(!format!("{}", TranslationKey::for_vpn(Vpn(3))).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! SIMT memory-access coalescing.
+//!
+//! A single wavefront instruction issues up to 64 lane addresses. The
+//! hardware coalescer merges lanes that touch the same page before the
+//! L1 TLB (reducing translation traffic) and lanes that touch the same
+//! 64-byte line before the data cache (reducing data traffic). In the
+//! worst case — the paper's motivating scenario — all 64 lanes touch
+//! 64 distinct pages and generate 64 distinct translation requests.
+
+use crate::addr::{PageSize, VirtAddr, Vpn};
+
+/// Result of coalescing one wavefront memory instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CoalescedAccess {
+    /// Unique virtual pages touched, in first-lane order.
+    pub pages: Vec<Vpn>,
+    /// Unique 64-byte virtual lines touched, in first-lane order.
+    pub lines: Vec<u64>,
+    /// Number of active lanes that contributed.
+    pub active_lanes: usize,
+}
+
+impl CoalescedAccess {
+    /// Coalesces the active lanes of one memory instruction.
+    pub fn from_lanes(addrs: &[VirtAddr], page_size: PageSize) -> Self {
+        let mut pages: Vec<Vpn> = Vec::new();
+        let mut lines: Vec<u64> = Vec::new();
+        for &a in addrs {
+            let vpn = a.vpn(page_size);
+            if !pages.contains(&vpn) {
+                pages.push(vpn);
+            }
+            let line = a.line();
+            if !lines.contains(&line) {
+                lines.push(line);
+            }
+        }
+        Self { pages, lines, active_lanes: addrs.len() }
+    }
+
+    /// Pages per lane — 1.0 means fully divergent, 1/64 fully coalesced.
+    pub fn page_divergence(&self) -> f64 {
+        if self.active_lanes == 0 {
+            0.0
+        } else {
+            self.pages.len() as f64 / self.active_lanes as f64
+        }
+    }
+}
+
+/// Running statistics over many coalesced accesses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoalescerStats {
+    /// Total lane addresses presented.
+    pub lanes: u64,
+    /// Translation requests after page-level merge.
+    pub page_requests: u64,
+    /// Data requests after line-level merge.
+    pub line_requests: u64,
+    /// Instructions coalesced.
+    pub instructions: u64,
+}
+
+impl CoalescerStats {
+    /// Records one coalesced access.
+    pub fn record(&mut self, access: &CoalescedAccess) {
+        self.lanes += access.active_lanes as u64;
+        self.page_requests += access.pages.len() as u64;
+        self.line_requests += access.lines.len() as u64;
+        self.instructions += 1;
+    }
+
+    /// Fraction of lane translation traffic eliminated by coalescing.
+    pub fn page_merge_ratio(&self) -> f64 {
+        if self.lanes == 0 {
+            0.0
+        } else {
+            1.0 - self.page_requests as f64 / self.lanes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn va(x: u64) -> VirtAddr {
+        VirtAddr::new(x)
+    }
+
+    #[test]
+    fn fully_coalesced_single_page() {
+        let addrs: Vec<_> = (0..64).map(|i| va(0x10_000 + i * 4)).collect();
+        let c = CoalescedAccess::from_lanes(&addrs, PageSize::Size4K);
+        assert_eq!(c.pages.len(), 1);
+        assert_eq!(c.lines.len(), 4); // 64 lanes * 4B = 256B = 4 lines
+        assert_eq!(c.active_lanes, 64);
+        assert!((c.page_divergence() - 1.0 / 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_divergent_worst_case() {
+        // The paper's worst case: each lane a separate page.
+        let addrs: Vec<_> = (0..64u64).map(|i| va(i * 4096 * 7)).collect();
+        let c = CoalescedAccess::from_lanes(&addrs, PageSize::Size4K);
+        assert_eq!(c.pages.len(), 64);
+        assert_eq!(c.lines.len(), 64);
+        assert!((c.page_divergence() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_pages_coalesce_more() {
+        let addrs: Vec<_> = (0..16u64).map(|i| va(i * 8192)).collect();
+        let small = CoalescedAccess::from_lanes(&addrs, PageSize::Size4K);
+        let large = CoalescedAccess::from_lanes(&addrs, PageSize::Size2M);
+        assert_eq!(small.pages.len(), 16);
+        assert_eq!(large.pages.len(), 1);
+    }
+
+    #[test]
+    fn order_is_first_lane_order() {
+        let addrs = [va(3 * 4096), va(4096), va(3 * 4096)];
+        let c = CoalescedAccess::from_lanes(&addrs, PageSize::Size4K);
+        assert_eq!(c.pages, vec![Vpn(3), Vpn(1)]);
+    }
+
+    #[test]
+    fn empty_lane_set() {
+        let c = CoalescedAccess::from_lanes(&[], PageSize::Size4K);
+        assert!(c.pages.is_empty());
+        assert_eq!(c.page_divergence(), 0.0);
+    }
+
+    #[test]
+    fn stats_merge_ratio() {
+        let mut st = CoalescerStats::default();
+        let addrs: Vec<_> = (0..64).map(|i| va(i * 4)).collect();
+        st.record(&CoalescedAccess::from_lanes(&addrs, PageSize::Size4K));
+        assert_eq!(st.lanes, 64);
+        assert_eq!(st.page_requests, 1);
+        assert!(st.page_merge_ratio() > 0.98);
+    }
+}

@@ -1,0 +1,339 @@
+//! IOMMU model: device-level L1/L2 TLBs, split page-walk caches, and a
+//! pool of concurrent page-table walkers (Table 1: 32 walkers, 32/256
+//! device TLB entries, 4/8/32 PWC entries).
+//!
+//! The IOMMU additionally merges concurrent walks to the same VPN —
+//! the burst behaviour of SIMT execution means one divergent wavefront
+//! can issue tens of misses to the same page within a few cycles.
+
+use std::collections::HashMap;
+
+use gtr_sim::resource::Server;
+use gtr_sim::stats::{HitMiss, Log2Histogram};
+use gtr_sim::Cycle;
+
+use crate::addr::{Translation, TranslationKey};
+use crate::page_table::PageTable;
+use crate::pwc::{PageWalkCaches, PwcConfig};
+use crate::tlb::{Tlb, TlbConfig};
+use crate::walk::{walk, PteAccess};
+
+/// IOMMU configuration (defaults mirror Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IommuConfig {
+    /// Concurrent page-table walkers.
+    pub walkers: usize,
+    /// Device-side L1 TLB entries (fully associative).
+    pub l1_entries: usize,
+    /// Device-side L2 TLB entries (fully associative).
+    pub l2_entries: usize,
+    /// Device L1 TLB latency.
+    pub l1_latency: Cycle,
+    /// Device L2 TLB latency.
+    pub l2_latency: Cycle,
+    /// Split page-walk-cache configuration.
+    pub pwc: PwcConfig,
+}
+
+impl Default for IommuConfig {
+    fn default() -> Self {
+        Self {
+            walkers: 32,
+            l1_entries: 32,
+            l2_entries: 256,
+            l1_latency: 4,
+            l2_latency: 10,
+            pwc: PwcConfig::default(),
+        }
+    }
+}
+
+/// How a translation request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IommuHitLevel {
+    /// Device L1 TLB hit.
+    DeviceL1,
+    /// Device L2 TLB hit.
+    DeviceL2,
+    /// Merged into an in-flight walk for the same VPN.
+    MergedWalk,
+    /// Required a page-table walk.
+    Walk,
+}
+
+/// Outcome of an IOMMU translation request.
+#[derive(Debug, Clone, Copy)]
+pub struct IommuOutcome {
+    /// The translation, `None` on fault.
+    pub translation: Option<Translation>,
+    /// Completion cycle.
+    pub done: Cycle,
+    /// How the request was satisfied.
+    pub level: IommuHitLevel,
+    /// PTE memory accesses charged (walks only).
+    pub memory_accesses: usize,
+}
+
+/// Aggregate IOMMU statistics.
+#[derive(Debug, Clone, Default)]
+pub struct IommuStats {
+    /// Device L1 TLB hits/misses.
+    pub dev_l1: HitMiss,
+    /// Device L2 TLB hits/misses.
+    pub dev_l2: HitMiss,
+    /// Completed page walks.
+    pub walks: u64,
+    /// Requests merged into in-flight walks.
+    pub merged: u64,
+    /// Total PTE memory accesses.
+    pub pte_accesses: u64,
+    /// Walk latency distribution.
+    pub walk_latency: Log2Histogram,
+}
+
+/// The IOMMU: device TLBs + PWCs + walker pool.
+#[derive(Debug)]
+pub struct Iommu {
+    config: IommuConfig,
+    dev_l1: Tlb,
+    dev_l2: Tlb,
+    pwc: PageWalkCaches,
+    walkers: Server,
+    pending: HashMap<TranslationKey, (Cycle, Option<Translation>)>,
+    stats: IommuStats,
+}
+
+impl Iommu {
+    /// Creates an IOMMU from a configuration.
+    pub fn new(config: IommuConfig) -> Self {
+        Self {
+            config,
+            dev_l1: Tlb::new(TlbConfig::fully_associative(config.l1_entries, config.l1_latency)),
+            dev_l2: Tlb::new(TlbConfig::fully_associative(config.l2_entries, config.l2_latency)),
+            pwc: PageWalkCaches::new(config.pwc),
+            walkers: Server::new(config.walkers),
+            pending: HashMap::new(),
+            stats: IommuStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &IommuConfig {
+        &self.config
+    }
+
+    /// Translates `key`, starting at `now`, walking `table` on device
+    /// TLB misses with PTE reads timed by `mem`.
+    pub fn translate(
+        &mut self,
+        now: Cycle,
+        key: TranslationKey,
+        table: &PageTable,
+        mem: &mut impl PteAccess,
+    ) -> IommuOutcome {
+        // A device-TLB hit on an entry whose walk is still in flight
+        // must wait for that walk to finish (fills happen at issue time
+        // for determinism; the pending map restores correct timing).
+        let in_flight = |pending: &HashMap<TranslationKey, (Cycle, Option<Translation>)>,
+                         done: Cycle| {
+            pending.get(&key).map_or(done, |&(walk_done, _)| done.max(walk_done))
+        };
+
+        // Device L1 TLB.
+        let t_l1 = now + self.config.l1_latency;
+        if let Some(tx) = self.dev_l1.lookup(key) {
+            self.stats.dev_l1.hit();
+            return IommuOutcome {
+                translation: Some(tx),
+                done: in_flight(&self.pending, t_l1),
+                level: IommuHitLevel::DeviceL1,
+                memory_accesses: 0,
+            };
+        }
+        self.stats.dev_l1.miss();
+
+        // Device L2 TLB.
+        let t_l2 = t_l1 + self.config.l2_latency;
+        if let Some(tx) = self.dev_l2.lookup(key) {
+            self.stats.dev_l2.hit();
+            self.dev_l1.insert(tx);
+            return IommuOutcome {
+                translation: Some(tx),
+                done: in_flight(&self.pending, t_l2),
+                level: IommuHitLevel::DeviceL2,
+                memory_accesses: 0,
+            };
+        }
+        self.stats.dev_l2.miss();
+
+        // Merge with an in-flight walk to the same page.
+        if let Some(&(done, tx)) = self.pending.get(&key) {
+            if done > t_l2 {
+                self.stats.merged += 1;
+                return IommuOutcome {
+                    translation: tx,
+                    done,
+                    level: IommuHitLevel::MergedWalk,
+                    memory_accesses: 0,
+                };
+            }
+            self.pending.remove(&key);
+        }
+
+        // Full walk on an available walker.
+        let start = self.walkers.acquire(t_l2, 0);
+        let result = walk(start, key, table, &mut self.pwc, mem);
+        // Re-reserve the walker for the actual walk duration (service
+        // time was unknown before the walk was simulated).
+        let _ = self.walkers.acquire(start, result.done.saturating_sub(start));
+        self.stats.walks += 1;
+        self.stats.pte_accesses += result.memory_accesses as u64;
+        self.stats.walk_latency.record(result.done.saturating_sub(t_l2));
+        if let Some(tx) = result.translation {
+            self.dev_l1.insert(tx);
+            self.dev_l2.insert(tx);
+        }
+        self.pending.insert(key, (result.done, result.translation));
+        if self.pending.len() > 4 * self.config.walkers {
+            let horizon = now;
+            self.pending.retain(|_, (done, _)| *done > horizon);
+        }
+        IommuOutcome {
+            translation: result.translation,
+            done: result.done,
+            level: IommuHitLevel::Walk,
+            memory_accesses: result.memory_accesses,
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &IommuStats {
+        &self.stats
+    }
+
+    /// Page-walk-cache hit/miss counters `(pgd, pud, pmd)`.
+    pub fn pwc_stats(&self) -> (HitMiss, HitMiss, HitMiss) {
+        self.pwc.stats()
+    }
+
+    /// Invalidates one key everywhere in the IOMMU (shootdown).
+    pub fn invalidate(&mut self, key: TranslationKey) {
+        self.dev_l1.invalidate(key);
+        self.dev_l2.invalidate(key);
+        self.pending.remove(&key);
+    }
+
+    /// Flushes all device TLBs and walk caches.
+    pub fn flush(&mut self) {
+        self.dev_l1.flush();
+        self.dev_l2.flush();
+        self.pwc.flush();
+        self.pending.clear();
+    }
+
+    /// Completed page walks.
+    pub fn walks(&self) -> u64 {
+        self.stats.walks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{PageSize, VirtAddr};
+    use crate::walk::FixedLatencyPte;
+
+    fn setup() -> (PageTable, Iommu, FixedLatencyPte) {
+        let mut pt = PageTable::new(PageSize::Size4K);
+        pt.map_range(VirtAddr::new(0), 4096);
+        (pt, Iommu::new(IommuConfig::default()), FixedLatencyPte::new(100))
+    }
+
+    #[test]
+    fn first_access_walks_then_hits_device_tlb() {
+        let (pt, mut iommu, mut mem) = setup();
+        let key = pt.key(VirtAddr::new(0x3000));
+        let first = iommu.translate(0, key, &pt, &mut mem);
+        assert_eq!(first.level, IommuHitLevel::Walk);
+        assert!(first.memory_accesses >= 1);
+        let second = iommu.translate(first.done, key, &pt, &mut mem);
+        assert_eq!(second.level, IommuHitLevel::DeviceL1);
+        assert_eq!(second.translation, first.translation);
+        assert_eq!(iommu.walks(), 1);
+    }
+
+    #[test]
+    fn concurrent_same_page_misses_merge() {
+        let (pt, mut iommu, mut mem) = setup();
+        let key = pt.key(VirtAddr::new(0x5000));
+        let a = iommu.translate(0, key, &pt, &mut mem);
+        // Arrives while the walk is still in flight, after missing the
+        // device TLBs (fills happen at issue; force-mimic by querying a
+        // second IOMMU-path before completion).
+        iommu.dev_l1.invalidate(key);
+        iommu.dev_l2.invalidate(key);
+        let b = iommu.translate(1, key, &pt, &mut mem);
+        assert_eq!(b.level, IommuHitLevel::MergedWalk);
+        assert_eq!(b.done, a.done);
+        assert_eq!(iommu.walks(), 1);
+    }
+
+    #[test]
+    fn walker_pool_saturates() {
+        let (pt, mut iommu, mut mem) = setup();
+        // Issue 64 distinct-page misses at cycle 0: with 32 walkers the
+        // 33rd walk must queue behind the first.
+        let mut dones: Vec<Cycle> = (0..64u64)
+            .map(|i| {
+                let key = pt.key(VirtAddr::new(i * 4096));
+                iommu.translate(0, key, &pt, &mut mem).done
+            })
+            .collect();
+        dones.sort_unstable();
+        assert!(
+            dones[63] > dones[0],
+            "later walks should queue: first={} last={}",
+            dones[0],
+            dones[63]
+        );
+        assert_eq!(iommu.walks(), 64);
+    }
+
+    #[test]
+    fn pwc_reduces_walk_cost_for_neighbors() {
+        let (pt, mut iommu, mut mem) = setup();
+        let a = iommu.translate(0, pt.key(VirtAddr::new(0x0000)), &pt, &mut mem);
+        let b = iommu.translate(a.done, pt.key(VirtAddr::new(0x1000)), &pt, &mut mem);
+        assert!(b.memory_accesses < a.memory_accesses);
+    }
+
+    #[test]
+    fn fault_returns_none() {
+        let (pt, mut iommu, mut mem) = setup();
+        let out = iommu.translate(0, pt.key(VirtAddr::new(1 << 40)), &pt, &mut mem);
+        assert!(out.translation.is_none());
+    }
+
+    #[test]
+    fn invalidate_forces_rewalk() {
+        let (pt, mut iommu, mut mem) = setup();
+        let key = pt.key(VirtAddr::new(0x7000));
+        let first = iommu.translate(0, key, &pt, &mut mem);
+        iommu.invalidate(key);
+        let again = iommu.translate(first.done + 10_000, key, &pt, &mut mem);
+        assert_eq!(again.level, IommuHitLevel::Walk);
+        assert_eq!(iommu.walks(), 2);
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let (pt, mut iommu, mut mem) = setup();
+        let key = pt.key(VirtAddr::new(0x9000));
+        let o = iommu.translate(0, key, &pt, &mut mem);
+        iommu.flush();
+        let again = iommu.translate(o.done + 10_000, key, &pt, &mut mem);
+        assert_eq!(again.level, IommuHitLevel::Walk);
+        // PWC also flushed: cold walk again costs full depth.
+        assert_eq!(again.memory_accesses, 4);
+    }
+}

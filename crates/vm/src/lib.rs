@@ -1,0 +1,41 @@
+//! # gtr-vm
+//!
+//! GPU virtual-memory substrate: addresses, four-level x86-64 page
+//! tables, a generic set-associative TLB, per-wavefront access
+//! coalescing, split page-walk caches, and an IOMMU with a pool of
+//! concurrent page-table walkers — everything the MICRO'21 paper's
+//! baseline (Table 1) requires below the reconfigurable structures.
+//!
+//! The crate is timing-aware but memory-system-agnostic: a page walk
+//! produces a sequence of PTE physical addresses whose access latency
+//! is supplied by an implementation of [`walk::PteAccess`] (in the full
+//! system that is the GPU's L2 data cache + DRAM from `gtr-mem`).
+//!
+//! # Example: translating through the IOMMU
+//!
+//! ```
+//! use gtr_vm::addr::{PageSize, VirtAddr, VmId, VrfId};
+//! use gtr_vm::page_table::PageTable;
+//! use gtr_vm::iommu::{Iommu, IommuConfig};
+//! use gtr_vm::walk::FixedLatencyPte;
+//!
+//! let mut pt = PageTable::new(PageSize::Size4K);
+//! pt.map_range(VirtAddr::new(0), 16);
+//! let mut iommu = Iommu::new(IommuConfig::default());
+//! let mut mem = FixedLatencyPte::new(200);
+//! let key = pt.key_for(VirtAddr::new(0x2000), VmId::new(0), VrfId::new(0));
+//! let outcome = iommu.translate(0, key, &pt, &mut mem);
+//! assert!(outcome.translation.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod coalescer;
+pub mod iommu;
+pub mod page_table;
+pub mod pwc;
+pub mod shootdown;
+pub mod tlb;
+pub mod walk;

@@ -1,0 +1,328 @@
+//! Four-level x86-64-style radix page table.
+//!
+//! The table is *functional* (maps VPNs to PPNs) and *structural*: it
+//! knows the physical address of every page-table entry a hardware
+//! walker would touch, so the timing simulator can charge real memory
+//! accesses for each walk step, and the split page-walk caches
+//! ([`crate::pwc`]) can cache interior levels exactly as in Barr et
+//! al., "Translation Caching: Skip, Don't Walk".
+
+use std::collections::HashMap;
+
+use crate::addr::{PageSize, PhysAddr, Ppn, TranslationKey, Translation, VirtAddr, VmId, Vpn, VrfId};
+
+/// Physical region where page-table pages are allocated. Keeping the
+/// tables away from data frames makes walk traffic visibly distinct in
+/// DRAM statistics.
+const TABLE_REGION_BASE: u64 = 1 << 44;
+
+/// Size of one page-table node in bytes (512 × 8-byte entries).
+const TABLE_NODE_BYTES: u64 = 4096;
+
+/// One step of a page walk: the radix level, the VPN prefix that
+/// identifies the interior node, and the physical address of the PTE
+/// the walker must read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkStep {
+    /// Radix level, 0 = root (PGD), `levels-1` = leaf (PTE).
+    pub level: usize,
+    /// VPN prefix identifying the node at this level (used as the
+    /// page-walk-cache tag).
+    pub prefix: u64,
+    /// Physical address of the entry read at this step.
+    pub pte_addr: PhysAddr,
+}
+
+/// The full path of a page walk plus its outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkPath {
+    /// One step per radix level, root first.
+    pub steps: Vec<WalkStep>,
+    /// The translated frame.
+    pub ppn: Ppn,
+}
+
+/// A four-level (three for 2 MB pages) radix page table with an
+/// embedded physical-frame allocator.
+///
+/// # Example
+///
+/// ```
+/// use gtr_vm::addr::{PageSize, VirtAddr};
+/// use gtr_vm::page_table::PageTable;
+///
+/// let mut pt = PageTable::new(PageSize::Size4K);
+/// let tx = pt.map(VirtAddr::new(0x5000));
+/// assert_eq!(pt.translate(tx.key.vpn), Some(tx.ppn));
+/// let path = pt.walk_path(tx.key.vpn).unwrap();
+/// assert_eq!(path.steps.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    page_size: PageSize,
+    /// Bits of VPN index consumed at each level, root first.
+    level_bits: Vec<u32>,
+    /// Interior nodes: (level, prefix) -> node base physical address.
+    nodes: HashMap<(usize, u64), PhysAddr>,
+    /// Leaf mappings.
+    mappings: HashMap<Vpn, Ppn>,
+    next_data_frame: u64,
+    next_table_node: u64,
+    vmid: VmId,
+    vrf: VrfId,
+}
+
+impl PageTable {
+    /// Creates an empty page table for the given page size.
+    pub fn new(page_size: PageSize) -> Self {
+        let vpn_bits = crate::addr::VA_BITS - page_size.bits();
+        let levels = page_size.walk_levels() as u32;
+        let per = vpn_bits / levels;
+        let mut level_bits = vec![per; levels as usize];
+        // Give the root any remainder so the split covers all VPN bits.
+        level_bits[0] += vpn_bits - per * levels;
+        Self {
+            page_size,
+            level_bits,
+            nodes: HashMap::new(),
+            mappings: HashMap::new(),
+            next_data_frame: 1, // frame 0 reserved
+            next_table_node: 0,
+            vmid: VmId::default(),
+            vrf: VrfId::default(),
+        }
+    }
+
+    /// Creates a page table owned by a specific address space.
+    pub fn with_ids(page_size: PageSize, vmid: VmId, vrf: VrfId) -> Self {
+        Self { vmid, vrf, ..Self::new(page_size) }
+    }
+
+    /// The page size this table maps at.
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// Number of radix levels.
+    pub fn levels(&self) -> usize {
+        self.level_bits.len()
+    }
+
+    /// Number of leaf mappings installed.
+    pub fn mapped_pages(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Builds the [`TranslationKey`] for a virtual address in this
+    /// table's address space.
+    pub fn key_for(&self, va: VirtAddr, vmid: VmId, vrf: VrfId) -> TranslationKey {
+        TranslationKey { vpn: va.vpn(self.page_size), vmid, vrf }
+    }
+
+    /// Builds the key using this table's own address-space identifiers.
+    pub fn key(&self, va: VirtAddr) -> TranslationKey {
+        self.key_for(va, self.vmid, self.vrf)
+    }
+
+    /// Maps the page containing `va`, allocating a fresh frame if it is
+    /// not already mapped, and returns the translation.
+    pub fn map(&mut self, va: VirtAddr) -> Translation {
+        let vpn = va.vpn(self.page_size);
+        self.map_vpn(vpn)
+    }
+
+    /// Maps a specific VPN (idempotent) and returns the translation.
+    pub fn map_vpn(&mut self, vpn: Vpn) -> Translation {
+        let page_size = self.page_size;
+        if let Some(&ppn) = self.mappings.get(&vpn) {
+            return Translation::new(
+                TranslationKey { vpn, vmid: self.vmid, vrf: self.vrf },
+                ppn,
+            );
+        }
+        // Materialize interior nodes along the path.
+        let levels = self.levels();
+        for level in 0..levels {
+            let prefix = self.node_prefix_at(vpn, level);
+            if !self.nodes.contains_key(&(level, prefix)) {
+                let base =
+                    PhysAddr::new(TABLE_REGION_BASE + self.next_table_node * TABLE_NODE_BYTES);
+                self.next_table_node += 1;
+                self.nodes.insert((level, prefix), base);
+            }
+        }
+        // Scatter frames with a fixed odd multiplier so consecutive
+        // virtual pages do not all land in the same DRAM bank.
+        let frame = self.next_data_frame;
+        self.next_data_frame += 1;
+        let scatter = frame.wrapping_mul(0x9E37_79B1) & ((1u64 << (40 - page_size.bits())) - 1);
+        let ppn = Ppn(scatter | 1 << (40 - page_size.bits()));
+        self.mappings.insert(vpn, ppn);
+        Translation::new(TranslationKey { vpn, vmid: self.vmid, vrf: self.vrf }, ppn)
+    }
+
+    /// Maps `count` consecutive pages starting at the page containing
+    /// `start`.
+    pub fn map_range(&mut self, start: VirtAddr, count: u64) {
+        let first = start.vpn(self.page_size).0;
+        for i in 0..count {
+            self.map_vpn(Vpn(first + i));
+        }
+    }
+
+    /// Looks up a VPN without side effects.
+    pub fn translate(&self, vpn: Vpn) -> Option<Ppn> {
+        self.mappings.get(&vpn).copied()
+    }
+
+    /// Removes a mapping (page swap / migration), returning the frame
+    /// it occupied. The caller is responsible for shooting down TLBs.
+    pub fn unmap(&mut self, vpn: Vpn) -> Option<Ppn> {
+        self.mappings.remove(&vpn)
+    }
+
+    /// Re-maps an existing VPN to a fresh frame (page migration),
+    /// returning the new translation, or `None` if it was not mapped.
+    pub fn migrate(&mut self, vpn: Vpn) -> Option<Translation> {
+        self.unmap(vpn)?;
+        Some(self.map_vpn(vpn))
+    }
+
+    /// VPN prefix identifying the page-table *entry* read at `level`
+    /// (all VPN bits down to and including that level's index). This is
+    /// the tag the page-walk caches use.
+    pub fn prefix_at(&self, vpn: Vpn, level: usize) -> u64 {
+        let below: u32 = self.level_bits[level + 1..].iter().sum();
+        vpn.0 >> below
+    }
+
+    /// VPN prefix identifying the *node* visited at `level` (the path
+    /// indices above it; the root node's prefix is always 0).
+    fn node_prefix_at(&self, vpn: Vpn, level: usize) -> u64 {
+        let at_and_below: u32 = self.level_bits[level..].iter().sum();
+        vpn.0 >> at_and_below
+    }
+
+    /// Full walk path for a mapped VPN, or `None` if unmapped.
+    pub fn walk_path(&self, vpn: Vpn) -> Option<WalkPath> {
+        let ppn = self.translate(vpn)?;
+        let mut steps = Vec::with_capacity(self.levels());
+        for level in 0..self.levels() {
+            let node_prefix = self.node_prefix_at(vpn, level);
+            let node = *self
+                .nodes
+                .get(&(level, node_prefix))
+                .expect("mapped page must have interior nodes");
+            // Entry index within the node = the index bits of this level.
+            let below: u32 = self.level_bits[level + 1..].iter().sum();
+            let idx = (vpn.0 >> below) & ((1u64 << self.level_bits[level]) - 1);
+            steps.push(WalkStep {
+                level,
+                prefix: self.prefix_at(vpn, level),
+                pte_addr: PhysAddr::new(node.raw() + idx * 8),
+            });
+        }
+        Some(WalkPath { steps, ppn })
+    }
+
+    /// Total page-table nodes allocated (a proxy for page-table memory
+    /// footprint).
+    pub fn table_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_is_idempotent() {
+        let mut pt = PageTable::new(PageSize::Size4K);
+        let a = pt.map(VirtAddr::new(0x1234));
+        let b = pt.map(VirtAddr::new(0x1FFF)); // same page
+        assert_eq!(a, b);
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn distinct_pages_get_distinct_frames() {
+        let mut pt = PageTable::new(PageSize::Size4K);
+        let mut frames = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            let tx = pt.map(VirtAddr::new(i * 4096));
+            assert!(frames.insert(tx.ppn), "frame reused at page {i}");
+        }
+    }
+
+    #[test]
+    fn walk_path_levels_match_page_size() {
+        for size in PageSize::all() {
+            let mut pt = PageTable::new(size);
+            let tx = pt.map(VirtAddr::new(0xABCD_E000));
+            let path = pt.walk_path(tx.key.vpn).unwrap();
+            assert_eq!(path.steps.len(), size.walk_levels(), "size {size}");
+            assert_eq!(path.ppn, tx.ppn);
+            // Levels are strictly increasing and distinct PTE addrs.
+            for (i, s) in path.steps.iter().enumerate() {
+                assert_eq!(s.level, i);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_share_interior_nodes() {
+        let mut pt = PageTable::new(PageSize::Size4K);
+        pt.map(VirtAddr::new(0));
+        let nodes_one = pt.table_nodes();
+        pt.map(VirtAddr::new(4096)); // adjacent page: same PGD/PUD/PMD/PT
+        assert_eq!(pt.table_nodes(), nodes_one);
+        let p0 = pt.walk_path(Vpn(0)).unwrap();
+        let p1 = pt.walk_path(Vpn(1)).unwrap();
+        // First three steps read the same nodes, different leaf index.
+        for l in 0..3 {
+            assert_eq!(p0.steps[l].prefix, p1.steps[l].prefix);
+        }
+        assert_ne!(p0.steps[3].pte_addr, p1.steps[3].pte_addr);
+    }
+
+    #[test]
+    fn far_pages_use_distinct_leaf_tables() {
+        let mut pt = PageTable::new(PageSize::Size4K);
+        pt.map(VirtAddr::new(0));
+        pt.map(VirtAddr::new(1 << 30)); // 1 GiB away: different PMD/PT
+        let p0 = pt.walk_path(Vpn(0)).unwrap();
+        let p1 = pt.walk_path(Vpn((1 << 30) >> 12)).unwrap();
+        assert_eq!(p0.steps[0].prefix, p1.steps[0].prefix); // same root node
+        assert_ne!(p0.steps[2].prefix, p1.steps[2].prefix);
+    }
+
+    #[test]
+    fn unmap_and_migrate() {
+        let mut pt = PageTable::new(PageSize::Size4K);
+        let tx = pt.map(VirtAddr::new(0x8000));
+        assert_eq!(pt.unmap(tx.key.vpn), Some(tx.ppn));
+        assert_eq!(pt.translate(tx.key.vpn), None);
+        assert_eq!(pt.migrate(tx.key.vpn), None);
+
+        let tx2 = pt.map(VirtAddr::new(0x8000));
+        let tx3 = pt.migrate(tx2.key.vpn).unwrap();
+        assert_eq!(tx2.key, tx3.key);
+        assert_ne!(tx2.ppn, tx3.ppn, "migration must move the frame");
+    }
+
+    #[test]
+    fn walk_path_none_for_unmapped() {
+        let pt = PageTable::new(PageSize::Size4K);
+        assert!(pt.walk_path(Vpn(99)).is_none());
+    }
+
+    #[test]
+    fn pte_addrs_live_in_table_region() {
+        let mut pt = PageTable::new(PageSize::Size2M);
+        let tx = pt.map(VirtAddr::new(0x4000_0000));
+        for step in pt.walk_path(tx.key.vpn).unwrap().steps {
+            assert!(step.pte_addr.raw() >= super::TABLE_REGION_BASE);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Split page-walk caches (PGD/PUD/PMD), after Barr et al.,
+//! "Translation Caching: Skip, Don't Walk (the Page Table)".
+//!
+//! Each cache holds interior page-table entries for one radix level,
+//! tagged by the VPN prefix identifying that interior node's *entry*.
+//! A hit at a deep level lets the walker skip every shallower access;
+//! only the leaf PTE always requires a memory access. Table 1
+//! configures 4/8/32 entries for PGD/PUD/PMD.
+
+use gtr_sim::stats::HitMiss;
+
+use crate::page_table::WalkPath;
+
+/// Configuration for the three split walk caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PwcConfig {
+    /// PGD (level-0) cache entries.
+    pub pgd_entries: usize,
+    /// PUD (level-1) cache entries.
+    pub pud_entries: usize,
+    /// PMD (level-2) cache entries.
+    pub pmd_entries: usize,
+    /// Lookup latency in cycles (all three probed in parallel).
+    pub latency: u64,
+}
+
+impl Default for PwcConfig {
+    /// Table 1: PGD/PUD/PMD cache of 4/8/32 entries.
+    fn default() -> Self {
+        Self { pgd_entries: 4, pud_entries: 8, pmd_entries: 32, latency: 2 }
+    }
+}
+
+/// A single fully-associative LRU cache of `(level, prefix)` tags.
+#[derive(Debug, Clone)]
+struct LevelCache {
+    entries: Vec<(u64, u64)>, // (prefix, last_use)
+    capacity: usize,
+    tick: u64,
+    stats: HitMiss,
+}
+
+impl LevelCache {
+    fn new(capacity: usize) -> Self {
+        Self { entries: Vec::with_capacity(capacity), capacity, tick: 0, stats: HitMiss::new() }
+    }
+
+    fn lookup(&mut self, prefix: u64) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == prefix) {
+            e.1 = tick;
+            self.stats.hit();
+            true
+        } else {
+            self.stats.miss();
+            false
+        }
+    }
+
+    fn insert(&mut self, prefix: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == prefix) {
+            e.1 = tick;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            let (idx, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .expect("cache full implies non-empty");
+            self.entries.swap_remove(idx);
+        }
+        self.entries.push((prefix, tick));
+    }
+
+    fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// The split PGD/PUD/PMD page-walk cache assembly.
+///
+/// # Example
+///
+/// ```
+/// use gtr_vm::pwc::{PageWalkCaches, PwcConfig};
+/// use gtr_vm::page_table::PageTable;
+/// use gtr_vm::addr::{PageSize, VirtAddr};
+///
+/// let mut pt = PageTable::new(PageSize::Size4K);
+/// let tx = pt.map(VirtAddr::new(0x7000));
+/// let path = pt.walk_path(tx.key.vpn).unwrap();
+/// let mut pwc = PageWalkCaches::new(PwcConfig::default());
+/// assert_eq!(pwc.first_uncached_level(&path), 0); // cold: walk all levels
+/// pwc.fill(&path);
+/// assert_eq!(pwc.first_uncached_level(&path), 3); // warm: only the PTE access
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageWalkCaches {
+    caches: [LevelCache; 3],
+    config: PwcConfig,
+}
+
+impl PageWalkCaches {
+    /// Creates empty walk caches.
+    pub fn new(config: PwcConfig) -> Self {
+        Self {
+            caches: [
+                LevelCache::new(config.pgd_entries),
+                LevelCache::new(config.pud_entries),
+                LevelCache::new(config.pmd_entries),
+            ],
+            config,
+        }
+    }
+
+    /// Lookup latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.config.latency
+    }
+
+    /// Returns the index of the first walk step that must access
+    /// memory: the deepest *interior* level cached lets the walker skip
+    /// everything at or above it. The leaf PTE (last step) is never
+    /// cached here, so the result is at most `steps.len() - 1`.
+    pub fn first_uncached_level(&mut self, path: &WalkPath) -> usize {
+        let interior = path.steps.len() - 1; // number of cacheable levels
+        let cacheable = interior.min(self.caches.len());
+        // Probe deepest-first: a PMD hit covers PGD+PUD+PMD.
+        for level in (0..cacheable).rev() {
+            if self.caches[level].lookup(path.steps[level].prefix) {
+                return level + 1;
+            }
+        }
+        0
+    }
+
+    /// Fills all interior levels of a completed walk.
+    pub fn fill(&mut self, path: &WalkPath) {
+        let interior = path.steps.len() - 1;
+        for level in 0..interior.min(self.caches.len()) {
+            self.caches[level].insert(path.steps[level].prefix);
+        }
+    }
+
+    /// Per-level hit/miss counters `(pgd, pud, pmd)`.
+    pub fn stats(&self) -> (HitMiss, HitMiss, HitMiss) {
+        (self.caches[0].stats, self.caches[1].stats, self.caches[2].stats)
+    }
+
+    /// Invalidates everything (address-space switch / shootdown).
+    pub fn flush(&mut self) {
+        for c in &mut self.caches {
+            c.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{PageSize, VirtAddr, Vpn};
+    use crate::page_table::PageTable;
+
+    fn path_for(pt: &mut PageTable, va: u64) -> WalkPath {
+        let tx = pt.map(VirtAddr::new(va));
+        pt.walk_path(tx.key.vpn).unwrap()
+    }
+
+    #[test]
+    fn cold_walk_starts_at_root() {
+        let mut pt = PageTable::new(PageSize::Size4K);
+        let path = path_for(&mut pt, 0x1000);
+        let mut pwc = PageWalkCaches::new(PwcConfig::default());
+        assert_eq!(pwc.first_uncached_level(&path), 0);
+    }
+
+    #[test]
+    fn warm_walk_skips_to_pte() {
+        let mut pt = PageTable::new(PageSize::Size4K);
+        let path = path_for(&mut pt, 0x1000);
+        let mut pwc = PageWalkCaches::new(PwcConfig::default());
+        pwc.fill(&path);
+        // Adjacent page shares all interior nodes.
+        let path2 = path_for(&mut pt, 0x2000);
+        assert_eq!(pwc.first_uncached_level(&path2), 3);
+    }
+
+    #[test]
+    fn partial_hit_at_shallower_level() {
+        let mut pt = PageTable::new(PageSize::Size4K);
+        let near = path_for(&mut pt, 0x1000);
+        let mut pwc = PageWalkCaches::new(PwcConfig::default());
+        pwc.fill(&near);
+        // 1 GiB away: same PGD and PUD prefix differs at PMD level.
+        let far = path_for(&mut pt, 1 << 30);
+        let lvl = pwc.first_uncached_level(&far);
+        assert!((1..3).contains(&lvl), "expected partial skip, got {lvl}");
+    }
+
+    #[test]
+    fn two_mb_pages_have_two_cacheable_levels() {
+        let mut pt = PageTable::new(PageSize::Size2M);
+        let path = path_for(&mut pt, 0x4000_0000);
+        let mut pwc = PageWalkCaches::new(PwcConfig::default());
+        pwc.fill(&path);
+        assert_eq!(path.steps.len(), 3);
+        assert_eq!(pwc.first_uncached_level(&path), 2); // only leaf access
+    }
+
+    #[test]
+    fn lru_eviction_in_small_pgd_cache() {
+        let mut pwc = PageWalkCaches::new(PwcConfig {
+            pgd_entries: 2,
+            pud_entries: 0,
+            pmd_entries: 0,
+            latency: 2,
+        });
+        let mut pt = PageTable::new(PageSize::Size4K);
+        // Three PGD-distinct regions (39 bits apart at 4K = bit 27 of VPN).
+        let stride = 1u64 << 39;
+        let p0 = path_for(&mut pt, 0);
+        let p1 = path_for(&mut pt, stride);
+        let p2 = path_for(&mut pt, 2 * stride);
+        pwc.fill(&p0);
+        pwc.fill(&p1);
+        pwc.fill(&p2); // evicts p0's PGD entry
+        assert_eq!(pwc.first_uncached_level(&p0), 0);
+        assert_eq!(pwc.first_uncached_level(&p2), 1);
+    }
+
+    #[test]
+    fn flush_clears_all_levels() {
+        let mut pt = PageTable::new(PageSize::Size4K);
+        let path = path_for(&mut pt, 0x9000);
+        let mut pwc = PageWalkCaches::new(PwcConfig::default());
+        pwc.fill(&path);
+        pwc.flush();
+        assert_eq!(pwc.first_uncached_level(&path), 0);
+    }
+
+    #[test]
+    fn stats_track_probes() {
+        let mut pt = PageTable::new(PageSize::Size4K);
+        let path = path_for(&mut pt, 0x1000);
+        let mut pwc = PageWalkCaches::new(PwcConfig::default());
+        pwc.first_uncached_level(&path);
+        pwc.fill(&path);
+        pwc.first_uncached_level(&path);
+        let (_, _, pmd) = pwc.stats();
+        assert!(pmd.total() >= 2);
+        assert!(pmd.hits >= 1);
+        let _ = Vpn(0); // silence unused import in some cfgs
+    }
+}

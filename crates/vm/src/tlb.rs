@@ -1,0 +1,359 @@
+//! Generic set-associative TLB with true-LRU replacement.
+//!
+//! Instantiated as the paper's per-CU fully-associative 32-entry L1
+//! TLB, the GPU-shared 16-way 512-entry L2 TLB, and the IOMMU's device
+//! TLBs (Table 1). Evictions are surfaced to the caller because the
+//! reconfigurable architecture routes L1-TLB victims into the idle
+//! LDS/I-cache structures (Fig 12).
+
+use gtr_sim::stats::HitMiss;
+
+use crate::addr::{Ppn, Translation, TranslationKey, VmId};
+
+/// Configuration of one TLB instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total entries.
+    pub entries: usize,
+    /// Associativity; `entries` for fully associative.
+    pub assoc: usize,
+    /// Access latency in cycles (hit latency; charged by the caller).
+    pub latency: u64,
+}
+
+impl TlbConfig {
+    /// Fully-associative configuration.
+    pub fn fully_associative(entries: usize, latency: u64) -> Self {
+        Self { entries, assoc: entries, latency }
+    }
+
+    /// Set-associative configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` divides evenly into sets of `assoc`.
+    pub fn set_associative(entries: usize, assoc: usize, latency: u64) -> Self {
+        assert!(assoc > 0 && entries.is_multiple_of(assoc), "entries must be a multiple of assoc");
+        Self { entries, assoc, latency }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.entries / self.assoc).max(1)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    key: TranslationKey,
+    ppn: Ppn,
+    last_use: u64,
+}
+
+/// A set-associative, true-LRU TLB.
+///
+/// # Example
+///
+/// ```
+/// use gtr_vm::tlb::{Tlb, TlbConfig};
+/// use gtr_vm::addr::{Ppn, Translation, TranslationKey, Vpn};
+///
+/// let mut tlb = Tlb::new(TlbConfig::fully_associative(2, 1));
+/// let k = |v| TranslationKey::for_vpn(Vpn(v));
+/// tlb.insert(Translation::new(k(1), Ppn(10)));
+/// tlb.insert(Translation::new(k(2), Ppn(20)));
+/// assert!(tlb.lookup(k(1)).is_some());
+/// // inserting a third entry evicts the LRU (vpn 2)
+/// let victim = tlb.insert(Translation::new(k(3), Ppn(30))).unwrap();
+/// assert_eq!(victim.key, k(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    sets: Vec<Vec<Way>>,
+    tick: u64,
+    stats: HitMiss,
+    evictions: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    pub fn new(config: TlbConfig) -> Self {
+        let sets = (0..config.sets()).map(|_| Vec::with_capacity(config.assoc)).collect();
+        Self { config, sets, tick: 0, stats: HitMiss::new(), evictions: 0 }
+    }
+
+    /// This TLB's configuration.
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    /// Access latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.config.latency
+    }
+
+    fn set_index(&self, key: TranslationKey) -> usize {
+        // XOR-folded index (commercial TLBs hash set bits) so that
+        // power-of-two VPN strides — page-sized matrix rows above all —
+        // do not collapse onto a handful of sets.
+        let v = key.vpn.0;
+        ((v ^ (v >> 7) ^ (v >> 14)) as usize) % self.sets.len()
+    }
+
+    /// Looks up a key, updating LRU state and hit/miss counters.
+    pub fn lookup(&mut self, key: TranslationKey) -> Option<Translation> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(key);
+        match self.sets[set].iter_mut().find(|w| w.key == key) {
+            Some(way) => {
+                way.last_use = tick;
+                self.stats.hit();
+                Some(Translation::new(way.key, way.ppn))
+            }
+            None => {
+                self.stats.miss();
+                None
+            }
+        }
+    }
+
+    /// Checks presence without perturbing LRU or counters.
+    pub fn probe(&self, key: TranslationKey) -> Option<Translation> {
+        let set = self.set_index(key);
+        self.sets[set]
+            .iter()
+            .find(|w| w.key == key)
+            .map(|w| Translation::new(w.key, w.ppn))
+    }
+
+    /// Inserts a translation, returning the evicted victim if the set
+    /// was full. Re-inserting an existing key refreshes its frame and
+    /// LRU position without eviction.
+    pub fn insert(&mut self, tx: Translation) -> Option<Translation> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_index(tx.key);
+        let assoc = self.config.assoc;
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter_mut().find(|w| w.key == tx.key) {
+            way.ppn = tx.ppn;
+            way.last_use = tick;
+            return None;
+        }
+        if set.len() < assoc {
+            set.push(Way { key: tx.key, ppn: tx.ppn, last_use: tick });
+            return None;
+        }
+        let (victim_idx, _) = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.last_use)
+            .expect("full set is non-empty");
+        let victim = set[victim_idx];
+        set[victim_idx] = Way { key: tx.key, ppn: tx.ppn, last_use: tick };
+        self.evictions += 1;
+        Some(Translation::new(victim.key, victim.ppn))
+    }
+
+    /// Invalidates a single key (TLB shootdown); returns whether it was
+    /// present.
+    pub fn invalidate(&mut self, key: TranslationKey) -> bool {
+        let set = self.set_index(key);
+        let before = self.sets[set].len();
+        self.sets[set].retain(|w| w.key != key);
+        self.sets[set].len() != before
+    }
+
+    /// Invalidates every entry belonging to an address space.
+    pub fn invalidate_vmid(&mut self, vmid: VmId) -> usize {
+        let mut n = 0;
+        for set in &mut self.sets {
+            let before = set.len();
+            set.retain(|w| w.key.vmid != vmid);
+            n += before - set.len();
+        }
+        n
+    }
+
+    /// Removes all entries.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Current number of valid entries.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the TLB holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> usize {
+        self.config.entries
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> HitMiss {
+        self.stats
+    }
+
+    /// Number of evictions performed.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Resets counters (not contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = HitMiss::new();
+        self.evictions = 0;
+    }
+
+    /// Iterates over all resident translations (for duplication
+    /// analysis, Fig 14a).
+    pub fn iter(&self) -> impl Iterator<Item = Translation> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().map(|w| Translation::new(w.key, w.ppn)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Vpn;
+
+    fn k(v: u64) -> TranslationKey {
+        TranslationKey::for_vpn(Vpn(v))
+    }
+
+    fn tx(v: u64) -> Translation {
+        Translation::new(k(v), Ppn(v + 1000))
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut t = Tlb::new(TlbConfig::fully_associative(4, 1));
+        assert!(t.lookup(k(1)).is_none());
+        t.insert(tx(1));
+        assert!(t.lookup(k(1)).is_some());
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut t = Tlb::new(TlbConfig::fully_associative(3, 1));
+        t.insert(tx(1));
+        t.insert(tx(2));
+        t.insert(tx(3));
+        t.lookup(k(1)); // 1 is now MRU; LRU is 2
+        let victim = t.insert(tx(4)).unwrap();
+        assert_eq!(victim.key, k(2));
+        assert_eq!(t.evictions(), 1);
+    }
+
+    #[test]
+    fn set_associative_conflicts() {
+        // 4 entries, 2-way => 2 sets; vpns 0,2,4 all map to set 0.
+        let mut t = Tlb::new(TlbConfig::set_associative(4, 2, 1));
+        assert!(t.insert(tx(0)).is_none());
+        assert!(t.insert(tx(2)).is_none());
+        let victim = t.insert(tx(4)).unwrap();
+        assert_eq!(victim.key, k(0));
+        // Set 1 still has room.
+        assert!(t.insert(tx(1)).is_none());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut t = Tlb::new(TlbConfig::fully_associative(2, 1));
+        t.insert(tx(1));
+        t.insert(tx(2));
+        assert!(t.insert(Translation::new(k(1), Ppn(77))).is_none());
+        assert_eq!(t.lookup(k(1)).unwrap().ppn, Ppn(77));
+        // vpn 2 became LRU after the vpn-1 refresh + lookup
+        let v = t.insert(tx(3)).unwrap();
+        assert_eq!(v.key, k(2));
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut t = Tlb::new(TlbConfig::fully_associative(2, 1));
+        t.insert(tx(1));
+        t.insert(tx(2));
+        t.probe(k(1)); // no LRU update: 1 stays LRU
+        let v = t.insert(tx(3)).unwrap();
+        assert_eq!(v.key, k(1));
+        assert_eq!(t.stats().total(), 0, "probe must not count");
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut t = Tlb::new(TlbConfig::set_associative(8, 4, 1));
+        for v in 0..8 {
+            t.insert(tx(v));
+        }
+        assert!(t.invalidate(k(3)));
+        assert!(!t.invalidate(k(3)));
+        assert_eq!(t.len(), 7);
+        t.flush();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn invalidate_vmid_scopes_to_address_space() {
+        use crate::addr::{VmId, VrfId};
+        let mut t = Tlb::new(TlbConfig::fully_associative(8, 1));
+        for v in 0..4 {
+            t.insert(Translation::new(
+                TranslationKey { vpn: Vpn(v), vmid: VmId::new(1), vrf: VrfId::default() },
+                Ppn(v),
+            ));
+        }
+        t.insert(tx(100)); // vmid 0
+        assert_eq!(t.invalidate_vmid(VmId::new(1)), 4);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn vrf_and_vmid_distinguish_same_vpn() {
+        use crate::addr::{VmId, VrfId};
+        let mut t = Tlb::new(TlbConfig::fully_associative(8, 1));
+        let mk = |vm: u8, vrf: u8| TranslationKey {
+            vpn: Vpn(7),
+            vmid: VmId::new(vm),
+            vrf: VrfId::new(vrf),
+        };
+        t.insert(Translation::new(mk(0, 0), Ppn(1)));
+        t.insert(Translation::new(mk(1, 0), Ppn(2)));
+        t.insert(Translation::new(mk(0, 1), Ppn(3)));
+        // Same VPN, three address-space identities: three entries.
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.lookup(mk(0, 0)).unwrap().ppn, Ppn(1));
+        assert_eq!(t.lookup(mk(1, 0)).unwrap().ppn, Ppn(2));
+        assert_eq!(t.lookup(mk(0, 1)).unwrap().ppn, Ppn(3));
+    }
+
+    #[test]
+    fn iter_covers_all_entries() {
+        let mut t = Tlb::new(TlbConfig::set_associative(16, 4, 1));
+        for v in 0..10 {
+            t.insert(tx(v));
+        }
+        let keys: std::collections::HashSet<_> = t.iter().map(|e| e.key.vpn.0).collect();
+        assert_eq!(keys.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of assoc")]
+    fn bad_geometry_panics() {
+        let _ = TlbConfig::set_associative(10, 4, 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Page-table walker: turns a walk path plus the page-walk-cache state
+//! into a timed sequence of PTE memory accesses.
+
+use gtr_sim::Cycle;
+
+use crate::addr::{PhysAddr, Translation};
+use crate::page_table::PageTable;
+use crate::pwc::PageWalkCaches;
+
+/// Timing interface for PTE memory accesses.
+///
+/// In the full system this is implemented by the GPU memory hierarchy
+/// (L2 data cache + DRAM); tests use [`FixedLatencyPte`].
+pub trait PteAccess {
+    /// Performs one PTE read starting at `now` and returns the cycle at
+    /// which the data is available.
+    fn access(&mut self, now: Cycle, addr: PhysAddr) -> Cycle;
+}
+
+/// A [`PteAccess`] with a constant latency — handy for unit tests and
+/// analytical experiments.
+#[derive(Debug, Clone)]
+pub struct FixedLatencyPte {
+    latency: Cycle,
+    accesses: u64,
+}
+
+impl FixedLatencyPte {
+    /// Creates a fixed-latency PTE memory.
+    pub fn new(latency: Cycle) -> Self {
+        Self { latency, accesses: 0 }
+    }
+
+    /// Number of PTE accesses performed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+}
+
+impl PteAccess for FixedLatencyPte {
+    fn access(&mut self, now: Cycle, addr: PhysAddr) -> Cycle {
+        let _ = addr;
+        self.accesses += 1;
+        now + self.latency
+    }
+}
+
+impl<T: PteAccess + ?Sized> PteAccess for &mut T {
+    fn access(&mut self, now: Cycle, addr: PhysAddr) -> Cycle {
+        (**self).access(now, addr)
+    }
+}
+
+/// Result of one page walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkResult {
+    /// The translation, or `None` on a page fault (unmapped VPN).
+    pub translation: Option<Translation>,
+    /// Cycle at which the walk finished.
+    pub done: Cycle,
+    /// Number of PTE memory accesses the walk issued.
+    pub memory_accesses: usize,
+    /// Radix level the walk started at thanks to the PWCs (0 = root).
+    pub start_level: usize,
+}
+
+/// Walks the page table for `key.vpn`, consulting and filling the
+/// split page-walk caches, charging one serialized [`PteAccess`] per
+/// remaining level.
+///
+/// A fault (unmapped page) is charged a full walk from the deepest
+/// cached level — the hardware still reads the tables to discover the
+/// absence.
+pub fn walk(
+    now: Cycle,
+    key: crate::addr::TranslationKey,
+    table: &PageTable,
+    pwc: &mut PageWalkCaches,
+    mem: &mut impl PteAccess,
+) -> WalkResult {
+    let mut t = now + pwc.latency();
+    match table.walk_path(key.vpn) {
+        Some(path) => {
+            let start = pwc.first_uncached_level(&path);
+            let mut accesses = 0;
+            for step in &path.steps[start..] {
+                t = mem.access(t, step.pte_addr);
+                accesses += 1;
+            }
+            pwc.fill(&path);
+            WalkResult {
+                translation: Some(Translation::new(key, path.ppn)),
+                done: t,
+                memory_accesses: accesses,
+                start_level: start,
+            }
+        }
+        None => {
+            // Fault: walk the full depth that exists (model as the
+            // table's level count of reads from the root region).
+            let levels = table.levels();
+            for i in 0..levels {
+                t = mem.access(t, PhysAddr::new((1 << 44) + (i as u64) * 8));
+            }
+            WalkResult { translation: None, done: t, memory_accesses: levels, start_level: 0 }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{PageSize, VirtAddr, Vpn};
+    use crate::pwc::PwcConfig;
+
+    #[test]
+    fn cold_walk_costs_four_accesses() {
+        let mut pt = PageTable::new(PageSize::Size4K);
+        let tx = pt.map(VirtAddr::new(0x1000));
+        let mut pwc = PageWalkCaches::new(PwcConfig::default());
+        let mut mem = FixedLatencyPte::new(100);
+        let r = walk(0, tx.key, &pt, &mut pwc, &mut mem);
+        assert_eq!(r.memory_accesses, 4);
+        assert_eq!(r.done, pwc.latency() + 400);
+        assert_eq!(r.translation.unwrap().ppn, tx.ppn);
+    }
+
+    #[test]
+    fn warm_walk_costs_one_access() {
+        let mut pt = PageTable::new(PageSize::Size4K);
+        let a = pt.map(VirtAddr::new(0x1000));
+        let b = pt.map(VirtAddr::new(0x2000));
+        let mut pwc = PageWalkCaches::new(PwcConfig::default());
+        let mut mem = FixedLatencyPte::new(100);
+        walk(0, a.key, &pt, &mut pwc, &mut mem);
+        let r = walk(0, b.key, &pt, &mut pwc, &mut mem);
+        assert_eq!(r.memory_accesses, 1);
+        assert_eq!(r.start_level, 3);
+    }
+
+    #[test]
+    fn two_mb_cold_walk_costs_three() {
+        let mut pt = PageTable::new(PageSize::Size2M);
+        let tx = pt.map(VirtAddr::new(0x20_0000));
+        let mut pwc = PageWalkCaches::new(PwcConfig::default());
+        let mut mem = FixedLatencyPte::new(50);
+        let r = walk(0, tx.key, &pt, &mut pwc, &mut mem);
+        assert_eq!(r.memory_accesses, 3);
+    }
+
+    #[test]
+    fn fault_reports_none_but_still_costs() {
+        let pt = PageTable::new(PageSize::Size4K);
+        let mut pwc = PageWalkCaches::new(PwcConfig::default());
+        let mut mem = FixedLatencyPte::new(10);
+        let r = walk(5, crate::addr::TranslationKey::for_vpn(Vpn(12345)), &pt, &mut pwc, &mut mem);
+        assert!(r.translation.is_none());
+        assert!(r.done > 5);
+        assert_eq!(r.memory_accesses, 4);
+    }
+
+    #[test]
+    fn walk_serializes_accesses() {
+        // Each level depends on the previous: total = levels * latency.
+        let mut pt = PageTable::new(PageSize::Size4K);
+        let tx = pt.map(VirtAddr::new(0));
+        let mut pwc = PageWalkCaches::new(PwcConfig {
+            pgd_entries: 0,
+            pud_entries: 0,
+            pmd_entries: 0,
+            latency: 0,
+        });
+        let mut mem = FixedLatencyPte::new(7);
+        let r = walk(100, tx.key, &pt, &mut pwc, &mut mem);
+        assert_eq!(r.done, 100 + 4 * 7);
+    }
+}

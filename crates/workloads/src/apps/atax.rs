@@ -1,0 +1,114 @@
+//! ATAX (Polybench): `y = Aᵀ(Ax)`.
+//!
+//! Two kernels, never back-to-back (Table 2). Kernel 1 streams the
+//! rows of `A` (good locality); kernel 2 walks *columns* of the
+//! row-major matrix, so each wavefront instruction touches 64 distinct
+//! pages — the paper's poster child for insufficient TLB reach (443%
+//! speedup with IC+LDS, Fig 13b).
+
+use gtr_gpu::kernel::AppTrace;
+
+use crate::gen::{column_sweep_kernel, row_stream_kernel};
+use crate::scale::Scale;
+
+/// Matrix dimension: 1340 × 1340 × 4 B ≈ 1753 pages. The regime of
+/// the paper's headline numbers: the page footprint exceeds the
+/// 512-entry L2 TLB *and* the per-CU LDS reach (1536), but fits the
+/// shared I-cache reach (2048/group) and the combined reach with room
+/// to spare — so LDS-only gains, IC-only gains more, and IC+LDS
+/// recovers nearly everything (Fig 13b's ATAX ordering). The *line*
+/// working set of a column sweep (~1 line per page) stays small, so
+/// data lives in the L2 data cache and translation latency dominates.
+pub const N: u64 = 1400;
+
+/// VA base of the matrix (buffers allocated compactly, as a real
+/// allocator would — base-delta tag compression depends on it).
+pub const MATRIX_BASE: u64 = 0x1_0000_0000;
+
+/// VA base of the x/tmp vectors (right after the matrix).
+pub const VECTOR_BASE: u64 = MATRIX_BASE + 0x80_0000;
+
+/// Builds the ATAX trace.
+pub fn build(scale: Scale) -> AppTrace {
+    let row_bytes = N * 4;
+    let waves = 32;
+    let k1 = row_stream_kernel(
+        "atax_kernel1",
+        40,
+        MATRIX_BASE,
+        VECTOR_BASE,
+        waves,
+        4,
+        scale.count(48),
+        8,
+    );
+    let k2 = column_sweep_kernel(
+        "atax_kernel2",
+        72,
+        MATRIX_BASE,
+        row_bytes,
+        N,
+        waves,
+        4,
+        scale.count(14),
+        8,
+    );
+    AppTrace::new("ATAX", vec![k1, k2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtr_gpu::ops::{AccessPattern, Op};
+
+    #[test]
+    fn two_kernels_not_back_to_back() {
+        let app = build(Scale::tiny());
+        assert_eq!(app.kernels().len(), 2);
+        assert!(!app.has_back_to_back_kernels());
+        assert_eq!(app.name(), "ATAX");
+    }
+
+    #[test]
+    fn kernel2_is_page_strided() {
+        let app = build(Scale::tiny());
+        let k2 = &app.kernels()[1];
+        let wave = &k2.workgroups()[0].waves()[0];
+        let global = wave
+            .ops()
+            .iter()
+            .find(|o| o.is_global())
+            .expect("has global ops");
+        let Op::Global { pattern: AccessPattern::Strided { stride, lanes, .. }, .. } = global
+        else {
+            panic!("column kernel uses strided pattern");
+        };
+        assert_eq!(*stride, N * 4);
+        assert_eq!(*lanes, 64);
+        // Nearly a full page per lane step: lanes land in ~57 distinct
+        // pages per instruction — heavy SIMT translation divergence.
+        assert!(*stride >= 3000);
+    }
+
+    #[test]
+    fn footprint_sits_in_the_reconfigurable_regime() {
+        // The doc-comment's sizing claims, kept honest: page footprint
+        // beyond the 512-entry L2 TLB and the 1536-entry per-CU LDS,
+        // within the 2048-entry shared-I-cache reach.
+        let pages = N * N * 4 / 4096;
+        assert!(pages > 512, "must exceed the L2 TLB: {pages}");
+        assert!(pages > 1536, "must exceed LDS-alone reach: {pages}");
+        assert!(pages <= 2048, "must fit the I-cache group reach: {pages}");
+        // The column sweep's line working set (~1 line/page) must fit
+        // the 4 MB L2 data cache (65536 lines).
+        assert!(pages * 2 < 65536);
+    }
+
+    #[test]
+    fn scaling_shrinks_work_not_structure() {
+        let tiny = build(Scale::tiny());
+        let paper = build(Scale::paper());
+        assert_eq!(tiny.kernels().len(), paper.kernels().len());
+        assert!(tiny.total_ops() < paper.total_ops());
+    }
+}

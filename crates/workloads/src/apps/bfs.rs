@@ -1,0 +1,88 @@
+//! BFS (Rodinia-style level-synchronous breadth-first search over the
+//! Pannotia-class synthetic graph).
+//!
+//! Table 2: 24 kernel launches (two alternating kernels per level, so
+//! never back-to-back), Medium PTW-PKI. Frontier expansion gathers
+//! neighbor lists scattered across the edge array and updates vertex
+//! properties divergently — irregular, but over a footprint within
+//! reconfigurable reach, so BFS benefits solidly from the scheme.
+
+use gtr_gpu::kernel::{AppTrace, KernelDesc};
+use gtr_sim::rng::SplitMix64;
+
+use crate::gen::{into_workgroups, WaveBuilder, PAGE};
+use crate::graph::CsrGraph;
+use crate::scale::Scale;
+
+/// Vertex count.
+pub const VERTICES: u64 = 131_072;
+
+/// Builds the BFS trace.
+pub fn build(scale: Scale) -> AppTrace {
+    let graph = CsrGraph::generate(scale.seed() ^ 0xBF5, VERTICES, 8);
+    let mut rng = SplitMix64::new(scale.seed() ^ 0xBF50);
+    let levels = 12usize;
+    let frontiers = graph.bfs_frontiers(levels);
+    let mut kernels = Vec::with_capacity(frontiers.len() * 2);
+    for frontier in &frontiers {
+        // Expansion kernel: gather neighbor lists + relax properties.
+        let waves = (frontier.len() / 256).clamp(2, 32);
+        let mut programs = Vec::with_capacity(waves);
+        for _ in 0..waves {
+            let mut b = WaveBuilder::new(6);
+            for _ in 0..scale.count(16) {
+                // Pick frontier vertices and touch their CSR rows.
+                let pages: Vec<u64> = (0..16)
+                    .map(|_| {
+                        let v = frontier[rng.next_below(frontier.len() as u64) as usize];
+                        graph.edge_addr(graph.row_ptr[v as usize]) / PAGE
+                            - graph.edges_base / PAGE
+                    })
+                    .collect();
+                b.stream_read(graph.row_ptr_addr(rng.next_below(graph.vertices)));
+                b.gather_pages(&mut rng, graph.edges_base, &pages);
+                b.gather(&mut rng, graph.props_base, graph.vertices * 4 / PAGE, 8);
+            }
+            programs.push(b.build());
+        }
+        kernels.push(KernelDesc::new("bfs_kernel", 96, 0, into_workgroups(programs, 4)));
+
+        // Frontier-update kernel: smaller, mostly streaming.
+        let mut programs2 = Vec::with_capacity(4);
+        for w in 0..4u64 {
+            let mut b = WaveBuilder::new(8);
+            for i in 0..scale.count(8) as u64 {
+                b.stream_read(graph.props_base + (w * 64 + i) * 256);
+                b.stream_write(graph.props_base + (w * 64 + i) * 256);
+            }
+            programs2.push(b.build());
+        }
+        kernels.push(KernelDesc::new("bfs_kernel2", 48, 0, into_workgroups(programs2, 4)));
+    }
+    AppTrace::new("BFS", kernels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternating_kernels_no_b2b() {
+        let app = build(Scale::tiny());
+        assert!(app.kernels().len() >= 4);
+        assert_eq!(app.kernels().len() % 2, 0);
+        assert!(!app.has_back_to_back_kernels());
+        assert_eq!(app.distinct_kernels(), 2);
+    }
+
+    #[test]
+    fn paper_scale_near_24_kernels() {
+        let app = build(Scale::paper());
+        assert!((20..=24).contains(&app.kernels().len()), "{}", app.kernels().len());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(build(Scale::tiny()), build(Scale::tiny()));
+    }
+}

@@ -1,0 +1,93 @@
+//! BICG (Polybench): `s = Aᵀ r; q = A p`.
+//!
+//! Two kernels, never back-to-back. The `Aᵀ r` kernel is
+//! column-strided (like ATAX kernel 2); the `A p` kernel mixes row
+//! streaming with a second, offset column sweep, so both kernels
+//! pressure the TLB — BICG matches ATAX's ~440% gain in Fig 13b.
+
+use gtr_gpu::kernel::AppTrace;
+
+use crate::gen::{column_sweep_kernel, row_stream_kernel};
+use crate::scale::Scale;
+
+/// Matrix dimension: 1360 × 1360 × 4 B ≈ 1806 pages — same regime as
+/// ATAX (beyond L2 TLB and LDS-alone reach, within IC and combined
+/// reach); BICG tracks ATAX in Fig 13b.
+pub const N: u64 = 1408;
+
+/// VA base of the matrix.
+pub const MATRIX_BASE: u64 = 0x1_0000_0000;
+
+/// VA base of the p/q/r/s vectors (right after the matrix).
+pub const VECTOR_BASE: u64 = MATRIX_BASE + 0xA0_0000;
+
+/// Builds the BICG trace.
+pub fn build(scale: Scale) -> AppTrace {
+    let row_bytes = N * 4;
+    let waves = 32;
+    let k1 = column_sweep_kernel(
+        "bicg_kernel1",
+        48,
+        MATRIX_BASE,
+        row_bytes,
+        N,
+        waves,
+        4,
+        scale.count(12),
+        8,
+    );
+    // Second kernel: mostly streaming, with a shorter column sweep
+    // over the upper half of the matrix.
+    let mut k2 = row_stream_kernel(
+        "bicg_kernel2",
+        80,
+        MATRIX_BASE,
+        VECTOR_BASE,
+        waves,
+        4,
+        scale.count(32),
+        8,
+    );
+    let col = column_sweep_kernel(
+        "bicg_kernel2",
+        80,
+        MATRIX_BASE + (N / 2) * row_bytes,
+        row_bytes,
+        N / 2,
+        waves / 2,
+        4,
+        scale.count(8),
+        8,
+    );
+    // Merge the column phase's workgroups into kernel 2.
+    let mut wgs = k2.workgroups().to_vec();
+    wgs.extend(col.workgroups().iter().cloned());
+    k2 = gtr_gpu::kernel::KernelDesc::new("bicg_kernel2", 80, 0, wgs);
+    AppTrace::new("BICG", vec![k1, k2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let app = build(Scale::tiny());
+        assert_eq!(app.kernels().len(), 2);
+        assert!(!app.has_back_to_back_kernels());
+        assert!(app.kernels()[1].total_waves() > app.kernels()[0].total_waves() / 2);
+    }
+
+    #[test]
+    fn first_kernel_column_strided() {
+        let app = build(Scale::tiny());
+        let k1 = &app.kernels()[0];
+        assert!(k1.total_ops() > 0);
+        assert_eq!(k1.name(), "bicg_kernel1");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(build(Scale::tiny()), build(Scale::tiny()));
+    }
+}

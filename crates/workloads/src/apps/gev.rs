@@ -1,0 +1,81 @@
+//! GESUMMV / "GEV" (Polybench): `y = α·A·x + β·B·x`.
+//!
+//! A single kernel (Table 2: 1 kernel, so neither the flush
+//! optimization nor kernel-boundary reuse applies) sweeping *two*
+//! matrices column-wise. The combined footprint (2 × 16 K pages)
+//! exceeds even the reconfigurable reach per CU, giving GEV the
+//! paper's highest PTW-PKI (90.7) and the lowest L1 hit ratio (27.8%).
+
+use gtr_gpu::kernel::{AppTrace, KernelDesc};
+
+use crate::gen::{into_workgroups, WaveBuilder};
+use crate::scale::Scale;
+
+/// Matrix dimension (3072 × 3072 × 4 B = 9216 pages per matrix; the
+/// two-matrix footprint far exceeds every TLB but each wave's private
+/// row block fits the per-CU reconfigurable reach).
+pub const N: u64 = 3072;
+
+/// VA base of matrix A.
+pub const A_BASE: u64 = 0x1_0000_0000;
+
+/// VA base of matrix B (allocated right after A, 36 MB later — tag
+/// deltas stay inside the base-delta compression windows).
+pub const B_BASE: u64 = A_BASE + 0x240_0000;
+
+/// Builds the GEV trace.
+pub fn build(scale: Scale) -> AppTrace {
+    let row_bytes = N * 4;
+    let waves = 32usize;
+    let cols = scale.count(48);
+    let mut programs = Vec::with_capacity(waves);
+    for w in 0..waves as u64 {
+        let mut b = WaveBuilder::new(6);
+        let block = w * 64 * row_bytes;
+        for j in 0..cols as u64 {
+            b.column_read(A_BASE + block + j * 4, row_bytes);
+            b.column_read(B_BASE + block + j * 4, row_bytes);
+        }
+        programs.push(b.build());
+    }
+    let k = KernelDesc::new("gesummv_kernel", 128, 0, into_workgroups(programs, 4));
+    AppTrace::new("GEV", vec![k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_kernel() {
+        let app = build(Scale::tiny());
+        assert_eq!(app.kernels().len(), 1);
+        assert_eq!(app.name(), "GEV");
+    }
+
+    #[test]
+    fn touches_two_matrices() {
+        let app = build(Scale::tiny());
+        let wave = &app.kernels()[0].workgroups()[0].waves()[0];
+        let mut in_a = false;
+        let mut in_b = false;
+        for op in wave.ops() {
+            if let gtr_gpu::ops::Op::Global {
+                pattern: gtr_gpu::ops::AccessPattern::Strided { base, .. },
+                ..
+            } = op
+            {
+                in_a |= *base >= A_BASE && *base < B_BASE;
+                in_b |= *base >= B_BASE;
+            }
+        }
+        assert!(in_a && in_b);
+    }
+
+    #[test]
+    fn footprint_exceeds_atax() {
+        let gev = N * N * 4 * 2;
+        let atax = super::super::atax::N * super::super::atax::N * 4;
+        assert!(gev > atax);
+    }
+}

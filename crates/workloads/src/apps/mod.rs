@@ -1,0 +1,25 @@
+//! One module per Table-2 application.
+//!
+//! | Module | Suite | Kernels | B2B | LDS | Category | Pattern |
+//! |--------|-------|---------|-----|-----|----------|---------|
+//! | [`atax`] | Polybench | 2 | no | – | High | row stream + column stride |
+//! | [`bicg`] | Polybench | 2 | no | – | High | column stride both kernels |
+//! | [`mvt`]  | Polybench | 2 | no | – | High | row + column |
+//! | [`gev`]  | Polybench | 1 | n/a | – | High | column stride over two matrices |
+//! | [`gups`] | µ-bm | 3 | no | – | High | uniform random RMW |
+//! | [`nw`]   | Rodinia | 255 | yes | 2112 B | Medium | tiled diagonal band |
+//! | [`srad`] | Rodinia | 1 | n/a | 4608 B | Low | dense stencil |
+//! | [`bfs`]  | Rodinia | 24 | no | – | Medium | frontier graph traversal |
+//! | [`sssp`] | Pannotia | ~512 | no | 512 B | Low | many tiny relaxations |
+//! | [`prk`]  | Pannotia | 41 | no | 1024 B | Low | CSR rank streaming |
+
+pub mod atax;
+pub mod bfs;
+pub mod bicg;
+pub mod gev;
+pub mod gups;
+pub mod mvt;
+pub mod nw;
+pub mod prk;
+pub mod srad;
+pub mod sssp;

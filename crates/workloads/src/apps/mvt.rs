@@ -1,0 +1,73 @@
+//! MVT (Polybench): `x1 += A·y1; x2 += Aᵀ·y2`.
+//!
+//! Two kernels, never back-to-back. The matrix dimension is
+//! deliberately non-power-of-two (2304), so column sweeps shift
+//! page-alignment as they advance — MVT gains substantially from
+//! added reach but less than ATAX/BICG (Fig 13b).
+
+use gtr_gpu::kernel::AppTrace;
+
+use crate::gen::{column_sweep_kernel, row_stream_kernel};
+use crate::scale::Scale;
+
+/// Matrix dimension: 1250 × 1250 × 4 B ≈ 1526 pages ≈ exactly the
+/// per-CU LDS reach: MVT is captured by every scheme and gains
+/// substantially, though less than ATAX/BICG (Fig 13b's ordering).
+pub const N: u64 = 1250;
+
+/// VA base of the matrix.
+pub const MATRIX_BASE: u64 = 0x1_0000_0000;
+
+/// VA base of the y1/y2/x1/x2 vectors.
+pub const VECTOR_BASE: u64 = MATRIX_BASE + 0xD0_0000;
+
+/// Builds the MVT trace.
+pub fn build(scale: Scale) -> AppTrace {
+    let row_bytes = N * 4;
+    let waves = 32;
+    let k1 = row_stream_kernel(
+        "mvt_kernel1",
+        56,
+        MATRIX_BASE,
+        VECTOR_BASE,
+        waves,
+        4,
+        scale.count(56),
+        8,
+    );
+    let k2 = column_sweep_kernel(
+        "mvt_kernel2",
+        88,
+        MATRIX_BASE,
+        row_bytes,
+        N,
+        waves,
+        4,
+        scale.count(12),
+        8,
+    );
+    AppTrace::new("MVT", vec![k1, k2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let app = build(Scale::tiny());
+        assert_eq!(app.kernels().len(), 2);
+        assert!(!app.has_back_to_back_kernels());
+        assert_eq!(app.distinct_kernels(), 2);
+    }
+
+    #[test]
+    fn non_power_of_two_rows() {
+        assert!(!N.is_multiple_of(1024), "rows stay misaligned with page boundaries");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(build(Scale::quick()), build(Scale::quick()));
+    }
+}

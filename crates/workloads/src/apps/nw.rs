@@ -1,0 +1,89 @@
+//! Needleman-Wunsch (Rodinia): dynamic-programming sequence alignment.
+//!
+//! Table 2: 255 launches of the *same* kernel back-to-back — the one
+//! app where the §4.3.3 flush optimization must NOT fire — with LDS
+//! tiles (2112 B per workgroup) and a Medium PTW-PKI. Each launch
+//! processes one anti-diagonal band: tile loads stream, but the
+//! vertical dependency reads the previous row block with a page-sized
+//! stride, giving NW its moderate TLB pressure.
+
+use gtr_gpu::kernel::{AppTrace, KernelDesc};
+
+use crate::gen::{into_workgroups, WaveBuilder};
+use crate::scale::Scale;
+
+/// DP matrix dimension (2048² × 4 B = 4096 pages).
+pub const N: u64 = 2048;
+
+/// VA base of the DP matrix.
+pub const MATRIX_BASE: u64 = 0x1_0000_0000;
+
+/// LDS bytes per workgroup (tile + reference column).
+pub const LDS_BYTES: u32 = 2112;
+
+/// Builds the NW trace.
+pub fn build(scale: Scale) -> AppTrace {
+    let row_bytes = N * 4;
+    let launches = scale.kernels(255);
+    let mut kernels = Vec::with_capacity(launches);
+    for diag in 0..launches as u64 {
+        let waves = 8usize;
+        let mut programs = Vec::with_capacity(waves);
+        // All waves of one launch work a shared anti-diagonal band that
+        // shifts launch-to-launch: per-launch footprint is a few
+        // hundred pages (Medium PTW-PKI), revisited by the next few
+        // launches (inter-kernel reuse the reconfigurable reach keeps).
+        let band_row = (diag * 5) % (N / 64);
+        let band_base = MATRIX_BASE + band_row * 64 * row_bytes;
+        for w in 0..waves as u64 {
+            let mut b = WaveBuilder::new(5);
+            let tile_base = band_base + (w % 8) * 8 * row_bytes;
+            b.lds_write(((w as u32) % 4) * 512);
+            b.barrier();
+            for i in 0..scale.count(6) as u64 {
+                // Horizontal neighbors stream...
+                b.stream_read(tile_base + i * 256);
+                // ...the vertical dependency strides across the band.
+                b.column_read(tile_base + i * 4 + (w % 2) * 32 * row_bytes, row_bytes);
+                b.lds_read((((w + i) as u32) % 4) * 512);
+            }
+            b.barrier();
+            b.stream_write(tile_base);
+            programs.push(b.build());
+        }
+        kernels.push(KernelDesc::new(
+            "nw_kernel1",
+            224,
+            LDS_BYTES,
+            into_workgroups(programs, 2),
+        ));
+    }
+    AppTrace::new("NW", kernels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_to_back_same_kernel() {
+        let app = build(Scale::tiny());
+        assert!(app.kernels().len() >= 2);
+        assert!(app.has_back_to_back_kernels());
+        assert_eq!(app.distinct_kernels(), 1);
+    }
+
+    #[test]
+    fn paper_scale_has_255_launches() {
+        assert_eq!(build(Scale::paper()).kernels().len(), 255);
+    }
+
+    #[test]
+    fn uses_lds() {
+        let app = build(Scale::tiny());
+        assert_eq!(app.kernels()[0].lds_bytes_per_wg(), LDS_BYTES);
+        let wave = &app.kernels()[0].workgroups()[0].waves()[0];
+        assert!(wave.ops().iter().any(|o| matches!(o, gtr_gpu::ops::Op::Lds { .. })));
+        assert!(wave.ops().iter().any(|o| matches!(o, gtr_gpu::ops::Op::Barrier)));
+    }
+}

@@ -1,0 +1,79 @@
+//! PageRank / "PRK" (Pannotia): iterative rank propagation over a CSR
+//! graph.
+//!
+//! Table 2: 41 launches of two alternating kernels, Low PTW-PKI
+//! (0.16), 99.9% L2 TLB hit ratio, small LDS use. Rank updates stream
+//! the CSR arrays with high locality; the footprint is modest and
+//! hot — the third "must not regress" control.
+
+use gtr_gpu::kernel::{AppTrace, KernelDesc};
+use gtr_sim::rng::SplitMix64;
+
+use crate::gen::{into_workgroups, WaveBuilder, PAGE};
+use crate::graph::CsrGraph;
+use crate::scale::Scale;
+
+/// Vertex count.
+pub const VERTICES: u64 = 65_536;
+
+/// LDS bytes per workgroup (per-wavefront rank reduction buffer).
+pub const LDS_BYTES: u32 = 1024;
+
+/// Builds the PRK trace.
+pub fn build(scale: Scale) -> AppTrace {
+    let graph = CsrGraph::generate(scale.seed() ^ 0x9912, VERTICES, 8);
+    let mut rng = SplitMix64::new(scale.seed() ^ 0x99120);
+    let launches = scale.kernels(41).max(2);
+    let mut kernels = Vec::with_capacity(launches);
+    for i in 0..launches {
+        let name = if i % 2 == 0 { "pagerank_kernel1" } else { "pagerank_kernel2" };
+        // Fig 11g: PRK's per-kernel I-cache footprint varies launch to
+        // launch.
+        let code = 64 + ((i as u32 * 37) % 160);
+        let waves = 8usize;
+        let mut programs = Vec::with_capacity(waves);
+        for w in 0..waves as u64 {
+            let mut b = WaveBuilder::new(9);
+            b.lds_write(((w % 2) as u32) * 256);
+            for j in 0..scale.count(30) as u64 {
+                // Stream rank and row-pointer arrays (hot, sequential).
+                b.stream_read(graph.props_base + ((w * 13 + j) * 256) % (VERTICES * 4));
+                b.stream_read(graph.row_ptr_addr((w * 640 + j * 64) % graph.vertices));
+                if j % 4 == 0 {
+                    // Occasional neighbor gather with low divergence.
+                    b.gather(&mut rng, graph.edges_base, graph.edges * 4 / PAGE, 4);
+                }
+            }
+            b.lds_read(((w % 2) as u32) * 256);
+            programs.push(b.build());
+        }
+        kernels.push(KernelDesc::new(name, code, LDS_BYTES, into_workgroups(programs, 4)));
+    }
+    AppTrace::new("PRK", kernels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let app = build(Scale::tiny());
+        assert!(app.kernels().len() >= 2);
+        assert!(!app.has_back_to_back_kernels());
+        assert_eq!(app.distinct_kernels(), 2);
+    }
+
+    #[test]
+    fn paper_scale_launch_count() {
+        assert_eq!(build(Scale::paper()).kernels().len(), 41);
+    }
+
+    #[test]
+    fn code_footprint_varies_across_launches() {
+        let app = build(Scale::paper());
+        let lines: std::collections::HashSet<u32> =
+            app.kernels().iter().map(|k| k.code_lines()).collect();
+        assert!(lines.len() > 4, "Fig 11g needs varying I-cache footprints");
+    }
+}

@@ -1,0 +1,75 @@
+//! SRAD (Rodinia): speckle-reducing anisotropic diffusion — a dense,
+//! regular stencil over an image.
+//!
+//! Table 2: a single kernel, ~0 page walks in the baseline (L2 TLB hit
+//! ratio 99.9%), heavy LDS use. The image footprint (256 pages) sits
+//! comfortably inside the baseline L2 TLB, so SRAD is the paper's
+//! "must not regress" control.
+
+use gtr_gpu::kernel::{AppTrace, KernelDesc};
+
+use crate::gen::{into_workgroups, WaveBuilder};
+use crate::scale::Scale;
+
+/// Image side (512² × 4 B = 1 MB = 256 pages).
+pub const DIM: u64 = 512;
+
+/// VA base of the image.
+pub const IMAGE_BASE: u64 = 0x1_0000_0000;
+
+/// LDS bytes per workgroup (stencil tile halo).
+pub const LDS_BYTES: u32 = 4608;
+
+/// Builds the SRAD trace.
+pub fn build(scale: Scale) -> AppTrace {
+    let row_bytes = DIM * 4;
+    let waves = 32usize;
+    let mut programs = Vec::with_capacity(waves);
+    let rows_per_wave = DIM / waves as u64;
+    for w in 0..waves as u64 {
+        let mut b = WaveBuilder::new(10);
+        let rows = scale.count(96) as u64;
+        for i in 0..rows {
+            // Each wave owns a private row band (little cross-CU
+            // sharing, as Fig 14a reports for SRAD).
+            let row = w * rows_per_wave + (i % rows_per_wave);
+            let base = IMAGE_BASE + row * row_bytes;
+            b.lds_write(((w % 4) as u32) * 1024);
+            b.stream_read(base);
+            // North/south neighbors: adjacent rows, same pages mostly.
+            b.stream_read(base.saturating_sub(row_bytes).max(IMAGE_BASE));
+            b.stream_read(base + row_bytes);
+            b.lds_read((((w + i) % 4) as u32) * 1024);
+            b.stream_write(base);
+        }
+        programs.push(b.build());
+    }
+    let k = KernelDesc::new("srad_main", 240, LDS_BYTES, into_workgroups(programs, 2));
+    AppTrace::new("SRAD", vec![k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_kernel_with_lds() {
+        let app = build(Scale::tiny());
+        assert_eq!(app.kernels().len(), 1);
+        assert_eq!(app.kernels()[0].lds_bytes_per_wg(), LDS_BYTES);
+    }
+
+    #[test]
+    fn footprint_fits_baseline_l2_tlb() {
+        let pages = DIM * DIM * 4 / 4096;
+        assert!(pages <= 512, "SRAD must fit the 512-entry L2 TLB: {pages}");
+    }
+
+    #[test]
+    fn large_instruction_footprint() {
+        // Fig 5a: SRAD's single kernel nearly fills the 256-line
+        // I-cache (but fits, so the fetch path doesn't thrash).
+        let lines = build(Scale::tiny()).kernels()[0].code_lines();
+        assert!((200..=256).contains(&lines));
+    }
+}

@@ -1,0 +1,81 @@
+//! SSSP (Pannotia): single-source shortest paths via thousands of tiny
+//! relaxation kernels.
+//!
+//! Table 2: 10,504 launches of two alternating kernels (scaled to 512
+//! here — the paper itself notes "the pattern is similar across ~10K
+//! kernels"), 99.8% L2 TLB hit ratio, Low PTW-PKI, small LDS use. The
+//! per-kernel working set is tiny and hot, so the baseline TLBs
+//! already cover it — SSSP is a "must not regress" control.
+
+use gtr_gpu::kernel::{AppTrace, KernelDesc};
+use gtr_sim::rng::SplitMix64;
+
+use crate::gen::{into_workgroups, WaveBuilder, PAGE};
+use crate::graph::CsrGraph;
+use crate::scale::Scale;
+
+/// Vertex count (small graph: ~300-page footprint).
+pub const VERTICES: u64 = 32_768;
+
+/// LDS bytes per workgroup.
+pub const LDS_BYTES: u32 = 512;
+
+/// Kernel launches at paper scale (scaled stand-in for 10,504).
+pub const LAUNCHES: usize = 512;
+
+/// Builds the SSSP trace.
+pub fn build(scale: Scale) -> AppTrace {
+    let graph = CsrGraph::generate(scale.seed() ^ 0x555, VERTICES, 8);
+    let mut rng = SplitMix64::new(scale.seed() ^ 0x5550);
+    let launches = scale.kernels(LAUNCHES);
+    let mut kernels = Vec::with_capacity(launches);
+    for i in 0..launches {
+        let name = if i % 2 == 0 { "sssp_kernel1" } else { "sssp_kernel2" };
+        let code = if i % 2 == 0 { 40 } else { 64 };
+        let mut programs = Vec::with_capacity(8);
+        for _ in 0..8 {
+            let mut b = WaveBuilder::new(8);
+            b.lds_write(0);
+            for _ in 0..scale.count(20) {
+                // Hot region: a few vertices relaxed repeatedly.
+                let v = rng.next_below(graph.vertices / 16);
+                b.stream_read(graph.row_ptr_addr(v));
+                b.gather(&mut rng, graph.props_base, (graph.vertices * 4 / PAGE) / 8, 4);
+            }
+            b.lds_read(0);
+            programs.push(b.build());
+        }
+        kernels.push(KernelDesc::new(name, code, LDS_BYTES, into_workgroups(programs, 2)));
+    }
+    AppTrace::new("SSSP", kernels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn many_alternating_kernels() {
+        let app = build(Scale::tiny());
+        assert!(app.kernels().len() >= 2);
+        assert!(!app.has_back_to_back_kernels());
+        assert_eq!(app.distinct_kernels(), 2);
+    }
+
+    #[test]
+    fn paper_scale_launch_count() {
+        assert_eq!(build(Scale::paper()).kernels().len(), LAUNCHES);
+    }
+
+    #[test]
+    fn small_hot_footprint() {
+        // props region actively touched: vertices*4/8 bytes => few pages.
+        let hot_pages = VERTICES * 4 / 4096 / 8;
+        assert!(hot_pages < 512);
+    }
+
+    #[test]
+    fn uses_lds() {
+        assert_eq!(build(Scale::tiny()).kernels()[0].lds_bytes_per_wg(), LDS_BYTES);
+    }
+}

@@ -1,0 +1,327 @@
+//! Shared trace-generation helpers.
+
+use gtr_gpu::kernel::{WaveProgram, WorkgroupDesc};
+use gtr_gpu::ops::Op;
+use gtr_sim::rng::SplitMix64;
+
+/// Bytes per 4 KB page (trace generation always reasons at the 4 KB
+/// granularity; larger page sizes simply merge at run time).
+pub const PAGE: u64 = 4096;
+
+/// Threads per wavefront (Table 1).
+pub const LANES: u16 = 64;
+
+/// A builder for one wavefront's op stream that interleaves compute
+/// padding with memory operations, approximating a realistic
+/// instruction mix (the paper's PTW-PKI denominators count every
+/// thread instruction).
+#[derive(Debug, Clone)]
+pub struct WaveBuilder {
+    ops: Vec<Op>,
+    compute_per_mem: u32,
+}
+
+impl WaveBuilder {
+    /// New builder inserting `compute_per_mem` ALU ops before every
+    /// memory op.
+    pub fn new(compute_per_mem: u32) -> Self {
+        Self { ops: Vec::new(), compute_per_mem }
+    }
+
+    fn pad(&mut self) {
+        for _ in 0..self.compute_per_mem {
+            self.ops.push(Op::compute(0));
+        }
+    }
+
+    /// Streaming read: 64 consecutive 4-byte lanes starting at `base`.
+    pub fn stream_read(&mut self, base: u64) -> &mut Self {
+        self.pad();
+        self.ops.push(Op::global_read_strided(base, 4, LANES));
+        self
+    }
+
+    /// Streaming write.
+    pub fn stream_write(&mut self, base: u64) -> &mut Self {
+        self.pad();
+        self.ops.push(Op::global_write_strided(base, 4, LANES));
+        self
+    }
+
+    /// Column access: 64 lanes strided by `stride` bytes (the
+    /// TLB-reach killer of ATAX/BICG/MVT/GEV when `stride` ≥ a page).
+    pub fn column_read(&mut self, base: u64, stride: u64) -> &mut Self {
+        self.pad();
+        self.ops.push(Op::global_read_strided(base, stride, LANES));
+        self
+    }
+
+    /// Column write.
+    pub fn column_write(&mut self, base: u64, stride: u64) -> &mut Self {
+        self.pad();
+        self.ops.push(Op::global_write_strided(base, stride, LANES));
+        self
+    }
+
+    /// Gather: 64 lanes at random 4-byte-aligned offsets within
+    /// `[region_base, region_base + region_pages * 4K)`, constrained to
+    /// `unique_pages` distinct pages (SIMT divergence knob).
+    pub fn gather(
+        &mut self,
+        rng: &mut SplitMix64,
+        region_base: u64,
+        region_pages: u64,
+        unique_pages: usize,
+    ) -> &mut Self {
+        self.pad();
+        let mut pages = Vec::with_capacity(unique_pages);
+        for _ in 0..unique_pages {
+            pages.push(rng.next_below(region_pages));
+        }
+        let lanes: Vec<u64> = (0..LANES as usize)
+            .map(|i| {
+                let p = pages[i % unique_pages];
+                region_base + p * PAGE + rng.next_below(PAGE / 4) * 4
+            })
+            .collect();
+        self.ops.push(Op::global_read(lanes));
+        self
+    }
+
+    /// Scatter (random write), same shape as [`WaveBuilder::gather`].
+    pub fn scatter(
+        &mut self,
+        rng: &mut SplitMix64,
+        region_base: u64,
+        region_pages: u64,
+        unique_pages: usize,
+    ) -> &mut Self {
+        self.pad();
+        let mut pages = Vec::with_capacity(unique_pages);
+        for _ in 0..unique_pages {
+            pages.push(rng.next_below(region_pages));
+        }
+        let lanes: Vec<u64> = (0..LANES as usize)
+            .map(|i| {
+                let p = pages[i % unique_pages];
+                region_base + p * PAGE + rng.next_below(PAGE / 4) * 4
+            })
+            .collect();
+        self.ops.push(Op::global_write(lanes));
+        self
+    }
+
+    /// Gather over an explicit page list (graph neighbor access).
+    pub fn gather_pages(&mut self, rng: &mut SplitMix64, base: u64, pages: &[u64]) -> &mut Self {
+        self.pad();
+        let lanes: Vec<u64> = (0..LANES as usize)
+            .map(|i| base + pages[i % pages.len()] * PAGE + rng.next_below(PAGE / 4) * 4)
+            .collect();
+        self.ops.push(Op::global_read(lanes));
+        self
+    }
+
+    /// LDS read at `offset`.
+    pub fn lds_read(&mut self, offset: u32) -> &mut Self {
+        self.ops.push(Op::lds_read(offset));
+        self
+    }
+
+    /// LDS write at `offset`.
+    pub fn lds_write(&mut self, offset: u32) -> &mut Self {
+        self.ops.push(Op::lds_write(offset));
+        self
+    }
+
+    /// Workgroup barrier.
+    pub fn barrier(&mut self) -> &mut Self {
+        self.ops.push(Op::Barrier);
+        self
+    }
+
+    /// Extra ALU latency (e.g. a divide-heavy phase).
+    pub fn compute(&mut self, latency: u32) -> &mut Self {
+        self.ops.push(Op::compute(latency));
+        self
+    }
+
+    /// Finishes the wave program.
+    pub fn build(self) -> WaveProgram {
+        WaveProgram::new(self.ops)
+    }
+
+    /// Current op count.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no ops were added.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Groups wave programs into workgroups of `waves_per_wg`.
+pub fn into_workgroups(waves: Vec<WaveProgram>, waves_per_wg: usize) -> Vec<WorkgroupDesc> {
+    waves
+        .chunks(waves_per_wg.max(1))
+        .map(|c| WorkgroupDesc::new(c.to_vec()))
+        .collect()
+}
+
+/// Builds a Polybench-style *column-access* kernel: `waves` wavefronts,
+/// each owning a 64-row block of a row-major matrix and sweeping
+/// `cols` consecutive columns; every op reads 64 lanes strided by
+/// `row_bytes`, touching 64 distinct pages when rows span pages — the
+/// access pattern behind ATAX/BICG/MVT/GEV's TLB-reach collapse.
+#[allow(clippy::too_many_arguments)]
+pub fn column_kernel(
+    name: &str,
+    code_lines: u32,
+    matrix_base: u64,
+    row_bytes: u64,
+    waves: usize,
+    waves_per_wg: usize,
+    cols: usize,
+    compute_pad: u32,
+) -> gtr_gpu::kernel::KernelDesc {
+    let mut programs = Vec::with_capacity(waves);
+    for w in 0..waves as u64 {
+        let mut b = WaveBuilder::new(compute_pad);
+        let block_base = matrix_base + w * 64 * row_bytes;
+        for j in 0..cols as u64 {
+            b.column_read(block_base + j * 4, row_bytes);
+        }
+        programs.push(b.build());
+    }
+    gtr_gpu::kernel::KernelDesc::new(name, code_lines, 0, into_workgroups(programs, waves_per_wg))
+}
+
+/// Builds a Polybench-style *shared column-sweep* kernel: every
+/// wavefront walks the **whole** matrix column-wise (as real
+/// `y[j] = Σᵢ A[i][j]·xᵢ` kernels do), so all CUs demand the same
+/// page set — high translation sharing (Fig 14a) — and the reuse
+/// distance equals the full matrix footprint, which the baseline TLBs
+/// cannot hold but the reconfigurable reach can.
+#[allow(clippy::too_many_arguments)]
+pub fn column_sweep_kernel(
+    name: &str,
+    code_lines: u32,
+    matrix_base: u64,
+    row_bytes: u64,
+    rows: u64,
+    waves: usize,
+    waves_per_wg: usize,
+    cols_per_wave: usize,
+    compute_pad: u32,
+) -> gtr_gpu::kernel::KernelDesc {
+    let row_blocks = rows / 64;
+    let mut programs = Vec::with_capacity(waves);
+    for w in 0..waves as u64 {
+        let mut b = WaveBuilder::new(compute_pad);
+        // Each wave owns a column strip; strips stay within the same
+        // page column (columns are 4 bytes apart), so the page set is
+        // identical across waves. Waves start at staggered row blocks
+        // (real kernels drift apart immediately), so CUs are *not* in
+        // lock-step — the shared L2 TLB cannot ride one CU's fills.
+        let col0 = w * 8;
+        let phase = (w * 37) % row_blocks.max(1);
+        for j in 0..cols_per_wave as u64 {
+            for rb in 0..row_blocks {
+                let rb = (rb + phase) % row_blocks;
+                b.column_read(matrix_base + rb * 64 * row_bytes + (col0 + j) * 4, row_bytes);
+            }
+        }
+        programs.push(b.build());
+    }
+    gtr_gpu::kernel::KernelDesc::new(name, code_lines, 0, into_workgroups(programs, waves_per_wg))
+}
+
+/// Builds a Polybench-style *row-streaming* kernel: each wave streams
+/// sequential 256-byte chunks of its row block plus an occasional
+/// vector access — high locality, low TLB pressure.
+#[allow(clippy::too_many_arguments)]
+pub fn row_stream_kernel(
+    name: &str,
+    code_lines: u32,
+    matrix_base: u64,
+    vector_base: u64,
+    waves: usize,
+    waves_per_wg: usize,
+    ops_per_wave: usize,
+    compute_pad: u32,
+) -> gtr_gpu::kernel::KernelDesc {
+    let mut programs = Vec::with_capacity(waves);
+    for w in 0..waves as u64 {
+        let mut b = WaveBuilder::new(compute_pad);
+        for i in 0..ops_per_wave as u64 {
+            b.stream_read(matrix_base + (w * ops_per_wave as u64 + i) * 256);
+            if i % 8 == 0 {
+                b.stream_read(vector_base + (i % 16) * 256);
+            }
+        }
+        programs.push(b.build());
+    }
+    gtr_gpu::kernel::KernelDesc::new(name, code_lines, 0, into_workgroups(programs, waves_per_wg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtr_gpu::ops::AccessPattern;
+
+    #[test]
+    fn builder_pads_compute() {
+        let mut b = WaveBuilder::new(3);
+        b.stream_read(0);
+        let w = b.build();
+        assert_eq!(w.len(), 4); // 3 compute + 1 read
+        assert!(matches!(w.ops()[3], Op::Global { .. }));
+    }
+
+    #[test]
+    fn gather_respects_unique_pages() {
+        let mut rng = SplitMix64::new(1);
+        let mut b = WaveBuilder::new(0);
+        b.gather(&mut rng, 0, 1 << 20, 8);
+        let w = b.build();
+        let Op::Global { pattern: AccessPattern::Lanes(lanes), write } = &w.ops()[0] else {
+            panic!("expected gather");
+        };
+        assert!(!write);
+        let pages: std::collections::HashSet<u64> = lanes.iter().map(|a| a / PAGE).collect();
+        assert!(pages.len() <= 8);
+        assert_eq!(lanes.len(), 64);
+    }
+
+    #[test]
+    fn column_read_is_strided() {
+        let mut b = WaveBuilder::new(0);
+        b.column_read(100, 8192);
+        let w = b.build();
+        assert!(matches!(
+            w.ops()[0],
+            Op::Global { pattern: AccessPattern::Strided { base: 100, stride: 8192, lanes: 64 }, write: false }
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = || {
+            let mut rng = SplitMix64::new(42);
+            let mut b = WaveBuilder::new(1);
+            b.gather(&mut rng, 0, 4096, 16).scatter(&mut rng, 0, 4096, 16);
+            b.build()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn workgroup_chunking() {
+        let waves: Vec<WaveProgram> = (0..10).map(|_| WaveProgram::new(vec![])).collect();
+        let wgs = into_workgroups(waves, 4);
+        assert_eq!(wgs.len(), 3);
+        assert_eq!(wgs[0].wave_count(), 4);
+        assert_eq!(wgs[2].wave_count(), 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Synthetic power-law graph in CSR form, backing the BFS/SSSP/PRK
+//! models.
+
+use gtr_sim::rng::SplitMix64;
+
+use crate::gen::PAGE;
+
+/// A CSR graph with virtual-address layout information.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    /// Vertex count.
+    pub vertices: u64,
+    /// Edge count.
+    pub edges: u64,
+    /// `row_ptr[v]` = first edge index of `v` (length `vertices + 1`).
+    pub row_ptr: Vec<u64>,
+    /// Destination vertex per edge.
+    pub col_idx: Vec<u32>,
+    /// VA base of the row-pointer array.
+    pub row_ptr_base: u64,
+    /// VA base of the edge (column-index) array.
+    pub edges_base: u64,
+    /// VA base of per-vertex property arrays (levels/distances/ranks).
+    pub props_base: u64,
+}
+
+impl CsrGraph {
+    /// Generates a graph with a heavy-tailed degree distribution:
+    /// most vertices get `2..base_degree` edges, a few percent become
+    /// hubs with up to `32 * base_degree`.
+    pub fn generate(seed: u64, vertices: u64, base_degree: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x67_7261_7068u64);
+        let mut row_ptr = Vec::with_capacity(vertices as usize + 1);
+        row_ptr.push(0u64);
+        let mut degrees = Vec::with_capacity(vertices as usize);
+        for _ in 0..vertices {
+            let deg = if rng.chance(0.02) {
+                base_degree * (2 + rng.next_below(31))
+            } else {
+                2 + rng.next_below(base_degree.max(1))
+            };
+            degrees.push(deg);
+            row_ptr.push(row_ptr.last().unwrap() + deg);
+        }
+        let edges = *row_ptr.last().unwrap();
+        let mut col_idx = Vec::with_capacity(edges as usize);
+        for _ in 0..edges {
+            // Preferential-ish attachment: bias toward low vertex ids.
+            let r = rng.next_f64();
+            let dst = ((r * r) * vertices as f64) as u64 % vertices;
+            col_idx.push(dst as u32);
+        }
+        Self {
+            vertices,
+            edges,
+            row_ptr,
+            col_idx,
+            // Compact allocator-style layout: tag deltas between the
+            // arrays stay inside the base-delta compression windows.
+            row_ptr_base: 0x1_0000_0000,
+            edges_base: 0x1_0000_0000 + 0x100_0000,
+            props_base: 0x1_0000_0000 + 0x300_0000,
+        }
+    }
+
+    /// VA of `row_ptr[v]` (8-byte entries).
+    pub fn row_ptr_addr(&self, v: u64) -> u64 {
+        self.row_ptr_base + v * 8
+    }
+
+    /// VA of edge slot `e` (4-byte entries).
+    pub fn edge_addr(&self, e: u64) -> u64 {
+        self.edges_base + e * 4
+    }
+
+    /// VA of vertex `v`'s property slot (4-byte entries).
+    pub fn prop_addr(&self, v: u64) -> u64 {
+        self.props_base + v * 4
+    }
+
+    /// Total data footprint in 4 KB pages (row_ptr + edges + one
+    /// property array).
+    pub fn footprint_pages(&self) -> u64 {
+        let rp = (self.vertices + 1) * 8;
+        let ed = self.edges * 4;
+        let pr = self.vertices * 4;
+        rp.div_ceil(PAGE) + ed.div_ceil(PAGE) + pr.div_ceil(PAGE)
+    }
+
+    /// Synthesizes BFS frontiers: level 0 = {0}, growing then shrinking
+    /// over `levels` levels, total work bounded by vertex count.
+    pub fn bfs_frontiers(&self, levels: usize) -> Vec<Vec<u64>> {
+        let mut rng = SplitMix64::new(0xBF5u64);
+        let mut out = Vec::with_capacity(levels);
+        let mut visited = 1u64;
+        for l in 0..levels {
+            // Bell-shaped frontier size.
+            let peak = levels as f64 / 2.0;
+            let x = (l as f64 - peak) / (levels as f64 / 4.0);
+            let frac = (-x * x).exp();
+            let size = ((self.vertices as f64 * 0.18 * frac) as u64).max(1);
+            let mut frontier = Vec::with_capacity(size as usize);
+            for _ in 0..size {
+                frontier.push(rng.next_below(self.vertices));
+            }
+            visited += size;
+            out.push(frontier);
+            if visited >= self.vertices {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CsrGraph::generate(1, 1000, 8);
+        let b = CsrGraph::generate(1, 1000, 8);
+        assert_eq!(a.row_ptr, b.row_ptr);
+        assert_eq!(a.col_idx, b.col_idx);
+    }
+
+    #[test]
+    fn csr_invariants() {
+        let g = CsrGraph::generate(7, 5000, 8);
+        assert_eq!(g.row_ptr.len() as u64, g.vertices + 1);
+        assert_eq!(*g.row_ptr.last().unwrap(), g.edges);
+        assert!(g.row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr monotone");
+        assert!(g.col_idx.iter().all(|&d| (d as u64) < g.vertices));
+    }
+
+    #[test]
+    fn heavy_tail_exists() {
+        let g = CsrGraph::generate(3, 20_000, 8);
+        let max_deg = g
+            .row_ptr
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap();
+        assert!(max_deg > 32, "expected hub vertices, max degree {max_deg}");
+    }
+
+    #[test]
+    fn frontiers_bell_shaped() {
+        let g = CsrGraph::generate(5, 50_000, 8);
+        let f = g.bfs_frontiers(12);
+        assert!(f.len() >= 3);
+        let mid = f[f.len() / 2].len();
+        assert!(mid >= f[0].len(), "frontier should grow toward the middle");
+    }
+
+    #[test]
+    fn address_layout_disjoint() {
+        let g = CsrGraph::generate(1, 1000, 4);
+        assert!(g.row_ptr_addr(g.vertices) < g.edges_base);
+        assert!(g.edge_addr(g.edges) < g.props_base);
+    }
+
+    #[test]
+    fn footprint_scales_with_size() {
+        let small = CsrGraph::generate(1, 1_000, 4).footprint_pages();
+        let large = CsrGraph::generate(1, 100_000, 8).footprint_pages();
+        assert!(large > small * 10);
+    }
+}

@@ -1,0 +1,39 @@
+//! # gtr-workloads
+//!
+//! Synthetic benchmark models reproducing the memory-access structure
+//! of the paper's Table-2 applications (Polybench ATAX/BICG/MVT/GEV,
+//! Rodinia NW/SRAD/BFS, Pannotia SSSP/PRK, and the GUPS
+//! micro-benchmark).
+//!
+//! The real OpenCL binaries cannot run on a Rust simulator, so each
+//! module generates an [`gtr_gpu::kernel::AppTrace`] with the same
+//! *signature* as the original: kernel count and back-to-back
+//! structure, LDS bytes requested per workgroup, instruction footprint
+//! per kernel, page-level access pattern (streaming vs column-strided
+//! vs random), footprint size relative to TLB reach, and inter-kernel
+//! reuse. Those properties — not the arithmetic — determine every
+//! result in the paper.
+//!
+//! All generation is seeded ([`gtr_sim::rng::SplitMix64`]): the same
+//! [`scale::Scale`] always produces the identical trace.
+//!
+//! # Example
+//!
+//! ```
+//! use gtr_workloads::scale::Scale;
+//! use gtr_workloads::suite;
+//!
+//! let apps = suite::all(Scale::tiny());
+//! assert_eq!(apps.len(), 10);
+//! let atax = suite::by_name("ATAX", Scale::tiny()).unwrap();
+//! assert_eq!(atax.kernels().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod gen;
+pub mod graph;
+pub mod scale;
+pub mod suite;

@@ -1,0 +1,109 @@
+//! Workload scale presets.
+//!
+//! Like the paper ("we had to scale down the simulated GPU
+//! configuration significantly and simulate smaller datasets"), traces
+//! are sized for a laptop-scale simulator. [`Scale::paper`] is the
+//! default experiment size; [`Scale::quick`] and [`Scale::tiny`] shrink
+//! per-kernel work for CI and micro-benchmarks while preserving each
+//! app's access structure and footprint-vs-reach relationships.
+
+/// A work multiplier applied to iteration counts (never to footprints
+/// or kernel counts, which define an app's identity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    factor: f64,
+    seed: u64,
+}
+
+impl Scale {
+    /// Full experiment scale (figures in EXPERIMENTS.md).
+    pub fn paper() -> Self {
+        Self { factor: 1.0, seed: 0xC0FFEE }
+    }
+
+    /// Roughly a third of the work — used by `cargo bench` figure
+    /// regeneration.
+    pub fn quick() -> Self {
+        Self { factor: 0.35, seed: 0xC0FFEE }
+    }
+
+    /// Minimal traces for unit/integration tests.
+    pub fn tiny() -> Self {
+        Self { factor: 0.1, seed: 0xC0FFEE }
+    }
+
+    /// A custom factor in `(0, 4]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the factor is out of range.
+    pub fn custom(factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 4.0, "scale factor out of range");
+        Self { factor, seed: 0xC0FFEE }
+    }
+
+    /// Same scale with a different generation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Scales an iteration count, never below 1.
+    pub fn count(&self, base: usize) -> usize {
+        ((base as f64 * self.factor).round() as usize).max(1)
+    }
+
+    /// Scales a kernel count, never below 2 (so back-to-back structure
+    /// survives) unless the base itself is smaller.
+    pub fn kernels(&self, base: usize) -> usize {
+        if base <= 2 {
+            base
+        } else {
+            self.count(base).max(2)
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(Scale::paper().count(100), 100);
+        assert_eq!(Scale::quick().count(100), 35);
+        assert_eq!(Scale::tiny().count(100), 10);
+        assert_eq!(Scale::tiny().count(3), 1, "never below 1");
+    }
+
+    #[test]
+    fn kernels_preserve_structure() {
+        assert_eq!(Scale::tiny().kernels(2), 2);
+        assert_eq!(Scale::tiny().kernels(1), 1);
+        assert!(Scale::tiny().kernels(255) >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_factor_rejected() {
+        let _ = Scale::custom(0.0);
+    }
+
+    #[test]
+    fn seed_override() {
+        let s = Scale::paper().with_seed(7);
+        assert_eq!(s.seed(), 7);
+        assert_eq!(Scale::paper().seed(), 0xC0FFEE);
+    }
+}

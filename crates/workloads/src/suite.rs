@@ -1,0 +1,136 @@
+//! The full benchmark suite with Table-2 metadata.
+
+use gtr_gpu::kernel::AppTrace;
+
+use crate::apps;
+use crate::scale::Scale;
+
+/// Table-2 metadata for one application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchmarkInfo {
+    /// Application name used throughout the harnesses.
+    pub name: &'static str,
+    /// Originating suite.
+    pub suite: &'static str,
+    /// Kernel launches at paper scale.
+    pub kernels_per_app: usize,
+    /// Whether the same kernel launches back-to-back.
+    pub back_to_back: bool,
+    /// Paper-reported PTW-PKI category (H/M/L).
+    pub category: &'static str,
+    /// Whether the app requests LDS.
+    pub uses_lds: bool,
+}
+
+/// Table 2, one row per application.
+pub const TABLE2: [BenchmarkInfo; 10] = [
+    BenchmarkInfo { name: "ATAX", suite: "Polybench", kernels_per_app: 2, back_to_back: false, category: "H", uses_lds: false },
+    BenchmarkInfo { name: "GEV", suite: "Polybench", kernels_per_app: 1, back_to_back: false, category: "H", uses_lds: false },
+    BenchmarkInfo { name: "MVT", suite: "Polybench", kernels_per_app: 2, back_to_back: false, category: "H", uses_lds: false },
+    BenchmarkInfo { name: "BICG", suite: "Polybench", kernels_per_app: 2, back_to_back: false, category: "H", uses_lds: false },
+    BenchmarkInfo { name: "NW", suite: "Rodinia", kernels_per_app: 255, back_to_back: true, category: "M", uses_lds: true },
+    BenchmarkInfo { name: "SRAD", suite: "Rodinia", kernels_per_app: 1, back_to_back: false, category: "L", uses_lds: true },
+    BenchmarkInfo { name: "BFS", suite: "Rodinia", kernels_per_app: 24, back_to_back: false, category: "M", uses_lds: false },
+    BenchmarkInfo { name: "SSSP", suite: "Pannotia", kernels_per_app: 512, back_to_back: false, category: "L", uses_lds: true },
+    BenchmarkInfo { name: "PRK", suite: "Pannotia", kernels_per_app: 41, back_to_back: false, category: "L", uses_lds: true },
+    BenchmarkInfo { name: "GUPS", suite: "u-bm", kernels_per_app: 3, back_to_back: false, category: "H", uses_lds: false },
+];
+
+/// Builds one application by name.
+pub fn by_name(name: &str, scale: Scale) -> Option<AppTrace> {
+    Some(match name {
+        "ATAX" => apps::atax::build(scale),
+        "GEV" => apps::gev::build(scale),
+        "MVT" => apps::mvt::build(scale),
+        "BICG" => apps::bicg::build(scale),
+        "NW" => apps::nw::build(scale),
+        "SRAD" => apps::srad::build(scale),
+        "BFS" => apps::bfs::build(scale),
+        "SSSP" => apps::sssp::build(scale),
+        "PRK" => apps::prk::build(scale),
+        "GUPS" => apps::gups::build(scale),
+        _ => return None,
+    })
+}
+
+/// Builds the whole suite in Table-2 order.
+pub fn all(scale: Scale) -> Vec<AppTrace> {
+    TABLE2
+        .iter()
+        .map(|info| by_name(info.name, scale).expect("known name"))
+        .collect()
+}
+
+/// The subset the paper calls High and Medium TLB-miss apps.
+pub fn high_medium(scale: Scale) -> Vec<AppTrace> {
+    TABLE2
+        .iter()
+        .filter(|i| i.category != "L")
+        .map(|i| by_name(i.name, scale).expect("known name"))
+        .collect()
+}
+
+/// Metadata lookup by name.
+pub fn info(name: &str) -> Option<&'static BenchmarkInfo> {
+    TABLE2.iter().find(|i| i.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ten_build() {
+        let apps = all(Scale::tiny());
+        assert_eq!(apps.len(), 10);
+        for (app, info) in apps.iter().zip(TABLE2.iter()) {
+            assert_eq!(app.name(), info.name);
+            assert!(app.total_ops() > 0, "{} is empty", info.name);
+        }
+    }
+
+    #[test]
+    fn b2b_metadata_matches_traces() {
+        for info in &TABLE2 {
+            let app = by_name(info.name, Scale::tiny()).unwrap();
+            assert_eq!(
+                app.has_back_to_back_kernels(),
+                info.back_to_back,
+                "B2B mismatch for {}",
+                info.name
+            );
+        }
+    }
+
+    #[test]
+    fn lds_metadata_matches_traces() {
+        for info in &TABLE2 {
+            let app = by_name(info.name, Scale::tiny()).unwrap();
+            let uses = app.kernels().iter().any(|k| k.lds_bytes_per_wg() > 0);
+            assert_eq!(uses, info.uses_lds, "LDS mismatch for {}", info.name);
+        }
+    }
+
+    #[test]
+    fn kernel_counts_at_paper_scale() {
+        for info in &TABLE2 {
+            if info.kernels_per_app <= 3 {
+                let app = by_name(info.name, Scale::paper()).unwrap();
+                assert_eq!(app.kernels().len(), info.kernels_per_app, "{}", info.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("NOPE", Scale::tiny()).is_none());
+        assert!(info("NOPE").is_none());
+        assert_eq!(info("ATAX").unwrap().suite, "Polybench");
+    }
+
+    #[test]
+    fn high_medium_subset() {
+        let hm = high_medium(Scale::tiny());
+        assert_eq!(hm.len(), 7); // 5 High + 2 Medium
+    }
+}

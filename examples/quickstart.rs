@@ -1,0 +1,50 @@
+//! Quickstart: build a Table-1 GPU, run the GUPS micro-benchmark, and
+//! compare the baseline against the reconfigurable IC+LDS design.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gpu_translation_reach::core_arch::config::ReachConfig;
+use gpu_translation_reach::core_arch::system::System;
+use gpu_translation_reach::gpu::config::GpuConfig;
+use gpu_translation_reach::workloads::{scale::Scale, suite};
+
+fn main() {
+    // 1. Pick a workload. GUPS issues uniform random read-modify-write
+    //    updates over a 256 MB table: the TLB worst case.
+    let app = suite::by_name("GUPS", Scale::quick()).expect("GUPS is in the suite");
+    println!("workload: {} ({} kernels, {} wave-ops)", app.name(), app.kernels().len(), app.total_ops());
+
+    // 2. Run the unmodified Table-1 baseline GPU.
+    let baseline = System::new(GpuConfig::default(), ReachConfig::baseline()).run(&app);
+    println!(
+        "baseline:  {:>10} cycles | {:>6} page walks | L1 TLB {:>5.1}% | L2 TLB {:>5.1}%",
+        baseline.total_cycles,
+        baseline.page_walks,
+        baseline.l1_hit_ratio() * 100.0,
+        baseline.l2_hit_ratio() * 100.0,
+    );
+
+    // 3. Switch on the paper's reconfigurable architecture: idle LDS
+    //    segments and idle I-cache lines become a TLB victim cache.
+    let reach = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds()).run(&app);
+    println!(
+        "IC+LDS:    {:>10} cycles | {:>6} page walks | victim hits {} (LDS {} / IC {})",
+        reach.total_cycles,
+        reach.page_walks,
+        reach.victim_hits(),
+        reach.lds_tx.hits,
+        reach.ic_tx.hits,
+    );
+
+    // 4. Report the headline numbers.
+    let speedup = baseline.total_cycles as f64 / reach.total_cycles as f64;
+    println!(
+        "speedup: {:.2}x ({:+.1}%) | walks: {:.1}% of baseline | peak extra reach: {} entries",
+        speedup,
+        (speedup - 1.0) * 100.0,
+        reach.page_walks as f64 * 100.0 / baseline.page_walks.max(1) as f64,
+        reach.peak_tx_entries,
+    );
+}

@@ -1,0 +1,52 @@
+//! # gpu-translation-reach
+//!
+//! A from-scratch Rust reproduction of *"Increasing GPU Translation
+//! Reach by Leveraging Under-Utilized On-Chip Resources"* (Kotra,
+//! LeBeane, Kandemir, Loh — MICRO 2021): a GPU virtual-memory timing
+//! simulator whose instruction cache and LDS scratchpad can be
+//! reconfigured into a TLB victim cache between the L1 and L2 TLBs.
+//!
+//! This facade crate re-exports the workspace so downstream users can
+//! depend on one crate:
+//!
+//! * [`sim`] — deterministic discrete-event engine (events, gap-filling
+//!   resource timelines, statistics, seeded RNG).
+//! * [`vm`] — virtual-memory substrate (page tables, TLBs, coalescer,
+//!   page-walk caches, IOMMU, shootdowns).
+//! * [`mem`] — caches, DDR3 DRAM timing, DRAM energy.
+//! * [`gpu`] — GPU execution model (kernels, wavefronts, LDS
+//!   allocation, workgroup dispatch).
+//! * [`core_arch`] — the paper's contribution: reconfigurable LDS and
+//!   I-cache, the Fig-12 victim flows, and the full
+//!   [`System`](core_arch::system::System) simulator.
+//! * [`workloads`] — the ten Table-2 benchmark models.
+//! * [`ducati`] — the DUCATI (TACO'19) comparison baseline.
+//! * [`bench`](mod@bench) — harnesses that regenerate every table and
+//!   figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gpu_translation_reach::core_arch::config::ReachConfig;
+//! use gpu_translation_reach::core_arch::system::System;
+//! use gpu_translation_reach::gpu::config::GpuConfig;
+//! use gpu_translation_reach::workloads::{scale::Scale, suite};
+//!
+//! let app = suite::by_name("SRAD", Scale::tiny()).unwrap();
+//! let baseline = System::new(GpuConfig::default(), ReachConfig::baseline()).run(&app);
+//! let reach = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds()).run(&app);
+//! // SRAD is TLB-insensitive: the reconfigurable design must not hurt it.
+//! assert!((reach.total_cycles as f64) < baseline.total_cycles as f64 * 1.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gtr_bench as bench;
+pub use gtr_core as core_arch;
+pub use gtr_ducati as ducati;
+pub use gtr_gpu as gpu;
+pub use gtr_mem as mem;
+pub use gtr_sim as sim;
+pub use gtr_vm as vm;
+pub use gtr_workloads as workloads;

@@ -1,0 +1,243 @@
+//! End-to-end integration tests: the full Table-2 suite through the
+//! complete system, checking the paper's qualitative claims.
+
+use gpu_translation_reach::core_arch::config::ReachConfig;
+use gpu_translation_reach::core_arch::stats::RunStats;
+use gpu_translation_reach::core_arch::system::System;
+use gpu_translation_reach::gpu::config::GpuConfig;
+use gpu_translation_reach::workloads::{scale::Scale, suite};
+
+fn run(name: &str, reach: ReachConfig) -> RunStats {
+    let app = suite::by_name(name, Scale::tiny()).expect("known app");
+    System::new(GpuConfig::default(), reach).run(&app)
+}
+
+#[test]
+fn every_app_runs_to_completion_under_every_config() {
+    for info in &suite::TABLE2 {
+        for reach in [
+            ReachConfig::baseline(),
+            ReachConfig::lds_only(),
+            ReachConfig::ic_only(),
+            ReachConfig::ic_plus_lds(),
+        ] {
+            let stats = run(info.name, reach);
+            assert!(stats.total_cycles > 0, "{} produced no cycles", info.name);
+            assert!(stats.instructions > 0, "{} executed nothing", info.name);
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    for name in ["ATAX", "NW", "GUPS"] {
+        let a = run(name, ReachConfig::ic_plus_lds());
+        let b = run(name, ReachConfig::ic_plus_lds());
+        assert_eq!(a.total_cycles, b.total_cycles, "{name} cycles diverged");
+        assert_eq!(a.page_walks, b.page_walks, "{name} walks diverged");
+        assert_eq!(a.dram_accesses, b.dram_accesses, "{name} DRAM diverged");
+        assert_eq!(a.victim_hits(), b.victim_hits(), "{name} hits diverged");
+    }
+}
+
+#[test]
+fn tlb_sensitive_apps_improve_with_ic_plus_lds() {
+    // The paper's headline: High-category apps gain substantially.
+    for name in ["ATAX", "BICG", "MVT", "GEV"] {
+        let base = run(name, ReachConfig::baseline());
+        let reach = run(name, ReachConfig::ic_plus_lds());
+        assert!(
+            reach.total_cycles < base.total_cycles,
+            "{name} should speed up: base={} reach={}",
+            base.total_cycles,
+            reach.total_cycles
+        );
+        assert!(
+            reach.page_walks * 2 < base.page_walks,
+            "{name} walks should at least halve: base={} reach={}",
+            base.page_walks,
+            reach.page_walks
+        );
+    }
+}
+
+#[test]
+fn tlb_insensitive_apps_are_not_degraded() {
+    // "...while not negatively impacting applications that do not
+    // require additional TLB reach."
+    for name in ["SRAD", "SSSP", "PRK"] {
+        let base = run(name, ReachConfig::baseline());
+        let reach = run(name, ReachConfig::ic_plus_lds());
+        let ratio = reach.total_cycles as f64 / base.total_cycles as f64;
+        assert!(ratio < 1.05, "{name} degraded by {:.1}%", (ratio - 1.0) * 100.0);
+    }
+}
+
+#[test]
+fn victim_structures_actually_cache_translations() {
+    let stats = run("ATAX", ReachConfig::ic_plus_lds());
+    assert!(stats.lds_tx.hits > 0, "LDS victim cache never hit");
+    assert!(stats.peak_tx_entries > 100, "peak entries {}", stats.peak_tx_entries);
+}
+
+#[test]
+fn lds_using_apps_still_get_ic_reach() {
+    // NW holds LDS allocations; the I-cache side must still help.
+    let base = run("NW", ReachConfig::baseline());
+    let reach = run("NW", ReachConfig::ic_plus_lds());
+    assert!(reach.page_walks <= base.page_walks);
+    assert!(reach.victim_hits() > 0);
+}
+
+#[test]
+fn table2_categories_match_metadata_shape() {
+    // High-category apps must measure at least Medium, and Low apps
+    // must measure Low (the paper's Table-2 classification).
+    for info in &suite::TABLE2 {
+        let stats = run(info.name, ReachConfig::baseline());
+        let pki = stats.ptw_pki();
+        match info.category {
+            "H" => assert!(pki >= 1.0, "{} measured PKI {pki}, expected High-ish", info.name),
+            "M" => assert!(pki >= 0.5, "{} measured PKI {pki}, expected Medium-ish", info.name),
+            _ => assert!(pki < 1.0, "{} measured PKI {pki}, expected Low", info.name),
+        }
+    }
+}
+
+#[test]
+fn perfect_l2_tlb_eliminates_walks() {
+    let app = suite::by_name("GUPS", Scale::tiny()).unwrap();
+    let stats = System::new(
+        GpuConfig::default().with_perfect_l2_tlb(),
+        ReachConfig::baseline(),
+    )
+    .run(&app);
+    assert_eq!(stats.page_walks, 0, "perfect L2 TLB must never walk");
+}
+
+#[test]
+fn page_size_reduces_translation_pressure() {
+    use gpu_translation_reach::vm::addr::PageSize;
+    let app = suite::by_name("ATAX", Scale::tiny()).unwrap();
+    let small = System::new(GpuConfig::default(), ReachConfig::baseline()).run(&app);
+    let large = System::new(
+        GpuConfig::default().with_page_size(PageSize::Size2M),
+        ReachConfig::baseline(),
+    )
+    .run(&app);
+    assert!(
+        large.page_walks < small.page_walks / 4,
+        "2MB pages should slash walks: 4K={} 2M={}",
+        small.page_walks,
+        large.page_walks
+    );
+}
+
+#[test]
+fn ducati_composes_with_the_reconfigurable_design() {
+    use gpu_translation_reach::ducati::Ducati;
+    let app = suite::by_name("ATAX", Scale::tiny()).unwrap();
+    let base = System::new(GpuConfig::default(), ReachConfig::baseline()).run(&app);
+    let ducati = System::new(GpuConfig::default(), ReachConfig::baseline())
+        .with_side_cache(Box::new(Ducati::new(1 << 19)))
+        .run(&app);
+    let combined = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds())
+        .with_side_cache(Box::new(Ducati::new(1 << 19)))
+        .run(&app);
+    assert!(ducati.page_walks < base.page_walks, "DUCATI should cut walks");
+    assert!(combined.total_cycles <= ducati.total_cycles, "IC+LDS should add on top");
+}
+
+#[test]
+fn icache_sharer_sweep_runs_all_points() {
+    let app = suite::by_name("BICG", Scale::tiny()).unwrap();
+    let mut cycles = Vec::new();
+    for sharers in [1usize, 2, 4, 8] {
+        let stats = System::new(
+            GpuConfig::default().with_icache_sharers(sharers),
+            ReachConfig::ic_plus_lds(),
+        )
+        .run(&app);
+        cycles.push(stats.total_cycles);
+    }
+    assert_eq!(cycles.len(), 4);
+    assert!(cycles.iter().all(|&c| c > 0));
+}
+
+#[test]
+fn wire_latency_monotonically_degrades() {
+    let app = suite::by_name("ATAX", Scale::tiny()).unwrap();
+    let fast = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds()).run(&app);
+    let slow = System::new(
+        GpuConfig::default(),
+        ReachConfig::ic_plus_lds().with_wire_latency(100, 100),
+    )
+    .run(&app);
+    assert!(
+        slow.total_cycles >= fast.total_cycles,
+        "extra wire latency cannot speed things up"
+    );
+    // But it must still beat the baseline (the paper's §6.3.3 claim).
+    let base = System::new(GpuConfig::default(), ReachConfig::baseline()).run(&app);
+    assert!(slow.total_cycles < base.total_cycles);
+}
+
+#[test]
+fn every_run_ends_translation_coherent() {
+    for name in ["ATAX", "NW", "GUPS", "SSSP"] {
+        let app = suite::by_name(name, Scale::tiny()).unwrap();
+        let mut sys = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds());
+        sys.run(&app);
+        assert!(sys.check_translation_coherence() > 0, "{name} cached nothing");
+    }
+}
+
+#[test]
+#[should_panic(expected = "can never fit")]
+fn oversized_workgroup_is_rejected() {
+    use gpu_translation_reach::gpu::kernel::{KernelDesc, WaveProgram, WorkgroupDesc};
+    use gpu_translation_reach::gpu::ops::Op;
+    let wave = WaveProgram::new(vec![Op::compute(1)]);
+    let wg = WorkgroupDesc::new(vec![wave; 41]); // > 40 slots per CU
+    let app = gpu_translation_reach::gpu::kernel::AppTrace::new(
+        "bad",
+        vec![KernelDesc::new("k", 1, 0, vec![wg])],
+    );
+    let _ = System::new(GpuConfig::default(), ReachConfig::baseline()).run(&app);
+}
+
+#[test]
+#[should_panic(expected = "B of LDS")]
+fn oversized_lds_request_is_rejected() {
+    use gpu_translation_reach::gpu::kernel::{KernelDesc, WaveProgram, WorkgroupDesc};
+    use gpu_translation_reach::gpu::ops::Op;
+    let wave = WaveProgram::new(vec![Op::compute(1)]);
+    let wg = WorkgroupDesc::new(vec![wave]);
+    let app = gpu_translation_reach::gpu::kernel::AppTrace::new(
+        "bad",
+        vec![KernelDesc::new("k", 1, 64 * 1024, vec![wg])],
+    );
+    let _ = System::new(GpuConfig::default(), ReachConfig::baseline()).run(&app);
+}
+
+#[test]
+fn home_hashed_lds_beats_duplication_for_random_access() {
+    // The paper defers "optimizations to limit the translation
+    // duplication" (§6.1.1); our home-node-hashed LDS implements one.
+    // For uniform-random GUPS the deduplicated reach (12K unique
+    // entries) must capture more than per-CU duplication (1.5K each).
+    let app = suite::by_name("GUPS", Scale::tiny()).unwrap();
+    let dup = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds()).run(&app);
+    let hashed = System::new(
+        GpuConfig::default(),
+        ReachConfig::ic_plus_lds().with_lds_home_hashing(),
+    )
+    .run(&app);
+    assert!(
+        hashed.lds_tx.hits > dup.lds_tx.hits * 2,
+        "dedup should multiply victim hits: {} vs {}",
+        hashed.lds_tx.hits,
+        dup.lds_tx.hits
+    );
+    assert!(hashed.page_walks < dup.page_walks);
+}

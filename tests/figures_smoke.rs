@@ -1,0 +1,104 @@
+//! Smoke tests over the experiment harnesses: every figure generator
+//! must run at tiny scale and produce the rows the paper reports.
+
+use gpu_translation_reach::bench::figures;
+use gpu_translation_reach::workloads::scale::Scale;
+
+fn tiny() -> Scale {
+    Scale::tiny()
+}
+
+#[test]
+fn table1_lists_the_machine() {
+    let t = figures::table1();
+    for needle in ["8 CUs", "512 entries", "16-way", "32 walkers", "DDR3-1600"] {
+        assert!(t.contains(needle), "Table 1 missing {needle:?}:\n{t}");
+    }
+}
+
+#[test]
+fn table2_covers_all_apps() {
+    let t = figures::table2(tiny());
+    for app in ["ATAX", "GEV", "MVT", "BICG", "NW", "SRAD", "BFS", "SSSP", "PRK", "GUPS"] {
+        assert!(t.contains(app), "Table 2 missing {app}");
+    }
+}
+
+#[test]
+fn fig02_03_sweeps_l2_sizes() {
+    let t = figures::fig02_03(tiny());
+    for needle in ["Fig 2", "Fig 3", "L2-TLB-8K", "Perfect-L2-TLB", "GeoMean"] {
+        assert!(t.contains(needle), "missing {needle:?}");
+    }
+}
+
+#[test]
+fn fig04_05_reports_distributions() {
+    let t = figures::fig04_05(tiny());
+    for needle in ["Fig 4a", "Fig 4b", "Fig 5a", "Fig 5b", "med"] {
+        assert!(t.contains(needle), "missing {needle:?}");
+    }
+}
+
+#[test]
+fn fig11_reports_per_kernel_series() {
+    let t = figures::fig11(tiny());
+    assert!(t.contains("NW"));
+    assert!(t.contains("kernels]"));
+}
+
+#[test]
+fn fig13a_has_all_four_variants() {
+    let t = figures::fig13a(tiny());
+    for needle in ["IC-1tx/way", "IC-8tx-naive-repl", "IC-8tx-instr-aware", "IC-8tx-IA+flush"] {
+        assert!(t.contains(needle), "missing {needle:?}");
+    }
+}
+
+#[test]
+fn main_matrix_feeds_fig13b_13c_14_15() {
+    let m = figures::main_matrix(tiny());
+    let f13b = figures::fig13b_from(&m);
+    assert!(f13b.contains("IC+LDS"));
+    assert!(f13b.contains("High+Medium-only geomeans"));
+    let f13c = figures::fig13c_from(&m);
+    assert!(f13c.contains("DRAM energy"));
+    let f14 = figures::fig14ab_from(&m);
+    assert!(f14.contains("Fig 14a"));
+    assert!(f14.contains("Fig 14b"));
+    let f15 = figures::fig15_from(&m);
+    assert!(f15.contains("Fig 15"));
+}
+
+#[test]
+fn fig16_sections_render() {
+    let a = figures::fig16a(tiny());
+    assert!(a.contains("1-CU-sharers") && a.contains("8-CU-sharers"));
+    let b = figures::fig16b(tiny());
+    assert!(b.contains("IC_LDS+100cy"));
+    let c = figures::fig16c(tiny());
+    assert!(c.contains("DUCATI+IC+LDS"));
+    let s = figures::ablation_segment_size(tiny());
+    assert!(s.contains("64B-seg"));
+}
+
+#[test]
+fn figure_output_is_deterministic() {
+    assert_eq!(figures::table2(tiny()), figures::table2(tiny()));
+    assert_eq!(figures::fig13b(tiny()), figures::fig13b(tiny()));
+}
+
+#[test]
+fn multi_app_experiment_renders() {
+    let t = figures::multi_app(tiny());
+    assert!(t.contains("ATAX+BICG"));
+    assert!(t.contains("IC+LDS"));
+}
+
+#[test]
+fn ablations_render() {
+    let t = figures::ablations(tiny());
+    assert!(t.contains("prefetch-buffer"));
+    assert!(t.contains("without PWCs"));
+    assert!(t.contains("without coalescer"));
+}

@@ -1,0 +1,193 @@
+//! Property-based tests (proptest) over the core data structures'
+//! invariants.
+
+use proptest::prelude::*;
+
+use gpu_translation_reach::core_arch::compress::TagGroup;
+use gpu_translation_reach::core_arch::config::{Replacement, SegmentSize, TxPerLine};
+use gpu_translation_reach::core_arch::icache_tx::TxIcache;
+use gpu_translation_reach::core_arch::lds_tx::{LdsInsert, SegmentMode, TxLds};
+use gpu_translation_reach::sim::resource::Timeline;
+use gpu_translation_reach::vm::addr::{PageSize, Ppn, Translation, TranslationKey, VirtAddr, Vpn};
+use gpu_translation_reach::vm::coalescer::CoalescedAccess;
+use gpu_translation_reach::vm::page_table::PageTable;
+use gpu_translation_reach::vm::tlb::{Tlb, TlbConfig};
+
+fn tx(v: u64) -> Translation {
+    Translation::new(TranslationKey::for_vpn(Vpn(v)), Ppn(v ^ 0xABCD))
+}
+
+proptest! {
+    /// Every admitted tag lies within the signed delta window of the
+    /// group's base; conflicts are rejected, never mis-stored.
+    #[test]
+    fn tag_group_window_invariant(
+        delta_bits in 2u32..24,
+        tags in prop::collection::vec(0u64..1u64 << 40, 1..64),
+    ) {
+        let mut g = TagGroup::new(delta_bits);
+        for t in tags {
+            let admitted = g.try_admit(t);
+            if admitted {
+                let base = g.base().expect("non-empty group has a base");
+                let delta = t as i128 - base as i128;
+                let half = 1i128 << (delta_bits - 1);
+                prop_assert!((-half..half).contains(&delta));
+            }
+        }
+    }
+
+    /// A TLB never exceeds its capacity, and a just-inserted key is
+    /// always findable.
+    #[test]
+    fn tlb_capacity_and_residency(
+        entries_log in 2u32..7,
+        assoc_log in 0u32..4,
+        keys in prop::collection::vec(0u64..10_000, 1..300),
+    ) {
+        let entries = 1usize << entries_log;
+        let assoc = (1usize << assoc_log).min(entries);
+        let mut tlb = Tlb::new(TlbConfig::set_associative(entries, assoc, 1));
+        for v in keys {
+            tlb.insert(tx(v));
+            prop_assert!(tlb.len() <= entries);
+            prop_assert!(
+                tlb.probe(TranslationKey::for_vpn(Vpn(v))).is_some(),
+                "freshly inserted key must be resident"
+            );
+        }
+    }
+
+    /// Timeline reservations never overlap, regardless of arrival
+    /// order and skew.
+    #[test]
+    fn timeline_reservations_disjoint(
+        requests in prop::collection::vec((0u64..100_000, 1u64..200), 1..200),
+    ) {
+        let mut tl = Timeline::new();
+        let mut intervals: Vec<(u64, u64)> = Vec::new();
+        for (at, service) in requests {
+            let start = tl.reserve(at, service);
+            prop_assert!(start >= at, "reservation cannot start before arrival");
+            let end = start + service;
+            for &(s, e) in &intervals {
+                prop_assert!(end <= s || start >= e,
+                    "overlap: [{start},{end}) with [{s},{e})");
+            }
+            intervals.push((start, end));
+        }
+    }
+
+    /// Coalescing yields unique pages covering exactly the lanes' pages.
+    #[test]
+    fn coalescer_pages_exact(
+        addrs in prop::collection::vec(0u64..1u64 << 44, 1..64),
+    ) {
+        let lanes: Vec<VirtAddr> = addrs.iter().map(|&a| VirtAddr::new(a)).collect();
+        let c = CoalescedAccess::from_lanes(&lanes, PageSize::Size4K);
+        let expected: std::collections::HashSet<u64> =
+            lanes.iter().map(|a| a.vpn(PageSize::Size4K).0).collect();
+        let got: std::collections::HashSet<u64> = c.pages.iter().map(|p| p.0).collect();
+        prop_assert_eq!(expected.clone(), got);
+        prop_assert_eq!(c.pages.len(), expected.len(), "no duplicates");
+    }
+
+    /// Page-table mapping is a bijection onto distinct frames, and walk
+    /// paths always end at the mapped frame.
+    #[test]
+    fn page_table_bijective_and_walkable(
+        vpns in prop::collection::hash_set(0u64..1u64 << 30, 1..100),
+    ) {
+        let mut pt = PageTable::new(PageSize::Size4K);
+        let mut frames = std::collections::HashSet::new();
+        for &v in &vpns {
+            let t = pt.map_vpn(Vpn(v));
+            prop_assert!(frames.insert(t.ppn), "frame reused");
+        }
+        for &v in &vpns {
+            let path = pt.walk_path(Vpn(v)).expect("mapped");
+            prop_assert_eq!(path.steps.len(), 4);
+            prop_assert_eq!(Some(path.ppn), pt.translate(Vpn(v)));
+        }
+    }
+
+    /// The reconfigurable LDS never stores translations in App-mode
+    /// segments and never exceeds its way capacity; app allocate /
+    /// release round-trips restore usable capacity.
+    #[test]
+    fn tx_lds_mode_safety(
+        ops in prop::collection::vec((0u64..4096, 0u8..4), 1..400),
+    ) {
+        let mut lds = TxLds::new(16 * 1024, SegmentSize::Bytes32);
+        let cap = lds.segment_count() * lds.ways();
+        // Live application allocations, mirroring the front-end
+        // scheduler's contract: only allocated blocks are released.
+        let mut live: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for (v, op) in ops {
+            match op {
+                0 | 1 => {
+                    let _ = lds.insert(tx(v));
+                }
+                2 => {
+                    let base = (((v as u32) % 512) * 32) & !255;
+                    if live.insert(base) {
+                        lds.on_app_allocate(base, 256);
+                    }
+                }
+                _ => {
+                    let base = (((v as u32) % 512) * 32) & !255;
+                    if live.remove(&base) {
+                        lds.on_app_release(base, 256);
+                    }
+                }
+            }
+            prop_assert!(lds.resident() <= cap);
+            // An App segment must always bypass inserts.
+            if lds.segment_mode(tx(v).key) == SegmentMode::App {
+                prop_assert_eq!(lds.insert(tx(v)), LdsInsert::Bypassed);
+            }
+        }
+    }
+
+    /// The reconfigurable I-cache keeps instruction fetches correct no
+    /// matter how translations churn: a fetched line always hits
+    /// immediately afterwards.
+    #[test]
+    fn tx_icache_instruction_correctness(
+        ops in prop::collection::vec((0u64..2048, prop::bool::ANY), 1..400),
+    ) {
+        let mut ic = TxIcache::new(
+            16 * 1024, 8, TxPerLine::Eight, Replacement::InstructionAware,
+        );
+        for (v, is_inst) in ops {
+            if is_inst {
+                ic.fetch(v);
+                prop_assert!(ic.fetch(v), "immediate refetch must hit");
+            } else {
+                let _ = ic.insert_tx(tx(v));
+            }
+            prop_assert!(ic.resident_tx() <= ic.line_count() * ic.tx_slots());
+        }
+    }
+
+    /// Under the instruction-aware policy translations NEVER evict
+    /// instruction lines (§4.3.2 rule 2).
+    #[test]
+    fn instruction_aware_never_evicts_instructions(
+        inst_lines in prop::collection::vec(0u64..2048, 1..64),
+        tx_vpns in prop::collection::vec(0u64..1u64 << 20, 1..256),
+    ) {
+        let mut ic = TxIcache::new(
+            16 * 1024, 8, TxPerLine::Eight, Replacement::InstructionAware,
+        );
+        for &l in &inst_lines {
+            ic.fetch(l);
+        }
+        let inst_before = ic.inst_lines();
+        for v in tx_vpns {
+            let _ = ic.insert_tx(tx(v));
+        }
+        prop_assert_eq!(ic.inst_lines(), inst_before);
+        prop_assert_eq!(ic.stats().inst_evicted_by_tx, 0);
+    }
+}

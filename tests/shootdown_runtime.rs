@@ -1,0 +1,99 @@
+//! Runtime shootdown integration (§7.1): pages migrate mid-run and
+//! every structure's stale copy is invalidated.
+
+use gpu_translation_reach::core_arch::config::ReachConfig;
+use gpu_translation_reach::core_arch::driver::{DriverSchedule, MigrationEvent};
+use gpu_translation_reach::core_arch::system::System;
+use gpu_translation_reach::gpu::config::GpuConfig;
+use gpu_translation_reach::workloads::{scale::Scale, suite};
+
+/// ATAX's matrix starts at VA 0x1_0000_0000 => VPN 0x10000.
+const ATAX_FIRST_VPN: u64 = 0x1_0000_0000 / 4096;
+
+fn schedule() -> DriverSchedule {
+    // Migrate 64 hot matrix pages once the run is warmed up, twice.
+    DriverSchedule::new()
+        .migrate(MigrationEvent::new(5_000, ATAX_FIRST_VPN..ATAX_FIRST_VPN + 64))
+        .migrate(MigrationEvent::new(20_000, ATAX_FIRST_VPN..ATAX_FIRST_VPN + 64))
+}
+
+#[test]
+fn migrations_invalidate_stale_copies_everywhere() {
+    let app = suite::by_name("ATAX", Scale::tiny()).unwrap();
+    let mut sys = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds())
+        .with_driver_schedule(schedule());
+    let stats = sys.run(&app);
+    let report = sys.shootdown_report();
+    assert_eq!(report.events, 2);
+    assert!(report.pages_migrated > 0, "hot pages were mapped and migrated");
+    assert!(
+        report.total_hits() > 0,
+        "warm structures must hold stale copies: {report:?}"
+    );
+    assert!(stats.total_cycles > 0);
+}
+
+#[test]
+fn shootdowns_force_rewalks() {
+    let app = suite::by_name("ATAX", Scale::tiny()).unwrap();
+    let without = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds()).run(&app);
+    let mut sys = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds())
+        .with_driver_schedule(schedule());
+    let with = sys.run(&app);
+    assert!(
+        with.page_walks > without.page_walks,
+        "invalidations must cause re-walks: {} vs {}",
+        with.page_walks,
+        without.page_walks
+    );
+}
+
+#[test]
+fn shootdown_runs_are_deterministic() {
+    let app = suite::by_name("ATAX", Scale::tiny()).unwrap();
+    let run = || {
+        let mut sys = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds())
+            .with_driver_schedule(schedule());
+        let stats = sys.run(&app);
+        (stats.total_cycles, stats.page_walks, sys.shootdown_report())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn migrating_untouched_pages_is_a_noop() {
+    let app = suite::by_name("SRAD", Scale::tiny()).unwrap();
+    // SRAD never touches these VPNs.
+    let sched = DriverSchedule::new().migrate(MigrationEvent::new(10, 0x9_9999..0x9_99A9));
+    let mut sys = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds())
+        .with_driver_schedule(sched);
+    sys.run(&app);
+    let report = sys.shootdown_report();
+    assert_eq!(report.events, 1);
+    assert_eq!(report.pages_migrated, 0, "unmapped pages cannot migrate");
+    assert_eq!(report.total_hits(), 0);
+}
+
+#[test]
+fn baseline_shootdowns_only_hit_tlbs() {
+    let app = suite::by_name("ATAX", Scale::tiny()).unwrap();
+    let mut sys = System::new(GpuConfig::default(), ReachConfig::baseline())
+        .with_driver_schedule(schedule());
+    sys.run(&app);
+    let report = sys.shootdown_report();
+    assert_eq!(report.lds_hits, 0, "baseline LDS holds no translations");
+    assert_eq!(report.ic_hits, 0, "baseline I-cache holds no translations");
+    assert!(report.l1_hits + report.l2_hits > 0);
+}
+
+#[test]
+fn post_shootdown_state_is_coherent() {
+    let app = suite::by_name("ATAX", Scale::tiny()).unwrap();
+    let mut sys = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds())
+        .with_driver_schedule(schedule());
+    sys.run(&app);
+    // Every surviving cached translation must match the (migrated)
+    // page tables — the shootdown protocol removed all stale copies.
+    let checked = sys.check_translation_coherence();
+    assert!(checked > 1000, "expected warm structures, checked {checked}");
+}
