@@ -1,0 +1,8 @@
+#!/bin/sh
+# Tier-1 gate: build, test, and simulator-throughput regression check.
+set -eu
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo run --release -p gtr-bench --bin perf -- --check

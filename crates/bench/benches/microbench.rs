@@ -1,11 +1,16 @@
-//! Criterion micro-benchmarks of the hot simulation structures.
+//! Micro-benchmarks of the hot simulation structures (self-timed).
 //!
 //! These measure *simulator* throughput (how fast the models run), not
 //! simulated performance — the paper's figures come from the `figures`
 //! bench target and the `fig*` binaries.
+//!
+//! This is a custom `harness = false` target with its own std-only
+//! timing loop (calibrated batch count, median-of-5 runs) so it works
+//! in offline environments where `criterion` cannot be downloaded.
+//! Run with `cargo bench -p gtr-bench --features criterion-benches`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use gtr_core::compress::TagGroup;
 use gtr_core::config::{Replacement, SegmentSize, TxPerLine};
@@ -17,6 +22,38 @@ use gtr_vm::coalescer::CoalescedAccess;
 use gtr_vm::page_table::PageTable;
 use gtr_vm::tlb::{Tlb, TlbConfig};
 
+/// Runs `f` in timed batches until ~50 ms of samples accumulate and
+/// prints the median per-iteration cost.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm up and estimate a batch size targeting ~5 ms per sample.
+    let t = Instant::now();
+    let mut probe = 0u64;
+    while t.elapsed().as_millis() < 5 {
+        f();
+        probe += 1;
+    }
+    let batch = probe.max(1);
+    let mut samples: Vec<f64> = (0..9)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t.elapsed().as_secs_f64() / batch as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let (scaled, unit) = if median >= 1e-3 {
+        (median * 1e3, "ms")
+    } else if median >= 1e-6 {
+        (median * 1e6, "us")
+    } else {
+        (median * 1e9, "ns")
+    };
+    println!("{name:<34} {scaled:>10.2} {unit}/iter  ({batch} iters/sample)");
+}
+
 fn key(v: u64) -> TranslationKey {
     TranslationKey::for_vpn(Vpn(v))
 }
@@ -25,133 +62,119 @@ fn tx(v: u64) -> Translation {
     Translation::new(key(v), Ppn(v + 1))
 }
 
-fn bench_tlb(c: &mut Criterion) {
-    c.bench_function("tlb_lookup_hit_512e_16w", |b| {
-        let mut tlb = Tlb::new(TlbConfig::set_associative(512, 16, 188));
-        for v in 0..512 {
-            tlb.insert(tx(v));
+fn bench_tlb() {
+    let mut tlb = Tlb::new(TlbConfig::set_associative(512, 16, 188));
+    for v in 0..512 {
+        tlb.insert(tx(v));
+    }
+    let mut v = 0u64;
+    bench("tlb_lookup_hit_512e_16w", || {
+        v = (v + 1) % 512;
+        black_box(tlb.lookup(key(v)));
+    });
+    let mut tlb = Tlb::new(TlbConfig::set_associative(512, 16, 188));
+    let mut v = 0u64;
+    bench("tlb_insert_evict_cycle", || {
+        v += 1;
+        black_box(tlb.insert(tx(v)));
+    });
+}
+
+fn bench_compression() {
+    let mut g = TagGroup::icache();
+    bench("base_delta_admit_retire", || {
+        if g.try_admit(black_box(1000)) {
+            g.retire();
         }
-        let mut v = 0u64;
-        b.iter(|| {
-            v = (v + 1) % 512;
-            black_box(tlb.lookup(key(v)))
-        });
-    });
-    c.bench_function("tlb_insert_evict_cycle", |b| {
-        let mut tlb = Tlb::new(TlbConfig::set_associative(512, 16, 188));
-        let mut v = 0u64;
-        b.iter(|| {
-            v += 1;
-            black_box(tlb.insert(tx(v)))
-        });
     });
 }
 
-fn bench_compression(c: &mut Criterion) {
-    c.bench_function("base_delta_admit_retire", |b| {
-        let mut g = TagGroup::icache();
-        b.iter(|| {
-            if g.try_admit(black_box(1000)) {
-                g.retire();
-            }
-        });
+fn bench_lds_tx() {
+    let mut lds = TxLds::new(16 * 1024, SegmentSize::Bytes32);
+    let mut v = 0u64;
+    bench("tx_lds_insert_lookup", || {
+        v += 1;
+        lds.insert(tx(v));
+        black_box(lds.lookup(key(v)));
     });
 }
 
-fn bench_lds_tx(c: &mut Criterion) {
-    c.bench_function("tx_lds_insert_lookup", |b| {
-        let mut lds = TxLds::new(16 * 1024, SegmentSize::Bytes32);
-        let mut v = 0u64;
-        b.iter(|| {
-            v += 1;
-            lds.insert(tx(v));
-            black_box(lds.lookup(key(v)))
-        });
+fn bench_icache_tx() {
+    let mut ic = TxIcache::new(16 * 1024, 8, TxPerLine::Eight, Replacement::InstructionAware);
+    ic.fetch(7);
+    bench("tx_icache_fetch_hit", || {
+        black_box(ic.fetch(7));
+    });
+    let mut ic = TxIcache::new(16 * 1024, 8, TxPerLine::Eight, Replacement::InstructionAware);
+    let mut v = 0u64;
+    bench("tx_icache_insert_lookup", || {
+        v += 1;
+        ic.insert_tx(tx(v));
+        black_box(ic.lookup_tx(key(v)));
     });
 }
 
-fn bench_icache_tx(c: &mut Criterion) {
-    c.bench_function("tx_icache_fetch_hit", |b| {
-        let mut ic =
-            TxIcache::new(16 * 1024, 8, TxPerLine::Eight, Replacement::InstructionAware);
-        ic.fetch(7);
-        b.iter(|| black_box(ic.fetch(7)));
-    });
-    c.bench_function("tx_icache_insert_lookup", |b| {
-        let mut ic =
-            TxIcache::new(16 * 1024, 8, TxPerLine::Eight, Replacement::InstructionAware);
-        let mut v = 0u64;
-        b.iter(|| {
-            v += 1;
-            ic.insert_tx(tx(v));
-            black_box(ic.lookup_tx(key(v)))
-        });
+fn bench_dram() {
+    let mut dram = Dram::new(DramConfig::default());
+    let mut t = 0u64;
+    let mut line = 0u64;
+    bench("dram_access_streaming", || {
+        line += 1;
+        t = black_box(dram.read_line(t, line).0);
     });
 }
 
-fn bench_dram(c: &mut Criterion) {
-    c.bench_function("dram_access_streaming", |b| {
-        let mut dram = Dram::new(DramConfig::default());
-        let mut t = 0u64;
-        let mut line = 0u64;
-        b.iter(|| {
-            line += 1;
-            t = black_box(dram.read_line(t, line).0);
-        });
+fn bench_page_table() {
+    let mut pt = PageTable::new(PageSize::Size4K);
+    pt.map_range(VirtAddr::new(0), 4096);
+    let mut v = 0u64;
+    bench("page_table_walk_path", || {
+        v = (v + 1) % 4096;
+        black_box(pt.walk_path(Vpn(v)));
     });
 }
 
-fn bench_page_table(c: &mut Criterion) {
-    c.bench_function("page_table_walk_path", |b| {
-        let mut pt = PageTable::new(PageSize::Size4K);
-        pt.map_range(VirtAddr::new(0), 4096);
-        let mut v = 0u64;
-        b.iter(|| {
-            v = (v + 1) % 4096;
-            black_box(pt.walk_path(Vpn(v)))
-        });
+fn bench_coalescer() {
+    let addrs: Vec<VirtAddr> = (0..64u64).map(|i| VirtAddr::new(i * 4096 * 3)).collect();
+    bench("coalesce_64_divergent_lanes", || {
+        black_box(CoalescedAccess::from_lanes(&addrs, PageSize::Size4K));
     });
 }
 
-fn bench_system(c: &mut Criterion) {
+fn bench_system() {
     use gtr_core::config::ReachConfig;
     use gtr_core::system::System;
     use gtr_gpu::config::GpuConfig;
     use gtr_workloads::{scale::Scale, suite};
     let app = suite::by_name("SRAD", Scale::tiny()).expect("known app");
-    c.bench_function("system_run_srad_tiny_baseline", |b| {
-        b.iter(|| {
-            let stats =
-                System::new(GpuConfig::default(), ReachConfig::baseline()).run(black_box(&app));
-            black_box(stats.total_cycles)
-        });
+    bench("system_run_srad_tiny_baseline", || {
+        let stats = System::new(GpuConfig::default(), ReachConfig::baseline()).run(black_box(&app));
+        black_box(stats.total_cycles);
     });
-    c.bench_function("system_run_srad_tiny_ic_lds", |b| {
-        b.iter(|| {
-            let stats =
-                System::new(GpuConfig::default(), ReachConfig::ic_plus_lds()).run(black_box(&app));
-            black_box(stats.total_cycles)
-        });
+    bench("system_run_srad_tiny_ic_lds", || {
+        let stats =
+            System::new(GpuConfig::default(), ReachConfig::ic_plus_lds()).run(black_box(&app));
+        black_box(stats.total_cycles);
     });
 }
 
-fn bench_coalescer(c: &mut Criterion) {
-    c.bench_function("coalesce_64_divergent_lanes", |b| {
-        let addrs: Vec<VirtAddr> =
-            (0..64u64).map(|i| VirtAddr::new(i * 4096 * 3)).collect();
-        b.iter(|| black_box(CoalescedAccess::from_lanes(&addrs, PageSize::Size4K)));
-    });
+fn main() {
+    // Minimal `cargo bench -- <filter>` support: any non-flag argument
+    // selects benchmark groups by substring match.
+    let filter: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let groups: [(&str, fn()); 8] = [
+        ("tlb", bench_tlb),
+        ("compression", bench_compression),
+        ("lds_tx", bench_lds_tx),
+        ("icache_tx", bench_icache_tx),
+        ("dram", bench_dram),
+        ("page_table", bench_page_table),
+        ("coalescer", bench_coalescer),
+        ("system", bench_system),
+    ];
+    for (name, f) in groups {
+        if filter.is_empty() || filter.iter().any(|s| name.contains(s.as_str())) {
+            f();
+        }
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_tlb,
-    bench_compression,
-    bench_lds_tx,
-    bench_icache_tx,
-    bench_dram,
-    bench_page_table,
-    bench_coalescer,
-    bench_system
-);
-criterion_main!(benches);

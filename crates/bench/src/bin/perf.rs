@@ -1,0 +1,63 @@
+//! `perf` — the simulator-throughput regression harness.
+//!
+//! Measures wall-clock time and simulated-cycles-per-second for the
+//! fixed tiny-scale main matrix (the sweep behind Figs 13-15) and
+//! writes `BENCH_sim_throughput.json` at the repository root.
+//!
+//! Modes:
+//!
+//! * `cargo run --release -p gtr-bench --bin perf` — measure and
+//!   (re)write the baseline JSON.
+//! * `... --bin perf -- --check` — measure and compare against the
+//!   committed baseline without rewriting it; exits non-zero when
+//!   throughput regressed more than the tolerance (used by `ci.sh`).
+//! * `... --bin perf -- --dry-run` — measure and print only.
+
+use gtr_bench::perf::{
+    check_against, measure_tiny, PerfReport, BASELINE_FILE, REGRESSION_TOLERANCE_PCT,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let dry_run = args.iter().any(|a| a == "--dry-run");
+    if let Some(bad) = args.iter().find(|a| *a != "--check" && *a != "--dry-run") {
+        eprintln!("unknown argument `{bad}` (expected --check or --dry-run)");
+        std::process::exit(2);
+    }
+
+    let path = gtr_bench::perf::repo_root().join(BASELINE_FILE);
+    let baseline = std::fs::read_to_string(&path).ok().and_then(|s| PerfReport::from_json(&s));
+
+    eprintln!("measuring tiny-scale main matrix (4 variants x Table-2 suite)...");
+    let report = measure_tiny();
+    println!(
+        "wall {:.1} ms | cpu {:.1} ms | {} simulated cycles | {:.2} M simulated cycles/s (commit {})",
+        report.wall_ms,
+        report.cpu_ms,
+        report.sim_cycles,
+        report.cycles_per_sec / 1e6,
+        report.commit
+    );
+
+    if check {
+        match check_against(baseline.as_ref(), &report) {
+            Ok(verdict) => println!("OK: {verdict} (tolerance {REGRESSION_TOLERANCE_PCT}%)"),
+            Err(msg) => {
+                eprintln!("PERF REGRESSION: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if dry_run {
+        print!("{}", report.to_json());
+        return;
+    }
+    if let Some(base) = &baseline {
+        let delta = (report.cycles_per_sec / base.cycles_per_sec - 1.0) * 100.0;
+        println!("previous baseline: {:.2} M cycles/s ({delta:+.1}%)", base.cycles_per_sec / 1e6);
+    }
+    std::fs::write(&path, report.to_json()).expect("write baseline JSON");
+    println!("wrote {}", path.display());
+}

@@ -86,38 +86,50 @@ pub struct Matrix {
 
 impl Matrix {
     /// Runs the whole Table-2 suite: the baseline plus every variant.
-    /// Applications run on parallel threads (each simulation itself is
-    /// deterministic and single-threaded).
+    /// Cells run on a work-stealing pool sized to the machine (each
+    /// simulation itself is deterministic and single-threaded).
     pub fn run(scale: Scale, baseline: Variant, variants: Vec<Variant>) -> Self {
         let apps = suite::all(scale);
         Self::run_apps(&apps, baseline, variants)
     }
 
-    /// Runs an explicit application list.
+    /// Runs an explicit application list on the default worker count.
     pub fn run_apps(apps: &[AppTrace], baseline: Variant, variants: Vec<Variant>) -> Self {
+        Self::run_apps_with_threads(apps, baseline, variants, crate::pool::default_workers())
+    }
+
+    /// Runs an explicit application list on `workers` threads.
+    ///
+    /// Every (application × variant) cell is an independent work item
+    /// in a shared steal queue, so the sweep's tail is bounded by one
+    /// cell rather than the slowest application's whole row (the seed
+    /// scheduler spawned one thread per application — pure
+    /// oversubscription on machines with fewer cores than apps).
+    /// Results are bit-identical for any `workers` value: a cell's
+    /// outcome depends only on its (app, variant) inputs, never on
+    /// which thread ran it or in what order.
+    pub fn run_apps_with_threads(
+        apps: &[AppTrace],
+        baseline: Variant,
+        variants: Vec<Variant>,
+        workers: usize,
+    ) -> Self {
         let mut all_variants = vec![baseline];
         all_variants.extend(variants);
-        // One thread per (app), each running all variants sequentially.
-        let results: Vec<Vec<RunStats>> = std::thread::scope(|s| {
-            let handles: Vec<_> = apps
-                .iter()
-                .map(|app| {
-                    let variants = &all_variants;
-                    s.spawn(move || variants.iter().map(|v| v.run(app)).collect::<Vec<_>>())
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("sim thread")).collect()
+        let nv = all_variants.len();
+        let cells: Vec<RunStats> = crate::pool::run_indexed(apps.len() * nv, workers, |i| {
+            all_variants[i % nv].run(&apps[i / nv])
         });
         let mut baseline_stats = Vec::with_capacity(apps.len());
         let mut variant_stats: Vec<(String, Vec<RunStats>)> = all_variants[1..]
             .iter()
             .map(|v| (v.label.clone(), Vec::with_capacity(apps.len())))
             .collect();
-        for per_app in results {
-            let mut it = per_app.into_iter();
-            baseline_stats.push(it.next().expect("baseline run"));
+        for per_app in cells.chunks_exact(nv) {
+            let mut it = per_app.iter();
+            baseline_stats.push(it.next().expect("baseline run").clone());
             for (slot, stats) in variant_stats.iter_mut().zip(it) {
-                slot.1.push(stats);
+                slot.1.push(stats.clone());
             }
         }
         Self {
@@ -361,6 +373,47 @@ mod tests {
         let chart = m.geomean_chart();
         assert!(chart.contains("IC+LDS"));
         assert!(chart.contains('|'));
+    }
+
+    /// Every statistic that feeds a figure, reduced to a comparable
+    /// tuple per cell.
+    fn fingerprint(m: &Matrix) -> Vec<(String, u64, u64, u64, u64, u64, u64, u64, u64, u64)> {
+        let cell = |label: &str, s: &RunStats| {
+            (
+                format!("{label}/{}", s.app),
+                s.total_cycles,
+                s.instructions,
+                s.translation_requests,
+                s.l1_tlb.hits,
+                s.l2_tlb.misses,
+                s.page_walks,
+                s.pte_accesses,
+                s.dram_accesses,
+                s.peak_tx_entries as u64,
+            )
+        };
+        let mut out: Vec<_> = m.baseline.iter().map(|s| cell("baseline", s)).collect();
+        for (label, stats) in &m.variants {
+            out.extend(stats.iter().map(|s| cell(label, s)));
+        }
+        out
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let apps = tiny_apps();
+        let run = |workers| {
+            Matrix::run_apps_with_threads(
+                &apps,
+                Variant::new("baseline", ReachConfig::baseline()),
+                vec![Variant::new("IC+LDS", ReachConfig::ic_plus_lds())],
+                workers,
+            )
+        };
+        let one = fingerprint(&run(1));
+        for workers in [2, 8] {
+            assert_eq!(one, fingerprint(&run(workers)), "workers={workers} diverged");
+        }
     }
 
     #[test]

@@ -11,11 +11,15 @@
 //! * assertions in the integration-test suite.
 //!
 //! [`harness`] holds the shared machinery: run matrices over
-//! (application × configuration), geometric means, and table
-//! formatting.
+//! (application × configuration), a work-stealing worker pool, geometric
+//! means, and table formatting. [`perf`] is the simulator-throughput
+//! regression harness behind the `perf` binary and
+//! `BENCH_sim_throughput.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod figures;
 pub mod harness;
+pub mod perf;
+pub mod pool;

@@ -1,0 +1,108 @@
+//! A std-only work-stealing worker pool over indexed work items.
+//!
+//! The experiment harness sweeps an (application × variant) matrix of
+//! independent, deterministic simulations. The seed scheduler spawned
+//! one thread per application, each running every variant
+//! sequentially — so the slowest application serialized the whole
+//! tail of the sweep. Here instead every cell is an independent work
+//! item in a single shared queue; idle workers steal the next
+//! unclaimed index, so the tail of the sweep is bounded by one cell,
+//! not one application's whole row.
+//!
+//! Determinism: workers only decide *which thread* runs a cell, never
+//! what the cell computes — each item is a pure function of its index
+//! and results are returned in index order, so output is bit-identical
+//! for any worker count (asserted by the harness's determinism test).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers to use by default: the machine's available
+/// parallelism (1 when it cannot be queried).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Computes `f(0..n)` on `workers` threads via a shared steal queue
+/// and returns the results in index order.
+///
+/// `f` must be pure per index (it may run on any worker). With
+/// `workers <= 1` (or `n <= 1`) everything runs inline on the calling
+/// thread — no spawn overhead, same results.
+pub fn run_indexed<T: Send>(
+    n: usize,
+    workers: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                // Steal the next unclaimed cell.
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                slots.lock().expect("worker panicked holding results")[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("worker panicked holding results")
+        .into_iter()
+        .map(|r| r.expect("every cell claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_in_index_order() {
+        for workers in [1, 2, 3, 8] {
+            let out = run_indexed(17, workers, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let seen = Mutex::new(HashSet::new());
+        run_indexed(100, 8, |i| {
+            assert!(seen.lock().unwrap().insert(i), "item {i} ran twice");
+        });
+        assert_eq!(seen.lock().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 4, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn uneven_items_keep_workers_busy() {
+        // A slow first item must not serialize the rest behind it.
+        let max_concurrent = AtomicU64::new(0);
+        let live = AtomicU64::new(0);
+        run_indexed(16, 4, |i| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            max_concurrent.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(if i == 0 { 30 } else { 2 }));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        // On a single-core machine the OS still timeslices the pool,
+        // so >1 worker must have been in flight at some point.
+        assert!(max_concurrent.load(Ordering::SeqCst) >= 2);
+    }
+}

@@ -38,6 +38,7 @@ use gtr_gpu::ops::Op;
 use gtr_mem::cache::Cache;
 use gtr_mem::system::MemorySystem;
 use gtr_sim::event::EventQueue;
+use gtr_sim::fastmap::FastMap;
 use gtr_sim::resource::{Pipeline, Server, Timeline, TrackedPort};
 use gtr_sim::stats::Sampler;
 use gtr_sim::Cycle;
@@ -90,7 +91,10 @@ impl PteAccess for PteMem<'_> {
 struct Cu {
     l1_tlb: Tlb,
     l1_port: Server,
-    pending: HashMap<TranslationKey, (Cycle, Ppn)>,
+    /// In-flight L1 misses (for request merging). Open-addressed and
+    /// pre-sized: probed on every translation, so SipHash and rehash
+    /// stalls are off the critical path.
+    pending: FastMap<TranslationKey, (Cycle, Ppn)>,
     l1d: Cache,
     tx_lds: TxLds,
     lds_port: TrackedPort,
@@ -158,11 +162,17 @@ pub struct System {
     fetch_count: u64,
     path_stats: [(u64, u64); 6], // (count, latency sum) per resolution path
     instructions: u64,
-    vpn_cus: HashMap<u64, u8>,
+    /// Sharing analysis: bitmask of CU groups that missed on each VPN.
+    /// Touched on every L1 miss, hence open-addressed and pre-sized.
+    vpn_cus: FastMap<u64, u8>,
     peak_tx_entries: usize,
     sample_countdown: u32,
     code_bases: HashMap<String, u64>,
     next_code_line: u64,
+    /// Reused by `global_access` so the per-access coalescing result
+    /// and per-page completion times never reallocate.
+    scratch_coalesced: CoalescedAccess,
+    scratch_page_done: Vec<(Vpn, Cycle, Ppn)>,
 }
 
 impl System {
@@ -173,7 +183,7 @@ impl System {
             .map(|_| Cu {
                 l1_tlb: Tlb::new(gpu.l1_tlb),
                 l1_port: Server::new(1),
-                pending: HashMap::new(),
+                pending: FastMap::with_capacity(1024),
                 l1d: Cache::new(gpu.l1d),
                 tx_lds: TxLds::new(gpu.lds_bytes, reach.segment_size).with_index_shift(
                     if reach.lds_home_hashing {
@@ -225,11 +235,13 @@ impl System {
             fetch_count: 0,
             path_stats: [(0, 0); 6],
             instructions: 0,
-            vpn_cus: HashMap::new(),
+            vpn_cus: FastMap::with_capacity(4096),
             peak_tx_entries: 0,
             sample_countdown: 4096,
             code_bases: HashMap::new(),
             next_code_line: CODE_PHYS_BASE_LINE,
+            scratch_coalesced: CoalescedAccess::default(),
+            scratch_page_done: Vec::with_capacity(64),
             gpu,
             reach,
         }
@@ -304,41 +316,57 @@ impl System {
     /// translations in the L1 TLBs, the L2 TLB, the IOMMU, and the
     /// reconfigurable LDS/I-cache structures.
     fn run_driver_events(&mut self) {
-        while self.next_driver_event < self.driver.events().len()
-            && self.driver.events()[self.next_driver_event].after_translations
-                <= self.translation_requests
+        // Split the borrow so events are iterated in place: the driver
+        // schedule is read-only here, and an event's page list can be
+        // large (bulk migrations), so cloning it per event would put
+        // an allocation on the translate path.
+        let Self {
+            driver,
+            next_driver_event,
+            shootdown_report,
+            page_tables,
+            cus,
+            l2_tlb,
+            icaches,
+            iommu,
+            translation_requests,
+            ..
+        } = self;
+        let events = driver.events();
+        while *next_driver_event < events.len()
+            && events[*next_driver_event].after_translations <= *translation_requests
         {
-            let event = self.driver.events()[self.next_driver_event].clone();
-            self.next_driver_event += 1;
-            self.shootdown_report.events += 1;
+            let event = &events[*next_driver_event];
+            *next_driver_event += 1;
+            shootdown_report.events += 1;
             for (vmid, vpn) in &event.pages {
-                if self.page_tables[vmid.raw() as usize].migrate(*vpn).is_none() {
+                if page_tables[vmid.raw() as usize].migrate(*vpn).is_none() {
                     continue; // page was never touched: nothing to shoot down
                 }
-                self.shootdown_report.pages_migrated += 1;
+                shootdown_report.pages_migrated += 1;
                 let key = TranslationKey {
                     vpn: *vpn,
                     vmid: *vmid,
                     vrf: gtr_vm::addr::VrfId::default(),
                 };
-                for cu in &mut self.cus {
+                for cu in cus.iter_mut() {
                     if cu.l1_tlb.invalidate(key) {
-                        self.shootdown_report.l1_hits += 1;
+                        shootdown_report.l1_hits += 1;
                     }
                     if cu.tx_lds.shootdown(key) {
-                        self.shootdown_report.lds_hits += 1;
+                        shootdown_report.lds_hits += 1;
                     }
-                    cu.pending.remove(&key);
+                    cu.pending.remove(key);
                 }
-                if self.l2_tlb.invalidate(key) {
-                    self.shootdown_report.l2_hits += 1;
+                if l2_tlb.invalidate(key) {
+                    shootdown_report.l2_hits += 1;
                 }
-                for ic in &mut self.icaches {
+                for ic in icaches.iter_mut() {
                     if ic.shootdown(key) {
-                        self.shootdown_report.ic_hits += 1;
+                        shootdown_report.ic_hits += 1;
                     }
                 }
-                self.iommu.invalidate(key);
+                iommu.invalidate(key);
             }
         }
     }
@@ -370,7 +398,7 @@ impl System {
     pub fn run(&mut self, app: &AppTrace) -> RunStats {
         let mut t: Cycle = 0;
         let mut kernels_out: Vec<KernelStats> = Vec::with_capacity(app.kernels().len());
-        let mut prev_kernel: Option<String> = None;
+        let mut prev_kernel: Option<&str> = None;
         for kernel in app.kernels() {
             let walks_before = self.iommu.walks();
             let insts_before = self.instructions;
@@ -379,7 +407,7 @@ impl System {
             }
             if self.reach.flush_opt
                 && self.reach.icache_enabled
-                && prev_kernel.as_deref() != Some(kernel.name())
+                && prev_kernel != Some(kernel.name())
             {
                 for ic in &mut self.icaches {
                     ic.flush_instructions();
@@ -401,7 +429,7 @@ impl System {
                 lds_bytes_per_wg: kernel.lds_bytes_per_wg(),
             });
             t = end;
-            prev_kernel = Some(kernel.name().to_string());
+            prev_kernel = Some(kernel.name());
             self.sample_peak_entries();
         }
         self.finalize(app, t, kernels_out)
@@ -547,13 +575,17 @@ impl System {
     ) -> Option<Cycle> {
         let mut t = now;
         let mut budget = 64u32;
+        // The wave's program never changes while it runs: resolve the
+        // nested kernel structure once per step instead of per op.
+        let program = {
+            let w = &waves[wave_id];
+            kernel.workgroups()[w.kernel_wg].waves()[w.wave_idx].ops()
+        };
         loop {
             let (cu_idx, simd, op_idx, wg_rt) = {
                 let w = &waves[wave_id];
                 (w.cu, w.simd, w.op_idx, w.wg_rt)
             };
-            let program =
-                kernel.workgroups()[waves[wave_id].kernel_wg].waves()[waves[wave_id].wave_idx].ops();
             if op_idx >= program.len() {
                 return Some(t);
             }
@@ -568,11 +600,13 @@ impl System {
             waves[wave_id].inst_idx += 1;
             self.instructions += 1;
 
-            let op = program[op_idx].clone();
+            // Borrow the op in place: cloning would copy the boxed
+            // per-lane address array of every irregular global access.
+            let op = &program[op_idx];
             waves[wave_id].op_idx += 1;
             match op {
                 Op::Compute { latency } => {
-                    t = self.cus[cu_idx].simds[simd].issue(t) + latency as Cycle;
+                    t = self.cus[cu_idx].simds[simd].issue(t) + *latency as Cycle;
                 }
                 Op::Lds { .. } => {
                     t = self.cus[cu_idx].simds[simd].issue(t);
@@ -598,7 +632,7 @@ impl System {
                 Op::Global { pattern, write } => {
                     t = self.cus[cu_idx].simds[simd].issue(t);
                     pattern.expand(lane_buf);
-                    let done = self.global_access(cu_idx, t, kernel.vm_id(), lane_buf, write);
+                    let done = self.global_access(cu_idx, t, kernel.vm_id(), lane_buf, *write);
                     events.push(done, wave_id);
                     return None;
                 }
@@ -660,11 +694,17 @@ impl System {
         write: bool,
     ) -> Cycle {
         let page_size = self.gpu.page_size;
-        let mut coalesced = CoalescedAccess::from_lanes(lanes, page_size);
+        // Take the scratch buffers out of `self` so they can be read
+        // while `self.translate` is borrowed mutably below; they are
+        // put back (with their grown capacity) before returning.
+        let mut coalesced = std::mem::take(&mut self.scratch_coalesced);
+        let mut page_done = std::mem::take(&mut self.scratch_page_done);
+        coalesced.assign_from_lanes(lanes, page_size);
         if !self.gpu.coalescing {
             // Ablation: without the SIMT coalescer every lane issues
             // its own translation request, duplicates included.
-            coalesced.pages = lanes.iter().map(|a| a.vpn(page_size)).collect();
+            coalesced.pages.clear();
+            coalesced.pages.extend(lanes.iter().map(|a| a.vpn(page_size)));
         }
         // Demand-map the footprint (no fault cost: workloads model
         // already-resident data).
@@ -675,7 +715,7 @@ impl System {
             }
         }
         // Translate each unique page.
-        let mut page_done: Vec<(Vpn, Cycle, Ppn)> = Vec::with_capacity(coalesced.pages.len());
+        page_done.clear();
         for &vpn in &coalesced.pages {
             let key = TranslationKey { vpn, vmid: vm, vrf: gtr_vm::addr::VrfId::default() };
             let (done, ppn) = self.translate(cu_idx, now, key);
@@ -718,6 +758,8 @@ impl System {
         let _ = max_tx;
         self.op_latency_sum += op_done - now;
         self.op_count += 1;
+        self.scratch_coalesced = coalesced;
+        self.scratch_page_done = page_done;
         op_done
     }
 
@@ -772,18 +814,18 @@ impl System {
         let t0 = start + gpu.l1_tlb.latency;
         if let Some(tx) = cus[cu_idx].l1_tlb.lookup(key) {
             // A hit on an entry whose miss is still in flight waits for it.
-            let done = cus[cu_idx].pending.get(&key).map_or(t0, |&(d, _)| t0.max(d));
+            let done = cus[cu_idx].pending.get(key).map_or(t0, |&(d, _)| t0.max(d));
             return (done, tx.ppn, 0);
         }
         // L1 miss: sharing analysis tracks which CUs want each VPN.
-        *vpn_cus.entry(key.vpn.0).or_insert(0) |= 1 << (cu_idx % 8);
+        *vpn_cus.get_or_insert(key.vpn.0, 0) |= 1 << (cu_idx % 8);
         // Merge with an in-flight miss to the same page.
-        if let Some(&(d, ppn)) = cus[cu_idx].pending.get(&key) {
+        if let Some(&(d, ppn)) = cus[cu_idx].pending.get(key) {
             if d > t0 {
                 *merged_requests += 1;
                 return (d, ppn, 1);
             }
-            cus[cu_idx].pending.remove(&key);
+            cus[cu_idx].pending.remove(key);
         }
 
         let mut t = t0;

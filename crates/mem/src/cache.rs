@@ -47,15 +47,9 @@ impl CacheConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    /// Full line index (for writeback address reconstruction under the
-    /// hashed set index).
-    line: u64,
-    dirty: bool,
-    last_use: u64,
-}
+/// Empty-way sentinel: tags are `line / sets`, far below `u64::MAX`
+/// for any address this workspace generates.
+const EMPTY: u64 = u64::MAX;
 
 /// Result of one cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,7 +73,19 @@ pub struct CacheAccess {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    nsets: usize,
+    /// Way tags, one flat arena (`set * assoc + way`), [`EMPTY`] when
+    /// the way is invalid. Kept separate from the other per-way arrays
+    /// so the hit-path scan touches the fewest host cache lines.
+    tags: Vec<u64>,
+    /// LRU ticks, parallel to `tags`.
+    last_use: Vec<u64>,
+    /// Full line index per way (for writeback address reconstruction
+    /// under the hashed set index), parallel to `tags`.
+    lines: Vec<u64>,
+    /// Dirty bits, parallel to `tags`.
+    dirty: Vec<bool>,
+    resident: usize,
     tick: u64,
     stats: HitMiss,
     writebacks: u64,
@@ -88,8 +94,19 @@ pub struct Cache {
 impl Cache {
     /// Creates an empty cache.
     pub fn new(config: CacheConfig) -> Self {
-        let sets = (0..config.sets()).map(|_| Vec::with_capacity(config.assoc)).collect();
-        Self { config, sets, tick: 0, stats: HitMiss::new(), writebacks: 0 }
+        let n = config.sets() * config.assoc;
+        Self {
+            nsets: config.sets(),
+            config,
+            tags: vec![EMPTY; n],
+            last_use: vec![0; n],
+            lines: vec![0; n],
+            dirty: vec![false; n],
+            resident: 0,
+            tick: 0,
+            stats: HitMiss::new(),
+            writebacks: 0,
+        }
     }
 
     /// The cache's configuration.
@@ -109,7 +126,7 @@ impl Cache {
         // the rest idle. Real LLCs hash their index bits for the same
         // reason. The tag keeps the full upper bits, so (set, tag)
         // still uniquely identifies the line.
-        let sets = self.sets.len() as u64;
+        let sets = self.nsets as u64;
         let hashed = line ^ (line >> 7) ^ (line >> 14);
         ((hashed % sets) as usize, line / sets)
     }
@@ -119,59 +136,75 @@ impl Cache {
         self.tick += 1;
         let tick = self.tick;
         let (set_idx, tag) = self.split(line);
-        let assoc = self.config.assoc;
-        let set = &mut self.sets[set_idx];
-        if let Some(l) = set.iter_mut().find(|l| l.tag == tag) {
-            l.last_use = tick;
-            l.dirty |= is_write;
+        let base = set_idx * self.config.assoc;
+        let ways = base..base + self.config.assoc;
+        if let Some(i) = self.tags[ways.clone()].iter().position(|&t| t == tag) {
+            let i = base + i;
+            self.last_use[i] = tick;
+            self.dirty[i] |= is_write;
             self.stats.hit();
             return CacheAccess { hit: true, writeback: None };
         }
         self.stats.miss();
         let mut writeback = None;
-        if set.len() == assoc {
-            let (idx, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.last_use)
-                .expect("full set non-empty");
-            let victim = set.swap_remove(idx);
-            if victim.dirty {
-                writeback = Some(victim.line);
-                self.writebacks += 1;
+        // First empty way, else the LRU way (ticks are unique, so the
+        // victim choice is deterministic).
+        let slot = match self.tags[ways.clone()].iter().position(|&t| t == EMPTY) {
+            Some(i) => {
+                self.resident += 1;
+                base + i
             }
-        }
-        set.push(Line { tag, line, dirty: is_write, last_use: tick });
+            None => {
+                let lru = ways
+                    .clone()
+                    .min_by_key(|&i| self.last_use[i])
+                    .expect("assoc > 0");
+                if self.dirty[lru] {
+                    writeback = Some(self.lines[lru]);
+                    self.writebacks += 1;
+                }
+                lru
+            }
+        };
+        self.tags[slot] = tag;
+        self.lines[slot] = line;
+        self.dirty[slot] = is_write;
+        self.last_use[slot] = tick;
         CacheAccess { hit: false, writeback }
     }
 
     /// Checks residency without updating LRU or counters.
     pub fn probe(&self, line: u64) -> bool {
         let (set_idx, tag) = self.split(line);
-        self.sets[set_idx].iter().any(|l| l.tag == tag)
+        let base = set_idx * self.config.assoc;
+        self.tags[base..base + self.config.assoc].contains(&tag)
     }
 
     /// Invalidates one line; returns whether it was present (dirty data
     /// is dropped — used for functional invalidations only).
     pub fn invalidate(&mut self, line: u64) -> bool {
         let (set_idx, tag) = self.split(line);
-        let set = &mut self.sets[set_idx];
-        let before = set.len();
-        set.retain(|l| l.tag != tag);
-        set.len() != before
+        let base = set_idx * self.config.assoc;
+        match self.tags[base..base + self.config.assoc].iter().position(|&t| t == tag) {
+            Some(i) => {
+                self.tags[base + i] = EMPTY;
+                self.resident -= 1;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Flushes everything (no writeback accounting — kernel-boundary
     /// flushes in GPUs invalidate clean instruction/data state).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.tags.fill(EMPTY);
+        self.resident = 0;
     }
 
     /// Valid lines resident.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.resident
     }
 
     /// Whether the cache is empty.

@@ -16,6 +16,8 @@
 //! it only provides:
 //!
 //! * [`event`] — a generic time-ordered event queue,
+//! * [`fastmap`] — an open-addressed hash map for hot simulation
+//!   state (no SipHash overhead, pre-sizable, allocation-free lookups),
 //! * [`resource`] — contention models (multi-unit servers, ports with
 //!   idle-gap tracking, pipelines),
 //! * [`stats`] — counters, log-scale histograms, box-and-whisker
@@ -40,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fastmap;
 pub mod resource;
 pub mod rng;
 pub mod stats;

@@ -4,6 +4,8 @@
 
 use std::fmt;
 
+use gtr_sim::fastmap::FastKey;
+
 /// Width of the virtual address space in bits (x86-64 canonical, as
 /// assumed by the paper's 25-bit VA tags after removing offset/index).
 pub const VA_BITS: u32 = 48;
@@ -107,6 +109,12 @@ impl Vpn {
 impl fmt::Display for Vpn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "VPN:{:#x}", self.0)
+    }
+}
+
+impl FastKey for Vpn {
+    fn hash64(self) -> u64 {
+        self.0
     }
 }
 
@@ -237,6 +245,14 @@ impl TranslationKey {
 impl fmt::Display for TranslationKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}/vm{}/vrf{}", self.vpn, self.vmid.raw(), self.vrf.raw())
+    }
+}
+
+impl FastKey for TranslationKey {
+    fn hash64(self) -> u64 {
+        // VPNs are at most 36 bits (48-bit VA, >=4 KB pages), so the
+        // 2-bit identifiers pack losslessly into the top byte.
+        self.vpn.0 ^ ((self.vmid.raw() as u64) << 56) ^ ((self.vrf.raw() as u64) << 58)
     }
 }
 

@@ -23,19 +23,46 @@ pub struct CoalescedAccess {
 impl CoalescedAccess {
     /// Coalesces the active lanes of one memory instruction.
     pub fn from_lanes(addrs: &[VirtAddr], page_size: PageSize) -> Self {
-        let mut pages: Vec<Vpn> = Vec::new();
-        let mut lines: Vec<u64> = Vec::new();
-        for &a in addrs {
-            let vpn = a.vpn(page_size);
-            if !pages.contains(&vpn) {
-                pages.push(vpn);
+        let mut out = Self::default();
+        out.assign_from_lanes(addrs, page_size);
+        out
+    }
+
+    /// Coalesces into `self`, reusing its `pages`/`lines` buffers so a
+    /// hot loop issuing millions of accesses allocates nothing.
+    pub fn assign_from_lanes(&mut self, addrs: &[VirtAddr], page_size: PageSize) {
+        self.pages.clear();
+        self.lines.clear();
+        if addrs.len() > LANE_SET_SLOTS / 2 {
+            // Wider than a hardware wavefront: keep the simple scan.
+            for &a in addrs {
+                let vpn = a.vpn(page_size);
+                if !self.pages.contains(&vpn) {
+                    self.pages.push(vpn);
+                }
+                let line = a.line();
+                if !self.lines.contains(&line) {
+                    self.lines.push(line);
+                }
             }
-            let line = a.line();
-            if !lines.contains(&line) {
-                lines.push(line);
+        } else {
+            // Membership lives in two stack-resident open-addressed
+            // tables (≤64 lanes → ≤50% load) instead of rescanning the
+            // output vectors per lane; push order stays first-lane.
+            let mut page_set = [LANE_SET_EMPTY; LANE_SET_SLOTS];
+            let mut line_set = [LANE_SET_EMPTY; LANE_SET_SLOTS];
+            for &a in addrs {
+                let vpn = a.vpn(page_size);
+                if lane_set_insert(&mut page_set, vpn.0) {
+                    self.pages.push(vpn);
+                }
+                let line = a.line();
+                if lane_set_insert(&mut line_set, line) {
+                    self.lines.push(line);
+                }
             }
         }
-        Self { pages, lines, active_lanes: addrs.len() }
+        self.active_lanes = addrs.len();
     }
 
     /// Pages per lane — 1.0 means fully divergent, 1/64 fully coalesced.
@@ -45,6 +72,31 @@ impl CoalescedAccess {
         } else {
             self.pages.len() as f64 / self.active_lanes as f64
         }
+    }
+}
+
+/// Slot count of the per-instruction lane-dedup tables. Twice the
+/// 64-lane wavefront width, so load never exceeds 50%.
+const LANE_SET_SLOTS: usize = 128;
+
+/// Empty-slot sentinel. VPNs and line indices are addresses shifted
+/// right, so `u64::MAX` can never be a live key.
+const LANE_SET_EMPTY: u64 = u64::MAX;
+
+/// Inserts `v` into the open-addressed table; returns `true` when `v`
+/// was not already present.
+fn lane_set_insert(set: &mut [u64; LANE_SET_SLOTS], v: u64) -> bool {
+    let mut i = (v.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 57) as usize;
+    loop {
+        let slot = set[i];
+        if slot == LANE_SET_EMPTY {
+            set[i] = v;
+            return true;
+        }
+        if slot == v {
+            return false;
+        }
+        i = (i + 1) & (LANE_SET_SLOTS - 1);
     }
 }
 
@@ -122,6 +174,19 @@ mod tests {
         let addrs = [va(3 * 4096), va(4096), va(3 * 4096)];
         let c = CoalescedAccess::from_lanes(&addrs, PageSize::Size4K);
         assert_eq!(c.pages, vec![Vpn(3), Vpn(1)]);
+    }
+
+    #[test]
+    fn assign_reuses_buffers_and_matches_from_lanes() {
+        let addrs: Vec<_> = (0..64u64).map(|i| va(i * 4096 * 7)).collect();
+        let mut c = CoalescedAccess::default();
+        c.assign_from_lanes(&addrs, PageSize::Size4K);
+        assert_eq!(c, CoalescedAccess::from_lanes(&addrs, PageSize::Size4K));
+        // Re-assigning a smaller lane set must clear all stale state.
+        c.assign_from_lanes(&[va(4096)], PageSize::Size4K);
+        assert_eq!(c.pages, vec![Vpn(1)]);
+        assert_eq!(c.lines, vec![64]);
+        assert_eq!(c.active_lanes, 1);
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! the burst behaviour of SIMT execution means one divergent wavefront
 //! can issue tens of misses to the same page within a few cycles.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
+use gtr_sim::fastmap::FastMap;
 use gtr_sim::resource::Server;
 use gtr_sim::stats::{HitMiss, Log2Histogram};
 use gtr_sim::Cycle;
@@ -99,7 +101,12 @@ pub struct Iommu {
     dev_l2: Tlb,
     pwc: PageWalkCaches,
     walkers: Server,
-    pending: HashMap<TranslationKey, (Cycle, Option<Translation>)>,
+    pending: FastMap<TranslationKey, (Cycle, Option<Translation>)>,
+    /// Completion times of `pending` entries, oldest first, so the
+    /// periodic purge pops expired walks in O(log n) instead of
+    /// scanning the whole map on every insert. Entries are lazily
+    /// dropped when they no longer match the map (removed or merged).
+    expiry: BinaryHeap<Reverse<(Cycle, TranslationKey)>>,
     stats: IommuStats,
 }
 
@@ -112,7 +119,8 @@ impl Iommu {
             dev_l2: Tlb::new(TlbConfig::fully_associative(config.l2_entries, config.l2_latency)),
             pwc: PageWalkCaches::new(config.pwc),
             walkers: Server::new(config.walkers),
-            pending: HashMap::new(),
+            pending: FastMap::with_capacity(8 * config.walkers),
+            expiry: BinaryHeap::with_capacity(8 * config.walkers),
             stats: IommuStats::default(),
         }
     }
@@ -134,9 +142,9 @@ impl Iommu {
         // A device-TLB hit on an entry whose walk is still in flight
         // must wait for that walk to finish (fills happen at issue time
         // for determinism; the pending map restores correct timing).
-        let in_flight = |pending: &HashMap<TranslationKey, (Cycle, Option<Translation>)>,
+        let in_flight = |pending: &FastMap<TranslationKey, (Cycle, Option<Translation>)>,
                          done: Cycle| {
-            pending.get(&key).map_or(done, |&(walk_done, _)| done.max(walk_done))
+            pending.get(key).map_or(done, |&(walk_done, _)| done.max(walk_done))
         };
 
         // Device L1 TLB.
@@ -167,7 +175,7 @@ impl Iommu {
         self.stats.dev_l2.miss();
 
         // Merge with an in-flight walk to the same page.
-        if let Some(&(done, tx)) = self.pending.get(&key) {
+        if let Some(&(done, tx)) = self.pending.get(key) {
             if done > t_l2 {
                 self.stats.merged += 1;
                 return IommuOutcome {
@@ -177,7 +185,7 @@ impl Iommu {
                     memory_accesses: 0,
                 };
             }
-            self.pending.remove(&key);
+            self.pending.remove(key);
         }
 
         // Full walk on an available walker.
@@ -194,9 +202,24 @@ impl Iommu {
             self.dev_l2.insert(tx);
         }
         self.pending.insert(key, (result.done, result.translation));
+        self.expiry.push(Reverse((result.done, key)));
         if self.pending.len() > 4 * self.config.walkers {
+            // Equivalent to `retain(|_, (done, _)| *done > now)`: every
+            // resident entry's exact (done, key) pair is in `expiry`,
+            // so popping everything at or before `now` removes exactly
+            // the expired entries. A popped pair whose `done` no longer
+            // matches the map is stale (merged/invalidated since) and
+            // is skipped.
             let horizon = now;
-            self.pending.retain(|_, (done, _)| *done > horizon);
+            while let Some(&Reverse((done, k))) = self.expiry.peek() {
+                if done > horizon {
+                    break;
+                }
+                self.expiry.pop();
+                if self.pending.get(k).is_some_and(|&(d, _)| d == done) {
+                    self.pending.remove(k);
+                }
+            }
         }
         IommuOutcome {
             translation: result.translation,
@@ -220,7 +243,7 @@ impl Iommu {
     pub fn invalidate(&mut self, key: TranslationKey) {
         self.dev_l1.invalidate(key);
         self.dev_l2.invalidate(key);
-        self.pending.remove(&key);
+        self.pending.remove(key);
     }
 
     /// Flushes all device TLBs and walk caches.
@@ -229,6 +252,7 @@ impl Iommu {
         self.dev_l2.flush();
         self.pwc.flush();
         self.pending.clear();
+        self.expiry.clear();
     }
 
     /// Completed page walks.

@@ -7,7 +7,7 @@
 //! ([`crate::pwc`]) can cache interior levels exactly as in Barr et
 //! al., "Translation Caching: Skip, Don't Walk".
 
-use std::collections::HashMap;
+use gtr_sim::fastmap::FastMap;
 
 use crate::addr::{PageSize, PhysAddr, Ppn, TranslationKey, Translation, VirtAddr, VmId, Vpn, VrfId};
 
@@ -22,7 +22,7 @@ const TABLE_NODE_BYTES: u64 = 4096;
 /// One step of a page walk: the radix level, the VPN prefix that
 /// identifies the interior node, and the physical address of the PTE
 /// the walker must read.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WalkStep {
     /// Radix level, 0 = root (PGD), `levels-1` = leaf (PTE).
     pub level: usize,
@@ -34,12 +34,22 @@ pub struct WalkStep {
 }
 
 /// The full path of a page walk plus its outcome.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Steps live inline (a radix walk has at most four levels) so that
+/// building a path on the simulator's walk hot path allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalkPath {
-    /// One step per radix level, root first.
-    pub steps: Vec<WalkStep>,
+    steps: [WalkStep; 4],
+    len: usize,
     /// The translated frame.
     pub ppn: Ppn,
+}
+
+impl WalkPath {
+    /// One step per radix level, root first.
+    pub fn steps(&self) -> &[WalkStep] {
+        &self.steps[..self.len]
+    }
 }
 
 /// A four-level (three for 2 MB pages) radix page table with an
@@ -55,17 +65,21 @@ pub struct WalkPath {
 /// let tx = pt.map(VirtAddr::new(0x5000));
 /// assert_eq!(pt.translate(tx.key.vpn), Some(tx.ppn));
 /// let path = pt.walk_path(tx.key.vpn).unwrap();
-/// assert_eq!(path.steps.len(), 4);
+/// assert_eq!(path.steps().len(), 4);
 /// ```
 #[derive(Debug, Clone)]
 pub struct PageTable {
     page_size: PageSize,
     /// Bits of VPN index consumed at each level, root first.
     level_bits: Vec<u32>,
-    /// Interior nodes: (level, prefix) -> node base physical address.
-    nodes: HashMap<(usize, u64), PhysAddr>,
-    /// Leaf mappings.
-    mappings: HashMap<Vpn, Ppn>,
+    /// Interior nodes, keyed by `prefix << 3 | level` (see
+    /// [`Self::node_key`]) so the four per-walk node lookups hit a
+    /// [`FastMap`] instead of a SipHash table.
+    nodes: FastMap<u64, PhysAddr>,
+    /// Leaf mappings. [`FastMap`] keyed by VPN: `translate` sits on
+    /// the simulator's per-access critical path (demand-map check plus
+    /// every walk), so leaf lookups avoid SipHash entirely.
+    mappings: FastMap<Vpn, Ppn>,
     next_data_frame: u64,
     next_table_node: u64,
     vmid: VmId,
@@ -84,8 +98,8 @@ impl PageTable {
         Self {
             page_size,
             level_bits,
-            nodes: HashMap::new(),
-            mappings: HashMap::new(),
+            nodes: FastMap::with_capacity(256),
+            mappings: FastMap::with_capacity(1024),
             next_data_frame: 1, // frame 0 reserved
             next_table_node: 0,
             vmid: VmId::default(),
@@ -134,7 +148,7 @@ impl PageTable {
     /// Maps a specific VPN (idempotent) and returns the translation.
     pub fn map_vpn(&mut self, vpn: Vpn) -> Translation {
         let page_size = self.page_size;
-        if let Some(&ppn) = self.mappings.get(&vpn) {
+        if let Some(&ppn) = self.mappings.get(vpn) {
             return Translation::new(
                 TranslationKey { vpn, vmid: self.vmid, vrf: self.vrf },
                 ppn,
@@ -144,11 +158,11 @@ impl PageTable {
         let levels = self.levels();
         for level in 0..levels {
             let prefix = self.node_prefix_at(vpn, level);
-            if !self.nodes.contains_key(&(level, prefix)) {
+            if self.nodes.get(Self::node_key(level, prefix)).is_none() {
                 let base =
                     PhysAddr::new(TABLE_REGION_BASE + self.next_table_node * TABLE_NODE_BYTES);
                 self.next_table_node += 1;
-                self.nodes.insert((level, prefix), base);
+                self.nodes.insert(Self::node_key(level, prefix), base);
             }
         }
         // Scatter frames with a fixed odd multiplier so consecutive
@@ -172,13 +186,13 @@ impl PageTable {
 
     /// Looks up a VPN without side effects.
     pub fn translate(&self, vpn: Vpn) -> Option<Ppn> {
-        self.mappings.get(&vpn).copied()
+        self.mappings.get(vpn).copied()
     }
 
     /// Removes a mapping (page swap / migration), returning the frame
     /// it occupied. The caller is responsible for shooting down TLBs.
     pub fn unmap(&mut self, vpn: Vpn) -> Option<Ppn> {
-        self.mappings.remove(&vpn)
+        self.mappings.remove(vpn)
     }
 
     /// Re-maps an existing VPN to a fresh frame (page migration),
@@ -203,26 +217,34 @@ impl PageTable {
         vpn.0 >> at_and_below
     }
 
+    /// Packs an interior-node identity into one `u64` map key. Level
+    /// fits in 3 bits (≤ 4 radix levels); prefixes are at most
+    /// `VA_BITS - page bits` ≤ 40 bits, so the pack is injective.
+    fn node_key(level: usize, prefix: u64) -> u64 {
+        (prefix << 3) | level as u64
+    }
+
     /// Full walk path for a mapped VPN, or `None` if unmapped.
     pub fn walk_path(&self, vpn: Vpn) -> Option<WalkPath> {
         let ppn = self.translate(vpn)?;
-        let mut steps = Vec::with_capacity(self.levels());
-        for level in 0..self.levels() {
+        let mut steps = [WalkStep::default(); 4];
+        let levels = self.levels();
+        for (level, step) in steps[..levels].iter_mut().enumerate() {
             let node_prefix = self.node_prefix_at(vpn, level);
             let node = *self
                 .nodes
-                .get(&(level, node_prefix))
+                .get(Self::node_key(level, node_prefix))
                 .expect("mapped page must have interior nodes");
             // Entry index within the node = the index bits of this level.
             let below: u32 = self.level_bits[level + 1..].iter().sum();
             let idx = (vpn.0 >> below) & ((1u64 << self.level_bits[level]) - 1);
-            steps.push(WalkStep {
+            *step = WalkStep {
                 level,
                 prefix: self.prefix_at(vpn, level),
                 pte_addr: PhysAddr::new(node.raw() + idx * 8),
-            });
+            };
         }
-        Some(WalkPath { steps, ppn })
+        Some(WalkPath { steps, len: levels, ppn })
     }
 
     /// Total page-table nodes allocated (a proxy for page-table memory
@@ -261,10 +283,10 @@ mod tests {
             let mut pt = PageTable::new(size);
             let tx = pt.map(VirtAddr::new(0xABCD_E000));
             let path = pt.walk_path(tx.key.vpn).unwrap();
-            assert_eq!(path.steps.len(), size.walk_levels(), "size {size}");
+            assert_eq!(path.steps().len(), size.walk_levels(), "size {size}");
             assert_eq!(path.ppn, tx.ppn);
             // Levels are strictly increasing and distinct PTE addrs.
-            for (i, s) in path.steps.iter().enumerate() {
+            for (i, s) in path.steps().iter().enumerate() {
                 assert_eq!(s.level, i);
             }
         }
@@ -281,9 +303,9 @@ mod tests {
         let p1 = pt.walk_path(Vpn(1)).unwrap();
         // First three steps read the same nodes, different leaf index.
         for l in 0..3 {
-            assert_eq!(p0.steps[l].prefix, p1.steps[l].prefix);
+            assert_eq!(p0.steps()[l].prefix, p1.steps()[l].prefix);
         }
-        assert_ne!(p0.steps[3].pte_addr, p1.steps[3].pte_addr);
+        assert_ne!(p0.steps()[3].pte_addr, p1.steps()[3].pte_addr);
     }
 
     #[test]
@@ -293,8 +315,8 @@ mod tests {
         pt.map(VirtAddr::new(1 << 30)); // 1 GiB away: different PMD/PT
         let p0 = pt.walk_path(Vpn(0)).unwrap();
         let p1 = pt.walk_path(Vpn((1 << 30) >> 12)).unwrap();
-        assert_eq!(p0.steps[0].prefix, p1.steps[0].prefix); // same root node
-        assert_ne!(p0.steps[2].prefix, p1.steps[2].prefix);
+        assert_eq!(p0.steps()[0].prefix, p1.steps()[0].prefix); // same root node
+        assert_ne!(p0.steps()[2].prefix, p1.steps()[2].prefix);
     }
 
     #[test]
@@ -321,7 +343,7 @@ mod tests {
     fn pte_addrs_live_in_table_region() {
         let mut pt = PageTable::new(PageSize::Size2M);
         let tx = pt.map(VirtAddr::new(0x4000_0000));
-        for step in pt.walk_path(tx.key.vpn).unwrap().steps {
+        for step in pt.walk_path(tx.key.vpn).unwrap().steps() {
             assert!(step.pte_addr.raw() >= super::TABLE_REGION_BASE);
         }
     }

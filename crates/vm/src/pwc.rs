@@ -131,11 +131,11 @@ impl PageWalkCaches {
     /// everything at or above it. The leaf PTE (last step) is never
     /// cached here, so the result is at most `steps.len() - 1`.
     pub fn first_uncached_level(&mut self, path: &WalkPath) -> usize {
-        let interior = path.steps.len() - 1; // number of cacheable levels
+        let interior = path.steps().len() - 1; // number of cacheable levels
         let cacheable = interior.min(self.caches.len());
         // Probe deepest-first: a PMD hit covers PGD+PUD+PMD.
         for level in (0..cacheable).rev() {
-            if self.caches[level].lookup(path.steps[level].prefix) {
+            if self.caches[level].lookup(path.steps()[level].prefix) {
                 return level + 1;
             }
         }
@@ -144,9 +144,9 @@ impl PageWalkCaches {
 
     /// Fills all interior levels of a completed walk.
     pub fn fill(&mut self, path: &WalkPath) {
-        let interior = path.steps.len() - 1;
+        let interior = path.steps().len() - 1;
         for level in 0..interior.min(self.caches.len()) {
-            self.caches[level].insert(path.steps[level].prefix);
+            self.caches[level].insert(path.steps()[level].prefix);
         }
     }
 
@@ -211,7 +211,7 @@ mod tests {
         let path = path_for(&mut pt, 0x4000_0000);
         let mut pwc = PageWalkCaches::new(PwcConfig::default());
         pwc.fill(&path);
-        assert_eq!(path.steps.len(), 3);
+        assert_eq!(path.steps().len(), 3);
         assert_eq!(pwc.first_uncached_level(&path), 2); // only leaf access
     }
 

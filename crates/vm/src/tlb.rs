@@ -6,6 +6,7 @@
 //! reconfigurable architecture routes L1-TLB victims into the idle
 //! LDS/I-cache structures (Fig 12).
 
+use gtr_sim::fastmap::FastMap;
 use gtr_sim::stats::HitMiss;
 
 use crate::addr::{Ppn, Translation, TranslationKey, VmId};
@@ -43,11 +44,30 @@ impl TlbConfig {
     }
 }
 
+/// Sentinel for "no slot" in the intrusive LRU lists.
+const NIL: u32 = u32::MAX;
+
+/// One TLB way: the entry plus its position in the owning set's
+/// doubly-linked recency list (or the free list when unused).
 #[derive(Debug, Clone, Copy)]
-struct Way {
+struct Slot {
     key: TranslationKey,
     ppn: Ppn,
-    last_use: u64,
+    prev: u32,
+    next: u32,
+    used: bool,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self {
+            key: TranslationKey::default(),
+            ppn: Ppn::default(),
+            prev: NIL,
+            next: NIL,
+            used: false,
+        }
+    }
 }
 
 /// A set-associative, true-LRU TLB.
@@ -70,8 +90,18 @@ struct Way {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     config: TlbConfig,
-    sets: Vec<Vec<Way>>,
-    tick: u64,
+    nsets: usize,
+    /// Flat slot arena: set `s` owns slots `s*assoc .. (s+1)*assoc`.
+    slots: Vec<Slot>,
+    /// Per-set MRU end of the recency list.
+    head: Vec<u32>,
+    /// Per-set LRU end of the recency list (the eviction victim).
+    tail: Vec<u32>,
+    /// Per-set free-list head (unused slots chained through `next`).
+    free: Vec<u32>,
+    /// key -> slot id, so lookups never scan ways.
+    index: FastMap<TranslationKey, u32>,
+    len: usize,
     stats: HitMiss,
     evictions: u64,
 }
@@ -79,8 +109,71 @@ pub struct Tlb {
 impl Tlb {
     /// Creates an empty TLB.
     pub fn new(config: TlbConfig) -> Self {
-        let sets = (0..config.sets()).map(|_| Vec::with_capacity(config.assoc)).collect();
-        Self { config, sets, tick: 0, stats: HitMiss::new(), evictions: 0 }
+        let nsets = config.sets();
+        let cap = nsets * config.assoc;
+        let mut tlb = Self {
+            config,
+            nsets,
+            slots: vec![Slot::empty(); cap],
+            head: vec![NIL; nsets],
+            tail: vec![NIL; nsets],
+            free: vec![NIL; nsets],
+            index: FastMap::with_capacity(cap.min(1 << 16)),
+            len: 0,
+            stats: HitMiss::new(),
+            evictions: 0,
+        };
+        tlb.init_lists();
+        tlb
+    }
+
+    /// Resets every slot to empty and rebuilds the per-set free lists.
+    fn init_lists(&mut self) {
+        let assoc = self.config.assoc;
+        for s in 0..self.nsets {
+            self.head[s] = NIL;
+            self.tail[s] = NIL;
+            let base = (s * assoc) as u32;
+            self.free[s] = if assoc == 0 { NIL } else { base };
+            for j in 0..assoc {
+                let i = base + j as u32;
+                self.slots[i as usize] = Slot::empty();
+                if j + 1 < assoc {
+                    self.slots[i as usize].next = i + 1;
+                }
+            }
+        }
+    }
+
+    /// Unlinks a used slot from its set's recency list.
+    fn detach(&mut self, s: usize, i: u32) {
+        let (p, n) = {
+            let sl = &self.slots[i as usize];
+            (sl.prev, sl.next)
+        };
+        if p != NIL {
+            self.slots[p as usize].next = n;
+        } else {
+            self.head[s] = n;
+        }
+        if n != NIL {
+            self.slots[n as usize].prev = p;
+        } else {
+            self.tail[s] = p;
+        }
+    }
+
+    /// Links a slot at the MRU end of its set's recency list.
+    fn push_mru(&mut self, s: usize, i: u32) {
+        let h = self.head[s];
+        self.slots[i as usize].prev = NIL;
+        self.slots[i as usize].next = h;
+        if h != NIL {
+            self.slots[h as usize].prev = i;
+        } else {
+            self.tail[s] = i;
+        }
+        self.head[s] = i;
     }
 
     /// This TLB's configuration.
@@ -98,19 +191,19 @@ impl Tlb {
         // power-of-two VPN strides — page-sized matrix rows above all —
         // do not collapse onto a handful of sets.
         let v = key.vpn.0;
-        ((v ^ (v >> 7) ^ (v >> 14)) as usize) % self.sets.len()
+        ((v ^ (v >> 7) ^ (v >> 14)) as usize) % self.nsets
     }
 
     /// Looks up a key, updating LRU state and hit/miss counters.
     pub fn lookup(&mut self, key: TranslationKey) -> Option<Translation> {
-        self.tick += 1;
-        let tick = self.tick;
-        let set = self.set_index(key);
-        match self.sets[set].iter_mut().find(|w| w.key == key) {
-            Some(way) => {
-                way.last_use = tick;
+        match self.index.get(key).copied() {
+            Some(i) => {
+                let s = i as usize / self.config.assoc;
+                self.detach(s, i);
+                self.push_mru(s, i);
                 self.stats.hit();
-                Some(Translation::new(way.key, way.ppn))
+                let sl = &self.slots[i as usize];
+                Some(Translation::new(sl.key, sl.ppn))
             }
             None => {
                 self.stats.miss();
@@ -121,72 +214,98 @@ impl Tlb {
 
     /// Checks presence without perturbing LRU or counters.
     pub fn probe(&self, key: TranslationKey) -> Option<Translation> {
-        let set = self.set_index(key);
-        self.sets[set]
-            .iter()
-            .find(|w| w.key == key)
-            .map(|w| Translation::new(w.key, w.ppn))
+        self.index.get(key).map(|&i| {
+            let sl = &self.slots[i as usize];
+            Translation::new(sl.key, sl.ppn)
+        })
     }
 
     /// Inserts a translation, returning the evicted victim if the set
     /// was full. Re-inserting an existing key refreshes its frame and
     /// LRU position without eviction.
     pub fn insert(&mut self, tx: Translation) -> Option<Translation> {
-        self.tick += 1;
-        let tick = self.tick;
-        let set_idx = self.set_index(tx.key);
-        let assoc = self.config.assoc;
-        let set = &mut self.sets[set_idx];
-        if let Some(way) = set.iter_mut().find(|w| w.key == tx.key) {
-            way.ppn = tx.ppn;
-            way.last_use = tick;
+        if let Some(&i) = self.index.get(tx.key) {
+            let s = i as usize / self.config.assoc;
+            self.slots[i as usize].ppn = tx.ppn;
+            self.detach(s, i);
+            self.push_mru(s, i);
             return None;
         }
-        if set.len() < assoc {
-            set.push(Way { key: tx.key, ppn: tx.ppn, last_use: tick });
+        let s = self.set_index(tx.key);
+        let fi = self.free[s];
+        if fi != NIL {
+            self.free[s] = self.slots[fi as usize].next;
+            let sl = &mut self.slots[fi as usize];
+            sl.key = tx.key;
+            sl.ppn = tx.ppn;
+            sl.used = true;
+            self.push_mru(s, fi);
+            self.index.insert(tx.key, fi);
+            self.len += 1;
             return None;
         }
-        let (victim_idx, _) = set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.last_use)
-            .expect("full set is non-empty");
-        let victim = set[victim_idx];
-        set[victim_idx] = Way { key: tx.key, ppn: tx.ppn, last_use: tick };
+        let v = self.tail[s];
+        debug_assert_ne!(v, NIL, "full set is non-empty");
+        let victim = {
+            let sl = &self.slots[v as usize];
+            Translation::new(sl.key, sl.ppn)
+        };
+        self.index.remove(victim.key);
+        self.detach(s, v);
+        {
+            let sl = &mut self.slots[v as usize];
+            sl.key = tx.key;
+            sl.ppn = tx.ppn;
+        }
+        self.push_mru(s, v);
+        self.index.insert(tx.key, v);
         self.evictions += 1;
-        Some(Translation::new(victim.key, victim.ppn))
+        Some(victim)
     }
 
     /// Invalidates a single key (TLB shootdown); returns whether it was
     /// present.
     pub fn invalidate(&mut self, key: TranslationKey) -> bool {
-        let set = self.set_index(key);
-        let before = self.sets[set].len();
-        self.sets[set].retain(|w| w.key != key);
-        self.sets[set].len() != before
+        match self.index.remove(key) {
+            Some(i) => {
+                let s = i as usize / self.config.assoc;
+                self.detach(s, i);
+                let sl = &mut self.slots[i as usize];
+                sl.used = false;
+                sl.prev = NIL;
+                sl.next = self.free[s];
+                self.free[s] = i;
+                self.len -= 1;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Invalidates every entry belonging to an address space.
     pub fn invalidate_vmid(&mut self, vmid: VmId) -> usize {
-        let mut n = 0;
-        for set in &mut self.sets {
-            let before = set.len();
-            set.retain(|w| w.key.vmid != vmid);
-            n += before - set.len();
+        let doomed: Vec<TranslationKey> = self
+            .slots
+            .iter()
+            .filter(|sl| sl.used && sl.key.vmid == vmid)
+            .map(|sl| sl.key)
+            .collect();
+        for &key in &doomed {
+            self.invalidate(key);
         }
-        n
+        doomed.len()
     }
 
     /// Removes all entries.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.index.clear();
+        self.len = 0;
+        self.init_lists();
     }
 
     /// Current number of valid entries.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.len
     }
 
     /// Whether the TLB holds no entries.
@@ -218,9 +337,10 @@ impl Tlb {
     /// Iterates over all resident translations (for duplication
     /// analysis, Fig 14a).
     pub fn iter(&self) -> impl Iterator<Item = Translation> + '_ {
-        self.sets
+        self.slots
             .iter()
-            .flat_map(|s| s.iter().map(|w| Translation::new(w.key, w.ppn)))
+            .filter(|sl| sl.used)
+            .map(|sl| Translation::new(sl.key, sl.ppn))
     }
 }
 

@@ -83,7 +83,7 @@ pub fn walk(
         Some(path) => {
             let start = pwc.first_uncached_level(&path);
             let mut accesses = 0;
-            for step in &path.steps[start..] {
+            for step in &path.steps()[start..] {
                 t = mem.access(t, step.pte_addr);
                 accesses += 1;
             }

@@ -1,13 +1,18 @@
-//! Property-based tests (proptest) over the core data structures'
+//! Randomized property tests over the core data structures'
 //! invariants.
-
-use proptest::prelude::*;
+//!
+//! Formerly written with `proptest`; now driven by the workspace's own
+//! seeded [`SplitMix64`] generator so the test suite builds and runs
+//! with no registry access. Each property samples many random cases
+//! per run and every case is fully determined by its seed, so a
+//! failure message's seed reproduces the exact failing input.
 
 use gpu_translation_reach::core_arch::compress::TagGroup;
 use gpu_translation_reach::core_arch::config::{Replacement, SegmentSize, TxPerLine};
 use gpu_translation_reach::core_arch::icache_tx::TxIcache;
 use gpu_translation_reach::core_arch::lds_tx::{LdsInsert, SegmentMode, TxLds};
 use gpu_translation_reach::sim::resource::Timeline;
+use gpu_translation_reach::sim::rng::SplitMix64;
 use gpu_translation_reach::vm::addr::{PageSize, Ppn, Translation, TranslationKey, VirtAddr, Vpn};
 use gpu_translation_reach::vm::coalescer::CoalescedAccess;
 use gpu_translation_reach::vm::page_table::PageTable;
@@ -17,14 +22,27 @@ fn tx(v: u64) -> Translation {
     Translation::new(TranslationKey::for_vpn(Vpn(v)), Ppn(v ^ 0xABCD))
 }
 
-proptest! {
-    /// Every admitted tag lies within the signed delta window of the
-    /// group's base; conflicts are rejected, never mis-stored.
-    #[test]
-    fn tag_group_window_invariant(
-        delta_bits in 2u32..24,
-        tags in prop::collection::vec(0u64..1u64 << 40, 1..64),
-    ) {
+/// Runs `case` once per seed; panics carry the seed for replay.
+fn check_cases(cases: u64, case: impl Fn(&mut SplitMix64)) {
+    for seed in 0..cases {
+        let mut rng = SplitMix64::new(0xC0FFEE ^ seed);
+        case(&mut rng);
+    }
+}
+
+/// A random vector of `1..max_len` values drawn from `[lo, hi)`.
+fn random_vec(rng: &mut SplitMix64, max_len: u64, lo: u64, hi: u64) -> Vec<u64> {
+    let len = 1 + rng.next_below(max_len.max(2) - 1);
+    (0..len).map(|_| lo + rng.next_below(hi - lo)).collect()
+}
+
+/// Every admitted tag lies within the signed delta window of the
+/// group's base; conflicts are rejected, never mis-stored.
+#[test]
+fn tag_group_window_invariant() {
+    check_cases(64, |rng| {
+        let delta_bits = 2 + rng.next_below(22) as u32;
+        let tags = random_vec(rng, 64, 0, 1 << 40);
         let mut g = TagGroup::new(delta_bits);
         for t in tags {
             let admitted = g.try_admit(t);
@@ -32,99 +50,108 @@ proptest! {
                 let base = g.base().expect("non-empty group has a base");
                 let delta = t as i128 - base as i128;
                 let half = 1i128 << (delta_bits - 1);
-                prop_assert!((-half..half).contains(&delta));
+                assert!(
+                    (-half..half).contains(&delta),
+                    "admitted tag {t} outside window of base {base} ({delta_bits} bits)"
+                );
             }
         }
-    }
+    });
+}
 
-    /// A TLB never exceeds its capacity, and a just-inserted key is
-    /// always findable.
-    #[test]
-    fn tlb_capacity_and_residency(
-        entries_log in 2u32..7,
-        assoc_log in 0u32..4,
-        keys in prop::collection::vec(0u64..10_000, 1..300),
-    ) {
-        let entries = 1usize << entries_log;
-        let assoc = (1usize << assoc_log).min(entries);
+/// A TLB never exceeds its capacity, and a just-inserted key is
+/// always findable.
+#[test]
+fn tlb_capacity_and_residency() {
+    check_cases(64, |rng| {
+        let entries = 1usize << (2 + rng.next_below(5));
+        let assoc = (1usize << rng.next_below(4)).min(entries);
+        let keys = random_vec(rng, 300, 0, 10_000);
         let mut tlb = Tlb::new(TlbConfig::set_associative(entries, assoc, 1));
         for v in keys {
             tlb.insert(tx(v));
-            prop_assert!(tlb.len() <= entries);
-            prop_assert!(
+            assert!(tlb.len() <= entries);
+            assert!(
                 tlb.probe(TranslationKey::for_vpn(Vpn(v))).is_some(),
                 "freshly inserted key must be resident"
             );
         }
-    }
+    });
+}
 
-    /// Timeline reservations never overlap, regardless of arrival
-    /// order and skew.
-    #[test]
-    fn timeline_reservations_disjoint(
-        requests in prop::collection::vec((0u64..100_000, 1u64..200), 1..200),
-    ) {
+/// Timeline reservations never overlap, regardless of arrival order
+/// and skew.
+#[test]
+fn timeline_reservations_disjoint() {
+    check_cases(48, |rng| {
+        let n = 1 + rng.next_below(199);
         let mut tl = Timeline::new();
         let mut intervals: Vec<(u64, u64)> = Vec::new();
-        for (at, service) in requests {
+        for _ in 0..n {
+            let at = rng.next_below(100_000);
+            let service = 1 + rng.next_below(199);
             let start = tl.reserve(at, service);
-            prop_assert!(start >= at, "reservation cannot start before arrival");
+            assert!(start >= at, "reservation cannot start before arrival");
             let end = start + service;
             for &(s, e) in &intervals {
-                prop_assert!(end <= s || start >= e,
-                    "overlap: [{start},{end}) with [{s},{e})");
+                assert!(end <= s || start >= e, "overlap: [{start},{end}) with [{s},{e})");
             }
             intervals.push((start, end));
         }
-    }
+    });
+}
 
-    /// Coalescing yields unique pages covering exactly the lanes' pages.
-    #[test]
-    fn coalescer_pages_exact(
-        addrs in prop::collection::vec(0u64..1u64 << 44, 1..64),
-    ) {
+/// Coalescing yields unique pages covering exactly the lanes' pages.
+#[test]
+fn coalescer_pages_exact() {
+    check_cases(64, |rng| {
+        let addrs = random_vec(rng, 64, 0, 1 << 44);
         let lanes: Vec<VirtAddr> = addrs.iter().map(|&a| VirtAddr::new(a)).collect();
         let c = CoalescedAccess::from_lanes(&lanes, PageSize::Size4K);
         let expected: std::collections::HashSet<u64> =
             lanes.iter().map(|a| a.vpn(PageSize::Size4K).0).collect();
         let got: std::collections::HashSet<u64> = c.pages.iter().map(|p| p.0).collect();
-        prop_assert_eq!(expected.clone(), got);
-        prop_assert_eq!(c.pages.len(), expected.len(), "no duplicates");
-    }
+        assert_eq!(expected, got);
+        assert_eq!(c.pages.len(), expected.len(), "no duplicates");
+    });
+}
 
-    /// Page-table mapping is a bijection onto distinct frames, and walk
-    /// paths always end at the mapped frame.
-    #[test]
-    fn page_table_bijective_and_walkable(
-        vpns in prop::collection::hash_set(0u64..1u64 << 30, 1..100),
-    ) {
+/// Page-table mapping is a bijection onto distinct frames, and walk
+/// paths always end at the mapped frame.
+#[test]
+fn page_table_bijective_and_walkable() {
+    check_cases(32, |rng| {
+        let vpns: std::collections::HashSet<u64> =
+            random_vec(rng, 100, 0, 1 << 30).into_iter().collect();
         let mut pt = PageTable::new(PageSize::Size4K);
         let mut frames = std::collections::HashSet::new();
         for &v in &vpns {
             let t = pt.map_vpn(Vpn(v));
-            prop_assert!(frames.insert(t.ppn), "frame reused");
+            assert!(frames.insert(t.ppn), "frame reused");
         }
         for &v in &vpns {
             let path = pt.walk_path(Vpn(v)).expect("mapped");
-            prop_assert_eq!(path.steps.len(), 4);
-            prop_assert_eq!(Some(path.ppn), pt.translate(Vpn(v)));
+            assert_eq!(path.steps().len(), 4);
+            assert_eq!(Some(path.ppn), pt.translate(Vpn(v)));
         }
-    }
+    });
+}
 
-    /// The reconfigurable LDS never stores translations in App-mode
-    /// segments and never exceeds its way capacity; app allocate /
-    /// release round-trips restore usable capacity.
-    #[test]
-    fn tx_lds_mode_safety(
-        ops in prop::collection::vec((0u64..4096, 0u8..4), 1..400),
-    ) {
+/// The reconfigurable LDS never stores translations in App-mode
+/// segments and never exceeds its way capacity; app allocate /
+/// release round-trips restore usable capacity.
+#[test]
+fn tx_lds_mode_safety() {
+    check_cases(48, |rng| {
+        let n = 1 + rng.next_below(399);
         let mut lds = TxLds::new(16 * 1024, SegmentSize::Bytes32);
         let cap = lds.segment_count() * lds.ways();
         // Live application allocations, mirroring the front-end
         // scheduler's contract: only allocated blocks are released.
         let mut live: std::collections::HashSet<u32> = std::collections::HashSet::new();
-        for (v, op) in ops {
-            match op {
+        for _ in 0..n {
+            let v = rng.next_below(4096);
+            match rng.next_below(4) {
                 0 | 1 => {
                     let _ = lds.insert(tx(v));
                 }
@@ -141,45 +168,44 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(lds.resident() <= cap);
+            assert!(lds.resident() <= cap);
             // An App segment must always bypass inserts.
             if lds.segment_mode(tx(v).key) == SegmentMode::App {
-                prop_assert_eq!(lds.insert(tx(v)), LdsInsert::Bypassed);
+                assert_eq!(lds.insert(tx(v)), LdsInsert::Bypassed);
             }
         }
-    }
+    });
+}
 
-    /// The reconfigurable I-cache keeps instruction fetches correct no
-    /// matter how translations churn: a fetched line always hits
-    /// immediately afterwards.
-    #[test]
-    fn tx_icache_instruction_correctness(
-        ops in prop::collection::vec((0u64..2048, prop::bool::ANY), 1..400),
-    ) {
-        let mut ic = TxIcache::new(
-            16 * 1024, 8, TxPerLine::Eight, Replacement::InstructionAware,
-        );
-        for (v, is_inst) in ops {
-            if is_inst {
+/// The reconfigurable I-cache keeps instruction fetches correct no
+/// matter how translations churn: a fetched line always hits
+/// immediately afterwards.
+#[test]
+fn tx_icache_instruction_correctness() {
+    check_cases(48, |rng| {
+        let n = 1 + rng.next_below(399);
+        let mut ic = TxIcache::new(16 * 1024, 8, TxPerLine::Eight, Replacement::InstructionAware);
+        for _ in 0..n {
+            let v = rng.next_below(2048);
+            if rng.next_below(2) == 0 {
                 ic.fetch(v);
-                prop_assert!(ic.fetch(v), "immediate refetch must hit");
+                assert!(ic.fetch(v), "immediate refetch must hit");
             } else {
                 let _ = ic.insert_tx(tx(v));
             }
-            prop_assert!(ic.resident_tx() <= ic.line_count() * ic.tx_slots());
+            assert!(ic.resident_tx() <= ic.line_count() * ic.tx_slots());
         }
-    }
+    });
+}
 
-    /// Under the instruction-aware policy translations NEVER evict
-    /// instruction lines (§4.3.2 rule 2).
-    #[test]
-    fn instruction_aware_never_evicts_instructions(
-        inst_lines in prop::collection::vec(0u64..2048, 1..64),
-        tx_vpns in prop::collection::vec(0u64..1u64 << 20, 1..256),
-    ) {
-        let mut ic = TxIcache::new(
-            16 * 1024, 8, TxPerLine::Eight, Replacement::InstructionAware,
-        );
+/// Under the instruction-aware policy translations NEVER evict
+/// instruction lines (§4.3.2 rule 2).
+#[test]
+fn instruction_aware_never_evicts_instructions() {
+    check_cases(48, |rng| {
+        let inst_lines = random_vec(rng, 64, 0, 2048);
+        let tx_vpns = random_vec(rng, 256, 0, 1 << 20);
+        let mut ic = TxIcache::new(16 * 1024, 8, TxPerLine::Eight, Replacement::InstructionAware);
         for &l in &inst_lines {
             ic.fetch(l);
         }
@@ -187,7 +213,7 @@ proptest! {
         for v in tx_vpns {
             let _ = ic.insert_tx(tx(v));
         }
-        prop_assert_eq!(ic.inst_lines(), inst_before);
-        prop_assert_eq!(ic.stats().inst_evicted_by_tx, 0);
-    }
+        assert_eq!(ic.inst_lines(), inst_before);
+        assert_eq!(ic.stats().inst_evicted_by_tx, 0);
+    });
 }

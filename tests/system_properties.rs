@@ -1,99 +1,109 @@
-//! System-level property tests: random tiny traces through the full
+//! System-level randomized tests: random tiny traces through the full
 //! simulator must be deterministic, conserve instruction counts, and
 //! never let the reconfigurable design corrupt execution.
-
-use proptest::prelude::*;
+//!
+//! Driven by the workspace's seeded [`SplitMix64`] generator (instead
+//! of `proptest`) so the suite needs no registry access; every trace
+//! is reproducible from its case seed.
 
 use gpu_translation_reach::core_arch::config::ReachConfig;
 use gpu_translation_reach::core_arch::system::System;
 use gpu_translation_reach::gpu::config::GpuConfig;
 use gpu_translation_reach::gpu::kernel::{AppTrace, KernelDesc, WaveProgram, WorkgroupDesc};
 use gpu_translation_reach::gpu::ops::Op;
+use gpu_translation_reach::sim::rng::SplitMix64;
 
-/// Strategy: a random op (bounded footprint so traces stay tiny).
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u32..8).prop_map(Op::compute),
-        (0u64..512, 1u64..5000, any::<bool>()).prop_map(|(page, stride, write)| {
-            let base = 0x1_0000_0000 + page * 4096;
-            if write {
+/// A random op (bounded footprint so traces stay tiny).
+fn random_op(rng: &mut SplitMix64) -> Op {
+    match rng.next_below(3) {
+        0 => Op::compute(rng.next_below(8) as u32),
+        1 => {
+            let base = 0x1_0000_0000 + rng.next_below(512) * 4096;
+            let stride = 1 + rng.next_below(4999);
+            if rng.next_below(2) == 0 {
                 Op::global_write_strided(base, stride, 64)
             } else {
                 Op::global_read_strided(base, stride, 64)
             }
-        }),
-        (0u32..2048, any::<bool>()).prop_map(|(off, w)| if w {
-            Op::lds_write(off)
-        } else {
-            Op::lds_read(off)
-        }),
-    ]
-}
-
-/// Strategy: an app of 1-3 kernels, 1-2 workgroups of 1-4 identical
-/// waves (identical so barriers, if added later, stay safe).
-fn arb_app() -> impl Strategy<Value = AppTrace> {
-    prop::collection::vec(
-        (
-            prop::collection::vec(arb_op(), 1..24),
-            1usize..3,
-            1usize..5,
-            1u32..64,
-            prop_oneof![Just(0u32), Just(512u32), Just(4096u32)],
-        ),
-        1..4,
-    )
-    .prop_map(|kernels| {
-        let ks = kernels
-            .into_iter()
-            .enumerate()
-            .map(|(i, (ops, wgs, waves, code, lds))| {
-                let wave = WaveProgram::new(ops);
-                let wg = WorkgroupDesc::new(vec![wave; waves]);
-                KernelDesc::new(format!("k{i}"), code, lds, vec![wg; wgs])
-            })
-            .collect();
-        AppTrace::new("prop", ks)
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Identical inputs produce identical results, for every config.
-    #[test]
-    fn random_traces_are_deterministic(app in arb_app()) {
-        for reach in [ReachConfig::baseline(), ReachConfig::ic_plus_lds()] {
-            let a = System::new(GpuConfig::default(), reach).run(&app);
-            let b = System::new(GpuConfig::default(), reach).run(&app);
-            prop_assert_eq!(a.total_cycles, b.total_cycles);
-            prop_assert_eq!(a.page_walks, b.page_walks);
-            prop_assert_eq!(a.dram_accesses, b.dram_accesses);
+        }
+        _ => {
+            let off = rng.next_below(2048) as u32;
+            if rng.next_below(2) == 0 {
+                Op::lds_write(off)
+            } else {
+                Op::lds_read(off)
+            }
         }
     }
+}
 
-    /// The reconfigurable design never changes *what* executes — only
-    /// when: instruction counts and translation request counts match
-    /// the baseline exactly.
-    #[test]
-    fn reach_is_execution_transparent(app in arb_app()) {
-        let base = System::new(GpuConfig::default(), ReachConfig::baseline()).run(&app);
-        let reach = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds()).run(&app);
-        prop_assert_eq!(base.instructions, app.total_ops());
-        prop_assert_eq!(reach.instructions, base.instructions);
-        prop_assert_eq!(reach.translation_requests, base.translation_requests);
+/// A random app of 1-3 kernels, 1-2 workgroups of 1-4 identical waves
+/// (identical so barriers, if added later, stay safe).
+fn random_app(rng: &mut SplitMix64) -> AppTrace {
+    let kernel_count = 1 + rng.next_below(3) as usize;
+    let ks = (0..kernel_count)
+        .map(|i| {
+            let op_count = 1 + rng.next_below(23) as usize;
+            let ops: Vec<Op> = (0..op_count).map(|_| random_op(rng)).collect();
+            let wgs = 1 + rng.next_below(2) as usize;
+            let waves = 1 + rng.next_below(4) as usize;
+            let code = 1 + rng.next_below(63) as u32;
+            let lds = [0u32, 512, 4096][rng.next_below(3) as usize];
+            let wave = WaveProgram::new(ops);
+            let wg = WorkgroupDesc::new(vec![wave; waves]);
+            KernelDesc::new(format!("k{i}"), code, lds, vec![wg; wgs])
+        })
+        .collect();
+    AppTrace::new("prop", ks)
+}
+
+/// Runs `case` over 16 random apps; the seed reproduces each trace.
+fn check_apps(case: impl Fn(&AppTrace)) {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(0x5EED ^ (seed << 8));
+        case(&random_app(&mut rng));
     }
+}
 
-    /// Every translation request is accounted for by exactly one
-    /// resolution path.
-    #[test]
-    fn translation_requests_conserved(app in arb_app()) {
-        let s = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds()).run(&app);
+/// Identical inputs produce identical results, for every config.
+#[test]
+fn random_traces_are_deterministic() {
+    check_apps(|app| {
+        for reach in [ReachConfig::baseline(), ReachConfig::ic_plus_lds()] {
+            let a = System::new(GpuConfig::default(), reach).run(app);
+            let b = System::new(GpuConfig::default(), reach).run(app);
+            assert_eq!(a.total_cycles, b.total_cycles);
+            assert_eq!(a.page_walks, b.page_walks);
+            assert_eq!(a.dram_accesses, b.dram_accesses);
+        }
+    });
+}
+
+/// The reconfigurable design never changes *what* executes — only
+/// when: instruction counts and translation request counts match the
+/// baseline exactly.
+#[test]
+fn reach_is_execution_transparent() {
+    check_apps(|app| {
+        let base = System::new(GpuConfig::default(), ReachConfig::baseline()).run(app);
+        let reach = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds()).run(app);
+        assert_eq!(base.instructions, app.total_ops());
+        assert_eq!(reach.instructions, base.instructions);
+        assert_eq!(reach.translation_requests, base.translation_requests);
+    });
+}
+
+/// Every translation request is accounted for by exactly one
+/// resolution path.
+#[test]
+fn translation_requests_conserved() {
+    check_apps(|app| {
+        let s = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds()).run(app);
         // L1 hits + L1 misses == requests (every request probes L1).
-        prop_assert_eq!(s.l1_tlb.total(), s.translation_requests);
+        assert_eq!(s.l1_tlb.total(), s.translation_requests);
         // Walks can never exceed L1 misses.
-        prop_assert!(s.page_walks <= s.l1_tlb.misses);
+        assert!(s.page_walks <= s.l1_tlb.misses);
         // Victim hits can never exceed L1 misses either.
-        prop_assert!(s.victim_hits() <= s.l1_tlb.misses);
-    }
+        assert!(s.victim_hits() <= s.l1_tlb.misses);
+    });
 }
