@@ -1,8 +1,27 @@
 #!/bin/sh
-# Tier-1 gate: build, test, and simulator-throughput regression check.
+# Tier-1 gate: build, test, docs, simulator-throughput regression
+# check, and observability schema validation.
 set -eu
 cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
+
+# Rustdoc must build warning-free (the workspace warns on
+# missing_docs: every public item is documented).
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
+# Simulator throughput + determinism anchor (BENCH_sim_throughput.json).
 cargo run --release -p gtr-bench --bin perf -- --check
+
+# Observability schema gate: export a tiny matrix, a single traced run
+# with epoch sampling, and a JSONL event stream, then validate all
+# three against the stats schema / event vocabulary.
+CI_OUT=target/ci-observability
+mkdir -p "$CI_OUT"
+cargo run --release -q -p gtr-bench --bin all -- --tiny --stats-out "$CI_OUT/matrix.json"
+cargo run --release -q -p gtr-bench --bin run_app -- GUPS ic+lds --tiny \
+    --epochs 50000 --stats-out "$CI_OUT/run.json" --trace "$CI_OUT/trace.jsonl"
+cargo run --release -q -p gtr-bench --bin validate_stats -- \
+    "$CI_OUT/matrix.json" "$CI_OUT/run.json"
+cargo run --release -q -p gtr-bench --bin validate_stats -- --jsonl "$CI_OUT/trace.jsonl"

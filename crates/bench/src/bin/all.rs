@@ -1,14 +1,31 @@
 //! Regenerates every table and figure. `--quick`/`--tiny` reduce the
 //! scale; `--csv <dir>` additionally writes the main matrices as CSV
-//! for external plotting.
+//! for external plotting; `--stats-out <path>` writes the full main
+//! matrix (every cell's complete stats, epoch series included) as one
+//! JSON document for `validate_stats` and downstream tooling.
 fn main() {
     let scale = scale_from_args();
     println!("{}", gtr_bench::figures::all(scale));
     let args: Vec<String> = std::env::args().collect();
-    if let Some(i) = args.iter().position(|a| a == "--csv") {
-        let dir = args.get(i + 1).map(String::as_str).unwrap_or("results");
-        std::fs::create_dir_all(dir).expect("create csv dir");
-        let m = gtr_bench::figures::main_matrix(scale);
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .map(|i| args.get(i + 1).map(String::as_str).unwrap_or("results").to_string());
+    let stats_out = args.iter().position(|a| a == "--stats-out").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("--stats-out needs a path");
+                std::process::exit(2);
+            })
+            .to_string()
+    });
+    if csv_dir.is_none() && stats_out.is_none() {
+        return;
+    }
+    // One matrix re-run feeds both export formats.
+    let m = gtr_bench::figures::main_matrix(scale);
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(&dir).expect("create csv dir");
         std::fs::write(format!("{dir}/fig13b_improvement.csv"), m.improvement_csv())
             .expect("write csv");
         std::fs::write(
@@ -22,6 +39,12 @@ fn main() {
         )
         .expect("write csv");
         eprintln!("CSV written to {dir}/");
+    }
+    if let Some(path) = stats_out {
+        let mut doc = m.to_json().to_string();
+        doc.push('\n');
+        std::fs::write(&path, doc).expect("write stats JSON");
+        eprintln!("matrix stats written to {path}");
     }
 }
 

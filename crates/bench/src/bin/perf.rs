@@ -12,17 +12,30 @@
 //!   committed baseline without rewriting it; exits non-zero when
 //!   throughput regressed more than the tolerance (used by `ci.sh`).
 //! * `... --bin perf -- --dry-run` — measure and print only.
+//!
+//! Any mode additionally accepts `--stats-out <path>` to write the
+//! measured report JSON to a chosen file (the repo-root baseline is
+//! only touched by the default measure mode).
 
 use gtr_bench::perf::{
     check_against, measure_tiny, PerfReport, BASELINE_FILE, REGRESSION_TOLERANCE_PCT,
 };
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let stats_out = args.iter().position(|a| a == "--stats-out").map(|i| {
+        if i + 1 >= args.len() {
+            eprintln!("--stats-out needs a path");
+            std::process::exit(2);
+        }
+        let path = args.remove(i + 1);
+        args.remove(i);
+        path
+    });
     let check = args.iter().any(|a| a == "--check");
     let dry_run = args.iter().any(|a| a == "--dry-run");
     if let Some(bad) = args.iter().find(|a| *a != "--check" && *a != "--dry-run") {
-        eprintln!("unknown argument `{bad}` (expected --check or --dry-run)");
+        eprintln!("unknown argument `{bad}` (expected --check, --dry-run or --stats-out <path>)");
         std::process::exit(2);
     }
 
@@ -39,6 +52,11 @@ fn main() {
         report.cycles_per_sec / 1e6,
         report.commit
     );
+
+    if let Some(out) = &stats_out {
+        std::fs::write(out, report.to_json()).expect("write --stats-out JSON");
+        eprintln!("report written to {out}");
+    }
 
     if check {
         match check_against(baseline.as_ref(), &report) {

@@ -5,11 +5,14 @@
 //! cargo run --release -p gtr-bench --bin run_app -- ATAX ic+lds --quick
 //! cargo run --release -p gtr-bench --bin run_app -- GUPS baseline
 //! cargo run --release -p gtr-bench --bin run_app -- NW lds --sharers 8 --pages 2m
+//! cargo run --release -p gtr-bench --bin run_app -- GUPS ic+lds --tiny \
+//!     --epochs 100000 --stats-out gups.json --trace gups.jsonl
 //! ```
 
 use gtr_core::config::ReachConfig;
 use gtr_core::system::System;
 use gtr_gpu::config::GpuConfig;
+use gtr_sim::trace::JsonlSink;
 use gtr_vm::addr::PageSize;
 use gtr_workloads::scale::Scale;
 use gtr_workloads::suite;
@@ -17,8 +20,12 @@ use gtr_workloads::suite;
 fn usage() -> ! {
     eprintln!(
         "usage: run_app <APP> <CONFIG> [--quick|--tiny] [--sharers N] [--pages 4k|64k|2m] [--l2-tlb N] [--ducati]\n\
+         \x20              [--epochs N] [--stats-out FILE.json] [--trace FILE.jsonl]\n\
          APP:    {}\n\
-         CONFIG: baseline | lds | ic | ic+lds",
+         CONFIG: baseline | lds | ic | ic+lds\n\
+         --epochs N          sample cumulative counters every N cycles into the stats epoch series\n\
+         --stats-out FILE    write the run's full statistics as JSON (parse back with gtr_core::export)\n\
+         --trace FILE        stream structured lifecycle events as JSON Lines",
         suite::TABLE2.iter().map(|i| i.name).collect::<Vec<_>>().join(" | ")
     );
     std::process::exit(2);
@@ -77,9 +84,27 @@ fn main() {
         usage()
     };
 
+    let str_flag = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        })
+    };
+
     let mut sys = System::new(gpu, reach);
     if args.iter().any(|a| a == "--ducati") {
         sys = sys.with_side_cache(Box::new(gtr_ducati::Ducati::new(512 * 1024)));
+    }
+    if let Some(n) = flag_value("--epochs") {
+        sys = sys.with_epochs(n as u64);
+    }
+    let trace_path = str_flag("--trace");
+    if let Some(path) = &trace_path {
+        let sink = JsonlSink::create(std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("cannot create trace file {path}: {e}"));
+        sys = sys.with_trace(Box::new(sink));
     }
     let start = std::time::Instant::now();
     let s = sys.run(&app);
@@ -100,5 +125,16 @@ fn main() {
     println!("tx shared across CUs: {:.0}%", s.tx_shared_fraction * 100.0);
     println!("LDS req/WG:          {}", s.lds_request_summary);
     println!("IC utilization:      {}", s.icache_utilization_summary);
+    if !s.epochs.is_empty() {
+        println!("epochs:              {} samples every {} cycles", s.epochs.len(), s.epoch_len);
+    }
     println!("(simulated in {:.2}s)", wall.as_secs_f64());
+    if let Some(path) = str_flag("--stats-out") {
+        std::fs::write(&path, gtr_core::export::run_stats_to_json_string(&s))
+            .unwrap_or_else(|e| panic!("cannot write stats to {path}: {e}"));
+        eprintln!("stats written to {path}");
+    }
+    if let Some(path) = trace_path {
+        eprintln!("trace written to {path}");
+    }
 }

@@ -1,0 +1,128 @@
+//! `validate_stats` — schema gate for machine-readable artifacts.
+//!
+//! Validates files produced by the `--stats-out` / `--trace` flags:
+//!
+//! * `validate_stats stats.json ...` — each file must be either one
+//!   run-stats document (`run_app --stats-out`) or a matrix document
+//!   (`all --stats-out`); every run record must parse back through
+//!   `gtr_core::export::run_stats_from_json` and satisfy the epoch
+//!   invariants (counters monotone, final epoch equals run totals).
+//! * `validate_stats --jsonl trace.jsonl ...` — each line must parse
+//!   as a JSON object whose `type` is a known trace-event kind.
+//!
+//! Exits non-zero on the first invalid file set; `ci.sh` runs this
+//! against a tiny-matrix export so schema drift fails the build.
+
+use gtr_core::export::{check_epoch_invariants, run_stats_from_json};
+use gtr_sim::json::Json;
+
+const EVENT_KINDS: [&str; 8] = [
+    "translation",
+    "victim_insert",
+    "victim_bypass",
+    "lds_mode",
+    "kernel_begin",
+    "kernel_end",
+    "kernel_flush",
+    "shootdown",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a.starts_with("--") && a != "--jsonl") {
+        eprintln!("usage: validate_stats <stats.json>... | validate_stats --jsonl <trace.jsonl>...");
+        std::process::exit(2);
+    }
+    let jsonl = args.first().is_some_and(|a| a == "--jsonl");
+    let files = if jsonl { &args[1..] } else { &args[..] };
+    if files.is_empty() {
+        eprintln!("no files given");
+        std::process::exit(2);
+    }
+    let mut failures = 0;
+    for path in files {
+        let outcome = if jsonl { validate_jsonl(path) } else { validate_stats_file(path) };
+        match outcome {
+            Ok(n) => println!("{path}: OK ({n} {})", if jsonl { "events" } else { "run records" }),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Validates one stats JSON file; returns the number of run records.
+fn validate_stats_file(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let j = Json::parse(&text)?;
+    if j.get("baseline").is_some() {
+        let mut count = 0;
+        let baseline = j
+            .get("baseline")
+            .and_then(Json::as_arr)
+            .ok_or("matrix `baseline` must be an array")?;
+        for r in baseline {
+            validate_run(r)?;
+            count += 1;
+        }
+        let variants = j
+            .get("variants")
+            .and_then(Json::as_arr)
+            .ok_or("matrix `variants` must be an array")?;
+        for v in variants {
+            let label = v.get("label").and_then(Json::as_str).ok_or("variant without label")?;
+            let runs = v
+                .get("runs")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("variant {label:?} has no `runs` array"))?;
+            for r in runs {
+                validate_run(r)?;
+                count += 1;
+            }
+        }
+        Ok(count)
+    } else {
+        validate_run(&j)?;
+        Ok(1)
+    }
+}
+
+/// One run record: must round-trip through the export schema and keep
+/// its epoch series internally consistent.
+fn validate_run(j: &Json) -> Result<(), String> {
+    let s = run_stats_from_json(j).ok_or("run record does not match the stats schema")?;
+    let problems = check_epoch_invariants(&s);
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{}: {}", s.app, problems.join("; ")))
+    }
+}
+
+/// Validates one JSONL trace file; returns the number of events.
+fn validate_jsonl(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut count = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let j = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let kind = j
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: event without a `type` string", lineno + 1))?;
+        if !EVENT_KINDS.contains(&kind) {
+            return Err(format!("line {}: unknown event type {kind:?}", lineno + 1));
+        }
+        count += 1;
+    }
+    if count == 0 {
+        return Err("no events in file".into());
+    }
+    Ok(count)
+}

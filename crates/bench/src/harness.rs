@@ -269,6 +269,45 @@ impl Matrix {
         out
     }
 
+    /// The whole matrix as one JSON document (what `all --stats-out`
+    /// writes): every cell's full [`RunStats`] through
+    /// [`gtr_core::export::run_stats_to_json`], grouped baseline-first
+    /// the way the struct holds them. `validate_stats` checks this
+    /// shape in CI.
+    pub fn to_json(&self) -> gtr_sim::json::Json {
+        use gtr_core::export::{run_stats_to_json, STATS_SCHEMA_VERSION};
+        use gtr_sim::json::Json;
+        Json::Obj(vec![
+            ("schema_version".into(), Json::from(STATS_SCHEMA_VERSION)),
+            ("kind".into(), Json::from("matrix")),
+            (
+                "apps".into(),
+                Json::Arr(self.apps.iter().map(|a| Json::from(a.as_str())).collect()),
+            ),
+            (
+                "baseline".into(),
+                Json::Arr(self.baseline.iter().map(run_stats_to_json).collect()),
+            ),
+            (
+                "variants".into(),
+                Json::Arr(
+                    self.variants
+                        .iter()
+                        .map(|(label, runs)| {
+                            Json::Obj(vec![
+                                ("label".into(), Json::from(label.as_str())),
+                                (
+                                    "runs".into(),
+                                    Json::Arr(runs.iter().map(run_stats_to_json).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     /// Renders an ASCII bar chart of per-variant geomean improvements
     /// (one glyph per 5%), appended below tables by the binaries.
     pub fn geomean_chart(&self) -> String {

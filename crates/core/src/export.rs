@@ -1,0 +1,477 @@
+//! Machine-readable export of [`RunStats`]: JSON (full fidelity,
+//! parse-back supported) and CSV (flat tables for plotting).
+//!
+//! EXPERIMENTS.md numbers used to be hand-copied strings; this module
+//! makes every figure a reproducible artifact — the bench binaries
+//! write run stats through [`run_stats_to_json`] (`--stats-out`), and
+//! `validate_stats` re-parses them with [`run_stats_from_json`] to
+//! gate the schema in CI. The JSON encoding is hand-rolled on
+//! [`gtr_sim::json`] because the workspace builds offline (no serde).
+//!
+//! Numbers are exact through a round-trip: counters are below 2^53 and
+//! floats print in shortest-round-trip form, so
+//! `run_stats_from_json(parse(run_stats_to_json(s))) == s` holds
+//! bit-for-bit (the round-trip tests assert it).
+
+use gtr_sim::json::Json;
+use gtr_sim::stats::{FiveNumberSummary, HitMiss};
+
+use crate::stats::{EpochStats, KernelStats, RunStats};
+
+/// Schema identifier stamped into every exported stats document, bumped
+/// when fields change incompatibly.
+pub const STATS_SCHEMA_VERSION: u64 = 1;
+
+fn hit_miss_to_json(hm: &HitMiss) -> Json {
+    Json::Obj(vec![
+        ("hits".into(), Json::from(hm.hits)),
+        ("misses".into(), Json::from(hm.misses)),
+    ])
+}
+
+fn hit_miss_from_json(j: &Json) -> Option<HitMiss> {
+    Some(HitMiss {
+        hits: j.get("hits")?.as_u64()?,
+        misses: j.get("misses")?.as_u64()?,
+    })
+}
+
+fn summary_to_json(s: &FiveNumberSummary) -> Json {
+    Json::Obj(vec![
+        ("min".into(), Json::from(s.min)),
+        ("q1".into(), Json::from(s.q1)),
+        ("median".into(), Json::from(s.median)),
+        ("q3".into(), Json::from(s.q3)),
+        ("max".into(), Json::from(s.max)),
+    ])
+}
+
+fn summary_from_json(j: &Json) -> Option<FiveNumberSummary> {
+    Some(FiveNumberSummary {
+        min: j.get("min")?.as_f64()?,
+        q1: j.get("q1")?.as_f64()?,
+        median: j.get("median")?.as_f64()?,
+        q3: j.get("q3")?.as_f64()?,
+        max: j.get("max")?.as_f64()?,
+    })
+}
+
+fn kernel_to_json(k: &KernelStats) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::from(k.name.as_str())),
+        ("cycles".into(), Json::from(k.cycles)),
+        ("instructions".into(), Json::from(k.instructions)),
+        ("page_walks".into(), Json::from(k.page_walks)),
+        ("icache_utilization_pct".into(), Json::from(k.icache_utilization_pct)),
+        ("lds_bytes_per_wg".into(), Json::from(k.lds_bytes_per_wg as u64)),
+    ])
+}
+
+fn kernel_from_json(j: &Json) -> Option<KernelStats> {
+    Some(KernelStats {
+        name: j.get("name")?.as_str()?.to_string(),
+        cycles: j.get("cycles")?.as_u64()?,
+        instructions: j.get("instructions")?.as_u64()?,
+        page_walks: j.get("page_walks")?.as_u64()?,
+        icache_utilization_pct: j.get("icache_utilization_pct")?.as_f64()?,
+        lds_bytes_per_wg: j.get("lds_bytes_per_wg")?.as_u64()? as u32,
+    })
+}
+
+/// The `(name, getter)` pairs defining the epoch-series columns, used
+/// by both the JSON and CSV encodings so the two stay in lockstep.
+const EPOCH_COLUMNS: [(&str, fn(&EpochStats) -> u64); 14] = [
+    ("cycle", |e| e.cycle),
+    ("translation_requests", |e| e.translation_requests),
+    ("l1_hits", |e| e.l1_hits),
+    ("l1_misses", |e| e.l1_misses),
+    ("l2_hits", |e| e.l2_hits),
+    ("l2_misses", |e| e.l2_misses),
+    ("lds_tx_hits", |e| e.lds_tx_hits),
+    ("lds_tx_misses", |e| e.lds_tx_misses),
+    ("ic_tx_hits", |e| e.ic_tx_hits),
+    ("ic_tx_misses", |e| e.ic_tx_misses),
+    ("page_walks", |e| e.page_walks),
+    ("instructions", |e| e.instructions),
+    ("dram_accesses", |e| e.dram_accesses),
+    ("resident_tx", |e| e.resident_tx),
+];
+
+fn epoch_to_json(e: &EpochStats) -> Json {
+    Json::Obj(
+        EPOCH_COLUMNS
+            .iter()
+            .map(|(name, get)| ((*name).to_string(), Json::from(get(e))))
+            .collect(),
+    )
+}
+
+fn epoch_from_json(j: &Json) -> Option<EpochStats> {
+    let mut e = EpochStats::default();
+    let mut fields: [(&str, &mut u64); 14] = [
+        ("cycle", &mut e.cycle),
+        ("translation_requests", &mut e.translation_requests),
+        ("l1_hits", &mut e.l1_hits),
+        ("l1_misses", &mut e.l1_misses),
+        ("l2_hits", &mut e.l2_hits),
+        ("l2_misses", &mut e.l2_misses),
+        ("lds_tx_hits", &mut e.lds_tx_hits),
+        ("lds_tx_misses", &mut e.lds_tx_misses),
+        ("ic_tx_hits", &mut e.ic_tx_hits),
+        ("ic_tx_misses", &mut e.ic_tx_misses),
+        ("page_walks", &mut e.page_walks),
+        ("instructions", &mut e.instructions),
+        ("dram_accesses", &mut e.dram_accesses),
+        ("resident_tx", &mut e.resident_tx),
+    ];
+    for (name, slot) in fields.iter_mut() {
+        **slot = j.get(name)?.as_u64()?;
+    }
+    Some(e)
+}
+
+/// Serializes one run's full statistics (including the epoch series)
+/// as a JSON object. Field order matches the struct declaration so
+/// exported files diff cleanly.
+pub fn run_stats_to_json(s: &RunStats) -> Json {
+    Json::Obj(vec![
+        ("schema_version".into(), Json::from(STATS_SCHEMA_VERSION)),
+        ("app".into(), Json::from(s.app.as_str())),
+        ("total_cycles".into(), Json::from(s.total_cycles)),
+        ("instructions".into(), Json::from(s.instructions)),
+        ("thread_instructions".into(), Json::from(s.thread_instructions)),
+        ("translation_requests".into(), Json::from(s.translation_requests)),
+        ("l1_tlb".into(), hit_miss_to_json(&s.l1_tlb)),
+        ("l2_tlb".into(), hit_miss_to_json(&s.l2_tlb)),
+        ("lds_tx".into(), hit_miss_to_json(&s.lds_tx)),
+        ("ic_tx".into(), hit_miss_to_json(&s.ic_tx)),
+        ("inst_fetch".into(), hit_miss_to_json(&s.inst_fetch)),
+        ("page_walks".into(), Json::from(s.page_walks)),
+        ("pte_accesses".into(), Json::from(s.pte_accesses)),
+        ("dev_l1_tlb".into(), hit_miss_to_json(&s.dev_l1_tlb)),
+        ("dev_l2_tlb".into(), hit_miss_to_json(&s.dev_l2_tlb)),
+        ("pwc_pmd".into(), hit_miss_to_json(&s.pwc_pmd)),
+        ("dram_accesses".into(), Json::from(s.dram_accesses)),
+        ("dram_energy_nj".into(), Json::from(s.dram_energy_nj)),
+        ("peak_tx_entries".into(), Json::from(s.peak_tx_entries)),
+        ("tx_shared_fraction".into(), Json::from(s.tx_shared_fraction)),
+        ("ptw_pki".into(), Json::from(s.ptw_pki())),
+        ("kernels".into(), Json::Arr(s.kernels.iter().map(kernel_to_json).collect())),
+        ("lds_request_summary".into(), summary_to_json(&s.lds_request_summary)),
+        ("lds_idle_summary".into(), summary_to_json(&s.lds_idle_summary)),
+        ("icache_idle_summary".into(), summary_to_json(&s.icache_idle_summary)),
+        (
+            "icache_utilization_summary".into(),
+            summary_to_json(&s.icache_utilization_summary),
+        ),
+        ("epoch_len".into(), Json::from(s.epoch_len)),
+        ("epochs".into(), Json::Arr(s.epochs.iter().map(epoch_to_json).collect())),
+    ])
+}
+
+/// [`run_stats_to_json`] rendered as a pretty-printed string with a
+/// trailing newline (the exact bytes `--stats-out` writes).
+pub fn run_stats_to_json_string(s: &RunStats) -> String {
+    let mut out = run_stats_to_json(s).to_string();
+    out.push('\n');
+    out
+}
+
+/// Parses a JSON tree written by [`run_stats_to_json`]. Returns `None`
+/// when any field is missing or has the wrong type. Derived fields
+/// (`ptw_pki`, `schema_version`) are validated for presence but
+/// recomputed from source counters, so they cannot drift.
+pub fn run_stats_from_json(j: &Json) -> Option<RunStats> {
+    j.get("schema_version")?.as_u64()?;
+    j.get("ptw_pki")?.as_f64()?;
+    Some(RunStats {
+        app: j.get("app")?.as_str()?.to_string(),
+        total_cycles: j.get("total_cycles")?.as_u64()?,
+        instructions: j.get("instructions")?.as_u64()?,
+        thread_instructions: j.get("thread_instructions")?.as_u64()?,
+        translation_requests: j.get("translation_requests")?.as_u64()?,
+        l1_tlb: hit_miss_from_json(j.get("l1_tlb")?)?,
+        l2_tlb: hit_miss_from_json(j.get("l2_tlb")?)?,
+        lds_tx: hit_miss_from_json(j.get("lds_tx")?)?,
+        ic_tx: hit_miss_from_json(j.get("ic_tx")?)?,
+        inst_fetch: hit_miss_from_json(j.get("inst_fetch")?)?,
+        page_walks: j.get("page_walks")?.as_u64()?,
+        pte_accesses: j.get("pte_accesses")?.as_u64()?,
+        dev_l1_tlb: hit_miss_from_json(j.get("dev_l1_tlb")?)?,
+        dev_l2_tlb: hit_miss_from_json(j.get("dev_l2_tlb")?)?,
+        pwc_pmd: hit_miss_from_json(j.get("pwc_pmd")?)?,
+        dram_accesses: j.get("dram_accesses")?.as_u64()?,
+        dram_energy_nj: j.get("dram_energy_nj")?.as_f64()?,
+        peak_tx_entries: j.get("peak_tx_entries")?.as_u64()? as usize,
+        tx_shared_fraction: j.get("tx_shared_fraction")?.as_f64()?,
+        kernels: j
+            .get("kernels")?
+            .as_arr()?
+            .iter()
+            .map(kernel_from_json)
+            .collect::<Option<Vec<_>>>()?,
+        lds_request_summary: summary_from_json(j.get("lds_request_summary")?)?,
+        lds_idle_summary: summary_from_json(j.get("lds_idle_summary")?)?,
+        icache_idle_summary: summary_from_json(j.get("icache_idle_summary")?)?,
+        icache_utilization_summary: summary_from_json(j.get("icache_utilization_summary")?)?,
+        epoch_len: j.get("epoch_len")?.as_u64()?,
+        epochs: j
+            .get("epochs")?
+            .as_arr()?
+            .iter()
+            .map(epoch_from_json)
+            .collect::<Option<Vec<_>>>()?,
+    })
+}
+
+/// The epoch series as CSV: a header row of the column names, then one
+/// row per snapshot (cumulative counters; see [`EpochStats`]).
+pub fn epochs_to_csv(epochs: &[EpochStats]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let header: Vec<&str> = EPOCH_COLUMNS.iter().map(|(n, _)| *n).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for e in epochs {
+        for (i, (_, get)) in EPOCH_COLUMNS.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", get(e));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses CSV written by [`epochs_to_csv`]. Returns `None` on a
+/// missing/reordered header or malformed row.
+pub fn epochs_from_csv(text: &str) -> Option<Vec<EpochStats>> {
+    let mut lines = text.lines();
+    let header: Vec<&str> = lines.next()?.split(',').collect();
+    let expected: Vec<&str> = EPOCH_COLUMNS.iter().map(|(n, _)| *n).collect();
+    if header != expected {
+        return None;
+    }
+    let mut out = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let values: Vec<u64> = line
+            .split(',')
+            .map(|v| v.parse::<u64>().ok())
+            .collect::<Option<Vec<_>>>()?;
+        if values.len() != EPOCH_COLUMNS.len() {
+            return None;
+        }
+        out.push(EpochStats {
+            cycle: values[0],
+            translation_requests: values[1],
+            l1_hits: values[2],
+            l1_misses: values[3],
+            l2_hits: values[4],
+            l2_misses: values[5],
+            lds_tx_hits: values[6],
+            lds_tx_misses: values[7],
+            ic_tx_hits: values[8],
+            ic_tx_misses: values[9],
+            page_walks: values[10],
+            instructions: values[11],
+            dram_accesses: values[12],
+            resident_tx: values[13],
+        });
+    }
+    Some(out)
+}
+
+/// One flat CSV row per run: the headline counters every figure's
+/// table is built from (no nested kernels/epochs — those have their
+/// own encodings).
+pub fn runs_to_csv(runs: &[&RunStats]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from(
+        "app,total_cycles,instructions,thread_instructions,translation_requests,\
+         l1_hits,l1_misses,l2_hits,l2_misses,lds_tx_hits,ic_tx_hits,page_walks,\
+         dram_accesses,dram_energy_nj,peak_tx_entries,ptw_pki\n",
+    );
+    for s in runs {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            s.app,
+            s.total_cycles,
+            s.instructions,
+            s.thread_instructions,
+            s.translation_requests,
+            s.l1_tlb.hits,
+            s.l1_tlb.misses,
+            s.l2_tlb.hits,
+            s.l2_tlb.misses,
+            s.lds_tx.hits,
+            s.ic_tx.hits,
+            s.page_walks,
+            s.dram_accesses,
+            s.dram_energy_nj,
+            s.peak_tx_entries,
+            s.ptw_pki(),
+        );
+    }
+    out
+}
+
+/// Validates the invariants an exported stats document must satisfy
+/// beyond parsing: epoch counters monotone in time order, and the
+/// final epoch snapshot equal to the run totals. Returns a list of
+/// human-readable violations (empty = valid).
+pub fn check_epoch_invariants(s: &RunStats) -> Vec<String> {
+    let mut problems = Vec::new();
+    for (i, pair) in s.epochs.windows(2).enumerate() {
+        if !pair[1].monotone_from(&pair[0]) {
+            problems.push(format!("epoch {} not monotone from epoch {}", i + 1, i));
+        }
+    }
+    if let Some(last) = s.epochs.last() {
+        let checks: [(&str, u64, u64); 9] = [
+            ("cycle", last.cycle, s.total_cycles),
+            ("translation_requests", last.translation_requests, s.translation_requests),
+            ("l1_hits", last.l1_hits, s.l1_tlb.hits),
+            ("l1_misses", last.l1_misses, s.l1_tlb.misses),
+            ("l2_hits", last.l2_hits, s.l2_tlb.hits),
+            ("lds_tx_hits", last.lds_tx_hits, s.lds_tx.hits),
+            ("ic_tx_hits", last.ic_tx_hits, s.ic_tx.hits),
+            ("page_walks", last.page_walks, s.page_walks),
+            ("dram_accesses", last.dram_accesses, s.dram_accesses),
+        ];
+        for (name, epoch_v, total_v) in checks {
+            if epoch_v != total_v {
+                problems.push(format!(
+                    "final epoch {name}={epoch_v} != run total {total_v}"
+                ));
+            }
+        }
+    } else if s.epoch_len != 0 {
+        problems.push("epoch_len set but no epochs recorded".into());
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> RunStats {
+        RunStats {
+            app: "GUPS".into(),
+            total_cycles: 3_977_625,
+            instructions: 10_000,
+            thread_instructions: 640_000,
+            translation_requests: 5_000,
+            l1_tlb: HitMiss { hits: 3_000, misses: 2_000 },
+            l2_tlb: HitMiss { hits: 700, misses: 1_300 },
+            lds_tx: HitMiss { hits: 200, misses: 1_800 },
+            ic_tx: HitMiss { hits: 100, misses: 1_700 },
+            inst_fetch: HitMiss { hits: 9_000, misses: 1_000 },
+            page_walks: 1_300,
+            pte_accesses: 4_100,
+            dev_l1_tlb: HitMiss { hits: 1, misses: 2 },
+            dev_l2_tlb: HitMiss { hits: 3, misses: 4 },
+            pwc_pmd: HitMiss { hits: 5, misses: 6 },
+            dram_accesses: 7_777,
+            dram_energy_nj: 123.456789,
+            peak_tx_entries: 321,
+            tx_shared_fraction: 0.25,
+            kernels: vec![KernelStats {
+                name: "k \"0\"".into(),
+                cycles: 99,
+                instructions: 12,
+                page_walks: 3,
+                icache_utilization_pct: 33.75,
+                lds_bytes_per_wg: 4096,
+            }],
+            lds_request_summary: FiveNumberSummary {
+                min: 0.0,
+                q1: 1.0,
+                median: 2.5,
+                q3: 3.0,
+                max: 4.0,
+            },
+            epoch_len: 1_000,
+            epochs: vec![
+                EpochStats { cycle: 1_000, translation_requests: 100, ..Default::default() },
+                EpochStats {
+                    cycle: 3_977_625,
+                    translation_requests: 5_000,
+                    l1_hits: 3_000,
+                    l1_misses: 2_000,
+                    l2_hits: 700,
+                    l2_misses: 1_300,
+                    lds_tx_hits: 200,
+                    lds_tx_misses: 1_800,
+                    ic_tx_hits: 100,
+                    ic_tx_misses: 1_700,
+                    page_walks: 1_300,
+                    instructions: 10_000,
+                    dram_accesses: 7_777,
+                    resident_tx: 42,
+                },
+            ],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let s = sample_stats();
+        let text = run_stats_to_json_string(&s);
+        let parsed = Json::parse(&text).expect("well-formed JSON");
+        let back = run_stats_from_json(&parsed).expect("schema-complete");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn json_missing_field_rejected() {
+        let s = sample_stats();
+        let Json::Obj(mut fields) = run_stats_to_json(&s) else { panic!("object") };
+        fields.retain(|(k, _)| k != "page_walks");
+        assert!(run_stats_from_json(&Json::Obj(fields)).is_none());
+    }
+
+    #[test]
+    fn epochs_csv_round_trip_is_exact() {
+        let s = sample_stats();
+        let csv = epochs_to_csv(&s.epochs);
+        let back = epochs_from_csv(&csv).expect("well-formed CSV");
+        assert_eq!(back, s.epochs);
+    }
+
+    #[test]
+    fn epochs_csv_rejects_wrong_header() {
+        assert!(epochs_from_csv("bogus,header\n1,2\n").is_none());
+        assert!(epochs_from_csv("").is_none());
+    }
+
+    #[test]
+    fn runs_csv_has_row_per_run_and_header() {
+        let s = sample_stats();
+        let csv = runs_to_csv(&[&s, &s]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("app,total_cycles"));
+        assert!(lines[1].starts_with("GUPS,3977625,"));
+    }
+
+    #[test]
+    fn epoch_invariants_catch_violations() {
+        let mut s = sample_stats();
+        assert!(check_epoch_invariants(&s).is_empty(), "sample is valid");
+        s.epochs[0].translation_requests = 9_999_999; // breaks monotonicity
+        assert!(!check_epoch_invariants(&s).is_empty());
+        let mut s2 = sample_stats();
+        s2.epochs.last_mut().unwrap().page_walks += 1; // breaks final == totals
+        assert!(!check_epoch_invariants(&s2).is_empty());
+        let mut s3 = sample_stats();
+        s3.epochs.clear(); // epoch_len set but no samples
+        assert!(!check_epoch_invariants(&s3).is_empty());
+    }
+}

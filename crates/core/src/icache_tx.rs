@@ -247,14 +247,18 @@ impl TxIcache {
     }
 
     /// Invalidates all instruction lines (§4.3.3 kernel-boundary
-    /// flush); Tx lines are untouched.
-    pub fn flush_instructions(&mut self) {
+    /// flush); Tx lines are untouched. Returns the number of
+    /// instruction lines invalidated.
+    pub fn flush_instructions(&mut self) -> u64 {
+        let mut flushed = 0;
         for line in &mut self.lines {
             if matches!(line.state, LineState::Inst { .. }) {
                 line.state = LineState::Invalid;
-                self.stats.flushed_lines += 1;
+                flushed += 1;
             }
         }
+        self.stats.flushed_lines += flushed;
+        flushed
     }
 
     // ----- translation side -------------------------------------------------

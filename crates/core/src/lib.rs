@@ -47,6 +47,7 @@
 pub mod compress;
 pub mod config;
 pub mod driver;
+pub mod export;
 pub mod icache_tx;
 pub mod lds_tx;
 pub mod stats;

@@ -3,7 +3,7 @@
 use gtr_sim::stats::{FiveNumberSummary, HitMiss, Sampler};
 
 /// Per-kernel measurement record (Figs 5a and 11).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelStats {
     /// Kernel name.
     pub name: String,
@@ -19,8 +19,94 @@ pub struct KernelStats {
     pub lds_bytes_per_wg: u32,
 }
 
+/// One time-series sample of the system's cumulative counters.
+///
+/// The epoch sampler (enabled via `System::with_epochs`) records one
+/// snapshot roughly every `epoch_len` cycles plus one final snapshot
+/// at run end, turning end-of-run aggregates into the time-resolved
+/// curves the paper plots (Fig 5's per-instance I-cache utilization,
+/// Fig 15's translation-residency ramp). All fields except
+/// [`EpochStats::resident_tx`] are *cumulative* since the start of the
+/// run — per-epoch rates are the deltas between consecutive samples
+/// ([`EpochStats::delta`]) — so the final sample always equals the
+/// run's [`RunStats`] totals.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpochStats {
+    /// Simulation cycle at which the snapshot was taken.
+    pub cycle: u64,
+    /// Translation requests issued to the L1 TLBs so far.
+    pub translation_requests: u64,
+    /// L1 TLB hits, summed over CUs.
+    pub l1_hits: u64,
+    /// L1 TLB misses, summed over CUs.
+    pub l1_misses: u64,
+    /// L2 TLB hits.
+    pub l2_hits: u64,
+    /// L2 TLB misses.
+    pub l2_misses: u64,
+    /// Reconfigurable-LDS lookup hits, summed over CUs (§4.2).
+    pub lds_tx_hits: u64,
+    /// Reconfigurable-LDS lookup misses, summed over CUs.
+    pub lds_tx_misses: u64,
+    /// Reconfigurable-I-cache lookup hits (§4.3).
+    pub ic_tx_hits: u64,
+    /// Reconfigurable-I-cache lookup misses.
+    pub ic_tx_misses: u64,
+    /// IOMMU page walks completed.
+    pub page_walks: u64,
+    /// Wavefront ops executed.
+    pub instructions: u64,
+    /// DRAM reads + writes.
+    pub dram_accesses: u64,
+    /// Translations resident in LDS + I-cache at the sample instant —
+    /// a gauge, not a cumulative counter (Fig 15's curve).
+    pub resident_tx: u64,
+}
+
+impl EpochStats {
+    /// Per-epoch activity: every cumulative counter as the difference
+    /// from `prev`; `cycle` and the `resident_tx` gauge keep `self`'s
+    /// values.
+    pub fn delta(&self, prev: &EpochStats) -> EpochStats {
+        EpochStats {
+            cycle: self.cycle,
+            translation_requests: self.translation_requests - prev.translation_requests,
+            l1_hits: self.l1_hits - prev.l1_hits,
+            l1_misses: self.l1_misses - prev.l1_misses,
+            l2_hits: self.l2_hits - prev.l2_hits,
+            l2_misses: self.l2_misses - prev.l2_misses,
+            lds_tx_hits: self.lds_tx_hits - prev.lds_tx_hits,
+            lds_tx_misses: self.lds_tx_misses - prev.lds_tx_misses,
+            ic_tx_hits: self.ic_tx_hits - prev.ic_tx_hits,
+            ic_tx_misses: self.ic_tx_misses - prev.ic_tx_misses,
+            page_walks: self.page_walks - prev.page_walks,
+            instructions: self.instructions - prev.instructions,
+            dram_accesses: self.dram_accesses - prev.dram_accesses,
+            resident_tx: self.resident_tx,
+        }
+    }
+
+    /// Whether every cumulative counter (and the clock) is ≥ `prev`'s —
+    /// the invariant the sampler maintains between consecutive samples.
+    pub fn monotone_from(&self, prev: &EpochStats) -> bool {
+        self.cycle >= prev.cycle
+            && self.translation_requests >= prev.translation_requests
+            && self.l1_hits >= prev.l1_hits
+            && self.l1_misses >= prev.l1_misses
+            && self.l2_hits >= prev.l2_hits
+            && self.l2_misses >= prev.l2_misses
+            && self.lds_tx_hits >= prev.lds_tx_hits
+            && self.lds_tx_misses >= prev.lds_tx_misses
+            && self.ic_tx_hits >= prev.ic_tx_hits
+            && self.ic_tx_misses >= prev.ic_tx_misses
+            && self.page_walks >= prev.page_walks
+            && self.instructions >= prev.instructions
+            && self.dram_accesses >= prev.dram_accesses
+    }
+}
+
 /// Everything measured over one application run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Application name.
     pub app: String,
@@ -73,6 +159,12 @@ pub struct RunStats {
     pub icache_idle_summary: FiveNumberSummary,
     /// Distribution of per-kernel I-cache utilization (Fig 5a).
     pub icache_utilization_summary: FiveNumberSummary,
+    /// Epoch-sampler period in cycles; 0 when sampling was disabled.
+    pub epoch_len: u64,
+    /// Cumulative counter snapshots in time order (empty unless the
+    /// run was started with `System::with_epochs`). The last entry
+    /// always matches this struct's end-of-run totals.
+    pub epochs: Vec<EpochStats>,
 }
 
 impl RunStats {
@@ -179,6 +271,38 @@ mod tests {
         assert_eq!(AppCategory::High.to_string(), "H");
         assert_eq!(AppCategory::Medium.to_string(), "M");
         assert_eq!(AppCategory::Low.to_string(), "L");
+    }
+
+    #[test]
+    fn epoch_delta_and_monotonicity() {
+        let a = EpochStats {
+            cycle: 100,
+            translation_requests: 10,
+            l1_hits: 6,
+            l1_misses: 4,
+            page_walks: 2,
+            instructions: 50,
+            resident_tx: 3,
+            ..Default::default()
+        };
+        let b = EpochStats {
+            cycle: 200,
+            translation_requests: 25,
+            l1_hits: 18,
+            l1_misses: 7,
+            page_walks: 2,
+            instructions: 90,
+            resident_tx: 1,
+            ..Default::default()
+        };
+        assert!(b.monotone_from(&a));
+        assert!(!a.monotone_from(&b));
+        let d = b.delta(&a);
+        assert_eq!(d.translation_requests, 15);
+        assert_eq!(d.l1_hits, 12);
+        assert_eq!(d.page_walks, 0);
+        assert_eq!(d.cycle, 200, "delta keeps the end cycle");
+        assert_eq!(d.resident_tx, 1, "gauge is not differenced");
     }
 
     #[test]

@@ -41,6 +41,7 @@ use gtr_sim::event::EventQueue;
 use gtr_sim::fastmap::FastMap;
 use gtr_sim::resource::{Pipeline, Server, Timeline, TrackedPort};
 use gtr_sim::stats::Sampler;
+use gtr_sim::trace::{NullSink, TraceEvent, TracePath, TraceSink, TxStructure};
 use gtr_sim::Cycle;
 use gtr_vm::addr::{Ppn, Translation, TranslationKey, VirtAddr, Vpn};
 use gtr_vm::coalescer::CoalescedAccess;
@@ -53,7 +54,7 @@ use crate::config::ReachConfig;
 use crate::driver::{DriverSchedule, ShootdownReport};
 use crate::icache_tx::TxIcache;
 use crate::lds_tx::TxLds;
-use crate::stats::{KernelStats, RunStats};
+use crate::stats::{EpochStats, KernelStats, RunStats};
 use crate::victim;
 
 /// Physical region instruction code occupies (disjoint from data
@@ -173,6 +174,18 @@ pub struct System {
     /// and per-page completion times never reallocate.
     scratch_coalesced: CoalescedAccess,
     scratch_page_done: Vec<(Vpn, Cycle, Ppn)>,
+    // observability
+    /// Structured-event sink ([`NullSink`] unless [`Self::with_trace`]
+    /// attached a real one).
+    trace: Box<dyn TraceSink>,
+    /// Cached `trace.enabled()` so every hot-path emission site is one
+    /// predictable branch on a plain bool, not a virtual call.
+    trace_on: bool,
+    /// Epoch sampling period in cycles; 0 disables the sampler.
+    epoch_len: Cycle,
+    /// First cycle at or after which the next epoch snapshot fires.
+    next_epoch: Cycle,
+    epochs: Vec<EpochStats>,
 }
 
 impl System {
@@ -242,9 +255,36 @@ impl System {
             next_code_line: CODE_PHYS_BASE_LINE,
             scratch_coalesced: CoalescedAccess::default(),
             scratch_page_done: Vec::with_capacity(64),
+            trace: Box::new(NullSink),
+            trace_on: false,
+            epoch_len: 0,
+            next_epoch: 0,
+            epochs: Vec::new(),
             gpu,
             reach,
         }
+    }
+
+    /// Attaches a structured-event [`TraceSink`]. The sink's
+    /// `enabled()` answer is cached once here: a disabled sink (e.g.
+    /// [`NullSink`]) keeps the simulation loop allocation- and
+    /// formatting-free, bit-for-bit identical to an untraced run.
+    pub fn with_trace(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace_on = sink.enabled();
+        self.trace = sink;
+        self
+    }
+
+    /// Enables the epoch sampler: cumulative counter snapshots (an
+    /// [`EpochStats`] each) are taken every `epoch_len` cycles of
+    /// simulated time and returned in [`RunStats::epochs`]. A final
+    /// snapshot is always taken at the end of the run, so the last
+    /// epoch equals the run totals. `0` disables sampling (the
+    /// default).
+    pub fn with_epochs(mut self, epoch_len: Cycle) -> Self {
+        self.epoch_len = epoch_len;
+        self.next_epoch = epoch_len;
+        self
     }
 
     /// Attaches a side translation cache (DUCATI).
@@ -330,6 +370,8 @@ impl System {
             icaches,
             iommu,
             translation_requests,
+            trace,
+            trace_on,
             ..
         } = self;
         let events = driver.events();
@@ -349,24 +391,41 @@ impl System {
                     vmid: *vmid,
                     vrf: gtr_vm::addr::VrfId::default(),
                 };
+                let mut l1_hits = 0u32;
+                let mut lds_hits = 0u32;
                 for cu in cus.iter_mut() {
                     if cu.l1_tlb.invalidate(key) {
-                        shootdown_report.l1_hits += 1;
+                        l1_hits += 1;
                     }
                     if cu.tx_lds.shootdown(key) {
-                        shootdown_report.lds_hits += 1;
+                        lds_hits += 1;
                     }
                     cu.pending.remove(key);
                 }
-                if l2_tlb.invalidate(key) {
+                shootdown_report.l1_hits += l1_hits as u64;
+                shootdown_report.lds_hits += lds_hits as u64;
+                let l2_hit = l2_tlb.invalidate(key);
+                if l2_hit {
                     shootdown_report.l2_hits += 1;
                 }
+                let mut ic_hits = 0u32;
                 for ic in icaches.iter_mut() {
                     if ic.shootdown(key) {
-                        shootdown_report.ic_hits += 1;
+                        ic_hits += 1;
                     }
                 }
+                shootdown_report.ic_hits += ic_hits as u64;
                 iommu.invalidate(key);
+                if *trace_on {
+                    trace.emit(&TraceEvent::Shootdown {
+                        vpn: vpn.0,
+                        vmid: vmid.raw(),
+                        l1: l1_hits,
+                        l2: l2_hit,
+                        lds: lds_hits,
+                        ic: ic_hits,
+                    });
+                }
             }
         }
     }
@@ -399,7 +458,7 @@ impl System {
         let mut t: Cycle = 0;
         let mut kernels_out: Vec<KernelStats> = Vec::with_capacity(app.kernels().len());
         let mut prev_kernel: Option<&str> = None;
-        for kernel in app.kernels() {
+        for (k_idx, kernel) in app.kernels().iter().enumerate() {
             let walks_before = self.iommu.walks();
             let insts_before = self.instructions;
             for ic in &mut self.icaches {
@@ -409,11 +468,32 @@ impl System {
                 && self.reach.icache_enabled
                 && prev_kernel != Some(kernel.name())
             {
-                for ic in &mut self.icaches {
-                    ic.flush_instructions();
+                for (ic_idx, ic) in self.icaches.iter_mut().enumerate() {
+                    let lines = ic.flush_instructions();
+                    if self.trace_on {
+                        self.trace.emit(&TraceEvent::KernelFlush {
+                            cycle: t,
+                            icache: ic_idx as u32,
+                            lines,
+                        });
+                    }
                 }
             }
+            if self.trace_on {
+                self.trace.emit(&TraceEvent::KernelBegin {
+                    cycle: t,
+                    index: k_idx as u32,
+                    name: kernel.name().to_string(),
+                });
+            }
             let end = self.run_kernel(t, kernel);
+            if self.trace_on {
+                self.trace.emit(&TraceEvent::KernelEnd {
+                    cycle: end,
+                    index: k_idx as u32,
+                    name: kernel.name().to_string(),
+                });
+            }
             let util = self
                 .icaches
                 .iter()
@@ -493,6 +573,14 @@ impl System {
                 });
                 if let Some((base, size)) = lds_block {
                     s.cus[p.cu].tx_lds.on_app_allocate(base, size);
+                    if s.trace_on {
+                        s.trace.emit(&TraceEvent::LdsMode {
+                            cu: p.cu as u32,
+                            base,
+                            size,
+                            to_app: true,
+                        });
+                    }
                 }
                 // Dispatch-time code warm-up: the command processor
                 // prefetches the kernel's first lines into the group's
@@ -537,6 +625,9 @@ impl System {
 
         let mut lane_buf: Vec<VirtAddr> = Vec::with_capacity(self.gpu.threads_per_wave);
         while let Some((now, wave_id)) = events.pop() {
+            if self.epoch_len > 0 && now >= self.next_epoch {
+                self.snapshot_epoch(now);
+            }
             let finished =
                 self.step_wave(now, wave_id, kernel, code_base, &mut waves, &mut wgs, &mut events, &mut lane_buf);
             if let Some(done_at) = finished {
@@ -547,6 +638,14 @@ impl System {
                 if wg.waves_done == wg.waves_total {
                     if let Some((base, size)) = wg.lds_block {
                         self.cus[wg.placement.cu].tx_lds.on_app_release(base, size);
+                        if self.trace_on {
+                            self.trace.emit(&TraceEvent::LdsMode {
+                                cu: wg.placement.cu as u32,
+                                base,
+                                size,
+                                to_app: false,
+                            });
+                        }
                     }
                     let placement = wg.placement;
                     let total = wg.waves_total;
@@ -773,6 +872,16 @@ impl System {
         self.tx_latency_max = self.tx_latency_max.max(lat);
         self.path_stats[path].0 += 1;
         self.path_stats[path].1 += lat;
+        if self.trace_on {
+            self.trace.emit(&TraceEvent::Translation {
+                cycle: now,
+                cu: cu_idx as u32,
+                vpn: key.vpn.0,
+                vmid: key.vmid.raw(),
+                path: TracePath::ALL[path],
+                latency: lat,
+            });
+        }
         (done, ppn)
     }
 
@@ -796,6 +905,8 @@ impl System {
             vpn_cus,
             peak_tx_entries,
             sample_countdown,
+            trace,
+            trace_on,
             ..
         } = self;
         *translation_requests += 1;
@@ -845,7 +956,8 @@ impl System {
                 let port_done = cus[home].lds_port.access(t + remote, occupancy);
                 t = port_done - occupancy + reach.lds_tx_lookup_latency() + remote;
                 if let Some(tx) = cus[home].tx_lds.lookup(key) {
-                    Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx);
+                    let sink = Self::sink_opt(trace, *trace_on);
+                    Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, sink);
                     cus[cu_idx].pending.insert(key, (t, tx.ppn));
                     return (t, tx.ppn, 2);
                 }
@@ -861,7 +973,8 @@ impl System {
                 let port_done = ic.port_mut().access(t, occupancy);
                 t = port_done - occupancy + reach.ic_tx_lookup_latency();
                 if let Some(tx) = ic.lookup_tx(key) {
-                    Self::promote(reach, cus, cu_idx, ic, l2_tlb, tx);
+                    let sink = Self::sink_opt(trace, *trace_on);
+                    Self::promote(reach, cus, cu_idx, ic, l2_tlb, tx, sink);
                     cus[cu_idx].pending.insert(key, (t, tx.ppn));
                     return (t, tx.ppn, 3);
                 }
@@ -878,12 +991,14 @@ impl System {
                 .expect("footprint is demand-mapped before translation");
             let tx = Translation::new(key, ppn);
             l2_tlb.lookup(key); // count the access
-            Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx);
+            let sink = Self::sink_opt(trace, *trace_on);
+            Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, sink);
             cus[cu_idx].pending.insert(key, (t, ppn));
             return (t, ppn, 4);
         }
         if let Some(tx) = l2_tlb.lookup(key) {
-            Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx);
+            let sink = Self::sink_opt(trace, *trace_on);
+            Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, sink);
             cus[cu_idx].pending.insert(key, (t, tx.ppn));
             return (t, tx.ppn, 4);
         }
@@ -894,7 +1009,8 @@ impl System {
                 if let Some(l2_victim) = l2_tlb.insert(tx) {
                     sc.fill(done, l2_victim, mem);
                 }
-                Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx);
+                let sink = Self::sink_opt(trace, *trace_on);
+                Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, sink);
                 cus[cu_idx].pending.insert(key, (done, ppn));
                 return (done, ppn, 4);
             }
@@ -923,23 +1039,36 @@ impl System {
                 let nkey = TranslationKey { vpn: Vpn(key.vpn.0 + ahead), ..key };
                 if let Some(ppn) = page_table.translate(nkey.vpn) {
                     let home = Self::lds_home(reach, cus.len(), nkey, cu_idx);
-                    victim::fill_l1_victim(
+                    victim::fill_l1_victim_traced(
                         reach,
                         &mut cus[home].tx_lds,
                         &mut icaches[ic_idx],
                         l2_tlb,
                         Translation::new(nkey, ppn),
+                        Self::sink_opt(trace, *trace_on),
                     );
                 }
             }
         }
-        Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx);
+        let sink = Self::sink_opt(trace, *trace_on);
+        Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, sink);
         cus[cu_idx].pending.insert(key, (t, tx.ppn));
         if cus[cu_idx].pending.len() > 512 {
             let horizon = now;
             cus[cu_idx].pending.retain(|_, (d, _)| *d > horizon);
         }
         (t, tx.ppn, 5)
+    }
+
+    /// Reborrows the trace sink as the `Option` the fill-flow helpers
+    /// take: `None` when tracing is disabled, so callees never pay a
+    /// virtual `enabled()` query per event site.
+    fn sink_opt<'a>(trace: &'a mut Box<dyn TraceSink>, on: bool) -> Option<&'a mut dyn TraceSink> {
+        if on {
+            Some(trace.as_mut())
+        } else {
+            None
+        }
     }
 
     /// Installs `tx` into the CU's L1 TLB and routes the displaced
@@ -953,15 +1082,32 @@ impl System {
         ic: &mut TxIcache,
         l2: &mut Tlb,
         tx: Translation,
+        sink: Option<&mut dyn TraceSink>,
     ) {
         if let Some(victim) = cus[cu_idx].l1_tlb.insert(tx) {
             match reach.fill_policy {
                 crate::config::TxFillPolicy::VictimCache => {
                     let home = Self::lds_home(reach, cus.len(), victim.key, cu_idx);
-                    victim::fill_l1_victim(reach, &mut cus[home].tx_lds, ic, l2, victim);
+                    victim::fill_l1_victim_traced(
+                        reach,
+                        &mut cus[home].tx_lds,
+                        ic,
+                        l2,
+                        victim,
+                        sink,
+                    );
                 }
                 crate::config::TxFillPolicy::PrefetchBuffer => {
-                    l2.insert(victim);
+                    let displaced = l2.insert(victim);
+                    if let Some(s) = sink {
+                        s.emit(&TraceEvent::VictimInsert {
+                            structure: TxStructure::L2Tlb,
+                            vpn: victim.key.vpn.0,
+                            vmid: victim.key.vmid.raw(),
+                            evicted_vpn: displaced.map(|e| e.key.vpn.0),
+                            mode_flip: false,
+                        });
+                    }
                 }
             }
         }
@@ -984,8 +1130,65 @@ impl System {
         self.peak_tx_entries = self.peak_tx_entries.max(resident);
     }
 
+    /// Records one epoch sample at `now` and arms the next period
+    /// boundary. Sparse phases may skip whole periods (the sampler
+    /// fires on the first event at or after a boundary), so epochs are
+    /// spaced *at least* `epoch_len` cycles apart.
+    fn snapshot_epoch(&mut self, now: Cycle) {
+        let snap = self.epoch_snapshot(now);
+        self.epochs.push(snap);
+        self.next_epoch = (now / self.epoch_len + 1) * self.epoch_len;
+    }
+
+    /// A cumulative counter snapshot at `cycle`. Reads the same
+    /// sources `finalize` aggregates into [`RunStats`], so the final
+    /// snapshot (taken at `t_end`) equals the run totals field for
+    /// field — the invariant `export::check_epoch_invariants` gates.
+    fn epoch_snapshot(&self, cycle: Cycle) -> EpochStats {
+        let mut l1 = gtr_sim::stats::HitMiss::new();
+        let mut lds = gtr_sim::stats::HitMiss::new();
+        let mut resident = 0u64;
+        for cu in &self.cus {
+            l1.merge(cu.l1_tlb.stats());
+            lds.merge(cu.tx_lds.stats().lookups);
+            resident += cu.tx_lds.resident() as u64;
+        }
+        let mut ic = gtr_sim::stats::HitMiss::new();
+        for icache in &self.icaches {
+            ic.merge(icache.stats().tx_lookups);
+            resident += icache.resident_tx() as u64;
+        }
+        let l2 = self.l2_tlb.stats();
+        EpochStats {
+            cycle,
+            translation_requests: self.translation_requests,
+            l1_hits: l1.hits,
+            l1_misses: l1.misses,
+            l2_hits: l2.hits,
+            l2_misses: l2.misses,
+            lds_tx_hits: lds.hits,
+            lds_tx_misses: lds.misses,
+            ic_tx_hits: ic.hits,
+            ic_tx_misses: ic.misses,
+            page_walks: self.iommu.walks(),
+            instructions: self.instructions,
+            dram_accesses: self.mem.dram().reads() + self.mem.dram().writes(),
+            resident_tx: resident,
+        }
+    }
+
     fn finalize(&mut self, app: &AppTrace, t_end: Cycle, kernels: Vec<KernelStats>) -> RunStats {
         self.sample_peak_entries();
+        if self.epoch_len > 0 {
+            // The closing snapshot at t_end makes the last epoch equal
+            // the run totals (deduplicated if the final event already
+            // landed exactly on a period boundary).
+            let snap = self.epoch_snapshot(t_end);
+            if self.epochs.last() != Some(&snap) {
+                self.epochs.push(snap);
+            }
+        }
+        self.trace.flush();
         let mut l1 = gtr_sim::stats::HitMiss::new();
         let mut lds_tx = gtr_sim::stats::HitMiss::new();
         let mut lds_req = Sampler::new();
@@ -1045,6 +1248,8 @@ impl System {
             lds_idle_summary: lds_idle.five_number_summary(),
             icache_idle_summary: ic_idle.five_number_summary(),
             icache_utilization_summary: util.five_number_summary(),
+            epoch_len: self.epoch_len,
+            epochs: std::mem::take(&mut self.epochs),
         }
     }
 }

@@ -1,18 +1,21 @@
 //! The translation fill and lookup flows of Figure 12.
 //!
 //! After an L1-TLB miss the reconfigurable structures are probed in
-//! LDS → I-cache order (LDS first: private and closer). On an L1-TLB
-//! eviction the victim tries the LDS segment for its VPN; if that
-//! segment is App-mode (or the LDS itself displaces a translation) the
-//! candidate continues to the direct-mapped I-cache line; whatever
-//! falls out of the I-cache (or bypasses it) lands in the L2 TLB.
+//! LDS (§4.2) → I-cache (§4.3) order (LDS first: private and closer).
+//! On an L1-TLB eviction the victim tries the LDS segment for its VPN;
+//! if that segment is App-mode (or the LDS itself displaces a
+//! translation) the candidate continues to the direct-mapped I-cache
+//! line; whatever falls out of the I-cache (or bypasses it) lands in
+//! the L2 TLB. The `_traced` variant additionally narrates every hop
+//! through a [`TraceSink`].
 
+use gtr_sim::trace::{TraceEvent, TraceSink, TxStructure};
 use gtr_vm::addr::{Translation, TranslationKey};
 use gtr_vm::tlb::Tlb;
 
 use crate::config::ReachConfig;
 use crate::icache_tx::{IcInsert, TxIcache};
-use crate::lds_tx::{LdsInsert, TxLds};
+use crate::lds_tx::{LdsInsert, SegmentMode, TxLds};
 
 /// Which reconfigurable structure produced a victim-cache hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +61,9 @@ pub fn lookup_victim(
 /// Routes an L1-TLB victim through the Fig 12 fill flow, terminating
 /// in the L2 TLB. Returns the number of structures the victim (or a
 /// displaced translation) was written into.
+///
+/// Untraced convenience over [`fill_l1_victim_traced`] — identical
+/// behaviour with tracing permanently off.
 pub fn fill_l1_victim(
     cfg: &ReachConfig,
     lds: &mut TxLds,
@@ -65,35 +71,103 @@ pub fn fill_l1_victim(
     l2_tlb: &mut Tlb,
     victim: Translation,
 ) -> usize {
+    fill_l1_victim_traced(cfg, lds, icache, l2_tlb, victim, None)
+}
+
+/// [`fill_l1_victim`] with an optional [`TraceSink`]: every insert,
+/// displacement and bypass along the ❶→❻ flow is emitted as a
+/// [`TraceEvent::VictimInsert`] / [`TraceEvent::VictimBypass`], with
+/// `mode_flip` marking writes that claimed new Tx capacity (an Idle
+/// LDS segment or a non-Tx I-cache line switching to Tx mode).
+///
+/// Passing `None` compiles to the untraced flow: the pre-insert mode
+/// probes that feed `mode_flip` are themselves gated on the sink, so a
+/// disabled trace costs one branch per structure and nothing else.
+pub fn fill_l1_victim_traced(
+    cfg: &ReachConfig,
+    lds: &mut TxLds,
+    icache: &mut TxIcache,
+    l2_tlb: &mut Tlb,
+    victim: Translation,
+    mut sink: Option<&mut dyn TraceSink>,
+) -> usize {
     let mut writes = 0;
     // ❶→❷: try the LDS segment for this VPN.
     let mut candidate = Some(victim);
     if cfg.lds_enabled {
+        let was_idle =
+            sink.is_some() && lds.segment_mode(victim.key) == SegmentMode::Idle;
         match lds.insert(victim) {
             LdsInsert::Inserted { evicted } => {
                 writes += 1;
+                if let Some(s) = sink.as_deref_mut() {
+                    s.emit(&TraceEvent::VictimInsert {
+                        structure: TxStructure::Lds,
+                        vpn: victim.key.vpn.0,
+                        vmid: victim.key.vmid.raw(),
+                        evicted_vpn: evicted.map(|e| e.key.vpn.0),
+                        mode_flip: was_idle,
+                    });
+                }
                 candidate = evicted; // ❹: LDS victim continues onward
             }
-            LdsInsert::Bypassed => candidate = Some(victim), // ❸
+            LdsInsert::Bypassed => {
+                if let Some(s) = sink.as_deref_mut() {
+                    s.emit(&TraceEvent::VictimBypass {
+                        structure: TxStructure::Lds,
+                        vpn: victim.key.vpn.0,
+                        vmid: victim.key.vmid.raw(),
+                    });
+                }
+                candidate = Some(victim); // ❸
+            }
         }
     }
     // ❺: the surviving candidate tries its direct-mapped I-cache line.
     let Some(cand) = candidate else { return writes };
     let mut to_l2 = Some(cand);
     if cfg.icache_enabled {
+        let was_tx = sink.is_none() || icache.is_tx_line(cand.key);
         match icache.insert_tx(cand) {
             IcInsert::Inserted { evicted } => {
                 writes += 1;
+                if let Some(s) = sink.as_deref_mut() {
+                    s.emit(&TraceEvent::VictimInsert {
+                        structure: TxStructure::Icache,
+                        vpn: cand.key.vpn.0,
+                        vmid: cand.key.vmid.raw(),
+                        evicted_vpn: evicted.map(|e| e.key.vpn.0),
+                        mode_flip: !was_tx,
+                    });
+                }
                 to_l2 = evicted; // ❻: I-cache victim falls to the L2 TLB
             }
-            IcInsert::Bypassed => to_l2 = Some(cand),
+            IcInsert::Bypassed => {
+                if let Some(s) = sink.as_deref_mut() {
+                    s.emit(&TraceEvent::VictimBypass {
+                        structure: TxStructure::Icache,
+                        vpn: cand.key.vpn.0,
+                        vmid: cand.key.vmid.raw(),
+                    });
+                }
+                to_l2 = Some(cand);
+            }
         }
     }
     // ❻: terminate in the L2 TLB (its own victim is simply dropped —
     // there is nothing below it but the page tables).
     if let Some(t) = to_l2 {
-        l2_tlb.insert(t);
+        let displaced = l2_tlb.insert(t);
         writes += 1;
+        if let Some(s) = sink.as_deref_mut() {
+            s.emit(&TraceEvent::VictimInsert {
+                structure: TxStructure::L2Tlb,
+                vpn: t.key.vpn.0,
+                vmid: t.key.vmid.raw(),
+                evicted_vpn: displaced.map(|e| e.key.vpn.0),
+                mode_flip: false,
+            });
+        }
     }
     writes
 }

@@ -24,7 +24,11 @@
 //!   samplers and geometric-mean helpers used by the experiment
 //!   harnesses,
 //! * [`rng`] — a tiny seeded `SplitMix64` generator so that core
-//!   simulation code does not need an external RNG dependency.
+//!   simulation code does not need an external RNG dependency,
+//! * [`trace`] — the zero-cost-when-disabled structured-event tracing
+//!   hook ([`trace::TraceSink`], JSONL sink, typed lifecycle events),
+//! * [`json`] — a dependency-free JSON tree/parser backing the JSONL
+//!   trace encoding and the machine-readable stats export.
 //!
 //! # Example
 //!
@@ -43,9 +47,11 @@
 
 pub mod event;
 pub mod fastmap;
+pub mod json;
 pub mod resource;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 /// Simulation time, measured in GPU core cycles.
 pub type Cycle = u64;

@@ -1,0 +1,507 @@
+//! Structured event tracing: a zero-cost-when-disabled observability
+//! hook for the simulation hot path.
+//!
+//! The simulator's aggregate [`crate::stats`] answer *how much*; a
+//! trace answers *when and in what order*. Components emit typed
+//! [`TraceEvent`]s through a [`TraceSink`]; the default [`NullSink`]
+//! reports `enabled() == false`, and every emission site is required
+//! to gate event *construction* behind that flag, so a disabled trace
+//! costs one predictable branch per site — no allocation, no
+//! formatting, no virtual dispatch beyond the initial check.
+//!
+//! `gtr-sim` otherwise contains no GPU- or VM-specific logic; the
+//! event vocabulary is the one deliberate exception. It lives here —
+//! below every crate that emits — because the alternative (a generic
+//! `&dyn Any` event bus) would trade type safety for layering purity
+//! on a workspace-private trait.
+//!
+//! Sinks:
+//!
+//! * [`NullSink`] — disabled; the default everywhere.
+//! * [`JsonlSink`] — one compact JSON object per line (JSON Lines),
+//!   buffered, with a reused serialization buffer.
+//! * [`MemorySink`] — collects events in a `Vec` for tests.
+//!
+//! # Example
+//!
+//! ```
+//! use gtr_sim::trace::{MemorySink, TraceEvent, TracePath, TraceSink};
+//!
+//! let mut sink = MemorySink::new();
+//! if sink.enabled() {
+//!     sink.emit(&TraceEvent::Translation {
+//!         cycle: 100,
+//!         cu: 0,
+//!         vpn: 0x42,
+//!         vmid: 0,
+//!         path: TracePath::Walk,
+//!         latency: 815,
+//!     });
+//! }
+//! assert_eq!(sink.events().len(), 1);
+//! ```
+
+use std::io::Write;
+
+use crate::json::Json;
+use crate::Cycle;
+
+/// How a translation request was resolved (the six outcomes of the
+/// paper's Fig-12 lookup path, in probe order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePath {
+    /// Hit in the CU's L1 TLB.
+    L1Hit,
+    /// Merged with an in-flight miss to the same page.
+    Merged,
+    /// Hit in the reconfigurable LDS (Tx-mode segment).
+    LdsTx,
+    /// Hit in the reconfigurable I-cache (Tx-mode line).
+    IcTx,
+    /// Hit in the L2 TLB (or an attached side cache such as DUCATI).
+    L2Tlb,
+    /// Full IOMMU page walk.
+    Walk,
+}
+
+impl TracePath {
+    /// Stable lowercase label used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TracePath::L1Hit => "l1_hit",
+            TracePath::Merged => "merged",
+            TracePath::LdsTx => "lds_tx",
+            TracePath::IcTx => "ic_tx",
+            TracePath::L2Tlb => "l2_tlb",
+            TracePath::Walk => "walk",
+        }
+    }
+
+    /// All paths, indexable by the simulator's internal path code.
+    pub const ALL: [TracePath; 6] = [
+        TracePath::L1Hit,
+        TracePath::Merged,
+        TracePath::LdsTx,
+        TracePath::IcTx,
+        TracePath::L2Tlb,
+        TracePath::Walk,
+    ];
+}
+
+/// Which structure of the victim fill flow an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxStructure {
+    /// A reconfigurable-LDS segment.
+    Lds,
+    /// A reconfigurable-I-cache line.
+    Icache,
+    /// The shared L2 TLB (terminal stop of the fill flow).
+    L2Tlb,
+}
+
+impl TxStructure {
+    /// Stable lowercase label used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TxStructure::Lds => "lds",
+            TxStructure::Icache => "icache",
+            TxStructure::L2Tlb => "l2_tlb",
+        }
+    }
+}
+
+/// One lifecycle event. Variants mirror the paper's mechanisms:
+/// translation resolution (Fig 12), victim fills and evictions (§4.2,
+/// §4.3), LDS segment mode transitions (§4.2.4), kernel-boundary
+/// instruction flushes (§4.3.3) and driver shootdowns (§7.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A translation request resolved via `path` after `latency`
+    /// cycles.
+    Translation {
+        /// Request issue cycle.
+        cycle: Cycle,
+        /// Requesting compute unit.
+        cu: u32,
+        /// Virtual page number.
+        vpn: u64,
+        /// Address-space (VM) id.
+        vmid: u8,
+        /// Where the request was satisfied.
+        path: TracePath,
+        /// Cycles from issue to completion.
+        latency: Cycle,
+    },
+    /// A translation was written into a victim structure. `mode_flip`
+    /// marks the write that switched an Idle LDS segment or a
+    /// non-Tx I-cache line into Tx mode.
+    VictimInsert {
+        /// Structure written.
+        structure: TxStructure,
+        /// Virtual page number stored.
+        vpn: u64,
+        /// Address-space id.
+        vmid: u8,
+        /// VPN displaced by this write, if any.
+        evicted_vpn: Option<u64>,
+        /// Whether the write claimed new Tx capacity.
+        mode_flip: bool,
+    },
+    /// A fill candidate was refused (App-mode segment or
+    /// instruction-owned line under instruction-aware replacement).
+    VictimBypass {
+        /// Structure that refused the candidate.
+        structure: TxStructure,
+        /// Virtual page number of the candidate.
+        vpn: u64,
+        /// Address-space id.
+        vmid: u8,
+    },
+    /// LDS segments changed ownership: a workgroup allocation claimed
+    /// (`to_app == true`, §4.2.4 overwrite) or released
+    /// (`to_app == false`) the byte range.
+    LdsMode {
+        /// Compute unit whose LDS changed.
+        cu: u32,
+        /// First byte of the range.
+        base: u32,
+        /// Length of the range in bytes.
+        size: u32,
+        /// `true` → App mode, `false` → back to Idle.
+        to_app: bool,
+    },
+    /// A kernel launch began.
+    KernelBegin {
+        /// Launch cycle.
+        cycle: Cycle,
+        /// Index in the application's launch sequence.
+        index: u32,
+        /// Kernel name.
+        name: String,
+    },
+    /// A kernel's last wavefront retired.
+    KernelEnd {
+        /// Completion cycle.
+        cycle: Cycle,
+        /// Index in the application's launch sequence.
+        index: u32,
+        /// Kernel name.
+        name: String,
+    },
+    /// A kernel-boundary flush dropped dead instruction lines (§4.3.3)
+    /// from one I-cache, freeing them for translations.
+    KernelFlush {
+        /// Flush cycle (the upcoming launch's start).
+        cycle: Cycle,
+        /// Which I-cache group flushed.
+        icache: u32,
+        /// Instruction lines invalidated.
+        lines: u64,
+    },
+    /// A driver page migration invalidated one page everywhere (§7.1).
+    Shootdown {
+        /// Migrated virtual page number.
+        vpn: u64,
+        /// Address-space id.
+        vmid: u8,
+        /// L1 TLB entries invalidated (across CUs).
+        l1: u32,
+        /// Whether the L2 TLB held the page.
+        l2: bool,
+        /// Reconfigurable-LDS entries invalidated.
+        lds: u32,
+        /// Reconfigurable-I-cache entries invalidated.
+        ic: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Stable `type` discriminator used in the JSONL encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Translation { .. } => "translation",
+            TraceEvent::VictimInsert { .. } => "victim_insert",
+            TraceEvent::VictimBypass { .. } => "victim_bypass",
+            TraceEvent::LdsMode { .. } => "lds_mode",
+            TraceEvent::KernelBegin { .. } => "kernel_begin",
+            TraceEvent::KernelEnd { .. } => "kernel_end",
+            TraceEvent::KernelFlush { .. } => "kernel_flush",
+            TraceEvent::Shootdown { .. } => "shootdown",
+        }
+    }
+
+    /// The event as a JSON object (`type` first, then the fields in
+    /// declaration order).
+    pub fn to_json(&self) -> Json {
+        let mut f: Vec<(String, Json)> = vec![("type".into(), Json::from(self.kind()))];
+        match self {
+            TraceEvent::Translation { cycle, cu, vpn, vmid, path, latency } => {
+                f.push(("cycle".into(), Json::from(*cycle)));
+                f.push(("cu".into(), Json::from(*cu as u64)));
+                f.push(("vpn".into(), Json::from(*vpn)));
+                f.push(("vmid".into(), Json::from(*vmid as u64)));
+                f.push(("path".into(), Json::from(path.as_str())));
+                f.push(("latency".into(), Json::from(*latency)));
+            }
+            TraceEvent::VictimInsert { structure, vpn, vmid, evicted_vpn, mode_flip } => {
+                f.push(("structure".into(), Json::from(structure.as_str())));
+                f.push(("vpn".into(), Json::from(*vpn)));
+                f.push(("vmid".into(), Json::from(*vmid as u64)));
+                f.push((
+                    "evicted_vpn".into(),
+                    evicted_vpn.map_or(Json::Null, Json::from),
+                ));
+                f.push(("mode_flip".into(), Json::from(*mode_flip)));
+            }
+            TraceEvent::VictimBypass { structure, vpn, vmid } => {
+                f.push(("structure".into(), Json::from(structure.as_str())));
+                f.push(("vpn".into(), Json::from(*vpn)));
+                f.push(("vmid".into(), Json::from(*vmid as u64)));
+            }
+            TraceEvent::LdsMode { cu, base, size, to_app } => {
+                f.push(("cu".into(), Json::from(*cu as u64)));
+                f.push(("base".into(), Json::from(*base as u64)));
+                f.push(("size".into(), Json::from(*size as u64)));
+                f.push(("to_app".into(), Json::from(*to_app)));
+            }
+            TraceEvent::KernelBegin { cycle, index, name }
+            | TraceEvent::KernelEnd { cycle, index, name } => {
+                f.push(("cycle".into(), Json::from(*cycle)));
+                f.push(("index".into(), Json::from(*index as u64)));
+                f.push(("name".into(), Json::from(name.as_str())));
+            }
+            TraceEvent::KernelFlush { cycle, icache, lines } => {
+                f.push(("cycle".into(), Json::from(*cycle)));
+                f.push(("icache".into(), Json::from(*icache as u64)));
+                f.push(("lines".into(), Json::from(*lines)));
+            }
+            TraceEvent::Shootdown { vpn, vmid, l1, l2, lds, ic } => {
+                f.push(("vpn".into(), Json::from(*vpn)));
+                f.push(("vmid".into(), Json::from(*vmid as u64)));
+                f.push(("l1".into(), Json::from(*l1 as u64)));
+                f.push(("l2".into(), Json::from(*l2)));
+                f.push(("lds".into(), Json::from(*lds as u64)));
+                f.push(("ic".into(), Json::from(*ic as u64)));
+            }
+        }
+        Json::Obj(f)
+    }
+}
+
+/// Receiver of [`TraceEvent`]s.
+///
+/// The contract that keeps tracing off the critical path: emitters
+/// MUST check [`TraceSink::enabled`] before constructing an event, so
+/// sinks can assume `emit` is only called when enabled, and disabled
+/// runs never pay for event construction (some events allocate, e.g.
+/// kernel names).
+pub trait TraceSink: std::fmt::Debug {
+    /// Whether events should be constructed and emitted at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event. Only called when [`TraceSink::enabled`] is
+    /// `true`.
+    fn emit(&mut self, event: &TraceEvent);
+
+    /// Flushes any buffered output (end of run).
+    fn flush(&mut self) {}
+}
+
+/// The default sink: permanently disabled, every call a no-op.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn emit(&mut self, _event: &TraceEvent) {}
+}
+
+/// Collects events in memory — the sink the tests use.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Vec<TraceEvent>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Events emitted so far, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning its events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Writes one compact JSON object per event, newline-separated
+/// (JSON Lines). The serialization buffer is reused across events, so
+/// steady-state emission performs no allocation beyond the writer's
+/// own buffering.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + std::fmt::Debug> {
+    out: W,
+    buf: String,
+    written: u64,
+    failed: bool,
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Creates (truncating) `path` and returns a buffered sink over it.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(Self::new(std::io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl<W: Write + std::fmt::Debug> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        Self { out, buf: String::with_capacity(256), written: 0, failed: false }
+    }
+
+    /// Events successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Whether any write failed (the sink goes quiet rather than
+    /// panicking mid-simulation; callers check after the run).
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Flushes and returns the inner writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+}
+
+impl<W: Write + std::fmt::Debug> TraceSink for JsonlSink<W> {
+    fn emit(&mut self, event: &TraceEvent) {
+        if self.failed {
+            return;
+        }
+        self.buf.clear();
+        event.to_json().write_compact(&mut self.buf);
+        self.buf.push('\n');
+        if self.out.write_all(self.buf.as_bytes()).is_err() {
+            self.failed = true;
+            return;
+        }
+        self.written += 1;
+    }
+
+    fn flush(&mut self) {
+        if self.out.flush().is_err() {
+            self.failed = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::KernelBegin { cycle: 0, index: 0, name: "k0".into() },
+            TraceEvent::Translation {
+                cycle: 10,
+                cu: 3,
+                vpn: 0xabc,
+                vmid: 1,
+                path: TracePath::LdsTx,
+                latency: 41,
+            },
+            TraceEvent::VictimInsert {
+                structure: TxStructure::Lds,
+                vpn: 7,
+                vmid: 0,
+                evicted_vpn: Some(9),
+                mode_flip: true,
+            },
+            TraceEvent::VictimBypass { structure: TxStructure::Icache, vpn: 8, vmid: 0 },
+            TraceEvent::LdsMode { cu: 2, base: 0, size: 4096, to_app: true },
+            TraceEvent::KernelFlush { cycle: 99, icache: 1, lines: 128 },
+            TraceEvent::Shootdown { vpn: 5, vmid: 0, l1: 2, l2: true, lds: 1, ic: 0 },
+            TraceEvent::KernelEnd { cycle: 123, index: 0, name: "k0".into() },
+        ]
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let sink = NullSink;
+        assert!(!sink.enabled());
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let mut sink = MemorySink::new();
+        for e in sample_events() {
+            assert!(sink.enabled());
+            sink.emit(&e);
+        }
+        assert_eq!(sink.events(), sample_events().as_slice());
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_carry_type() {
+        let mut sink = JsonlSink::new(Vec::<u8>::new());
+        let events = sample_events();
+        for e in &events {
+            sink.emit(e);
+        }
+        assert_eq!(sink.written(), events.len() as u64);
+        assert!(!sink.failed());
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), events.len());
+        for (line, event) in lines.iter().zip(&events) {
+            let j = Json::parse(line).unwrap_or_else(|e| panic!("bad line {line}: {e}"));
+            assert_eq!(j.get("type").and_then(Json::as_str), Some(event.kind()));
+        }
+    }
+
+    #[test]
+    fn translation_event_fields_survive_encoding() {
+        let e = TraceEvent::Translation {
+            cycle: 1234,
+            cu: 7,
+            vpn: u32::MAX as u64 + 17,
+            vmid: 3,
+            path: TracePath::Walk,
+            latency: 815,
+        };
+        let j = Json::parse(&e.to_json().to_string()).unwrap();
+        assert_eq!(j.get("cycle").and_then(Json::as_u64), Some(1234));
+        assert_eq!(j.get("cu").and_then(Json::as_u64), Some(7));
+        assert_eq!(j.get("vpn").and_then(Json::as_u64), Some(u32::MAX as u64 + 17));
+        assert_eq!(j.get("path").and_then(Json::as_str), Some("walk"));
+        assert_eq!(j.get("latency").and_then(Json::as_u64), Some(815));
+    }
+
+    #[test]
+    fn path_labels_are_distinct() {
+        let mut labels: Vec<&str> = TracePath::ALL.iter().map(|p| p.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 6);
+    }
+}

@@ -4,8 +4,10 @@
 //! hardware coalescer merges lanes that touch the same page before the
 //! L1 TLB (reducing translation traffic) and lanes that touch the same
 //! 64-byte line before the data cache (reducing data traffic). In the
-//! worst case — the paper's motivating scenario — all 64 lanes touch
-//! 64 distinct pages and generate 64 distinct translation requests.
+//! worst case — the paper's §2 motivating scenario — all 64 lanes
+//! touch 64 distinct pages and generate 64 distinct translation
+//! requests, which is exactly the irregular traffic the §4.2/§4.3
+//! victim structures are sized to absorb.
 
 use crate::addr::{PageSize, VirtAddr, Vpn};
 

@@ -4,7 +4,8 @@
 //! TLB, the GPU-shared 16-way 512-entry L2 TLB, and the IOMMU's device
 //! TLBs (Table 1). Evictions are surfaced to the caller because the
 //! reconfigurable architecture routes L1-TLB victims into the idle
-//! LDS/I-cache structures (Fig 12).
+//! LDS segments (§4.2) and I-cache lines (§4.3) organized as a victim
+//! cache between the two TLB levels (Fig 12).
 
 use gtr_sim::fastmap::FastMap;
 use gtr_sim::stats::HitMiss;
@@ -223,6 +224,11 @@ impl Tlb {
     /// Inserts a translation, returning the evicted victim if the set
     /// was full. Re-inserting an existing key refreshes its frame and
     /// LRU position without eviction.
+    ///
+    /// The returned victim is what the reconfigurable architecture
+    /// feeds into the Fig-12 fill flow: an L1-TLB eviction tries the
+    /// victim's LDS segment (§4.2), then its direct-mapped I-cache
+    /// line (§4.3), then the L2 TLB.
     pub fn insert(&mut self, tx: Translation) -> Option<Translation> {
         if let Some(&i) = self.index.get(tx.key) {
             let s = i as usize / self.config.assoc;
@@ -263,8 +269,9 @@ impl Tlb {
         Some(victim)
     }
 
-    /// Invalidates a single key (TLB shootdown); returns whether it was
-    /// present.
+    /// Invalidates a single key (TLB shootdown, §7.1 — the runtime
+    /// page-migration protocol must also reach translations cached in
+    /// the reconfigurable structures); returns whether it was present.
     pub fn invalidate(&mut self, key: TranslationKey) -> bool {
         match self.index.remove(key) {
             Some(i) => {

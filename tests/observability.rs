@@ -1,0 +1,169 @@
+//! Integration tests for the observability layer: epoch time-series
+//! sampling, machine-readable stats export, and structured event
+//! tracing — including the "tracing observes, never alters" contract.
+
+use gpu_translation_reach::core_arch::config::ReachConfig;
+use gpu_translation_reach::core_arch::export::{
+    check_epoch_invariants, epochs_from_csv, epochs_to_csv, run_stats_from_json,
+    run_stats_to_json_string, runs_to_csv,
+};
+use gpu_translation_reach::core_arch::stats::RunStats;
+use gpu_translation_reach::core_arch::system::System;
+use gpu_translation_reach::gpu::config::GpuConfig;
+use gpu_translation_reach::sim::json::Json;
+use gpu_translation_reach::sim::trace::{JsonlSink, MemorySink, TraceEvent};
+use gpu_translation_reach::workloads::{scale::Scale, suite};
+
+fn traced_run(name: &str, epoch_len: u64) -> RunStats {
+    let app = suite::by_name(name, Scale::tiny()).expect("known app");
+    System::new(GpuConfig::default(), ReachConfig::ic_plus_lds())
+        .with_epochs(epoch_len)
+        .run(&app)
+}
+
+#[test]
+fn epoch_counters_are_monotone_and_end_at_run_totals() {
+    let s = traced_run("GUPS", 50_000);
+    assert!(s.epochs.len() >= 2, "expected several epochs, got {}", s.epochs.len());
+    assert_eq!(s.epoch_len, 50_000);
+    for pair in s.epochs.windows(2) {
+        assert!(
+            pair[1].monotone_from(&pair[0]),
+            "cumulative counters went backwards: {:?} -> {:?}",
+            pair[0],
+            pair[1]
+        );
+    }
+    let problems = check_epoch_invariants(&s);
+    assert!(problems.is_empty(), "epoch invariants violated: {problems:?}");
+}
+
+#[test]
+fn epoch_delta_sum_equals_final_totals() {
+    let s = traced_run("ATAX", 25_000);
+    // Summing per-epoch deltas telescopes back to the final cumulative
+    // snapshot, which in turn equals the run totals.
+    let mut prev = Default::default();
+    let mut walks = 0u64;
+    let mut reqs = 0u64;
+    let mut insts = 0u64;
+    for e in &s.epochs {
+        let d = e.delta(&prev);
+        walks += d.page_walks;
+        reqs += d.translation_requests;
+        insts += d.instructions;
+        prev = *e;
+    }
+    assert_eq!(walks, s.page_walks);
+    assert_eq!(reqs, s.translation_requests);
+    assert_eq!(insts, s.instructions);
+}
+
+#[test]
+fn json_export_round_trips_a_real_run() {
+    let s = traced_run("GUPS", 50_000);
+    let text = run_stats_to_json_string(&s);
+    let parsed = Json::parse(&text).expect("exported JSON parses");
+    let back = run_stats_from_json(&parsed).expect("schema-complete document");
+    assert_eq!(back, s, "JSON round-trip must be exact");
+}
+
+#[test]
+fn csv_export_round_trips_the_epoch_series() {
+    let s = traced_run("GUPS", 50_000);
+    let csv = epochs_to_csv(&s.epochs);
+    let back = epochs_from_csv(&csv).expect("exported CSV parses");
+    assert_eq!(back, s.epochs, "CSV round-trip must be exact");
+    // The flat per-run table keeps one row per run plus the header.
+    let flat = runs_to_csv(&[&s]);
+    assert_eq!(flat.lines().count(), 2);
+}
+
+#[test]
+fn tracing_does_not_alter_simulation_results() {
+    let app = suite::by_name("MVT", Scale::tiny()).expect("known app");
+    let plain = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds()).run(&app);
+    let traced = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds())
+        .with_trace(Box::new(MemorySink::new()))
+        .with_epochs(50_000)
+        .run(&app);
+    assert_eq!(plain.total_cycles, traced.total_cycles);
+    assert_eq!(plain.page_walks, traced.page_walks);
+    assert_eq!(plain.dram_accesses, traced.dram_accesses);
+    assert_eq!(plain.translation_requests, traced.translation_requests);
+}
+
+#[test]
+fn jsonl_trace_stream_is_parseable_and_consistent() {
+    let dir = std::env::temp_dir().join("gtr_observability_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("trace.jsonl");
+    let app = suite::by_name("GUPS", Scale::tiny()).expect("known app");
+    let sink = JsonlSink::create(&path).expect("create trace file");
+    let stats = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds())
+        .with_trace(Box::new(sink))
+        .run(&app);
+    let text = std::fs::read_to_string(&path).expect("trace file readable");
+    let mut translations = 0u64;
+    let mut begins = 0u64;
+    let mut ends = 0u64;
+    for line in text.lines() {
+        let j = Json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        match j.get("type").and_then(Json::as_str).expect("event has a type") {
+            "translation" => {
+                translations += 1;
+                // Events interleave across wavefronts, so cycles are
+                // not globally monotone — but every event must carry
+                // a plausible cycle and a known path label.
+                let c = j.get("cycle").and_then(Json::as_u64).expect("cycle field");
+                assert!(c <= stats.total_cycles, "event cycle beyond the end of the run");
+                let path_label = j.get("path").and_then(Json::as_str).expect("path field");
+                assert!(
+                    ["l1_hit", "merged", "lds_tx", "ic_tx", "l2_tlb", "walk"]
+                        .contains(&path_label),
+                    "unknown path {path_label:?}"
+                );
+            }
+            "kernel_begin" => begins += 1,
+            "kernel_end" => ends += 1,
+            "victim_insert" | "victim_bypass" | "lds_mode" | "kernel_flush" | "shootdown" => {}
+            other => panic!("unknown event type {other:?}"),
+        }
+    }
+    assert_eq!(translations, stats.translation_requests, "one event per translation request");
+    assert_eq!(begins, stats.kernels.len() as u64, "one begin per kernel launch");
+    assert_eq!(ends, stats.kernels.len() as u64, "one end per kernel launch");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn memory_sink_sees_victim_traffic_under_thrashing() {
+    // A footprint past both TLB levels guarantees L1 evictions, so the
+    // victim fill flow must produce insert events.
+    let app = suite::by_name("GUPS", Scale::tiny()).expect("known app");
+    // MemorySink can't be recovered from System (Box<dyn TraceSink> has
+    // no downcast), so assert through the JSONL path instead.
+    let dir = std::env::temp_dir().join("gtr_observability_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("victims.jsonl");
+    let sink = JsonlSink::create(&path).expect("create trace file");
+    let stats = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds())
+        .with_trace(Box::new(sink))
+        .run(&app);
+    assert!(stats.victim_hits() > 0, "GUPS tiny must hit the victim structures");
+    let text = std::fs::read_to_string(&path).expect("trace file readable");
+    let inserts = text.lines().filter(|l| l.contains("\"victim_insert\"")).count();
+    assert!(inserts > 0, "victim fills must be traced");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn null_trace_event_construction_is_skipped() {
+    // TraceEvent construction for a kernel event allocates (name
+    // String); the enabled() gate means a default System never pays
+    // it. This can't be observed from outside directly, so assert the
+    // contract the gate relies on: a NullSink reports disabled.
+    use gpu_translation_reach::sim::trace::{NullSink, TraceSink};
+    assert!(!NullSink.enabled());
+    let _ = TraceEvent::KernelBegin { cycle: 0, index: 0, name: String::new() };
+}
