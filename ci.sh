@@ -15,13 +15,22 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 cargo run --release -p gtr-bench --bin perf -- --check
 
 # Observability schema gate: export a tiny matrix, a single traced run
-# with epoch sampling, and a JSONL event stream, then validate all
-# three against the stats schema / event vocabulary.
+# with epoch sampling + distribution recording, and a JSONL event
+# stream, then validate all three against the stats schema / event
+# vocabulary (including the schema-v2 distribution invariants).
 CI_OUT=target/ci-observability
 mkdir -p "$CI_OUT"
-cargo run --release -q -p gtr-bench --bin all -- --tiny --stats-out "$CI_OUT/matrix.json"
-cargo run --release -q -p gtr-bench --bin run_app -- GUPS ic+lds --tiny \
+cargo run --release -q -p gtr-bench --bin all -- --tiny --percentiles --stats-out "$CI_OUT/matrix.json"
+cargo run --release -q -p gtr-bench --bin run_app -- GUPS ic+lds --tiny --percentiles \
     --epochs 50000 --stats-out "$CI_OUT/run.json" --trace "$CI_OUT/trace.jsonl"
 cargo run --release -q -p gtr-bench --bin validate_stats -- \
     "$CI_OUT/matrix.json" "$CI_OUT/run.json"
 cargo run --release -q -p gtr-bench --bin validate_stats -- --jsonl "$CI_OUT/trace.jsonl"
+
+# Trace-replay consistency oracle: the fresh trace must independently
+# reproduce the fresh stats, and the fresh stats must match the
+# committed golden fixture exactly (the simulator is deterministic).
+cargo run --release -q -p gtr-bench --bin gtr-analyze -- \
+    --replay "$CI_OUT/trace.jsonl" --stats "$CI_OUT/run.json"
+cargo run --release -q -p gtr-bench --bin gtr-analyze -- \
+    --diff "$CI_OUT/run.json" experiments/gups_ic_lds_tiny.json

@@ -1,0 +1,454 @@
+//! Trace-replay analysis: the library half of the `gtr-analyze`
+//! binary.
+//!
+//! A JSONL trace (`--trace`) and an exported stats document
+//! (`--stats-out`) describe the same run through two independent code
+//! paths: the trace is emitted event by event from inside the
+//! simulator, the stats are aggregated counters finalized at run end.
+//! [`replay_jsonl`] re-derives the aggregate view from the event
+//! stream alone — counting translations per resolution path, re-adding
+//! latencies into fresh histograms, and running the *same*
+//! [`VictimLifetimes`] state machine the simulator used — and
+//! [`check_against_stats`] then demands the two views agree exactly.
+//! Any divergence means a dropped/duplicated event, a truncated trace,
+//! or a recording bug, so CI treats a non-empty report as failure.
+//!
+//! [`diff_stats`] is the second tool: a per-metric relative comparison
+//! of two stats documents (e.g. a fresh run against a committed
+//! golden file), including distribution quantiles when both sides
+//! recorded them.
+
+use gtr_core::obs::VictimLifetimes;
+use gtr_core::stats::RunStats;
+use gtr_sim::hist::Hist;
+use gtr_sim::json::Json;
+use gtr_sim::trace::{TracePath, TxStructure};
+
+/// Aggregate state reconstructed from a JSONL trace by
+/// [`replay_jsonl`] — the replay-side mirror of the counters the
+/// simulator exports.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Replay {
+    /// Total `translation` events seen.
+    pub translations: u64,
+    /// Translation count per resolution path
+    /// ([`TracePath::ALL`] order) — the replayed cycle attribution.
+    pub path_counts: [u64; 6],
+    /// Summed translation latency per resolution path.
+    pub path_cycles: [u64; 6],
+    /// Replayed per-path latency histograms.
+    pub lat: [Hist; 6],
+    /// Replayed victim lifetime/reuse tracking (the same state machine
+    /// the simulator runs when distributions are armed).
+    pub victim: VictimLifetimes,
+    /// `(index, name, cycle)` per `kernel_begin` event, in order.
+    pub kernel_begins: Vec<(u32, String, u64)>,
+    /// `(index, name, cycle)` per `kernel_end` event, in order.
+    pub kernel_ends: Vec<(u32, String, u64)>,
+    /// `shootdown` events seen.
+    pub shootdowns: u64,
+    /// Total events parsed (all types).
+    pub events: u64,
+}
+
+fn path_from_label(label: &str) -> Option<usize> {
+    TracePath::ALL.iter().position(|p| p.as_str() == label)
+}
+
+fn structure_from_label(label: &str) -> Option<TxStructure> {
+    [TxStructure::Lds, TxStructure::Icache, TxStructure::L2Tlb]
+        .into_iter()
+        .find(|s| s.as_str() == label)
+}
+
+fn req_u64(j: &Json, field: &str) -> Result<u64, String> {
+    j.get(field)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field '{field}'"))
+}
+
+fn req_str<'a>(j: &'a Json, field: &str) -> Result<&'a str, String> {
+    j.get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string field '{field}'"))
+}
+
+/// Replays a JSONL trace, reconstructing the aggregate view the
+/// simulator exported for the same run.
+///
+/// Every line must parse as one trace event; errors carry the
+/// 1-indexed line number. A trace whose `kernel_begin` events
+/// outnumber its `kernel_end`s is rejected as truncated — the
+/// simulator always closes every kernel before flushing the sink, so
+/// an open kernel means the file lost its tail.
+pub fn replay_jsonl(text: &str) -> Result<Replay, String> {
+    let mut r = Replay::default();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let j = Json::parse(line)
+            .map_err(|e| format!("line {lineno}: not valid JSON ({e}); trace appears truncated or corrupt"))?;
+        let kind = req_str(&j, "type").map_err(|e| format!("line {lineno}: {e}"))?.to_string();
+        let step = |r: &mut Replay, j: &Json| -> Result<(), String> {
+            match kind.as_str() {
+                "translation" => {
+                    let label = req_str(j, "path")?;
+                    let path = path_from_label(label)
+                        .ok_or_else(|| format!("unknown translation path '{label}'"))?;
+                    let latency = req_u64(j, "latency")?;
+                    let vpn = req_u64(j, "vpn")?;
+                    let vmid = req_u64(j, "vmid")? as u8;
+                    r.translations += 1;
+                    r.path_counts[path] += 1;
+                    r.path_cycles[path] += latency;
+                    r.lat[path].record(latency);
+                    // Victim hits mirror the simulator's recording
+                    // point: after the request's own fill flow ran, so
+                    // natural line order (inserts precede the
+                    // translation line) is already correct.
+                    match path {
+                        2 => r.victim.hit(TxStructure::Lds, vpn, vmid),
+                        3 => r.victim.hit(TxStructure::Icache, vpn, vmid),
+                        _ => {}
+                    }
+                }
+                "victim_insert" => {
+                    let label = req_str(j, "structure")?;
+                    let structure = structure_from_label(label)
+                        .ok_or_else(|| format!("unknown victim structure '{label}'"))?;
+                    let vpn = req_u64(j, "vpn")?;
+                    let vmid = req_u64(j, "vmid")? as u8;
+                    let cycle = req_u64(j, "cycle")?;
+                    let evicted = match (
+                        j.get("evicted_vpn").and_then(Json::as_u64),
+                        j.get("evicted_vmid").and_then(Json::as_u64),
+                    ) {
+                        (Some(v), Some(m)) => Some((v, m as u8)),
+                        _ => None,
+                    };
+                    r.victim.insert(structure, vpn, vmid, evicted, cycle);
+                }
+                "kernel_begin" | "kernel_end" => {
+                    let index = req_u64(j, "index")? as u32;
+                    let name = req_str(j, "name")?.to_string();
+                    let cycle = req_u64(j, "cycle")?;
+                    if kind == "kernel_begin" {
+                        r.kernel_begins.push((index, name, cycle));
+                    } else {
+                        r.kernel_ends.push((index, name, cycle));
+                    }
+                }
+                "shootdown" => {
+                    let vpn = req_u64(j, "vpn")?;
+                    let vmid = req_u64(j, "vmid")? as u8;
+                    r.victim.shootdown(vpn, vmid);
+                    r.shootdowns += 1;
+                }
+                "victim_bypass" | "lds_mode" | "kernel_flush" => {}
+                other => return Err(format!("unknown event type '{other}'")),
+            }
+            Ok(())
+        };
+        step(&mut r, &j).map_err(|e| format!("line {lineno}: {e}"))?;
+        r.events += 1;
+    }
+    if r.kernel_begins.len() != r.kernel_ends.len() {
+        return Err(format!(
+            "trace appears truncated: {} kernel_begin events but only {} kernel_end",
+            r.kernel_begins.len(),
+            r.kernel_ends.len()
+        ));
+    }
+    Ok(r)
+}
+
+/// Compares a replayed trace against an exported stats document.
+/// Returns human-readable divergences (empty = the trace independently
+/// reproduces the stats).
+///
+/// The checked subset is exactly what the trace can know: translation
+/// counts and per-path cycle attribution, the scalar hit counters the
+/// paths imply, the kernel launch sequence, run length, and — when
+/// the run recorded distributions — exact equality of the latency and
+/// victim lifetime/reuse histograms.
+pub fn check_against_stats(r: &Replay, s: &RunStats, schema_version: u64) -> Vec<String> {
+    let mut problems = Vec::new();
+    if schema_version < 2 {
+        problems.push(format!(
+            "stats document is schema v{schema_version}: replay verification needs the \
+             v2 cycle attribution (re-export with the current binaries)"
+        ));
+        return problems;
+    }
+    fn check(problems: &mut Vec<String>, name: &str, got: u64, want: u64) {
+        if got != want {
+            problems.push(format!("{name}: replayed {got} != exported {want}"));
+        }
+    }
+    check(&mut problems, "translation_requests", r.translations, s.translation_requests);
+    for (i, slot) in s.attribution.slots.iter().enumerate() {
+        let label = TracePath::ALL[i].as_str();
+        check(&mut problems, &format!("attribution[{label}].count"), r.path_counts[i], slot.count);
+        check(&mut problems, &format!("attribution[{label}].cycles"), r.path_cycles[i], slot.cycles);
+    }
+    check(&mut problems, "l1_tlb.hits", r.path_counts[0], s.l1_tlb.hits);
+    check(&mut problems, "lds_tx.hits", r.path_counts[2], s.lds_tx.hits);
+    check(&mut problems, "ic_tx.hits", r.path_counts[3], s.ic_tx.hits);
+    check(&mut problems, "kernel launches", r.kernel_ends.len() as u64, s.kernels.len() as u64);
+    for (i, ((_, name, _), k)) in r.kernel_ends.iter().zip(&s.kernels).enumerate() {
+        if name != &k.name {
+            problems.push(format!(
+                "kernel {i}: trace ended '{name}' but stats recorded '{}'",
+                k.name
+            ));
+        }
+    }
+    if let Some((_, _, cycle)) = r.kernel_ends.last() {
+        check(&mut problems, "final kernel_end cycle", *cycle, s.total_cycles);
+    }
+    if s.dist_enabled {
+        for (i, (replayed, exported)) in r.lat.iter().zip(&s.latency_hists).enumerate() {
+            if replayed != exported {
+                problems.push(format!(
+                    "latency histogram '{}' diverges (replayed count {} sum {}, \
+                     exported count {} sum {})",
+                    TracePath::ALL[i].as_str(),
+                    replayed.count(),
+                    replayed.sum(),
+                    exported.count(),
+                    exported.sum()
+                ));
+            }
+        }
+        let victim_pairs: [(&str, &Hist, &Hist); 4] = [
+            ("victim_lifetime_lds", &r.victim.lifetime_lds, &s.victim_lifetime_lds),
+            ("victim_lifetime_ic", &r.victim.lifetime_ic, &s.victim_lifetime_ic),
+            ("victim_reuse_lds", &r.victim.reuse_lds, &s.victim_reuse_lds),
+            ("victim_reuse_ic", &r.victim.reuse_ic, &s.victim_reuse_ic),
+        ];
+        for (name, replayed, exported) in victim_pairs {
+            if replayed != exported {
+                problems.push(format!(
+                    "{name} histogram diverges (replayed count {} sum {}, \
+                     exported count {} sum {})",
+                    replayed.count(),
+                    replayed.sum(),
+                    exported.count(),
+                    exported.sum()
+                ));
+            }
+        }
+    }
+    problems
+}
+
+/// One row of a [`diff_stats`] report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Metric name (dotted path, e.g. `l1_tlb.hits`).
+    pub metric: String,
+    /// Value in the first document.
+    pub a: f64,
+    /// Value in the second document.
+    pub b: f64,
+    /// Relative delta `(b - a) / a`; `0` when equal (including both
+    /// zero), infinite when `a == 0 != b`.
+    pub rel: f64,
+}
+
+impl DiffRow {
+    fn new(metric: &str, a: f64, b: f64) -> Self {
+        let rel = if a == b {
+            0.0
+        } else if a == 0.0 {
+            f64::INFINITY
+        } else {
+            (b - a) / a
+        };
+        Self { metric: metric.to_string(), a, b, rel }
+    }
+}
+
+/// Compares two stats documents metric by metric, returning every
+/// compared row (callers filter by `rel` against their tolerance).
+/// Headline counters and the per-path cycle attribution are always
+/// compared; distribution quantiles (p50/p90/p99 per path, victim
+/// lifetime/reuse) are included only when **both** documents recorded
+/// distributions — a scalar-only file diffs cleanly against itself.
+pub fn diff_stats(a: &RunStats, b: &RunStats) -> Vec<DiffRow> {
+    let mut rows = Vec::new();
+    let scalars: [(&str, u64, u64); 14] = [
+        ("total_cycles", a.total_cycles, b.total_cycles),
+        ("instructions", a.instructions, b.instructions),
+        ("translation_requests", a.translation_requests, b.translation_requests),
+        ("l1_tlb.hits", a.l1_tlb.hits, b.l1_tlb.hits),
+        ("l1_tlb.misses", a.l1_tlb.misses, b.l1_tlb.misses),
+        ("l2_tlb.hits", a.l2_tlb.hits, b.l2_tlb.hits),
+        ("l2_tlb.misses", a.l2_tlb.misses, b.l2_tlb.misses),
+        ("lds_tx.hits", a.lds_tx.hits, b.lds_tx.hits),
+        ("ic_tx.hits", a.ic_tx.hits, b.ic_tx.hits),
+        ("page_walks", a.page_walks, b.page_walks),
+        ("pte_accesses", a.pte_accesses, b.pte_accesses),
+        ("dram_accesses", a.dram_accesses, b.dram_accesses),
+        ("peak_tx_entries", a.peak_tx_entries as u64, b.peak_tx_entries as u64),
+        ("kernels", a.kernels.len() as u64, b.kernels.len() as u64),
+    ];
+    for (name, va, vb) in scalars {
+        rows.push(DiffRow::new(name, va as f64, vb as f64));
+    }
+    rows.push(DiffRow::new("dram_energy_nj", a.dram_energy_nj, b.dram_energy_nj));
+    rows.push(DiffRow::new("ptw_pki", a.ptw_pki(), b.ptw_pki()));
+    for (i, (sa, sb)) in a.attribution.slots.iter().zip(&b.attribution.slots).enumerate() {
+        let label = TracePath::ALL[i].as_str();
+        rows.push(DiffRow::new(
+            &format!("attribution.{label}.count"),
+            sa.count as f64,
+            sb.count as f64,
+        ));
+        rows.push(DiffRow::new(
+            &format!("attribution.{label}.cycles"),
+            sa.cycles as f64,
+            sb.cycles as f64,
+        ));
+    }
+    if a.dist_enabled && b.dist_enabled {
+        for (i, (ha, hb)) in a.latency_hists.iter().zip(&b.latency_hists).enumerate() {
+            let label = TracePath::ALL[i].as_str();
+            for (q, name) in [(ha.p50(), "p50"), (ha.p90(), "p90"), (ha.p99(), "p99")] {
+                let qb = match name {
+                    "p50" => hb.p50(),
+                    "p90" => hb.p90(),
+                    _ => hb.p99(),
+                };
+                rows.push(DiffRow::new(
+                    &format!("latency.{label}.{name}"),
+                    q as f64,
+                    qb as f64,
+                ));
+            }
+        }
+        let hists: [(&str, &Hist, &Hist); 4] = [
+            ("victim_lifetime_lds", &a.victim_lifetime_lds, &b.victim_lifetime_lds),
+            ("victim_lifetime_ic", &a.victim_lifetime_ic, &b.victim_lifetime_ic),
+            ("victim_reuse_lds", &a.victim_reuse_lds, &b.victim_reuse_lds),
+            ("victim_reuse_ic", &a.victim_reuse_ic, &b.victim_reuse_ic),
+        ];
+        for (name, ha, hb) in hists {
+            rows.push(DiffRow::new(
+                &format!("{name}.count"),
+                ha.count() as f64,
+                hb.count() as f64,
+            ));
+            rows.push(DiffRow::new(
+                &format!("{name}.p50"),
+                ha.p50() as f64,
+                hb.p50() as f64,
+            ));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtr_sim::trace::{JsonlSink, TraceEvent, TraceSink};
+
+    fn event_lines(events: &[TraceEvent]) -> String {
+        let mut sink = JsonlSink::new(Vec::<u8>::new());
+        for e in events {
+            sink.emit(e);
+        }
+        String::from_utf8(sink.into_inner()).unwrap()
+    }
+
+    fn tiny_trace() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::KernelBegin { cycle: 0, index: 0, name: "k0".into() },
+            TraceEvent::VictimInsert {
+                cycle: 5,
+                structure: TxStructure::Lds,
+                vpn: 7,
+                vmid: 0,
+                evicted_vpn: None,
+                evicted_vmid: None,
+                mode_flip: true,
+            },
+            TraceEvent::Translation {
+                cycle: 10,
+                cu: 0,
+                vpn: 7,
+                vmid: 0,
+                path: TracePath::LdsTx,
+                latency: 41,
+            },
+            TraceEvent::Translation {
+                cycle: 20,
+                cu: 1,
+                vpn: 9,
+                vmid: 0,
+                path: TracePath::Walk,
+                latency: 815,
+            },
+            TraceEvent::Shootdown { vpn: 7, vmid: 0, l1: 1, l2: false, lds: 1, ic: 0 },
+            TraceEvent::KernelEnd { cycle: 900, index: 0, name: "k0".into() },
+        ]
+    }
+
+    #[test]
+    fn replay_reconstructs_counts_and_victim_state() {
+        let r = replay_jsonl(&event_lines(&tiny_trace())).expect("replays");
+        assert_eq!(r.translations, 2);
+        assert_eq!(r.path_counts, [0, 0, 1, 0, 0, 1]);
+        assert_eq!(r.path_cycles[2], 41);
+        assert_eq!(r.path_cycles[5], 815);
+        assert_eq!(r.lat[5].max(), 815);
+        assert_eq!(r.kernel_ends, vec![(0, "k0".to_string(), 900)]);
+        assert_eq!(r.shootdowns, 1);
+        // The LDS entry was hit once then shot down: censored, so no
+        // lifetime/reuse samples.
+        assert_eq!(r.victim.lifetime_lds.count(), 0);
+        assert_eq!(r.victim.live(), 0);
+    }
+
+    #[test]
+    fn truncated_trace_rejected() {
+        let lines = event_lines(&tiny_trace());
+        // Drop the tail (the kernel_end line).
+        let cut = lines.lines().take(5).collect::<Vec<_>>().join("\n");
+        let err = replay_jsonl(&cut).unwrap_err();
+        assert!(err.contains("truncated"), "got: {err}");
+        // Cut mid-line: the partial JSON line fails with a line number.
+        let mid = &lines[..lines.len() - 10];
+        let err2 = replay_jsonl(mid).unwrap_err();
+        assert!(err2.contains("line 6"), "got: {err2}");
+    }
+
+    #[test]
+    fn unknown_event_type_rejected_with_line_number() {
+        let err = replay_jsonl("{\"type\":\"warp_drive\"}\n").unwrap_err();
+        assert!(err.contains("line 1") && err.contains("warp_drive"), "got: {err}");
+    }
+
+    #[test]
+    fn diff_rows_zero_on_identical_documents() {
+        let s = RunStats::default();
+        assert!(diff_stats(&s, &s).iter().all(|row| row.rel == 0.0));
+    }
+
+    #[test]
+    fn diff_flags_changed_metric() {
+        let a = RunStats { total_cycles: 1_000, ..Default::default() };
+        let b = RunStats { total_cycles: 1_100, ..Default::default() };
+        let rows = diff_stats(&a, &b);
+        let row = rows.iter().find(|r| r.metric == "total_cycles").unwrap();
+        assert!((row.rel - 0.1).abs() < 1e-12);
+        // Zero → nonzero is an infinite relative delta, never a panic.
+        let c = RunStats { page_walks: 5, ..Default::default() };
+        let rows2 = diff_stats(&a, &c);
+        let walk = rows2.iter().find(|r| r.metric == "page_walks").unwrap();
+        assert!(walk.rel.is_infinite());
+    }
+}

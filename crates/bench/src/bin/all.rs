@@ -2,7 +2,9 @@
 //! scale; `--csv <dir>` additionally writes the main matrices as CSV
 //! for external plotting; `--stats-out <path>` writes the full main
 //! matrix (every cell's complete stats, epoch series included) as one
-//! JSON document for `validate_stats` and downstream tooling.
+//! JSON document for `validate_stats` and downstream tooling;
+//! `--percentiles` arms distribution recording for the exported
+//! matrix, so every cell carries latency/lifetime histograms.
 fn main() {
     let scale = scale_from_args();
     println!("{}", gtr_bench::figures::all(scale));
@@ -23,7 +25,8 @@ fn main() {
         return;
     }
     // One matrix re-run feeds both export formats.
-    let m = gtr_bench::figures::main_matrix(scale);
+    let percentiles = args.iter().any(|a| a == "--percentiles");
+    let m = gtr_bench::figures::main_matrix_opts(scale, percentiles);
     if let Some(dir) = csv_dir {
         std::fs::create_dir_all(&dir).expect("create csv dir");
         std::fs::write(format!("{dir}/fig13b_improvement.csv"), m.improvement_csv())

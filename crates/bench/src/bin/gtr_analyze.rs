@@ -1,0 +1,179 @@
+//! `gtr-analyze` — trace replay and stats comparison.
+//!
+//! Two modes, both built on [`gtr_bench::analyze`]:
+//!
+//! ```sh
+//! # Independently reconstruct a run's statistics from its JSONL trace
+//! # and fail (exit 1) if they diverge from the exported stats file:
+//! gtr-analyze --replay run.jsonl --stats run.json
+//!
+//! # Compare two stats documents metric by metric; exit 1 if any
+//! # relative delta exceeds the tolerance (percent, default 0):
+//! gtr-analyze --diff run.json golden.json --tolerance 5
+//! ```
+//!
+//! The replay check is the strongest consistency oracle the artifact
+//! set has: the trace and the stats are produced by different code
+//! paths inside the simulator, so agreement means neither lost an
+//! event. `ci.sh` runs both modes on every build.
+
+use gtr_bench::analyze::{check_against_stats, diff_stats, replay_jsonl};
+use gtr_core::stats::RunStats;
+use gtr_sim::json::Json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gtr-analyze --replay <trace.jsonl> --stats <stats.json>\n\
+         \x20      gtr-analyze --diff <a.json> <b.json> [--tolerance PCT]\n\
+         --replay  reconstruct statistics from the trace and verify them\n\
+         \x20         against the exported stats document (exit 1 on divergence)\n\
+         --diff    per-metric relative comparison of two stats documents\n\
+         --tolerance PCT  allowed relative delta in percent (default 0)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let str_flag = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        })
+    };
+    match (str_flag("--replay"), args.iter().any(|a| a == "--diff")) {
+        (Some(trace_path), false) => {
+            let Some(stats_path) = str_flag("--stats") else {
+                eprintln!("--replay needs --stats <stats.json>");
+                usage()
+            };
+            replay_mode(&trace_path, &stats_path);
+        }
+        (None, true) => {
+            let pos = args.iter().position(|a| a == "--diff").unwrap();
+            let (Some(a), Some(b)) = (args.get(pos + 1), args.get(pos + 2)) else {
+                eprintln!("--diff needs two stats files");
+                usage()
+            };
+            let tolerance = str_flag("--tolerance")
+                .map(|v| {
+                    v.parse::<f64>().unwrap_or_else(|_| {
+                        eprintln!("--tolerance must be a number (percent)");
+                        usage()
+                    })
+                })
+                .unwrap_or(0.0)
+                / 100.0;
+            diff_mode(a, b, tolerance);
+        }
+        _ => usage(),
+    }
+}
+
+/// Reads one *single-run* stats document, returning it alongside its
+/// stamped schema version. Matrix documents (the `all --stats-out`
+/// format) are rejected: a trace describes exactly one run.
+fn load_run_stats(path: &str) -> Result<(RunStats, u64), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let j = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if j.get("baseline").is_some() {
+        return Err(format!(
+            "{path}: this is a matrix document (multi-run); gtr-analyze needs a \
+             single-run stats file from `run_app --stats-out`"
+        ));
+    }
+    let version = j
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{path}: no schema_version"))?;
+    let s = gtr_core::export::run_stats_from_json(&j)
+        .ok_or_else(|| format!("{path}: does not match the stats schema"))?;
+    Ok((s, version))
+}
+
+fn replay_mode(trace_path: &str, stats_path: &str) {
+    let (stats, version) = load_run_stats(stats_path).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    let text = std::fs::read_to_string(trace_path).unwrap_or_else(|e| {
+        eprintln!("{trace_path}: {e}");
+        std::process::exit(1);
+    });
+    let replay = replay_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("{trace_path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "{trace_path}: {} events, {} translations, {} kernels",
+        replay.events,
+        replay.translations,
+        replay.kernel_ends.len()
+    );
+    let problems = check_against_stats(&replay, &stats, version);
+    if problems.is_empty() {
+        println!(
+            "replay matches {stats_path} (attribution, hit counters, kernel \
+             sequence{})",
+            if stats.dist_enabled { ", distribution histograms" } else { "" }
+        );
+    } else {
+        eprintln!("replay DIVERGES from {stats_path}:");
+        for p in &problems {
+            eprintln!("  {p}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn diff_mode(path_a: &str, path_b: &str, tolerance: f64) {
+    let (a, _) = load_run_stats(path_a).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    let (b, _) = load_run_stats(path_b).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    let rows = diff_stats(&a, &b);
+    let mut over = 0;
+    println!("{:<32} {:>16} {:>16} {:>10}", "metric", path_short(path_a), path_short(path_b), "delta");
+    for row in &rows {
+        let marker = if row.rel.abs() > tolerance { over += 1; " *" } else { "" };
+        if row.rel != 0.0 || tolerance == 0.0 {
+            println!(
+                "{:<32} {:>16} {:>16} {:>9.3}%{marker}",
+                row.metric,
+                fmt_num(row.a),
+                fmt_num(row.b),
+                row.rel * 100.0
+            );
+        }
+    }
+    if over > 0 {
+        eprintln!(
+            "{over} of {} metrics differ beyond {:.3}% tolerance",
+            rows.len(),
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("{} metrics within {:.3}% tolerance", rows.len(), tolerance * 100.0);
+}
+
+/// Last path component, for compact table headers.
+fn path_short(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+/// Integers print without a fractional part; everything else with
+/// three decimals.
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}

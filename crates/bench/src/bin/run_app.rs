@@ -20,12 +20,13 @@ use gtr_workloads::suite;
 fn usage() -> ! {
     eprintln!(
         "usage: run_app <APP> <CONFIG> [--quick|--tiny] [--sharers N] [--pages 4k|64k|2m] [--l2-tlb N] [--ducati]\n\
-         \x20              [--epochs N] [--stats-out FILE.json] [--trace FILE.jsonl]\n\
+         \x20              [--epochs N] [--stats-out FILE.json] [--trace FILE.jsonl] [--percentiles]\n\
          APP:    {}\n\
          CONFIG: baseline | lds | ic | ic+lds\n\
          --epochs N          sample cumulative counters every N cycles into the stats epoch series\n\
          --stats-out FILE    write the run's full statistics as JSON (parse back with gtr_core::export)\n\
-         --trace FILE        stream structured lifecycle events as JSON Lines",
+         --trace FILE        stream structured lifecycle events as JSON Lines\n\
+         --percentiles       record latency/lifetime distributions; print the per-path latency table",
         suite::TABLE2.iter().map(|i| i.name).collect::<Vec<_>>().join(" | ")
     );
     std::process::exit(2);
@@ -100,6 +101,10 @@ fn main() {
     if let Some(n) = flag_value("--epochs") {
         sys = sys.with_epochs(n as u64);
     }
+    let percentiles = args.iter().any(|a| a == "--percentiles");
+    if percentiles {
+        sys = sys.with_distributions();
+    }
     let trace_path = str_flag("--trace");
     if let Some(path) = &trace_path {
         let sink = JsonlSink::create(std::path::Path::new(path))
@@ -127,6 +132,41 @@ fn main() {
     println!("IC utilization:      {}", s.icache_utilization_summary);
     if !s.epochs.is_empty() {
         println!("epochs:              {} samples every {} cycles", s.epochs.len(), s.epoch_len);
+    }
+    if percentiles {
+        println!();
+        println!("translation latency by resolution path:");
+        println!("  {:<8} {:>10} {:>7} {:>7} {:>7} {:>7} {:>7}", "path", "count", "p50", "p90", "p99", "max", "share");
+        for (i, h) in s.latency_hists.iter().enumerate() {
+            if h.is_empty() {
+                continue;
+            }
+            println!(
+                "  {:<8} {:>10} {:>7} {:>7} {:>7} {:>7} {:>6.1}%",
+                gtr_sim::hist::CycleAttribution::label(i),
+                h.count(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max(),
+                s.attribution.cycle_share(i) * 100.0
+            );
+        }
+        for (name, lifetime, reuse) in [
+            ("LDS", &s.victim_lifetime_lds, &s.victim_reuse_lds),
+            ("I-cache", &s.victim_lifetime_ic, &s.victim_reuse_ic),
+        ] {
+            if reuse.count() > 0 {
+                println!(
+                    "{name} victim entries:  {} evicted, lifetime p50 {} cycles, \
+                     {} dead on arrival ({:.1}%)",
+                    reuse.count(),
+                    lifetime.p50(),
+                    reuse.zero_count(),
+                    reuse.zero_count() as f64 / reuse.count() as f64 * 100.0
+                );
+            }
+        }
     }
     println!("(simulated in {:.2}s)", wall.as_secs_f64());
     if let Some(path) = str_flag("--stats-out") {

@@ -5,15 +5,20 @@
 //! * `validate_stats stats.json ...` — each file must be either one
 //!   run-stats document (`run_app --stats-out`) or a matrix document
 //!   (`all --stats-out`); every run record must parse back through
-//!   `gtr_core::export::run_stats_from_json` and satisfy the epoch
-//!   invariants (counters monotone, final epoch equals run totals).
+//!   `gtr_core::export::run_stats_from_json`, satisfy the epoch
+//!   invariants (counters monotone, final epoch equals run totals),
+//!   and — for schema-v2 documents — the distribution invariants
+//!   (attribution re-adds to the scalar counters, histogram totals
+//!   agree with the attribution).
 //! * `validate_stats --jsonl trace.jsonl ...` — each line must parse
 //!   as a JSON object whose `type` is a known trace-event kind.
 //!
 //! Exits non-zero on the first invalid file set; `ci.sh` runs this
 //! against a tiny-matrix export so schema drift fails the build.
 
-use gtr_core::export::{check_epoch_invariants, run_stats_from_json};
+use gtr_core::export::{
+    check_distribution_invariants, check_epoch_invariants, run_stats_from_json,
+};
 use gtr_sim::json::Json;
 
 const EVENT_KINDS: [&str; 8] = [
@@ -91,11 +96,17 @@ fn validate_stats_file(path: &str) -> Result<usize, String> {
     }
 }
 
-/// One run record: must round-trip through the export schema and keep
-/// its epoch series internally consistent.
+/// One run record: must round-trip through the export schema, keep its
+/// epoch series internally consistent, and (schema v2) carry
+/// distributions that re-add to the scalar counters.
 fn validate_run(j: &Json) -> Result<(), String> {
     let s = run_stats_from_json(j).ok_or("run record does not match the stats schema")?;
-    let problems = check_epoch_invariants(&s);
+    let version = j
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("run record has no schema_version")?;
+    let mut problems = check_epoch_invariants(&s);
+    problems.extend(check_distribution_invariants(&s, version));
     if problems.is_empty() {
         Ok(())
     } else {

@@ -191,13 +191,28 @@ pub fn fig11(scale: Scale) -> String {
 
 /// The main (Fig 13/14/15) run matrix: LDS-only, IC-only, IC+LDS.
 pub fn main_matrix(scale: Scale) -> Matrix {
+    main_matrix_opts(scale, false)
+}
+
+/// [`main_matrix`] with distribution recording optionally armed on
+/// every cell (`all --percentiles` uses this to export schema-v2
+/// histograms; the timing results are identical either way).
+pub fn main_matrix_opts(scale: Scale, distributions: bool) -> Matrix {
+    let variant = |label: &str, reach| {
+        let v = Variant::new(label, reach);
+        if distributions {
+            v.with_distributions()
+        } else {
+            v
+        }
+    };
     Matrix::run(
         scale,
-        Variant::new("baseline", ReachConfig::baseline()),
+        variant("baseline", ReachConfig::baseline()),
         vec![
-            Variant::new("LDS", ReachConfig::lds_only()),
-            Variant::new("IC", ReachConfig::ic_only()),
-            Variant::new("IC+LDS", ReachConfig::ic_plus_lds()),
+            variant("LDS", ReachConfig::lds_only()),
+            variant("IC", ReachConfig::ic_only()),
+            variant("IC+LDS", ReachConfig::ic_plus_lds()),
         ],
     )
 }

@@ -43,17 +43,33 @@ pub struct Variant {
     pub reach: ReachConfig,
     /// Attach a DUCATI side cache with this many POM entries.
     pub ducati_entries: Option<u64>,
+    /// Arm distribution recording (`System::with_distributions`) for
+    /// every run of this variant, filling the schema-v2 histogram
+    /// fields of each cell's [`RunStats`].
+    pub distributions: bool,
 }
 
 impl Variant {
     /// A variant on the default Table-1 machine.
     pub fn new(label: impl Into<String>, reach: ReachConfig) -> Self {
-        Self { label: label.into(), gpu: GpuConfig::default(), reach, ducati_entries: None }
+        Self {
+            label: label.into(),
+            gpu: GpuConfig::default(),
+            reach,
+            ducati_entries: None,
+            distributions: false,
+        }
     }
 
     /// A variant with a custom machine.
     pub fn with_gpu(label: impl Into<String>, gpu: GpuConfig, reach: ReachConfig) -> Self {
-        Self { label: label.into(), gpu, reach, ducati_entries: None }
+        Self {
+            label: label.into(),
+            gpu,
+            reach,
+            ducati_entries: None,
+            distributions: false,
+        }
     }
 
     /// Adds a DUCATI side cache.
@@ -62,14 +78,22 @@ impl Variant {
         self
     }
 
+    /// Arms distribution recording for this variant's runs.
+    pub fn with_distributions(mut self) -> Self {
+        self.distributions = true;
+        self
+    }
+
     /// Executes this variant on one application.
     pub fn run(&self, app: &AppTrace) -> RunStats {
-        match self.ducati_entries {
-            Some(entries) => {
-                run_one_with_ducati(app, self.gpu.clone(), self.reach, entries)
-            }
-            None => run_one(app, self.gpu.clone(), self.reach),
+        let mut sys = System::new(self.gpu.clone(), self.reach);
+        if let Some(entries) = self.ducati_entries {
+            sys = sys.with_side_cache(Box::new(Ducati::new(entries)));
         }
+        if self.distributions {
+            sys = sys.with_distributions();
+        }
+        sys.run(app)
     }
 }
 

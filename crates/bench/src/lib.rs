@@ -14,11 +14,14 @@
 //! (application × configuration), a work-stealing worker pool, geometric
 //! means, and table formatting. [`perf`] is the simulator-throughput
 //! regression harness behind the `perf` binary and
-//! `BENCH_sim_throughput.json`.
+//! `BENCH_sim_throughput.json`. [`analyze`] is the trace-replay
+//! consistency checker and stats differ behind the `gtr-analyze`
+//! binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod figures;
 pub mod harness;
 pub mod perf;

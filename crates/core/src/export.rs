@@ -13,6 +13,7 @@
 //! `run_stats_from_json(parse(run_stats_to_json(s))) == s` holds
 //! bit-for-bit (the round-trip tests assert it).
 
+use gtr_sim::hist::{AttrSlot, CycleAttribution, Hist};
 use gtr_sim::json::Json;
 use gtr_sim::stats::{FiveNumberSummary, HitMiss};
 
@@ -20,7 +21,14 @@ use crate::stats::{EpochStats, KernelStats, RunStats};
 
 /// Schema identifier stamped into every exported stats document, bumped
 /// when fields change incompatibly.
-pub const STATS_SCHEMA_VERSION: u64 = 1;
+///
+/// * **v1** — scalar counters, kernels, five-number summaries, epochs.
+/// * **v2** — adds per-path cycle [`CycleAttribution`], the
+///   distribution histograms (`latency_hists`, `iommu_latency`,
+///   `victim_lifetime_*`, `victim_reuse_*`, `dist_enabled`), and the
+///   per-epoch `lds_resident_tx` / `ic_resident_tx` occupancy gauges.
+///   v1 documents still parse: the added fields default to empty.
+pub const STATS_SCHEMA_VERSION: u64 = 2;
 
 fn hit_miss_to_json(hm: &HitMiss) -> Json {
     Json::Obj(vec![
@@ -78,9 +86,95 @@ fn kernel_from_json(j: &Json) -> Option<KernelStats> {
     })
 }
 
+/// Serializes a [`Hist`] sparsely: scalar `count`/`sum`/`max` plus a
+/// `[index, count]` pair per non-empty bucket (most of the 64 buckets
+/// are empty in practice, so dense arrays would bloat every export).
+fn hist_to_json(h: &Hist) -> Json {
+    Json::Obj(vec![
+        ("count".into(), Json::from(h.count())),
+        ("sum".into(), Json::from(h.sum())),
+        ("max".into(), Json::from(h.max())),
+        (
+            "buckets".into(),
+            Json::Arr(
+                h.nonzero_buckets()
+                    .map(|(i, c)| Json::Arr(vec![Json::from(i as u64), Json::from(c)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses a histogram written by [`hist_to_json`]. Beyond shape
+/// errors, rejects documents whose `count` disagrees with the bucket
+/// totals (see [`Hist::from_parts`]).
+fn hist_from_json(j: &Json) -> Option<Hist> {
+    let count = j.get("count")?.as_u64()?;
+    let sum = j.get("sum")?.as_u64()?;
+    let max = j.get("max")?.as_u64()?;
+    let buckets = j
+        .get("buckets")?
+        .as_arr()?
+        .iter()
+        .map(|b| {
+            let pair = b.as_arr()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            Some((pair[0].as_u64()? as usize, pair[1].as_u64()?))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Hist::from_parts(count, sum, max, buckets)
+}
+
+fn hist_array_from_json<const N: usize>(j: &Json) -> Option<[Hist; N]> {
+    let arr = j.as_arr()?;
+    if arr.len() != N {
+        return None;
+    }
+    let hists = arr.iter().map(hist_from_json).collect::<Option<Vec<_>>>()?;
+    hists.try_into().ok()
+}
+
+fn attribution_to_json(a: &CycleAttribution) -> Json {
+    Json::Obj(
+        a.slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                (
+                    CycleAttribution::label(i).to_string(),
+                    Json::Obj(vec![
+                        ("count".into(), Json::from(s.count)),
+                        ("cycles".into(), Json::from(s.cycles)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn attribution_from_json(j: &Json) -> Option<CycleAttribution> {
+    let mut a = CycleAttribution::new();
+    for (i, slot) in a.slots.iter_mut().enumerate() {
+        let entry = j.get(CycleAttribution::label(i))?;
+        *slot = AttrSlot {
+            count: entry.get("count")?.as_u64()?,
+            cycles: entry.get("cycles")?.as_u64()?,
+        };
+    }
+    Some(a)
+}
+
+/// One epoch-series column: its name and the getter extracting it
+/// from a snapshot.
+type EpochColumn = (&'static str, fn(&EpochStats) -> u64);
+
 /// The `(name, getter)` pairs defining the epoch-series columns, used
 /// by both the JSON and CSV encodings so the two stay in lockstep.
-const EPOCH_COLUMNS: [(&str, fn(&EpochStats) -> u64); 14] = [
+/// The last two gauges are the schema-v2 Tx-occupancy split; v1
+/// documents lack them (the parsers default them to 0).
+const EPOCH_COLUMNS: [EpochColumn; 16] = [
     ("cycle", |e| e.cycle),
     ("translation_requests", |e| e.translation_requests),
     ("l1_hits", |e| e.l1_hits),
@@ -95,7 +189,13 @@ const EPOCH_COLUMNS: [(&str, fn(&EpochStats) -> u64); 14] = [
     ("instructions", |e| e.instructions),
     ("dram_accesses", |e| e.dram_accesses),
     ("resident_tx", |e| e.resident_tx),
+    ("lds_resident_tx", |e| e.lds_resident_tx),
+    ("ic_resident_tx", |e| e.ic_resident_tx),
 ];
+
+/// How many epoch columns a schema-v1 document has (everything before
+/// the v2 occupancy gauges).
+const EPOCH_COLUMNS_V1: usize = 14;
 
 fn epoch_to_json(e: &EpochStats) -> Json {
     Json::Obj(
@@ -127,6 +227,9 @@ fn epoch_from_json(j: &Json) -> Option<EpochStats> {
     for (name, slot) in fields.iter_mut() {
         **slot = j.get(name)?.as_u64()?;
     }
+    // The v2 occupancy gauges are absent in v1 documents: default to 0.
+    e.lds_resident_tx = j.get("lds_resident_tx").and_then(Json::as_u64).unwrap_or(0);
+    e.ic_resident_tx = j.get("ic_resident_tx").and_then(Json::as_u64).unwrap_or(0);
     Some(e)
 }
 
@@ -166,6 +269,20 @@ pub fn run_stats_to_json(s: &RunStats) -> Json {
         ),
         ("epoch_len".into(), Json::from(s.epoch_len)),
         ("epochs".into(), Json::Arr(s.epochs.iter().map(epoch_to_json).collect())),
+        ("attribution".into(), attribution_to_json(&s.attribution)),
+        ("dist_enabled".into(), Json::from(s.dist_enabled)),
+        (
+            "latency_hists".into(),
+            Json::Arr(s.latency_hists.iter().map(hist_to_json).collect()),
+        ),
+        (
+            "iommu_latency".into(),
+            Json::Arr(s.iommu_latency.iter().map(hist_to_json).collect()),
+        ),
+        ("victim_lifetime_lds".into(), hist_to_json(&s.victim_lifetime_lds)),
+        ("victim_lifetime_ic".into(), hist_to_json(&s.victim_lifetime_ic)),
+        ("victim_reuse_lds".into(), hist_to_json(&s.victim_reuse_lds)),
+        ("victim_reuse_ic".into(), hist_to_json(&s.victim_reuse_ic)),
     ])
 }
 
@@ -181,8 +298,12 @@ pub fn run_stats_to_json_string(s: &RunStats) -> String {
 /// when any field is missing or has the wrong type. Derived fields
 /// (`ptw_pki`, `schema_version`) are validated for presence but
 /// recomputed from source counters, so they cannot drift.
+///
+/// Both schema versions parse: a v1 document leaves the v2
+/// distribution fields at their (empty) defaults; a v2 document must
+/// carry all of them.
 pub fn run_stats_from_json(j: &Json) -> Option<RunStats> {
-    j.get("schema_version")?.as_u64()?;
+    let version = j.get("schema_version")?.as_u64()?;
     j.get("ptw_pki")?.as_f64()?;
     Some(RunStats {
         app: j.get("app")?.as_str()?.to_string(),
@@ -221,6 +342,42 @@ pub fn run_stats_from_json(j: &Json) -> Option<RunStats> {
             .iter()
             .map(epoch_from_json)
             .collect::<Option<Vec<_>>>()?,
+        attribution: if version >= 2 {
+            attribution_from_json(j.get("attribution")?)?
+        } else {
+            CycleAttribution::default()
+        },
+        dist_enabled: if version >= 2 { j.get("dist_enabled")?.as_bool()? } else { false },
+        latency_hists: if version >= 2 {
+            hist_array_from_json(j.get("latency_hists")?)?
+        } else {
+            Default::default()
+        },
+        iommu_latency: if version >= 2 {
+            hist_array_from_json(j.get("iommu_latency")?)?
+        } else {
+            Default::default()
+        },
+        victim_lifetime_lds: if version >= 2 {
+            hist_from_json(j.get("victim_lifetime_lds")?)?
+        } else {
+            Hist::default()
+        },
+        victim_lifetime_ic: if version >= 2 {
+            hist_from_json(j.get("victim_lifetime_ic")?)?
+        } else {
+            Hist::default()
+        },
+        victim_reuse_lds: if version >= 2 {
+            hist_from_json(j.get("victim_reuse_lds")?)?
+        } else {
+            Hist::default()
+        },
+        victim_reuse_ic: if version >= 2 {
+            hist_from_json(j.get("victim_reuse_ic")?)?
+        } else {
+            Hist::default()
+        },
     })
 }
 
@@ -245,14 +402,20 @@ pub fn epochs_to_csv(epochs: &[EpochStats]) -> String {
 }
 
 /// Parses CSV written by [`epochs_to_csv`]. Returns `None` on a
-/// missing/reordered header or malformed row.
+/// missing/reordered header or malformed row. A legacy (schema-v1)
+/// header without the two occupancy-gauge columns is accepted; the
+/// gauges default to 0.
 pub fn epochs_from_csv(text: &str) -> Option<Vec<EpochStats>> {
     let mut lines = text.lines();
     let header: Vec<&str> = lines.next()?.split(',').collect();
     let expected: Vec<&str> = EPOCH_COLUMNS.iter().map(|(n, _)| *n).collect();
-    if header != expected {
+    let columns = if header == expected {
+        EPOCH_COLUMNS.len()
+    } else if header == expected[..EPOCH_COLUMNS_V1] {
+        EPOCH_COLUMNS_V1
+    } else {
         return None;
-    }
+    };
     let mut out = Vec::new();
     for line in lines {
         if line.is_empty() {
@@ -262,7 +425,7 @@ pub fn epochs_from_csv(text: &str) -> Option<Vec<EpochStats>> {
             .split(',')
             .map(|v| v.parse::<u64>().ok())
             .collect::<Option<Vec<_>>>()?;
-        if values.len() != EPOCH_COLUMNS.len() {
+        if values.len() != columns {
             return None;
         }
         out.push(EpochStats {
@@ -280,6 +443,8 @@ pub fn epochs_from_csv(text: &str) -> Option<Vec<EpochStats>> {
             instructions: values[11],
             dram_accesses: values[12],
             resident_tx: values[13],
+            lds_resident_tx: values.get(14).copied().unwrap_or(0),
+            ic_resident_tx: values.get(15).copied().unwrap_or(0),
         });
     }
     Some(out)
@@ -356,9 +521,106 @@ pub fn check_epoch_invariants(s: &RunStats) -> Vec<String> {
     problems
 }
 
+/// Validates the schema-v2 distribution invariants: the cycle
+/// attribution must re-add to the scalar counters, and when
+/// distribution recording was armed the histogram totals must agree
+/// with the attribution slot by slot. Returns human-readable
+/// violations (empty = valid); always empty for `schema_version < 2`
+/// (v1 documents carry no distributions).
+pub fn check_distribution_invariants(s: &RunStats, schema_version: u64) -> Vec<String> {
+    let mut problems = Vec::new();
+    if schema_version < 2 {
+        return problems;
+    }
+    let a = &s.attribution;
+    let counter_checks: [(&str, u64, u64); 4] = [
+        ("attribution total", a.total_count(), s.translation_requests),
+        ("l1_hit slot", a.slots[0].count, s.l1_tlb.hits),
+        ("lds_tx slot", a.slots[2].count, s.lds_tx.hits),
+        ("ic_tx slot", a.slots[3].count, s.ic_tx.hits),
+    ];
+    for (name, got, want) in counter_checks {
+        if got != want {
+            problems.push(format!("{name} count {got} != scalar counter {want}"));
+        }
+    }
+    let miss_paths: u64 = a.slots[1..].iter().map(|sl| sl.count).sum();
+    if miss_paths != s.l1_tlb.misses {
+        problems.push(format!(
+            "non-L1-hit slots sum to {miss_paths} != l1 misses {}",
+            s.l1_tlb.misses
+        ));
+    }
+    if s.dist_enabled {
+        for (i, (h, slot)) in s.latency_hists.iter().zip(&a.slots).enumerate() {
+            let label = CycleAttribution::label(i);
+            if h.count() != slot.count {
+                problems.push(format!(
+                    "latency hist '{label}' count {} != attribution count {}",
+                    h.count(),
+                    slot.count
+                ));
+            }
+            if h.sum() != slot.cycles {
+                problems.push(format!(
+                    "latency hist '{label}' sum {} != attribution cycles {}",
+                    h.sum(),
+                    slot.cycles
+                ));
+            }
+        }
+        let iommu_total: u64 = s.iommu_latency.iter().map(Hist::count).sum();
+        if iommu_total != a.slots[5].count {
+            problems.push(format!(
+                "iommu latency hists sum to {iommu_total} != walk-path count {}",
+                a.slots[5].count
+            ));
+        }
+        let paired: [(&str, &Hist, &Hist); 2] = [
+            ("lds", &s.victim_lifetime_lds, &s.victim_reuse_lds),
+            ("ic", &s.victim_lifetime_ic, &s.victim_reuse_ic),
+        ];
+        for (name, lifetime, reuse) in paired {
+            if lifetime.count() != reuse.count() {
+                problems.push(format!(
+                    "victim {name}: lifetime count {} != reuse count {} \
+                     (every eviction contributes one of each)",
+                    lifetime.count(),
+                    reuse.count()
+                ));
+            }
+        }
+    } else {
+        let all_hists: Vec<&Hist> = s
+            .latency_hists
+            .iter()
+            .chain(&s.iommu_latency)
+            .chain([
+                &s.victim_lifetime_lds,
+                &s.victim_lifetime_ic,
+                &s.victim_reuse_lds,
+                &s.victim_reuse_ic,
+            ])
+            .collect();
+        if all_hists.iter().any(|h| !h.is_empty()) {
+            problems.push("dist_enabled is false but histograms are non-empty".into());
+        }
+    }
+    problems
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A histogram of `n` samples all equal to `v`.
+    fn hist_of(n: u64, v: u64) -> Hist {
+        let mut h = Hist::new();
+        for _ in 0..n {
+            h.record(v);
+        }
+        h
+    }
 
     fn sample_stats() -> RunStats {
         RunStats {
@@ -414,8 +676,36 @@ mod tests {
                     instructions: 10_000,
                     dram_accesses: 7_777,
                     resident_tx: 42,
+                    lds_resident_tx: 30,
+                    ic_resident_tx: 12,
                 },
             ],
+            // Distribution fields, mutually consistent with the scalar
+            // counters above (the invariant checker's valid case):
+            // slot counts 3000+400+200+100+0+1300 = 5000 requests, and
+            // every latency histogram's count/sum equals its slot.
+            attribution: CycleAttribution::from_counts(&[
+                (3_000, 324_000),
+                (400, 60_000),
+                (200, 28_000),
+                (100, 16_000),
+                (0, 0),
+                (1_300, 2_600_000),
+            ]),
+            dist_enabled: true,
+            latency_hists: [
+                hist_of(3_000, 108),
+                hist_of(400, 150),
+                hist_of(200, 140),
+                hist_of(100, 160),
+                Hist::new(),
+                hist_of(1_300, 2_000),
+            ],
+            iommu_latency: [Hist::new(), Hist::new(), Hist::new(), hist_of(1_300, 2_000)],
+            victim_lifetime_lds: hist_of(10, 500),
+            victim_lifetime_ic: hist_of(4, 900),
+            victim_reuse_lds: hist_of(10, 0),
+            victim_reuse_ic: hist_of(4, 2),
             ..Default::default()
         }
     }
@@ -459,6 +749,113 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("app,total_cycles"));
         assert!(lines[1].starts_with("GUPS,3977625,"));
+    }
+
+    #[test]
+    fn v2_export_is_byte_stable() {
+        let s = sample_stats();
+        let first = run_stats_to_json_string(&s);
+        let parsed = Json::parse(&first).expect("well-formed JSON");
+        let back = run_stats_from_json(&parsed).expect("schema-complete");
+        let second = run_stats_to_json_string(&back);
+        assert_eq!(first, second, "write → parse → write must be byte-stable");
+    }
+
+    #[test]
+    fn v1_document_still_parses_with_empty_distributions() {
+        let s = sample_stats();
+        let Json::Obj(mut fields) = run_stats_to_json(&s) else { panic!("object") };
+        // Downgrade to a v1 document: stamp version 1 and strip every
+        // field v1 never carried.
+        let v2_only = [
+            "attribution",
+            "dist_enabled",
+            "latency_hists",
+            "iommu_latency",
+            "victim_lifetime_lds",
+            "victim_lifetime_ic",
+            "victim_reuse_lds",
+            "victim_reuse_ic",
+        ];
+        fields.retain(|(k, _)| !v2_only.contains(&k.as_str()));
+        for (k, v) in fields.iter_mut() {
+            if k == "schema_version" {
+                *v = Json::from(1u64);
+            }
+        }
+        let back = run_stats_from_json(&Json::Obj(fields)).expect("v1 parses");
+        assert_eq!(back.total_cycles, s.total_cycles);
+        assert!(!back.dist_enabled);
+        assert_eq!(back.attribution, CycleAttribution::default());
+        assert!(back.latency_hists.iter().all(Hist::is_empty));
+        assert!(check_distribution_invariants(&back, 1).is_empty(), "v1 has no distribution invariants");
+    }
+
+    #[test]
+    fn corrupt_histogram_bucket_totals_rejected() {
+        let s = sample_stats();
+        let text = run_stats_to_json_string(&s);
+        // Tamper: halve the walk-path latency histogram's scalar count
+        // without touching its buckets — from_parts must notice.
+        let tampered = text.replace("\"count\": 1300", "\"count\": 650");
+        assert_ne!(tampered, text, "fixture must contain the walk-path count");
+        let parsed = Json::parse(&tampered).expect("still well-formed JSON");
+        assert!(run_stats_from_json(&parsed).is_none(), "bucket/count mismatch must reject");
+    }
+
+    #[test]
+    fn distribution_invariants_catch_violations() {
+        let s = sample_stats();
+        assert!(check_distribution_invariants(&s, STATS_SCHEMA_VERSION).is_empty(), "sample is valid");
+        // Attribution slot drifts from the scalar counter.
+        let mut s1 = sample_stats();
+        s1.attribution.slots[2].count += 1;
+        let p1 = check_distribution_invariants(&s1, STATS_SCHEMA_VERSION);
+        assert!(!p1.is_empty());
+        // Histogram totals drift from the attribution.
+        let mut s2 = sample_stats();
+        s2.latency_hists[0].record(5);
+        assert!(!check_distribution_invariants(&s2, STATS_SCHEMA_VERSION).is_empty());
+        // Lifetime/reuse pairing broken.
+        let mut s3 = sample_stats();
+        s3.victim_reuse_lds.record(1);
+        assert!(!check_distribution_invariants(&s3, STATS_SCHEMA_VERSION).is_empty());
+        // Disabled recording must mean empty histograms.
+        let mut s4 = sample_stats();
+        s4.dist_enabled = false;
+        assert!(!check_distribution_invariants(&s4, STATS_SCHEMA_VERSION).is_empty());
+        // A v1 document is never subjected to these checks.
+        assert!(check_distribution_invariants(&s1, 1).is_empty());
+    }
+
+    #[test]
+    fn epochs_csv_accepts_legacy_v1_header() {
+        let s = sample_stats();
+        let csv = epochs_to_csv(&s.epochs);
+        // Build the legacy variant: drop the two gauge columns from the
+        // header and every row.
+        let legacy: String = csv
+            .lines()
+            .map(|line| {
+                let cols: Vec<&str> = line.split(',').collect();
+                cols[..EPOCH_COLUMNS_V1].join(",")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = epochs_from_csv(&legacy).expect("legacy header accepted");
+        assert_eq!(back.len(), s.epochs.len());
+        assert_eq!(back[1].resident_tx, 42);
+        assert_eq!(back[1].lds_resident_tx, 0, "gauges default in legacy CSV");
+        // A 15-column in-between header is still rejected.
+        let odd: String = csv
+            .lines()
+            .map(|line| {
+                let cols: Vec<&str> = line.split(',').collect();
+                cols[..EPOCH_COLUMNS_V1 + 1].join(",")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(epochs_from_csv(&odd).is_none());
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   direct-mapped Tx indexing, 1 or 8 translations per line,
 //!   instruction-aware replacement, kernel-boundary flush (§4.3).
 //! * [`driver`] — runtime page migrations + TLB shootdowns (§7.1).
+//! * [`obs`] — opt-in distribution recording (per-path latency
+//!   histograms, IOMMU walk-latency tagging, victim-entry
+//!   lifetime/reuse tracking) behind the schema-v2 stats export.
 //! * [`victim`] — the fill/lookup flows of Figure 12.
 //! * [`system`] — the full timing simulator (CUs, wavefronts, TLBs,
 //!   IOMMU, caches, DRAM) that every experiment harness drives.
@@ -50,6 +53,7 @@ pub mod driver;
 pub mod export;
 pub mod icache_tx;
 pub mod lds_tx;
+pub mod obs;
 pub mod stats;
 pub mod system;
 pub mod victim;

@@ -1,0 +1,203 @@
+//! Distribution recording for the translation hot path.
+//!
+//! [`ObsRecorder`] is the in-simulator half of the schema-v2
+//! observability layer: per-service-point latency histograms,
+//! per-IOMMU-level walk latencies, and victim-entry lifetime/reuse
+//! tracking. It is owned by `System` and driven only when
+//! `System::with_distributions` armed the cached `obs_on` flag — the
+//! same gating discipline the trace sink uses, so a run without
+//! distributions pays one predictable branch per site and nothing
+//! else (the perf gate asserts the zero-cost guarantee).
+//!
+//! [`VictimLifetimes`] is deliberately reusable outside the simulator:
+//! `gtr-bench`'s `gtr-analyze` replays a JSONL trace through the very
+//! same struct, so the simulator-recorded and trace-reconstructed
+//! lifetime histograms are equal by construction whenever the trace is
+//! complete — the replay consistency oracle.
+
+use std::collections::HashMap;
+
+use gtr_sim::hist::Hist;
+use gtr_sim::trace::TxStructure;
+use gtr_sim::Cycle;
+
+/// A live victim entry awaiting its death (eviction or shootdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LiveEntry {
+    born: Cycle,
+    reuses: u64,
+}
+
+/// Victim-entry lifetime and reuse-count tracking over the
+/// reconfigurable LDS and I-cache ("Dead on Arrival" analysis: a
+/// victim tier only earns its keep if entries are hit before they
+/// fall out).
+///
+/// Entries are keyed by `(vpn, vmid)` — exactly the identity the
+/// JSONL trace events carry — with a last-writer-wins rule when the
+/// same page is inserted again (the duplicate across CUs closes the
+/// previous record). An eviction closes its record and contributes a
+/// lifetime sample (`eviction cycle − insert cycle`) and a reuse
+/// sample (hits served while resident); a shootdown removes the record
+/// *without* recording (invalidation is not a capacity outcome);
+/// entries still live at run end are censored (never recorded). A
+/// reuse count of zero is a dead-on-arrival entry
+/// ([`Hist::zero_count`] of the reuse histogram counts them exactly).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VictimLifetimes {
+    live_lds: HashMap<u64, LiveEntry>,
+    live_ic: HashMap<u64, LiveEntry>,
+    /// Lifetimes (insert→evict, cycles) of evicted LDS entries.
+    pub lifetime_lds: Hist,
+    /// Lifetimes of evicted I-cache entries.
+    pub lifetime_ic: Hist,
+    /// Hits served by each evicted LDS entry while resident.
+    pub reuse_lds: Hist,
+    /// Hits served by each evicted I-cache entry while resident.
+    pub reuse_ic: Hist,
+}
+
+fn key(vpn: u64, vmid: u8) -> u64 {
+    // VPNs are < 2^52 and vmids < 4 (2-bit address-space ids).
+    (vpn << 2) | vmid as u64
+}
+
+impl VictimLifetimes {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn close(map: &mut HashMap<u64, LiveEntry>, lifetime: &mut Hist, reuse: &mut Hist, k: u64, now: Cycle) {
+        if let Some(e) = map.remove(&k) {
+            lifetime.record(now.saturating_sub(e.born));
+            reuse.record(e.reuses);
+        }
+    }
+
+    /// Records a victim-structure insert at `now`: closes the record of
+    /// the displaced entry (if any), closes a same-key duplicate, and
+    /// opens a fresh record. Inserts into the L2 TLB are ignored (the
+    /// fill flow's terminal stop is not a reconfigurable structure).
+    pub fn insert(
+        &mut self,
+        structure: TxStructure,
+        vpn: u64,
+        vmid: u8,
+        evicted: Option<(u64, u8)>,
+        now: Cycle,
+    ) {
+        let (map, lifetime, reuse) = match structure {
+            TxStructure::Lds => (&mut self.live_lds, &mut self.lifetime_lds, &mut self.reuse_lds),
+            TxStructure::Icache => (&mut self.live_ic, &mut self.lifetime_ic, &mut self.reuse_ic),
+            TxStructure::L2Tlb => return,
+        };
+        if let Some((evpn, evmid)) = evicted {
+            Self::close(map, lifetime, reuse, key(evpn, evmid), now);
+        }
+        // A re-insert of a still-live page (e.g. the same VPN filled
+        // from another CU) supersedes the old record.
+        Self::close(map, lifetime, reuse, key(vpn, vmid), now);
+        map.insert(key(vpn, vmid), LiveEntry { born: now, reuses: 0 });
+    }
+
+    /// Records a victim-structure hit (a translation resolved via the
+    /// LDS or I-cache path). Hits on pages without a live record — a
+    /// duplicate copy whose record was superseded — are ignored, which
+    /// keeps the rule identical between simulator and trace replay.
+    pub fn hit(&mut self, structure: TxStructure, vpn: u64, vmid: u8) {
+        let map = match structure {
+            TxStructure::Lds => &mut self.live_lds,
+            TxStructure::Icache => &mut self.live_ic,
+            TxStructure::L2Tlb => return,
+        };
+        if let Some(e) = map.get_mut(&key(vpn, vmid)) {
+            e.reuses += 1;
+        }
+    }
+
+    /// A driver shootdown invalidated `(vpn, vmid)` everywhere: drop
+    /// any live record without contributing samples.
+    pub fn shootdown(&mut self, vpn: u64, vmid: u8) {
+        self.live_lds.remove(&key(vpn, vmid));
+        self.live_ic.remove(&key(vpn, vmid));
+    }
+
+    /// Records still live (censored if the run ended now).
+    pub fn live(&self) -> usize {
+        self.live_lds.len() + self.live_ic.len()
+    }
+}
+
+/// Everything the distribution layer records during a run: one latency
+/// histogram per Fig-12 resolution path, one per IOMMU service level
+/// (walk-latency tagging), and the victim lifetime tracker.
+#[derive(Debug, Clone, Default)]
+pub struct ObsRecorder {
+    /// Translation latency per resolution path
+    /// ([`gtr_sim::trace::TracePath::ALL`] order).
+    pub lat: [Hist; 6],
+    /// IOMMU service latency per
+    /// [`gtr_vm::iommu::IommuHitLevel::ALL`] level, for requests that
+    /// missed everything above the IOMMU.
+    pub iommu_lat: [Hist; 4],
+    /// Victim-entry lifetime/reuse tracking.
+    pub victim: VictimLifetimes,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_closes_with_lifetime_and_reuse() {
+        let mut v = VictimLifetimes::new();
+        v.insert(TxStructure::Lds, 10, 0, None, 100);
+        v.hit(TxStructure::Lds, 10, 0);
+        v.hit(TxStructure::Lds, 10, 0);
+        assert_eq!(v.live(), 1);
+        // Page 11 displaces page 10.
+        v.insert(TxStructure::Lds, 11, 0, Some((10, 0)), 350);
+        assert_eq!(v.lifetime_lds.count(), 1);
+        assert_eq!(v.lifetime_lds.max(), 250);
+        assert_eq!(v.reuse_lds.count(), 1);
+        assert_eq!(v.reuse_lds.zero_count(), 0, "entry was reused twice");
+        assert_eq!(v.live(), 1);
+    }
+
+    #[test]
+    fn dead_on_arrival_shows_as_zero_reuse() {
+        let mut v = VictimLifetimes::new();
+        v.insert(TxStructure::Icache, 5, 0, None, 10);
+        v.insert(TxStructure::Icache, 6, 0, Some((5, 0)), 20);
+        assert_eq!(v.reuse_ic.zero_count(), 1, "never hit before eviction");
+        assert_eq!(v.lifetime_ic.max(), 10);
+    }
+
+    #[test]
+    fn reinsert_supersedes_and_shootdown_censors() {
+        let mut v = VictimLifetimes::new();
+        v.insert(TxStructure::Lds, 7, 1, None, 0);
+        // Same page filled again (another CU's copy): old record closes.
+        v.insert(TxStructure::Lds, 7, 1, None, 40);
+        assert_eq!(v.lifetime_lds.count(), 1);
+        assert_eq!(v.lifetime_lds.max(), 40);
+        // Shootdown drops the live record without recording.
+        v.shootdown(7, 1);
+        assert_eq!(v.live(), 0);
+        assert_eq!(v.lifetime_lds.count(), 1);
+        // Hits on dead pages are ignored.
+        v.hit(TxStructure::Lds, 7, 1);
+        assert_eq!(v.reuse_lds.count(), 1);
+    }
+
+    #[test]
+    fn vmid_disambiguates_and_l2_is_ignored() {
+        let mut v = VictimLifetimes::new();
+        v.insert(TxStructure::Lds, 9, 0, None, 0);
+        v.insert(TxStructure::Lds, 9, 2, None, 5);
+        assert_eq!(v.live(), 2, "same VPN in two address spaces");
+        v.insert(TxStructure::L2Tlb, 1, 0, Some((9, 0)), 10);
+        assert_eq!(v.live(), 2, "L2 fills do not touch the tracker");
+    }
+}

@@ -1,5 +1,6 @@
 //! Run-level measurements: everything the paper's figures report.
 
+use gtr_sim::hist::{CycleAttribution, Hist};
 use gtr_sim::stats::{FiveNumberSummary, HitMiss, Sampler};
 
 /// Per-kernel measurement record (Figs 5a and 11).
@@ -61,6 +62,14 @@ pub struct EpochStats {
     /// Translations resident in LDS + I-cache at the sample instant —
     /// a gauge, not a cumulative counter (Fig 15's curve).
     pub resident_tx: u64,
+    /// LDS-only component of [`EpochStats::resident_tx`] (gauge):
+    /// translations resident in Tx-mode LDS segments at the sample
+    /// instant.
+    pub lds_resident_tx: u64,
+    /// I-cache-only component of [`EpochStats::resident_tx`] (gauge):
+    /// translations resident in Tx-mode I-cache lines at the sample
+    /// instant.
+    pub ic_resident_tx: u64,
 }
 
 impl EpochStats {
@@ -83,6 +92,8 @@ impl EpochStats {
             instructions: self.instructions - prev.instructions,
             dram_accesses: self.dram_accesses - prev.dram_accesses,
             resident_tx: self.resident_tx,
+            lds_resident_tx: self.lds_resident_tx,
+            ic_resident_tx: self.ic_resident_tx,
         }
     }
 
@@ -165,6 +176,34 @@ pub struct RunStats {
     /// run was started with `System::with_epochs`). The last entry
     /// always matches this struct's end-of-run totals.
     pub epochs: Vec<EpochStats>,
+    /// Per-resolution-path cycle attribution: every completed
+    /// translation's latency charged to the component that served it
+    /// (Fig-12 path order). Derived from always-on counters, so it is
+    /// populated whether or not distribution recording was armed.
+    pub attribution: CycleAttribution,
+    /// Whether distribution recording (`System::with_distributions`)
+    /// was armed for this run. When `false`, every histogram below is
+    /// empty.
+    pub dist_enabled: bool,
+    /// Translation-latency histogram per resolution path
+    /// ([`gtr_sim::trace::TracePath::ALL`] order); index `i`'s count
+    /// and sum equal `attribution.slots[i]` when `dist_enabled`.
+    pub latency_hists: [Hist; 6],
+    /// IOMMU service latency per hit level (device-L1, device-L2,
+    /// merged walk, full walk), for requests that missed down to the
+    /// IOMMU.
+    pub iommu_latency: [Hist; 4],
+    /// Lifetimes (insert→evict, cycles) of victim entries evicted from
+    /// Tx-mode LDS segments. Entries still resident at run end are
+    /// censored; shootdown invalidations are excluded.
+    pub victim_lifetime_lds: Hist,
+    /// Lifetimes of victim entries evicted from Tx-mode I-cache lines.
+    pub victim_lifetime_ic: Hist,
+    /// Hits served by each evicted LDS victim entry while resident;
+    /// bucket 0 counts dead-on-arrival entries (inserted, never hit).
+    pub victim_reuse_lds: Hist,
+    /// Hits served by each evicted I-cache victim entry while resident.
+    pub victim_reuse_ic: Hist,
 }
 
 impl RunStats {

@@ -39,6 +39,7 @@ use gtr_mem::cache::Cache;
 use gtr_mem::system::MemorySystem;
 use gtr_sim::event::EventQueue;
 use gtr_sim::fastmap::FastMap;
+use gtr_sim::hist::CycleAttribution;
 use gtr_sim::resource::{Pipeline, Server, Timeline, TrackedPort};
 use gtr_sim::stats::Sampler;
 use gtr_sim::trace::{NullSink, TraceEvent, TracePath, TraceSink, TxStructure};
@@ -54,6 +55,7 @@ use crate::config::ReachConfig;
 use crate::driver::{DriverSchedule, ShootdownReport};
 use crate::icache_tx::TxIcache;
 use crate::lds_tx::TxLds;
+use crate::obs::{ObsRecorder, VictimLifetimes};
 use crate::stats::{EpochStats, KernelStats, RunStats};
 use crate::victim;
 
@@ -186,6 +188,13 @@ pub struct System {
     /// First cycle at or after which the next epoch snapshot fires.
     next_epoch: Cycle,
     epochs: Vec<EpochStats>,
+    /// Cached "distribution recording armed" flag, mirroring
+    /// `trace_on`: every recording site is one predictable branch on a
+    /// plain bool when disabled.
+    obs_on: bool,
+    /// Latency / lifetime distribution recorders (only driven when
+    /// `obs_on`).
+    obs: ObsRecorder,
 }
 
 impl System {
@@ -260,6 +269,8 @@ impl System {
             epoch_len: 0,
             next_epoch: 0,
             epochs: Vec::new(),
+            obs_on: false,
+            obs: ObsRecorder::default(),
             gpu,
             reach,
         }
@@ -284,6 +295,21 @@ impl System {
     pub fn with_epochs(mut self, epoch_len: Cycle) -> Self {
         self.epoch_len = epoch_len;
         self.next_epoch = epoch_len;
+        self
+    }
+
+    /// Arms distribution recording: per-path translation-latency
+    /// histograms, per-IOMMU-level walk latencies, and victim-entry
+    /// lifetime/reuse histograms are recorded during the run and
+    /// returned through the distribution fields of [`RunStats`]
+    /// (`latency_hists`, `iommu_latency`, `victim_lifetime_*`,
+    /// `victim_reuse_*`, with [`RunStats::dist_enabled`] set).
+    ///
+    /// Off by default; like [`Self::with_trace`], the disabled state
+    /// costs one predictable branch per recording site — the perf gate
+    /// runs with distributions off and asserts the anchor cycle count.
+    pub fn with_distributions(mut self) -> Self {
+        self.obs_on = true;
         self
     }
 
@@ -372,6 +398,8 @@ impl System {
             translation_requests,
             trace,
             trace_on,
+            obs,
+            obs_on,
             ..
         } = self;
         let events = driver.events();
@@ -416,6 +444,11 @@ impl System {
                 }
                 shootdown_report.ic_hits += ic_hits as u64;
                 iommu.invalidate(key);
+                if *obs_on {
+                    // Invalidated victim entries are censored, not
+                    // counted as capacity evictions.
+                    obs.victim.shootdown(vpn.0, vmid.raw());
+                }
                 if *trace_on {
                     trace.emit(&TraceEvent::Shootdown {
                         vpn: vpn.0,
@@ -872,6 +905,18 @@ impl System {
         self.tx_latency_max = self.tx_latency_max.max(lat);
         self.path_stats[path].0 += 1;
         self.path_stats[path].1 += lat;
+        if self.obs_on {
+            self.obs.lat[path].record(lat);
+            // Victim-structure hits count as reuse of the live entry.
+            // Recorded here — after `translate_inner` ran the promote
+            // fill flow — which matches the trace's event order, so the
+            // replayer reconstructs identical reuse histograms.
+            match path {
+                2 => self.obs.victim.hit(TxStructure::Lds, key.vpn.0, key.vmid.raw()),
+                3 => self.obs.victim.hit(TxStructure::Icache, key.vpn.0, key.vmid.raw()),
+                _ => {}
+            }
+        }
         if self.trace_on {
             self.trace.emit(&TraceEvent::Translation {
                 cycle: now,
@@ -907,6 +952,8 @@ impl System {
             sample_countdown,
             trace,
             trace_on,
+            obs,
+            obs_on,
             ..
         } = self;
         *translation_requests += 1;
@@ -957,7 +1004,8 @@ impl System {
                 t = port_done - occupancy + reach.lds_tx_lookup_latency() + remote;
                 if let Some(tx) = cus[home].tx_lds.lookup(key) {
                     let sink = Self::sink_opt(trace, *trace_on);
-                    Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, sink);
+                    let vl = Self::obs_opt(obs, *obs_on);
+                    Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, t, sink, vl);
                     cus[cu_idx].pending.insert(key, (t, tx.ppn));
                     return (t, tx.ppn, 2);
                 }
@@ -974,7 +1022,8 @@ impl System {
                 t = port_done - occupancy + reach.ic_tx_lookup_latency();
                 if let Some(tx) = ic.lookup_tx(key) {
                     let sink = Self::sink_opt(trace, *trace_on);
-                    Self::promote(reach, cus, cu_idx, ic, l2_tlb, tx, sink);
+                    let vl = Self::obs_opt(obs, *obs_on);
+                    Self::promote(reach, cus, cu_idx, ic, l2_tlb, tx, t, sink, vl);
                     cus[cu_idx].pending.insert(key, (t, tx.ppn));
                     return (t, tx.ppn, 3);
                 }
@@ -992,13 +1041,15 @@ impl System {
             let tx = Translation::new(key, ppn);
             l2_tlb.lookup(key); // count the access
             let sink = Self::sink_opt(trace, *trace_on);
-            Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, sink);
+            let vl = Self::obs_opt(obs, *obs_on);
+            Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, t, sink, vl);
             cus[cu_idx].pending.insert(key, (t, ppn));
             return (t, ppn, 4);
         }
         if let Some(tx) = l2_tlb.lookup(key) {
             let sink = Self::sink_opt(trace, *trace_on);
-            Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, sink);
+            let vl = Self::obs_opt(obs, *obs_on);
+            Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, t, sink, vl);
             cus[cu_idx].pending.insert(key, (t, tx.ppn));
             return (t, tx.ppn, 4);
         }
@@ -1010,12 +1061,14 @@ impl System {
                     sc.fill(done, l2_victim, mem);
                 }
                 let sink = Self::sink_opt(trace, *trace_on);
-                Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, sink);
+                let vl = Self::obs_opt(obs, *obs_on);
+                Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, done, sink, vl);
                 cus[cu_idx].pending.insert(key, (done, ppn));
                 return (done, ppn, 4);
             }
         }
         // --- IOMMU page walk ---
+        let iommu_start = t;
         let outcome = {
             let mut pte = PteMem(mem);
             iommu.translate(t, key, page_table, &mut pte)
@@ -1024,6 +1077,11 @@ impl System {
             .translation
             .expect("footprint is demand-mapped before translation");
         t = outcome.done;
+        if *obs_on {
+            // Walk-latency tagging: attribute the IOMMU service time to
+            // the level that resolved it (device TLBs vs a real walk).
+            obs.iommu_lat[outcome.level.index()].record(t.saturating_sub(iommu_start));
+        }
         if let Some(l2_victim) = l2_tlb.insert(tx) {
             if let Some(sc) = side_cache.as_mut() {
                 sc.fill(t, l2_victim, mem);
@@ -1045,13 +1103,16 @@ impl System {
                         &mut icaches[ic_idx],
                         l2_tlb,
                         Translation::new(nkey, ppn),
+                        t,
                         Self::sink_opt(trace, *trace_on),
+                        Self::obs_opt(obs, *obs_on),
                     );
                 }
             }
         }
         let sink = Self::sink_opt(trace, *trace_on);
-        Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, sink);
+        let vl = Self::obs_opt(obs, *obs_on);
+        Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, t, sink, vl);
         cus[cu_idx].pending.insert(key, (t, tx.ppn));
         if cus[cu_idx].pending.len() > 512 {
             let horizon = now;
@@ -1063,9 +1124,20 @@ impl System {
     /// Reborrows the trace sink as the `Option` the fill-flow helpers
     /// take: `None` when tracing is disabled, so callees never pay a
     /// virtual `enabled()` query per event site.
-    fn sink_opt<'a>(trace: &'a mut Box<dyn TraceSink>, on: bool) -> Option<&'a mut dyn TraceSink> {
+    fn sink_opt(trace: &mut Box<dyn TraceSink>, on: bool) -> Option<&mut dyn TraceSink> {
         if on {
             Some(trace.as_mut())
+        } else {
+            None
+        }
+    }
+
+    /// Reborrows the victim-lifetime tracker the same way: `None` when
+    /// distribution recording is disarmed, so the fill-flow helpers
+    /// stay zero-cost.
+    fn obs_opt(obs: &mut ObsRecorder, on: bool) -> Option<&mut VictimLifetimes> {
+        if on {
+            Some(&mut obs.victim)
         } else {
             None
         }
@@ -1075,6 +1147,7 @@ impl System {
     /// victim through the Fig-12 fill flow (fills happen off the
     /// request's critical path). Under the prefetch-buffer ablation
     /// victims skip the reconfigurable structures entirely.
+    #[allow(clippy::too_many_arguments)]
     fn promote(
         reach: &ReachConfig,
         cus: &mut [Cu],
@@ -1082,7 +1155,9 @@ impl System {
         ic: &mut TxIcache,
         l2: &mut Tlb,
         tx: Translation,
+        now: Cycle,
         sink: Option<&mut dyn TraceSink>,
+        obs: Option<&mut VictimLifetimes>,
     ) {
         if let Some(victim) = cus[cu_idx].l1_tlb.insert(tx) {
             match reach.fill_policy {
@@ -1094,17 +1169,21 @@ impl System {
                         ic,
                         l2,
                         victim,
+                        now,
                         sink,
+                        obs,
                     );
                 }
                 crate::config::TxFillPolicy::PrefetchBuffer => {
                     let displaced = l2.insert(victim);
                     if let Some(s) = sink {
                         s.emit(&TraceEvent::VictimInsert {
+                            cycle: now,
                             structure: TxStructure::L2Tlb,
                             vpn: victim.key.vpn.0,
                             vmid: victim.key.vmid.raw(),
                             evicted_vpn: displaced.map(|e| e.key.vpn.0),
+                            evicted_vmid: displaced.map(|e| e.key.vmid.raw()),
                             mode_flip: false,
                         });
                     }
@@ -1147,16 +1226,17 @@ impl System {
     fn epoch_snapshot(&self, cycle: Cycle) -> EpochStats {
         let mut l1 = gtr_sim::stats::HitMiss::new();
         let mut lds = gtr_sim::stats::HitMiss::new();
-        let mut resident = 0u64;
+        let mut lds_resident = 0u64;
         for cu in &self.cus {
             l1.merge(cu.l1_tlb.stats());
             lds.merge(cu.tx_lds.stats().lookups);
-            resident += cu.tx_lds.resident() as u64;
+            lds_resident += cu.tx_lds.resident() as u64;
         }
         let mut ic = gtr_sim::stats::HitMiss::new();
+        let mut ic_resident = 0u64;
         for icache in &self.icaches {
             ic.merge(icache.stats().tx_lookups);
-            resident += icache.resident_tx() as u64;
+            ic_resident += icache.resident_tx() as u64;
         }
         let l2 = self.l2_tlb.stats();
         EpochStats {
@@ -1173,7 +1253,9 @@ impl System {
             page_walks: self.iommu.walks(),
             instructions: self.instructions,
             dram_accesses: self.mem.dram().reads() + self.mem.dram().writes(),
-            resident_tx: resident,
+            resident_tx: lds_resident + ic_resident,
+            lds_resident_tx: lds_resident,
+            ic_resident_tx: ic_resident,
         }
     }
 
@@ -1223,6 +1305,9 @@ impl System {
             self.vpn_cus.values().filter(|m| m.count_ones() > 1).count() as f64
                 / self.vpn_cus.len() as f64
         };
+        // Entries still resident stay censored: only completed
+        // lifetimes made it into the histograms.
+        let obs = std::mem::take(&mut self.obs);
         RunStats {
             app: app.name().to_string(),
             total_cycles: t_end,
@@ -1250,6 +1335,14 @@ impl System {
             icache_utilization_summary: util.five_number_summary(),
             epoch_len: self.epoch_len,
             epochs: std::mem::take(&mut self.epochs),
+            attribution: CycleAttribution::from_counts(&self.path_stats),
+            dist_enabled: self.obs_on,
+            latency_hists: obs.lat,
+            iommu_latency: obs.iommu_lat,
+            victim_lifetime_lds: obs.victim.lifetime_lds,
+            victim_lifetime_ic: obs.victim.lifetime_ic,
+            victim_reuse_lds: obs.victim.reuse_lds,
+            victim_reuse_ic: obs.victim.reuse_ic,
         }
     }
 }

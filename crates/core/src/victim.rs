@@ -10,12 +10,14 @@
 //! through a [`TraceSink`].
 
 use gtr_sim::trace::{TraceEvent, TraceSink, TxStructure};
+use gtr_sim::Cycle;
 use gtr_vm::addr::{Translation, TranslationKey};
 use gtr_vm::tlb::Tlb;
 
 use crate::config::ReachConfig;
 use crate::icache_tx::{IcInsert, TxIcache};
 use crate::lds_tx::{LdsInsert, SegmentMode, TxLds};
+use crate::obs::VictimLifetimes;
 
 /// Which reconfigurable structure produced a victim-cache hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,7 +73,7 @@ pub fn fill_l1_victim(
     l2_tlb: &mut Tlb,
     victim: Translation,
 ) -> usize {
-    fill_l1_victim_traced(cfg, lds, icache, l2_tlb, victim, None)
+    fill_l1_victim_traced(cfg, lds, icache, l2_tlb, victim, 0, None, None)
 }
 
 /// [`fill_l1_victim`] with an optional [`TraceSink`]: every insert,
@@ -83,13 +85,21 @@ pub fn fill_l1_victim(
 /// Passing `None` compiles to the untraced flow: the pre-insert mode
 /// probes that feed `mode_flip` are themselves gated on the sink, so a
 /// disabled trace costs one branch per structure and nothing else.
+///
+/// `now` stamps the emitted events (and the lifetime records) with the
+/// simulation cycle of the fill; `obs`, when present, opens/closes
+/// victim-entry lifetime records in a [`VictimLifetimes`] tracker in
+/// lock-step with the emitted events.
+#[allow(clippy::too_many_arguments)]
 pub fn fill_l1_victim_traced(
     cfg: &ReachConfig,
     lds: &mut TxLds,
     icache: &mut TxIcache,
     l2_tlb: &mut Tlb,
     victim: Translation,
+    now: Cycle,
     mut sink: Option<&mut dyn TraceSink>,
+    mut obs: Option<&mut VictimLifetimes>,
 ) -> usize {
     let mut writes = 0;
     // ❶→❷: try the LDS segment for this VPN.
@@ -102,18 +112,30 @@ pub fn fill_l1_victim_traced(
                 writes += 1;
                 if let Some(s) = sink.as_deref_mut() {
                     s.emit(&TraceEvent::VictimInsert {
+                        cycle: now,
                         structure: TxStructure::Lds,
                         vpn: victim.key.vpn.0,
                         vmid: victim.key.vmid.raw(),
                         evicted_vpn: evicted.map(|e| e.key.vpn.0),
+                        evicted_vmid: evicted.map(|e| e.key.vmid.raw()),
                         mode_flip: was_idle,
                     });
+                }
+                if let Some(o) = obs.as_deref_mut() {
+                    o.insert(
+                        TxStructure::Lds,
+                        victim.key.vpn.0,
+                        victim.key.vmid.raw(),
+                        evicted.map(|e| (e.key.vpn.0, e.key.vmid.raw())),
+                        now,
+                    );
                 }
                 candidate = evicted; // ❹: LDS victim continues onward
             }
             LdsInsert::Bypassed => {
                 if let Some(s) = sink.as_deref_mut() {
                     s.emit(&TraceEvent::VictimBypass {
+                        cycle: now,
                         structure: TxStructure::Lds,
                         vpn: victim.key.vpn.0,
                         vmid: victim.key.vmid.raw(),
@@ -133,18 +155,30 @@ pub fn fill_l1_victim_traced(
                 writes += 1;
                 if let Some(s) = sink.as_deref_mut() {
                     s.emit(&TraceEvent::VictimInsert {
+                        cycle: now,
                         structure: TxStructure::Icache,
                         vpn: cand.key.vpn.0,
                         vmid: cand.key.vmid.raw(),
                         evicted_vpn: evicted.map(|e| e.key.vpn.0),
+                        evicted_vmid: evicted.map(|e| e.key.vmid.raw()),
                         mode_flip: !was_tx,
                     });
+                }
+                if let Some(o) = obs {
+                    o.insert(
+                        TxStructure::Icache,
+                        cand.key.vpn.0,
+                        cand.key.vmid.raw(),
+                        evicted.map(|e| (e.key.vpn.0, e.key.vmid.raw())),
+                        now,
+                    );
                 }
                 to_l2 = evicted; // ❻: I-cache victim falls to the L2 TLB
             }
             IcInsert::Bypassed => {
                 if let Some(s) = sink.as_deref_mut() {
                     s.emit(&TraceEvent::VictimBypass {
+                        cycle: now,
                         structure: TxStructure::Icache,
                         vpn: cand.key.vpn.0,
                         vmid: cand.key.vmid.raw(),
@@ -159,12 +193,14 @@ pub fn fill_l1_victim_traced(
     if let Some(t) = to_l2 {
         let displaced = l2_tlb.insert(t);
         writes += 1;
-        if let Some(s) = sink.as_deref_mut() {
+        if let Some(s) = sink {
             s.emit(&TraceEvent::VictimInsert {
+                cycle: now,
                 structure: TxStructure::L2Tlb,
                 vpn: t.key.vpn.0,
                 vmid: t.key.vmid.raw(),
                 evicted_vpn: displaced.map(|e| e.key.vpn.0),
+                evicted_vmid: displaced.map(|e| e.key.vmid.raw()),
                 mode_flip: false,
             });
         }

@@ -1,0 +1,482 @@
+//! Dependency-free log-linear histograms and per-component cycle
+//! attribution — the distribution-metrics layer behind the paper's
+//! "where does translation latency go?" arguments (§4–§6).
+//!
+//! [`crate::stats`] answers with scalars (counts, means, five-number
+//! summaries of *sampled* values); this module answers with full
+//! distributions recorded at zero allocation per sample:
+//!
+//! * [`Hist`] — a fixed 64-bucket log-linear histogram of `u64`
+//!   values. Values 0–15 get exact unit buckets; larger values share
+//!   two buckets per power-of-two octave up to 2^28, beyond which a
+//!   single overflow bucket catches everything (the tracked exact
+//!   [`Hist::max`] bounds it). Recording is O(1) with no allocation,
+//!   histograms merge bucket-wise, and quantiles are exact to within
+//!   the bounds of the bucket containing the requested rank.
+//! * [`CycleAttribution`] — charges each completed translation's
+//!   latency to the Fig-12 service point that resolved it
+//!   ([`crate::trace::TracePath`]), so "X% of translation cycles were
+//!   spent in full walks" is a first-class, exportable metric.
+
+use crate::trace::TracePath;
+
+/// Number of buckets in a [`Hist`] (fixed so histograms merge and
+/// serialize positionally).
+pub const HIST_BUCKETS: usize = 64;
+
+/// Unit-bucket region: values below this get one bucket each.
+const LINEAR_CUTOFF: u64 = 16;
+
+/// A mergeable log-linear histogram of `u64` samples.
+///
+/// Designed for latency-in-cycles distributions: the unit buckets
+/// resolve small constants exactly, the log-linear region keeps
+/// relative bucket width ≤ 50% (two buckets per octave), and the
+/// overflow bucket plus the exactly-tracked [`Hist::max`] bound the
+/// tail. `merge(a, b)` produces bucket-for-bucket the same histogram
+/// as recording the concatenated samples, so quantiles of a merged
+/// histogram equal quantiles of the concatenation exactly (the
+/// property test in this module asserts both).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self { buckets: [0; HIST_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+
+    /// The bucket index `value` falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        if value < LINEAR_CUTOFF {
+            return value as usize;
+        }
+        let e = 63 - value.leading_zeros() as usize; // value in [2^e, 2^{e+1})
+        let sub = ((value >> (e - 1)) & 1) as usize; // which half-octave
+        (LINEAR_CUTOFF as usize + (e - 4) * 2 + sub).min(HIST_BUCKETS - 1)
+    }
+
+    /// Inclusive lower bound of bucket `idx`.
+    pub fn bucket_lo(idx: usize) -> u64 {
+        if idx < LINEAR_CUTOFF as usize {
+            return idx as u64;
+        }
+        let k = (idx - LINEAR_CUTOFF as usize) / 2;
+        let sub = ((idx - LINEAR_CUTOFF as usize) % 2) as u64;
+        (2 + sub) << (k + 3)
+    }
+
+    /// Exclusive upper bound of bucket `idx` (`u64::MAX` for the
+    /// overflow bucket).
+    pub fn bucket_hi(idx: usize) -> u64 {
+        if idx + 1 >= HIST_BUCKETS {
+            u64::MAX
+        } else {
+            Self::bucket_lo(idx + 1)
+        }
+    }
+
+    /// Records one sample. O(1), allocation-free.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds every bucket of `other` into `self` — identical to having
+    /// recorded the concatenation of both sample streams.
+    pub fn merge(&mut self, other: &Hist) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample recorded, exactly (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Whether no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Samples that were exactly zero (bucket 0 is a unit bucket) —
+    /// e.g. the dead-on-arrival count of a reuse-count histogram.
+    pub fn zero_count(&self) -> u64 {
+        self.buckets[0]
+    }
+
+    /// The quantile `q` in `[0, 1]`: the inclusive lower bound of the
+    /// bucket holding the sample of rank `ceil(q·count)` (clamped to a
+    /// valid rank). The true order statistic lies in
+    /// `[quantile(q), min(bucket_hi, max))` — exact for unit buckets,
+    /// within one bucket's width otherwise. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let Some(idx) = self.quantile_bucket(q) else { return 0 };
+        Self::bucket_lo(idx)
+    }
+
+    /// The `[lo, hi]` bounds enclosing the quantile-`q` order statistic
+    /// (`hi` is clamped to the exact maximum). `None` when empty.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        let idx = self.quantile_bucket(q)?;
+        Some((Self::bucket_lo(idx), Self::bucket_hi(idx).min(self.max)))
+    }
+
+    fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return Some(i);
+            }
+        }
+        Some(HIST_BUCKETS - 1)
+    }
+
+    /// Median (see [`Hist::quantile`] for bounds semantics).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Occupied buckets as `(bucket_index, count)` pairs in index
+    /// order — the sparse form the JSON export serializes.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Count in one bucket.
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.buckets[idx]
+    }
+
+    /// Rebuilds a histogram from its serialized parts. Returns `None`
+    /// when a bucket index is out of range, a bucket repeats, or
+    /// `count` disagrees with the bucket totals (corrupt document).
+    pub fn from_parts(
+        count: u64,
+        sum: u64,
+        max: u64,
+        buckets: impl IntoIterator<Item = (usize, u64)>,
+    ) -> Option<Self> {
+        let mut h = Self::new();
+        let mut total = 0u64;
+        for (idx, c) in buckets {
+            if idx >= HIST_BUCKETS || h.buckets[idx] != 0 || c == 0 {
+                return None;
+            }
+            h.buckets[idx] = c;
+            total += c;
+        }
+        if total != count {
+            return None;
+        }
+        h.count = count;
+        h.sum = sum;
+        h.max = max;
+        Some(h)
+    }
+}
+
+/// One service point's share of translation traffic: how many requests
+/// it resolved and how many cycles of translation latency they cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AttrSlot {
+    /// Requests resolved at this service point.
+    pub count: u64,
+    /// Total translation-latency cycles charged to it.
+    pub cycles: u64,
+}
+
+/// Per-component cycle attribution over the six Fig-12 resolution
+/// paths ([`TracePath::ALL`] order): every completed translation's
+/// latency is charged to the component that served it, so the export
+/// can answer "what fraction of translation time went to full walks?"
+/// without a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleAttribution {
+    /// One slot per [`TracePath`], in [`TracePath::ALL`] order.
+    pub slots: [AttrSlot; 6],
+}
+
+impl CycleAttribution {
+    /// An empty attribution.
+    pub const fn new() -> Self {
+        Self { slots: [AttrSlot { count: 0, cycles: 0 }; 6] }
+    }
+
+    /// Builds an attribution from `(count, latency_sum)` pairs in
+    /// [`TracePath::ALL`] order (the simulator's internal path-stats
+    /// layout).
+    pub fn from_counts(parts: &[(u64, u64); 6]) -> Self {
+        let mut a = Self::new();
+        for (slot, &(count, cycles)) in a.slots.iter_mut().zip(parts) {
+            slot.count = count;
+            slot.cycles = cycles;
+        }
+        a
+    }
+
+    /// Charges one completed translation to path `idx`.
+    pub fn charge(&mut self, idx: usize, latency: u64) {
+        self.slots[idx].count += 1;
+        self.slots[idx].cycles = self.slots[idx].cycles.saturating_add(latency);
+    }
+
+    /// Adds another attribution slot-wise.
+    pub fn merge(&mut self, other: &CycleAttribution) {
+        for (s, o) in self.slots.iter_mut().zip(&other.slots) {
+            s.count += o.count;
+            s.cycles = s.cycles.saturating_add(o.cycles);
+        }
+    }
+
+    /// Requests across all paths.
+    pub fn total_count(&self) -> u64 {
+        self.slots.iter().map(|s| s.count).sum()
+    }
+
+    /// Latency cycles across all paths.
+    pub fn total_cycles(&self) -> u64 {
+        self.slots.iter().map(|s| s.cycles).sum()
+    }
+
+    /// Fraction of total translation cycles charged to path `idx`
+    /// (0.0 when nothing was recorded).
+    pub fn cycle_share(&self, idx: usize) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.slots[idx].cycles as f64 / total as f64
+        }
+    }
+
+    /// The stable label of slot `idx` — [`TracePath::as_str`].
+    pub fn label(idx: usize) -> &'static str {
+        TracePath::ALL[idx].as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn bucket_bounds_enclose_every_value() {
+        let probes = [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            23,
+            24,
+            31,
+            32,
+            100,
+            108,
+            815,
+            4096,
+            1 << 20,
+            (1 << 27) - 1,
+            1 << 27,
+            3 << 26,
+            1 << 28,
+            1 << 40,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let idx = Hist::bucket_index(v);
+            assert!(idx < HIST_BUCKETS);
+            assert!(Hist::bucket_lo(idx) <= v, "lo({idx}) > {v}");
+            assert!(v < Hist::bucket_hi(idx) || Hist::bucket_hi(idx) == u64::MAX, "{v} escapes bucket {idx}");
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_contiguous_and_increasing() {
+        for idx in 0..HIST_BUCKETS - 1 {
+            assert_eq!(Hist::bucket_hi(idx), Hist::bucket_lo(idx + 1));
+            assert!(Hist::bucket_lo(idx) < Hist::bucket_lo(idx + 1));
+        }
+        assert_eq!(Hist::bucket_hi(HIST_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Hist::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for v in 0..16u64 {
+            assert_eq!(h.bucket_count(v as usize), 1);
+        }
+        assert_eq!(h.zero_count(), 1);
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.sum(), 120);
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Hist::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile_bounds(0.99), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded_by_max() {
+        let mut rng = SplitMix64::new(7);
+        let mut h = Hist::new();
+        for _ in 0..10_000 {
+            h.record(rng.next_below(1 << 20));
+        }
+        let (p50, p90, p99) = (h.p50(), h.p90(), h.p99());
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= h.max());
+    }
+
+    /// The satellite property test: merged quantiles equal concatenated
+    /// quantiles exactly (merge is bucket-exact), and the histogram
+    /// quantile brackets the true order statistic within its bucket.
+    #[test]
+    fn merge_equals_concatenation_and_brackets_exact_quantiles() {
+        let mut rng = SplitMix64::new(0xfeed);
+        for round in 0..20 {
+            // Mix scales so both the unit and log-linear regions and
+            // the overflow bucket are exercised.
+            let bound = [50u64, 5_000, 1 << 16, 1 << 30][round % 4];
+            let n_a = 1 + rng.next_below(2_000) as usize;
+            let n_b = 1 + rng.next_below(2_000) as usize;
+            let mut a = Hist::new();
+            let mut b = Hist::new();
+            let mut all: Vec<u64> = Vec::with_capacity(n_a + n_b);
+            for _ in 0..n_a {
+                let v = rng.next_below(bound);
+                a.record(v);
+                all.push(v);
+            }
+            for _ in 0..n_b {
+                let v = rng.next_below(bound);
+                b.record(v);
+                all.push(v);
+            }
+            let mut merged = a.clone();
+            merged.merge(&b);
+            let mut concat = Hist::new();
+            for &v in &all {
+                concat.record(v);
+            }
+            assert_eq!(merged, concat, "merge must equal recording the concatenation");
+            all.sort_unstable();
+            for &q in &[0.01, 0.25, 0.50, 0.90, 0.99, 1.0] {
+                assert_eq!(merged.quantile(q), concat.quantile(q));
+                // The true order statistic at the same rank definition
+                // must fall inside the reported bucket.
+                let rank = ((q * all.len() as f64).ceil() as usize).clamp(1, all.len());
+                let exact = all[rank - 1];
+                let (lo, hi) = merged.quantile_bounds(q).expect("non-empty");
+                assert!(
+                    lo <= exact && exact <= hi,
+                    "q={q}: exact {exact} outside [{lo}, {hi}]"
+                );
+            }
+            assert!(merged.p50() <= merged.p90());
+            assert!(merged.p90() <= merged.p99());
+            assert!(merged.p99() <= merged.max());
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_corruption() {
+        let mut h = Hist::new();
+        for v in [0u64, 3, 108, 108, 815, 1 << 29] {
+            h.record(v);
+        }
+        let parts: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        let back = Hist::from_parts(h.count(), h.sum(), h.max(), parts.clone()).expect("valid");
+        assert_eq!(back, h);
+        // Count that disagrees with the bucket totals is rejected.
+        assert!(Hist::from_parts(h.count() + 1, h.sum(), h.max(), parts.clone()).is_none());
+        // Out-of-range bucket index is rejected.
+        assert!(Hist::from_parts(1, 0, 0, vec![(HIST_BUCKETS, 1)]).is_none());
+        // Duplicate bucket is rejected.
+        assert!(Hist::from_parts(2, 0, 0, vec![(4, 1), (4, 1)]).is_none());
+    }
+
+    #[test]
+    fn attribution_charges_and_merges() {
+        let mut a = CycleAttribution::new();
+        a.charge(0, 108);
+        a.charge(5, 815);
+        a.charge(5, 1000);
+        assert_eq!(a.slots[0], AttrSlot { count: 1, cycles: 108 });
+        assert_eq!(a.slots[5], AttrSlot { count: 2, cycles: 1815 });
+        assert_eq!(a.total_count(), 3);
+        assert_eq!(a.total_cycles(), 1923);
+        assert!((a.cycle_share(5) - 1815.0 / 1923.0).abs() < 1e-12);
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.total_count(), 6);
+        let from = CycleAttribution::from_counts(&[(1, 108), (0, 0), (0, 0), (0, 0), (0, 0), (2, 1815)]);
+        assert_eq!(from, a);
+        assert_eq!(CycleAttribution::label(5), "walk");
+    }
+}

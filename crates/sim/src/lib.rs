@@ -23,6 +23,9 @@
 //! * [`stats`] — counters, log-scale histograms, box-and-whisker
 //!   samplers and geometric-mean helpers used by the experiment
 //!   harnesses,
+//! * [`hist`] — mergeable log-linear latency histograms and
+//!   per-component cycle attribution (the distribution-metrics layer
+//!   behind the schema-v2 stats export),
 //! * [`rng`] — a tiny seeded `SplitMix64` generator so that core
 //!   simulation code does not need an external RNG dependency,
 //! * [`trace`] — the zero-cost-when-disabled structured-event tracing
@@ -47,6 +50,7 @@
 
 pub mod event;
 pub mod fastmap;
+pub mod hist;
 pub mod json;
 pub mod resource;
 pub mod rng;

@@ -136,6 +136,10 @@ pub enum TraceEvent {
     /// marks the write that switched an Idle LDS segment or a
     /// non-Tx I-cache line into Tx mode.
     VictimInsert {
+        /// Cycle the fill flow ran (the triggering request's service
+        /// time) — the birth instant for victim-entry lifetime
+        /// analysis.
+        cycle: Cycle,
         /// Structure written.
         structure: TxStructure,
         /// Virtual page number stored.
@@ -144,12 +148,17 @@ pub enum TraceEvent {
         vmid: u8,
         /// VPN displaced by this write, if any.
         evicted_vpn: Option<u64>,
+        /// Address-space id of the displaced entry (`Some` exactly
+        /// when `evicted_vpn` is).
+        evicted_vmid: Option<u8>,
         /// Whether the write claimed new Tx capacity.
         mode_flip: bool,
     },
     /// A fill candidate was refused (App-mode segment or
     /// instruction-owned line under instruction-aware replacement).
     VictimBypass {
+        /// Cycle the fill flow ran.
+        cycle: Cycle,
         /// Structure that refused the candidate.
         structure: TxStructure,
         /// Virtual page number of the candidate.
@@ -243,7 +252,16 @@ impl TraceEvent {
                 f.push(("path".into(), Json::from(path.as_str())));
                 f.push(("latency".into(), Json::from(*latency)));
             }
-            TraceEvent::VictimInsert { structure, vpn, vmid, evicted_vpn, mode_flip } => {
+            TraceEvent::VictimInsert {
+                cycle,
+                structure,
+                vpn,
+                vmid,
+                evicted_vpn,
+                evicted_vmid,
+                mode_flip,
+            } => {
+                f.push(("cycle".into(), Json::from(*cycle)));
                 f.push(("structure".into(), Json::from(structure.as_str())));
                 f.push(("vpn".into(), Json::from(*vpn)));
                 f.push(("vmid".into(), Json::from(*vmid as u64)));
@@ -251,9 +269,14 @@ impl TraceEvent {
                     "evicted_vpn".into(),
                     evicted_vpn.map_or(Json::Null, Json::from),
                 ));
+                f.push((
+                    "evicted_vmid".into(),
+                    evicted_vmid.map_or(Json::Null, |v| Json::from(v as u64)),
+                ));
                 f.push(("mode_flip".into(), Json::from(*mode_flip)));
             }
-            TraceEvent::VictimBypass { structure, vpn, vmid } => {
+            TraceEvent::VictimBypass { cycle, structure, vpn, vmid } => {
+                f.push(("cycle".into(), Json::from(*cycle)));
                 f.push(("structure".into(), Json::from(structure.as_str())));
                 f.push(("vpn".into(), Json::from(*vpn)));
                 f.push(("vmid".into(), Json::from(*vmid as u64)));
@@ -431,13 +454,15 @@ mod tests {
                 latency: 41,
             },
             TraceEvent::VictimInsert {
+                cycle: 11,
                 structure: TxStructure::Lds,
                 vpn: 7,
                 vmid: 0,
                 evicted_vpn: Some(9),
+                evicted_vmid: Some(0),
                 mode_flip: true,
             },
-            TraceEvent::VictimBypass { structure: TxStructure::Icache, vpn: 8, vmid: 0 },
+            TraceEvent::VictimBypass { cycle: 12, structure: TxStructure::Icache, vpn: 8, vmid: 0 },
             TraceEvent::LdsMode { cu: 2, base: 0, size: 4096, to_app: true },
             TraceEvent::KernelFlush { cycle: 99, icache: 1, lines: 128 },
             TraceEvent::Shootdown { vpn: 5, vmid: 0, l1: 2, l2: true, lds: 1, ic: 0 },

@@ -63,6 +63,38 @@ pub enum IommuHitLevel {
     Walk,
 }
 
+impl IommuHitLevel {
+    /// All levels, indexable by [`IommuHitLevel::index`] — the layout
+    /// the observability layer uses to tag per-level walk-latency
+    /// histograms.
+    pub const ALL: [IommuHitLevel; 4] = [
+        IommuHitLevel::DeviceL1,
+        IommuHitLevel::DeviceL2,
+        IommuHitLevel::MergedWalk,
+        IommuHitLevel::Walk,
+    ];
+
+    /// Stable lowercase label used in the stats export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IommuHitLevel::DeviceL1 => "dev_l1",
+            IommuHitLevel::DeviceL2 => "dev_l2",
+            IommuHitLevel::MergedWalk => "merged_walk",
+            IommuHitLevel::Walk => "walk",
+        }
+    }
+
+    /// Position of this level in [`IommuHitLevel::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            IommuHitLevel::DeviceL1 => 0,
+            IommuHitLevel::DeviceL2 => 1,
+            IommuHitLevel::MergedWalk => 2,
+            IommuHitLevel::Walk => 3,
+        }
+    }
+}
+
 /// Outcome of an IOMMU translation request.
 #[derive(Debug, Clone, Copy)]
 pub struct IommuOutcome {

@@ -4,8 +4,8 @@
 
 use gpu_translation_reach::core_arch::config::ReachConfig;
 use gpu_translation_reach::core_arch::export::{
-    check_epoch_invariants, epochs_from_csv, epochs_to_csv, run_stats_from_json,
-    run_stats_to_json_string, runs_to_csv,
+    check_distribution_invariants, check_epoch_invariants, epochs_from_csv, epochs_to_csv,
+    run_stats_from_json, run_stats_to_json_string, runs_to_csv, STATS_SCHEMA_VERSION,
 };
 use gpu_translation_reach::core_arch::stats::RunStats;
 use gpu_translation_reach::core_arch::system::System;
@@ -155,6 +155,45 @@ fn memory_sink_sees_victim_traffic_under_thrashing() {
     let inserts = text.lines().filter(|l| l.contains("\"victim_insert\"")).count();
     assert!(inserts > 0, "victim fills must be traced");
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn distribution_recording_does_not_alter_simulation_results() {
+    // The same "observes, never alters" contract tracing honors: a run
+    // with distribution recording armed must be cycle-identical to a
+    // plain run, and additionally expose histograms consistent with
+    // its own scalar counters.
+    let app = suite::by_name("GUPS", Scale::tiny()).expect("known app");
+    let plain = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds()).run(&app);
+    let dist = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds())
+        .with_distributions()
+        .run(&app);
+    assert_eq!(plain.total_cycles, dist.total_cycles);
+    assert_eq!(plain.page_walks, dist.page_walks);
+    assert_eq!(plain.translation_requests, dist.translation_requests);
+    assert_eq!(plain.attribution, dist.attribution, "attribution is always-on in both");
+    assert!(dist.dist_enabled);
+    assert!(!plain.dist_enabled);
+    assert!(plain.latency_hists.iter().all(|h| h.is_empty()), "disabled run records nothing");
+    assert!(!dist.latency_hists[5].is_empty(), "GUPS tiny walks must populate the walk hist");
+}
+
+#[test]
+fn real_run_satisfies_distribution_invariants() {
+    let app = suite::by_name("GUPS", Scale::tiny()).expect("known app");
+    for armed in [false, true] {
+        let mut sys = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds());
+        if armed {
+            sys = sys.with_distributions();
+        }
+        let s = sys.run(&app);
+        let problems = check_distribution_invariants(&s, STATS_SCHEMA_VERSION);
+        assert!(problems.is_empty(), "armed={armed}: {problems:?}");
+        // Attribution is typed repackaging of the always-on path
+        // counters, so it re-adds to the totals either way.
+        assert_eq!(s.attribution.total_count(), s.translation_requests);
+        assert_eq!(s.attribution.slots[0].count, s.l1_tlb.hits);
+    }
 }
 
 #[test]
