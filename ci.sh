@@ -34,3 +34,28 @@ cargo run --release -q -p gtr-bench --bin gtr-analyze -- \
     --replay "$CI_OUT/trace.jsonl" --stats "$CI_OUT/run.json"
 cargo run --release -q -p gtr-bench --bin gtr-analyze -- \
     --diff "$CI_OUT/run.json" experiments/gups_ic_lds_tiny.json
+
+# Sampled paper-scale smoke cell: one app, two variants, full paper
+# scale under interval sampling. The first run captures the warmup
+# checkpoint, the second must reuse it from the cache; both stats
+# records carry a schema-v3 `sampling` object that validate_stats
+# checks. Budget-gated so the paper-scale fast path can't silently
+# rot (locally both cells finish in ~2 s; the budget leaves headroom
+# for loaded CI hosts).
+SMOKE_BUDGET_S=60
+SMOKE_START=$(date +%s)
+rm -rf "$CI_OUT/ckpt"
+cargo run --release -q -p gtr-bench --bin run_app -- GUPS baseline \
+    --sample --checkpoint-dir "$CI_OUT/ckpt" --stats-out "$CI_OUT/gups_sampled_base.json"
+cargo run --release -q -p gtr-bench --bin run_app -- GUPS ic+lds \
+    --sample --checkpoint-dir "$CI_OUT/ckpt" --stats-out "$CI_OUT/gups_sampled_iclds.json"
+SMOKE_ELAPSED=$(( $(date +%s) - SMOKE_START ))
+[ "$(ls "$CI_OUT/ckpt" | wc -l)" -eq 1 ] || {
+    echo "sampled smoke: expected exactly one shared checkpoint in $CI_OUT/ckpt" >&2; exit 1; }
+cargo run --release -q -p gtr-bench --bin validate_stats -- \
+    "$CI_OUT/gups_sampled_base.json" "$CI_OUT/gups_sampled_iclds.json"
+if [ "$SMOKE_ELAPSED" -gt "$SMOKE_BUDGET_S" ]; then
+    echo "sampled paper-scale smoke took ${SMOKE_ELAPSED}s (budget ${SMOKE_BUDGET_S}s)" >&2
+    exit 1
+fi
+echo "sampled paper-scale smoke: ${SMOKE_ELAPSED}s (budget ${SMOKE_BUDGET_S}s)"

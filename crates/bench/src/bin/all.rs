@@ -2,13 +2,28 @@
 //! scale; `--csv <dir>` additionally writes the main matrices as CSV
 //! for external plotting; `--stats-out <path>` writes the full main
 //! matrix (every cell's complete stats, epoch series included) as one
-//! JSON document for `validate_stats` and downstream tooling;
+//! compact JSON document for `validate_stats` and downstream tooling
+//! (`--pretty` switches to indented output for human reading);
 //! `--percentiles` arms distribution recording for the exported
 //! matrix, so every cell carries latency/lifetime histograms.
+//!
+//! `--sample` replaces the full figure battery with the checkpointed,
+//! interval-sampled main matrix (Figs 13b/13c/14ab/15): one warmup
+//! checkpoint is captured per `(app, GPU config)` pair and shared
+//! across all four variants, and each cell alternates detailed and
+//! fast-forwarded intervals. This is how the paper-scale matrix runs
+//! in minutes instead of hours; `--checkpoint-dir <dir>` caches the
+//! captured checkpoints on disk so repeat sweeps skip the warmup
+//! entirely.
+
+use gtr_bench::harness::RunMode;
+
 fn main() {
-    let scale = scale_from_args();
-    println!("{}", gtr_bench::figures::all(scale));
     let args: Vec<String> = std::env::args().collect();
+    let scale = scale_from_args();
+    let sample = args.iter().any(|a| a == "--sample");
+    let pretty = args.iter().any(|a| a == "--pretty");
+    let percentiles = args.iter().any(|a| a == "--percentiles");
     let csv_dir = args
         .iter()
         .position(|a| a == "--csv")
@@ -21,12 +36,51 @@ fn main() {
             })
             .to_string()
     });
-    if csv_dir.is_none() && stats_out.is_none() {
-        return;
-    }
-    // One matrix re-run feeds both export formats.
-    let percentiles = args.iter().any(|a| a == "--percentiles");
-    let m = gtr_bench::figures::main_matrix_opts(scale, percentiles);
+    let checkpoint_dir = args.iter().position(|a| a == "--checkpoint-dir").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("--checkpoint-dir needs a path");
+                std::process::exit(2);
+            })
+            .to_string()
+    });
+
+    let m = if sample {
+        // Sampled mode: the main matrix only, with shared warmup
+        // checkpoints — the paper-scale fast path.
+        let mut mode = RunMode::sampled(gtr_bench::figures::sampling_for(scale));
+        if let Some(dir) = &checkpoint_dir {
+            mode = mode.with_checkpoint_dir(dir);
+        }
+        let t = std::time::Instant::now();
+        let m = gtr_bench::figures::main_matrix_mode(scale, percentiles, &mode);
+        let wall = t.elapsed();
+        println!("{}", gtr_bench::figures::fig13b_from(&m));
+        println!("{}", gtr_bench::figures::fig13c_from(&m));
+        println!("{}", gtr_bench::figures::fig14ab_from(&m));
+        println!("{}", gtr_bench::figures::fig15_from(&m));
+        let bound = m
+            .baseline
+            .iter()
+            .chain(m.variants.iter().flat_map(|(_, v)| v.iter()))
+            .filter_map(|s| s.sampling.as_ref())
+            .map(|s| s.error_bound_pct)
+            .fold(0.0f64, f64::max);
+        println!(
+            "(sampled main matrix: {} cells in {:.2}s, worst per-cell error bound {:.1}%)",
+            m.baseline.len() * (1 + m.variants.len()),
+            wall.as_secs_f64(),
+            bound
+        );
+        m
+    } else {
+        println!("{}", gtr_bench::figures::all(scale));
+        if csv_dir.is_none() && stats_out.is_none() {
+            return;
+        }
+        // One matrix re-run feeds both export formats.
+        gtr_bench::figures::main_matrix_opts(scale, percentiles)
+    };
     if let Some(dir) = csv_dir {
         std::fs::create_dir_all(&dir).expect("create csv dir");
         std::fs::write(format!("{dir}/fig13b_improvement.csv"), m.improvement_csv())
@@ -44,7 +98,14 @@ fn main() {
         eprintln!("CSV written to {dir}/");
     }
     if let Some(path) = stats_out {
-        let mut doc = m.to_json().to_string();
+        let j = m.to_json();
+        let mut doc = if pretty {
+            j.to_string()
+        } else {
+            let mut s = String::new();
+            j.write_compact(&mut s);
+            s
+        };
         doc.push('\n');
         std::fs::write(&path, doc).expect("write stats JSON");
         eprintln!("matrix stats written to {path}");

@@ -12,13 +12,18 @@
 //!   committed baseline without rewriting it; exits non-zero when
 //!   throughput regressed more than the tolerance (used by `ci.sh`).
 //! * `... --bin perf -- --dry-run` — measure and print only.
+//! * `... --bin perf -- --paper [...]` — same three modes, but for the
+//!   checkpointed interval-sampled paper-scale matrix; the baseline is
+//!   `BENCH_matrix_paper.json` and the throughput unit is matrix
+//!   cells per second.
 //!
 //! Any mode additionally accepts `--stats-out <path>` to write the
 //! measured report JSON to a chosen file (the repo-root baseline is
 //! only touched by the default measure mode).
 
 use gtr_bench::perf::{
-    check_against, measure_tiny, PerfReport, BASELINE_FILE, REGRESSION_TOLERANCE_PCT,
+    check_against, check_matrix_against, measure_paper, measure_tiny, MatrixPerfReport,
+    PerfReport, BASELINE_FILE, PAPER_BASELINE_FILE, REGRESSION_TOLERANCE_PCT,
 };
 
 fn main() {
@@ -34,9 +39,17 @@ fn main() {
     });
     let check = args.iter().any(|a| a == "--check");
     let dry_run = args.iter().any(|a| a == "--dry-run");
-    if let Some(bad) = args.iter().find(|a| *a != "--check" && *a != "--dry-run") {
-        eprintln!("unknown argument `{bad}` (expected --check, --dry-run or --stats-out <path>)");
+    let paper = args.iter().any(|a| a == "--paper");
+    if let Some(bad) = args.iter().find(|a| *a != "--check" && *a != "--dry-run" && *a != "--paper")
+    {
+        eprintln!(
+            "unknown argument `{bad}` (expected --check, --dry-run, --paper or --stats-out <path>)"
+        );
         std::process::exit(2);
+    }
+    if paper {
+        run_paper(check, dry_run, stats_out);
+        return;
     }
 
     let path = gtr_bench::perf::repo_root().join(BASELINE_FILE);
@@ -75,6 +88,48 @@ fn main() {
     if let Some(base) = &baseline {
         let delta = (report.cycles_per_sec / base.cycles_per_sec - 1.0) * 100.0;
         println!("previous baseline: {:.2} M cycles/s ({delta:+.1}%)", base.cycles_per_sec / 1e6);
+    }
+    std::fs::write(&path, report.to_json()).expect("write baseline JSON");
+    println!("wrote {}", path.display());
+}
+
+/// The `--paper` variant of the harness: the checkpointed sampled
+/// paper-scale matrix, measured in matrix cells per second.
+fn run_paper(check: bool, dry_run: bool, stats_out: Option<String>) {
+    let path = gtr_bench::perf::repo_root().join(PAPER_BASELINE_FILE);
+    let baseline =
+        std::fs::read_to_string(&path).ok().and_then(|s| MatrixPerfReport::from_json(&s));
+
+    eprintln!("measuring sampled paper-scale main matrix (shared warmup checkpoints)...");
+    let report = measure_paper();
+    println!(
+        "wall {:.1} ms | cpu {:.1} ms | {} cells | {} simulated cycles | {:.2} cells/s (commit {})",
+        report.wall_ms, report.cpu_ms, report.cells, report.sim_cycles, report.cells_per_sec,
+        report.commit
+    );
+
+    if let Some(out) = &stats_out {
+        std::fs::write(out, report.to_json()).expect("write --stats-out JSON");
+        eprintln!("report written to {out}");
+    }
+
+    if check {
+        match check_matrix_against(baseline.as_ref(), &report) {
+            Ok(verdict) => println!("OK: {verdict} (tolerance {REGRESSION_TOLERANCE_PCT}%)"),
+            Err(msg) => {
+                eprintln!("PERF REGRESSION: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if dry_run {
+        print!("{}", report.to_json());
+        return;
+    }
+    if let Some(base) = &baseline {
+        let delta = (report.cells_per_sec / base.cells_per_sec - 1.0) * 100.0;
+        println!("previous baseline: {:.2} cells/s ({delta:+.1}%)", base.cells_per_sec);
     }
     std::fs::write(&path, report.to_json()).expect("write baseline JSON");
     println!("wrote {}", path.display());

@@ -20,13 +20,18 @@ use gtr_workloads::suite;
 fn usage() -> ! {
     eprintln!(
         "usage: run_app <APP> <CONFIG> [--quick|--tiny] [--sharers N] [--pages 4k|64k|2m] [--l2-tlb N] [--ducati]\n\
-         \x20              [--epochs N] [--stats-out FILE.json] [--trace FILE.jsonl] [--percentiles]\n\
+         \x20              [--epochs N] [--stats-out FILE.json] [--pretty] [--trace FILE.jsonl] [--percentiles]\n\
+         \x20              [--sample] [--checkpoint-dir DIR]\n\
          APP:    {}\n\
          CONFIG: baseline | lds | ic | ic+lds\n\
          --epochs N          sample cumulative counters every N cycles into the stats epoch series\n\
          --stats-out FILE    write the run's full statistics as JSON (parse back with gtr_core::export)\n\
+         --pretty            indent the --stats-out JSON (default is compact)\n\
          --trace FILE        stream structured lifecycle events as JSON Lines\n\
-         --percentiles       record latency/lifetime distributions; print the per-path latency table",
+         --percentiles       record latency/lifetime distributions; print the per-path latency table\n\
+         --sample            interval-sampled run: warmup, then alternating detailed/fast-forward windows\n\
+         --checkpoint-dir D  cache the warmup as a checkpoint in D; later runs on the same (app, GPU)\n\
+         \x20                 restore it instead of re-warming",
         suite::TABLE2.iter().map(|i| i.name).collect::<Vec<_>>().join(" | ")
     );
     std::process::exit(2);
@@ -94,7 +99,7 @@ fn main() {
         })
     };
 
-    let mut sys = System::new(gpu, reach);
+    let mut sys = System::new(gpu.clone(), reach);
     if args.iter().any(|a| a == "--ducati") {
         sys = sys.with_side_cache(Box::new(gtr_ducati::Ducati::new(512 * 1024)));
     }
@@ -110,6 +115,23 @@ fn main() {
         let sink = JsonlSink::create(std::path::Path::new(path))
             .unwrap_or_else(|e| panic!("cannot create trace file {path}: {e}"));
         sys = sys.with_trace(Box::new(sink));
+    }
+    if args.iter().any(|a| a == "--sample") {
+        let mut cfg = gtr_bench::figures::sampling_for(scale);
+        if let Some(dir) = str_flag("--checkpoint-dir") {
+            let ck = gtr_bench::harness::load_or_capture(
+                &app,
+                &gpu,
+                cfg.warmup,
+                Some(std::path::Path::new(&dir)),
+            );
+            sys.restore_checkpoint(&ck);
+            cfg = cfg.without_warmup();
+        }
+        sys = sys.with_sampling(cfg);
+    } else if args.iter().any(|a| a == "--checkpoint-dir") {
+        eprintln!("--checkpoint-dir requires --sample");
+        usage()
     }
     let start = std::time::Instant::now();
     let s = sys.run(&app);
@@ -132,6 +154,19 @@ fn main() {
     println!("IC utilization:      {}", s.icache_utilization_summary);
     if !s.epochs.is_empty() {
         println!("epochs:              {} samples every {} cycles", s.epochs.len(), s.epoch_len);
+    }
+    if let Some(meta) = &s.sampling {
+        println!(
+            "sampling:            {} detail intervals ({} insts detailed, {} fast-forwarded{}), \
+             {} measured + {} extrapolated cycles, error bound {:.1}%",
+            meta.detail_intervals,
+            meta.detail_insts,
+            meta.fastforward_insts + meta.warmup_insts,
+            if meta.checkpoint_restored { ", warmup from checkpoint" } else { "" },
+            meta.detail_cycles,
+            meta.extrapolated_cycles,
+            meta.error_bound_pct
+        );
     }
     if percentiles {
         println!();
@@ -170,7 +205,12 @@ fn main() {
     }
     println!("(simulated in {:.2}s)", wall.as_secs_f64());
     if let Some(path) = str_flag("--stats-out") {
-        std::fs::write(&path, gtr_core::export::run_stats_to_json_string(&s))
+        let doc = if args.iter().any(|a| a == "--pretty") {
+            gtr_core::export::run_stats_to_json_string_pretty(&s)
+        } else {
+            gtr_core::export::run_stats_to_json_string(&s)
+        };
+        std::fs::write(&path, doc)
             .unwrap_or_else(|e| panic!("cannot write stats to {path}: {e}"));
         eprintln!("stats written to {path}");
     }

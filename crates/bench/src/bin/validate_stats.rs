@@ -7,9 +7,12 @@
 //!   (`all --stats-out`); every run record must parse back through
 //!   `gtr_core::export::run_stats_from_json`, satisfy the epoch
 //!   invariants (counters monotone, final epoch equals run totals),
-//!   and — for schema-v2 documents — the distribution invariants
+//!   for schema-v2 documents the distribution invariants
 //!   (attribution re-adds to the scalar counters, histogram totals
-//!   agree with the attribution).
+//!   agree with the attribution), and — when the record carries a
+//!   schema-v3 `sampling` object — the sampling invariants
+//!   (instruction/cycle partitions add up, extrapolation is
+//!   internally consistent).
 //! * `validate_stats --jsonl trace.jsonl ...` — each line must parse
 //!   as a JSON object whose `type` is a known trace-event kind.
 //!
@@ -17,7 +20,8 @@
 //! against a tiny-matrix export so schema drift fails the build.
 
 use gtr_core::export::{
-    check_distribution_invariants, check_epoch_invariants, run_stats_from_json,
+    check_distribution_invariants, check_epoch_invariants, check_sampling_invariants,
+    run_stats_from_json,
 };
 use gtr_sim::json::Json;
 
@@ -107,6 +111,7 @@ fn validate_run(j: &Json) -> Result<(), String> {
         .ok_or("run record has no schema_version")?;
     let mut problems = check_epoch_invariants(&s);
     problems.extend(check_distribution_invariants(&s, version));
+    problems.extend(check_sampling_invariants(&s));
     if problems.is_empty() {
         Ok(())
     } else {

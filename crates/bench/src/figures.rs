@@ -5,14 +5,14 @@
 //! share the exact same experiment code. See `EXPERIMENTS.md` at the
 //! workspace root for paper-vs-measured commentary.
 
-use gtr_core::config::{ReachConfig, Replacement, SegmentSize, TxPerLine};
+use gtr_core::config::{ReachConfig, Replacement, SamplingConfig, SegmentSize, TxPerLine};
 use gtr_core::stats::RunStats;
 use gtr_gpu::config::GpuConfig;
 use gtr_vm::addr::PageSize;
 use gtr_workloads::scale::Scale;
 use gtr_workloads::suite;
 
-use crate::harness::{row, Matrix, Variant};
+use crate::harness::{row, Matrix, RunMode, Variant};
 
 /// POM-TLB entries used for the DUCATI comparison (512 K entries,
 /// 4 MB of device memory).
@@ -198,6 +198,13 @@ pub fn main_matrix(scale: Scale) -> Matrix {
 /// every cell (`all --percentiles` uses this to export schema-v2
 /// histograms; the timing results are identical either way).
 pub fn main_matrix_opts(scale: Scale, distributions: bool) -> Matrix {
+    main_matrix_mode(scale, distributions, &RunMode::exact())
+}
+
+/// [`main_matrix_opts`] under an explicit execution [`RunMode`] —
+/// `all --sample` runs the matrix through this with checkpointed
+/// interval sampling.
+pub fn main_matrix_mode(scale: Scale, distributions: bool, mode: &RunMode) -> Matrix {
     let variant = |label: &str, reach| {
         let v = Variant::new(label, reach);
         if distributions {
@@ -206,7 +213,7 @@ pub fn main_matrix_opts(scale: Scale, distributions: bool) -> Matrix {
             v
         }
     };
-    Matrix::run(
+    Matrix::run_with_mode(
         scale,
         variant("baseline", ReachConfig::baseline()),
         vec![
@@ -214,7 +221,15 @@ pub fn main_matrix_opts(scale: Scale, distributions: bool) -> Matrix {
             variant("IC", ReachConfig::ic_only()),
             variant("IC+LDS", ReachConfig::ic_plus_lds()),
         ],
+        mode,
     )
+}
+
+/// The sampling windows `--sample` uses at a given scale: the
+/// paper-default windows shrunk by the workload factor (floored at
+/// 512 instructions — see [`SamplingConfig::scaled`]).
+pub fn sampling_for(scale: Scale) -> SamplingConfig {
+    SamplingConfig::paper_default().scaled(scale.factor())
 }
 
 /// Figure 13a: reconfigurable I-cache design variants.

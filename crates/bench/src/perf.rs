@@ -161,6 +161,149 @@ pub fn measure_tiny() -> PerfReport {
     measure(Scale::tiny(), "tiny")
 }
 
+/// File name of the committed paper-scale sampled-matrix baseline, at
+/// the repo root.
+pub const PAPER_BASELINE_FILE: &str = "BENCH_matrix_paper.json";
+
+/// Passes for the paper-scale sampled measurement. The sweep is an
+/// order of magnitude bigger than the tiny matrix, so fewer
+/// repetitions; the second pass reuses the first pass's disk-cached
+/// checkpoints, which is the steady-state cost being tracked.
+pub const PAPER_MEASURE_PASSES: usize = 2;
+
+/// One throughput measurement of the paper-scale sampled main matrix
+/// (checkpointed warmup + interval sampling — the `all --sample`
+/// path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixPerfReport {
+    /// Git commit the measurement was taken at (or `"unknown"`).
+    pub commit: String,
+    /// Workload scale label (`"paper"` for the committed baseline).
+    pub scale: String,
+    /// Wall-clock time of the fastest pass in milliseconds.
+    pub wall_ms: f64,
+    /// Process CPU time of the fastest pass in milliseconds (falls
+    /// back to wall time off-Linux). The regression gate tracks
+    /// cells/sec derived from this.
+    pub cpu_ms: f64,
+    /// Matrix cells simulated per pass (apps × variants).
+    pub cells: u64,
+    /// Sum of every cell's `total_cycles` — the determinism anchor:
+    /// sampled runs are bit-deterministic, so any drift means the
+    /// model (not the machine) changed.
+    pub sim_cycles: u64,
+    /// `cells / cpu seconds` — the tracked throughput metric.
+    pub cells_per_sec: f64,
+}
+
+impl MatrixPerfReport {
+    /// Serializes the report as pretty-printed JSON (stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"commit\": \"{}\",\n  \"scale\": \"{}\",\n  \"wall_ms\": {:.1},\n  \"cpu_ms\": {:.1},\n  \"cells\": {},\n  \"sim_cycles\": {},\n  \"cells_per_sec\": {:.2}\n}}\n",
+            self.commit, self.scale, self.wall_ms, self.cpu_ms, self.cells, self.sim_cycles,
+            self.cells_per_sec
+        )
+    }
+
+    /// Parses a report written by [`MatrixPerfReport::to_json`].
+    pub fn from_json(s: &str) -> Option<Self> {
+        Some(Self {
+            commit: json_str(s, "commit")?,
+            scale: json_str(s, "scale")?,
+            wall_ms: json_num(s, "wall_ms")?,
+            cpu_ms: json_num(s, "cpu_ms")?,
+            cells: json_num(s, "cells")? as u64,
+            sim_cycles: json_num(s, "sim_cycles")? as u64,
+            cells_per_sec: json_num(s, "cells_per_sec")?,
+        })
+    }
+}
+
+/// Measures the paper-scale sampled main matrix (shared warmup
+/// checkpoints, cached on disk under `target/ckpt-cache`) and reports
+/// the fastest of [`PAPER_MEASURE_PASSES`] passes. Cycle counts are
+/// asserted identical across passes — checkpointed sampling is as
+/// deterministic as exact simulation.
+pub fn measure_paper() -> MatrixPerfReport {
+    let scale = Scale::paper();
+    let ckpt_dir = repo_root().join("target").join("ckpt-cache");
+    let mode = crate::harness::RunMode::sampled(figures::sampling_for(scale))
+        .with_checkpoint_dir(&ckpt_dir);
+    let mut best: Option<(f64, f64)> = None; // (wall_ms, cpu_ms)
+    let mut sim_cycles = 0u64;
+    let mut cells = 0u64;
+    for pass in 0..PAPER_MEASURE_PASSES {
+        let cpu0 = cpu_time_ms();
+        let t = Instant::now();
+        let m = figures::main_matrix_mode(scale, false, &mode);
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let cpu_ms = match (cpu0, cpu_time_ms()) {
+            (Some(a), Some(b)) => b - a,
+            _ => wall_ms,
+        };
+        let cycles: u64 = m
+            .baseline
+            .iter()
+            .chain(m.variants.iter().flat_map(|(_, stats)| stats.iter()))
+            .map(|s| s.total_cycles)
+            .sum();
+        if pass == 0 {
+            sim_cycles = cycles;
+            cells = (m.baseline.len() * (1 + m.variants.len())) as u64;
+        } else {
+            assert_eq!(cycles, sim_cycles, "non-deterministic sampled sweep");
+        }
+        if best.is_none_or(|(_, c)| cpu_ms < c) {
+            best = Some((wall_ms, cpu_ms));
+        }
+    }
+    let (wall_ms, cpu_ms) = best.expect("PAPER_MEASURE_PASSES > 0");
+    MatrixPerfReport {
+        commit: git_commit(),
+        scale: "paper".to_string(),
+        wall_ms,
+        cpu_ms,
+        cells,
+        sim_cycles,
+        cells_per_sec: cells as f64 / (cpu_ms / 1e3).max(1e-9),
+    }
+}
+
+/// Compares a paper-scale measurement against the committed baseline;
+/// same contract as [`check_against`].
+pub fn check_matrix_against(
+    baseline: Option<&MatrixPerfReport>,
+    measured: &MatrixPerfReport,
+) -> Result<String, String> {
+    let Some(base) = baseline else {
+        return Ok(format!(
+            "no committed paper baseline; measured {:.2} cells/s",
+            measured.cells_per_sec
+        ));
+    };
+    if measured.sim_cycles != base.sim_cycles {
+        return Err(format!(
+            "sampled cycle total changed: baseline {} (commit {}), measured {} — \
+             the model's behaviour changed; re-baseline deliberately with `--bin perf -- --paper`",
+            base.sim_cycles, base.commit, measured.sim_cycles
+        ));
+    }
+    let floor = base.cells_per_sec * (1.0 - REGRESSION_TOLERANCE_PCT / 100.0);
+    let delta_pct = (measured.cells_per_sec / base.cells_per_sec - 1.0) * 100.0;
+    let verdict = format!(
+        "baseline {:.2} cells/s (commit {}), measured {:.2} cells/s ({:+.1}%)",
+        base.cells_per_sec, base.commit, measured.cells_per_sec, delta_pct
+    );
+    if measured.cells_per_sec < floor {
+        Err(format!(
+            "{verdict}: regression exceeds {REGRESSION_TOLERANCE_PCT}% tolerance"
+        ))
+    } else {
+        Ok(verdict)
+    }
+}
+
 /// Current `HEAD` commit hash, or `"unknown"` outside a git checkout.
 pub fn git_commit() -> String {
     std::process::Command::new("git")

@@ -1,0 +1,202 @@
+//! Warmup checkpoints: capture-once, restore-many warm simulation
+//! state for the `apps × variants` experiment matrix.
+//!
+//! A paper-scale matrix re-simulates an identical warmup phase from
+//! cold state in every cell. A [`Checkpoint`] removes that redundancy:
+//! it is produced **once per `(app, GPU config)` pair** by running the
+//! app's warmup window in pure functional-warming mode on the baseline
+//! [`ReachConfig`](crate::config::ReachConfig) and recording the
+//! translation request stream (CU, key, resolved PPN). Because the
+//! request stream that reaches the translation path is purely
+//! functional — independent of the reach configuration, which only
+//! changes *where* lookups hit and how long they take — the same
+//! stream replays into **any** variant's own hierarchy via
+//! [`System::restore_checkpoint`](crate::system::System::restore_checkpoint):
+//! the variant's L1 TLBs, victim LDS/I-cache structures, L2 TLB, IOMMU
+//! TLBs and page-walk caches all warm through their own fill flow, and
+//! the page tables re-map frames in first-touch order (the
+//! deterministic frame allocator reproduces identical PPNs).
+//!
+//! The bench harness `Arc`-shares one checkpoint across every variant
+//! cell of an app row and optionally caches the serialized form on
+//! disk ([`Checkpoint::to_bytes`] / [`Checkpoint::from_bytes`], built
+//! on [`gtr_sim::arena`]).
+
+use gtr_gpu::config::GpuConfig;
+use gtr_gpu::kernel::AppTrace;
+use gtr_sim::arena::{ArenaReader, ArenaWriter};
+use gtr_vm::addr::{Ppn, TranslationKey, VmId, Vpn, VrfId};
+
+use crate::config::ReachConfig;
+use crate::system::System;
+
+/// Serialization magic (`GTRC`) + format version.
+const MAGIC: u32 = 0x4754_5243;
+const VERSION: u32 = 1;
+
+/// One recorded translation request: which CU asked for which page,
+/// and which frame the deterministic allocator gave it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointEntry {
+    /// Requesting CU index.
+    pub cu: u32,
+    /// The translation key (VPN + address-space + VRF ids).
+    pub key: TranslationKey,
+    /// The physical frame the capture run resolved the key to.
+    pub ppn: Ppn,
+}
+
+/// A warm-state snapshot: the translation stream of one app's warmup
+/// window on one GPU configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Application name the stream was captured from.
+    pub app: String,
+    /// Fingerprint of the GPU configuration (restores must match).
+    pub gpu_fingerprint: u64,
+    /// The capture window, in executed wavefront instructions.
+    pub warmup_insts: u64,
+    /// The recorded translation stream, in request order.
+    pub stream: Vec<CheckpointEntry>,
+}
+
+/// FNV-1a 64-bit hash of a string.
+pub fn fingerprint_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of a GPU configuration (its full `Debug` rendering, so
+/// any field change invalidates cached checkpoints).
+pub fn gpu_fingerprint(gpu: &GpuConfig) -> u64 {
+    fingerprint_str(&format!("{gpu:?}"))
+}
+
+impl Checkpoint {
+    /// Captures a checkpoint: runs the first `warmup_insts`
+    /// instructions of `app` on `gpu` with the baseline reach
+    /// configuration in pure functional-warming mode and records the
+    /// translation stream. Costs functional (not detailed) simulation
+    /// time, once per `(app, gpu)` pair.
+    pub fn capture(app: &AppTrace, gpu: &GpuConfig, warmup_insts: u64) -> Self {
+        let mut sys = System::new(gpu.clone(), ReachConfig::baseline());
+        let stream = sys.run_functional_capture(app, warmup_insts);
+        Self {
+            app: app.name().to_string(),
+            gpu_fingerprint: gpu_fingerprint(gpu),
+            warmup_insts,
+            stream,
+        }
+    }
+
+    /// Serializes into the arena wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ArenaWriter::with_capacity(32 + self.app.len() + self.stream.len() * 22);
+        w.put_u32(MAGIC);
+        w.put_u32(VERSION);
+        w.put_str(&self.app);
+        w.put_u64(self.gpu_fingerprint);
+        w.put_u64(self.warmup_insts);
+        w.put_u64(self.stream.len() as u64);
+        for e in &self.stream {
+            w.put_u32(e.cu);
+            w.put_u64(e.key.vpn.0);
+            w.put_u8(e.key.vmid.raw());
+            w.put_u8(e.key.vrf.raw());
+            w.put_u64(e.ppn.0);
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes; `None` on wrong magic/version, truncation, or
+    /// corruption.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut r = ArenaReader::new(bytes);
+        if r.get_u32()? != MAGIC || r.get_u32()? != VERSION {
+            return None;
+        }
+        let app = r.get_str()?.to_string();
+        let gpu_fingerprint = r.get_u64()?;
+        let warmup_insts = r.get_u64()?;
+        let n = r.get_u64()? as usize;
+        let mut stream = Vec::with_capacity(n.min(1 << 24));
+        for _ in 0..n {
+            let cu = r.get_u32()?;
+            let vpn = Vpn(r.get_u64()?);
+            let vmid = VmId::new(r.get_u8()?);
+            let vrf = VrfId::new(r.get_u8()?);
+            let ppn = Ppn(r.get_u64()?);
+            stream.push(CheckpointEntry { cu, key: TranslationKey { vpn, vmid, vrf }, ppn });
+        }
+        if r.remaining() != 0 {
+            return None;
+        }
+        Some(Self { app, gpu_fingerprint, warmup_insts, stream })
+    }
+
+    /// Whether this checkpoint was captured for `app` on `gpu` with
+    /// the given window — the disk-cache validity test.
+    pub fn matches(&self, app: &str, gpu: &GpuConfig, warmup_insts: u64) -> bool {
+        self.app == app
+            && self.gpu_fingerprint == gpu_fingerprint(gpu)
+            && self.warmup_insts == warmup_insts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            app: "GUPS".to_string(),
+            gpu_fingerprint: 0xABCD_EF01_2345_6789,
+            warmup_insts: 30_000,
+            stream: (0..100u64)
+                .map(|i| CheckpointEntry {
+                    cu: (i % 8) as u32,
+                    key: TranslationKey {
+                        vpn: Vpn(i * 37),
+                        vmid: VmId::new((i % 4) as u8),
+                        vrf: VrfId::default(),
+                    },
+                    ppn: Ppn(1000 + i),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip_exactly() {
+        let ck = sample();
+        let bytes = ck.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).expect("round trip");
+        assert_eq!(ck, back);
+    }
+
+    #[test]
+    fn corrupted_or_truncated_bytes_rejected() {
+        let ck = sample();
+        let bytes = ck.to_bytes();
+        assert!(Checkpoint::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] ^= 0xFF;
+        assert!(Checkpoint::from_bytes(&wrong_magic).is_none());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(Checkpoint::from_bytes(&trailing).is_none());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_gpu_configs() {
+        let a = gpu_fingerprint(&GpuConfig::default());
+        let b = gpu_fingerprint(&GpuConfig::default().with_l2_tlb_entries(2048));
+        assert_ne!(a, b);
+        let ck = sample();
+        assert!(!ck.matches("GUPS", &GpuConfig::default(), 30_000), "fingerprint must match");
+    }
+}

@@ -17,7 +17,7 @@ use gtr_sim::hist::{AttrSlot, CycleAttribution, Hist};
 use gtr_sim::json::Json;
 use gtr_sim::stats::{FiveNumberSummary, HitMiss};
 
-use crate::stats::{EpochStats, KernelStats, RunStats};
+use crate::stats::{EpochStats, KernelStats, RunStats, SamplingMeta};
 
 /// Schema identifier stamped into every exported stats document, bumped
 /// when fields change incompatibly.
@@ -28,7 +28,11 @@ use crate::stats::{EpochStats, KernelStats, RunStats};
 ///   `victim_lifetime_*`, `victim_reuse_*`, `dist_enabled`), and the
 ///   per-epoch `lds_resident_tx` / `ic_resident_tx` occupancy gauges.
 ///   v1 documents still parse: the added fields default to empty.
-pub const STATS_SCHEMA_VERSION: u64 = 2;
+/// * **v3** — adds the nullable `sampling` object ([`SamplingMeta`]:
+///   interval-sampling window accounting, extrapolated vs measured
+///   cycles, error bound, checkpoint provenance). `null` for exact
+///   runs. v1/v2 documents still parse with `sampling` absent.
+pub const STATS_SCHEMA_VERSION: u64 = 3;
 
 fn hit_miss_to_json(hm: &HitMiss) -> Json {
     Json::Obj(vec![
@@ -166,6 +170,44 @@ fn attribution_from_json(j: &Json) -> Option<CycleAttribution> {
     Some(a)
 }
 
+fn sampling_to_json(m: &SamplingMeta) -> Json {
+    Json::Obj(vec![
+        ("warmup_window".into(), Json::from(m.warmup_window)),
+        ("detail_window".into(), Json::from(m.detail_window)),
+        ("fastforward_window".into(), Json::from(m.fastforward_window)),
+        ("detail_intervals".into(), Json::from(m.detail_intervals)),
+        ("warmup_insts".into(), Json::from(m.warmup_insts)),
+        ("detail_insts".into(), Json::from(m.detail_insts)),
+        ("fastforward_insts".into(), Json::from(m.fastforward_insts)),
+        ("warmup_cycles".into(), Json::from(m.warmup_cycles)),
+        ("detail_cycles".into(), Json::from(m.detail_cycles)),
+        ("fastforward_cycles".into(), Json::from(m.fastforward_cycles)),
+        ("extrapolated_cycles".into(), Json::from(m.extrapolated_cycles)),
+        ("measured_cycles".into(), Json::from(m.measured_cycles)),
+        ("error_bound_pct".into(), Json::from(m.error_bound_pct)),
+        ("checkpoint_restored".into(), Json::from(m.checkpoint_restored)),
+    ])
+}
+
+fn sampling_from_json(j: &Json) -> Option<SamplingMeta> {
+    Some(SamplingMeta {
+        warmup_window: j.get("warmup_window")?.as_u64()?,
+        detail_window: j.get("detail_window")?.as_u64()?,
+        fastforward_window: j.get("fastforward_window")?.as_u64()?,
+        detail_intervals: j.get("detail_intervals")?.as_u64()?,
+        warmup_insts: j.get("warmup_insts")?.as_u64()?,
+        detail_insts: j.get("detail_insts")?.as_u64()?,
+        fastforward_insts: j.get("fastforward_insts")?.as_u64()?,
+        warmup_cycles: j.get("warmup_cycles")?.as_u64()?,
+        detail_cycles: j.get("detail_cycles")?.as_u64()?,
+        fastforward_cycles: j.get("fastforward_cycles")?.as_u64()?,
+        extrapolated_cycles: j.get("extrapolated_cycles")?.as_u64()?,
+        measured_cycles: j.get("measured_cycles")?.as_u64()?,
+        error_bound_pct: j.get("error_bound_pct")?.as_f64()?,
+        checkpoint_restored: j.get("checkpoint_restored")?.as_bool()?,
+    })
+}
+
 /// One epoch-series column: its name and the getter extracting it
 /// from a snapshot.
 type EpochColumn = (&'static str, fn(&EpochStats) -> u64);
@@ -283,12 +325,30 @@ pub fn run_stats_to_json(s: &RunStats) -> Json {
         ("victim_lifetime_ic".into(), hist_to_json(&s.victim_lifetime_ic)),
         ("victim_reuse_lds".into(), hist_to_json(&s.victim_reuse_lds)),
         ("victim_reuse_ic".into(), hist_to_json(&s.victim_reuse_ic)),
+        (
+            "sampling".into(),
+            match &s.sampling {
+                Some(m) => sampling_to_json(m),
+                None => Json::Null,
+            },
+        ),
     ])
 }
 
-/// [`run_stats_to_json`] rendered as a pretty-printed string with a
-/// trailing newline (the exact bytes `--stats-out` writes).
+/// [`run_stats_to_json`] rendered compactly (no whitespace) with a
+/// trailing newline — the default bytes `--stats-out` writes. Matrix
+/// documents at paper scale carry thousands of epochs; compact form is
+/// several times smaller and machine consumers don't care.
 pub fn run_stats_to_json_string(s: &RunStats) -> String {
+    let mut out = String::new();
+    run_stats_to_json(s).write_compact(&mut out);
+    out.push('\n');
+    out
+}
+
+/// [`run_stats_to_json`] rendered human-readably (2-space indent) with
+/// a trailing newline — the `--pretty` opt-in of the bench binaries.
+pub fn run_stats_to_json_string_pretty(s: &RunStats) -> String {
     let mut out = run_stats_to_json(s).to_string();
     out.push('\n');
     out
@@ -377,6 +437,14 @@ pub fn run_stats_from_json(j: &Json) -> Option<RunStats> {
             hist_from_json(j.get("victim_reuse_ic")?)?
         } else {
             Hist::default()
+        },
+        sampling: if version >= 3 {
+            match j.get("sampling")? {
+                Json::Null => None,
+                obj => Some(sampling_from_json(obj)?),
+            }
+        } else {
+            None
         },
     })
 }
@@ -497,8 +565,12 @@ pub fn check_epoch_invariants(s: &RunStats) -> Vec<String> {
         }
     }
     if let Some(last) = s.epochs.last() {
+        // Epochs snapshot the raw event clock; a sampled run's
+        // total_cycles is the extrapolated estimate, so the final
+        // epoch must match `sampling.measured_cycles` instead.
+        let clock_end = s.sampling.as_ref().map_or(s.total_cycles, |m| m.measured_cycles);
         let checks: [(&str, u64, u64); 9] = [
-            ("cycle", last.cycle, s.total_cycles),
+            ("cycle", last.cycle, clock_end),
             ("translation_requests", last.translation_requests, s.translation_requests),
             ("l1_hits", last.l1_hits, s.l1_tlb.hits),
             ("l1_misses", last.l1_misses, s.l1_tlb.misses),
@@ -517,6 +589,48 @@ pub fn check_epoch_invariants(s: &RunStats) -> Vec<String> {
         }
     } else if s.epoch_len != 0 {
         problems.push("epoch_len set but no epochs recorded".into());
+    }
+    problems
+}
+
+/// Validates the schema-v3 sampling invariants: the per-window
+/// instruction counts must partition the run's instructions, the
+/// per-window cycle counts must partition the measured event clock,
+/// and `total_cycles` must equal detail + extrapolated cycles (or the
+/// measured clock in the degenerate no-detail-instructions case).
+/// Always empty when `sampling` is absent (exact runs).
+pub fn check_sampling_invariants(s: &RunStats) -> Vec<String> {
+    let mut problems = Vec::new();
+    let Some(m) = &s.sampling else {
+        return problems;
+    };
+    let insts = m.warmup_insts + m.detail_insts + m.fastforward_insts;
+    if insts != s.instructions {
+        problems.push(format!(
+            "sampling windows account {insts} instructions != run total {}",
+            s.instructions
+        ));
+    }
+    let cycles = m.warmup_cycles + m.detail_cycles + m.fastforward_cycles;
+    if cycles != m.measured_cycles {
+        problems.push(format!(
+            "sampling windows account {cycles} cycles != measured_cycles {}",
+            m.measured_cycles
+        ));
+    }
+    let expect_total = if m.detail_insts > 0 {
+        m.detail_cycles + m.extrapolated_cycles
+    } else {
+        m.measured_cycles
+    };
+    if s.total_cycles != expect_total {
+        problems.push(format!(
+            "total_cycles {} != detail + extrapolated {expect_total}",
+            s.total_cycles
+        ));
+    }
+    if m.error_bound_pct < 0.0 || !m.error_bound_pct.is_finite() {
+        problems.push(format!("error_bound_pct {} not finite/non-negative", m.error_bound_pct));
     }
     problems
 }
@@ -797,7 +911,7 @@ mod tests {
         let text = run_stats_to_json_string(&s);
         // Tamper: halve the walk-path latency histogram's scalar count
         // without touching its buckets — from_parts must notice.
-        let tampered = text.replace("\"count\": 1300", "\"count\": 650");
+        let tampered = text.replace("\"count\":1300", "\"count\":650");
         assert_ne!(tampered, text, "fixture must contain the walk-path count");
         let parsed = Json::parse(&tampered).expect("still well-formed JSON");
         assert!(run_stats_from_json(&parsed).is_none(), "bucket/count mismatch must reject");
@@ -856,6 +970,87 @@ mod tests {
             .collect::<Vec<_>>()
             .join("\n");
         assert!(epochs_from_csv(&odd).is_none());
+    }
+
+    /// A [`SamplingMeta`] mutually consistent with [`sample_stats`]:
+    /// windows partition the 10k instructions and the 3,977,625-cycle
+    /// event clock.
+    fn sample_sampling() -> SamplingMeta {
+        SamplingMeta {
+            warmup_window: 30_000,
+            detail_window: 10_000,
+            fastforward_window: 40_000,
+            detail_intervals: 2,
+            warmup_insts: 3_000,
+            detail_insts: 2_000,
+            fastforward_insts: 5_000,
+            warmup_cycles: 1_000_000,
+            detail_cycles: 1_500_000,
+            fastforward_cycles: 1_477_625,
+            extrapolated_cycles: 6_000_000,
+            measured_cycles: 3_977_625,
+            error_bound_pct: 1.25,
+            checkpoint_restored: true,
+        }
+    }
+
+    #[test]
+    fn sampled_stats_round_trip_and_invariants() {
+        let mut s = sample_stats();
+        s.sampling = Some(sample_sampling());
+        s.total_cycles = 7_500_000; // detail + extrapolated
+        let text = run_stats_to_json_string(&s);
+        let parsed = Json::parse(&text).expect("well-formed JSON");
+        let back = run_stats_from_json(&parsed).expect("schema-complete");
+        assert_eq!(back, s);
+        assert!(check_sampling_invariants(&back).is_empty(), "sample is valid");
+        // The epoch clock check follows measured_cycles, not the
+        // extrapolated total.
+        assert!(check_epoch_invariants(&s).is_empty());
+        // Broken instruction partition, cycle partition, and total are
+        // all caught.
+        let mut bad = s.clone();
+        bad.sampling.as_mut().unwrap().detail_insts += 1;
+        assert!(!check_sampling_invariants(&bad).is_empty());
+        let mut bad2 = s.clone();
+        bad2.total_cycles += 1;
+        assert!(!check_sampling_invariants(&bad2).is_empty());
+        let mut bad3 = s.clone();
+        bad3.sampling.as_mut().unwrap().warmup_cycles += 1;
+        assert!(!check_sampling_invariants(&bad3).is_empty());
+        // Exact runs have no sampling invariants.
+        assert!(check_sampling_invariants(&sample_stats()).is_empty());
+    }
+
+    #[test]
+    fn compact_default_and_pretty_parse_identically() {
+        let s = sample_stats();
+        let compact = run_stats_to_json_string(&s);
+        let pretty = run_stats_to_json_string_pretty(&s);
+        assert!(compact.len() < pretty.len());
+        assert!(!compact.contains(": "), "compact form carries no separators");
+        let a = run_stats_from_json(&Json::parse(&compact).unwrap()).unwrap();
+        let b = run_stats_from_json(&Json::parse(&pretty).unwrap()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, s);
+    }
+
+    #[test]
+    fn v2_document_parses_without_sampling() {
+        let s = sample_stats();
+        let Json::Obj(mut fields) = run_stats_to_json(&s) else { panic!("object") };
+        fields.retain(|(k, _)| k != "sampling");
+        for (k, v) in fields.iter_mut() {
+            if k == "schema_version" {
+                *v = Json::from(2u64);
+            }
+        }
+        let back = run_stats_from_json(&Json::Obj(fields)).expect("v2 parses");
+        assert_eq!(back.sampling, None);
+        // A v3 document must carry the field, even if null.
+        let Json::Obj(mut f3) = run_stats_to_json(&s) else { panic!("object") };
+        f3.retain(|(k, _)| k != "sampling");
+        assert!(run_stats_from_json(&Json::Obj(f3)).is_none());
     }
 
     #[test]

@@ -442,6 +442,13 @@ impl TxIcache {
     pub fn stats(&self) -> &TxIcacheStats {
         &self.stats
     }
+
+    /// Zeroes the statistics while keeping resident instruction lines
+    /// and translations (checkpoint restore re-baselines measurement on
+    /// warm state).
+    pub fn reset_stats(&mut self) {
+        self.stats = TxIcacheStats::default();
+    }
 }
 
 #[cfg(test)]

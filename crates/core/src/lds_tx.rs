@@ -363,6 +363,12 @@ impl TxLds {
         &self.stats
     }
 
+    /// Zeroes the statistics while keeping resident translations
+    /// (checkpoint restore re-baselines measurement on warm state).
+    pub fn reset_stats(&mut self) {
+        self.stats = TxLdsStats::default();
+    }
+
     /// Drops every translation (used between independent runs).
     pub fn clear_tx(&mut self) {
         for seg in &mut self.segments {

@@ -116,6 +116,67 @@ impl EpochStats {
     }
 }
 
+/// Measured-vs-extrapolated accounting of a sampled run
+/// (`System::with_sampling`), exported as the schema-v3 `sampling`
+/// object.
+///
+/// Instruction partition: `warmup_insts + detail_insts +
+/// fastforward_insts == RunStats::instructions`. Cycle partition:
+/// `warmup_cycles + detail_cycles + fastforward_cycles ==
+/// measured_cycles` (the actual simulated clock — small for the
+/// functional phases, which run at zero modeled latency). The reported
+/// `RunStats::total_cycles` is `detail_cycles + extrapolated_cycles`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SamplingMeta {
+    /// Configured warmup window, instructions.
+    pub warmup_window: u64,
+    /// Configured detailed-interval window, instructions.
+    pub detail_window: u64,
+    /// Configured fast-forward window, instructions.
+    pub fastforward_window: u64,
+    /// Detailed intervals completed (including a partial final one).
+    pub detail_intervals: u64,
+    /// Instructions executed during warmup (functional warming).
+    pub warmup_insts: u64,
+    /// Instructions executed in detailed intervals.
+    pub detail_insts: u64,
+    /// Instructions executed in fast-forward intervals.
+    pub fastforward_insts: u64,
+    /// Simulated cycles elapsed during warmup.
+    pub warmup_cycles: u64,
+    /// Simulated cycles elapsed in detailed intervals — the measured
+    /// basis of the extrapolation.
+    pub detail_cycles: u64,
+    /// Simulated cycles elapsed in fast-forward intervals.
+    pub fastforward_cycles: u64,
+    /// Cycles credited to the warmup + fast-forward instructions at
+    /// the mean detailed-interval CPI.
+    pub extrapolated_cycles: u64,
+    /// The actual simulated clock at run end. Epoch snapshots are
+    /// stamped against this clock, not against the extrapolated
+    /// `total_cycles`.
+    pub measured_cycles: u64,
+    /// Extrapolation error bound, in percent of `total_cycles`: the
+    /// min-to-max spread of per-detail-interval CPIs, scaled by the
+    /// extrapolated share of the total.
+    pub error_bound_pct: f64,
+    /// Whether warm state came from a restored warmup checkpoint.
+    pub checkpoint_restored: bool,
+}
+
+impl SamplingMeta {
+    /// Fraction of `RunStats::total_cycles` that was extrapolated
+    /// rather than measured (0 when the run was too short to sample).
+    pub fn extrapolated_share(&self) -> f64 {
+        let total = self.detail_cycles + self.extrapolated_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.extrapolated_cycles as f64 / total as f64
+        }
+    }
+}
+
 /// Everything measured over one application run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
@@ -204,6 +265,10 @@ pub struct RunStats {
     pub victim_reuse_lds: Hist,
     /// Hits served by each evicted I-cache victim entry while resident.
     pub victim_reuse_ic: Hist,
+    /// Sampled-simulation accounting (`System::with_sampling`); `None`
+    /// for exact (fully detailed) runs. When present, `total_cycles`
+    /// is an extrapolation — see [`SamplingMeta`].
+    pub sampling: Option<SamplingMeta>,
 }
 
 impl RunStats {

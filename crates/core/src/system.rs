@@ -51,12 +51,13 @@ use gtr_vm::page_table::PageTable;
 use gtr_vm::tlb::Tlb;
 use gtr_vm::walk::PteAccess;
 
-use crate::config::ReachConfig;
+use crate::checkpoint::CheckpointEntry;
+use crate::config::{ReachConfig, SamplingConfig};
 use crate::driver::{DriverSchedule, ShootdownReport};
 use crate::icache_tx::TxIcache;
 use crate::lds_tx::TxLds;
 use crate::obs::{ObsRecorder, VictimLifetimes};
-use crate::stats::{EpochStats, KernelStats, RunStats};
+use crate::stats::{EpochStats, KernelStats, RunStats, SamplingMeta};
 use crate::victim;
 
 /// Physical region instruction code occupies (disjoint from data
@@ -129,6 +130,14 @@ struct WgRt {
     parked: Vec<usize>,
 }
 
+/// Which interval-sampling window the simulation is currently inside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SampleMode {
+    Warmup,
+    Detail,
+    Fastforward,
+}
+
 /// The complete simulated system.
 #[derive(Debug)]
 pub struct System {
@@ -195,6 +204,41 @@ pub struct System {
     /// Latency / lifetime distribution recorders (only driven when
     /// `obs_on`).
     obs: ObsRecorder,
+    // interval sampling / checkpointing
+    /// Interval-sampling windows; `None` runs fully detailed (exact).
+    sampling: Option<SamplingConfig>,
+    /// Cached "currently fast-forwarding" flag, mirroring `trace_on`:
+    /// every functional-warming site is one predictable branch on a
+    /// plain bool when sampling is off.
+    ff_on: bool,
+    /// Instruction count at which the next sampling transition fires;
+    /// `u64::MAX` when sampling is off, so exact runs pay one
+    /// never-taken compare per event.
+    sample_boundary: u64,
+    sample_mode: SampleMode,
+    span_start_cycle: Cycle,
+    span_start_insts: u64,
+    warmup_cycles: Cycle,
+    warmup_insts_acc: u64,
+    ff_cycles: Cycle,
+    ff_insts_acc: u64,
+    /// `(instructions, cycles)` of each completed detail interval.
+    detail_spans: Vec<(u64, Cycle)>,
+    /// Piecewise extrapolation: CPI of the latest non-degenerate
+    /// detail interval (0.0 until one closes).
+    last_detail_cpi: f64,
+    /// Skipped instructions awaiting a CPI (warmup and any
+    /// fast-forward span that closed before the first detail CPI).
+    ff_pending_insts: u64,
+    /// Accumulated piecewise-extrapolated cycles for skipped spans.
+    extrapolated_acc: f64,
+    /// Warm state was replayed from a `Checkpoint` before this run.
+    checkpoint_restored: bool,
+    /// Translation-stream capture armed (checkpoint production).
+    capture_on: bool,
+    /// The capture window ended; the run loop unwinds early.
+    capture_done: bool,
+    capture_log: Vec<CheckpointEntry>,
 }
 
 impl System {
@@ -271,6 +315,24 @@ impl System {
             epochs: Vec::new(),
             obs_on: false,
             obs: ObsRecorder::default(),
+            sampling: None,
+            ff_on: false,
+            sample_boundary: u64::MAX,
+            sample_mode: SampleMode::Detail,
+            span_start_cycle: 0,
+            span_start_insts: 0,
+            warmup_cycles: 0,
+            warmup_insts_acc: 0,
+            ff_cycles: 0,
+            ff_insts_acc: 0,
+            detail_spans: Vec::new(),
+            last_detail_cpi: 0.0,
+            ff_pending_insts: 0,
+            extrapolated_acc: 0.0,
+            checkpoint_restored: false,
+            capture_on: false,
+            capture_done: false,
+            capture_log: Vec::new(),
             gpu,
             reach,
         }
@@ -311,6 +373,114 @@ impl System {
     pub fn with_distributions(mut self) -> Self {
         self.obs_on = true;
         self
+    }
+
+    /// Arms SMARTS-style interval sampling: after `cfg.warmup`
+    /// functionally-warmed instructions, the run alternates detailed
+    /// windows of `cfg.detail` instructions with functional
+    /// fast-forward windows of `cfg.fastforward` instructions
+    /// (translations still update every TLB / victim structure, at
+    /// zero modeled latency). [`RunStats::total_cycles`] becomes the
+    /// detail-interval cycles plus a CPI extrapolation over the skipped
+    /// windows, and [`RunStats::sampling`] carries the full interval
+    /// accounting including an error bound derived from the
+    /// inter-interval CPI spread. Off by default — an exact run pays a
+    /// single never-taken compare per event.
+    pub fn with_sampling(mut self, cfg: SamplingConfig) -> Self {
+        if cfg.warmup > 0 {
+            self.sample_mode = SampleMode::Warmup;
+            self.ff_on = true;
+            self.sample_boundary = self.instructions + cfg.warmup;
+        } else {
+            self.sample_mode = SampleMode::Detail;
+            self.ff_on = false;
+            self.sample_boundary = self.instructions + cfg.detail;
+        }
+        self.sampling = Some(cfg);
+        self
+    }
+
+    /// Runs `app` in pure functional-warming mode for the first
+    /// `warmup_insts` instructions, recording the translation request
+    /// stream — the raw material of a
+    /// [`Checkpoint`](crate::checkpoint::Checkpoint). The system's
+    /// timing state is meaningless afterwards; capture systems are
+    /// discarded, the stream is replayed into fresh ones.
+    pub fn run_functional_capture(
+        &mut self,
+        app: &AppTrace,
+        warmup_insts: u64,
+    ) -> Vec<CheckpointEntry> {
+        self.ff_on = true;
+        self.capture_on = true;
+        self.capture_done = false;
+        self.sample_boundary = warmup_insts;
+        let _ = self.run(app);
+        self.capture_on = false;
+        self.sample_boundary = u64::MAX;
+        std::mem::take(&mut self.capture_log)
+    }
+
+    /// Replays a [`Checkpoint`](crate::checkpoint::Checkpoint)'s
+    /// translation stream through *this* system's own hierarchy in
+    /// functional-warming mode: page tables demand-map in first-touch
+    /// order (reproducing the capture run's deterministic frame
+    /// placement, which a debug assertion checks), and the L1 TLBs,
+    /// victim LDS / I-cache structures, L2 TLB and IOMMU all warm
+    /// through their own fill flows — so one checkpoint restores into
+    /// any [`ReachConfig`] variant. Measurement state is then reset so
+    /// a subsequent [`Self::run`] measures only post-warmup behavior.
+    pub fn restore_checkpoint(&mut self, ck: &crate::checkpoint::Checkpoint) {
+        let saved = (self.trace_on, self.obs_on, self.ff_on);
+        self.trace_on = false;
+        self.obs_on = false;
+        self.ff_on = true;
+        let n_cus = self.cus.len();
+        for e in &ck.stream {
+            let table = &mut self.page_tables[e.key.vmid.raw() as usize];
+            if table.translate(e.key.vpn).is_none() {
+                table.map_vpn(e.key.vpn);
+            }
+            let (ppn, _path) = self.translate_ff((e.cu as usize) % n_cus, 0, e.key);
+            debug_assert_eq!(ppn, e.ppn, "checkpoint replay must reproduce frame placement");
+        }
+        self.trace_on = saved.0;
+        self.obs_on = saved.1;
+        self.ff_on = saved.2;
+        self.checkpoint_restored = true;
+        self.reset_measurement_state();
+    }
+
+    /// Zeroes every measurement accumulator while leaving functional
+    /// state (TLB / cache / victim contents, page tables) warm — the
+    /// boundary between a checkpoint restore and the measured run.
+    fn reset_measurement_state(&mut self) {
+        self.translation_requests = 0;
+        self.merged_requests = 0;
+        self.tx_latency_sum = 0;
+        self.tx_latency_max = 0;
+        self.op_latency_sum = 0;
+        self.op_count = 0;
+        self.fetch_wait_sum = 0;
+        self.fetch_count = 0;
+        self.path_stats = [(0, 0); 6];
+        self.instructions = 0;
+        self.vpn_cus.clear();
+        self.peak_tx_entries = 0;
+        self.sample_countdown = 4096;
+        self.epochs.clear();
+        self.next_epoch = self.epoch_len;
+        self.shootdown_report = ShootdownReport::default();
+        self.obs = ObsRecorder::default();
+        for cu in &mut self.cus {
+            cu.l1_tlb.reset_stats();
+            cu.tx_lds.reset_stats();
+        }
+        for ic in &mut self.icaches {
+            ic.reset_stats();
+        }
+        self.l2_tlb.reset_stats();
+        self.iommu.reset_stats();
     }
 
     /// Attaches a side translation cache (DUCATI).
@@ -544,6 +714,9 @@ impl System {
             t = end;
             prev_kernel = Some(kernel.name());
             self.sample_peak_entries();
+            if self.capture_done {
+                break;
+            }
         }
         self.finalize(app, t, kernels_out)
     }
@@ -621,7 +794,7 @@ impl System {
                 // post-flush cold start does not stall the first ops.
                 let ic_idx = p.cu / s.gpu.cus_per_icache;
                 for l in 0..8u64.min(kernel.code_lines() as u64) {
-                    if s.icaches[ic_idx].prefetch(code_base + l) {
+                    if s.icaches[ic_idx].prefetch(code_base + l) && !s.ff_on {
                         s.mem.read(now, (code_base + l) * 64);
                     }
                 }
@@ -660,6 +833,12 @@ impl System {
         while let Some((now, wave_id)) = events.pop() {
             if self.epoch_len > 0 && now >= self.next_epoch {
                 self.snapshot_epoch(now);
+            }
+            if self.instructions >= self.sample_boundary {
+                self.sample_tick(now);
+                if self.capture_done {
+                    return t_end.max(now);
+                }
             }
             let finished =
                 self.step_wave(now, wave_id, kernel, code_base, &mut waves, &mut wgs, &mut events, &mut lane_buf);
@@ -738,13 +917,17 @@ impl System {
             waves[wave_id].op_idx += 1;
             match op {
                 Op::Compute { latency } => {
-                    t = self.cus[cu_idx].simds[simd].issue(t) + *latency as Cycle;
+                    if !self.ff_on {
+                        t = self.cus[cu_idx].simds[simd].issue(t) + *latency as Cycle;
+                    }
                 }
                 Op::Lds { .. } => {
-                    t = self.cus[cu_idx].simds[simd].issue(t);
-                    let occupancy = 2;
-                    let port_done = self.cus[cu_idx].lds_port.access(t, occupancy);
-                    t = port_done - occupancy + self.gpu.lds_latency;
+                    if !self.ff_on {
+                        t = self.cus[cu_idx].simds[simd].issue(t);
+                        let occupancy = 2;
+                        let port_done = self.cus[cu_idx].lds_port.access(t, occupancy);
+                        t = port_done - occupancy + self.gpu.lds_latency;
+                    }
                 }
                 Op::Barrier => {
                     let wg = &mut wgs[wg_rt];
@@ -762,7 +945,9 @@ impl System {
                     }
                 }
                 Op::Global { pattern, write } => {
-                    t = self.cus[cu_idx].simds[simd].issue(t);
+                    if !self.ff_on {
+                        t = self.cus[cu_idx].simds[simd].issue(t);
+                    }
                     pattern.expand(lane_buf);
                     let done = self.global_access(cu_idx, t, kernel.vm_id(), lane_buf, *write);
                     events.push(done, wave_id);
@@ -786,6 +971,20 @@ impl System {
         code_lines: u32,
     ) -> Cycle {
         let ic_idx = cu_idx / self.gpu.cus_per_icache;
+        if self.ff_on {
+            // Functional warming: keep I-cache contents (including the
+            // next-line prefetcher's footprint) evolving, with no port,
+            // fill-engine, or DRAM timing.
+            if !self.icaches[ic_idx].fetch(line) {
+                for ahead in 1..=3u64 {
+                    let next = code_base + (line - code_base + ahead) % code_lines as u64;
+                    if next != line {
+                        self.icaches[ic_idx].prefetch(next);
+                    }
+                }
+            }
+            return now;
+        }
         let ic = &mut self.icaches[ic_idx];
         let occupancy = 2;
         let port_done = ic.port_mut().access(now, occupancy);
@@ -853,6 +1052,25 @@ impl System {
             let (done, ppn) = self.translate(cu_idx, now, key);
             page_done.push((vpn, done, ppn));
         }
+        if self.ff_on {
+            // Functional warming: keep L1D contents moving (so a
+            // following detail window sees a warm cache) with no
+            // writeback or DRAM timing.
+            for &vline in &coalesced.lines {
+                let va = VirtAddr::new(vline * 64);
+                let vpn = va.vpn(page_size);
+                let &(_, _, ppn) = page_done
+                    .iter()
+                    .find(|(p, _, _)| *p == vpn)
+                    .expect("every line's page was translated");
+                let pa = ppn.base(page_size).raw() + va.page_offset(page_size);
+                let _ = self.cus[cu_idx].l1d.access(pa / 64, write);
+            }
+            self.op_count += 1;
+            self.scratch_coalesced = coalesced;
+            self.scratch_page_done = page_done;
+            return now;
+        }
         let mut max_tx = now;
         for &(_, done, _) in &page_done {
             max_tx = max_tx.max(done);
@@ -899,7 +1117,15 @@ impl System {
         if self.next_driver_event < self.driver.events().len() {
             self.run_driver_events();
         }
-        let (done, ppn, path) = self.translate_inner(cu_idx, now, key);
+        let (done, ppn, path) = if self.ff_on {
+            let (ppn, path) = self.translate_ff(cu_idx, now, key);
+            (now, ppn, path)
+        } else {
+            self.translate_inner(cu_idx, now, key)
+        };
+        if self.capture_on {
+            self.capture_log.push(CheckpointEntry { cu: cu_idx as u32, key, ppn });
+        }
         let lat = done.saturating_sub(now);
         self.tx_latency_sum += lat;
         self.tx_latency_max = self.tx_latency_max.max(lat);
@@ -1121,6 +1347,121 @@ impl System {
         (t, tx.ppn, 5)
     }
 
+    /// The functional-warming twin of [`Self::translate_inner`]: walks
+    /// the same Fig-12 hierarchy and runs the same promote / victim
+    /// fill flows so every structure's *contents* evolve exactly as a
+    /// detailed warmup would demand, but consumes no port or walker
+    /// bandwidth and models zero latency. Request merging never fires
+    /// (there are no in-flight misses at zero latency), and the
+    /// DRAM-timed side cache is skipped — its contents are DRAM-
+    /// resident state, not on-chip warmth.
+    fn translate_ff(&mut self, cu_idx: usize, now: Cycle, key: TranslationKey) -> (Ppn, usize) {
+        let Self {
+            gpu,
+            reach,
+            page_tables,
+            iommu,
+            l2_tlb,
+            icaches,
+            cus,
+            translation_requests,
+            vpn_cus,
+            peak_tx_entries,
+            sample_countdown,
+            trace,
+            trace_on,
+            obs,
+            obs_on,
+            ..
+        } = self;
+        *translation_requests += 1;
+        if *sample_countdown == 0 {
+            let resident: usize = cus.iter().map(|c| c.tx_lds.resident()).sum::<usize>()
+                + icaches.iter().map(TxIcache::resident_tx).sum::<usize>();
+            *peak_tx_entries = (*peak_tx_entries).max(resident);
+            *sample_countdown = 4096;
+        } else {
+            *sample_countdown -= 1;
+        }
+
+        let ic_idx = cu_idx / gpu.cus_per_icache;
+        if let Some(tx) = cus[cu_idx].l1_tlb.lookup(key) {
+            return (tx.ppn, 0);
+        }
+        *vpn_cus.get_or_insert(key.vpn.0, 0) |= 1 << (cu_idx % 8);
+        if reach.lds_enabled {
+            let home = Self::lds_home(reach, cus.len(), key, cu_idx);
+            if cus[home].tx_lds.segment_mode(key) == crate::lds_tx::SegmentMode::Tx {
+                if let Some(tx) = cus[home].tx_lds.lookup(key) {
+                    let sink = Self::sink_opt(trace, *trace_on);
+                    let vl = Self::obs_opt(obs, *obs_on);
+                    Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, now, sink, vl);
+                    return (tx.ppn, 2);
+                }
+            }
+        }
+        if reach.icache_enabled {
+            let ic = &mut icaches[ic_idx];
+            if ic.is_tx_line(key) {
+                if let Some(tx) = ic.lookup_tx(key) {
+                    let sink = Self::sink_opt(trace, *trace_on);
+                    let vl = Self::obs_opt(obs, *obs_on);
+                    Self::promote(reach, cus, cu_idx, ic, l2_tlb, tx, now, sink, vl);
+                    return (tx.ppn, 3);
+                }
+            }
+        }
+        let page_table = &page_tables[key.vmid.raw() as usize];
+        if gpu.l2_tlb_perfect {
+            let ppn = page_table
+                .translate(key.vpn)
+                .expect("footprint is demand-mapped before translation");
+            let tx = Translation::new(key, ppn);
+            l2_tlb.lookup(key); // count the access
+            let sink = Self::sink_opt(trace, *trace_on);
+            let vl = Self::obs_opt(obs, *obs_on);
+            Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, now, sink, vl);
+            return (ppn, 4);
+        }
+        if let Some(tx) = l2_tlb.lookup(key) {
+            let sink = Self::sink_opt(trace, *trace_on);
+            let vl = Self::obs_opt(obs, *obs_on);
+            Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, now, sink, vl);
+            return (tx.ppn, 4);
+        }
+        let outcome = iommu.translate_functional(key, page_table);
+        let tx = outcome
+            .translation
+            .expect("footprint is demand-mapped before translation");
+        if *obs_on {
+            obs.iommu_lat[outcome.level.index()].record(0);
+        }
+        l2_tlb.insert(tx);
+        if reach.fill_policy == crate::config::TxFillPolicy::PrefetchBuffer && reach.any_enabled()
+        {
+            for ahead in 1..=2u64 {
+                let nkey = TranslationKey { vpn: Vpn(key.vpn.0 + ahead), ..key };
+                if let Some(ppn) = page_table.translate(nkey.vpn) {
+                    let home = Self::lds_home(reach, cus.len(), nkey, cu_idx);
+                    victim::fill_l1_victim_traced(
+                        reach,
+                        &mut cus[home].tx_lds,
+                        &mut icaches[ic_idx],
+                        l2_tlb,
+                        Translation::new(nkey, ppn),
+                        now,
+                        Self::sink_opt(trace, *trace_on),
+                        Self::obs_opt(obs, *obs_on),
+                    );
+                }
+            }
+        }
+        let sink = Self::sink_opt(trace, *trace_on);
+        let vl = Self::obs_opt(obs, *obs_on);
+        Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, now, sink, vl);
+        (tx.ppn, 5)
+    }
+
     /// Reborrows the trace sink as the `Option` the fill-flow helpers
     /// take: `None` when tracing is disabled, so callees never pay a
     /// virtual `enabled()` query per event site.
@@ -1209,6 +1550,140 @@ impl System {
         self.peak_tx_entries = self.peak_tx_entries.max(resident);
     }
 
+    /// One sampling transition at an instruction boundary: closes the
+    /// current window, accounts its instructions / cycles to the right
+    /// bucket, and arms the next window (or ends a capture run).
+    fn sample_tick(&mut self, now: Cycle) {
+        if self.capture_on {
+            self.capture_done = true;
+            self.sample_boundary = u64::MAX;
+            return;
+        }
+        let Some(cfg) = self.sampling else {
+            self.sample_boundary = u64::MAX;
+            return;
+        };
+        self.close_span(now);
+        match self.sample_mode {
+            SampleMode::Warmup | SampleMode::Fastforward => {
+                self.sample_mode = SampleMode::Detail;
+                self.ff_on = false;
+                self.sample_boundary = self.instructions + cfg.detail;
+            }
+            SampleMode::Detail => {
+                self.sample_mode = SampleMode::Fastforward;
+                self.ff_on = true;
+                self.sample_boundary = self.instructions + cfg.fastforward;
+            }
+        }
+    }
+
+    /// Closes the span running up to `now` into the current mode's
+    /// accumulators. Detail spans additionally update the running CPI
+    /// used to extrapolate neighbouring skipped spans (SMARTS-style
+    /// piecewise extrapolation: each skipped span is costed at the CPI
+    /// of its nearest measured interval, so phase behaviour survives
+    /// into the estimate); skipped spans with no preceding detail CPI
+    /// (the warmup window) wait in `ff_pending_insts` and are costed
+    /// backward from the first interval that closes.
+    fn close_span(&mut self, now: Cycle) {
+        let span_insts = self.instructions - self.span_start_insts;
+        let span_cycles = now.saturating_sub(self.span_start_cycle);
+        match self.sample_mode {
+            SampleMode::Warmup => {
+                self.warmup_insts_acc += span_insts;
+                self.warmup_cycles += span_cycles;
+                self.ff_pending_insts += span_insts;
+            }
+            SampleMode::Detail => {
+                // Zero-instruction spans still close: the cycle
+                // partition invariant needs every span accounted.
+                self.detail_spans.push((span_insts, span_cycles));
+                if span_insts > 0 && span_cycles > 0 {
+                    let cpi = span_cycles as f64 / span_insts as f64;
+                    self.last_detail_cpi = cpi;
+                    if self.ff_pending_insts > 0 {
+                        self.extrapolated_acc += self.ff_pending_insts as f64 * cpi;
+                        self.ff_pending_insts = 0;
+                    }
+                }
+            }
+            SampleMode::Fastforward => {
+                self.ff_insts_acc += span_insts;
+                self.ff_cycles += span_cycles;
+                if self.last_detail_cpi > 0.0 {
+                    self.extrapolated_acc += span_insts as f64 * self.last_detail_cpi;
+                } else {
+                    self.ff_pending_insts += span_insts;
+                }
+            }
+        }
+        self.span_start_insts = self.instructions;
+        self.span_start_cycle = now;
+    }
+
+    /// Closes the window the run ended inside and reduces the interval
+    /// record to a [`SamplingMeta`]: per-interval CPI extrapolation
+    /// over the skipped instructions, plus an error bound = the
+    /// detail-interval CPI spread weighted by the extrapolated share.
+    /// `None` when sampling was never armed.
+    fn finish_sampling(&mut self, t_end: Cycle) -> Option<SamplingMeta> {
+        let cfg = self.sampling?;
+        self.close_span(t_end);
+        let detail_insts: u64 = self.detail_spans.iter().map(|&(i, _)| i).sum();
+        let detail_cycles: Cycle = self.detail_spans.iter().map(|&(_, c)| c).sum();
+        let cpi = if detail_insts > 0 {
+            detail_cycles as f64 / detail_insts as f64
+        } else {
+            0.0
+        };
+        // Skipped instructions that never saw a usable interval CPI
+        // fall back to the global detail CPI.
+        if self.ff_pending_insts > 0 {
+            self.extrapolated_acc += self.ff_pending_insts as f64 * cpi;
+            self.ff_pending_insts = 0;
+        }
+        let extrapolated_cycles = self.extrapolated_acc.round() as u64;
+        let mut min_cpi = f64::INFINITY;
+        let mut max_cpi = 0.0f64;
+        let mut measured_intervals = 0u32;
+        for &(i, c) in &self.detail_spans {
+            if i > 0 {
+                let v = c as f64 / i as f64;
+                min_cpi = min_cpi.min(v);
+                max_cpi = max_cpi.max(v);
+                measured_intervals += 1;
+            }
+        }
+        let spread = if measured_intervals >= 2 && cpi > 0.0 {
+            (max_cpi - min_cpi) / cpi
+        } else {
+            0.0
+        };
+        let total = detail_cycles + extrapolated_cycles;
+        let share = if total > 0 {
+            extrapolated_cycles as f64 / total as f64
+        } else {
+            0.0
+        };
+        Some(SamplingMeta {
+            warmup_window: cfg.warmup,
+            detail_window: cfg.detail,
+            fastforward_window: cfg.fastforward,
+            detail_intervals: self.detail_spans.len() as u64,
+            warmup_insts: self.warmup_insts_acc,
+            detail_insts,
+            fastforward_insts: self.ff_insts_acc,
+            warmup_cycles: self.warmup_cycles,
+            detail_cycles,
+            fastforward_cycles: self.ff_cycles,
+            extrapolated_cycles,
+            measured_cycles: t_end,
+            error_bound_pct: spread * share * 100.0,
+            checkpoint_restored: self.checkpoint_restored,
+        })
+    }
+
     /// Records one epoch sample at `now` and arms the next period
     /// boundary. Sparse phases may skip whole periods (the sampler
     /// fires on the first event at or after a boundary), so epochs are
@@ -1261,6 +1736,7 @@ impl System {
 
     fn finalize(&mut self, app: &AppTrace, t_end: Cycle, kernels: Vec<KernelStats>) -> RunStats {
         self.sample_peak_entries();
+        let sampling_meta = self.finish_sampling(t_end);
         if self.epoch_len > 0 {
             // The closing snapshot at t_end makes the last epoch equal
             // the run totals (deduplicated if the final event already
@@ -1310,7 +1786,13 @@ impl System {
         let obs = std::mem::take(&mut self.obs);
         RunStats {
             app: app.name().to_string(),
-            total_cycles: t_end,
+            // A sampled run reports detail cycles + CPI extrapolation
+            // over the skipped windows (the paper-scale estimate); the
+            // raw event-clock end lives in `sampling.measured_cycles`.
+            total_cycles: match &sampling_meta {
+                Some(m) if m.detail_insts > 0 => m.detail_cycles + m.extrapolated_cycles,
+                _ => t_end,
+            },
             instructions: self.instructions,
             thread_instructions: self.instructions * self.gpu.threads_per_wave as u64,
             translation_requests: self.translation_requests,
@@ -1343,6 +1825,7 @@ impl System {
             victim_lifetime_ic: obs.victim.lifetime_ic,
             victim_reuse_lds: obs.victim.reuse_lds,
             victim_reuse_ic: obs.victim.reuse_ic,
+            sampling: sampling_meta,
         }
     }
 }

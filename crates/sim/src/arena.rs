@@ -1,0 +1,189 @@
+//! A minimal length-framed little-endian byte arena for on-disk
+//! snapshot serialization (warmup checkpoints).
+//!
+//! Dependency-free by design, mirroring the hand-rolled philosophy of
+//! [`crate::json`]: a writer appends fixed-width little-endian scalars
+//! and length-prefixed strings into one contiguous buffer, and a
+//! reader consumes them back with checked (`Option`-returning) reads,
+//! so a truncated or corrupted file can never panic the loader.
+//!
+//! # Example
+//!
+//! ```
+//! use gtr_sim::arena::{ArenaReader, ArenaWriter};
+//!
+//! let mut w = ArenaWriter::new();
+//! w.put_u64(42);
+//! w.put_str("GUPS");
+//! let bytes = w.into_bytes();
+//!
+//! let mut r = ArenaReader::new(&bytes);
+//! assert_eq!(r.get_u64(), Some(42));
+//! assert_eq!(r.get_str(), Some("GUPS"));
+//! assert_eq!(r.get_u64(), None, "checked reads fail cleanly at EOF");
+//! ```
+
+/// Append-only serializer over one growable byte buffer.
+#[derive(Debug, Default)]
+pub struct ArenaWriter {
+    buf: Vec<u8>,
+}
+
+impl ArenaWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer pre-sized for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { buf: Vec::with_capacity(capacity) }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a UTF-8 string as a `u32` byte length plus the bytes.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends raw bytes with no framing (callers frame themselves).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Checked deserializer over a byte slice. Every read returns `None`
+/// once the buffer is exhausted (or a string is not valid UTF-8)
+/// instead of panicking, so loaders can reject truncated files.
+#[derive(Debug)]
+pub struct ArenaReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ArenaReader<'a> {
+    /// Creates a reader at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Option<&'a str> {
+        let len = self.get_u32()? as usize;
+        std::str::from_utf8(self.take(len)?).ok()
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_strings() {
+        let mut w = ArenaWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_str("checkpoint");
+        w.put_str("");
+        let bytes = w.into_bytes();
+        let mut r = ArenaReader::new(&bytes);
+        assert_eq!(r.get_u8(), Some(7));
+        assert_eq!(r.get_u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.get_u64(), Some(u64::MAX - 1));
+        assert_eq!(r.get_str(), Some("checkpoint"));
+        assert_eq!(r.get_str(), Some(""));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_buffer_reads_none_not_panic() {
+        let mut w = ArenaWriter::new();
+        w.put_u64(123);
+        w.put_str("hello");
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ArenaReader::new(&bytes[..cut]);
+            // Either read may fail, but nothing panics.
+            let _ = r.get_u64();
+            let _ = r.get_str();
+        }
+        // A string whose declared length exceeds the buffer fails too.
+        let mut w = ArenaWriter::new();
+        w.put_u32(1_000_000);
+        w.put_bytes(b"short");
+        let bytes = w.into_bytes();
+        let mut r = ArenaReader::new(&bytes);
+        assert_eq!(r.get_str(), None);
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = ArenaWriter::new();
+        w.put_u32(2);
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = ArenaReader::new(&bytes);
+        assert_eq!(r.get_str(), None);
+    }
+}

@@ -261,6 +261,61 @@ impl Iommu {
         }
     }
 
+    /// Translates `key` functionally, at zero modeled latency: the
+    /// device TLBs and walk caches are probed and filled exactly as in
+    /// [`Self::translate`] (hit/miss counters included), but no walker
+    /// occupancy, request merging, or PTE memory timing is modeled.
+    /// Fast-forward intervals of sampled simulation use this to keep
+    /// IOMMU state warm at functional cost.
+    pub fn translate_functional(&mut self, key: TranslationKey, table: &PageTable) -> IommuOutcome {
+        if let Some(tx) = self.dev_l1.lookup(key) {
+            self.stats.dev_l1.hit();
+            return IommuOutcome {
+                translation: Some(tx),
+                done: 0,
+                level: IommuHitLevel::DeviceL1,
+                memory_accesses: 0,
+            };
+        }
+        self.stats.dev_l1.miss();
+        if let Some(tx) = self.dev_l2.lookup(key) {
+            self.stats.dev_l2.hit();
+            self.dev_l1.insert(tx);
+            return IommuOutcome {
+                translation: Some(tx),
+                done: 0,
+                level: IommuHitLevel::DeviceL2,
+                memory_accesses: 0,
+            };
+        }
+        self.stats.dev_l2.miss();
+        let mut pte = crate::walk::FixedLatencyPte::new(0);
+        let result = walk(0, key, table, &mut self.pwc, &mut pte);
+        self.stats.walks += 1;
+        self.stats.pte_accesses += result.memory_accesses as u64;
+        self.stats.walk_latency.record(0);
+        if let Some(tx) = result.translation {
+            self.dev_l1.insert(tx);
+            self.dev_l2.insert(tx);
+        }
+        IommuOutcome {
+            translation: result.translation,
+            done: 0,
+            level: IommuHitLevel::Walk,
+            memory_accesses: result.memory_accesses,
+        }
+    }
+
+    /// Zeroes every statistic counter while keeping all cached
+    /// translation state (device TLBs, walk caches). Checkpoint restore
+    /// uses this to re-baseline measurement on warm state.
+    pub fn reset_stats(&mut self) {
+        self.stats = IommuStats::default();
+        self.dev_l1.reset_stats();
+        self.dev_l2.reset_stats();
+        self.pwc.reset_stats();
+    }
+
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &IommuStats {
         &self.stats

@@ -155,6 +155,14 @@ impl PageWalkCaches {
         (self.caches[0].stats, self.caches[1].stats, self.caches[2].stats)
     }
 
+    /// Zeroes the per-level hit/miss counters, keeping cached entries
+    /// (checkpoint restore re-baselines measurement on warm state).
+    pub fn reset_stats(&mut self) {
+        for c in &mut self.caches {
+            c.stats = HitMiss::new();
+        }
+    }
+
     /// Invalidates everything (address-space switch / shootdown).
     pub fn flush(&mut self) {
         for c in &mut self.caches {

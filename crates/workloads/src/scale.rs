@@ -53,6 +53,12 @@ impl Scale {
         self.seed
     }
 
+    /// The work multiplier (used e.g. to scale sampling windows in
+    /// proportion to the workload).
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
     /// Scales an iteration count, never below 1.
     pub fn count(&self, base: usize) -> usize {
         ((base as f64 * self.factor).round() as usize).max(1)
@@ -95,9 +101,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
+    #[should_panic(expected = "scale factor out of range")]
     fn zero_factor_rejected() {
         let _ = Scale::custom(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor out of range")]
+    fn oversized_factor_rejected() {
+        let _ = Scale::custom(4.1);
     }
 
     #[test]
@@ -105,5 +117,29 @@ mod tests {
         let s = Scale::paper().with_seed(7);
         assert_eq!(s.seed(), 7);
         assert_eq!(Scale::paper().seed(), 0xC0FFEE);
+    }
+
+    /// Trace generation must be a pure function of `(app, scale)`:
+    /// checkpoint reuse and sampled-vs-exact comparisons both assume
+    /// two generations of the same app are bit-identical.
+    #[test]
+    fn custom_scale_generation_is_deterministic() {
+        let s = Scale::custom(0.2);
+        for name in ["GUPS", "ATAX", "BFS"] {
+            let a = crate::suite::by_name(name, s).unwrap();
+            let b = crate::suite::by_name(name, s).unwrap();
+            assert_eq!(a, b, "{name} regenerated differently under the same scale");
+        }
+    }
+
+    #[test]
+    fn seed_changes_trace_but_stays_deterministic() {
+        let base = Scale::tiny();
+        let reseeded = Scale::tiny().with_seed(0xDEAD_BEEF);
+        let a = crate::suite::by_name("GUPS", reseeded).unwrap();
+        let b = crate::suite::by_name("GUPS", reseeded).unwrap();
+        assert_eq!(a, b, "same seed must reproduce the same trace");
+        let c = crate::suite::by_name("GUPS", base).unwrap();
+        assert_ne!(a, c, "a different seed must actually change the random accesses");
     }
 }
