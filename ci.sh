@@ -17,7 +17,9 @@ cargo run --release -p gtr-bench --bin perf -- --check
 # Observability schema gate: export a tiny matrix, a single traced run
 # with epoch sampling + distribution recording, and a JSONL event
 # stream, then validate all three against the stats schema / event
-# vocabulary (including the schema-v2 distribution invariants).
+# vocabulary (including the schema-v2 distribution invariants). The
+# `all` invocation runs the full 17-figure battery in exact mode and
+# attaches the schema-v4 `figures` array to the matrix export.
 CI_OUT=target/ci-observability
 mkdir -p "$CI_OUT"
 cargo run --release -q -p gtr-bench --bin all -- --tiny --percentiles --stats-out "$CI_OUT/matrix.json"
@@ -59,3 +61,31 @@ if [ "$SMOKE_ELAPSED" -gt "$SMOKE_BUDGET_S" ]; then
     exit 1
 fi
 echo "sampled paper-scale smoke: ${SMOKE_ELAPSED}s (budget ${SMOKE_BUDGET_S}s)"
+
+# Sampled full-battery smoke: the complete 17-figure battery at tiny
+# scale under checkpointed interval sampling (the exact-mode battery
+# already ran above for the matrix export). The export's `figures`
+# array must validate — validate_stats checks every figure sampled
+# every cell it simulated, so a silent fallback to exact simulation
+# fails here. Budget-gated like the cell smoke (locally ~12 s).
+BATTERY_BUDGET_S=300
+BATTERY_START=$(date +%s)
+rm -rf "$CI_OUT/battery-ckpt"
+cargo run --release -q -p gtr-bench --bin all -- --scale tiny --sample \
+    --checkpoint-dir "$CI_OUT/battery-ckpt" --stats-out "$CI_OUT/matrix_sampled.json" \
+    > "$CI_OUT/battery_sampled.txt"
+BATTERY_ELAPSED=$(( $(date +%s) - BATTERY_START ))
+cargo run --release -q -p gtr-bench --bin validate_stats -- "$CI_OUT/matrix_sampled.json"
+grep -q "### Sampling summary" "$CI_OUT/battery_sampled.txt" || {
+    echo "sampled battery output is missing its sampling summary" >&2; exit 1; }
+if [ "$BATTERY_ELAPSED" -gt "$BATTERY_BUDGET_S" ]; then
+    echo "sampled full battery took ${BATTERY_ELAPSED}s (budget ${BATTERY_BUDGET_S}s)" >&2
+    exit 1
+fi
+echo "sampled full battery: ${BATTERY_ELAPSED}s (budget ${BATTERY_BUDGET_S}s)"
+
+# Paper-scale sampled anchor: the main-matrix cycle sum at paper scale
+# must match the committed BENCH_matrix_paper.json bit for bit —
+# sampling is deterministic, so any drift is a semantics change that
+# needs a deliberate re-baseline (perf -- --paper --bless).
+cargo run --release -p gtr-bench --bin perf -- --paper --check

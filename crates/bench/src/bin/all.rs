@@ -1,26 +1,32 @@
-//! Regenerates every table and figure. `--quick`/`--tiny` reduce the
-//! scale; `--csv <dir>` additionally writes the main matrices as CSV
-//! for external plotting; `--stats-out <path>` writes the full main
-//! matrix (every cell's complete stats, epoch series included) as one
-//! compact JSON document for `validate_stats` and downstream tooling
-//! (`--pretty` switches to indented output for human reading);
-//! `--percentiles` arms distribution recording for the exported
-//! matrix, so every cell carries latency/lifetime histograms.
+//! Regenerates every table and figure. `--scale <tiny|quick|paper>`
+//! (or the `--quick`/`--tiny` shorthands) sets the workload scale;
+//! `--csv <dir>` additionally writes the main matrices as CSV for
+//! external plotting; `--stats-out <path>` writes the full main
+//! matrix (every cell's complete stats, epoch series included) plus
+//! the per-figure `figures` metadata array as one compact JSON
+//! document for `validate_stats` and downstream tooling (`--pretty`
+//! switches to indented output for human reading); `--percentiles`
+//! arms distribution recording for the exported matrix, so every cell
+//! carries latency/lifetime histograms.
 //!
-//! `--sample` replaces the full figure battery with the checkpointed,
-//! interval-sampled main matrix (Figs 13b/13c/14ab/15): one warmup
-//! checkpoint is captured per `(app, GPU config)` pair and shared
-//! across all four variants, and each cell alternates detailed and
-//! fast-forwarded intervals. This is how the paper-scale matrix runs
-//! in minutes instead of hours; `--checkpoint-dir <dir>` caches the
-//! captured checkpoints on disk so repeat sweeps skip the warmup
-//! entirely.
+//! `--sample` runs the **entire** figure battery under checkpointed
+//! interval sampling: one warmup checkpoint is captured per `(app,
+//! distinct translation stream)` pair and shared across every sweep
+//! axis that only perturbs timing-side config (the whole L2-TLB
+//! sweep, the I-cache design variants, the sharing/wire-latency
+//! sensitivity studies, …), and each cell alternates detailed and
+//! fast-forwarded intervals. This is how
+//! `all --sample --scale paper` regenerates the complete paper in
+//! minutes instead of hours. Checkpoints cache on disk under
+//! `--checkpoint-dir <dir>` (default `target/ckpt-cache` when
+//! sampling) so repeat sweeps skip the warmup entirely; a per-figure
+//! summary line reports cell counts and worst error bounds.
 
 use gtr_bench::harness::RunMode;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = scale_from_args();
+    let scale = scale_from_args(&args);
     let sample = args.iter().any(|a| a == "--sample");
     let pretty = args.iter().any(|a| a == "--pretty");
     let percentiles = args.iter().any(|a| a == "--percentiles");
@@ -45,41 +51,41 @@ fn main() {
             .to_string()
     });
 
-    let m = if sample {
-        // Sampled mode: the main matrix only, with shared warmup
-        // checkpoints — the paper-scale fast path.
-        let mut mode = RunMode::sampled(gtr_bench::figures::sampling_for(scale));
-        if let Some(dir) = &checkpoint_dir {
-            mode = mode.with_checkpoint_dir(dir);
-        }
-        let t = std::time::Instant::now();
-        let m = gtr_bench::figures::main_matrix_mode(scale, percentiles, &mode);
-        let wall = t.elapsed();
-        println!("{}", gtr_bench::figures::fig13b_from(&m));
-        println!("{}", gtr_bench::figures::fig13c_from(&m));
-        println!("{}", gtr_bench::figures::fig14ab_from(&m));
-        println!("{}", gtr_bench::figures::fig15_from(&m));
-        let bound = m
-            .baseline
-            .iter()
-            .chain(m.variants.iter().flat_map(|(_, v)| v.iter()))
-            .filter_map(|s| s.sampling.as_ref())
-            .map(|s| s.error_bound_pct)
-            .fold(0.0f64, f64::max);
-        println!(
-            "(sampled main matrix: {} cells in {:.2}s, worst per-cell error bound {:.1}%)",
-            m.baseline.len() * (1 + m.variants.len()),
-            wall.as_secs_f64(),
-            bound
-        );
-        m
+    let mode = if sample {
+        let dir = checkpoint_dir.unwrap_or_else(|| "target/ckpt-cache".to_string());
+        RunMode::sampled(gtr_bench::figures::sampling_for(scale)).with_checkpoint_dir(dir)
     } else {
-        println!("{}", gtr_bench::figures::all(scale));
-        if csv_dir.is_none() && stats_out.is_none() {
-            return;
+        RunMode::exact()
+    };
+
+    let t = std::time::Instant::now();
+    let (figs, m) = gtr_bench::figures::battery_with_main(scale, &mode);
+    let wall = t.elapsed();
+    println!(
+        "{}",
+        figs.iter().map(|f| f.text.as_str()).collect::<Vec<_>>().join("\n")
+    );
+    if sample {
+        println!("### Sampling summary (per figure: cells, worst error bounds)");
+        for f in figs.iter().filter(|f| f.cells > 0) {
+            println!(
+                "{:<22} {:>3} cells ({} sampled)  err<={:.1}%  side-cache<={:.1}%",
+                f.name, f.cells, f.sampled_cells, f.error_bound_pct, f.side_cache_error_bound_pct
+            );
         }
-        // One matrix re-run feeds both export formats.
-        gtr_bench::figures::main_matrix_opts(scale, percentiles)
+        println!("(full battery in {:.2}s)", wall.as_secs_f64());
+    }
+
+    if csv_dir.is_none() && stats_out.is_none() {
+        return;
+    }
+    // With --percentiles the export matrix needs distribution
+    // recording armed, which the battery's shared matrix doesn't
+    // carry — re-run just that matrix (timing results are identical).
+    let m = if percentiles {
+        gtr_bench::figures::main_matrix_mode(scale, true, &mode)
+    } else {
+        m
     };
     if let Some(dir) = csv_dir {
         std::fs::create_dir_all(&dir).expect("create csv dir");
@@ -98,7 +104,10 @@ fn main() {
         eprintln!("CSV written to {dir}/");
     }
     if let Some(path) = stats_out {
-        let j = m.to_json();
+        let mut j = m.to_json();
+        if let gtr_sim::json::Json::Obj(fields) = &mut j {
+            fields.push(("figures".to_string(), gtr_bench::figures::figures_json(&figs)));
+        }
         let mut doc = if pretty {
             j.to_string()
         } else {
@@ -112,12 +121,24 @@ fn main() {
     }
 }
 
-fn scale_from_args() -> gtr_workloads::scale::Scale {
-    if std::env::args().any(|a| a == "--quick") {
-        gtr_workloads::scale::Scale::quick()
-    } else if std::env::args().any(|a| a == "--tiny") {
-        gtr_workloads::scale::Scale::tiny()
+fn scale_from_args(args: &[String]) -> gtr_workloads::scale::Scale {
+    use gtr_workloads::scale::Scale;
+    if let Some(i) = args.iter().position(|a| a == "--scale") {
+        match args.get(i + 1).map(String::as_str) {
+            Some("tiny") => return Scale::tiny(),
+            Some("quick") => return Scale::quick(),
+            Some("paper") => return Scale::paper(),
+            other => {
+                eprintln!("--scale needs tiny|quick|paper (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.iter().any(|a| a == "--quick") {
+        Scale::quick()
+    } else if args.iter().any(|a| a == "--tiny") {
+        Scale::tiny()
     } else {
-        gtr_workloads::scale::Scale::paper()
+        Scale::paper()
     }
 }

@@ -12,7 +12,10 @@
 //!   agree with the attribution), and — when the record carries a
 //!   schema-v3 `sampling` object — the sampling invariants
 //!   (instruction/cycle partitions add up, extrapolation is
-//!   internally consistent).
+//!   internally consistent). Matrix documents with a schema-v4
+//!   `figures` array additionally have every figure entry checked
+//!   (named, cell counts consistent, error bounds finite and
+//!   non-negative, exact figures bound-free).
 //! * `validate_stats --jsonl trace.jsonl ...` — each line must parse
 //!   as a JSON object whose `type` is a known trace-event kind.
 //!
@@ -93,11 +96,65 @@ fn validate_stats_file(path: &str) -> Result<usize, String> {
                 count += 1;
             }
         }
+        if let Some(figs) = j.get("figures") {
+            validate_figures(figs, count)?;
+        }
         Ok(count)
     } else {
         validate_run(&j)?;
         Ok(1)
     }
+}
+
+/// The optional schema-v4 `figures` array on matrix documents: every
+/// entry must name a figure, count its cells consistently
+/// (`sampled_cells <= cells`) and carry finite, non-negative error
+/// bounds.
+fn validate_figures(figs: &Json, matrix_cells: usize) -> Result<(), String> {
+    let figs = figs.as_arr().ok_or("`figures` must be an array")?;
+    if figs.is_empty() {
+        return Err("`figures` array is empty".into());
+    }
+    for f in figs {
+        let name = f
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("figure entry without a `name` string")?;
+        let cells = f
+            .get("cells")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("figure {name:?} has no `cells` count"))?;
+        let sampled = f
+            .get("sampled_cells")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("figure {name:?} has no `sampled_cells` count"))?;
+        if sampled > cells {
+            return Err(format!("figure {name:?}: sampled_cells {sampled} > cells {cells}"));
+        }
+        for key in ["error_bound_pct", "side_cache_error_bound_pct"] {
+            let bound = f
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("figure {name:?} has no `{key}`"))?;
+            if !bound.is_finite() || bound < 0.0 {
+                return Err(format!("figure {name:?}: {key} = {bound} is not a valid bound"));
+            }
+            if sampled == 0 && bound != 0.0 {
+                return Err(format!("figure {name:?}: exact cells cannot carry {key} = {bound}"));
+            }
+        }
+    }
+    // The matrix's own cells must appear among the figures (the main
+    // matrix feeds Figs 13b/13c/14ab/15 — a figures array that never
+    // mentions that many cells means the export and battery diverged).
+    if !figs.iter().any(|f| {
+        f.get("cells").and_then(Json::as_u64) == Some(matrix_cells as u64)
+    }) {
+        return Err(format!(
+            "no figure accounts for the matrix's own {matrix_cells} cells"
+        ));
+    }
+    Ok(())
 }
 
 /// One run record: must round-trip through the export schema, keep its

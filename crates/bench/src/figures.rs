@@ -1,9 +1,22 @@
 //! One function per table/figure of the paper.
 //!
-//! Every function returns the printed report as a `String`, so the
-//! binaries, the `figures` bench target and the integration tests all
-//! share the exact same experiment code. See `EXPERIMENTS.md` at the
-//! workspace root for paper-vs-measured commentary.
+//! Every figure comes in two forms: the classic `fig*(scale) ->
+//! String` exact entry point (bit-identical to the seed behavior) and
+//! a `fig*_mode(scale, &RunMode)` twin that runs the same experiment
+//! under an explicit execution mode — `all --sample` drives the whole
+//! battery through the `_mode` forms with checkpointed interval
+//! sampling, regenerating the complete paper in minutes. Figures whose
+//! sweeps only perturb timing-side config (L2 TLB sizes, perfect-TLB,
+//! I-cache sharers, replacement/Tx-packing ablations) share one warmup
+//! capture per app through
+//! [`CheckpointKey`](gtr_core::checkpoint::CheckpointKey); page-size
+//! sweeps provably re-capture per size.
+//!
+//! [`battery`] returns every figure as a [`FigureResult`] — rendered
+//! text plus per-figure sampling metadata (cell counts and worst
+//! error bounds) that `all --stats-out` exports as the schema-v4
+//! `figures` array. See `EXPERIMENTS.md` at the workspace root for
+//! paper-vs-measured commentary.
 
 use gtr_core::config::{ReachConfig, Replacement, SamplingConfig, SegmentSize, TxPerLine};
 use gtr_core::stats::RunStats;
@@ -17,6 +30,67 @@ use crate::harness::{row, Matrix, RunMode, Variant};
 /// POM-TLB entries used for the DUCATI comparison (512 K entries,
 /// 4 MB of device memory).
 pub const DUCATI_POM_ENTRIES: u64 = 512 * 1024;
+
+/// One rendered figure plus the sampling metadata of the cells that
+/// produced it (what the schema-v4 `figures` export array carries).
+#[derive(Debug, Clone)]
+pub struct FigureResult {
+    /// Short machine name (`fig02_03`, `ablations`, …).
+    pub name: String,
+    /// The rendered report, exactly what the exact-mode `fig*`
+    /// function returns.
+    pub text: String,
+    /// Simulated matrix cells behind the figure.
+    pub cells: usize,
+    /// Cells that ran under interval sampling (0 for exact mode and
+    /// for simulation-free figures like Table 1).
+    pub sampled_cells: usize,
+    /// Worst per-cell extrapolation error bound, percent.
+    pub error_bound_pct: f64,
+    /// Worst per-cell side-cache (DUCATI) divergence bound, percent.
+    pub side_cache_error_bound_pct: f64,
+}
+
+impl FigureResult {
+    /// Reduces the matrices behind a figure to its metadata.
+    fn from_matrices(name: &str, text: String, matrices: &[&Matrix]) -> Self {
+        let mut cells = 0usize;
+        let mut sampled_cells = 0usize;
+        let mut error_bound_pct = 0.0f64;
+        let mut side_cache_error_bound_pct = 0.0f64;
+        for m in matrices {
+            for s in m.baseline.iter().chain(m.variants.iter().flat_map(|(_, v)| v)) {
+                cells += 1;
+                if let Some(meta) = &s.sampling {
+                    sampled_cells += 1;
+                    error_bound_pct = error_bound_pct.max(meta.error_bound_pct);
+                    side_cache_error_bound_pct =
+                        side_cache_error_bound_pct.max(meta.side_cache_error_bound_pct);
+                }
+            }
+        }
+        Self {
+            name: name.to_string(),
+            text,
+            cells,
+            sampled_cells,
+            error_bound_pct,
+            side_cache_error_bound_pct,
+        }
+    }
+
+    /// A figure that runs no simulation (Table 1).
+    fn without_cells(name: &str, text: String) -> Self {
+        Self {
+            name: name.to_string(),
+            text,
+            cells: 0,
+            sampled_cells: 0,
+            error_bound_pct: 0.0,
+            side_cache_error_bound_pct: 0.0,
+        }
+    }
+}
 
 /// Table 1: the simulated setup (printed for reference).
 pub fn table1() -> String {
@@ -66,11 +140,31 @@ pub fn table1() -> String {
     )
 }
 
+/// Runs the Table-2 suite under the baseline alone (the
+/// characterization matrix behind Table 2 and Figs 4–5).
+pub fn baseline_matrix(scale: Scale, mode: &RunMode) -> Matrix {
+    let apps = suite::all(scale);
+    Matrix::run_apps_with_mode(
+        &apps,
+        Variant::new("baseline", ReachConfig::baseline()),
+        vec![],
+        mode,
+        crate::pool::default_workers(),
+    )
+}
+
 /// Table 2: benchmark characterization under the baseline.
 pub fn table2(scale: Scale) -> String {
+    table2_mode(scale, &RunMode::exact())
+}
+
+/// [`table2`] under an explicit execution mode.
+pub fn table2_mode(scale: Scale, mode: &RunMode) -> String {
+    table2_from(scale, &baseline_matrix(scale, mode))
+}
+
+fn table2_from(scale: Scale, m: &Matrix) -> String {
     let apps = suite::all(scale);
-    let baseline = Variant::new("baseline", ReachConfig::baseline());
-    let m = Matrix::run_apps(&apps, baseline, vec![]);
     let mut out = String::from(
         "### Table 2: benchmarks (measured on the baseline simulator)\n\
          App        Suite      Kernels  B2B  L1-HR%  L2-HR%  PTW-PKI  Category\n",
@@ -93,9 +187,11 @@ pub fn table2(scale: Scale) -> String {
     out
 }
 
-/// Figures 2 and 3: page walks and performance vs L2 TLB size
-/// (512 → 64 K entries, plus a perfect L2 TLB).
-pub fn fig02_03(scale: Scale) -> String {
+/// The Figs 2–3 sweep matrix: L2 TLB 1K → 64K entries plus a perfect
+/// L2 TLB, against the 512-entry baseline. Every variant is
+/// timing-side only, so under sampling the whole axis shares one
+/// warmup capture per app.
+pub fn fig02_03_matrix(scale: Scale, mode: &RunMode) -> Matrix {
     let sizes: [(&str, usize); 5] =
         [("1K", 1024), ("2K", 2048), ("4K", 4096), ("8K", 8192), ("64K", 65536)];
     let mut variants: Vec<Variant> = sizes
@@ -113,7 +209,26 @@ pub fn fig02_03(scale: Scale) -> String {
         GpuConfig::default().with_perfect_l2_tlb(),
         ReachConfig::baseline(),
     ));
-    let m = Matrix::run(scale, Variant::new("512 (baseline)", ReachConfig::baseline()), variants);
+    Matrix::run_with_mode(
+        scale,
+        Variant::new("512 (baseline)", ReachConfig::baseline()),
+        variants,
+        mode,
+    )
+}
+
+/// Figures 2 and 3: page walks and performance vs L2 TLB size
+/// (512 → 64 K entries, plus a perfect L2 TLB).
+pub fn fig02_03(scale: Scale) -> String {
+    fig02_03_mode(scale, &RunMode::exact())
+}
+
+/// [`fig02_03`] under an explicit execution mode.
+pub fn fig02_03_mode(scale: Scale, mode: &RunMode) -> String {
+    fig02_03_from(&fig02_03_matrix(scale, mode))
+}
+
+fn fig02_03_from(m: &Matrix) -> String {
     let mut out = m.normalized_table(
         "Fig 2: page walks normalized to the 512-entry baseline",
         |s: &RunStats| s.page_walks as f64,
@@ -126,8 +241,15 @@ pub fn fig02_03(scale: Scale) -> String {
 /// Figures 4 and 5: LDS/I-cache capacity and port-bandwidth
 /// under-utilization in the baseline.
 pub fn fig04_05(scale: Scale) -> String {
-    let apps = suite::all(scale);
-    let m = Matrix::run_apps(&apps, Variant::new("baseline", ReachConfig::baseline()), vec![]);
+    fig04_05_mode(scale, &RunMode::exact())
+}
+
+/// [`fig04_05`] under an explicit execution mode.
+pub fn fig04_05_mode(scale: Scale, mode: &RunMode) -> String {
+    fig04_05_from(&baseline_matrix(scale, mode))
+}
+
+fn fig04_05_from(m: &Matrix) -> String {
     let mut out = String::from(
         "### Fig 4a: LDS bytes requested per workgroup (box-and-whisker)\n\
          App        min      q1     med      q3     max   (LDS capacity/CU = 16384 B)\n",
@@ -169,15 +291,40 @@ pub fn fig04_05(scale: Scale) -> String {
     out
 }
 
+/// The applications Fig 11 tracks over time.
+const FIG11_APPS: [&str; 8] = ["ATAX", "BICG", "MVT", "BFS", "NW", "PRK", "SSSP", "GUPS"];
+
+/// The baseline matrix behind Fig 11 (its named apps, in figure
+/// order).
+pub fn fig11_matrix(scale: Scale, mode: &RunMode) -> Matrix {
+    let apps: Vec<_> = FIG11_APPS
+        .iter()
+        .map(|n| suite::by_name(n, scale).expect("known app"))
+        .collect();
+    Matrix::run_apps_with_mode(
+        &apps,
+        Variant::new("baseline", ReachConfig::baseline()),
+        vec![],
+        mode,
+        crate::pool::default_workers(),
+    )
+}
+
 /// Figure 11: I-cache utilization per kernel over time.
 pub fn fig11(scale: Scale) -> String {
-    let names = ["ATAX", "BICG", "MVT", "BFS", "NW", "PRK", "SSSP", "GUPS"];
+    fig11_mode(scale, &RunMode::exact())
+}
+
+/// [`fig11`] under an explicit execution mode.
+pub fn fig11_mode(scale: Scale, mode: &RunMode) -> String {
+    fig11_from(&fig11_matrix(scale, mode))
+}
+
+fn fig11_from(m: &Matrix) -> String {
     let mut out = String::from(
         "### Fig 11: per-kernel I-cache utilization over time (first 24 launches)\n",
     );
-    for name in names {
-        let app = suite::by_name(name, scale).expect("known app");
-        let stats = crate::harness::run_one(&app, GpuConfig::default(), ReachConfig::baseline());
+    for (name, stats) in FIG11_APPS.iter().zip(&m.baseline) {
         let series: Vec<String> = stats
             .kernels
             .iter()
@@ -232,15 +379,16 @@ pub fn sampling_for(scale: Scale) -> SamplingConfig {
     SamplingConfig::paper_default().scaled(scale.factor())
 }
 
-/// Figure 13a: reconfigurable I-cache design variants.
-pub fn fig13a(scale: Scale) -> String {
+/// The Fig 13a design-variant matrix (Tx packing, replacement policy,
+/// flush — all timing-side, so the axis shares one capture per app).
+pub fn fig13a_matrix(scale: Scale, mode: &RunMode) -> Matrix {
     let ic = |tx, repl, flush| {
         ReachConfig::ic_only()
             .with_tx_per_line(tx)
             .with_replacement(repl)
             .with_flush(flush)
     };
-    let m = Matrix::run(
+    Matrix::run_with_mode(
         scale,
         Variant::new("baseline", ReachConfig::baseline()),
         vec![
@@ -249,7 +397,21 @@ pub fn fig13a(scale: Scale) -> String {
             Variant::new("IC-8tx-instr-aware", ic(TxPerLine::Eight, Replacement::InstructionAware, false)),
             Variant::new("IC-8tx-IA+flush", ic(TxPerLine::Eight, Replacement::InstructionAware, true)),
         ],
-    );
+        mode,
+    )
+}
+
+/// Figure 13a: reconfigurable I-cache design variants.
+pub fn fig13a(scale: Scale) -> String {
+    fig13a_mode(scale, &RunMode::exact())
+}
+
+/// [`fig13a`] under an explicit execution mode.
+pub fn fig13a_mode(scale: Scale, mode: &RunMode) -> String {
+    fig13a_from(&fig13a_matrix(scale, mode))
+}
+
+fn fig13a_from(m: &Matrix) -> String {
     m.improvement_table("Fig 13a: reconfigurable I-cache variants (% improvement)")
 }
 
@@ -314,16 +476,40 @@ pub fn fig14ab_from(m: &Matrix) -> String {
     out
 }
 
+/// The per-page-size matrices behind Fig 14c, in [`PageSize::all`]
+/// order. A page-size change rewrites the translation stream itself,
+/// so under sampling each size captures its own checkpoints (the
+/// [`CheckpointKey`](gtr_core::checkpoint::CheckpointKey) property
+/// tests prove the invalidation).
+pub fn fig14c_matrices(scale: Scale, mode: &RunMode) -> Vec<(PageSize, Matrix)> {
+    PageSize::all()
+        .into_iter()
+        .map(|size| {
+            let gpu = GpuConfig::default().with_page_size(size);
+            let m = Matrix::run_with_mode(
+                scale,
+                Variant::with_gpu("baseline", gpu.clone(), ReachConfig::baseline()),
+                vec![Variant::with_gpu("IC+LDS", gpu, ReachConfig::ic_plus_lds())],
+                mode,
+            );
+            (size, m)
+        })
+        .collect()
+}
+
 /// Figure 14c: IC+LDS improvement at 4 KB / 64 KB / 2 MB pages.
 pub fn fig14c(scale: Scale) -> String {
+    fig14c_mode(scale, &RunMode::exact())
+}
+
+/// [`fig14c`] under an explicit execution mode.
+pub fn fig14c_mode(scale: Scale, mode: &RunMode) -> String {
+    fig14c_from(&fig14c_matrices(scale, mode))
+}
+
+fn fig14c_from(matrices: &[(PageSize, Matrix)]) -> String {
     let mut out = String::from("### Fig 14c: IC+LDS geomean improvement by page size\n");
-    for size in PageSize::all() {
-        let gpu = GpuConfig::default().with_page_size(size);
-        let m = Matrix::run(
-            scale,
-            Variant::with_gpu("baseline", gpu.clone(), ReachConfig::baseline()),
-            vec![Variant::with_gpu("IC+LDS", gpu, ReachConfig::ic_plus_lds())],
-        );
+    for (size, m) in matrices {
         out.push_str(&format!("{size:>5} pages: {:+.1}%\n", m.geomean_improvement(0)));
     }
     out
@@ -349,9 +535,9 @@ pub fn fig15(scale: Scale) -> String {
     fig15_from(&main_matrix(scale))
 }
 
-/// Figure 16a: sensitivity to the number of CUs sharing an I-cache
-/// (total I-cache capacity constant).
-pub fn fig16a(scale: Scale) -> String {
+/// The Fig 16a sharing-sensitivity matrix (1/2/4/8 CUs per I-cache at
+/// constant capacity — timing-side, one shared capture per app).
+pub fn fig16a_matrix(scale: Scale, mode: &RunMode) -> Matrix {
     let variants = [1usize, 2, 4, 8]
         .iter()
         .map(|&sharers| {
@@ -362,12 +548,26 @@ pub fn fig16a(scale: Scale) -> String {
             )
         })
         .collect();
-    let m = Matrix::run(scale, Variant::new("baseline", ReachConfig::baseline()), variants);
+    Matrix::run_with_mode(scale, Variant::new("baseline", ReachConfig::baseline()), variants, mode)
+}
+
+/// Figure 16a: sensitivity to the number of CUs sharing an I-cache
+/// (total I-cache capacity constant).
+pub fn fig16a(scale: Scale) -> String {
+    fig16a_mode(scale, &RunMode::exact())
+}
+
+/// [`fig16a`] under an explicit execution mode.
+pub fn fig16a_mode(scale: Scale, mode: &RunMode) -> String {
+    fig16a_from(&fig16a_matrix(scale, mode))
+}
+
+fn fig16a_from(m: &Matrix) -> String {
     m.improvement_table("Fig 16a: IC+LDS improvement vs CUs per I-cache (capacity constant)")
 }
 
-/// Figure 16b: sensitivity to additional datapath/wire latency.
-pub fn fig16b(scale: Scale) -> String {
+/// The Fig 16b wire-latency matrix.
+pub fn fig16b_matrix(scale: Scale, mode: &RunMode) -> Matrix {
     let mut variants = Vec::new();
     for extra in [10u64, 50, 100] {
         variants.push(Variant::new(
@@ -383,13 +583,29 @@ pub fn fig16b(scale: Scale) -> String {
             ReachConfig::ic_plus_lds().with_wire_latency(extra, extra),
         ));
     }
-    let m = Matrix::run(scale, Variant::new("baseline", ReachConfig::baseline()), variants);
+    Matrix::run_with_mode(scale, Variant::new("baseline", ReachConfig::baseline()), variants, mode)
+}
+
+/// Figure 16b: sensitivity to additional datapath/wire latency.
+pub fn fig16b(scale: Scale) -> String {
+    fig16b_mode(scale, &RunMode::exact())
+}
+
+/// [`fig16b`] under an explicit execution mode.
+pub fn fig16b_mode(scale: Scale, mode: &RunMode) -> String {
+    fig16b_from(&fig16b_matrix(scale, mode))
+}
+
+fn fig16b_from(m: &Matrix) -> String {
     m.improvement_table("Fig 16b: IC+LDS improvement with extra translation wire latency")
 }
 
-/// Figure 16c: composing with DUCATI.
-pub fn fig16c(scale: Scale) -> String {
-    let m = Matrix::run(
+/// The Fig 16c DUCATI-composition matrix. Under sampling the DUCATI
+/// cells warm the side cache functionally across fast-forward windows
+/// and report their hit-rate divergence through
+/// `SamplingMeta::side_cache_error_bound_pct`.
+pub fn fig16c_matrix(scale: Scale, mode: &RunMode) -> Matrix {
+    Matrix::run_with_mode(
         scale,
         Variant::new("baseline", ReachConfig::baseline()),
         vec![
@@ -398,13 +614,27 @@ pub fn fig16c(scale: Scale) -> String {
             Variant::new("DUCATI+IC+LDS", ReachConfig::ic_plus_lds())
                 .with_ducati(DUCATI_POM_ENTRIES),
         ],
-    );
+        mode,
+    )
+}
+
+/// Figure 16c: composing with DUCATI.
+pub fn fig16c(scale: Scale) -> String {
+    fig16c_mode(scale, &RunMode::exact())
+}
+
+/// [`fig16c`] under an explicit execution mode.
+pub fn fig16c_mode(scale: Scale, mode: &RunMode) -> String {
+    fig16c_from(&fig16c_matrix(scale, mode))
+}
+
+fn fig16c_from(m: &Matrix) -> String {
     m.improvement_table("Fig 16c: DUCATI vs and with the reconfigurable design")
 }
 
-/// §6.3.1: LDS segment-size ablation (32 B / 3-way vs 64 B / 6-way).
-pub fn ablation_segment_size(scale: Scale) -> String {
-    let m = Matrix::run(
+/// The §6.3.1 segment-size ablation matrix.
+pub fn ablation_segment_size_matrix(scale: Scale, mode: &RunMode) -> Matrix {
+    Matrix::run_with_mode(
         scale,
         Variant::new("baseline", ReachConfig::baseline()),
         vec![
@@ -414,97 +644,135 @@ pub fn ablation_segment_size(scale: Scale) -> String {
                 ReachConfig::ic_plus_lds().with_segment_size(SegmentSize::Bytes64),
             ),
         ],
-    );
+        mode,
+    )
+}
+
+/// §6.3.1: LDS segment-size ablation (32 B / 3-way vs 64 B / 6-way).
+pub fn ablation_segment_size(scale: Scale) -> String {
+    ablation_segment_size_mode(scale, &RunMode::exact())
+}
+
+/// [`ablation_segment_size`] under an explicit execution mode.
+pub fn ablation_segment_size_mode(scale: Scale, mode: &RunMode) -> String {
+    ablation_segment_size_from(&ablation_segment_size_matrix(scale, mode))
+}
+
+fn ablation_segment_size_from(m: &Matrix) -> String {
     m.improvement_table("§6.3.1: LDS segment size 32 B vs 64 B (% improvement)")
+}
+
+/// The four sub-ablation matrices behind [`ablations`], in print
+/// order: victim-vs-prefetch, home-hashed LDS, PWCs removed,
+/// coalescer removed. The coalescer ablation changes the translation
+/// stream itself, so its no-coalescing cells capture their own
+/// checkpoints under sampling.
+pub fn ablation_matrices(scale: Scale, mode: &RunMode) -> Vec<Matrix> {
+    use gtr_core::config::TxFillPolicy;
+    let workers = crate::pool::default_workers();
+    let irregular: Vec<_> = ["ATAX", "GUPS", "BFS"]
+        .iter()
+        .map(|n| suite::by_name(n, scale).expect("known app"))
+        .collect();
+    let walk_heavy: Vec<_> = ["ATAX", "GEV", "GUPS"]
+        .iter()
+        .map(|n| suite::by_name(n, scale).expect("known app"))
+        .collect();
+    vec![
+        // (a) Victim cache vs prefetch buffer, irregular apps only.
+        Matrix::run_apps_with_mode(
+            &irregular,
+            Variant::new("baseline", ReachConfig::baseline()),
+            vec![
+                Variant::new("victim-cache (paper)", ReachConfig::ic_plus_lds()),
+                Variant::new(
+                    "prefetch-buffer",
+                    ReachConfig::ic_plus_lds().with_fill_policy(TxFillPolicy::PrefetchBuffer),
+                ),
+            ],
+            mode,
+            workers,
+        ),
+        // (b) Home-node-hashed LDS: the duplication-limiting
+        // optimization the paper defers. Dedup multiplies GUPS's
+        // effective reach ~8x; apps whose per-CU LDS already covers
+        // their hot set mostly pay the remote hop.
+        Matrix::run_apps_with_mode(
+            &irregular,
+            Variant::new("baseline", ReachConfig::baseline()),
+            vec![
+                Variant::new("IC+LDS (duplicated)", ReachConfig::ic_plus_lds()),
+                Variant::new(
+                    "IC+LDS home-hashed",
+                    ReachConfig::ic_plus_lds().with_lds_home_hashing(),
+                ),
+            ],
+            mode,
+            workers,
+        ),
+        // (c) Page-walk caches on/off (baseline machine).
+        Matrix::run_apps_with_mode(
+            &walk_heavy,
+            Variant::new("with PWCs (baseline)", ReachConfig::baseline()),
+            vec![Variant::with_gpu(
+                "without PWCs",
+                GpuConfig::default().without_page_walk_caches(),
+                ReachConfig::baseline(),
+            )],
+            mode,
+            workers,
+        ),
+        // (d) SIMT coalescer on/off (baseline machine).
+        Matrix::run_apps_with_mode(
+            &walk_heavy,
+            Variant::new("with coalescer (baseline)", ReachConfig::baseline()),
+            vec![Variant::with_gpu(
+                "without coalescer",
+                GpuConfig::default().without_coalescing(),
+                ReachConfig::baseline(),
+            )],
+            mode,
+            workers,
+        ),
+    ]
 }
 
 /// Design-choice ablations beyond the paper's own sensitivity studies
 /// (promised by DESIGN.md): victim-cache vs prefetch-buffer fills
 /// (§4.1), page-walk caches on/off, and the SIMT coalescer on/off.
 pub fn ablations(scale: Scale) -> String {
-    use gtr_core::config::TxFillPolicy;
-    let mut out = String::new();
-    // (a) Victim cache vs prefetch buffer, irregular apps only.
-    let apps: Vec<_> = ["ATAX", "GUPS", "BFS"]
-        .iter()
-        .map(|n| suite::by_name(n, scale).expect("known app"))
-        .collect();
-    let m = Matrix::run_apps(
-        &apps,
-        Variant::new("baseline", ReachConfig::baseline()),
-        vec![
-            Variant::new("victim-cache (paper)", ReachConfig::ic_plus_lds()),
-            Variant::new(
-                "prefetch-buffer",
-                ReachConfig::ic_plus_lds().with_fill_policy(TxFillPolicy::PrefetchBuffer),
-            ),
-        ],
-    );
-    out.push_str(&m.improvement_table(
+    ablations_mode(scale, &RunMode::exact())
+}
+
+/// [`ablations`] under an explicit execution mode.
+pub fn ablations_mode(scale: Scale, mode: &RunMode) -> String {
+    ablations_from(&ablation_matrices(scale, mode))
+}
+
+fn ablations_from(matrices: &[Matrix]) -> String {
+    let titles = [
         "Ablation §4.1: victim cache vs prefetch buffer (irregular apps)",
-    ));
-    out.push('\n');
-    // (b) Home-node-hashed LDS: the duplication-limiting optimization
-    // the paper defers. Dedup multiplies GUPS's effective reach ~8x;
-    // apps whose per-CU LDS already covers their hot set mostly pay
-    // the remote hop.
-    let apps: Vec<_> = ["ATAX", "GUPS", "BFS"]
-        .iter()
-        .map(|n| suite::by_name(n, scale).expect("known app"))
-        .collect();
-    let m = Matrix::run_apps(
-        &apps,
-        Variant::new("baseline", ReachConfig::baseline()),
-        vec![
-            Variant::new("IC+LDS (duplicated)", ReachConfig::ic_plus_lds()),
-            Variant::new(
-                "IC+LDS home-hashed",
-                ReachConfig::ic_plus_lds().with_lds_home_hashing(),
-            ),
-        ],
-    );
-    out.push_str(&m.improvement_table(
         "Ablation (paper future work): home-node-hashed LDS vs per-CU duplication",
-    ));
-    out.push('\n');
-    // (c) Page-walk caches on/off (baseline machine).
-    let apps: Vec<_> = ["ATAX", "GEV", "GUPS"]
-        .iter()
-        .map(|n| suite::by_name(n, scale).expect("known app"))
-        .collect();
-    let m = Matrix::run_apps(
-        &apps,
-        Variant::new("with PWCs (baseline)", ReachConfig::baseline()),
-        vec![Variant::with_gpu(
-            "without PWCs",
-            GpuConfig::default().without_page_walk_caches(),
-            ReachConfig::baseline(),
-        )],
-    );
-    out.push_str(&m.improvement_table("Ablation: split page-walk caches removed"));
-    out.push('\n');
-    // (d) SIMT coalescer on/off (baseline machine).
-    let m = Matrix::run_apps(
-        &apps,
-        Variant::new("with coalescer (baseline)", ReachConfig::baseline()),
-        vec![Variant::with_gpu(
-            "without coalescer",
-            GpuConfig::default().without_coalescing(),
-            ReachConfig::baseline(),
-        )],
-    );
-    out.push_str(&m.improvement_table("Ablation: SIMT page coalescer removed"));
+        "Ablation: split page-walk caches removed",
+        "Ablation: SIMT page coalescer removed",
+    ];
+    let mut out = String::new();
+    for (i, (m, title)) in matrices.iter().zip(titles).enumerate() {
+        out.push_str(&m.improvement_table(title));
+        if i + 1 < matrices.len() {
+            out.push('\n');
+        }
+    }
     out
 }
 
-/// §7.2 multi-application scenario: ATAX and BICG interleaved in two
-/// address spaces, with and without the reconfigurable architecture.
-pub fn multi_app(scale: Scale) -> String {
+/// The §7.2 two-tenant matrix (ATAX+BICG interleaved).
+pub fn multi_app_matrix(scale: Scale, mode: &RunMode) -> Matrix {
     use gtr_gpu::kernel::AppTrace;
     let a = suite::by_name("ATAX", scale).expect("known app");
     let b = suite::by_name("BICG", scale).expect("known app");
     let merged = AppTrace::interleave(&a, &b);
-    let m = Matrix::run_apps(
+    Matrix::run_apps_with_mode(
         std::slice::from_ref(&merged),
         Variant::new("baseline", ReachConfig::baseline()),
         vec![
@@ -512,49 +780,110 @@ pub fn multi_app(scale: Scale) -> String {
             Variant::new("IC", ReachConfig::ic_only()),
             Variant::new("IC+LDS", ReachConfig::ic_plus_lds()),
         ],
-    );
+        mode,
+        crate::pool::default_workers(),
+    )
+}
+
+/// §7.2 multi-application scenario: ATAX and BICG interleaved in two
+/// address spaces, with and without the reconfigurable architecture.
+pub fn multi_app(scale: Scale) -> String {
+    multi_app_mode(scale, &RunMode::exact())
+}
+
+/// [`multi_app`] under an explicit execution mode.
+pub fn multi_app_mode(scale: Scale, mode: &RunMode) -> String {
+    multi_app_from(&multi_app_matrix(scale, mode))
+}
+
+fn multi_app_from(m: &Matrix) -> String {
     m.improvement_table("§7.2: two tenants (ATAX+BICG interleaved, distinct VM-IDs)")
+}
+
+/// Runs every table and figure of the paper under one execution mode
+/// and returns each as a [`FigureResult`], in paper order. The main
+/// matrix is shared across Figs 13b/13c/14ab/15 (and the baseline
+/// characterization matrix across Table 2 and Figs 4–5), exactly as
+/// [`all`] prints them.
+pub fn battery(scale: Scale, mode: &RunMode) -> Vec<FigureResult> {
+    battery_with_main(scale, mode).0
+}
+
+/// [`battery`] plus the main matrix it ran, so `all --stats-out` can
+/// export the matrix without re-simulating it.
+pub fn battery_with_main(scale: Scale, mode: &RunMode) -> (Vec<FigureResult>, Matrix) {
+    let mut out = Vec::with_capacity(17);
+    out.push(FigureResult::without_cells("table1", table1()));
+    let base = baseline_matrix(scale, mode);
+    out.push(FigureResult::from_matrices("table2", table2_from(scale, &base), &[&base]));
+    let m = fig02_03_matrix(scale, mode);
+    out.push(FigureResult::from_matrices("fig02_03", fig02_03_from(&m), &[&m]));
+    out.push(FigureResult::from_matrices("fig04_05", fig04_05_from(&base), &[&base]));
+    let m = fig11_matrix(scale, mode);
+    out.push(FigureResult::from_matrices("fig11", fig11_from(&m), &[&m]));
+    let m = fig13a_matrix(scale, mode);
+    out.push(FigureResult::from_matrices("fig13a", fig13a_from(&m), &[&m]));
+    let main = main_matrix_mode(scale, false, mode);
+    out.push(FigureResult::from_matrices("fig13b", fig13b_from(&main), &[&main]));
+    out.push(FigureResult::from_matrices("fig13c", fig13c_from(&main), &[&main]));
+    out.push(FigureResult::from_matrices("fig14ab", fig14ab_from(&main), &[&main]));
+    let per_size = fig14c_matrices(scale, mode);
+    let refs: Vec<&Matrix> = per_size.iter().map(|(_, m)| m).collect();
+    out.push(FigureResult::from_matrices("fig14c", fig14c_from(&per_size), &refs));
+    out.push(FigureResult::from_matrices("fig15", fig15_from(&main), &[&main]));
+    let m = fig16a_matrix(scale, mode);
+    out.push(FigureResult::from_matrices("fig16a", fig16a_from(&m), &[&m]));
+    let m = fig16b_matrix(scale, mode);
+    out.push(FigureResult::from_matrices("fig16b", fig16b_from(&m), &[&m]));
+    let m = fig16c_matrix(scale, mode);
+    out.push(FigureResult::from_matrices("fig16c", fig16c_from(&m), &[&m]));
+    let m = ablation_segment_size_matrix(scale, mode);
+    out.push(FigureResult::from_matrices(
+        "ablation_segment_size",
+        ablation_segment_size_from(&m),
+        &[&m],
+    ));
+    let ms = ablation_matrices(scale, mode);
+    let refs: Vec<&Matrix> = ms.iter().collect();
+    out.push(FigureResult::from_matrices("ablations", ablations_from(&ms), &refs));
+    let m = multi_app_matrix(scale, mode);
+    out.push(FigureResult::from_matrices("multi_app", multi_app_from(&m), &[&m]));
+    (out, main)
+}
+
+/// Serializes battery metadata as the schema-v4 `figures` array
+/// (per-figure name, cell counts and worst error bounds) that
+/// `all --stats-out` attaches to the exported matrix document.
+pub fn figures_json(figs: &[FigureResult]) -> gtr_sim::json::Json {
+    use gtr_sim::json::Json;
+    Json::Arr(
+        figs.iter()
+            .map(|f| {
+                Json::Obj(vec![
+                    ("name".into(), Json::from(f.name.as_str())),
+                    ("cells".into(), Json::from(f.cells)),
+                    ("sampled_cells".into(), Json::from(f.sampled_cells)),
+                    ("error_bound_pct".into(), Json::from(f.error_bound_pct)),
+                    (
+                        "side_cache_error_bound_pct".into(),
+                        Json::from(f.side_cache_error_bound_pct),
+                    ),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Everything, in paper order (shares the main matrix across Figs
 /// 13b/13c/14ab/15).
 pub fn all(scale: Scale) -> String {
-    let mut out = String::new();
-    out.push_str(&table1());
-    out.push('\n');
-    out.push_str(&table2(scale));
-    out.push('\n');
-    out.push_str(&fig02_03(scale));
-    out.push('\n');
-    out.push_str(&fig04_05(scale));
-    out.push('\n');
-    out.push_str(&fig11(scale));
-    out.push('\n');
-    out.push_str(&fig13a(scale));
-    out.push('\n');
-    let m = main_matrix(scale);
-    out.push_str(&fig13b_from(&m));
-    out.push('\n');
-    out.push_str(&fig13c_from(&m));
-    out.push('\n');
-    out.push_str(&fig14ab_from(&m));
-    out.push('\n');
-    out.push_str(&fig14c(scale));
-    out.push('\n');
-    out.push_str(&fig15_from(&m));
-    out.push('\n');
-    out.push_str(&fig16a(scale));
-    out.push('\n');
-    out.push_str(&fig16b(scale));
-    out.push('\n');
-    out.push_str(&fig16c(scale));
-    out.push('\n');
-    out.push_str(&ablation_segment_size(scale));
-    out.push('\n');
-    out.push_str(&ablations(scale));
-    out.push('\n');
-    out.push_str(&multi_app(scale));
-    out
+    all_mode(scale, &RunMode::exact())
+}
+
+/// [`all`] under an explicit execution mode (the full battery text).
+pub fn all_mode(scale: Scale, mode: &RunMode) -> String {
+    let figs = battery(scale, mode);
+    figs.iter().map(|f| f.text.as_str()).collect::<Vec<_>>().join("\n")
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use gtr_core::checkpoint::{gpu_fingerprint, Checkpoint};
+use gtr_core::checkpoint::{stream_fingerprint, Checkpoint};
 use gtr_core::config::{ReachConfig, SamplingConfig};
 use gtr_core::stats::RunStats;
 use gtr_core::system::System;
@@ -55,17 +55,18 @@ impl RunMode {
     }
 
     /// Interval-sampled simulation. When `cfg.warmup > 0` the harness
-    /// captures one warmup [`Checkpoint`] per `(app, distinct GPU
-    /// config)` pair and `Arc`-shares it across every variant cell of
-    /// that app's row — the warmup cost is paid once per row, not once
-    /// per cell.
+    /// captures one warmup [`Checkpoint`] per `(app, distinct
+    /// translation-stream fingerprint)` pair and `Arc`-shares it
+    /// across every variant cell it covers — a whole timing-side
+    /// sweep axis (L2 TLB sizes, perfect-TLB, I-cache sharers, …)
+    /// reuses a single capture.
     pub fn sampled(cfg: SamplingConfig) -> Self {
         Self { sampling: Some(cfg), checkpoint_dir: None }
     }
 
     /// Caches captured checkpoints under `dir` (validated on load by
-    /// app name, GPU fingerprint, and warmup window; stale or corrupt
-    /// files are silently re-captured).
+    /// [`CheckpointKey`](gtr_core::checkpoint::CheckpointKey); stale
+    /// or corrupt files are silently re-captured).
     pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.checkpoint_dir = Some(dir.into());
         self
@@ -74,10 +75,10 @@ impl RunMode {
 
 /// Loads a checkpoint from the disk cache or captures it fresh (and
 /// saves it back when a cache directory is given). File names encode
-/// the app, GPU fingerprint, and warmup window; cached files that fail
-/// [`Checkpoint::matches`] are re-captured.
+/// the app, stream fingerprint, and warmup window; cached files that
+/// fail [`Checkpoint::matches`] are re-captured.
 pub fn load_or_capture(app: &AppTrace, gpu: &GpuConfig, warmup: u64, dir: Option<&Path>) -> Checkpoint {
-    let fp = gpu_fingerprint(gpu);
+    let fp = stream_fingerprint(gpu);
     let path = dir.map(|d| d.join(format!("ckpt_{}_{fp:016x}_{warmup}.bin", app.name())));
     if let Some(p) = &path {
         if let Ok(bytes) = std::fs::read(p) {
@@ -254,13 +255,17 @@ impl Matrix {
     ///
     /// In sampled mode with a warmup window, the harness first
     /// deduplicates the distinct GPU configurations among
-    /// baseline+variants (by [`gpu_fingerprint`]), captures — or loads
-    /// from `mode.checkpoint_dir` — one [`Checkpoint`] per `(app,
-    /// distinct GPU)` pair on the worker pool, then `Arc`-shares each
-    /// checkpoint across every matrix cell it covers. Cells restore
-    /// the checkpoint (functional re-warm of their own victim
-    /// structures) and run sampled with the warmup window elided.
-    /// Results remain bit-identical for any `workers` value.
+    /// baseline+variants by [`stream_fingerprint`] — two GPUs that
+    /// differ only in timing-side knobs (TLB geometry, cache
+    /// latencies, I-cache sharing) capture identical translation
+    /// streams and therefore share one capture — then captures, or
+    /// loads from `mode.checkpoint_dir`, one [`Checkpoint`] per
+    /// `(app, distinct stream)` pair on the worker pool, and
+    /// `Arc`-shares each checkpoint across every matrix cell it
+    /// covers. Cells restore the checkpoint (functional re-warm of
+    /// their own victim structures) and run sampled with the warmup
+    /// window elided. Results remain bit-identical for any `workers`
+    /// value.
     pub fn run_apps_with_mode(
         apps: &[AppTrace],
         baseline: Variant,
@@ -277,7 +282,7 @@ impl Matrix {
                 let mut fps: Vec<u64> = Vec::new();
                 let mut gpu_of_variant: Vec<usize> = Vec::with_capacity(nv);
                 for v in &all_variants {
-                    let fp = gpu_fingerprint(&v.gpu);
+                    let fp = stream_fingerprint(&v.gpu);
                     let idx = fps.iter().position(|&f| f == fp).unwrap_or_else(|| {
                         fps.push(fp);
                         fps.len() - 1

@@ -3,22 +3,31 @@
 //!
 //! A paper-scale matrix re-simulates an identical warmup phase from
 //! cold state in every cell. A [`Checkpoint`] removes that redundancy:
-//! it is produced **once per `(app, GPU config)` pair** by running the
-//! app's warmup window in pure functional-warming mode on the baseline
+//! it is produced **once per [`CheckpointKey`]** by running the app's
+//! warmup window in pure functional-warming mode on the baseline
 //! [`ReachConfig`](crate::config::ReachConfig) and recording the
 //! translation request stream (CU, key, resolved PPN). Because the
 //! request stream that reaches the translation path is purely
-//! functional — independent of the reach configuration, which only
-//! changes *where* lookups hit and how long they take — the same
-//! stream replays into **any** variant's own hierarchy via
+//! functional — independent of the reach configuration and of every
+//! timing-side machine knob, which only change *where* lookups hit and
+//! how long they take — the same stream replays into **any** variant's
+//! own hierarchy via
 //! [`System::restore_checkpoint`](crate::system::System::restore_checkpoint):
 //! the variant's L1 TLBs, victim LDS/I-cache structures, L2 TLB, IOMMU
 //! TLBs and page-walk caches all warm through their own fill flow, and
 //! the page tables re-map frames in first-touch order (the
 //! deterministic frame allocator reproduces identical PPNs).
 //!
-//! The bench harness `Arc`-shares one checkpoint across every variant
-//! cell of an app row and optionally caches the serialized form on
+//! The capture's identity is a [`CheckpointKey`]: the app, the warmup
+//! window, and a fingerprint over **exactly** the GPU fields that
+//! shape the stream (see [`stream_fingerprint`]). One capture per key
+//! therefore serves an entire timing-side sweep axis — every L2-TLB
+//! size of Figs 2–3, the perfect-TLB upper bound, every I-cache
+//! sharer count of Fig 16a — while a page-size change produces a new
+//! key (it changes the VPNs themselves).
+//!
+//! The bench harness `Arc`-shares one checkpoint across every matrix
+//! cell its key covers and optionally caches the serialized form on
 //! disk ([`Checkpoint::to_bytes`] / [`Checkpoint::from_bytes`], built
 //! on [`gtr_sim::arena`]).
 
@@ -30,9 +39,12 @@ use gtr_vm::addr::{Ppn, TranslationKey, VmId, Vpn, VrfId};
 use crate::config::ReachConfig;
 use crate::system::System;
 
-/// Serialization magic (`GTRC`) + format version.
+/// Serialization magic (`GTRC`) + format version. Version 2 replaced
+/// the whole-`GpuConfig` fingerprint with the stream fingerprint of
+/// [`CheckpointKey`]; version-1 files fail [`Checkpoint::from_bytes`]
+/// and are silently re-captured by the cache layer.
 const MAGIC: u32 = 0x4754_5243;
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// One recorded translation request: which CU asked for which page,
 /// and which frame the deterministic allocator gave it.
@@ -46,34 +58,93 @@ pub struct CheckpointEntry {
     pub ppn: Ppn,
 }
 
-/// A warm-state snapshot: the translation stream of one app's warmup
-/// window on one GPU configuration.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Checkpoint {
-    /// Application name the stream was captured from.
+/// The identity of a capture: which `(app, functional machine shape,
+/// warmup window)` produced its translation stream. Two
+/// configurations with equal keys capture bit-identical streams, so
+/// the harness shares one [`Checkpoint`] across them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CheckpointKey {
+    /// Application name the stream is captured from.
     pub app: String,
-    /// Fingerprint of the GPU configuration (restores must match).
-    pub gpu_fingerprint: u64,
     /// The capture window, in executed wavefront instructions.
     pub warmup_insts: u64,
-    /// The recorded translation stream, in request order.
-    pub stream: Vec<CheckpointEntry>,
+    /// [`stream_fingerprint`] of the GPU configuration.
+    pub stream_fingerprint: u64,
 }
 
-/// FNV-1a 64-bit hash of a string.
-pub fn fingerprint_str(s: &str) -> u64 {
+impl CheckpointKey {
+    /// The key a capture of `app` on `gpu` over `warmup_insts`
+    /// instructions would carry.
+    pub fn new(app: &str, gpu: &GpuConfig, warmup_insts: u64) -> Self {
+        Self {
+            app: app.to_string(),
+            warmup_insts,
+            stream_fingerprint: stream_fingerprint(gpu),
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash of a byte slice.
+pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
+    for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
 }
 
-/// Fingerprint of a GPU configuration (its full `Debug` rendering, so
-/// any field change invalidates cached checkpoints).
-pub fn gpu_fingerprint(gpu: &GpuConfig) -> u64 {
-    fingerprint_str(&format!("{gpu:?}"))
+/// FNV-1a 64-bit hash of a string.
+pub fn fingerprint_str(s: &str) -> u64 {
+    fingerprint_bytes(s.as_bytes())
+}
+
+/// Fingerprint of exactly the [`GpuConfig`] fields that shape the
+/// captured translation stream. Captures run in pure functional
+/// warming (every op issues at zero modeled latency, ports and DRAM
+/// are never consulted), so the stream is determined by the
+/// *functional front end* alone:
+///
+/// * `page_size` — sets the VPN of every access (a change rewrites
+///   the stream itself, so it **must** invalidate);
+/// * `coalescing` — whether duplicate per-lane pages merge into one
+///   request;
+/// * `cus` — workgroup placement round-robins over CUs and each
+///   stream entry records its requesting CU;
+/// * `waves_per_cu()` (= `simds_per_cu × waves_per_simd`) — the wave
+///   slots that gate how many workgroups dispatch concurrently;
+/// * `lds_bytes` — the LDS allocator capacity that gates workgroup
+///   dispatch for LDS-hungry kernels.
+///
+/// Everything else is timing-side and deliberately excluded: TLB
+/// geometries and latencies (`l1_tlb`, `l2_tlb`, `l2_tlb_perfect`),
+/// the I-cache hierarchy (`icache_bytes`, `icache_assoc`,
+/// `cus_per_icache`, `ic_tag_latency` — code fetches are physical and
+/// never enter the translation stream), data caches and DRAM (`l1d`,
+/// `memory`), the IOMMU, LDS latency, and the unused `simd_width`.
+/// Sweeping any of them reuses the same capture — the payoff that
+/// lets one checkpoint serve the whole Figs 2–3 axis. The reach
+/// configuration never enters the key because captures always run on
+/// [`ReachConfig::baseline`].
+pub fn stream_fingerprint(gpu: &GpuConfig) -> u64 {
+    fingerprint_str(&format!(
+        "page_size={:?} coalescing={} cus={} waves_per_cu={} lds_bytes={}",
+        gpu.page_size,
+        gpu.coalescing,
+        gpu.cus,
+        gpu.waves_per_cu(),
+        gpu.lds_bytes,
+    ))
+}
+
+/// A warm-state snapshot: the translation stream of one app's warmup
+/// window on one functional machine shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The capture's identity (restores must match).
+    pub key: CheckpointKey,
+    /// The recorded translation stream, in request order.
+    pub stream: Vec<CheckpointEntry>,
 }
 
 impl Checkpoint {
@@ -81,26 +152,34 @@ impl Checkpoint {
     /// instructions of `app` on `gpu` with the baseline reach
     /// configuration in pure functional-warming mode and records the
     /// translation stream. Costs functional (not detailed) simulation
-    /// time, once per `(app, gpu)` pair.
+    /// time, once per [`CheckpointKey`].
     pub fn capture(app: &AppTrace, gpu: &GpuConfig, warmup_insts: u64) -> Self {
         let mut sys = System::new(gpu.clone(), ReachConfig::baseline());
         let stream = sys.run_functional_capture(app, warmup_insts);
         Self {
-            app: app.name().to_string(),
-            gpu_fingerprint: gpu_fingerprint(gpu),
-            warmup_insts,
+            key: CheckpointKey::new(app.name(), gpu, warmup_insts),
             stream,
         }
     }
 
+    /// The application the stream was captured from.
+    pub fn app(&self) -> &str {
+        &self.key.app
+    }
+
+    /// The capture window, in executed wavefront instructions.
+    pub fn warmup_insts(&self) -> u64 {
+        self.key.warmup_insts
+    }
+
     /// Serializes into the arena wire format.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = ArenaWriter::with_capacity(32 + self.app.len() + self.stream.len() * 22);
+        let mut w = ArenaWriter::with_capacity(32 + self.key.app.len() + self.stream.len() * 22);
         w.put_u32(MAGIC);
         w.put_u32(VERSION);
-        w.put_str(&self.app);
-        w.put_u64(self.gpu_fingerprint);
-        w.put_u64(self.warmup_insts);
+        w.put_str(&self.key.app);
+        w.put_u64(self.key.stream_fingerprint);
+        w.put_u64(self.key.warmup_insts);
         w.put_u64(self.stream.len() as u64);
         for e in &self.stream {
             w.put_u32(e.cu);
@@ -109,18 +188,29 @@ impl Checkpoint {
             w.put_u8(e.key.vrf.raw());
             w.put_u64(e.ppn.0);
         }
-        w.into_bytes()
+        // Trailing integrity checksum over everything before it: a
+        // single flipped bit anywhere in the payload must fail the
+        // load (a silently-decoded wrong PPN would poison every run
+        // warmed from this file), so the cache layer re-captures.
+        let mut bytes = w.into_bytes();
+        let sum = fingerprint_bytes(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        bytes
     }
 
-    /// Deserializes; `None` on wrong magic/version, truncation, or
-    /// corruption.
+    /// Deserializes; `None` on wrong magic/version, truncation,
+    /// trailing bytes, or a checksum mismatch (bit rot).
     pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
-        let mut r = ArenaReader::new(bytes);
+        let (payload, sum_bytes) = bytes.split_at_checked(bytes.len().checked_sub(8)?)?;
+        if u64::from_le_bytes(sum_bytes.try_into().ok()?) != fingerprint_bytes(payload) {
+            return None;
+        }
+        let mut r = ArenaReader::new(payload);
         if r.get_u32()? != MAGIC || r.get_u32()? != VERSION {
             return None;
         }
         let app = r.get_str()?.to_string();
-        let gpu_fingerprint = r.get_u64()?;
+        let stream_fingerprint = r.get_u64()?;
         let warmup_insts = r.get_u64()?;
         let n = r.get_u64()? as usize;
         let mut stream = Vec::with_capacity(n.min(1 << 24));
@@ -135,27 +225,32 @@ impl Checkpoint {
         if r.remaining() != 0 {
             return None;
         }
-        Some(Self { app, gpu_fingerprint, warmup_insts, stream })
+        Some(Self {
+            key: CheckpointKey { app, warmup_insts, stream_fingerprint },
+            stream,
+        })
     }
 
-    /// Whether this checkpoint was captured for `app` on `gpu` with
-    /// the given window — the disk-cache validity test.
+    /// Whether this checkpoint was captured for `app` with the given
+    /// window on a machine whose stream matches `gpu`'s — the
+    /// disk-cache validity test.
     pub fn matches(&self, app: &str, gpu: &GpuConfig, warmup_insts: u64) -> bool {
-        self.app == app
-            && self.gpu_fingerprint == gpu_fingerprint(gpu)
-            && self.warmup_insts == warmup_insts
+        self.key == CheckpointKey::new(app, gpu, warmup_insts)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gtr_vm::addr::PageSize;
 
     fn sample() -> Checkpoint {
         Checkpoint {
-            app: "GUPS".to_string(),
-            gpu_fingerprint: 0xABCD_EF01_2345_6789,
-            warmup_insts: 30_000,
+            key: CheckpointKey {
+                app: "GUPS".to_string(),
+                warmup_insts: 30_000,
+                stream_fingerprint: 0xABCD_EF01_2345_6789,
+            },
             stream: (0..100u64)
                 .map(|i| CheckpointEntry {
                     cu: (i % 8) as u32,
@@ -192,10 +287,42 @@ mod tests {
     }
 
     #[test]
-    fn fingerprint_distinguishes_gpu_configs() {
-        let a = gpu_fingerprint(&GpuConfig::default());
-        let b = gpu_fingerprint(&GpuConfig::default().with_l2_tlb_entries(2048));
-        assert_ne!(a, b);
+    fn timing_side_sweeps_share_a_fingerprint() {
+        let base = stream_fingerprint(&GpuConfig::default());
+        // Every axis of the timing-side sweeps maps to the same key.
+        for gpu in [
+            GpuConfig::default().with_l2_tlb_entries(2048),
+            GpuConfig::default().with_l2_tlb_entries(65536),
+            GpuConfig::default().with_perfect_l2_tlb(),
+            GpuConfig::default().with_icache_sharers(1),
+            GpuConfig::default().with_icache_sharers(8),
+            GpuConfig::default().without_page_walk_caches(),
+        ] {
+            assert_eq!(base, stream_fingerprint(&gpu), "timing-side field leaked into the key");
+        }
+    }
+
+    #[test]
+    fn stream_shaping_fields_change_the_fingerprint() {
+        let base = stream_fingerprint(&GpuConfig::default());
+        for (label, gpu) in [
+            ("page_size", GpuConfig::default().with_page_size(PageSize::Size64K)),
+            ("coalescing", GpuConfig::default().without_coalescing()),
+            ("cus", GpuConfig {
+                cus: 4,
+                ..GpuConfig::default()
+            }),
+            ("waves_per_simd", GpuConfig {
+                waves_per_simd: 4,
+                ..GpuConfig::default()
+            }),
+            ("lds_bytes", GpuConfig {
+                lds_bytes: 32 * 1024,
+                ..GpuConfig::default()
+            }),
+        ] {
+            assert_ne!(base, stream_fingerprint(&gpu), "{label} must invalidate captures");
+        }
         let ck = sample();
         assert!(!ck.matches("GUPS", &GpuConfig::default(), 30_000), "fingerprint must match");
     }

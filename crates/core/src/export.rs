@@ -32,7 +32,13 @@ use crate::stats::{EpochStats, KernelStats, RunStats, SamplingMeta};
 ///   interval-sampling window accounting, extrapolated vs measured
 ///   cycles, error bound, checkpoint provenance). `null` for exact
 ///   runs. v1/v2 documents still parse with `sampling` absent.
-pub const STATS_SCHEMA_VERSION: u64 = 3;
+/// * **v4** — adds `side_cache_error_bound_pct` to the `sampling`
+///   object (DUCATI hit-rate divergence between detailed and
+///   functional windows) and the optional top-level `figures` array
+///   on matrix documents (per-figure name / cell counts / worst
+///   error bound, written by `all --stats-out`). v3 documents still
+///   parse: the bound defaults to 0 and `figures` to absent.
+pub const STATS_SCHEMA_VERSION: u64 = 4;
 
 fn hit_miss_to_json(hm: &HitMiss) -> Json {
     Json::Obj(vec![
@@ -185,6 +191,10 @@ fn sampling_to_json(m: &SamplingMeta) -> Json {
         ("extrapolated_cycles".into(), Json::from(m.extrapolated_cycles)),
         ("measured_cycles".into(), Json::from(m.measured_cycles)),
         ("error_bound_pct".into(), Json::from(m.error_bound_pct)),
+        (
+            "side_cache_error_bound_pct".into(),
+            Json::from(m.side_cache_error_bound_pct),
+        ),
         ("checkpoint_restored".into(), Json::from(m.checkpoint_restored)),
     ])
 }
@@ -204,6 +214,11 @@ fn sampling_from_json(j: &Json) -> Option<SamplingMeta> {
         extrapolated_cycles: j.get("extrapolated_cycles")?.as_u64()?,
         measured_cycles: j.get("measured_cycles")?.as_u64()?,
         error_bound_pct: j.get("error_bound_pct")?.as_f64()?,
+        // Schema v4; absent in v3 documents, which still parse.
+        side_cache_error_bound_pct: j
+            .get("side_cache_error_bound_pct")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
         checkpoint_restored: j.get("checkpoint_restored")?.as_bool()?,
     })
 }
@@ -632,6 +647,12 @@ pub fn check_sampling_invariants(s: &RunStats) -> Vec<String> {
     if m.error_bound_pct < 0.0 || !m.error_bound_pct.is_finite() {
         problems.push(format!("error_bound_pct {} not finite/non-negative", m.error_bound_pct));
     }
+    if m.side_cache_error_bound_pct < 0.0 || !m.side_cache_error_bound_pct.is_finite() {
+        problems.push(format!(
+            "side_cache_error_bound_pct {} not finite/non-negative",
+            m.side_cache_error_bound_pct
+        ));
+    }
     problems
 }
 
@@ -990,6 +1011,7 @@ mod tests {
             extrapolated_cycles: 6_000_000,
             measured_cycles: 3_977_625,
             error_bound_pct: 1.25,
+            side_cache_error_bound_pct: 0.4,
             checkpoint_restored: true,
         }
     }

@@ -117,8 +117,8 @@ impl EpochStats {
 }
 
 /// Measured-vs-extrapolated accounting of a sampled run
-/// (`System::with_sampling`), exported as the schema-v3 `sampling`
-/// object.
+/// (`System::with_sampling`), exported as the `sampling` object
+/// (introduced in schema v3; `side_cache_error_bound_pct` in v4).
 ///
 /// Instruction partition: `warmup_insts + detail_insts +
 /// fastforward_insts == RunStats::instructions`. Cycle partition:
@@ -160,6 +160,12 @@ pub struct SamplingMeta {
     /// min-to-max spread of per-detail-interval CPIs, scaled by the
     /// extrapolated share of the total.
     pub error_bound_pct: f64,
+    /// Side-cache (DUCATI) divergence bound, in percent of
+    /// `total_cycles`: the absolute difference between the detailed
+    /// and functional fast-forward side-cache hit rates, scaled by
+    /// the extrapolated share. Zero when no side cache is attached
+    /// (schema v4; absent in older exports, parsed as 0).
+    pub side_cache_error_bound_pct: f64,
     /// Whether warm state came from a restored warmup checkpoint.
     pub checkpoint_restored: bool,
 }

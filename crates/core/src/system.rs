@@ -78,6 +78,24 @@ pub trait TranslationSideCache: std::fmt::Debug {
     /// Stores an L2-TLB victim.
     fn fill(&mut self, now: Cycle, tx: Translation, mem: &mut MemorySystem);
 
+    /// Functional-warming twin of [`Self::lookup`]: resolves `key`
+    /// from the side cache's current contents with no timing and no
+    /// memory traffic, so fast-forward windows and checkpoint restores
+    /// keep the side cache's *resident set* evolving exactly as a
+    /// detailed run would. The default body makes the side cache
+    /// invisible to functional warming (always a miss) — implementors
+    /// that want sampled-mode fidelity override it.
+    fn lookup_functional(&mut self, key: TranslationKey) -> Option<Ppn> {
+        let _ = key;
+        None
+    }
+
+    /// Functional-warming twin of [`Self::fill`]: installs an L2-TLB
+    /// victim with no memory traffic. Default: drop it.
+    fn fill_functional(&mut self, tx: Translation) {
+        let _ = tx;
+    }
+
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
 }
@@ -179,6 +197,17 @@ pub struct System {
     vpn_cus: FastMap<u64, u8>,
     peak_tx_entries: usize,
     sample_countdown: u32,
+    /// Side-cache lookups/hits split by execution mode (detailed vs
+    /// functional fast-forward). The hit-rate divergence between the
+    /// two feeds `SamplingMeta::side_cache_error_bound_pct`: the
+    /// functional path resolves from the same resident set but at
+    /// zero cost, so a large divergence flags that the sampled DUCATI
+    /// estimate leans on intervals whose side-cache behavior the
+    /// detail windows did not witness.
+    sc_detail_lookups: u64,
+    sc_detail_hits: u64,
+    sc_ff_lookups: u64,
+    sc_ff_hits: u64,
     code_bases: HashMap<String, u64>,
     next_code_line: u64,
     /// Reused by `global_access` so the per-access coalescing result
@@ -304,6 +333,10 @@ impl System {
             vpn_cus: FastMap::with_capacity(4096),
             peak_tx_entries: 0,
             sample_countdown: 4096,
+            sc_detail_lookups: 0,
+            sc_detail_hits: 0,
+            sc_ff_lookups: 0,
+            sc_ff_hits: 0,
             code_bases: HashMap::new(),
             next_code_line: CODE_PHYS_BASE_LINE,
             scratch_coalesced: CoalescedAccess::default(),
@@ -468,6 +501,10 @@ impl System {
         self.vpn_cus.clear();
         self.peak_tx_entries = 0;
         self.sample_countdown = 4096;
+        self.sc_detail_lookups = 0;
+        self.sc_detail_hits = 0;
+        self.sc_ff_lookups = 0;
+        self.sc_ff_hits = 0;
         self.epochs.clear();
         self.next_epoch = self.epoch_len;
         self.shootdown_report = ShootdownReport::default();
@@ -1173,6 +1210,8 @@ impl System {
             side_cache,
             translation_requests,
             merged_requests,
+            sc_detail_lookups,
+            sc_detail_hits,
             vpn_cus,
             peak_tx_entries,
             sample_countdown,
@@ -1281,7 +1320,9 @@ impl System {
         }
         // --- Side cache (DUCATI) ---
         if let Some(sc) = side_cache.as_mut() {
+            *sc_detail_lookups += 1;
             if let Some((done, ppn)) = sc.lookup(t, key, mem) {
+                *sc_detail_hits += 1;
                 let tx = Translation::new(key, ppn);
                 if let Some(l2_victim) = l2_tlb.insert(tx) {
                     sc.fill(done, l2_victim, mem);
@@ -1352,9 +1393,10 @@ impl System {
     /// fill flows so every structure's *contents* evolve exactly as a
     /// detailed warmup would demand, but consumes no port or walker
     /// bandwidth and models zero latency. Request merging never fires
-    /// (there are no in-flight misses at zero latency), and the
-    /// DRAM-timed side cache is skipped — its contents are DRAM-
-    /// resident state, not on-chip warmth.
+    /// (there are no in-flight misses at zero latency), and the side
+    /// cache is consulted through its *functional* twin methods — its
+    /// resident set keeps evolving (so DUCATI's comparison point runs
+    /// under sampling) while its timed DRAM traffic stays off.
     fn translate_ff(&mut self, cu_idx: usize, now: Cycle, key: TranslationKey) -> (Ppn, usize) {
         let Self {
             gpu,
@@ -1364,7 +1406,10 @@ impl System {
             l2_tlb,
             icaches,
             cus,
+            side_cache,
             translation_requests,
+            sc_ff_lookups,
+            sc_ff_hits,
             vpn_cus,
             peak_tx_entries,
             sample_countdown,
@@ -1429,6 +1474,21 @@ impl System {
             Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, now, sink, vl);
             return (tx.ppn, 4);
         }
+        // --- Side cache (DUCATI), functional twin of the timed path ---
+        if let Some(sc) = side_cache.as_mut() {
+            *sc_ff_lookups += 1;
+            if let Some(ppn) = sc.lookup_functional(key) {
+                *sc_ff_hits += 1;
+                let tx = Translation::new(key, ppn);
+                if let Some(l2_victim) = l2_tlb.insert(tx) {
+                    sc.fill_functional(l2_victim);
+                }
+                let sink = Self::sink_opt(trace, *trace_on);
+                let vl = Self::obs_opt(obs, *obs_on);
+                Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, now, sink, vl);
+                return (ppn, 4);
+            }
+        }
         let outcome = iommu.translate_functional(key, page_table);
         let tx = outcome
             .translation
@@ -1436,7 +1496,11 @@ impl System {
         if *obs_on {
             obs.iommu_lat[outcome.level.index()].record(0);
         }
-        l2_tlb.insert(tx);
+        if let Some(l2_victim) = l2_tlb.insert(tx) {
+            if let Some(sc) = side_cache.as_mut() {
+                sc.fill_functional(l2_victim);
+            }
+        }
         if reach.fill_policy == crate::config::TxFillPolicy::PrefetchBuffer && reach.any_enabled()
         {
             for ahead in 1..=2u64 {
@@ -1666,6 +1730,24 @@ impl System {
         } else {
             0.0
         };
+        // Side-cache (DUCATI) divergence: how far the functional
+        // fast-forward hit rate drifted from the detailed one, weighted
+        // by the extrapolated share. Zero when no side cache is
+        // attached or it was never consulted.
+        let hr = |hits: u64, lookups: u64| {
+            if lookups > 0 {
+                hits as f64 / lookups as f64
+            } else {
+                0.0
+            }
+        };
+        let sc_divergence = if self.sc_detail_lookups > 0 && self.sc_ff_lookups > 0 {
+            (hr(self.sc_detail_hits, self.sc_detail_lookups)
+                - hr(self.sc_ff_hits, self.sc_ff_lookups))
+            .abs()
+        } else {
+            0.0
+        };
         Some(SamplingMeta {
             warmup_window: cfg.warmup,
             detail_window: cfg.detail,
@@ -1680,6 +1762,7 @@ impl System {
             extrapolated_cycles,
             measured_cycles: t_end,
             error_bound_pct: spread * share * 100.0,
+            side_cache_error_bound_pct: sc_divergence * share * 100.0,
             checkpoint_restored: self.checkpoint_restored,
         })
     }

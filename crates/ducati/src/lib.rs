@@ -129,6 +129,23 @@ impl TranslationSideCache for Ducati {
         self.fills += 1;
     }
 
+    fn lookup_functional(&mut self, key: TranslationKey) -> Option<Ppn> {
+        // Functional warming resolves from the same direct-mapped table
+        // but models no POM-controller trip and no LLC/DRAM traffic —
+        // the resident set stays faithful across fast-forward windows
+        // while the contention cost stays where it belongs, in the
+        // detailed intervals. Timed-path `stats()` are untouched.
+        match self.table.get(&self.slot(key)) {
+            Some(tx) if tx.key == key => Some(tx.ppn),
+            _ => None,
+        }
+    }
+
+    fn fill_functional(&mut self, tx: Translation) {
+        self.table.insert(self.slot(tx.key), tx);
+        self.fills += 1;
+    }
+
     fn name(&self) -> &'static str {
         "DUCATI"
     }
@@ -207,5 +224,48 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_entries_panics() {
         let _ = Ducati::new(0);
+    }
+
+    #[test]
+    fn functional_lookup_sees_timed_fills_and_vice_versa() {
+        let mut m = mem();
+        let mut d = Ducati::new(1024);
+        // Timed fill → functional hit on the same resident set.
+        d.fill(0, tx(5), &mut m);
+        assert_eq!(d.lookup_functional(tx(5).key), Some(Ppn(14)));
+        assert_eq!(d.lookup_functional(tx(6).key), None);
+        // Functional fill → timed hit (one shared table).
+        d.fill_functional(tx(33));
+        let (_, ppn) = d.lookup(0, tx(33).key, &mut m).unwrap();
+        assert_eq!(ppn, Ppn(42));
+        assert_eq!(d.fills(), 2);
+    }
+
+    #[test]
+    fn functional_path_never_touches_memory_or_timed_stats() {
+        let mut m = mem();
+        let mut d = Ducati::new(1024);
+        d.fill(0, tx(9), &mut m);
+        let accesses = m.l2().stats().total() + m.dram().reads();
+        let stats = d.stats();
+        assert!(d.lookup_functional(tx(9).key).is_some());
+        assert!(d.lookup_functional(tx(10).key).is_none());
+        d.fill_functional(tx(77));
+        assert_eq!(
+            m.l2().stats().total() + m.dram().reads(),
+            accesses,
+            "functional twins must be traffic-free"
+        );
+        assert_eq!(d.stats(), stats, "timed hit/miss stats must not move");
+    }
+
+    #[test]
+    fn functional_respects_direct_mapped_conflicts() {
+        let mut d = Ducati::new(16);
+        d.fill_functional(tx(1));
+        d.fill_functional(tx(17)); // same slot (17 % 16 == 1)
+        assert_eq!(d.lookup_functional(tx(1).key), None);
+        assert_eq!(d.lookup_functional(tx(17).key), Some(Ppn(26)));
+        assert_eq!(d.resident(), 1);
     }
 }

@@ -134,9 +134,59 @@ impl<'a> ArenaReader<'a> {
     }
 }
 
+/// A way a serialized arena can be damaged on disk. Test utility for
+/// loader-robustness batteries: every loader built on [`ArenaReader`]
+/// (warmup checkpoints in particular) must treat any of these as
+/// "file absent — regenerate", never panic and never return partially
+/// decoded state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Keep only the first `n` bytes (a write that died mid-file).
+    Truncate(usize),
+    /// Flip the bit at index `i` (taken modulo the buffer's bit
+    /// length), as a single-bit storage error would.
+    FlipBit(usize),
+    /// Append `n` bytes of `0xA5` garbage after the framed payload
+    /// (a file that grew past its frame).
+    Trailing(usize),
+}
+
+/// Returns a damaged copy of `bytes` for robustness tests — the
+/// injection is deterministic so failures reproduce exactly.
+pub fn corrupt(bytes: &[u8], way: Corruption) -> Vec<u8> {
+    match way {
+        Corruption::Truncate(n) => bytes[..n.min(bytes.len())].to_vec(),
+        Corruption::FlipBit(i) => {
+            let mut out = bytes.to_vec();
+            if !out.is_empty() {
+                let bit = i % (out.len() * 8);
+                out[bit / 8] ^= 1 << (bit % 8);
+            }
+            out
+        }
+        Corruption::Trailing(n) => {
+            let mut out = bytes.to_vec();
+            out.extend(std::iter::repeat(0xA5).take(n));
+            out
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn corruption_helper_damages_deterministically() {
+        let bytes = vec![1u8, 2, 3, 4];
+        assert_eq!(corrupt(&bytes, Corruption::Truncate(2)), vec![1, 2]);
+        assert_eq!(corrupt(&bytes, Corruption::Truncate(99)), bytes);
+        let flipped = corrupt(&bytes, Corruption::FlipBit(9));
+        assert_eq!(flipped, vec![1, 0, 3, 4]);
+        assert_eq!(corrupt(&bytes, Corruption::FlipBit(9)), flipped);
+        assert_eq!(corrupt(&bytes, Corruption::Trailing(2)), vec![1, 2, 3, 4, 0xA5, 0xA5]);
+        assert!(corrupt(&[], Corruption::FlipBit(3)).is_empty());
+    }
 
     #[test]
     fn round_trips_scalars_and_strings() {

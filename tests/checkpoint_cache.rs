@@ -1,0 +1,165 @@
+//! On-disk checkpoint cache robustness: damaged cache files must be
+//! silently re-captured — never a panic, never a poisoned result.
+//!
+//! The cache is a pure accelerator: `load_or_capture` treats any file
+//! it cannot fully decode (truncated write, bit rot, a version bump
+//! from an older binary) exactly like a missing file, re-captures,
+//! and rewrites it. These tests damage a real cache file every way
+//! [`Corruption`] knows and assert the sampled results stay
+//! bit-identical to a cold capture.
+
+use gpu_translation_reach::bench::figures;
+use gpu_translation_reach::bench::harness::{Matrix, RunMode, Variant};
+use gpu_translation_reach::core_arch::checkpoint::Checkpoint;
+use gpu_translation_reach::core_arch::config::{ReachConfig, SamplingConfig};
+use gpu_translation_reach::sim::arena::{corrupt, Corruption};
+use gpu_translation_reach::workloads::scale::Scale;
+use gpu_translation_reach::workloads::suite;
+
+/// A unique, self-cleaning scratch directory per test.
+struct ScratchDir(std::path::PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("gtr-ckpt-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Self(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn sampled_into(dir: &std::path::Path) -> RunMode {
+    RunMode::sampled(SamplingConfig::new(1_000, 2_000, 1_000))
+        .with_checkpoint_dir(dir.to_str().expect("utf-8 temp path"))
+}
+
+fn run_matrix(mode: &RunMode) -> Matrix {
+    let apps = vec![suite::by_name("GUPS", Scale::tiny()).expect("known app")];
+    Matrix::run_apps_with_mode(
+        &apps,
+        Variant::new("baseline", ReachConfig::baseline()),
+        vec![Variant::new("IC+LDS", ReachConfig::ic_plus_lds())],
+        mode,
+        2,
+    )
+}
+
+fn cycle_sum(m: &Matrix) -> u64 {
+    m.baseline
+        .iter()
+        .chain(m.variants.iter().flat_map(|(_, v)| v.iter()))
+        .map(|s| s.total_cycles)
+        .sum()
+}
+
+/// The one cache file a single-app, timing-side-only matrix writes.
+fn the_cache_file(dir: &std::path::Path) -> std::path::PathBuf {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("read cache dir")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    assert_eq!(files.len(), 1, "expected exactly one checkpoint file in {dir:?}: {files:?}");
+    files.pop().expect("one file")
+}
+
+#[test]
+fn corrupted_cache_files_are_silently_recaptured() {
+    let scratch = ScratchDir::new("corrupt");
+    let mode = sampled_into(scratch.path());
+    let clean = run_matrix(&mode);
+    let clean_sum = cycle_sum(&clean);
+    let file = the_cache_file(scratch.path());
+    let good_bytes = std::fs::read(&file).expect("read checkpoint");
+    assert!(Checkpoint::from_bytes(&good_bytes).is_some(), "fresh capture must decode");
+
+    let damage = [
+        Corruption::Truncate(0),
+        Corruption::Truncate(3),
+        Corruption::Truncate(good_bytes.len() / 2),
+        Corruption::Truncate(good_bytes.len() - 1),
+        Corruption::FlipBit(5),                       // inside the magic
+        Corruption::FlipBit(good_bytes.len() * 4),    // mid-payload
+        Corruption::FlipBit(good_bytes.len() * 8 - 1),
+        Corruption::Trailing(1),
+        Corruption::Trailing(64),
+    ];
+    for way in damage {
+        std::fs::write(&file, corrupt(&good_bytes, way)).expect("write damage");
+        let rerun = run_matrix(&mode);
+        assert_eq!(
+            cycle_sum(&rerun),
+            clean_sum,
+            "{way:?}: results must match a cold capture exactly"
+        );
+        let rewritten = std::fs::read(&file).expect("read rewritten checkpoint");
+        assert!(
+            Checkpoint::from_bytes(&rewritten).is_some(),
+            "{way:?}: the damaged file must be replaced by a valid capture"
+        );
+    }
+}
+
+/// An on-disk file from a different serialization version (e.g. an
+/// older binary's cache surviving an upgrade) is re-captured, not
+/// trusted and not fatal.
+#[test]
+fn version_bumped_cache_file_is_recaptured() {
+    let scratch = ScratchDir::new("version");
+    let mode = sampled_into(scratch.path());
+    let clean_sum = cycle_sum(&run_matrix(&mode));
+    let file = the_cache_file(scratch.path());
+    let mut bytes = std::fs::read(&file).expect("read checkpoint");
+    // Layout starts `magic: u32, version: u32`, little-endian; bump
+    // the version in place so the file is otherwise perfectly formed.
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    bytes[4..8].copy_from_slice(&(version + 1).to_le_bytes());
+    std::fs::write(&file, &bytes).expect("write bumped file");
+
+    let rerun = run_matrix(&mode);
+    assert_eq!(cycle_sum(&rerun), clean_sum, "future-versioned file must be ignored, not used");
+    let rewritten = std::fs::read(&file).expect("read rewritten checkpoint");
+    let ck = Checkpoint::from_bytes(&rewritten).expect("rewritten file decodes");
+    assert_eq!(ck.app(), "GUPS");
+}
+
+/// A cache shared across figure families never poisons results: the
+/// same directory serves an exact run (which must ignore it) and a
+/// second sampled run (which must reuse it without re-capturing).
+#[test]
+fn cache_reuse_is_inert_for_exact_runs_and_stable_for_sampled_ones() {
+    let scratch = ScratchDir::new("reuse");
+    let mode = sampled_into(scratch.path());
+    let first = cycle_sum(&run_matrix(&mode));
+    let file = the_cache_file(scratch.path());
+    let mtime = std::fs::metadata(&file).expect("stat").modified().expect("mtime");
+
+    // Exact runs neither read nor write the cache.
+    let exact_mode = RunMode::exact();
+    let exact = run_matrix(&exact_mode);
+    assert!(exact.baseline[0].sampling.is_none(), "exact run must not sample");
+    assert_eq!(
+        std::fs::metadata(&file).expect("stat").modified().expect("mtime"),
+        mtime,
+        "an exact run must not touch the cache"
+    );
+
+    // A second sampled run hits the cache and reproduces the results.
+    let second = cycle_sum(&run_matrix(&mode));
+    assert_eq!(second, first, "a cache hit must reproduce the cold-capture results");
+
+    // And the sampled figure text built on this machinery is stable
+    // across cache states too.
+    let a = figures::fig13a_mode(Scale::tiny(), &mode);
+    let b = figures::fig13a_mode(Scale::tiny(), &mode);
+    assert_eq!(a, b);
+}

@@ -1,11 +1,47 @@
 //! Smoke tests over the experiment harnesses: every figure generator
-//! must run at tiny scale and produce the rows the paper reports.
+//! must run at tiny scale **in both execution modes** (exact and
+//! checkpointed interval sampling), produce the rows the paper
+//! reports, and stay inside a per-figure wall-clock budget.
+//!
+//! The sampled runs are asserted to have actually sampled
+//! ([`figures::battery`] reports per-figure `sampled_cells`), so a
+//! silent fallback to exact simulation — the failure mode that would
+//! quietly turn the minutes-scale paper regeneration back into hours
+//! — fails CI here rather than being discovered at paper scale.
+
+use std::time::{Duration, Instant};
 
 use gpu_translation_reach::bench::figures;
+use gpu_translation_reach::bench::harness::RunMode;
 use gpu_translation_reach::workloads::scale::Scale;
+
+/// Wall-clock ceiling per figure per mode at tiny scale. Generous
+/// enough for unoptimized CI builds, but far below what any figure
+/// would cost if it silently ran at paper scale.
+const FIGURE_BUDGET: Duration = Duration::from_secs(240);
 
 fn tiny() -> Scale {
     Scale::tiny()
+}
+
+fn both_modes() -> [(&'static str, RunMode); 2] {
+    [
+        ("exact", RunMode::exact()),
+        ("sampled", RunMode::sampled(figures::sampling_for(Scale::tiny()))),
+    ]
+}
+
+/// Runs one figure in one mode under the budget, returning its text.
+fn figure(name: &str, mode_name: &str, f: impl FnOnce() -> String) -> String {
+    let t = Instant::now();
+    let out = f();
+    let elapsed = t.elapsed();
+    assert!(
+        elapsed < FIGURE_BUDGET,
+        "{name} ({mode_name}) took {elapsed:?}, over the {FIGURE_BUDGET:?} budget"
+    );
+    assert!(!out.is_empty(), "{name} ({mode_name}) produced no output");
+    out
 }
 
 #[test]
@@ -17,69 +53,96 @@ fn table1_lists_the_machine() {
 }
 
 #[test]
-fn table2_covers_all_apps() {
-    let t = figures::table2(tiny());
-    for app in ["ATAX", "GEV", "MVT", "BICG", "NW", "SRAD", "BFS", "SSSP", "PRK", "GUPS"] {
-        assert!(t.contains(app), "Table 2 missing {app}");
+fn table2_covers_all_apps_in_both_modes() {
+    for (mode_name, mode) in both_modes() {
+        let t = figure("table2", mode_name, || figures::table2_mode(tiny(), &mode));
+        for app in ["ATAX", "GEV", "MVT", "BICG", "NW", "SRAD", "BFS", "SSSP", "PRK", "GUPS"] {
+            assert!(t.contains(app), "Table 2 ({mode_name}) missing {app}");
+        }
     }
 }
 
 #[test]
-fn fig02_03_sweeps_l2_sizes() {
-    let t = figures::fig02_03(tiny());
-    for needle in ["Fig 2", "Fig 3", "L2-TLB-8K", "Perfect-L2-TLB", "GeoMean"] {
-        assert!(t.contains(needle), "missing {needle:?}");
+fn fig02_03_sweeps_l2_sizes_in_both_modes() {
+    for (mode_name, mode) in both_modes() {
+        let t = figure("fig02_03", mode_name, || figures::fig02_03_mode(tiny(), &mode));
+        for needle in ["Fig 2", "Fig 3", "L2-TLB-8K", "Perfect-L2-TLB", "GeoMean"] {
+            assert!(t.contains(needle), "({mode_name}) missing {needle:?}");
+        }
     }
 }
 
 #[test]
-fn fig04_05_reports_distributions() {
-    let t = figures::fig04_05(tiny());
-    for needle in ["Fig 4a", "Fig 4b", "Fig 5a", "Fig 5b", "med"] {
-        assert!(t.contains(needle), "missing {needle:?}");
+fn fig04_05_reports_distributions_in_both_modes() {
+    for (mode_name, mode) in both_modes() {
+        let t = figure("fig04_05", mode_name, || figures::fig04_05_mode(tiny(), &mode));
+        for needle in ["Fig 4a", "Fig 4b", "Fig 5a", "Fig 5b", "med"] {
+            assert!(t.contains(needle), "({mode_name}) missing {needle:?}");
+        }
     }
 }
 
 #[test]
-fn fig11_reports_per_kernel_series() {
-    let t = figures::fig11(tiny());
-    assert!(t.contains("NW"));
-    assert!(t.contains("kernels]"));
-}
-
-#[test]
-fn fig13a_has_all_four_variants() {
-    let t = figures::fig13a(tiny());
-    for needle in ["IC-1tx/way", "IC-8tx-naive-repl", "IC-8tx-instr-aware", "IC-8tx-IA+flush"] {
-        assert!(t.contains(needle), "missing {needle:?}");
+fn fig11_reports_per_kernel_series_in_both_modes() {
+    for (mode_name, mode) in both_modes() {
+        let t = figure("fig11", mode_name, || figures::fig11_mode(tiny(), &mode));
+        assert!(t.contains("NW"), "({mode_name})");
+        assert!(t.contains("kernels]"), "({mode_name})");
     }
 }
 
 #[test]
-fn main_matrix_feeds_fig13b_13c_14_15() {
-    let m = figures::main_matrix(tiny());
-    let f13b = figures::fig13b_from(&m);
-    assert!(f13b.contains("IC+LDS"));
-    assert!(f13b.contains("High+Medium-only geomeans"));
-    let f13c = figures::fig13c_from(&m);
-    assert!(f13c.contains("DRAM energy"));
-    let f14 = figures::fig14ab_from(&m);
-    assert!(f14.contains("Fig 14a"));
-    assert!(f14.contains("Fig 14b"));
-    let f15 = figures::fig15_from(&m);
-    assert!(f15.contains("Fig 15"));
+fn fig13a_has_all_four_variants_in_both_modes() {
+    for (mode_name, mode) in both_modes() {
+        let t = figure("fig13a", mode_name, || figures::fig13a_mode(tiny(), &mode));
+        for needle in ["IC-1tx/way", "IC-8tx-naive-repl", "IC-8tx-instr-aware", "IC-8tx-IA+flush"]
+        {
+            assert!(t.contains(needle), "({mode_name}) missing {needle:?}");
+        }
+    }
 }
 
 #[test]
-fn fig16_sections_render() {
-    let a = figures::fig16a(tiny());
-    assert!(a.contains("1-CU-sharers") && a.contains("8-CU-sharers"));
-    let b = figures::fig16b(tiny());
-    assert!(b.contains("IC_LDS+100cy"));
-    let c = figures::fig16c(tiny());
-    assert!(c.contains("DUCATI+IC+LDS"));
-    let s = figures::ablation_segment_size(tiny());
-    assert!(s.contains("64B-seg"));
+fn main_matrix_feeds_fig13b_13c_14_15_in_both_modes() {
+    for (mode_name, mode) in both_modes() {
+        let m = figures::main_matrix_mode(tiny(), false, &mode);
+        let f13b = figure("fig13b", mode_name, || figures::fig13b_from(&m));
+        assert!(f13b.contains("IC+LDS"));
+        assert!(f13b.contains("High+Medium-only geomeans"));
+        let f13c = figure("fig13c", mode_name, || figures::fig13c_from(&m));
+        assert!(f13c.contains("DRAM energy"));
+        let f14 = figure("fig14ab", mode_name, || figures::fig14ab_from(&m));
+        assert!(f14.contains("Fig 14a"));
+        assert!(f14.contains("Fig 14b"));
+        let f15 = figure("fig15", mode_name, || figures::fig15_from(&m));
+        assert!(f15.contains("Fig 15"));
+    }
+}
+
+#[test]
+fn fig14c_covers_page_sizes_in_both_modes() {
+    for (mode_name, mode) in both_modes() {
+        let t = figure("fig14c", mode_name, || figures::fig14c_mode(tiny(), &mode));
+        for needle in ["4K", "64K", "2M"] {
+            assert!(t.contains(needle), "({mode_name}) missing {needle:?}");
+        }
+    }
+}
+
+#[test]
+fn fig16_sections_render_in_both_modes() {
+    for (mode_name, mode) in both_modes() {
+        let a = figure("fig16a", mode_name, || figures::fig16a_mode(tiny(), &mode));
+        assert!(a.contains("1-CU-sharers") && a.contains("8-CU-sharers"), "({mode_name})");
+        let b = figure("fig16b", mode_name, || figures::fig16b_mode(tiny(), &mode));
+        assert!(b.contains("IC_LDS+100cy"), "({mode_name})");
+        let c = figure("fig16c", mode_name, || figures::fig16c_mode(tiny(), &mode));
+        assert!(c.contains("DUCATI+IC+LDS"), "({mode_name})");
+        let s = figure("ablation_segment_size", mode_name, || {
+            figures::ablation_segment_size_mode(tiny(), &mode)
+        });
+        assert!(s.contains("64B-seg"), "({mode_name})");
+    }
 }
 
 #[test]
@@ -89,16 +152,66 @@ fn figure_output_is_deterministic() {
 }
 
 #[test]
-fn multi_app_experiment_renders() {
-    let t = figures::multi_app(tiny());
-    assert!(t.contains("ATAX+BICG"));
-    assert!(t.contains("IC+LDS"));
+fn multi_app_experiment_renders_in_both_modes() {
+    for (mode_name, mode) in both_modes() {
+        let t = figure("multi_app", mode_name, || figures::multi_app_mode(tiny(), &mode));
+        assert!(t.contains("ATAX+BICG"), "({mode_name})");
+        assert!(t.contains("IC+LDS"), "({mode_name})");
+    }
 }
 
 #[test]
-fn ablations_render() {
-    let t = figures::ablations(tiny());
-    assert!(t.contains("prefetch-buffer"));
-    assert!(t.contains("without PWCs"));
-    assert!(t.contains("without coalescer"));
+fn ablations_render_in_both_modes() {
+    for (mode_name, mode) in both_modes() {
+        let t = figure("ablations", mode_name, || figures::ablations_mode(tiny(), &mode));
+        assert!(t.contains("prefetch-buffer"), "({mode_name})");
+        assert!(t.contains("without PWCs"), "({mode_name})");
+        assert!(t.contains("without coalescer"), "({mode_name})");
+    }
+}
+
+/// The anti-fallback gate: a sampled battery must sample every
+/// simulated cell of every figure and report finite bounds, and an
+/// exact battery must sample none — so the `--sample` fast path can
+/// never silently degrade to exact simulation (or vice versa).
+#[test]
+fn sampled_battery_samples_every_cell_and_exact_samples_none() {
+    let mode = RunMode::sampled(figures::sampling_for(tiny()));
+    let t = Instant::now();
+    let sampled = figures::battery(tiny(), &mode);
+    let elapsed = t.elapsed();
+    assert!(
+        elapsed < FIGURE_BUDGET * 4,
+        "full sampled battery took {elapsed:?}, over the {:?} budget",
+        FIGURE_BUDGET * 4
+    );
+    assert_eq!(sampled.len(), 17, "the battery covers every figure family");
+    for f in &sampled {
+        if f.cells == 0 {
+            continue; // Table 1 runs no simulation.
+        }
+        assert_eq!(
+            f.sampled_cells, f.cells,
+            "{}: {} of {} cells silently fell back to exact simulation",
+            f.name,
+            f.cells - f.sampled_cells,
+            f.cells
+        );
+        assert!(
+            f.error_bound_pct.is_finite() && f.error_bound_pct >= 0.0,
+            "{}: bad error bound {}",
+            f.name,
+            f.error_bound_pct
+        );
+    }
+    assert!(
+        sampled.iter().any(|f| f.name == "fig16c" && f.side_cache_error_bound_pct > 0.0),
+        "the DUCATI figure must report side-cache divergence under sampling"
+    );
+
+    let exact = figures::battery(tiny(), &RunMode::exact());
+    for f in &exact {
+        assert_eq!(f.sampled_cells, 0, "{}: exact battery must not sample", f.name);
+        assert_eq!(f.error_bound_pct, 0.0, "{}: exact cells carry no bound", f.name);
+    }
 }

@@ -217,3 +217,127 @@ fn instruction_aware_never_evicts_instructions() {
         assert_eq!(ic.stats().inst_evicted_by_tx, 0);
     });
 }
+
+// ---------------------------------------------------------------------------
+// CheckpointKey: which config fields invalidate a warmup capture.
+// ---------------------------------------------------------------------------
+
+use gpu_translation_reach::core_arch::checkpoint::{stream_fingerprint, Checkpoint, CheckpointKey};
+use gpu_translation_reach::gpu::config::GpuConfig;
+use gpu_translation_reach::workloads::scale::Scale;
+use gpu_translation_reach::workloads::suite;
+
+/// Capture window for the stream-comparison properties, in wavefront
+/// instructions (small: functional warming only, no timing).
+const CAPTURE_WARMUP: u64 = 2_000;
+
+/// Applies one random timing-side perturbation — config changes that
+/// by design must NOT invalidate a capture.
+fn perturb_timing_side(gpu: &mut GpuConfig, rng: &mut SplitMix64) {
+    match rng.next_below(6) {
+        0 => gpu.l2_tlb.entries = 1 << (8 + rng.next_below(9)),
+        1 => *gpu = gpu.clone().with_perfect_l2_tlb(),
+        2 => *gpu = gpu.clone().with_icache_sharers(1 << rng.next_below(4)),
+        3 => *gpu = gpu.clone().without_page_walk_caches(),
+        4 => gpu.l1_tlb.latency = 1 + rng.next_below(20),
+        _ => gpu.l2_tlb.latency = 1 + rng.next_below(50),
+    }
+}
+
+/// The apps the stream-comparison properties sample (cheap at tiny
+/// scale, spanning latency-bound, irregular and regular behavior).
+const STREAM_APPS: [&str; 3] = ["ATAX", "GUPS", "SRAD"];
+
+fn capture_stream(app: &str, gpu: &GpuConfig) -> Vec<u8> {
+    let trace = suite::by_name(app, Scale::tiny()).expect("known app");
+    Checkpoint::capture(&trace, gpu, CAPTURE_WARMUP).to_bytes()
+}
+
+/// Timing-side sweeps never invalidate a capture: any stack of
+/// timing-side perturbations keys identically to the default machine.
+#[test]
+fn checkpoint_key_ignores_timing_side_config() {
+    let base = CheckpointKey::new("GUPS", &GpuConfig::default(), CAPTURE_WARMUP);
+    check_cases(64, |rng| {
+        let mut gpu = GpuConfig::default();
+        for _ in 0..=rng.next_below(3) {
+            perturb_timing_side(&mut gpu, rng);
+        }
+        assert_eq!(
+            CheckpointKey::new("GUPS", &gpu, CAPTURE_WARMUP),
+            base,
+            "timing-side perturbation changed the key: {gpu:?}"
+        );
+    });
+}
+
+/// The safety direction of sharing: whenever two random
+/// configurations agree on the key, their captured translation
+/// streams are bit-identical — a shared checkpoint can never feed a
+/// variant a stream it would not have produced itself.
+#[test]
+fn checkpoint_key_equality_implies_identical_streams() {
+    check_cases(8, |rng| {
+        let app = STREAM_APPS[rng.next_below(STREAM_APPS.len() as u64) as usize];
+        let mut a = GpuConfig::default();
+        let mut b = GpuConfig::default();
+        perturb_timing_side(&mut a, rng);
+        perturb_timing_side(&mut b, rng);
+        perturb_timing_side(&mut b, rng);
+        assert_eq!(
+            CheckpointKey::new(app, &a, CAPTURE_WARMUP),
+            CheckpointKey::new(app, &b, CAPTURE_WARMUP),
+            "timing-side machines must share a key"
+        );
+        let (sa, sb) = (capture_stream(app, &a), capture_stream(app, &b));
+        assert_eq!(sa, sb, "{app}: equal keys must capture identical streams");
+    });
+}
+
+/// The necessity direction of invalidation: page-size changes (and
+/// the other stream-shaping knobs, coalescing and CU count) always
+/// change the key AND provably change the captured stream — the
+/// invalidation is empirical fact, not assumption.
+#[test]
+fn stream_shaping_config_changes_key_and_stream() {
+    let default_gpu = GpuConfig::default();
+    let shaped: Vec<(&str, GpuConfig)> = vec![
+        ("page_size=64K", GpuConfig::default().with_page_size(PageSize::Size64K)),
+        ("page_size=2M", GpuConfig::default().with_page_size(PageSize::Size2M)),
+        ("coalescing=off", GpuConfig::default().without_coalescing()),
+        ("cus=4", {
+            let mut g = GpuConfig::default();
+            g.cus = 4;
+            g
+        }),
+    ];
+    for app in STREAM_APPS {
+        let base_key = CheckpointKey::new(app, &default_gpu, CAPTURE_WARMUP);
+        let base_stream = capture_stream(app, &default_gpu);
+        for (what, gpu) in &shaped {
+            assert_ne!(
+                CheckpointKey::new(app, gpu, CAPTURE_WARMUP),
+                base_key,
+                "{app}: {what} must invalidate the checkpoint key"
+            );
+            assert_ne!(
+                capture_stream(app, gpu),
+                base_stream,
+                "{app}: {what} keyed differently but captured the same \
+                 stream — invalidation would be unnecessary"
+            );
+        }
+    }
+}
+
+/// Conservative over-invalidation is allowed (a redundant capture is
+/// safe; a wrong share is not) — but the fingerprint must stay a pure
+/// function of the configuration: equal configs, equal fingerprints.
+#[test]
+fn stream_fingerprint_is_deterministic() {
+    check_cases(32, |rng| {
+        let mut gpu = GpuConfig::default();
+        perturb_timing_side(&mut gpu, rng);
+        assert_eq!(stream_fingerprint(&gpu), stream_fingerprint(&gpu.clone()));
+    });
+}

@@ -1,0 +1,227 @@
+//! Differential exact-vs-sampled battery.
+//!
+//! The paper-scale fast path (`all --sample`) regenerates every
+//! figure from interval-sampled runs restored off shared warmup
+//! checkpoints. These tests run the same figure families at tiny
+//! scale in **both** modes side by side and assert the properties the
+//! fast path rests on:
+//!
+//! * geomean speedups agree within the error bounds the sampled runs
+//!   themselves report (`SamplingMeta::error_bound_pct`, plus the
+//!   DUCATI divergence bound where a side cache is attached);
+//! * trends across sweep axes survive sampling — wherever the exact
+//!   sweep shows a clear movement (more than [`TREND_PCT`]), the
+//!   sampled sweep moves the same way;
+//! * exact mode is bit-identical to the committed cycle anchor, so
+//!   the sampling machinery provably never leaks into exact runs.
+
+use gpu_translation_reach::bench::figures;
+use gpu_translation_reach::bench::harness::{Matrix, RunMode};
+use gpu_translation_reach::workloads::scale::Scale;
+
+/// Exact-sweep movements smaller than this are considered noise and
+/// impose nothing on the sampled sweep.
+const TREND_PCT: f64 = 5.0;
+
+/// Slack allowed before a sampled movement counts as contradicting an
+/// exact trend (sampled counters include functionally warmed events,
+/// so tiny counter wiggles are expected).
+const TREND_EPSILON_PCT: f64 = 1.0;
+
+fn tiny() -> Scale {
+    Scale::tiny()
+}
+
+fn sampled() -> RunMode {
+    RunMode::sampled(figures::sampling_for(Scale::tiny()))
+}
+
+/// Worst reported bound (extrapolation + side cache) over every cell
+/// of variant `v` and the baseline, in percent.
+fn reported_bound(m: &Matrix, v: usize) -> f64 {
+    m.baseline
+        .iter()
+        .chain(m.variants[v].1.iter())
+        .filter_map(|s| s.sampling.as_ref())
+        .map(|s| s.error_bound_pct + s.side_cache_error_bound_pct)
+        .fold(0.0f64, f64::max)
+}
+
+/// The sum of every cell's `total_cycles` — one number that moves if
+/// any of the 40 main-matrix cells drifts by even a cycle.
+fn matrix_cycle_sum(m: &Matrix) -> u64 {
+    m.baseline
+        .iter()
+        .chain(m.variants.iter().flat_map(|(_, v)| v.iter()))
+        .map(|s| s.total_cycles)
+        .sum()
+}
+
+/// (c) Exact mode must stay bit-identical to the committed anchor:
+/// the checkpoint/sampling machinery must never perturb exact runs.
+#[test]
+fn exact_main_matrix_matches_the_committed_cycle_anchor() {
+    let m = figures::main_matrix(tiny());
+    assert_eq!(
+        matrix_cycle_sum(&m),
+        3_977_625,
+        "exact tiny main matrix drifted from the committed anchor — \
+         either an intentional model change (update the anchor) or the \
+         sampled path leaked into exact runs"
+    );
+}
+
+/// (a) Main-matrix geomean speedups: sampled within the bounds the
+/// sampled run itself reports.
+#[test]
+fn sampled_main_matrix_geomeans_within_reported_bounds() {
+    let exact = figures::main_matrix(tiny());
+    let samp = figures::main_matrix_mode(tiny(), false, &sampled());
+    for v in 0..exact.variants.len() {
+        let (label, cells) = &samp.variants[v];
+        assert!(
+            cells.iter().all(|s| s.sampling.is_some()),
+            "{label}: every sampled-mode cell must carry sampling metadata"
+        );
+        let ge = exact.geomean_improvement(v);
+        let gs = samp.geomean_improvement(v);
+        let bound = reported_bound(&samp, v);
+        assert!(
+            (ge - gs).abs() <= bound,
+            "{label}: sampled geomean {gs:+.2}% vs exact {ge:+.2}% \
+             exceeds the reported bound {bound:.2}%"
+        );
+    }
+}
+
+/// (a) for the DUCATI comparison: the composition figure must run
+/// under sampling with its side-cache divergence bound populated, and
+/// still land within its reported bounds.
+#[test]
+fn sampled_ducati_comparison_within_bounds_and_reports_divergence() {
+    let exact = figures::fig16c_matrix(tiny(), &RunMode::exact());
+    let samp = figures::fig16c_matrix(tiny(), &sampled());
+    let ducati_variants: Vec<usize> = samp
+        .variants
+        .iter()
+        .enumerate()
+        .filter(|(_, (label, _))| label.contains("DUCATI"))
+        .map(|(v, _)| v)
+        .collect();
+    assert_eq!(ducati_variants.len(), 2, "fig16c has two DUCATI variants");
+    for v in 0..samp.variants.len() {
+        let (label, cells) = &samp.variants[v];
+        let sc_bound = cells
+            .iter()
+            .filter_map(|s| s.sampling.as_ref())
+            .map(|s| s.side_cache_error_bound_pct)
+            .fold(0.0f64, f64::max);
+        if ducati_variants.contains(&v) {
+            assert!(
+                sc_bound > 0.0,
+                "{label}: DUCATI cells must report a side-cache divergence bound"
+            );
+        } else {
+            assert_eq!(
+                sc_bound, 0.0,
+                "{label}: cells without a side cache must not report divergence"
+            );
+        }
+        let ge = exact.geomean_improvement(v);
+        let gs = samp.geomean_improvement(v);
+        let bound = reported_bound(&samp, v);
+        assert!(
+            (ge - gs).abs() <= bound,
+            "{label}: sampled geomean {gs:+.2}% vs exact {ge:+.2}% \
+             exceeds the reported bound {bound:.2}%"
+        );
+    }
+}
+
+/// (b) The Fig-2 axis: growing the L2 TLB monotonically removes page
+/// walks under exact simulation; wherever the exact sweep shows a
+/// real reduction, the sampled sweep must show one too.
+#[test]
+fn l2_tlb_sweep_trend_survives_sampling() {
+    let exact = figures::fig02_03_matrix(tiny(), &RunMode::exact());
+    let samp = figures::fig02_03_matrix(tiny(), &sampled());
+    assert_eq!(exact.variants.len(), samp.variants.len());
+    // Per app: walk counts along [512 (baseline), 1K, 2K, 4K, 8K,
+    // 64K, Perfect] in both modes.
+    let mut checked = 0usize;
+    for (a, app) in exact.apps.iter().enumerate() {
+        let series = |m: &Matrix| -> Vec<f64> {
+            std::iter::once(m.baseline[a].page_walks as f64)
+                .chain(m.variants.iter().map(|(_, v)| v[a].page_walks as f64))
+                .collect()
+        };
+        let e = series(&exact);
+        let s = series(&samp);
+        for w in 1..e.len() {
+            if e[w - 1] <= 0.0 {
+                continue;
+            }
+            let exact_drop_pct = (e[w - 1] - e[w]) / e[w - 1] * 100.0;
+            if exact_drop_pct > TREND_PCT {
+                let samp_drop_pct = if s[w - 1] > 0.0 {
+                    (s[w - 1] - s[w]) / s[w - 1] * 100.0
+                } else {
+                    0.0
+                };
+                assert!(
+                    samp_drop_pct > -TREND_EPSILON_PCT,
+                    "{app}: exact sweep step {w} removes {exact_drop_pct:.1}% of \
+                     page walks but the sampled sweep gains {:.1}%",
+                    -samp_drop_pct
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(
+        checked >= 5,
+        "the exact sweep should exhibit several real page-walk reductions \
+         for this test to guard (got {checked})"
+    );
+}
+
+/// (b) The perfect-L2-TLB endpoint eliminates essentially all L2 TLB
+/// misses; under sampling the endpoint must stay the sweep's minimum
+/// for every app where the exact sweep says so.
+#[test]
+fn perfect_tlb_endpoint_is_the_minimum_under_sampling() {
+    let exact = figures::fig02_03_matrix(tiny(), &RunMode::exact());
+    let samp = figures::fig02_03_matrix(tiny(), &sampled());
+    let perfect = exact.variants.len() - 1;
+    for (a, app) in exact.apps.iter().enumerate() {
+        let e_base = exact.baseline[a].page_walks as f64;
+        let e_perfect = exact.variants[perfect].1[a].page_walks as f64;
+        if e_base <= 0.0 || (e_base - e_perfect) / e_base * 100.0 <= TREND_PCT {
+            continue;
+        }
+        let s_base = samp.baseline[a].page_walks as f64;
+        let s_perfect = samp.variants[perfect].1[a].page_walks as f64;
+        if s_base <= 0.0 {
+            // The app's few walks all landed in the elided warmup
+            // window; a zero-walk sampled sweep cannot contradict the
+            // trend.
+            continue;
+        }
+        assert!(
+            s_perfect < s_base,
+            "{app}: perfect L2 TLB removes walks under exact \
+             ({e_base} -> {e_perfect}) but not under sampling \
+             ({s_base} -> {s_perfect})"
+        );
+    }
+}
+
+/// Sampled mode is itself deterministic: two sampled batteries of the
+/// same figure produce identical text, so figure regeneration diffs
+/// stay meaningful in sampled mode too.
+#[test]
+fn sampled_figures_are_deterministic() {
+    let a = figures::fig13a_mode(tiny(), &sampled());
+    let b = figures::fig13a_mode(tiny(), &sampled());
+    assert_eq!(a, b);
+}
