@@ -5,6 +5,9 @@ set -eu
 cd "$(dirname "$0")"
 
 cargo build --release
+# The default test run includes the worker-count determinism battery
+# (tests/parallel_determinism.rs): byte-identical schema-v4 exports
+# for --threads 1/2/4/8, exact and sampled.
 cargo test -q
 
 # Rustdoc must build warning-free (the workspace warns on
@@ -13,6 +16,18 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
 # Simulator throughput + determinism anchor (BENCH_sim_throughput.json).
 cargo run --release -p gtr-bench --bin perf -- --check
+
+# Multi-thread anchor gate: the tiny matrix swept under an explicit
+# worker count must reproduce the frozen cycle total bit for bit —
+# parallelism must never change what is computed.
+mkdir -p target/ci-observability
+cargo run --release -q -p gtr-bench --bin perf -- --dry-run --threads 4 \
+    > target/ci-observability/perf_t4.json
+grep -q '"sim_cycles": 3977625' target/ci-observability/perf_t4.json || {
+    echo "tiny matrix at --threads 4 lost the 3,977,625 cycle anchor:" >&2
+    cat target/ci-observability/perf_t4.json >&2
+    exit 1
+}
 
 # Observability schema gate: export a tiny matrix, a single traced run
 # with epoch sampling + distribution recording, and a JSONL event
@@ -84,8 +99,18 @@ if [ "$BATTERY_ELAPSED" -gt "$BATTERY_BUDGET_S" ]; then
 fi
 echo "sampled full battery: ${BATTERY_ELAPSED}s (budget ${BATTERY_BUDGET_S}s)"
 
-# Paper-scale sampled anchor: the main-matrix cycle sum at paper scale
-# must match the committed BENCH_matrix_paper.json bit for bit —
-# sampling is deterministic, so any drift is a semantics change that
-# needs a deliberate re-baseline (perf -- --paper --bless).
-cargo run --release -p gtr-bench --bin perf -- --paper --check
+# Paper-scale anchors: the sampled main-matrix cycle sum must match
+# the committed BENCH_matrix_paper.json bit for bit, and --exact
+# additionally sweeps the unsampled paper matrix and gates its own
+# cycle anchor + cells/sec against the last committed record.
+# Budget-gated: every exact cell simulates in full (locally the
+# sampled + exact pair is ~35 s; the budget leaves headroom).
+PAPER_BUDGET_S=600
+PAPER_START=$(date +%s)
+cargo run --release -p gtr-bench --bin perf -- --paper --exact --check
+PAPER_ELAPSED=$(( $(date +%s) - PAPER_START ))
+if [ "$PAPER_ELAPSED" -gt "$PAPER_BUDGET_S" ]; then
+    echo "paper-scale perf gate took ${PAPER_ELAPSED}s (budget ${PAPER_BUDGET_S}s)" >&2
+    exit 1
+fi
+echo "paper-scale perf gate: ${PAPER_ELAPSED}s (budget ${PAPER_BUDGET_S}s)"

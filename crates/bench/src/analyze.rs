@@ -271,12 +271,41 @@ impl DiffRow {
     }
 }
 
+/// Metric families recorded in only one of the two documents — each
+/// entry names the family and which side has it. [`diff_stats`] can
+/// only compare what both sides recorded, so a non-empty return means
+/// the diff is structurally incomplete; `gtr-analyze --diff` treats
+/// that as failure rather than silently comparing the intersection
+/// (the old behaviour, which let a `--percentiles` regression slip
+/// past a golden-file gate unnoticed).
+pub fn missing_metrics(a: &RunStats, b: &RunStats) -> Vec<String> {
+    let mut missing = Vec::new();
+    let mut asym = |name: &str, in_a: bool, in_b: bool| {
+        if in_a != in_b {
+            missing.push(format!(
+                "{name}: recorded in {} only",
+                if in_a { "the first document" } else { "the second document" }
+            ));
+        }
+    };
+    asym(
+        "distribution histograms (latency quantiles, victim lifetime/reuse)",
+        a.dist_enabled,
+        b.dist_enabled,
+    );
+    asym("epoch counter series", !a.epochs.is_empty(), !b.epochs.is_empty());
+    asym("sampling metadata", a.sampling.is_some(), b.sampling.is_some());
+    missing
+}
+
 /// Compares two stats documents metric by metric, returning every
 /// compared row (callers filter by `rel` against their tolerance).
 /// Headline counters and the per-path cycle attribution are always
 /// compared; distribution quantiles (p50/p90/p99 per path, victim
 /// lifetime/reuse) are included only when **both** documents recorded
 /// distributions — a scalar-only file diffs cleanly against itself.
+/// Callers gating on a diff should also check [`missing_metrics`]:
+/// rows alone cannot reveal that one side lacks a metric family.
 pub fn diff_stats(a: &RunStats, b: &RunStats) -> Vec<DiffRow> {
     let mut rows = Vec::new();
     let scalars: [(&str, u64, u64); 14] = [
@@ -430,6 +459,27 @@ mod tests {
     fn unknown_event_type_rejected_with_line_number() {
         let err = replay_jsonl("{\"type\":\"warp_drive\"}\n").unwrap_err();
         assert!(err.contains("line 1") && err.contains("warp_drive"), "got: {err}");
+    }
+
+    #[test]
+    fn missing_metrics_flags_one_sided_families() {
+        let scalar = RunStats::default();
+        let dist = RunStats { dist_enabled: true, ..Default::default() };
+        assert!(missing_metrics(&scalar, &scalar).is_empty());
+        assert!(missing_metrics(&dist, &dist).is_empty());
+        let missing = missing_metrics(&dist, &scalar);
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].contains("first document"), "got: {missing:?}");
+        // Symmetric: the family is reported whichever side lacks it.
+        let missing = missing_metrics(&scalar, &dist);
+        assert!(missing[0].contains("second document"), "got: {missing:?}");
+        // Epoch series presence is a family too.
+        let epochs = RunStats {
+            epochs: vec![gtr_core::stats::EpochStats::default()],
+            ..Default::default()
+        };
+        let missing = missing_metrics(&epochs, &scalar);
+        assert!(missing.iter().any(|m| m.contains("epoch")), "got: {missing:?}");
     }
 
     #[test]

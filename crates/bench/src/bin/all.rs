@@ -21,6 +21,10 @@
 //! `--checkpoint-dir <dir>` (default `target/ckpt-cache` when
 //! sampling) so repeat sweeps skip the warmup entirely; a per-figure
 //! summary line reports cell counts and worst error bounds.
+//!
+//! `--threads N` pins the matrix worker-thread count (default: the
+//! machine's available parallelism). Results are bit-identical for
+//! any value — only wall time changes.
 
 use gtr_bench::harness::RunMode;
 
@@ -51,12 +55,24 @@ fn main() {
             .to_string()
     });
 
-    let mode = if sample {
+    let threads = args.iter().position(|a| a == "--threads").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--threads needs a worker count");
+                std::process::exit(2);
+            })
+    });
+
+    let mut mode = if sample {
         let dir = checkpoint_dir.unwrap_or_else(|| "target/ckpt-cache".to_string());
         RunMode::sampled(gtr_bench::figures::sampling_for(scale)).with_checkpoint_dir(dir)
     } else {
         RunMode::exact()
     };
+    if let Some(n) = threads {
+        mode = mode.with_workers(n);
+    }
 
     let t = std::time::Instant::now();
     let (figs, m) = gtr_bench::figures::battery_with_main(scale, &mode);

@@ -17,7 +17,7 @@
 //! paths inside the simulator, so agreement means neither lost an
 //! event. `ci.sh` runs both modes on every build.
 
-use gtr_bench::analyze::{check_against_stats, diff_stats, replay_jsonl};
+use gtr_bench::analyze::{check_against_stats, diff_stats, missing_metrics, replay_jsonl};
 use gtr_core::stats::RunStats;
 use gtr_sim::json::Json;
 
@@ -152,11 +152,20 @@ fn diff_mode(path_a: &str, path_b: &str, tolerance: f64) {
             );
         }
     }
-    if over > 0 {
+    // A metric family one side recorded and the other didn't can't
+    // produce a row at all — comparing only the intersection would
+    // pass a structurally different document, so it fails the diff.
+    let missing = missing_metrics(&a, &b);
+    for m in &missing {
+        eprintln!("MISSING {m}");
+    }
+    if over > 0 || !missing.is_empty() {
         eprintln!(
-            "{over} of {} metrics differ beyond {:.3}% tolerance",
+            "{over} of {} metrics differ beyond {:.3}% tolerance; {} metric \
+             families present on one side only",
             rows.len(),
-            tolerance * 100.0
+            tolerance * 100.0,
+            missing.len()
         );
         std::process::exit(1);
     }

@@ -2,29 +2,40 @@
 //!
 //! Measures wall-clock time and simulated-cycles-per-second for the
 //! fixed tiny-scale main matrix (the sweep behind Figs 13-15) and
-//! writes `BENCH_sim_throughput.json` at the repository root.
+//! writes `BENCH_sim_throughput.json` at the repository root. The
+//! baseline file is a **history**: a JSON array with one record per
+//! measured commit, newest last; re-measuring appends (or replaces
+//! the last record when HEAD hasn't moved), and `--check` gates
+//! against the last committed record.
 //!
 //! Modes:
 //!
 //! * `cargo run --release -p gtr-bench --bin perf` — measure and
-//!   (re)write the baseline JSON.
+//!   append to the baseline history.
 //! * `... --bin perf -- --check` — measure and compare against the
-//!   committed baseline without rewriting it; exits non-zero when
+//!   last committed record without rewriting it; exits non-zero when
 //!   throughput regressed more than the tolerance (used by `ci.sh`).
 //! * `... --bin perf -- --dry-run` — measure and print only.
 //! * `... --bin perf -- --paper [...]` — same three modes, but for the
 //!   checkpointed interval-sampled paper-scale matrix; the baseline is
 //!   `BENCH_matrix_paper.json` and the throughput unit is matrix
-//!   cells per second.
+//!   cells per second. Adding `--exact` additionally sweeps the
+//!   **unsampled** paper-scale matrix and records its cell throughput
+//!   and cycle anchor in the report's `exact_*` fields (budget-gated
+//!   in CI — every cell simulates in full).
 //!
-//! Any mode additionally accepts `--stats-out <path>` to write the
-//! measured report JSON to a chosen file (the repo-root baseline is
-//! only touched by the default measure mode).
+//! Any mode accepts `--threads N` to pin the matrix worker-thread
+//! count (default: available parallelism; results are bit-identical
+//! for any value) and `--stats-out <path>` to write the measured
+//! report JSON to a chosen file (the repo-root baseline is only
+//! touched by the default measure mode).
 
 use gtr_bench::perf::{
-    check_against, check_matrix_against, measure_paper, measure_tiny, MatrixPerfReport,
-    PerfReport, BASELINE_FILE, PAPER_BASELINE_FILE, REGRESSION_TOLERANCE_PCT,
+    append_history, check_against, check_matrix_against, latest_matrix_report, latest_report,
+    measure_paper_workers, measure_workers, BASELINE_FILE, PAPER_BASELINE_FILE,
+    REGRESSION_TOLERANCE_PCT,
 };
+use gtr_workloads::scale::Scale;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,26 +48,51 @@ fn main() {
         args.remove(i);
         path
     });
+    let workers = args
+        .iter()
+        .position(|a| a == "--threads")
+        .map(|i| {
+            if i + 1 >= args.len() {
+                eprintln!("--threads needs a worker count");
+                std::process::exit(2);
+            }
+            let n = args.remove(i + 1);
+            args.remove(i);
+            n.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("--threads needs a numeric worker count (got {n:?})");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0);
     let check = args.iter().any(|a| a == "--check");
     let dry_run = args.iter().any(|a| a == "--dry-run");
     let paper = args.iter().any(|a| a == "--paper");
-    if let Some(bad) = args.iter().find(|a| *a != "--check" && *a != "--dry-run" && *a != "--paper")
+    let exact = args.iter().any(|a| a == "--exact");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| *a != "--check" && *a != "--dry-run" && *a != "--paper" && *a != "--exact")
     {
         eprintln!(
-            "unknown argument `{bad}` (expected --check, --dry-run, --paper or --stats-out <path>)"
+            "unknown argument `{bad}` (expected --check, --dry-run, --paper, --exact, \
+             --threads <N> or --stats-out <path>)"
         );
         std::process::exit(2);
     }
+    if exact && !paper {
+        eprintln!("--exact only applies to --paper (tiny measurements are always exact)");
+        std::process::exit(2);
+    }
     if paper {
-        run_paper(check, dry_run, stats_out);
+        run_paper(check, dry_run, stats_out, workers, exact);
         return;
     }
 
     let path = gtr_bench::perf::repo_root().join(BASELINE_FILE);
-    let baseline = std::fs::read_to_string(&path).ok().and_then(|s| PerfReport::from_json(&s));
+    let history = std::fs::read_to_string(&path).unwrap_or_default();
+    let baseline = latest_report(&history);
 
     eprintln!("measuring tiny-scale main matrix (4 variants x Table-2 suite)...");
-    let report = measure_tiny();
+    let report = measure_workers(Scale::tiny(), "tiny", workers);
     println!(
         "wall {:.1} ms | cpu {:.1} ms | {} simulated cycles | {:.2} M simulated cycles/s (commit {})",
         report.wall_ms,
@@ -87,26 +123,34 @@ fn main() {
     }
     if let Some(base) = &baseline {
         let delta = (report.cycles_per_sec / base.cycles_per_sec - 1.0) * 100.0;
-        println!("previous baseline: {:.2} M cycles/s ({delta:+.1}%)", base.cycles_per_sec / 1e6);
+        println!("previous record: {:.2} M cycles/s ({delta:+.1}%)", base.cycles_per_sec / 1e6);
     }
-    std::fs::write(&path, report.to_json()).expect("write baseline JSON");
-    println!("wrote {}", path.display());
+    std::fs::write(&path, append_history(&history, &report.to_json()))
+        .expect("write baseline JSON");
+    println!("appended to {}", path.display());
 }
 
 /// The `--paper` variant of the harness: the checkpointed sampled
-/// paper-scale matrix, measured in matrix cells per second.
-fn run_paper(check: bool, dry_run: bool, stats_out: Option<String>) {
+/// paper-scale matrix, measured in matrix cells per second, with an
+/// optional exact-mode sweep alongside.
+fn run_paper(check: bool, dry_run: bool, stats_out: Option<String>, workers: usize, exact: bool) {
     let path = gtr_bench::perf::repo_root().join(PAPER_BASELINE_FILE);
-    let baseline =
-        std::fs::read_to_string(&path).ok().and_then(|s| MatrixPerfReport::from_json(&s));
+    let history = std::fs::read_to_string(&path).unwrap_or_default();
+    let baseline = latest_matrix_report(&history);
 
     eprintln!("measuring sampled paper-scale main matrix (shared warmup checkpoints)...");
-    let report = measure_paper();
+    if exact {
+        eprintln!("(--exact: the full unsampled matrix is swept as well)");
+    }
+    let report = measure_paper_workers(workers, exact);
     println!(
         "wall {:.1} ms | cpu {:.1} ms | {} cells | {} simulated cycles | {:.2} cells/s (commit {})",
         report.wall_ms, report.cpu_ms, report.cells, report.sim_cycles, report.cells_per_sec,
         report.commit
     );
+    if let (Some(cycles), Some(rate)) = (report.exact_sim_cycles, report.exact_cells_per_sec) {
+        println!("exact: {cycles} simulated cycles | {rate:.2} cells/s");
+    }
 
     if let Some(out) = &stats_out {
         std::fs::write(out, report.to_json()).expect("write --stats-out JSON");
@@ -129,8 +173,9 @@ fn run_paper(check: bool, dry_run: bool, stats_out: Option<String>) {
     }
     if let Some(base) = &baseline {
         let delta = (report.cells_per_sec / base.cells_per_sec - 1.0) * 100.0;
-        println!("previous baseline: {:.2} cells/s ({delta:+.1}%)", base.cells_per_sec);
+        println!("previous record: {:.2} cells/s ({delta:+.1}%)", base.cells_per_sec);
     }
-    std::fs::write(&path, report.to_json()).expect("write baseline JSON");
-    println!("wrote {}", path.display());
+    std::fs::write(&path, append_history(&history, &report.to_json()))
+        .expect("write baseline JSON");
+    println!("appended to {}", path.display());
 }

@@ -21,9 +21,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: run_app <APP> <CONFIG> [--quick|--tiny] [--sharers N] [--pages 4k|64k|2m] [--l2-tlb N] [--ducati]\n\
          \x20              [--epochs N] [--stats-out FILE.json] [--pretty] [--trace FILE.jsonl] [--percentiles]\n\
-         \x20              [--sample] [--checkpoint-dir DIR]\n\
+         \x20              [--sample] [--checkpoint-dir DIR] [--threads N]\n\
          APP:    {}\n\
          CONFIG: baseline | lds | ic | ic+lds\n\
+         --threads N         accepted for sweep-script uniformity; a single-app run is one\n\
+         \x20                 deterministic simulation (matrix parallelism lives in all/perf)\n\
          --epochs N          sample cumulative counters every N cycles into the stats epoch series\n\
          --stats-out FILE    write the run's full statistics as JSON (parse back with gtr_core::export)\n\
          --pretty            indent the --stats-out JSON (default is compact)\n\
@@ -67,6 +69,11 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .map(|v| v.parse::<usize>().expect("numeric flag value"))
     };
+    // Validated but otherwise unused: one app × one config is a single
+    // deterministic simulation, so there is nothing to parallelize.
+    // Accepting the flag lets sweep scripts pass a uniform `--threads`
+    // to every binary.
+    let _ = flag_value("--threads");
     if let Some(sharers) = flag_value("--sharers") {
         gpu = gpu.with_icache_sharers(sharers);
     }

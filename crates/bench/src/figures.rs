@@ -149,7 +149,7 @@ pub fn baseline_matrix(scale: Scale, mode: &RunMode) -> Matrix {
         Variant::new("baseline", ReachConfig::baseline()),
         vec![],
         mode,
-        crate::pool::default_workers(),
+        mode.resolved_workers(),
     )
 }
 
@@ -306,7 +306,7 @@ pub fn fig11_matrix(scale: Scale, mode: &RunMode) -> Matrix {
         Variant::new("baseline", ReachConfig::baseline()),
         vec![],
         mode,
-        crate::pool::default_workers(),
+        mode.resolved_workers(),
     )
 }
 
@@ -669,7 +669,7 @@ fn ablation_segment_size_from(m: &Matrix) -> String {
 /// checkpoints under sampling.
 pub fn ablation_matrices(scale: Scale, mode: &RunMode) -> Vec<Matrix> {
     use gtr_core::config::TxFillPolicy;
-    let workers = crate::pool::default_workers();
+    let workers = mode.resolved_workers();
     let irregular: Vec<_> = ["ATAX", "GUPS", "BFS"]
         .iter()
         .map(|n| suite::by_name(n, scale).expect("known app"))
@@ -781,7 +781,7 @@ pub fn multi_app_matrix(scale: Scale, mode: &RunMode) -> Matrix {
             Variant::new("IC+LDS", ReachConfig::ic_plus_lds()),
         ],
         mode,
-        crate::pool::default_workers(),
+        mode.resolved_workers(),
     )
 }
 

@@ -46,12 +46,35 @@ pub struct RunMode {
     /// On-disk cache directory for captured checkpoints; `None` keeps
     /// them in memory only (still `Arc`-shared across the matrix).
     pub checkpoint_dir: Option<PathBuf>,
+    /// Worker threads for matrix cells (`--threads N`); 0 = the
+    /// machine's available parallelism. Results are bit-identical for
+    /// any value — each cell is an independent deterministic
+    /// simulation and the pool merges results in `(cycle, shard, seq)`
+    /// order (`gtr_sim::shard`, ARCHITECTURE §8).
+    pub workers: usize,
 }
 
 impl RunMode {
     /// Exact detailed simulation (bit-identical to the seed behavior).
     pub fn exact() -> Self {
         Self::default()
+    }
+
+    /// Pins the matrix worker-thread count (`--threads N`); 0 restores
+    /// the available-parallelism default.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The effective worker count: `workers`, or the machine's
+    /// available parallelism when unset.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            crate::pool::default_workers()
+        } else {
+            self.workers
+        }
     }
 
     /// Interval-sampled simulation. When `cfg.warmup > 0` the harness
@@ -61,7 +84,7 @@ impl RunMode {
     /// sweep axis (L2 TLB sizes, perfect-TLB, I-cache sharers, …)
     /// reuses a single capture.
     pub fn sampled(cfg: SamplingConfig) -> Self {
-        Self { sampling: Some(cfg), checkpoint_dir: None }
+        Self { sampling: Some(cfg), ..Self::default() }
     }
 
     /// Caches captured checkpoints under `dir` (validated on load by
@@ -247,7 +270,8 @@ impl Matrix {
         mode: &RunMode,
     ) -> Self {
         let apps = suite::all(scale);
-        Self::run_apps_with_mode(&apps, baseline, variants, mode, crate::pool::default_workers())
+        let workers = mode.resolved_workers();
+        Self::run_apps_with_mode(&apps, baseline, variants, mode, workers)
     }
 
     /// Runs an explicit application list under an execution

@@ -16,6 +16,13 @@
 //! No external dependencies: JSON is emitted and parsed by hand (the
 //! schema is flat and owned by this module), so the harness works in
 //! fully offline environments.
+//!
+//! Baseline files hold a **history**: a JSON array of records, one
+//! per measured commit, newest last. `--check` gates against the last
+//! record; the default (re-baseline) mode appends a record instead of
+//! overwriting, so throughput evolution stays reviewable in-repo.
+//! Files written before the history format (a bare object) still
+//! parse as a one-record history.
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -23,6 +30,7 @@ use std::time::Instant;
 use gtr_workloads::scale::Scale;
 
 use crate::figures;
+use crate::harness::RunMode;
 
 /// File name of the committed throughput baseline, at the repo root.
 pub const BASELINE_FILE: &str = "BENCH_sim_throughput.json";
@@ -99,6 +107,60 @@ fn json_num(s: &str, key: &str) -> Option<f64> {
     json_field(s, key)?.parse().ok()
 }
 
+/// Splits a baseline document into per-record object substrings, in
+/// file order (oldest first, newest last). Accepts both the history
+/// format (a JSON array of records) and the pre-history format (one
+/// bare object, which yields a one-element history). Records are flat
+/// objects — no nested braces — so lexical `{`..`}` matching is exact.
+pub fn split_history(s: &str) -> Vec<&str> {
+    let mut records = Vec::new();
+    let mut start = None;
+    for (i, c) in s.char_indices() {
+        match c {
+            '{' if start.is_none() => start = Some(i),
+            '}' => {
+                if let Some(b) = start.take() {
+                    records.push(&s[b..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    records
+}
+
+/// Appends `record` (one object, as emitted by a `to_json`) to a
+/// baseline history document, returning the new document. When the
+/// last existing record was taken at the same commit it is replaced
+/// instead — re-measuring on a dirty tree keeps one record per
+/// commit, as the history is meant to read as one point per PR.
+pub fn append_history(existing: &str, record: &str) -> String {
+    let mut records: Vec<String> =
+        split_history(existing).into_iter().map(str::to_string).collect();
+    let same_commit = records
+        .last()
+        .zip(json_str(record, "commit"))
+        .is_some_and(|(last, commit)| json_str(last, "commit").as_ref() == Some(&commit));
+    if same_commit {
+        records.pop();
+    }
+    records.push(record.trim().to_string());
+    let mut doc = String::from("[\n");
+    doc.push_str(&records.join(",\n"));
+    doc.push_str("\n]\n");
+    doc
+}
+
+/// The newest (last) record of a [`PerfReport`] history document.
+pub fn latest_report(s: &str) -> Option<PerfReport> {
+    PerfReport::from_json(split_history(s).last()?)
+}
+
+/// The newest (last) record of a [`MatrixPerfReport`] history document.
+pub fn latest_matrix_report(s: &str) -> Option<MatrixPerfReport> {
+    MatrixPerfReport::from_json(split_history(s).last()?)
+}
+
 /// Process CPU time (utime + stime) in milliseconds, read from
 /// `/proc/self/stat`. `None` on non-Linux systems or parse failure.
 fn cpu_time_ms() -> Option<f64> {
@@ -114,17 +176,24 @@ fn cpu_time_ms() -> Option<f64> {
     Some((utime + stime) as f64 * 10.0)
 }
 
-/// Runs the main (Fig 13/14/15) matrix at `scale` [`MEASURE_PASSES`]
-/// times and reports the fastest pass by CPU time (wall clock where
-/// CPU time is unavailable). Simulated cycle counts are asserted
-/// identical across passes — the sweep is deterministic.
-pub fn measure(scale: Scale, scale_label: &str) -> PerfReport {
+/// One timed sweep result: fastest pass of `passes` runs of the main
+/// matrix at `scale` under `mode`, with cycle totals asserted
+/// identical across passes.
+struct SweepTiming {
+    wall_ms: f64,
+    cpu_ms: f64,
+    cells: u64,
+    sim_cycles: u64,
+}
+
+fn timed_sweeps(scale: Scale, mode: &RunMode, passes: usize, what: &str) -> SweepTiming {
     let mut best: Option<(f64, f64)> = None; // (wall_ms, cpu_ms)
     let mut sim_cycles = 0u64;
-    for pass in 0..MEASURE_PASSES {
+    let mut cells = 0u64;
+    for pass in 0..passes {
         let cpu0 = cpu_time_ms();
         let t = Instant::now();
-        let m = figures::main_matrix(scale);
+        let m = figures::main_matrix_mode(scale, false, mode);
         let wall_ms = t.elapsed().as_secs_f64() * 1e3;
         let cpu_ms = match (cpu0, cpu_time_ms()) {
             (Some(a), Some(b)) => b - a,
@@ -138,22 +207,40 @@ pub fn measure(scale: Scale, scale_label: &str) -> PerfReport {
             .sum();
         if pass == 0 {
             sim_cycles = cycles;
+            cells = (m.baseline.len() * (1 + m.variants.len())) as u64;
         } else {
-            assert_eq!(cycles, sim_cycles, "non-deterministic sweep");
+            assert_eq!(cycles, sim_cycles, "non-deterministic {what} sweep");
         }
         if best.is_none_or(|(_, c)| cpu_ms < c) {
             best = Some((wall_ms, cpu_ms));
         }
     }
-    let (wall_ms, cpu_ms) = best.expect("MEASURE_PASSES > 0");
+    let (wall_ms, cpu_ms) = best.expect("at least one measurement pass");
+    SweepTiming { wall_ms, cpu_ms, cells, sim_cycles }
+}
+
+/// Runs the main (Fig 13/14/15) matrix at `scale` [`MEASURE_PASSES`]
+/// times and reports the fastest pass by CPU time (wall clock where
+/// CPU time is unavailable). Simulated cycle counts are asserted
+/// identical across passes — the sweep is deterministic. `workers`
+/// pins the matrix worker-thread count (0 = available parallelism);
+/// the results are bit-identical for any value.
+pub fn measure_workers(scale: Scale, scale_label: &str, workers: usize) -> PerfReport {
+    let mode = RunMode::exact().with_workers(workers);
+    let t = timed_sweeps(scale, &mode, MEASURE_PASSES, "exact");
     PerfReport {
         commit: git_commit(),
         scale: scale_label.to_string(),
-        wall_ms,
-        cpu_ms,
-        sim_cycles,
-        cycles_per_sec: sim_cycles as f64 / (cpu_ms / 1e3).max(1e-9),
+        wall_ms: t.wall_ms,
+        cpu_ms: t.cpu_ms,
+        sim_cycles: t.sim_cycles,
+        cycles_per_sec: t.sim_cycles as f64 / (t.cpu_ms / 1e3).max(1e-9),
     }
+}
+
+/// [`measure_workers`] with the default worker count.
+pub fn measure(scale: Scale, scale_label: &str) -> PerfReport {
+    measure_workers(scale, scale_label, 0)
 }
 
 /// The standard committed measurement: tiny scale.
@@ -194,16 +281,30 @@ pub struct MatrixPerfReport {
     pub sim_cycles: u64,
     /// `cells / cpu seconds` — the tracked throughput metric.
     pub cells_per_sec: f64,
+    /// Cycle total of the **exact** (unsampled) paper-scale matrix —
+    /// a second determinism anchor, recorded by `perf --paper
+    /// --exact`. `None` in records measured without `--exact`.
+    pub exact_sim_cycles: Option<u64>,
+    /// Exact-mode matrix throughput in cells per CPU second, recorded
+    /// by `perf --paper --exact`.
+    pub exact_cells_per_sec: Option<f64>,
 }
 
 impl MatrixPerfReport {
     /// Serializes the report as pretty-printed JSON (stable key order).
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\n  \"commit\": \"{}\",\n  \"scale\": \"{}\",\n  \"wall_ms\": {:.1},\n  \"cpu_ms\": {:.1},\n  \"cells\": {},\n  \"sim_cycles\": {},\n  \"cells_per_sec\": {:.2}\n}}\n",
+        let mut s = format!(
+            "{{\n  \"commit\": \"{}\",\n  \"scale\": \"{}\",\n  \"wall_ms\": {:.1},\n  \"cpu_ms\": {:.1},\n  \"cells\": {},\n  \"sim_cycles\": {},\n  \"cells_per_sec\": {:.2}",
             self.commit, self.scale, self.wall_ms, self.cpu_ms, self.cells, self.sim_cycles,
             self.cells_per_sec
-        )
+        );
+        if let (Some(cycles), Some(rate)) = (self.exact_sim_cycles, self.exact_cells_per_sec) {
+            s.push_str(&format!(
+                ",\n  \"exact_sim_cycles\": {cycles},\n  \"exact_cells_per_sec\": {rate:.2}"
+            ));
+        }
+        s.push_str("\n}\n");
+        s
     }
 
     /// Parses a report written by [`MatrixPerfReport::to_json`].
@@ -216,6 +317,8 @@ impl MatrixPerfReport {
             cells: json_num(s, "cells")? as u64,
             sim_cycles: json_num(s, "sim_cycles")? as u64,
             cells_per_sec: json_num(s, "cells_per_sec")?,
+            exact_sim_cycles: json_num(s, "exact_sim_cycles").map(|v| v as u64),
+            exact_cells_per_sec: json_num(s, "exact_cells_per_sec"),
         })
     }
 }
@@ -225,49 +328,44 @@ impl MatrixPerfReport {
 /// the fastest of [`PAPER_MEASURE_PASSES`] passes. Cycle counts are
 /// asserted identical across passes — checkpointed sampling is as
 /// deterministic as exact simulation.
-pub fn measure_paper() -> MatrixPerfReport {
+///
+/// `workers` pins the matrix worker-thread count (0 = available
+/// parallelism). With `exact` set the **exact** (unsampled) matrix is
+/// additionally swept and its cell throughput and cycle anchor are
+/// recorded in the report's `exact_*` fields — this is the `perf
+/// --paper --exact` path, budget-gated in CI because it simulates
+/// every cell in full.
+pub fn measure_paper_workers(workers: usize, exact: bool) -> MatrixPerfReport {
     let scale = Scale::paper();
     let ckpt_dir = repo_root().join("target").join("ckpt-cache");
-    let mode = crate::harness::RunMode::sampled(figures::sampling_for(scale))
-        .with_checkpoint_dir(&ckpt_dir);
-    let mut best: Option<(f64, f64)> = None; // (wall_ms, cpu_ms)
-    let mut sim_cycles = 0u64;
-    let mut cells = 0u64;
-    for pass in 0..PAPER_MEASURE_PASSES {
-        let cpu0 = cpu_time_ms();
-        let t = Instant::now();
-        let m = figures::main_matrix_mode(scale, false, &mode);
-        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
-        let cpu_ms = match (cpu0, cpu_time_ms()) {
-            (Some(a), Some(b)) => b - a,
-            _ => wall_ms,
-        };
-        let cycles: u64 = m
-            .baseline
-            .iter()
-            .chain(m.variants.iter().flat_map(|(_, stats)| stats.iter()))
-            .map(|s| s.total_cycles)
-            .sum();
-        if pass == 0 {
-            sim_cycles = cycles;
-            cells = (m.baseline.len() * (1 + m.variants.len())) as u64;
-        } else {
-            assert_eq!(cycles, sim_cycles, "non-deterministic sampled sweep");
-        }
-        if best.is_none_or(|(_, c)| cpu_ms < c) {
-            best = Some((wall_ms, cpu_ms));
-        }
-    }
-    let (wall_ms, cpu_ms) = best.expect("PAPER_MEASURE_PASSES > 0");
+    let mode = RunMode::sampled(figures::sampling_for(scale))
+        .with_checkpoint_dir(&ckpt_dir)
+        .with_workers(workers);
+    let t = timed_sweeps(scale, &mode, PAPER_MEASURE_PASSES, "sampled");
+    let (exact_sim_cycles, exact_cells_per_sec) = if exact {
+        let mode = RunMode::exact().with_workers(workers);
+        let e = timed_sweeps(scale, &mode, PAPER_MEASURE_PASSES, "exact paper");
+        (Some(e.sim_cycles), Some(e.cells as f64 / (e.cpu_ms / 1e3).max(1e-9)))
+    } else {
+        (None, None)
+    };
     MatrixPerfReport {
         commit: git_commit(),
         scale: "paper".to_string(),
-        wall_ms,
-        cpu_ms,
-        cells,
-        sim_cycles,
-        cells_per_sec: cells as f64 / (cpu_ms / 1e3).max(1e-9),
+        wall_ms: t.wall_ms,
+        cpu_ms: t.cpu_ms,
+        cells: t.cells,
+        sim_cycles: t.sim_cycles,
+        cells_per_sec: t.cells as f64 / (t.cpu_ms / 1e3).max(1e-9),
+        exact_sim_cycles,
+        exact_cells_per_sec,
     }
+}
+
+/// [`measure_paper_workers`] with the default worker count, sampled
+/// only — the pre-`--exact` behaviour.
+pub fn measure_paper() -> MatrixPerfReport {
+    measure_paper_workers(0, false)
 }
 
 /// Compares a paper-scale measurement against the committed baseline;
@@ -289,12 +387,30 @@ pub fn check_matrix_against(
             base.sim_cycles, base.commit, measured.sim_cycles
         ));
     }
+    if let (Some(b), Some(m)) = (base.exact_sim_cycles, measured.exact_sim_cycles) {
+        if b != m {
+            return Err(format!(
+                "exact cycle total changed: baseline {b} (commit {}), measured {m} — \
+                 the model's behaviour changed; re-baseline deliberately with \
+                 `--bin perf -- --paper --exact`",
+                base.commit
+            ));
+        }
+    }
     let floor = base.cells_per_sec * (1.0 - REGRESSION_TOLERANCE_PCT / 100.0);
     let delta_pct = (measured.cells_per_sec / base.cells_per_sec - 1.0) * 100.0;
-    let verdict = format!(
+    let mut verdict = format!(
         "baseline {:.2} cells/s (commit {}), measured {:.2} cells/s ({:+.1}%)",
         base.cells_per_sec, base.commit, measured.cells_per_sec, delta_pct
     );
+    if let (Some(b), Some(m)) = (base.exact_cells_per_sec, measured.exact_cells_per_sec) {
+        verdict.push_str(&format!("; exact {b:.2} -> {m:.2} cells/s"));
+        if m < b * (1.0 - REGRESSION_TOLERANCE_PCT / 100.0) {
+            return Err(format!(
+                "{verdict}: exact-mode regression exceeds {REGRESSION_TOLERANCE_PCT}% tolerance"
+            ));
+        }
+    }
     if measured.cells_per_sec < floor {
         Err(format!(
             "{verdict}: regression exceeds {REGRESSION_TOLERANCE_PCT}% tolerance"
@@ -379,6 +495,86 @@ mod tests {
         assert_eq!(parsed.sim_cycles, r.sim_cycles);
         assert!((parsed.wall_ms - r.wall_ms).abs() < 0.1);
         assert!((parsed.cycles_per_sec - r.cycles_per_sec).abs() < 1.0);
+    }
+
+    fn matrix_report(commit: &str) -> MatrixPerfReport {
+        MatrixPerfReport {
+            commit: commit.into(),
+            scale: "paper".into(),
+            wall_ms: 10000.0,
+            cpu_ms: 9800.0,
+            cells: 40,
+            sim_cycles: 44_523_456,
+            cells_per_sec: 4.08,
+            exact_sim_cycles: None,
+            exact_cells_per_sec: None,
+        }
+    }
+
+    #[test]
+    fn history_appends_newest_last_and_reads_legacy_single_object() {
+        let r1 = matrix_report("aaa1111");
+        let mut r2 = matrix_report("bbb2222");
+        r2.cells_per_sec = 5.0;
+        // Legacy file: a bare object is a one-record history.
+        let legacy = r1.to_json();
+        assert_eq!(split_history(&legacy).len(), 1);
+        assert_eq!(latest_matrix_report(&legacy).unwrap().commit, "aaa1111");
+        // Appending wraps into an array, newest last.
+        let doc = append_history(&legacy, &r2.to_json());
+        let records = split_history(&doc);
+        assert_eq!(records.len(), 2);
+        assert_eq!(MatrixPerfReport::from_json(records[0]).unwrap().commit, "aaa1111");
+        let last = latest_matrix_report(&doc).unwrap();
+        assert_eq!(last.commit, "bbb2222");
+        assert!((last.cells_per_sec - 5.0).abs() < 1e-9);
+        // Re-measuring at the same commit replaces the last record
+        // rather than growing the history.
+        let mut r2b = r2.clone();
+        r2b.cells_per_sec = 6.0;
+        let doc = append_history(&doc, &r2b.to_json());
+        assert_eq!(split_history(&doc).len(), 2);
+        assert!((latest_matrix_report(&doc).unwrap().cells_per_sec - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_history_accepts_first_record() {
+        let doc = append_history("", &matrix_report("abc").to_json());
+        assert_eq!(split_history(&doc).len(), 1);
+        assert_eq!(latest_matrix_report(&doc).unwrap().commit, "abc");
+        assert!(latest_matrix_report("").is_none());
+    }
+
+    #[test]
+    fn exact_fields_round_trip_and_stay_optional() {
+        let plain = matrix_report("abc");
+        let parsed = MatrixPerfReport::from_json(&plain.to_json()).unwrap();
+        assert_eq!(parsed.exact_sim_cycles, None);
+        assert_eq!(parsed.exact_cells_per_sec, None);
+        let mut exact = plain.clone();
+        exact.exact_sim_cycles = Some(123_456_789);
+        exact.exact_cells_per_sec = Some(3.25);
+        let parsed = MatrixPerfReport::from_json(&exact.to_json()).unwrap();
+        assert_eq!(parsed.exact_sim_cycles, Some(123_456_789));
+        assert!((parsed.exact_cells_per_sec.unwrap() - 3.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_anchor_drift_fails_matrix_check() {
+        let mut base = matrix_report("base");
+        base.exact_sim_cycles = Some(1000);
+        base.exact_cells_per_sec = Some(4.0);
+        let mut m = base.clone();
+        m.commit = "head".into();
+        assert!(check_matrix_against(Some(&base), &m).is_ok());
+        m.exact_sim_cycles = Some(1001);
+        assert!(check_matrix_against(Some(&base), &m).is_err(), "exact drift must fail");
+        m.exact_sim_cycles = Some(1000);
+        m.exact_cells_per_sec = Some(4.0 * 0.79);
+        assert!(check_matrix_against(Some(&base), &m).is_err(), "exact slowdown must fail");
+        // A baseline without exact fields never gates them.
+        m.exact_cells_per_sec = Some(0.01);
+        assert!(check_matrix_against(Some(&matrix_report("base")), &m).is_ok());
     }
 
     #[test]

@@ -10,12 +10,18 @@
 //! not one application's whole row.
 //!
 //! Determinism: workers only decide *which thread* runs a cell, never
-//! what the cell computes — each item is a pure function of its index
-//! and results are returned in index order, so output is bit-identical
-//! for any worker count (asserted by the harness's determinism test).
+//! what the cell computes — each item is a pure function of its index,
+//! and the per-worker result buffers are combined through
+//! [`gtr_sim::shard::merge_ordered`], whose `(cycle, shard, seq)` key
+//! is stamped with the item index. The merged order is therefore a
+//! pure function of the work items, bit-identical for any worker count
+//! or steal interleaving (asserted by the harness's determinism test
+//! and the shard module's permutation property test).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use gtr_sim::shard::{merge_ordered, ShardEntry};
 
 /// Number of workers to use by default: the machine's available
 /// parallelism (1 when it cannot be queried).
@@ -28,7 +34,10 @@ pub fn default_workers() -> usize {
 ///
 /// `f` must be pure per index (it may run on any worker). With
 /// `workers <= 1` (or `n <= 1`) everything runs inline on the calling
-/// thread — no spawn overhead, same results.
+/// thread — no spawn overhead, same results. Each worker accumulates
+/// its results in a private shard buffer stamped with the item index;
+/// the deterministic shard merge restores index order regardless of
+/// which worker computed what.
 pub fn run_indexed<T: Send>(
     n: usize,
     workers: usize,
@@ -39,26 +48,38 @@ pub fn run_indexed<T: Send>(
         return (0..n).map(f).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let buffers: Mutex<Vec<Vec<ShardEntry<T>>>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                // Steal the next unclaimed cell.
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for worker in 0..workers as u32 {
+            let buffers = &buffers;
+            let next = &next;
+            let f = &f;
+            s.spawn(move || {
+                let mut mine: Vec<ShardEntry<T>> = Vec::new();
+                loop {
+                    // Steal the next unclaimed cell.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // The merge key is the item index (as the cycle
+                    // stamp): indices are unique across workers, so
+                    // the merged order is exactly index order.
+                    mine.push(ShardEntry {
+                        cycle: i as u64,
+                        shard: worker,
+                        seq: mine.len() as u64,
+                        payload: f(i),
+                    });
                 }
-                let result = f(i);
-                slots.lock().expect("worker panicked holding results")[i] = Some(result);
+                buffers.lock().expect("worker panicked holding results").push(mine);
             });
         }
     });
-    slots
-        .into_inner()
-        .expect("worker panicked holding results")
-        .into_iter()
-        .map(|r| r.expect("every cell claimed exactly once"))
-        .collect()
+    let buffers = buffers.into_inner().expect("worker panicked holding results");
+    let merged = merge_ordered(buffers);
+    assert_eq!(merged.len(), n, "every cell claimed exactly once");
+    merged.into_iter().map(|e| e.payload).collect()
 }
 
 #[cfg(test)]

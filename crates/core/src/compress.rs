@@ -122,6 +122,60 @@ impl TagGroup {
     pub fn delta_bits(&self) -> u32 {
         self.delta_bits
     }
+
+    /// The signed delta `tag` occupies against the current base, when
+    /// the group is populated and the delta fits — the value the
+    /// hardware actually stores in one delta lane of Fig 7b/10c.
+    pub fn encode(&self, tag: u64) -> Option<i64> {
+        let base = self.base?;
+        let delta = tag as i128 - base as i128;
+        let half = 1i128 << (self.delta_bits - 1);
+        if (-half..half).contains(&delta) {
+            Some(delta as i64)
+        } else {
+            None
+        }
+    }
+
+    /// Reconstructs a full tag from a stored signed delta — one lane of
+    /// the parallel base+delta adders the compressed-tag compare runs
+    /// through before the equality check.
+    pub fn decode(&self, delta: i64) -> Option<u64> {
+        self.base.map(|b| (b as i128 + delta as i128) as u64)
+    }
+}
+
+/// Compares a compressed tag group's *decoded* residents against one
+/// wanted tag, eight lanes at a time.
+///
+/// The hardware (Figs 7b/10c) decodes every delta lane against the
+/// group base in parallel and feeds all comparators at once; the
+/// simulator keeps the decoded tags (`stored`) resident in a
+/// struct-of-arrays slab, so the whole-group compare is this branchless
+/// fixed-width loop instead of an early-exit pointer chase. Lane `i`
+/// of the result is set when `stored[i] == wanted` and bit `i` of
+/// `valid` is set.
+///
+/// Comparing decoded tags (not raw deltas) matters for correctness:
+/// under LDS home-hashing the low `index_shift` bits differ between a
+/// CU's own keys and the shootdown probes it receives for other CUs'
+/// homes, so a delta-only compare against a foreign base would
+/// false-hit.
+pub fn match_mask(stored: &[u64], valid: u32, wanted: u64) -> u32 {
+    debug_assert!(stored.len() <= 32, "mask is 32 bits wide");
+    let mut mask = 0u32;
+    let mut shift = 0u32;
+    for chunk in stored.chunks(8) {
+        // Fixed-trip inner loop over one 8-lane decode group: no early
+        // exit, so the compiler vectorizes the compare + bit pack.
+        let mut m = 0u32;
+        for (i, &t) in chunk.iter().enumerate() {
+            m |= u32::from(t == wanted) << i;
+        }
+        mask |= m << shift;
+        shift += 8;
+    }
+    mask & valid
 }
 
 /// Storage accounting for the paper's overhead claims.
@@ -215,6 +269,36 @@ mod tests {
     #[should_panic(expected = "retire from empty")]
     fn retire_empty_panics() {
         TagGroup::lds().retire();
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut g = TagGroup::icache();
+        assert_eq!(g.encode(7), None); // empty group stores nothing
+        assert!(g.try_admit(5000));
+        for tag in [5000u64, 5000 + 127, 5000 - 128] {
+            let d = g.encode(tag).expect("fits the 8-bit window");
+            assert_eq!(g.decode(d), Some(tag));
+        }
+        assert_eq!(g.encode(5000 + 128), None); // out of window
+        assert_eq!(TagGroup::lds().decode(3), None); // no base
+    }
+
+    #[test]
+    fn match_mask_agrees_with_naive_scan() {
+        // 12 residents spans two 8-lane decode groups.
+        let stored: Vec<u64> = (0..12u64).map(|i| 900 + (i * 7) % 5).collect();
+        for wanted in 898..=906u64 {
+            for valid in [0u32, 0xFFF, 0b1010_1010_1010, 0x3F] {
+                let naive = stored
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, &t)| t == wanted && valid & (1 << i) != 0)
+                    .fold(0u32, |m, (i, _)| m | 1 << i);
+                assert_eq!(match_mask(&stored, valid, wanted), naive);
+            }
+        }
+        assert_eq!(match_mask(&[], u32::MAX, 0), 0);
     }
 
     #[test]

@@ -20,21 +20,88 @@ use gtr_sim::resource::TrackedPort;
 use gtr_sim::stats::HitMiss;
 use gtr_vm::addr::{Ppn, Translation, TranslationKey};
 
-use crate::compress::TagGroup;
+use crate::compress::{match_mask, TagGroup};
 use crate::config::{Replacement, TxPerLine};
 
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    key: TranslationKey,
-    ppn: Ppn,
-    last_use: u64,
+/// Delta lanes per Tx line: the Fig 10c layout packs eight 8-bit
+/// deltas beside the 32-bit base, so the whole-line compare is one
+/// 8-wide decode-and-match pass.
+const TX_LANES: usize = 8;
+
+/// The translation payload of one Tx-mode line, struct-of-arrays:
+/// [`match_mask`] compares the decoded VPN lane vector in a single
+/// branchless pass (the eight parallel comparators of Fig 10c) and the
+/// remaining lanes are touched only for the matching way. Boxed so
+/// IC-mode lines stay two words and the fetch way-scan stays dense.
+#[derive(Debug, Clone)]
+struct TxSlab {
+    tags: TagGroup,
+    /// Decoded full VPNs — full, not delta-only, for the same
+    /// cross-instance shootdown-probe reason as the LDS (see
+    /// [`match_mask`]).
+    vpns: [u64; TX_LANES],
+    keys: [TranslationKey; TX_LANES],
+    ppns: [Ppn; TX_LANES],
+    last_use: [u64; TX_LANES],
+    /// Occupancy bitmask over the first `tx_per_line.slots()` lanes.
+    valid: u32,
+}
+
+impl TxSlab {
+    /// A fresh slab holding only `(key, ppn)` in lane 0.
+    fn first(tag: u64, key: TranslationKey, ppn: Ppn, tick: u64) -> Box<Self> {
+        let mut tags = TagGroup::icache();
+        assert!(tags.try_admit(tag), "empty group admits");
+        let mut slab = Box::new(Self {
+            tags,
+            vpns: [0; TX_LANES],
+            keys: [TranslationKey::for_vpn(gtr_vm::addr::Vpn(0)); TX_LANES],
+            ppns: [Ppn(0); TX_LANES],
+            last_use: [0; TX_LANES],
+            valid: 0,
+        });
+        slab.set(0, key, ppn, tick);
+        slab
+    }
+
+    /// Lane holding `key`, in slot order (the order the old early-exit
+    /// scan returned), or `None`.
+    fn find(&self, slots: usize, key: TranslationKey) -> Option<usize> {
+        let mut m = match_mask(&self.vpns[..slots], self.valid, key.vpn.0);
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            if self.keys[i] == key {
+                return Some(i);
+            }
+            m &= m - 1;
+        }
+        None
+    }
+
+    fn set(&mut self, i: usize, key: TranslationKey, ppn: Ppn, tick: u64) {
+        self.vpns[i] = key.vpn.0;
+        self.keys[i] = key;
+        self.ppns[i] = ppn;
+        self.last_use[i] = tick;
+        self.valid |= 1 << i;
+    }
+
+    fn resident(&self) -> usize {
+        self.valid.count_ones() as usize
+    }
+}
+
+/// Iterates the set-bit positions of an occupancy mask in ascending
+/// (slot) order.
+fn ones(mask: u32) -> impl Iterator<Item = usize> {
+    (0..u32::BITS as usize).filter(move |i| mask & (1 << i) != 0)
 }
 
 #[derive(Debug, Clone)]
 enum LineState {
     Invalid,
     Inst { tag: u64 },
-    Tx { tags: TagGroup, slots: Vec<Option<Slot>> },
+    Tx(Box<TxSlab>),
 }
 
 #[derive(Debug, Clone)]
@@ -122,6 +189,7 @@ impl TxIcache {
     pub fn new(bytes: u32, assoc: usize, tx_per_line: TxPerLine, replacement: Replacement) -> Self {
         let line_count = (bytes / 64) as usize;
         assert!(assoc > 0 && line_count.is_multiple_of(assoc), "lines must divide into ways");
+        assert!(tx_per_line.slots() <= TX_LANES, "tx packing exceeds SoA lanes");
         Self {
             lines: (0..line_count)
                 .map(|_| Line { state: LineState::Invalid, last_use: 0 })
@@ -189,9 +257,8 @@ impl TxIcache {
         // Victim choice: invalid > LRU Tx > LRU Inst (§4.3.2 rule 1).
         let victim_way = self.choose_inst_victim(base);
         let line = &mut self.lines[base + victim_way];
-        if let LineState::Tx { slots, .. } = &line.state {
-            self.stats.tx_evicted_by_inst +=
-                slots.iter().filter(|s| s.is_some()).count() as u64;
+        if let LineState::Tx(slab) = &line.state {
+            self.stats.tx_evicted_by_inst += slab.resident() as u64;
         }
         line.state = LineState::Inst { tag };
         line.last_use = tick;
@@ -210,7 +277,7 @@ impl TxIcache {
                 .min_by_key(|(_, l)| l.last_use)
                 .map(|(i, _)| i)
         };
-        if let Some(i) = lru_of(&|s| matches!(s, LineState::Tx { .. })) {
+        if let Some(i) = lru_of(&|s| matches!(s, LineState::Tx(_))) {
             return i;
         }
         lru_of(&|s| matches!(s, LineState::Inst { .. })).expect("set is full of inst lines")
@@ -237,9 +304,8 @@ impl TxIcache {
         self.fills_this_kernel += 1;
         let victim_way = self.choose_inst_victim(base);
         let line = &mut self.lines[base + victim_way];
-        if let LineState::Tx { slots, .. } = &line.state {
-            self.stats.tx_evicted_by_inst +=
-                slots.iter().filter(|s| s.is_some()).count() as u64;
+        if let LineState::Tx(slab) = &line.state {
+            self.stats.tx_evicted_by_inst += slab.resident() as u64;
         }
         line.state = LineState::Inst { tag };
         line.last_use = tick;
@@ -276,7 +342,7 @@ impl TxIcache {
     /// Tx-mode (the 1-cycle mode-bit check that gates the full Tx
     /// lookup).
     pub fn is_tx_line(&self, key: TranslationKey) -> bool {
-        matches!(self.lines[self.tx_line_index(key)].state, LineState::Tx { .. })
+        matches!(self.lines[self.tx_line_index(key)].state, LineState::Tx(_))
     }
 
     /// Looks up a translation. A hit refreshes LRU and returns a copy
@@ -288,13 +354,14 @@ impl TxIcache {
         self.tick += 1;
         let tick = self.tick;
         let idx = self.tx_line_index(key);
+        let slots = self.tx_per_line.slots();
         let line = &mut self.lines[idx];
-        if let LineState::Tx { slots, .. } = &mut line.state {
-            if let Some(e) = slots.iter_mut().flatten().find(|e| e.key == key) {
-                e.last_use = tick;
+        if let LineState::Tx(slab) = &mut line.state {
+            if let Some(i) = slab.find(slots, key) {
+                slab.last_use[i] = tick;
                 line.last_use = tick;
                 self.stats.tx_lookups.hit();
-                return Some(Translation::new(e.key, e.ppn));
+                return Some(Translation::new(slab.keys[i], slab.ppns[i]));
             }
         }
         self.stats.tx_lookups.miss();
@@ -315,11 +382,7 @@ impl TxIcache {
                 if naive {
                     // Fig 13a bar 2: translations may evict instructions.
                     self.stats.inst_evicted_by_tx += 1;
-                    let mut tags = TagGroup::icache();
-                    assert!(tags.try_admit(tag));
-                    let mut slots = vec![None; slots_per_line];
-                    slots[0] = Some(Slot { key: tx.key, ppn: tx.ppn, last_use: tick });
-                    line.state = LineState::Tx { tags, slots };
+                    line.state = LineState::Tx(TxSlab::first(tag, tx.key, tx.ppn, tick));
                     line.last_use = tick;
                     self.stats.tx_inserts += 1;
                     IcInsert::Inserted { evicted: None }
@@ -329,52 +392,44 @@ impl TxIcache {
                 }
             }
             LineState::Invalid => {
-                let mut tags = TagGroup::icache();
-                assert!(tags.try_admit(tag));
-                let mut slots = vec![None; slots_per_line];
-                slots[0] = Some(Slot { key: tx.key, ppn: tx.ppn, last_use: tick });
-                line.state = LineState::Tx { tags, slots };
+                line.state = LineState::Tx(TxSlab::first(tag, tx.key, tx.ppn, tick));
                 line.last_use = tick;
                 self.stats.tx_inserts += 1;
                 IcInsert::Inserted { evicted: None }
             }
-            LineState::Tx { tags, slots } => {
+            LineState::Tx(slab) => {
                 line.last_use = tick;
-                if let Some(slot) = slots.iter_mut().flatten().find(|s| s.key == tx.key) {
-                    slot.ppn = tx.ppn;
-                    slot.last_use = tick;
+                if let Some(i) = slab.find(slots_per_line, tx.key) {
+                    slab.ppns[i] = tx.ppn;
+                    slab.last_use[i] = tick;
                     self.stats.tx_inserts += 1;
                     return IcInsert::Inserted { evicted: None };
                 }
                 let mut evicted = None;
-                if !tags.fits(tag) {
+                if !slab.tags.fits(tag) {
                     self.stats.compression_conflicts += 1;
-                    let mru = slots
-                        .iter()
-                        .flatten()
-                        .max_by_key(|s| s.last_use)
-                        .map(|s| Translation::new(s.key, s.ppn));
-                    let dropped = slots.iter().filter(|s| s.is_some()).count();
-                    slots.iter_mut().for_each(|s| *s = None);
-                    tags.clear();
+                    let mru = ones(slab.valid)
+                        .max_by_key(|&i| slab.last_use[i])
+                        .map(|i| Translation::new(slab.keys[i], slab.ppns[i]));
+                    let dropped = slab.resident();
+                    slab.valid = 0;
+                    slab.tags.clear();
                     self.stats.tx_evictions += dropped as u64;
                     self.stats.conflict_drops += dropped.saturating_sub(1) as u64;
                     evicted = mru;
-                } else if slots.iter().all(|s| s.is_some()) {
-                    let (i, victim) = slots
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, s)| s.map(|e| (i, e)))
-                        .min_by_key(|(_, e)| e.last_use)
+                } else if slab.resident() == slots_per_line {
+                    let i = ones(slab.valid)
+                        .min_by_key(|&i| slab.last_use[i])
                         .expect("full line non-empty");
-                    slots[i] = None;
-                    tags.retire();
+                    slab.valid &= !(1 << i);
+                    slab.tags.retire();
                     self.stats.tx_evictions += 1;
-                    evicted = Some(Translation::new(victim.key, victim.ppn));
+                    evicted = Some(Translation::new(slab.keys[i], slab.ppns[i]));
                 }
-                assert!(tags.try_admit(tag), "tag checked to fit");
-                let free = slots.iter().position(|s| s.is_none()).expect("slot available");
-                slots[free] = Some(Slot { key: tx.key, ppn: tx.ppn, last_use: tick });
+                assert!(slab.tags.try_admit(tag), "tag checked to fit");
+                let free = (!slab.valid).trailing_zeros() as usize;
+                debug_assert!(free < slots_per_line, "slot available");
+                slab.set(free, tx.key, tx.ppn, tick);
                 self.stats.tx_inserts += 1;
                 IcInsert::Inserted { evicted }
             }
@@ -384,10 +439,11 @@ impl TxIcache {
     /// Shootdown: invalidates `key` if present.
     pub fn shootdown(&mut self, key: TranslationKey) -> bool {
         let idx = self.tx_line_index(key);
-        if let LineState::Tx { tags, slots } = &mut self.lines[idx].state {
-            if let Some(i) = slots.iter().position(|s| s.map(|e| e.key) == Some(key)) {
-                slots[i] = None;
-                tags.retire();
+        let slots = self.tx_per_line.slots();
+        if let LineState::Tx(slab) = &mut self.lines[idx].state {
+            if let Some(i) = slab.find(slots, key) {
+                slab.valid &= !(1 << i);
+                slab.tags.retire();
                 self.stats.shootdowns += 1;
                 return true;
             }
@@ -413,7 +469,7 @@ impl TxIcache {
         self.lines
             .iter()
             .map(|l| match &l.state {
-                LineState::Tx { slots, .. } => slots.iter().filter(|s| s.is_some()).count(),
+                LineState::Tx(slab) => slab.resident(),
                 _ => 0,
             })
             .sum()
@@ -430,11 +486,12 @@ impl TxIcache {
     /// Iterates over resident translations (sharing analysis).
     pub fn iter_tx(&self) -> impl Iterator<Item = Translation> + '_ {
         self.lines.iter().flat_map(|l| {
-            let slots: &[Option<Slot>] = match &l.state {
-                LineState::Tx { slots, .. } => slots,
-                _ => &[],
+            let slab = match &l.state {
+                LineState::Tx(slab) => Some(slab),
+                _ => None,
             };
-            slots.iter().flatten().map(|e| Translation::new(e.key, e.ppn))
+            slab.into_iter()
+                .flat_map(|s| ones(s.valid).map(|i| Translation::new(s.keys[i], s.ppns[i])))
         })
     }
 

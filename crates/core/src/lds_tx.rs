@@ -13,7 +13,7 @@
 use gtr_sim::stats::HitMiss;
 use gtr_vm::addr::{Ppn, Translation, TranslationKey};
 
-use crate::compress::TagGroup;
+use crate::compress::{match_mask, TagGroup};
 use crate::config::SegmentSize;
 
 /// Operating mode of one LDS segment (the mode bit of §4.2.4, with
@@ -29,35 +29,84 @@ pub enum SegmentMode {
     Tx,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    key: TranslationKey,
-    ppn: Ppn,
-    last_use: u64,
-}
+/// Upper bound on translation ways per segment (6 for 64-byte
+/// segments, 3 for 32-byte); fixed-size lanes keep every segment's
+/// whole tag vector in two cache lines with no per-segment heap.
+const MAX_WAYS: usize = 6;
 
+/// One LDS segment, struct-of-arrays: the lookup compares the decoded
+/// VPN lane vector with one branchless [`match_mask`] pass (the
+/// parallel base+delta comparators of Fig 7b) and only touches the
+/// remaining lanes for the matching way.
 #[derive(Debug, Clone)]
 struct Segment {
     mode: SegmentMode,
     tags: TagGroup,
-    slots: Vec<Option<Slot>>,
+    /// Decoded full VPNs per way — the compare lane. Full VPNs, not
+    /// compressed deltas: shootdown probes arrive at every CU's LDS
+    /// under home hashing, where a delta-only compare against a foreign
+    /// base would false-hit (see [`match_mask`]).
+    vpns: [u64; MAX_WAYS],
+    /// Full keys per way, consulted only on a VPN lane match to settle
+    /// the VM-ID/VRF-ID identity (§7.2 SR-IOV spaces).
+    keys: [TranslationKey; MAX_WAYS],
+    ppns: [Ppn; MAX_WAYS],
+    last_use: [u64; MAX_WAYS],
+    /// Occupancy bitmask over the first `ways()` lanes.
+    valid: u32,
 }
 
 impl Segment {
-    fn new(ways: usize) -> Self {
-        Self { mode: SegmentMode::Idle, tags: TagGroup::lds(), slots: vec![None; ways] }
+    fn new() -> Self {
+        Self {
+            mode: SegmentMode::Idle,
+            tags: TagGroup::lds(),
+            vpns: [0; MAX_WAYS],
+            keys: [TranslationKey::for_vpn(gtr_vm::addr::Vpn(0)); MAX_WAYS],
+            ppns: [Ppn(0); MAX_WAYS],
+            last_use: [0; MAX_WAYS],
+            valid: 0,
+        }
+    }
+
+    /// Index of the way holding `key`, in slot order (the order the
+    /// old early-exit scan returned), or `None`.
+    fn find(&self, ways: usize, key: TranslationKey) -> Option<usize> {
+        let mut m = match_mask(&self.vpns[..ways], self.valid, key.vpn.0);
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            if self.keys[i] == key {
+                return Some(i);
+            }
+            m &= m - 1;
+        }
+        None
+    }
+
+    fn set(&mut self, i: usize, key: TranslationKey, ppn: Ppn, tick: u64) {
+        self.vpns[i] = key.vpn.0;
+        self.keys[i] = key;
+        self.ppns[i] = ppn;
+        self.last_use[i] = tick;
+        self.valid |= 1 << i;
     }
 
     fn resident(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.valid.count_ones() as usize
     }
 
     fn drop_all_tx(&mut self) -> usize {
         let n = self.resident();
-        self.slots.iter_mut().for_each(|s| *s = None);
+        self.valid = 0;
         self.tags.clear();
         n
     }
+}
+
+/// Iterates the set-bit positions of an occupancy mask in ascending
+/// (slot) order, matching the scan order of the pre-SoA slot vector.
+fn ones(mask: u32) -> impl Iterator<Item = usize> {
+    (0..u32::BITS as usize).filter(move |i| mask & (1 << i) != 0)
 }
 
 /// Outcome of a translation insert attempt.
@@ -137,8 +186,9 @@ impl TxLds {
         let seg = segment_size.bytes();
         assert!(lds_bytes.is_multiple_of(seg), "LDS must divide into segments");
         let count = (lds_bytes / seg) as usize;
+        assert!(segment_size.ways() <= MAX_WAYS, "segment ways exceed SoA lanes");
         Self {
-            segments: (0..count).map(|_| Segment::new(segment_size.ways())).collect(),
+            segments: (0..count).map(|_| Segment::new()).collect(),
             segment_bytes: seg,
             ways: segment_size.ways(),
             index_shift: 0,
@@ -187,16 +237,17 @@ impl TxLds {
         self.tick += 1;
         let tick = self.tick;
         let idx = self.index(key);
+        let ways = self.ways;
         let seg = &mut self.segments[idx];
         if seg.mode != SegmentMode::Tx {
             self.stats.lookups.miss();
             return None;
         }
-        match seg.slots.iter_mut().flatten().find(|e| e.key == key) {
-            Some(entry) => {
-                entry.last_use = tick;
+        match seg.find(ways, key) {
+            Some(i) => {
+                seg.last_use[i] = tick;
                 self.stats.lookups.hit();
-                Some(Translation::new(entry.key, entry.ppn))
+                Some(Translation::new(seg.keys[i], seg.ppns[i]))
             }
             None => {
                 self.stats.lookups.miss();
@@ -211,6 +262,7 @@ impl TxLds {
         let tick = self.tick;
         let idx = self.index(tx.key);
         let tag = self.tag(tx.key);
+        let ways = self.ways;
         let seg = &mut self.segments[idx];
         match seg.mode {
             SegmentMode::App => {
@@ -221,20 +273,15 @@ impl TxLds {
                 seg.mode = SegmentMode::Tx;
                 seg.tags.clear();
                 assert!(seg.tags.try_admit(tag), "empty group admits");
-                seg.slots[0] = Some(Slot { key: tx.key, ppn: tx.ppn, last_use: tick });
+                seg.set(0, tx.key, tx.ppn, tick);
                 self.stats.inserts += 1;
                 LdsInsert::Inserted { evicted: None }
             }
             SegmentMode::Tx => {
                 // Refresh on re-insert of the same key.
-                if let Some(slot) = seg
-                    .slots
-                    .iter_mut()
-                    .flatten()
-                    .find(|s| s.key == tx.key)
-                {
-                    slot.ppn = tx.ppn;
-                    slot.last_use = tick;
+                if let Some(i) = seg.find(ways, tx.key) {
+                    seg.ppns[i] = tx.ppn;
+                    seg.last_use[i] = tick;
                     self.stats.inserts += 1;
                     return LdsInsert::Inserted { evicted: None };
                 }
@@ -244,37 +291,27 @@ impl TxLds {
                     // express the new tag. Evict everything and re-base;
                     // only the most-recently-used victim is forwarded.
                     self.stats.compression_conflicts += 1;
-                    let mru = seg
-                        .slots
-                        .iter()
-                        .flatten()
-                        .max_by_key(|s| s.last_use)
-                        .map(|s| Translation::new(s.key, s.ppn));
+                    let mru = ones(seg.valid)
+                        .max_by_key(|&i| seg.last_use[i])
+                        .map(|i| Translation::new(seg.keys[i], seg.ppns[i]));
                     let dropped = seg.drop_all_tx();
                     self.stats.evictions += dropped as u64;
                     self.stats.conflict_drops += dropped.saturating_sub(1) as u64;
                     evicted = mru;
-                } else if seg.slots.iter().all(|s| s.is_some()) {
+                } else if seg.resident() == ways {
                     // Set full: evict the LRU way.
-                    let (i, victim) = seg
-                        .slots
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, s)| s.map(|e| (i, e)))
-                        .min_by_key(|(_, e)| e.last_use)
+                    let i = ones(seg.valid)
+                        .min_by_key(|&i| seg.last_use[i])
                         .expect("full segment non-empty");
-                    seg.slots[i] = None;
+                    seg.valid &= !(1 << i);
                     seg.tags.retire();
                     self.stats.evictions += 1;
-                    evicted = Some(Translation::new(victim.key, victim.ppn));
+                    evicted = Some(Translation::new(seg.keys[i], seg.ppns[i]));
                 }
                 assert!(seg.tags.try_admit(tag), "tag checked to fit");
-                let free = seg
-                    .slots
-                    .iter()
-                    .position(|s| s.is_none())
-                    .expect("a slot was freed or available");
-                seg.slots[free] = Some(Slot { key: tx.key, ppn: tx.ppn, last_use: tick });
+                let free = (!seg.valid).trailing_zeros() as usize;
+                debug_assert!(free < ways, "a slot was freed or available");
+                seg.set(free, tx.key, tx.ppn, tick);
                 self.stats.inserts += 1;
                 LdsInsert::Inserted { evicted }
             }
@@ -300,7 +337,7 @@ impl TxLds {
         for i in self.covered(base, size) {
             let seg = &mut self.segments[i];
             debug_assert_ne!(seg.mode, SegmentMode::Tx, "Tx can never overwrite App");
-            seg.slots.iter_mut().for_each(|s| *s = None);
+            seg.valid = 0;
             seg.tags.clear();
             seg.mode = SegmentMode::Idle;
         }
@@ -318,12 +355,13 @@ impl TxLds {
     /// Shootdown: invalidates `key` if present; returns whether it was.
     pub fn shootdown(&mut self, key: TranslationKey) -> bool {
         let idx = self.index(key);
+        let ways = self.ways;
         let seg = &mut self.segments[idx];
         if seg.mode != SegmentMode::Tx {
             return false;
         }
-        if let Some(i) = seg.slots.iter().position(|s| s.map(|e| e.key) == Some(key)) {
-            seg.slots[i] = None;
+        if let Some(i) = seg.find(ways, key) {
+            seg.valid &= !(1 << i);
             seg.tags.retire();
             self.stats.shootdowns += 1;
             true
@@ -355,7 +393,7 @@ impl TxLds {
         self.segments
             .iter()
             .filter(|s| s.mode == SegmentMode::Tx)
-            .flat_map(|s| s.slots.iter().flatten().map(|e| Translation::new(e.key, e.ppn)))
+            .flat_map(|s| ones(s.valid).map(|i| Translation::new(s.keys[i], s.ppns[i])))
     }
 
     /// Accumulated statistics.

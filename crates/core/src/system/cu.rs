@@ -1,0 +1,90 @@
+//! Per-compute-unit state and wavefront runtime records.
+//!
+//! Everything in this module is private to one CU: its L1 TLB and
+//! port, the in-flight miss table, its L1 data cache, its
+//! reconfigurable LDS, and its SIMD issue pipelines. A CU shard may
+//! mutate this state freely without synchronizing — only the
+//! [`SharedHierarchy`](super::shared::SharedHierarchy) boundary
+//! requires the deterministic epoch-barrier merge (ARCHITECTURE §8).
+
+use gtr_gpu::config::GpuConfig;
+use gtr_gpu::dispatch::Placement;
+use gtr_mem::cache::Cache;
+use gtr_sim::fastmap::FastMap;
+use gtr_sim::resource::{Pipeline, Server, TrackedPort};
+use gtr_sim::Cycle;
+use gtr_vm::addr::{Ppn, TranslationKey};
+use gtr_vm::tlb::Tlb;
+
+use crate::config::ReachConfig;
+use crate::lds_tx::TxLds;
+
+/// Per-CU state.
+#[derive(Debug)]
+pub(super) struct Cu {
+    pub(super) l1_tlb: Tlb,
+    pub(super) l1_port: Server,
+    /// In-flight L1 misses (for request merging). Open-addressed and
+    /// pre-sized: probed on every translation, so SipHash and rehash
+    /// stalls are off the critical path.
+    pub(super) pending: FastMap<TranslationKey, (Cycle, Ppn)>,
+    pub(super) l1d: Cache,
+    pub(super) tx_lds: TxLds,
+    pub(super) lds_port: TrackedPort,
+    pub(super) simds: Vec<Pipeline>,
+    pub(super) next_simd: usize,
+}
+
+impl Cu {
+    /// Builds one cold compute unit for the machine configuration.
+    pub(super) fn new(gpu: &GpuConfig, reach: &ReachConfig) -> Self {
+        Cu {
+            l1_tlb: Tlb::new(gpu.l1_tlb),
+            l1_port: Server::new(1),
+            pending: FastMap::with_capacity(1024),
+            l1d: Cache::new(gpu.l1d),
+            tx_lds: TxLds::new(gpu.lds_bytes, reach.segment_size).with_index_shift(
+                if reach.lds_home_hashing {
+                    (gpu.cus as u32).trailing_zeros()
+                } else {
+                    0
+                },
+            ),
+            lds_port: TrackedPort::new(),
+            simds: (0..gpu.simds_per_cu).map(|_| Pipeline::new(4, 4)).collect(),
+            next_simd: 0,
+        }
+    }
+}
+
+/// Runtime state of one in-flight wavefront.
+#[derive(Debug, Clone)]
+pub(super) struct WaveRt {
+    pub(super) wg_rt: usize,
+    pub(super) kernel_wg: usize,
+    pub(super) wave_idx: usize,
+    pub(super) cu: usize,
+    pub(super) simd: usize,
+    pub(super) op_idx: usize,
+    pub(super) inst_idx: u64,
+    pub(super) cur_line: Option<u64>,
+}
+
+/// Runtime state of one in-flight workgroup.
+#[derive(Debug, Clone)]
+pub(super) struct WgRt {
+    pub(super) placement: Placement,
+    pub(super) lds_block: Option<(u32, u32)>,
+    pub(super) waves_total: usize,
+    pub(super) waves_done: usize,
+    pub(super) barrier_arrived: usize,
+    pub(super) parked: Vec<usize>,
+}
+
+/// Which interval-sampling window the simulation is currently inside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum SampleMode {
+    Warmup,
+    Detail,
+    Fastforward,
+}

@@ -27,157 +27,66 @@
 //!
 //! A victim-structure or L2 hit promotes the entry to the L1 TLB; the
 //! displaced L1 victim re-enters the Fig-12 fill flow.
+//!
+//! ## Module layout
+//!
+//! The system is split along the parallelism boundary (ARCHITECTURE
+//! §8): [`cu`] holds state private to one compute unit (free for a CU
+//! shard to mutate), [`shared`] holds the GPU-shared hierarchy every
+//! shard's requests must reach in deterministic merge order, and this
+//! module owns the run loop and the Fig-12 translate path that stitch
+//! the two together.
+
+mod cu;
+mod shared;
+
+pub use shared::TranslationSideCache;
 
 use std::collections::HashMap;
 
 use gtr_gpu::config::GpuConfig;
-use gtr_gpu::dispatch::{Dispatcher, Placement};
+use gtr_gpu::dispatch::Dispatcher;
 use gtr_gpu::kernel::{AppTrace, KernelDesc, INSTS_PER_LINE};
 use gtr_gpu::lds::LdsAllocator;
 use gtr_gpu::ops::Op;
-use gtr_mem::cache::Cache;
-use gtr_mem::system::MemorySystem;
 use gtr_sim::event::EventQueue;
 use gtr_sim::fastmap::FastMap;
 use gtr_sim::hist::CycleAttribution;
-use gtr_sim::resource::{Pipeline, Server, Timeline, TrackedPort};
 use gtr_sim::stats::Sampler;
 use gtr_sim::trace::{NullSink, TraceEvent, TracePath, TraceSink, TxStructure};
 use gtr_sim::Cycle;
 use gtr_vm::addr::{Ppn, Translation, TranslationKey, VirtAddr, Vpn};
 use gtr_vm::coalescer::CoalescedAccess;
-use gtr_vm::iommu::Iommu;
-use gtr_vm::page_table::PageTable;
 use gtr_vm::tlb::Tlb;
-use gtr_vm::walk::PteAccess;
 
 use crate::checkpoint::CheckpointEntry;
 use crate::config::{ReachConfig, SamplingConfig};
 use crate::driver::{DriverSchedule, ShootdownReport};
 use crate::icache_tx::TxIcache;
-use crate::lds_tx::TxLds;
 use crate::obs::{ObsRecorder, VictimLifetimes};
 use crate::stats::{EpochStats, KernelStats, RunStats, SamplingMeta};
 use crate::victim;
 
+use cu::{Cu, SampleMode, WaveRt, WgRt};
+use shared::{PteMem, SharedHierarchy};
+
 /// Physical region instruction code occupies (disjoint from data
 /// frames and page-table nodes).
 const CODE_PHYS_BASE_LINE: u64 = (1u64 << 45) / 64;
-
-/// An additional translation repository consulted between the L2 TLB
-/// and the IOMMU (DUCATI implements this in `gtr-ducati`).
-pub trait TranslationSideCache: std::fmt::Debug {
-    /// Looks up `key` starting at `now`; returns `(done, ppn)` on hit.
-    fn lookup(
-        &mut self,
-        now: Cycle,
-        key: TranslationKey,
-        mem: &mut MemorySystem,
-    ) -> Option<(Cycle, Ppn)>;
-
-    /// Stores an L2-TLB victim.
-    fn fill(&mut self, now: Cycle, tx: Translation, mem: &mut MemorySystem);
-
-    /// Functional-warming twin of [`Self::lookup`]: resolves `key`
-    /// from the side cache's current contents with no timing and no
-    /// memory traffic, so fast-forward windows and checkpoint restores
-    /// keep the side cache's *resident set* evolving exactly as a
-    /// detailed run would. The default body makes the side cache
-    /// invisible to functional warming (always a miss) — implementors
-    /// that want sampled-mode fidelity override it.
-    fn lookup_functional(&mut self, key: TranslationKey) -> Option<Ppn> {
-        let _ = key;
-        None
-    }
-
-    /// Functional-warming twin of [`Self::fill`]: installs an L2-TLB
-    /// victim with no memory traffic. Default: drop it.
-    fn fill_functional(&mut self, tx: Translation) {
-        let _ = tx;
-    }
-
-    /// Human-readable name for reports.
-    fn name(&self) -> &'static str;
-}
-
-struct PteMem<'a>(&'a mut MemorySystem);
-
-impl PteAccess for PteMem<'_> {
-    fn access(&mut self, now: Cycle, addr: gtr_vm::addr::PhysAddr) -> Cycle {
-        self.0.read(now, addr.raw())
-    }
-}
-
-/// Per-CU state.
-#[derive(Debug)]
-struct Cu {
-    l1_tlb: Tlb,
-    l1_port: Server,
-    /// In-flight L1 misses (for request merging). Open-addressed and
-    /// pre-sized: probed on every translation, so SipHash and rehash
-    /// stalls are off the critical path.
-    pending: FastMap<TranslationKey, (Cycle, Ppn)>,
-    l1d: Cache,
-    tx_lds: TxLds,
-    lds_port: TrackedPort,
-    simds: Vec<Pipeline>,
-    next_simd: usize,
-}
-
-/// Runtime state of one in-flight wavefront.
-#[derive(Debug, Clone)]
-struct WaveRt {
-    wg_rt: usize,
-    kernel_wg: usize,
-    wave_idx: usize,
-    cu: usize,
-    simd: usize,
-    op_idx: usize,
-    inst_idx: u64,
-    cur_line: Option<u64>,
-}
-
-/// Runtime state of one in-flight workgroup.
-#[derive(Debug, Clone)]
-struct WgRt {
-    placement: Placement,
-    lds_block: Option<(u32, u32)>,
-    waves_total: usize,
-    waves_done: usize,
-    barrier_arrived: usize,
-    parked: Vec<usize>,
-}
-
-/// Which interval-sampling window the simulation is currently inside.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SampleMode {
-    Warmup,
-    Detail,
-    Fastforward,
-}
 
 /// The complete simulated system.
 #[derive(Debug)]
 pub struct System {
     gpu: GpuConfig,
     reach: ReachConfig,
-    /// One page table per 2-bit address space (§7.2 multi-application
-    /// scenarios); single-app traces only touch space 0.
-    page_tables: Vec<PageTable>,
-    iommu: Iommu,
-    l2_tlb: Tlb,
-    l2_port: Timeline,
-    mem: MemorySystem,
-    icaches: Vec<TxIcache>,
-    /// One fill engine per I-cache group: instruction misses serialize
-    /// here (a fetch unit has a single outstanding-miss register), so a
-    /// policy that lets translations evict hot code pays with front-end
-    /// bandwidth — the effect behind Fig 13a's naive-replacement bar.
-    fetch_fill: Vec<Timeline>,
+    /// The GPU-shared half of the hierarchy: page tables, IOMMU, L2
+    /// TLB + port, memory system, reconfigurable I-caches and their
+    /// fill engines, and the optional side cache. Every access from a
+    /// CU shard crosses the §8 synchronization boundary.
+    shared: SharedHierarchy,
     cus: Vec<Cu>,
     lds_allocs: Vec<LdsAllocator>,
     dispatcher: Dispatcher,
-    side_cache: Option<Box<dyn TranslationSideCache>>,
     driver: DriverSchedule,
     next_driver_event: usize,
     shootdown_report: ShootdownReport,
@@ -274,49 +183,12 @@ impl System {
     /// Builds a cold system from a machine configuration and a
     /// reconfigurable-architecture configuration.
     pub fn new(gpu: GpuConfig, reach: ReachConfig) -> Self {
-        let cus = (0..gpu.cus)
-            .map(|_| Cu {
-                l1_tlb: Tlb::new(gpu.l1_tlb),
-                l1_port: Server::new(1),
-                pending: FastMap::with_capacity(1024),
-                l1d: Cache::new(gpu.l1d),
-                tx_lds: TxLds::new(gpu.lds_bytes, reach.segment_size).with_index_shift(
-                    if reach.lds_home_hashing {
-                        (gpu.cus as u32).trailing_zeros()
-                    } else {
-                        0
-                    },
-                ),
-                lds_port: TrackedPort::new(),
-                simds: (0..gpu.simds_per_cu).map(|_| Pipeline::new(4, 4)).collect(),
-                next_simd: 0,
-            })
-            .collect();
-        let icaches = (0..gpu.icache_count())
-            .map(|_| {
-                TxIcache::new(gpu.icache_bytes, gpu.icache_assoc, reach.tx_per_line, reach.replacement)
-            })
-            .collect();
+        let cus = (0..gpu.cus).map(|_| Cu::new(&gpu, &reach)).collect();
         Self {
-            page_tables: (0..4)
-                .map(|i| {
-                    PageTable::with_ids(
-                        gpu.page_size,
-                        gtr_vm::addr::VmId::new(i),
-                        gtr_vm::addr::VrfId::default(),
-                    )
-                })
-                .collect(),
-            iommu: Iommu::new(gpu.iommu),
-            l2_tlb: Tlb::new(gpu.l2_tlb),
-            l2_port: Timeline::new(),
-            mem: MemorySystem::new(gpu.memory),
-            fetch_fill: (0..gpu.icache_count()).map(|_| Timeline::new()).collect(),
-            icaches,
+            shared: SharedHierarchy::new(&gpu, &reach),
             cus,
             lds_allocs: (0..gpu.cus).map(|_| LdsAllocator::new(gpu.lds_bytes)).collect(),
             dispatcher: Dispatcher::new(gpu.cus, gpu.waves_per_cu()),
-            side_cache: None,
             driver: DriverSchedule::new(),
             next_driver_event: 0,
             shootdown_report: ShootdownReport::default(),
@@ -470,7 +342,7 @@ impl System {
         self.ff_on = true;
         let n_cus = self.cus.len();
         for e in &ck.stream {
-            let table = &mut self.page_tables[e.key.vmid.raw() as usize];
+            let table = &mut self.shared.page_tables[e.key.vmid.raw() as usize];
             if table.translate(e.key.vpn).is_none() {
                 table.map_vpn(e.key.vpn);
             }
@@ -513,16 +385,12 @@ impl System {
             cu.l1_tlb.reset_stats();
             cu.tx_lds.reset_stats();
         }
-        for ic in &mut self.icaches {
-            ic.reset_stats();
-        }
-        self.l2_tlb.reset_stats();
-        self.iommu.reset_stats();
+        self.shared.reset_stats();
     }
 
     /// Attaches a side translation cache (DUCATI).
     pub fn with_side_cache(mut self, sc: Box<dyn TranslationSideCache>) -> Self {
-        self.side_cache = Some(sc);
+        self.shared.side_cache = Some(sc);
         self
     }
 
@@ -550,7 +418,7 @@ impl System {
     pub fn check_translation_coherence(&self) -> usize {
         let mut checked = 0;
         let check = |tx: Translation| {
-            let table = &self.page_tables[tx.key.vmid.raw() as usize];
+            let table = &self.shared.page_tables[tx.key.vmid.raw() as usize];
             let current = table.translate(tx.key.vpn);
             assert_eq!(
                 current,
@@ -571,11 +439,11 @@ impl System {
                 checked += 1;
             }
         }
-        for tx in self.l2_tlb.iter() {
+        for tx in self.shared.l2_tlb.iter() {
             check(tx);
             checked += 1;
         }
-        for ic in &self.icaches {
+        for ic in &self.shared.icaches {
             for tx in ic.iter_tx() {
                 check(tx);
                 checked += 1;
@@ -597,11 +465,8 @@ impl System {
             driver,
             next_driver_event,
             shootdown_report,
-            page_tables,
+            shared,
             cus,
-            l2_tlb,
-            icaches,
-            iommu,
             translation_requests,
             trace,
             trace_on,
@@ -609,6 +474,7 @@ impl System {
             obs_on,
             ..
         } = self;
+        let SharedHierarchy { page_tables, l2_tlb, icaches, iommu, .. } = shared;
         let events = driver.events();
         while *next_driver_event < events.len()
             && events[*next_driver_event].after_translations <= *translation_requests
@@ -684,12 +550,12 @@ impl System {
     /// address space 0 (demand mapping also happens automatically
     /// during the run).
     pub fn map_footprint(&mut self, start: VirtAddr, pages: u64) {
-        self.page_tables[0].map_range(start, pages);
+        self.shared.page_tables[0].map_range(start, pages);
     }
 
     /// Pre-maps a footprint in a specific address space (§7.2).
     pub fn map_footprint_in(&mut self, vm: gtr_vm::addr::VmId, start: VirtAddr, pages: u64) {
-        self.page_tables[vm.raw() as usize].map_range(start, pages);
+        self.shared.page_tables[vm.raw() as usize].map_range(start, pages);
     }
 
     /// Executes the application end-to-end and returns the run's
@@ -699,16 +565,16 @@ impl System {
         let mut kernels_out: Vec<KernelStats> = Vec::with_capacity(app.kernels().len());
         let mut prev_kernel: Option<&str> = None;
         for (k_idx, kernel) in app.kernels().iter().enumerate() {
-            let walks_before = self.iommu.walks();
+            let walks_before = self.shared.iommu.walks();
             let insts_before = self.instructions;
-            for ic in &mut self.icaches {
+            for ic in &mut self.shared.icaches {
                 ic.begin_kernel();
             }
             if self.reach.flush_opt
                 && self.reach.icache_enabled
                 && prev_kernel != Some(kernel.name())
             {
-                for (ic_idx, ic) in self.icaches.iter_mut().enumerate() {
+                for (ic_idx, ic) in self.shared.icaches.iter_mut().enumerate() {
                     let lines = ic.flush_instructions();
                     if self.trace_on {
                         self.trace.emit(&TraceEvent::KernelFlush {
@@ -735,16 +601,17 @@ impl System {
                 });
             }
             let util = self
+                .shared
                 .icaches
                 .iter()
                 .map(TxIcache::end_kernel_utilization)
                 .sum::<f64>()
-                / self.icaches.len() as f64;
+                / self.shared.icaches.len() as f64;
             kernels_out.push(KernelStats {
                 name: kernel.name().to_string(),
                 cycles: end - t,
                 instructions: self.instructions - insts_before,
-                page_walks: self.iommu.walks() - walks_before,
+                page_walks: self.shared.iommu.walks() - walks_before,
                 icache_utilization_pct: util,
                 lds_bytes_per_wg: kernel.lds_bytes_per_wg(),
             });
@@ -831,8 +698,8 @@ impl System {
                 // post-flush cold start does not stall the first ops.
                 let ic_idx = p.cu / s.gpu.cus_per_icache;
                 for l in 0..8u64.min(kernel.code_lines() as u64) {
-                    if s.icaches[ic_idx].prefetch(code_base + l) && !s.ff_on {
-                        s.mem.read(now, (code_base + l) * 64);
+                    if s.shared.icaches[ic_idx].prefetch(code_base + l) && !s.ff_on {
+                        s.shared.mem.read(now, (code_base + l) * 64);
                     }
                 }
                 let wg_rt = wgs.len();
@@ -1012,17 +879,17 @@ impl System {
             // Functional warming: keep I-cache contents (including the
             // next-line prefetcher's footprint) evolving, with no port,
             // fill-engine, or DRAM timing.
-            if !self.icaches[ic_idx].fetch(line) {
+            if !self.shared.icaches[ic_idx].fetch(line) {
                 for ahead in 1..=3u64 {
                     let next = code_base + (line - code_base + ahead) % code_lines as u64;
                     if next != line {
-                        self.icaches[ic_idx].prefetch(next);
+                        self.shared.icaches[ic_idx].prefetch(next);
                     }
                 }
             }
             return now;
         }
-        let ic = &mut self.icaches[ic_idx];
+        let ic = &mut self.shared.icaches[ic_idx];
         let occupancy = 2;
         let port_done = ic.port_mut().access(now, occupancy);
         self.fetch_wait_sum += port_done - occupancy - now;
@@ -1037,16 +904,16 @@ impl System {
             // Eq 1) three lines deep so a straight-line fetch stream
             // misses once per four lines — fetch units race ahead of
             // the instruction buffers on real GPUs.
-            let fill = self.mem.read(t, line * 64);
+            let fill = self.shared.mem.read(t, line * 64);
             let duration = fill - t;
-            let start = self.fetch_fill[ic_idx].reserve(t, duration);
+            let start = self.shared.fetch_fill[ic_idx].reserve(t, duration);
             let done = start + duration;
             for ahead in 1..=3u64 {
                 let next = code_base + (line - code_base + ahead) % code_lines as u64;
-                if next != line && self.icaches[ic_idx].prefetch(next) {
+                if next != line && self.shared.icaches[ic_idx].prefetch(next) {
                     // Prefetches consume memory bandwidth in the
                     // background but do not block the wave.
-                    self.mem.read(t, next * 64);
+                    self.shared.mem.read(t, next * 64);
                 }
             }
             done
@@ -1076,10 +943,27 @@ impl System {
         }
         // Demand-map the footprint (no fault cost: workloads model
         // already-resident data).
-        let table = &mut self.page_tables[vm.raw() as usize];
+        let table = &mut self.shared.page_tables[vm.raw() as usize];
         for &vpn in &coalesced.pages {
             if table.translate(vpn).is_none() {
                 table.map_vpn(vpn);
+            }
+        }
+        // Whole-wavefront L1 probe for divergent accesses: one
+        // struct-of-arrays pass over the deduped pages resolves every
+        // lane's L1 residency at once and pulls the TLB index's probe
+        // chains into cache before the serial per-page walk below
+        // re-resolves them with full timing and LRU bookkeeping.
+        // Narrow accesses skip it — batching has fixed overhead that
+        // only a wide batch amortizes. `probe_many` is read-only (no
+        // LRU, no counters), so the simulated outcome is bit-identical.
+        if coalesced.pages.len() >= 8 {
+            let mut batch = [TranslationKey::for_vpn(Vpn(0)); 64];
+            for chunk in coalesced.pages.chunks(64) {
+                for (k, &vpn) in batch.iter_mut().zip(chunk) {
+                    *k = TranslationKey { vpn, vmid: vm, vrf: gtr_vm::addr::VrfId::default() };
+                }
+                std::hint::black_box(self.cus[cu_idx].l1_tlb.probe_many(&batch[..chunk.len()]));
             }
         }
         // Translate each unique page.
@@ -1093,13 +977,21 @@ impl System {
             // Functional warming: keep L1D contents moving (so a
             // following detail window sees a warm cache) with no
             // writeback or DRAM timing.
-            for &vline in &coalesced.lines {
+            for (li, &vline) in coalesced.lines.iter().enumerate() {
                 let va = VirtAddr::new(vline * 64);
-                let vpn = va.vpn(page_size);
-                let &(_, _, ppn) = page_done
-                    .iter()
-                    .find(|(p, _, _)| *p == vpn)
-                    .expect("every line's page was translated");
+                // With the coalescer on, the line→page index computed
+                // during lane dedup replaces the per-line page rescan;
+                // the ablation rebuilt `pages` with duplicates, so its
+                // indices are stale and the scan stays.
+                let &(_, _, ppn) = if self.gpu.coalescing {
+                    &page_done[coalesced.line_pages[li] as usize]
+                } else {
+                    let vpn = va.vpn(page_size);
+                    page_done
+                        .iter()
+                        .find(|(p, _, _)| *p == vpn)
+                        .expect("every line's page was translated")
+                };
                 let pa = ppn.base(page_size).raw() + va.page_offset(page_size);
                 let _ = self.cus[cu_idx].l1d.access(pa / 64, write);
             }
@@ -1115,13 +1007,17 @@ impl System {
         // Data accesses per unique line, dependent on their page's
         // translation.
         let mut op_done = now;
-        for &vline in &coalesced.lines {
+        for (li, &vline) in coalesced.lines.iter().enumerate() {
             let va = VirtAddr::new(vline * 64);
-            let vpn = va.vpn(page_size);
-            let &(_, tx_done, ppn) = page_done
-                .iter()
-                .find(|(p, _, _)| *p == vpn)
-                .expect("every line's page was translated");
+            let &(_, tx_done, ppn) = if self.gpu.coalescing {
+                &page_done[coalesced.line_pages[li] as usize]
+            } else {
+                let vpn = va.vpn(page_size);
+                page_done
+                    .iter()
+                    .find(|(p, _, _)| *p == vpn)
+                    .expect("every line's page was translated")
+            };
             let pa = ppn.base(page_size).raw() + va.page_offset(page_size);
             let t0 = tx_done + self.cus[cu_idx].l1d.latency();
             let res = self.cus[cu_idx].l1d.access(pa / 64, write);
@@ -1129,12 +1025,12 @@ impl System {
                 t0
             } else {
                 if let Some(victim_line) = res.writeback {
-                    self.mem.write(t0, victim_line * 64);
+                    self.shared.mem.write(t0, victim_line * 64);
                 }
                 if write {
-                    self.mem.write(t0, pa)
+                    self.shared.mem.write(t0, pa)
                 } else {
-                    self.mem.read(t0, pa)
+                    self.shared.mem.read(t0, pa)
                 }
             };
             op_done = op_done.max(done);
@@ -1200,14 +1096,8 @@ impl System {
         let Self {
             gpu,
             reach,
-            page_tables,
-            iommu,
-            l2_tlb,
-            l2_port,
-            mem,
-            icaches,
+            shared,
             cus,
-            side_cache,
             translation_requests,
             merged_requests,
             sc_detail_lookups,
@@ -1221,6 +1111,16 @@ impl System {
             obs_on,
             ..
         } = self;
+        let SharedHierarchy {
+            page_tables,
+            iommu,
+            l2_tlb,
+            l2_port,
+            mem,
+            icaches,
+            side_cache,
+            ..
+        } = shared;
         *translation_requests += 1;
         if *sample_countdown == 0 {
             let resident: usize = cus.iter().map(|c| c.tx_lds.resident()).sum::<usize>()
@@ -1401,12 +1301,8 @@ impl System {
         let Self {
             gpu,
             reach,
-            page_tables,
-            iommu,
-            l2_tlb,
-            icaches,
+            shared,
             cus,
-            side_cache,
             translation_requests,
             sc_ff_lookups,
             sc_ff_hits,
@@ -1419,6 +1315,7 @@ impl System {
             obs_on,
             ..
         } = self;
+        let SharedHierarchy { page_tables, iommu, l2_tlb, icaches, side_cache, .. } = shared;
         *translation_requests += 1;
         if *sample_countdown == 0 {
             let resident: usize = cus.iter().map(|c| c.tx_lds.resident()).sum::<usize>()
@@ -1610,7 +1507,7 @@ impl System {
 
     fn sample_peak_entries(&mut self) {
         let resident: usize = self.cus.iter().map(|c| c.tx_lds.resident()).sum::<usize>()
-            + self.icaches.iter().map(TxIcache::resident_tx).sum::<usize>();
+            + self.shared.resident_tx_icache();
         self.peak_tx_entries = self.peak_tx_entries.max(resident);
     }
 
@@ -1792,11 +1689,11 @@ impl System {
         }
         let mut ic = gtr_sim::stats::HitMiss::new();
         let mut ic_resident = 0u64;
-        for icache in &self.icaches {
+        for icache in &self.shared.icaches {
             ic.merge(icache.stats().tx_lookups);
             ic_resident += icache.resident_tx() as u64;
         }
-        let l2 = self.l2_tlb.stats();
+        let l2 = self.shared.l2_tlb.stats();
         EpochStats {
             cycle,
             translation_requests: self.translation_requests,
@@ -1808,9 +1705,9 @@ impl System {
             lds_tx_misses: lds.misses,
             ic_tx_hits: ic.hits,
             ic_tx_misses: ic.misses,
-            page_walks: self.iommu.walks(),
+            page_walks: self.shared.iommu.walks(),
             instructions: self.instructions,
-            dram_accesses: self.mem.dram().reads() + self.mem.dram().writes(),
+            dram_accesses: self.shared.mem.dram().reads() + self.shared.mem.dram().writes(),
             resident_tx: lds_resident + ic_resident,
             lds_resident_tx: lds_resident,
             ic_resident_tx: ic_resident,
@@ -1847,7 +1744,7 @@ impl System {
         let mut ic_tx = gtr_sim::stats::HitMiss::new();
         let mut inst_fetch = gtr_sim::stats::HitMiss::new();
         let mut ic_idle = Sampler::new();
-        for ic in &self.icaches {
+        for ic in &self.shared.icaches {
             ic_tx.merge(ic.stats().tx_lookups);
             inst_fetch.merge(ic.stats().inst);
             for &v in ic.port().idle_gaps().samples() {
@@ -1880,17 +1777,17 @@ impl System {
             thread_instructions: self.instructions * self.gpu.threads_per_wave as u64,
             translation_requests: self.translation_requests,
             l1_tlb: l1,
-            l2_tlb: self.l2_tlb.stats(),
+            l2_tlb: self.shared.l2_tlb.stats(),
             lds_tx,
             ic_tx,
             inst_fetch,
-            page_walks: self.iommu.walks(),
-            pte_accesses: self.iommu.stats().pte_accesses,
-            dev_l1_tlb: self.iommu.stats().dev_l1,
-            dev_l2_tlb: self.iommu.stats().dev_l2,
-            pwc_pmd: self.iommu.pwc_stats().2,
-            dram_accesses: self.mem.dram().reads() + self.mem.dram().writes(),
-            dram_energy_nj: self.mem.dram_energy_nj(t_end),
+            page_walks: self.shared.iommu.walks(),
+            pte_accesses: self.shared.iommu.stats().pte_accesses,
+            dev_l1_tlb: self.shared.iommu.stats().dev_l1,
+            dev_l2_tlb: self.shared.iommu.stats().dev_l2,
+            pwc_pmd: self.shared.iommu.pwc_stats().2,
+            dram_accesses: self.shared.mem.dram().reads() + self.shared.mem.dram().writes(),
+            dram_energy_nj: self.shared.mem.dram_energy_nj(t_end),
             peak_tx_entries: self.peak_tx_entries,
             tx_shared_fraction: shared,
             kernels,
@@ -1920,8 +1817,8 @@ impl System {
         let mut out = String::new();
         out.push_str(&format!(
             "l2_tlb_port intervals={} | walks={}\n",
-            self.l2_port.interval_count(),
-            self.iommu.walks(),
+            self.shared.l2_port.interval_count(),
+            self.shared.iommu.walks(),
         ));
         for (i, cu) in self.cus.iter().enumerate() {
             out.push_str(&format!(
@@ -1932,7 +1829,7 @@ impl System {
                 cu.pending.len(),
             ));
         }
-        for (i, ic) in self.icaches.iter().enumerate() {
+        for (i, ic) in self.shared.icaches.iter().enumerate() {
             out.push_str(&format!("ic{i}: port acc={}\n", ic.port().accesses()));
         }
         let names = ["l1hit", "merged", "lds", "ic", "l2", "walk"];
@@ -1955,9 +1852,9 @@ impl System {
         ));
         out.push_str(&format!(
             "dram reads={} writes={} rowhit={:.2} | merged={} treq={}\n",
-            self.mem.dram().reads(),
-            self.mem.dram().writes(),
-            self.mem.dram().row_hit_rate(),
+            self.shared.mem.dram().reads(),
+            self.shared.mem.dram().writes(),
+            self.shared.mem.dram().row_hit_rate(),
             self.merged_requests,
             self.translation_requests,
         ));

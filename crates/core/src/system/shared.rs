@@ -1,0 +1,142 @@
+//! The GPU-shared half of the translation/memory hierarchy.
+//!
+//! [`SharedHierarchy`] groups every structure that is *not* private to
+//! a compute unit: the per-CU-group reconfigurable I-caches, the
+//! GPU-shared L2 TLB and its port, the IOMMU (device TLBs, page-walk
+//! caches, walkers), the memory system (L2 data cache + DRAM), the
+//! page tables, and an optional side translation cache (DUCATI).
+//!
+//! The split matters for parallelism: a CU shard may freely mutate its
+//! own [`Cu`](super::cu::Cu) state, but every touch of this struct is
+//! a shared-level request that must reach the hierarchy in the
+//! deterministic `(cycle, shard, seq)` merge order (see
+//! `gtr_sim::shard` and ARCHITECTURE §8) — the type boundary makes the
+//! synchronization surface explicit and borrow-checkable.
+
+use gtr_gpu::config::GpuConfig;
+use gtr_mem::system::MemorySystem;
+use gtr_sim::resource::Timeline;
+use gtr_sim::Cycle;
+use gtr_vm::addr::{Ppn, Translation, TranslationKey};
+use gtr_vm::iommu::Iommu;
+use gtr_vm::page_table::PageTable;
+use gtr_vm::tlb::Tlb;
+use gtr_vm::walk::PteAccess;
+
+use crate::config::ReachConfig;
+use crate::icache_tx::TxIcache;
+
+/// An additional translation repository consulted between the L2 TLB
+/// and the IOMMU (DUCATI implements this in `gtr-ducati`).
+pub trait TranslationSideCache: std::fmt::Debug {
+    /// Looks up `key` starting at `now`; returns `(done, ppn)` on hit.
+    fn lookup(
+        &mut self,
+        now: Cycle,
+        key: TranslationKey,
+        mem: &mut MemorySystem,
+    ) -> Option<(Cycle, Ppn)>;
+
+    /// Stores an L2-TLB victim.
+    fn fill(&mut self, now: Cycle, tx: Translation, mem: &mut MemorySystem);
+
+    /// Functional-warming twin of [`Self::lookup`]: resolves `key`
+    /// from the side cache's current contents with no timing and no
+    /// memory traffic, so fast-forward windows and checkpoint restores
+    /// keep the side cache's *resident set* evolving exactly as a
+    /// detailed run would. The default body makes the side cache
+    /// invisible to functional warming (always a miss) — implementors
+    /// that want sampled-mode fidelity override it.
+    fn lookup_functional(&mut self, key: TranslationKey) -> Option<Ppn> {
+        let _ = key;
+        None
+    }
+
+    /// Functional-warming twin of [`Self::fill`]: installs an L2-TLB
+    /// victim with no memory traffic. Default: drop it.
+    fn fill_functional(&mut self, tx: Translation) {
+        let _ = tx;
+    }
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Adapter letting the IOMMU's page walker issue PTE reads through the
+/// shared memory system.
+pub(super) struct PteMem<'a>(pub(super) &'a mut MemorySystem);
+
+impl PteAccess for PteMem<'_> {
+    fn access(&mut self, now: Cycle, addr: gtr_vm::addr::PhysAddr) -> Cycle {
+        self.0.read(now, addr.raw())
+    }
+}
+
+/// Everything shared across compute units: the structures below the
+/// per-CU boundary of the Fig-12 path, plus the page tables and DRAM.
+#[derive(Debug)]
+pub(super) struct SharedHierarchy {
+    /// One page table per 2-bit address space (§7.2 multi-application
+    /// scenarios); single-app traces only touch space 0.
+    pub(super) page_tables: Vec<PageTable>,
+    pub(super) iommu: Iommu,
+    pub(super) l2_tlb: Tlb,
+    pub(super) l2_port: Timeline,
+    pub(super) mem: MemorySystem,
+    pub(super) icaches: Vec<TxIcache>,
+    /// One fill engine per I-cache group: instruction misses serialize
+    /// here (a fetch unit has a single outstanding-miss register), so a
+    /// policy that lets translations evict hot code pays with front-end
+    /// bandwidth — the effect behind Fig 13a's naive-replacement bar.
+    pub(super) fetch_fill: Vec<Timeline>,
+    pub(super) side_cache: Option<Box<dyn TranslationSideCache>>,
+}
+
+impl SharedHierarchy {
+    /// Builds the cold shared hierarchy for a machine configuration.
+    pub(super) fn new(gpu: &GpuConfig, reach: &ReachConfig) -> Self {
+        Self {
+            page_tables: (0..4)
+                .map(|i| {
+                    PageTable::with_ids(
+                        gpu.page_size,
+                        gtr_vm::addr::VmId::new(i),
+                        gtr_vm::addr::VrfId::default(),
+                    )
+                })
+                .collect(),
+            iommu: Iommu::new(gpu.iommu),
+            l2_tlb: Tlb::new(gpu.l2_tlb),
+            l2_port: Timeline::new(),
+            mem: MemorySystem::new(gpu.memory),
+            icaches: (0..gpu.icache_count())
+                .map(|_| {
+                    TxIcache::new(
+                        gpu.icache_bytes,
+                        gpu.icache_assoc,
+                        reach.tx_per_line,
+                        reach.replacement,
+                    )
+                })
+                .collect(),
+            fetch_fill: (0..gpu.icache_count()).map(|_| Timeline::new()).collect(),
+            side_cache: None,
+        }
+    }
+
+    /// Zeroes the shared structures' measurement counters while leaving
+    /// their functional contents warm.
+    pub(super) fn reset_stats(&mut self) {
+        for ic in &mut self.icaches {
+            ic.reset_stats();
+        }
+        self.l2_tlb.reset_stats();
+        self.iommu.reset_stats();
+    }
+
+    /// Translation entries currently resident in the reconfigurable
+    /// I-caches (the shared half of the peak-occupancy census).
+    pub(super) fn resident_tx_icache(&self) -> usize {
+        self.icaches.iter().map(TxIcache::resident_tx).sum()
+    }
+}

@@ -161,6 +161,43 @@ impl<K: FastKey, V> FastMap<K, V> {
         self.probe(key).1
     }
 
+    /// Presence bitmask for a small batch of keys: bit `i` is set when
+    /// `keys[i]` is in the map.
+    ///
+    /// The batch runs as two struct-of-arrays passes: one fixed-trip
+    /// loop hashing every key (vectorizable — the SplitMix64 finalizer
+    /// is straight-line multiply/xor work) and one probe loop over the
+    /// precomputed home slots, so consecutive probes overlap their
+    /// cache misses instead of serializing hash→probe→hash→probe as
+    /// repeated [`Self::contains`] calls would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len() > 64` (one wavefront's deduped lanes).
+    pub fn contains_many(&self, keys: &[K]) -> u64 {
+        assert!(keys.len() <= 64, "batch wider than a wavefront");
+        let mask = self.mask();
+        let mut homes = [0usize; 64];
+        for (h, &k) in homes.iter_mut().zip(keys) {
+            *h = (mix(k.hash64()) as usize) & mask;
+        }
+        let mut present = 0u64;
+        for (i, (&home, &key)) in homes.iter().zip(keys).enumerate() {
+            let mut j = home;
+            loop {
+                match &self.slots[j] {
+                    None => break,
+                    Some((k, _)) if *k == key => {
+                        present |= 1 << i;
+                        break;
+                    }
+                    _ => j = (j + 1) & mask,
+                }
+            }
+        }
+        present
+    }
+
     /// Inserts `key -> value`, returning the previous value if any.
     #[inline]
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
@@ -328,6 +365,33 @@ mod tests {
         fast_pairs.sort_unstable();
         std_pairs.sort_unstable();
         assert_eq!(fast_pairs, std_pairs);
+    }
+
+    #[test]
+    fn contains_many_matches_contains() {
+        let mut rng = SplitMix64::new(0xBA7C);
+        let mut m: FastMap<u64, u64> = FastMap::new();
+        for _ in 0..300 {
+            m.insert(rng.next_below(512), 0);
+        }
+        let batch: Vec<u64> = (0..64).map(|_| rng.next_below(512)).collect();
+        for width in [0, 1, 7, 64] {
+            let keys = &batch[..width];
+            let mask = m.contains_many(keys);
+            for (i, &k) in keys.iter().enumerate() {
+                assert_eq!(mask & (1 << i) != 0, m.contains(k), "key {k} at lane {i}");
+            }
+            if width < 64 {
+                assert_eq!(mask >> width, 0, "no stray bits past the batch");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wavefront")]
+    fn contains_many_rejects_wide_batches() {
+        let m: FastMap<u64, u64> = FastMap::new();
+        m.contains_many(&[0; 65]);
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   behind the schema-v2 stats export),
 //! * [`rng`] — a tiny seeded `SplitMix64` generator so that core
 //!   simulation code does not need an external RNG dependency,
+//! * [`shard`] — per-shard ordered buffers with a deterministic
+//!   epoch-barrier merge (`(cycle, shard, seq)` total order), the
+//!   discipline that keeps partitioned simulation bit-reproducible
+//!   for any worker count,
 //! * [`trace`] — the zero-cost-when-disabled structured-event tracing
 //!   hook ([`trace::TraceSink`], JSONL sink, typed lifecycle events),
 //! * [`json`] — a dependency-free JSON tree/parser backing the JSONL
@@ -55,6 +59,7 @@ pub mod hist;
 pub mod json;
 pub mod resource;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod trace;
 

@@ -1,0 +1,314 @@
+//! Deterministic shard buffers and epoch-barrier merging.
+//!
+//! When simulation work is partitioned across a thread pool — CU
+//! shards inside a run, or app×variant cells across a matrix — each
+//! worker produces results in its own order, and that order depends
+//! on scheduling. Reproducibility therefore cannot come from arrival
+//! order; it must come from a *merge key* that is a pure function of
+//! the work itself. This module provides that discipline:
+//!
+//! * each shard appends into its **own** ordered buffer (no
+//!   cross-shard interleaving to observe),
+//! * a barrier drains all buffers through a single deterministic
+//!   merge, ordered by `(cycle, shard id, per-shard sequence)`.
+//!
+//! Because the key never mentions *when* a shard ran or finished, the
+//! merged order is invariant under any permutation or interleaving of
+//! shard execution — the property the parallel determinism battery
+//! asserts, and the same discipline the bench harness' work-stealing
+//! cell scheduler enforces via result indices.
+//!
+//! # Example
+//!
+//! ```
+//! use gtr_sim::shard::ShardQueue;
+//!
+//! let mut q = ShardQueue::new(2);
+//! q.push(1, 40, "late shard first");
+//! q.push(0, 40, "same cycle, lower shard wins");
+//! q.push(0, 10, "earliest cycle first");
+//! let drained: Vec<&str> = q.drain_ordered().map(|e| e.payload).collect();
+//! assert_eq!(drained, vec![
+//!     "earliest cycle first",
+//!     "same cycle, lower shard wins",
+//!     "late shard first",
+//! ]);
+//! ```
+
+use crate::Cycle;
+
+/// One buffered shared-level request: the merge key plus its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEntry<T> {
+    /// Simulated cycle at which the request was issued.
+    pub cycle: Cycle,
+    /// Shard (e.g. CU or worker) that issued it.
+    pub shard: u32,
+    /// Issue sequence within the shard (FIFO tie-break).
+    pub seq: u64,
+    /// The request itself.
+    pub payload: T,
+}
+
+impl<T> ShardEntry<T> {
+    /// The deterministic merge key: issue cycle, then shard id, then
+    /// the shard-local sequence number.
+    #[inline]
+    pub fn key(&self) -> (Cycle, u32, u64) {
+        (self.cycle, self.shard, self.seq)
+    }
+}
+
+/// Per-shard ordered buffers with a deterministic epoch-barrier merge.
+///
+/// Shards push concurrently-produced work into disjoint buffers; at an
+/// epoch barrier the owner drains every buffer through one total order
+/// given by [`ShardEntry::key`]. The drain is stable and independent
+/// of both push interleaving across shards and the order the shard
+/// buffers are presented in.
+#[derive(Debug, Clone)]
+pub struct ShardQueue<T> {
+    shards: Vec<Vec<ShardEntry<T>>>,
+    seqs: Vec<u64>,
+}
+
+impl<T> ShardQueue<T> {
+    /// A queue with `shards` empty per-shard buffers.
+    pub fn new(shards: usize) -> Self {
+        Self { shards: (0..shards).map(|_| Vec::new()).collect(), seqs: vec![0; shards] }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total buffered entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no entries are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(Vec::is_empty)
+    }
+
+    /// Appends `payload` to `shard`'s buffer, stamped with the issue
+    /// `cycle` and the shard's next sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn push(&mut self, shard: u32, cycle: Cycle, payload: T) {
+        let s = shard as usize;
+        let seq = self.seqs[s];
+        self.seqs[s] += 1;
+        self.shards[s].push(ShardEntry { cycle, shard, seq, payload });
+    }
+
+    /// Mutable access to one shard's buffer, for handing out to a
+    /// worker that owns the shard for an epoch. The buffer already
+    /// carries its stamps, so the owner can only append via
+    /// [`ShardQueue::push`] after the epoch.
+    pub fn shard(&self, shard: u32) -> &[ShardEntry<T>] {
+        &self.shards[shard as usize]
+    }
+
+    /// Drains every shard and yields all entries in the deterministic
+    /// merge order `(cycle, shard, seq)`.
+    ///
+    /// Within one shard the buffer is already sorted by `(cycle, seq)`
+    /// when pushes happen in nondecreasing cycle order (the common
+    /// case: a shard simulates its epoch forward in time), so this is
+    /// a k-way merge; out-of-order pushes are handled by a sort that
+    /// is total on the key, keeping the result independent of push
+    /// order.
+    pub fn drain_ordered(&mut self) -> impl Iterator<Item = ShardEntry<T>> {
+        let mut all: Vec<ShardEntry<T>> =
+            self.shards.iter_mut().flat_map(std::mem::take).collect();
+        all.sort_by_key(ShardEntry::key);
+        all.into_iter()
+    }
+}
+
+/// Merges externally-produced shard buffers into the deterministic
+/// total order — the barrier half of [`ShardQueue`], usable when each
+/// worker returns its buffer by value (the bench pool's shape).
+///
+/// The result is invariant under any permutation of `buffers`: the
+/// order comes entirely from each entry's key, never from buffer
+/// position. Callers stamp entries with the true shard id before
+/// handing buffers over.
+pub fn merge_ordered<T>(buffers: Vec<Vec<ShardEntry<T>>>) -> Vec<ShardEntry<T>> {
+    let mut all: Vec<ShardEntry<T>> = buffers.into_iter().flatten().collect();
+    all.sort_by_key(ShardEntry::key);
+    all
+}
+
+/// An epoch barrier: tracks the boundary cycle shards may simulate up
+/// to before their shared-level requests must be merged.
+///
+/// The discipline: per epoch `[start, end)`, every shard simulates its
+/// private state freely, buffering any request that touches shared
+/// state; at the barrier the merged drain replays those requests
+/// against the shared hierarchy in `(cycle, shard, seq)` order. Any
+/// epoch length gives the same merged sequence — shorter epochs only
+/// shrink how much private progress happens between merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochBarrier {
+    epoch_len: Cycle,
+    end: Cycle,
+    epochs: u64,
+}
+
+impl EpochBarrier {
+    /// A barrier with epochs of `epoch_len` cycles, the first ending
+    /// at `epoch_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_len == 0`.
+    pub fn new(epoch_len: Cycle) -> Self {
+        assert!(epoch_len > 0, "epoch length must be positive");
+        Self { epoch_len, end: epoch_len, epochs: 0 }
+    }
+
+    /// Exclusive end of the current epoch: shards may simulate events
+    /// strictly before this cycle without synchronizing.
+    pub fn boundary(&self) -> Cycle {
+        self.end
+    }
+
+    /// Whether an event at `cycle` crosses the current epoch and so
+    /// requires a merge first.
+    #[inline]
+    pub fn crosses(&self, cycle: Cycle) -> bool {
+        cycle >= self.end
+    }
+
+    /// Advances past the barrier until `cycle` fits inside the current
+    /// epoch; returns how many epochs were closed.
+    pub fn advance_to(&mut self, cycle: Cycle) -> u64 {
+        let mut closed = 0;
+        while self.crosses(cycle) {
+            // Jump straight to the epoch containing `cycle` — closing
+            // k empty epochs one by one merges nothing k times.
+            let skipped = (cycle - self.end) / self.epoch_len + 1;
+            self.end += skipped * self.epoch_len;
+            closed += skipped;
+        }
+        self.epochs += closed;
+        closed
+    }
+
+    /// Total epochs closed so far.
+    pub fn epochs_closed(&self) -> u64 {
+        self.epochs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn drain_orders_by_cycle_then_shard_then_seq() {
+        let mut q: ShardQueue<u32> = ShardQueue::new(3);
+        q.push(2, 100, 0);
+        q.push(0, 100, 1);
+        q.push(1, 50, 2);
+        q.push(0, 100, 3);
+        let keys: Vec<(Cycle, u32, u64)> = q.drain_ordered().map(|e| e.key()).collect();
+        assert_eq!(keys, vec![(50, 1, 0), (100, 0, 0), (100, 0, 1), (100, 2, 0)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn seq_restarts_do_not_collide_across_shards() {
+        let mut q: ShardQueue<&str> = ShardQueue::new(2);
+        q.push(0, 7, "a");
+        q.push(1, 7, "b");
+        // Same cycle, same per-shard seq (0): shard id breaks the tie.
+        let order: Vec<&str> = q.drain_ordered().map(|e| e.payload).collect();
+        assert_eq!(order, vec!["a", "b"]);
+    }
+
+    /// The determinism property the battery relies on: the merged
+    /// order never depends on the interleaving in which shards pushed,
+    /// nor on the order shard buffers are presented to the merge.
+    #[test]
+    fn merge_is_invariant_under_shard_permutation() {
+        let mut rng = SplitMix64::new(0x5AAD);
+        for trial in 0..50 {
+            // Build per-shard buffers with random cycles (nondecreasing
+            // within a shard, like a forward-simulating worker).
+            let shards = 1 + (trial % 7) as usize;
+            let mut buffers: Vec<Vec<ShardEntry<u64>>> = Vec::new();
+            for s in 0..shards {
+                let mut cycle = 0;
+                let mut buf = Vec::new();
+                for seq in 0..rng.next_below(20) {
+                    cycle += rng.next_below(5);
+                    buf.push(ShardEntry { cycle, shard: s as u32, seq, payload: rng.next_u64() });
+                }
+                buffers.push(buf);
+            }
+            let reference = merge_ordered(buffers.clone());
+            // Fisher-Yates over the buffer vector: any presentation
+            // order must reproduce the reference merge exactly.
+            let mut shuffled = buffers.clone();
+            for i in (1..shuffled.len()).rev() {
+                let j = rng.next_below(i as u64 + 1) as usize;
+                shuffled.swap(i, j);
+            }
+            assert_eq!(merge_ordered(shuffled), reference, "trial {trial}");
+            // Reversal, the adversarial permutation for stable sorts.
+            let mut reversed = buffers;
+            reversed.reverse();
+            assert_eq!(merge_ordered(reversed), reference, "trial {trial} reversed");
+        }
+    }
+
+    #[test]
+    fn interleaved_pushes_match_sequential_pushes() {
+        // Two push schedules of the same logical work: shard-major and
+        // round-robin. The drains must be identical.
+        let mut a: ShardQueue<u64> = ShardQueue::new(2);
+        for s in 0..2u32 {
+            for i in 0..5u64 {
+                a.push(s, i * 10, s as u64 * 100 + i);
+            }
+        }
+        let mut b: ShardQueue<u64> = ShardQueue::new(2);
+        for i in 0..5u64 {
+            for s in 0..2u32 {
+                b.push(s, i * 10, s as u64 * 100 + i);
+            }
+        }
+        let da: Vec<_> = a.drain_ordered().collect();
+        let db: Vec<_> = b.drain_ordered().collect();
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn epoch_barrier_advances_and_counts() {
+        let mut b = EpochBarrier::new(100);
+        assert_eq!(b.boundary(), 100);
+        assert!(!b.crosses(99));
+        assert!(b.crosses(100));
+        assert_eq!(b.advance_to(99), 0);
+        assert_eq!(b.advance_to(100), 1);
+        assert_eq!(b.boundary(), 200);
+        // A long jump closes all the empty epochs in between at once.
+        assert_eq!(b.advance_to(1_050), 9);
+        assert_eq!(b.boundary(), 1_100);
+        assert_eq!(b.epochs_closed(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_epoch_rejected() {
+        let _ = EpochBarrier::new(0);
+    }
+}

@@ -18,6 +18,11 @@ pub struct CoalescedAccess {
     pub pages: Vec<Vpn>,
     /// Unique 64-byte virtual lines touched, in first-lane order.
     pub lines: Vec<u64>,
+    /// For each entry of `lines`, the index into `pages` of the page
+    /// containing it — computed during coalescing so consumers pairing
+    /// per-line work with per-page results index directly instead of
+    /// re-searching `pages` for every line.
+    pub line_pages: Vec<u32>,
     /// Number of active lanes that contributed.
     pub active_lanes: usize,
 }
@@ -35,32 +40,43 @@ impl CoalescedAccess {
     pub fn assign_from_lanes(&mut self, addrs: &[VirtAddr], page_size: PageSize) {
         self.pages.clear();
         self.lines.clear();
+        self.line_pages.clear();
         if addrs.len() > LANE_SET_SLOTS / 2 {
             // Wider than a hardware wavefront: keep the simple scan.
             for &a in addrs {
                 let vpn = a.vpn(page_size);
-                if !self.pages.contains(&vpn) {
-                    self.pages.push(vpn);
-                }
+                let page_idx = match self.pages.iter().position(|&p| p == vpn) {
+                    Some(i) => i as u32,
+                    None => {
+                        self.pages.push(vpn);
+                        (self.pages.len() - 1) as u32
+                    }
+                };
                 let line = a.line();
                 if !self.lines.contains(&line) {
                     self.lines.push(line);
+                    self.line_pages.push(page_idx);
                 }
             }
         } else {
             // Membership lives in two stack-resident open-addressed
             // tables (≤64 lanes → ≤50% load) instead of rescanning the
             // output vectors per lane; push order stays first-lane.
-            let mut page_set = [LANE_SET_EMPTY; LANE_SET_SLOTS];
-            let mut line_set = [LANE_SET_EMPTY; LANE_SET_SLOTS];
+            let mut page_set = LaneSet::new();
+            let mut line_set = LaneSet::new();
             for &a in addrs {
                 let vpn = a.vpn(page_size);
-                if lane_set_insert(&mut page_set, vpn.0) {
-                    self.pages.push(vpn);
-                }
+                let page_idx = match page_set.insert(vpn.0, self.pages.len() as u32) {
+                    None => {
+                        self.pages.push(vpn);
+                        (self.pages.len() - 1) as u32
+                    }
+                    Some(existing) => existing,
+                };
                 let line = a.line();
-                if lane_set_insert(&mut line_set, line) {
+                if line_set.insert(line, self.lines.len() as u32).is_none() {
                     self.lines.push(line);
+                    self.line_pages.push(page_idx);
                 }
             }
         }
@@ -85,20 +101,40 @@ const LANE_SET_SLOTS: usize = 128;
 /// right, so `u64::MAX` can never be a live key.
 const LANE_SET_EMPTY: u64 = u64::MAX;
 
-/// Inserts `v` into the open-addressed table; returns `true` when `v`
-/// was not already present.
-fn lane_set_insert(set: &mut [u64; LANE_SET_SLOTS], v: u64) -> bool {
-    let mut i = (v.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 57) as usize;
-    loop {
-        let slot = set[i];
-        if slot == LANE_SET_EMPTY {
-            set[i] = v;
-            return true;
+/// Stack-resident open-addressed key→index map for one instruction's
+/// lane dedup. Keys are page/line numbers; values are the output-vector
+/// index recorded at first insertion, so duplicates resolve back to the
+/// original entry without rescanning the output.
+struct LaneSet {
+    keys: [u64; LANE_SET_SLOTS],
+    vals: [u32; LANE_SET_SLOTS],
+}
+
+impl LaneSet {
+    fn new() -> Self {
+        LaneSet {
+            keys: [LANE_SET_EMPTY; LANE_SET_SLOTS],
+            vals: [0; LANE_SET_SLOTS],
         }
-        if slot == v {
-            return false;
+    }
+
+    /// Inserts `key` with `val`; returns `None` when `key` was new (the
+    /// caller should push the corresponding output entry) or
+    /// `Some(stored)` with the value recorded at first insertion.
+    fn insert(&mut self, key: u64, val: u32) -> Option<u32> {
+        let mut i = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 57) as usize;
+        loop {
+            let slot = self.keys[i];
+            if slot == LANE_SET_EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = val;
+                return None;
+            }
+            if slot == key {
+                return Some(self.vals[i]);
+            }
+            i = (i + 1) & (LANE_SET_SLOTS - 1);
         }
-        i = (i + 1) & (LANE_SET_SLOTS - 1);
     }
 }
 
@@ -148,6 +184,7 @@ mod tests {
         let c = CoalescedAccess::from_lanes(&addrs, PageSize::Size4K);
         assert_eq!(c.pages.len(), 1);
         assert_eq!(c.lines.len(), 4); // 64 lanes * 4B = 256B = 4 lines
+        assert_eq!(c.line_pages, vec![0, 0, 0, 0]);
         assert_eq!(c.active_lanes, 64);
         assert!((c.page_divergence() - 1.0 / 64.0).abs() < 1e-9);
     }
@@ -188,7 +225,26 @@ mod tests {
         c.assign_from_lanes(&[va(4096)], PageSize::Size4K);
         assert_eq!(c.pages, vec![Vpn(1)]);
         assert_eq!(c.lines, vec![64]);
+        assert_eq!(c.line_pages, vec![0]);
         assert_eq!(c.active_lanes, 1);
+    }
+
+    #[test]
+    fn line_pages_maps_each_line_to_its_page() {
+        // Mixed pattern: duplicate pages and lines, out-of-order lanes,
+        // checked against the definition for both dedup strategies (the
+        // stack table below the 64-lane cutoff, the scan above it).
+        let addrs: Vec<_> = (0..100u64)
+            .map(|i| va((i % 7) * 4096 + (i * 192) % 4096))
+            .collect();
+        for width in [addrs.len(), 32] {
+            let c = CoalescedAccess::from_lanes(&addrs[..width], PageSize::Size4K);
+            assert_eq!(c.line_pages.len(), c.lines.len());
+            for (line, &pi) in c.lines.iter().zip(&c.line_pages) {
+                // A 64B line lies entirely inside one 4K page.
+                assert_eq!(va(line * 64).vpn(PageSize::Size4K), c.pages[pi as usize]);
+            }
+        }
     }
 
     #[test]

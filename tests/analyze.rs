@@ -3,7 +3,9 @@
 //! reproducible from the trace alone — and every committed fixture
 //! must keep parsing.
 
-use gpu_translation_reach::bench::analyze::{check_against_stats, diff_stats, replay_jsonl};
+use gpu_translation_reach::bench::analyze::{
+    check_against_stats, diff_stats, missing_metrics, replay_jsonl,
+};
 use gpu_translation_reach::core_arch::config::ReachConfig;
 use gpu_translation_reach::core_arch::export::{
     run_stats_from_json, run_stats_to_json_string, STATS_SCHEMA_VERSION,
@@ -146,4 +148,31 @@ fn diff_is_zero_on_self_and_nonzero_on_mutation() {
     assert!(row.rel > 0.09 && row.rel < 0.11, "≈+10%: {}", row.rel);
     // Distribution quantiles appear because both sides recorded them.
     assert!(rows.iter().any(|r| r.metric.starts_with("latency.walk.")));
+}
+
+/// Regression: a diff between a document with distributions and one
+/// without used to silently compare only the scalar intersection.
+/// [`missing_metrics`] must flag the asymmetry so `gtr-analyze --diff`
+/// can exit non-zero instead.
+#[test]
+fn diff_against_scalar_only_document_is_flagged_incomplete() {
+    let with_dists = run_stats_from_json(&Json::parse(&fixture("gups_ic_lds_tiny.json")).unwrap())
+        .expect("v2 fixture matches schema");
+    let scalar_only = run_stats_from_json(&Json::parse(&fixture("gups_ic_lds_tiny_v1.json")).unwrap())
+        .expect("v1 fixture matches schema");
+    assert!(with_dists.dist_enabled && !scalar_only.dist_enabled);
+    // Same run: the headline counters agree (v1 predates cycle
+    // attribution, so those rows legitimately differ)...
+    let rows = diff_stats(&with_dists, &scalar_only);
+    for metric in ["total_cycles", "translation_requests", "page_walks"] {
+        let row = rows.iter().find(|r| r.metric == metric).unwrap();
+        assert_eq!(row.rel, 0.0, "{metric} should match across schema versions");
+    }
+    // ...but the documents are not equivalent, and that must be visible.
+    let missing = missing_metrics(&with_dists, &scalar_only);
+    assert!(
+        missing.iter().any(|m| m.contains("distribution") && m.contains("first document")),
+        "asymmetric distributions must be reported: {missing:?}"
+    );
+    assert!(missing_metrics(&with_dists, &with_dists).is_empty());
 }

@@ -1,0 +1,116 @@
+//! Worker-count determinism battery: the matrix harness must produce
+//! **byte-identical** exported stats for any `--threads` value.
+//!
+//! Each matrix cell is an independent deterministic simulation; the
+//! worker pool only changes which OS thread runs which cell, and the
+//! `(cycle, shard, seq)` merge (`gtr_sim::shard`, ARCHITECTURE §8)
+//! makes result assembly order-independent. These tests pin that
+//! contract end to end: the full schema-v4 JSON document — every
+//! counter, histogram, and epoch series of every cell across all four
+//! reach variants — compares equal as a string across worker counts,
+//! in both exact and interval-sampled modes.
+
+use gpu_translation_reach::bench::figures;
+use gpu_translation_reach::bench::harness::RunMode;
+use gpu_translation_reach::core_arch::export::STATS_SCHEMA_VERSION;
+use gpu_translation_reach::sim::shard::{merge_ordered, ShardEntry};
+use gpu_translation_reach::workloads::scale::Scale;
+
+/// The tiny main matrix (baseline + lds + ic + ic+lds over the
+/// Table-2 suite) under `workers` threads, exported as one compact
+/// schema-v4 JSON document.
+fn matrix_json(workers: usize, sampled: bool) -> String {
+    let mode = if sampled {
+        // In-memory checkpoints only: a shared disk cache would let
+        // one run observe another's files, which is a separate
+        // concern (covered by the checkpoint_cache tests).
+        RunMode::sampled(figures::sampling_for(Scale::tiny()))
+    } else {
+        RunMode::exact()
+    };
+    let m = figures::main_matrix_mode(Scale::tiny(), false, &mode.with_workers(workers));
+    let mut s = String::new();
+    m.to_json().write_compact(&mut s);
+    s
+}
+
+#[test]
+fn exact_matrix_is_byte_identical_across_worker_counts() {
+    let reference = matrix_json(1, false);
+    assert!(
+        reference.contains(&format!("\"schema_version\":{STATS_SCHEMA_VERSION}"))
+            || reference.contains(&format!("\"schema_version\": {STATS_SCHEMA_VERSION}")),
+        "exported document must carry schema v{STATS_SCHEMA_VERSION}"
+    );
+    for workers in [2, 4, 8] {
+        assert_eq!(
+            matrix_json(workers, false),
+            reference,
+            "exact matrix diverged at --threads {workers}"
+        );
+    }
+}
+
+#[test]
+fn sampled_matrix_is_byte_identical_across_worker_counts() {
+    let reference = matrix_json(1, true);
+    for workers in [2, 4, 8] {
+        assert_eq!(
+            matrix_json(workers, true),
+            reference,
+            "sampled matrix diverged at --threads {workers}"
+        );
+    }
+}
+
+/// Exact and sampled documents must *differ* — otherwise the sampled
+/// test above would be vacuously re-checking the exact path.
+#[test]
+fn sampled_and_exact_documents_are_distinct() {
+    assert_ne!(matrix_json(1, false), matrix_json(1, true));
+}
+
+/// Property: [`merge_ordered`] is invariant under permutation of the
+/// shard buffer list — whichever order workers hand their buffers
+/// back (finish order is scheduler-dependent), the merged sequence is
+/// the same `(cycle, shard, seq)` total order.
+#[test]
+fn shard_merge_is_invariant_under_shard_permutation() {
+    // A deterministic pseudo-random workload: 240 entries over 6
+    // shards with heavily colliding cycles, so ordering actually
+    // exercises the (shard, seq) tie-breakers.
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    const SHARDS: usize = 6;
+    let mut shards: Vec<Vec<ShardEntry<u64>>> = vec![Vec::new(); SHARDS];
+    for i in 0..240u64 {
+        let s = (rand() % SHARDS as u64) as u32;
+        let seq = shards[s as usize].len() as u64;
+        shards[s as usize].push(ShardEntry { cycle: rand() % 16, shard: s, seq, payload: i });
+    }
+
+    let key_seq = |merged: Vec<ShardEntry<u64>>| -> Vec<(u64, u32, u64, u64)> {
+        merged.into_iter().map(|e| (e.cycle, e.shard, e.seq, e.payload)).collect()
+    };
+    let reference = key_seq(merge_ordered(shards.clone()));
+    assert!(reference.windows(2).all(|w| (w[0].0, w[0].1, w[0].2) < (w[1].0, w[1].1, w[1].2)));
+
+    // Rotations and a reversal cover distinct buffer-arrival orders.
+    for rotation in 1..SHARDS {
+        let mut permuted = shards.clone();
+        permuted.rotate_left(rotation);
+        assert_eq!(
+            key_seq(merge_ordered(permuted)),
+            reference,
+            "merge depends on buffer order (rotation {rotation})"
+        );
+    }
+    let mut reversed = shards.clone();
+    reversed.reverse();
+    assert_eq!(key_seq(merge_ordered(reversed)), reference);
+}
