@@ -52,6 +52,32 @@ cargo run --release -q -p gtr-bench --bin gtr-analyze -- \
 cargo run --release -q -p gtr-bench --bin gtr-analyze -- \
     --diff "$CI_OUT/run.json" experiments/gups_ic_lds_tiny.json
 
+# Tenancy smoke: the 2-tenant tiny sweep under all three sharing
+# policies (TENANCY.md) plus the shootdown-storm churn scenario. The
+# sweep matrices export as schema-v5 documents whose per-tenant
+# records validate_stats checks against the tenancy invariants
+# (counters sum to run totals, VM-IDs ordered, slowdowns finite); the
+# untenanted solo anchor must still stamp schema v4. Budget-gated
+# like the other smokes (locally ~4 s).
+TENANCY_BUDGET_S=120
+TENANCY_START=$(date +%s)
+rm -rf "$CI_OUT/tenancy"
+cargo run --release -q -p gtr-bench --bin tenancy -- --tiny --tenants 2 --policy all \
+    --stats-out "$CI_OUT/tenancy" > "$CI_OUT/tenancy_smoke.txt" 2>/dev/null
+TENANCY_ELAPSED=$(( $(date +%s) - TENANCY_START ))
+grep -q "pages migrated" "$CI_OUT/tenancy_smoke.txt" || {
+    echo "tenancy smoke output is missing the shootdown storm" >&2; exit 1; }
+grep -q '"schema_version":5' "$CI_OUT/tenancy/tenancy_2t_subentry.json" || {
+    echo "tenanted matrix export lost its schema-v5 stamp" >&2; exit 1; }
+grep -q '"schema_version":4' "$CI_OUT/tenancy/tenancy_solo.json" || {
+    echo "untenanted solo export must stay schema v4" >&2; exit 1; }
+cargo run --release -q -p gtr-bench --bin validate_stats -- "$CI_OUT"/tenancy/*.json
+if [ "$TENANCY_ELAPSED" -gt "$TENANCY_BUDGET_S" ]; then
+    echo "tenancy smoke took ${TENANCY_ELAPSED}s (budget ${TENANCY_BUDGET_S}s)" >&2
+    exit 1
+fi
+echo "tenancy smoke: ${TENANCY_ELAPSED}s (budget ${TENANCY_BUDGET_S}s)"
+
 # Sampled paper-scale smoke cell: one app, two variants, full paper
 # scale under interval sampling. The first run captures the warmup
 # checkpoint, the second must reuse it from the cache; both stats

@@ -25,6 +25,14 @@
 //! `--threads N` pins the matrix worker-thread count (default: the
 //! machine's available parallelism). Results are bit-identical for
 //! any value — only wall time changes.
+//!
+//! `--tenants` appends the multi-tenancy figure family (the
+//! tenant-count sweep and the shootdown-storm churn scenario,
+//! TENANCY.md) to the battery; their metadata joins the exported
+//! `figures` array. Off by default — the paper's own figures are
+//! single-tenant, and the default battery output stays byte-identical
+//! to its pre-tenancy form. The standalone `tenancy` binary offers
+//! finer control (`--tenants N`, `--policy`).
 
 use gtr_bench::harness::RunMode;
 
@@ -74,8 +82,13 @@ fn main() {
         mode = mode.with_workers(n);
     }
 
+    let tenants = args.iter().any(|a| a == "--tenants");
+
     let t = std::time::Instant::now();
-    let (figs, m) = gtr_bench::figures::battery_with_main(scale, &mode);
+    let (mut figs, m) = gtr_bench::figures::battery_with_main(scale, &mode);
+    if tenants {
+        figs.extend(gtr_bench::figures::tenancy_battery(scale, &mode));
+    }
     let wall = t.elapsed();
     println!(
         "{}",

@@ -1,0 +1,146 @@
+//! `tenancy` — the first-class multi-tenancy sweep (TENANCY.md).
+//!
+//! Runs the tenant-count sweep (per-tenant slowdown vs solo across
+//! tenant counts × sharing policies × {baseline, IC+LDS}) and the
+//! shootdown-storm churn stress scenario, then prints both figures.
+//!
+//! ```sh
+//! cargo run --release -p gtr-bench --bin tenancy -- --tiny
+//! cargo run --release -p gtr-bench --bin tenancy -- --scale paper --sample
+//! cargo run --release -p gtr-bench --bin tenancy -- --tiny --tenants 2 --policy subentry
+//! ```
+//!
+//! Flags:
+//!
+//! * `--scale <tiny|quick|paper>` (or `--tiny`/`--quick`) — workload
+//!   scale (default paper).
+//! * `--tenants <2..8>` — sweep a single tenant count instead of the
+//!   default 2/4/8 axis.
+//! * `--policy <partitioned|shared|subentry|all>` — sweep one sharing
+//!   policy (default all three).
+//! * `--sample` — run the sweep under checkpointed interval sampling
+//!   (the storm stays exact: it stresses the invalidation path, not
+//!   the estimator); `--checkpoint-dir <dir>` caches warmup
+//!   checkpoints (default `target/ckpt-cache`).
+//! * `--threads N` — pin the matrix worker count; results are
+//!   bit-identical for any value (TENANCY.md §5).
+//! * `--no-storm` — skip the churn stress scenario.
+//! * `--stats-out <dir>` — write each sweep matrix as a schema-v5
+//!   JSON document (`tenancy_<N>t_<policy>.json`) plus the untenanted
+//!   solo anchor (`tenancy_solo.json`, schema v4) for
+//!   `validate_stats`; `--pretty` indents the documents.
+
+use gtr_bench::figures::{self, TENANCY_COUNTS};
+use gtr_bench::harness::RunMode;
+use gtr_vm::tenancy::SharingPolicy;
+use gtr_workloads::scale::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = scale_from_args(&args);
+    let sample = args.iter().any(|a| a == "--sample");
+    let pretty = args.iter().any(|a| a == "--pretty");
+    let no_storm = args.iter().any(|a| a == "--no-storm");
+    let counts: Vec<u8> = match str_flag(&args, "--tenants") {
+        Some(v) => match v.parse::<u8>() {
+            Ok(n) if (2..=8).contains(&n) => vec![n],
+            _ => {
+                eprintln!("--tenants needs a count in 2..=8 (got {v:?})");
+                std::process::exit(2);
+            }
+        },
+        None => TENANCY_COUNTS.to_vec(),
+    };
+    let policies: Vec<SharingPolicy> = match str_flag(&args, "--policy") {
+        None => SharingPolicy::all().to_vec(),
+        Some(ref v) if v == "all" => SharingPolicy::all().to_vec(),
+        Some(ref v) => match SharingPolicy::parse(v) {
+            Some(p) => vec![p],
+            None => {
+                eprintln!("--policy needs partitioned|shared|subentry|all (got {v:?})");
+                std::process::exit(2);
+            }
+        },
+    };
+    let stats_out = str_flag(&args, "--stats-out");
+    let mut mode = if sample {
+        let dir = str_flag(&args, "--checkpoint-dir")
+            .unwrap_or_else(|| "target/ckpt-cache".to_string());
+        RunMode::sampled(figures::sampling_for(scale)).with_checkpoint_dir(dir)
+    } else {
+        RunMode::exact()
+    };
+    if let Some(v) = str_flag(&args, "--threads") {
+        let n = v.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("--threads needs a worker count");
+            std::process::exit(2);
+        });
+        mode = mode.with_workers(n);
+    }
+
+    let t = std::time::Instant::now();
+    let (solo, ms) = figures::tenancy_matrices_subset(scale, &counts, &policies, &mode);
+    println!("{}", figures::tenancy_sweep_from(&ms));
+    if !no_storm {
+        println!("{}", figures::tenancy_storm(scale));
+    }
+    eprintln!(
+        "tenancy sweep: {} matrices ({} cells) in {:.2}s",
+        ms.len(),
+        ms.iter().map(|(_, _, m)| m.baseline.len() + m.variants[0].1.len()).sum::<usize>(),
+        t.elapsed().as_secs_f64()
+    );
+
+    if let Some(dir) = stats_out {
+        std::fs::create_dir_all(&dir).expect("create stats dir");
+        let write = |path: String, j: gtr_sim::json::Json| {
+            let mut doc = if pretty {
+                j.to_string()
+            } else {
+                let mut s = String::new();
+                j.write_compact(&mut s);
+                s
+            };
+            doc.push('\n');
+            std::fs::write(&path, doc).expect("write stats JSON");
+            eprintln!("stats written to {path}");
+        };
+        write(format!("{dir}/tenancy_solo.json"), solo.to_json());
+        for (n, policy, m) in &ms {
+            write(format!("{dir}/tenancy_{n}t_{policy}.json"), m.to_json());
+        }
+    }
+}
+
+/// Reads the value of `--flag value`.
+fn str_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+            .to_string()
+    })
+}
+
+fn scale_from_args(args: &[String]) -> Scale {
+    if let Some(v) = str_flag(args, "--scale") {
+        return match v.as_str() {
+            "tiny" => Scale::tiny(),
+            "quick" => Scale::quick(),
+            "paper" => Scale::paper(),
+            other => {
+                eprintln!("--scale needs tiny|quick|paper (got {other:?})");
+                std::process::exit(2);
+            }
+        };
+    }
+    if args.iter().any(|a| a == "--quick") {
+        Scale::quick()
+    } else if args.iter().any(|a| a == "--tiny") {
+        Scale::tiny()
+    } else {
+        Scale::paper()
+    }
+}

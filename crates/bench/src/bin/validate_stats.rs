@@ -12,7 +12,10 @@
 //!   agree with the attribution), and — when the record carries a
 //!   schema-v3 `sampling` object — the sampling invariants
 //!   (instruction/cycle partitions add up, extrapolation is
-//!   internally consistent). Matrix documents with a schema-v4
+//!   internally consistent), and — when the record is a schema-v5
+//!   tenanted document — the tenancy invariants (per-tenant counters
+//!   sum to the run totals, VM-IDs are ordered, slowdowns are finite;
+//!   TENANCY.md §4). Matrix documents with a schema-v4
 //!   `figures` array additionally have every figure entry checked
 //!   (named, cell counts consistent, error bounds finite and
 //!   non-negative, exact figures bound-free).
@@ -24,7 +27,7 @@
 
 use gtr_core::export::{
     check_distribution_invariants, check_epoch_invariants, check_sampling_invariants,
-    run_stats_from_json,
+    check_tenancy_invariants, run_stats_from_json,
 };
 use gtr_sim::json::Json;
 
@@ -169,6 +172,7 @@ fn validate_run(j: &Json) -> Result<(), String> {
     let mut problems = check_epoch_invariants(&s);
     problems.extend(check_distribution_invariants(&s, version));
     problems.extend(check_sampling_invariants(&s));
+    problems.extend(check_tenancy_invariants(&s));
     if problems.is_empty() {
         Ok(())
     } else {

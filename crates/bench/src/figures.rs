@@ -22,6 +22,7 @@ use gtr_core::config::{ReachConfig, Replacement, SamplingConfig, SegmentSize, Tx
 use gtr_core::stats::RunStats;
 use gtr_gpu::config::GpuConfig;
 use gtr_vm::addr::PageSize;
+use gtr_vm::tenancy::SharingPolicy;
 use gtr_workloads::scale::Scale;
 use gtr_workloads::suite;
 
@@ -800,6 +801,282 @@ fn multi_app_from(m: &Matrix) -> String {
     m.improvement_table("§7.2: two tenants (ATAX+BICG interleaved, distinct VM-IDs)")
 }
 
+/// The applications the tenancy sweep replicates (one copy per
+/// tenant): two translation-sensitive irregular apps and the
+/// random-access worst case, so both contention regimes appear
+/// (TENANCY.md §4).
+pub const TENANCY_APPS: [&str; 3] = ["ATAX", "BICG", "GUPS"];
+
+/// The tenant counts the sweep visits; the 3-bit VM-ID space caps the
+/// axis at [`gtr_vm::tenancy::MAX_TENANTS`].
+pub const TENANCY_COUNTS: [u8; 3] = [2, 4, 8];
+
+/// The solo anchor matrix of the tenancy sweep: each sweep app running
+/// *alone* (tenancy off) under the baseline and IC+LDS machines. Its
+/// kernel-cycle sums are the denominators of every per-tenant
+/// slowdown in the sweep (TENANCY.md §4).
+pub fn tenancy_solo_matrix(scale: Scale, mode: &RunMode) -> Matrix {
+    let apps: Vec<_> = TENANCY_APPS
+        .iter()
+        .map(|n| suite::by_name(n, scale).expect("known app"))
+        .collect();
+    Matrix::run_apps_with_mode(
+        &apps,
+        Variant::new("baseline", ReachConfig::baseline()),
+        vec![Variant::new("IC+LDS", ReachConfig::ic_plus_lds())],
+        mode,
+        mode.resolved_workers(),
+    )
+}
+
+/// One (tenant count × policy) matrix of the tenancy sweep: every
+/// sweep app replicated once per tenant
+/// ([`AppTrace::replicate`](gtr_gpu::kernel::AppTrace::replicate), so
+/// each copy runs in its own address space), under a tenanted baseline
+/// and a tenanted IC+LDS machine. Per-tenant solo bases are filled
+/// from `solo` ([`tenancy_solo_matrix`]) so every cell's tenant
+/// records report slowdowns.
+pub fn tenancy_matrix(
+    scale: Scale,
+    tenants: u8,
+    policy: SharingPolicy,
+    solo: &Matrix,
+    mode: &RunMode,
+) -> Matrix {
+    use gtr_gpu::kernel::AppTrace;
+    let apps: Vec<AppTrace> = TENANCY_APPS
+        .iter()
+        .map(|n| AppTrace::replicate(&suite::by_name(n, scale).expect("known app"), tenants))
+        .collect();
+    let mut m = Matrix::run_apps_with_mode(
+        &apps,
+        Variant::new("baseline", ReachConfig::baseline().with_tenancy(tenants, policy)),
+        vec![Variant::new(
+            "IC+LDS",
+            ReachConfig::ic_plus_lds().with_tenancy(tenants, policy),
+        )],
+        mode,
+        mode.resolved_workers(),
+    );
+    for (i, s) in m.baseline.iter_mut().enumerate() {
+        crate::harness::fill_solo_cycles(s, &solo.baseline[i]);
+    }
+    for (i, s) in m.variants[0].1.iter_mut().enumerate() {
+        crate::harness::fill_solo_cycles(s, &solo.variants[0].1[i]);
+    }
+    m
+}
+
+/// The full tenancy sweep: the solo anchor plus one matrix per
+/// (tenant count × sharing policy) point, in
+/// [`TENANCY_COUNTS`] × [`SharingPolicy::all`] order. Under sampling,
+/// each distinct replicated trace captures its own warmup checkpoint
+/// (the trace name encodes the tenant count) and the three policies at
+/// one count share it — policies are timing-side config.
+pub fn tenancy_matrices(
+    scale: Scale,
+    mode: &RunMode,
+) -> (Matrix, Vec<(u8, SharingPolicy, Matrix)>) {
+    tenancy_matrices_subset(scale, &TENANCY_COUNTS, &SharingPolicy::all(), mode)
+}
+
+/// [`tenancy_matrices`] restricted to explicit tenant counts and
+/// policies (the `tenancy` binary's `--tenants`/`--policy` flags and
+/// the CI smoke sweep a subset of the full family).
+pub fn tenancy_matrices_subset(
+    scale: Scale,
+    counts: &[u8],
+    policies: &[SharingPolicy],
+    mode: &RunMode,
+) -> (Matrix, Vec<(u8, SharingPolicy, Matrix)>) {
+    let solo = tenancy_solo_matrix(scale, mode);
+    let mut out = Vec::new();
+    for &n in counts {
+        for &policy in policies {
+            out.push((n, policy, tenancy_matrix(scale, n, policy, &solo, mode)));
+        }
+    }
+    (solo, out)
+}
+
+/// Worst per-tenant slowdown of one tenanted cell.
+fn worst_slowdown(s: &RunStats) -> f64 {
+    s.tenants.iter().map(|t| t.slowdown()).fold(0.0, f64::max)
+}
+
+/// Unfairness of one tenanted cell: worst over best per-tenant
+/// slowdown (1.0 = perfectly fair; TENANCY.md §4).
+fn unfairness(s: &RunStats) -> f64 {
+    let mut lo = f64::INFINITY;
+    let mut hi = 0.0f64;
+    for t in &s.tenants {
+        let x = t.slowdown();
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    if lo > 0.0 && lo.is_finite() {
+        hi / lo
+    } else {
+        0.0
+    }
+}
+
+/// Tenant-count sweep figure: per-tenant slowdown vs solo across
+/// 2–8 tenants × three sharing policies × {baseline, IC+LDS}.
+pub fn tenancy_sweep(scale: Scale) -> String {
+    tenancy_sweep_mode(scale, &RunMode::exact())
+}
+
+/// [`tenancy_sweep`] under an explicit execution mode.
+pub fn tenancy_sweep_mode(scale: Scale, mode: &RunMode) -> String {
+    let (_solo, ms) = tenancy_matrices(scale, mode);
+    tenancy_sweep_from(&ms)
+}
+
+/// Renders prebuilt [`tenancy_matrices`] output as the sweep figure
+/// (per-policy slowdown/unfairness tables plus the IC+LDS improvement
+/// summary). Policies and counts absent from `ms` are simply omitted.
+pub fn tenancy_sweep_from(ms: &[(u8, SharingPolicy, Matrix)]) -> String {
+    use gtr_sim::stats::geomean;
+    let mut out = String::from(
+        "### Tenancy sweep: per-tenant slowdown vs solo\n\
+         (cell = worst-tenant slowdown / unfairness, where unfairness = worst over \
+         best per-tenant slowdown)\n",
+    );
+    for policy in SharingPolicy::all() {
+        if !ms.iter().any(|(_, p, _)| *p == policy) {
+            continue;
+        }
+        out.push_str(&format!("\n-- policy = {policy}\n"));
+        out.push_str(&row("config", &TENANCY_APPS, "GeoMean"));
+        for (n, p, m) in ms {
+            if *p != policy {
+                continue;
+            }
+            let rows: [(&str, &Vec<RunStats>); 2] =
+                [("baseline", &m.baseline), ("IC+LDS", &m.variants[0].1)];
+            for (label, runs) in rows {
+                let cells: Vec<String> = runs
+                    .iter()
+                    .map(|s| format!("{:.2}/{:.1}", worst_slowdown(s), unfairness(s)))
+                    .collect();
+                let gm = geomean(runs.iter().map(worst_slowdown));
+                out.push_str(&row(
+                    &format!("{label} x{n}"),
+                    &cells.iter().map(String::as_str).collect::<Vec<_>>(),
+                    &format!("{gm:.2}"),
+                ));
+            }
+        }
+    }
+    out.push_str("\n### Tenancy: IC+LDS geomean improvement over the tenanted baseline\n");
+    let mut counts: Vec<u8> = ms.iter().map(|(n, _, _)| *n).collect();
+    counts.sort_unstable();
+    counts.dedup();
+    let headers: Vec<String> = counts.iter().map(|n| format!("x{n}")).collect();
+    out.push_str(&row("policy", &headers.iter().map(String::as_str).collect::<Vec<_>>(), ""));
+    for policy in SharingPolicy::all() {
+        if !ms.iter().any(|(_, p, _)| *p == policy) {
+            continue;
+        }
+        let cells: Vec<String> = counts
+            .iter()
+            .map(|n| {
+                ms.iter()
+                    .find(|(c, p, _)| c == n && *p == policy)
+                    .map(|(_, _, m)| format!("{:+.1}%", m.geomean_improvement(0)))
+                    .unwrap_or_default()
+            })
+            .collect();
+        out.push_str(&row(
+            &policy.to_string(),
+            &cells.iter().map(String::as_str).collect::<Vec<_>>(),
+            "",
+        ));
+    }
+    out
+}
+
+/// Shootdown-storm stress scenario: tenant churn (§7.1 / TENANCY.md
+/// §6). Two ATAX tenants share the GPU; tenant 1 is evicted and
+/// readmitted four times over the run, each time migrating its 32
+/// hottest pages, so every cached copy of its translations — L1/L2
+/// TLB, LDS segments, I-cache lines — must be shot down. Reported per
+/// policy: the shootdown report, the per-tenant shootdown
+/// attribution, the churn overhead vs an undisturbed run, and the
+/// post-run coherence check. Always exact — the scenario stresses the
+/// invalidation path, not the sampling estimator.
+pub fn tenancy_storm(scale: Scale) -> String {
+    use gtr_core::driver::{DriverSchedule, MigrationEvent};
+    use gtr_core::system::System;
+    use gtr_gpu::kernel::AppTrace;
+    use gtr_vm::addr::{VmId, Vpn};
+    let app = AppTrace::replicate(&suite::by_name("ATAX", scale).expect("known app"), 2);
+    let mut out = String::from(
+        "### Tenancy stress: shootdown storm under tenant churn (ATAX x2, IC+LDS)\n",
+    );
+    for policy in SharingPolicy::all() {
+        let reach = ReachConfig::ic_plus_lds().with_tenancy(2, policy);
+        let mut quiet_sys = System::new(GpuConfig::default(), reach);
+        let quiet = quiet_sys.run(&app);
+        // Victims come from tenant 1's actual footprint (an unmapped
+        // page migrates as a no-op): 32 pages spread across its
+        // demand-mapped pool, at churn triggers 2/6 .. 5/6 of the
+        // undisturbed run's translation volume — deterministic,
+        // scale-independent, and late enough that the pages are
+        // resident when each event fires.
+        let pool = quiet_sys.mapped_vpns(VmId::new(1));
+        let stride = (pool.len() / 32).max(1);
+        let pages: Vec<(VmId, Vpn)> =
+            pool.iter().step_by(stride).take(32).map(|&v| (VmId::new(1), v)).collect();
+        let total = quiet.translation_requests;
+        let mut schedule = DriverSchedule::new();
+        for k in 2..=5u64 {
+            schedule = schedule.migrate(MigrationEvent {
+                after_translations: total * k / 6,
+                pages: pages.clone(),
+            });
+        }
+        let mut sys = System::new(GpuConfig::default(), reach).with_driver_schedule(schedule);
+        let stormed = sys.run(&app);
+        let report = sys.shootdown_report();
+        let coherent = sys.check_translation_coherence();
+        out.push_str(&format!(
+            "{:<12} {} events, {:>3} pages migrated, {:>4} stale copies \
+             (L1 {} / L2 {} / LDS {} / IC {}); shootdowns t0/t1 = {}/{}; \
+             churn overhead {:+.2}%; {} cached translations coherent\n",
+            policy.to_string(),
+            report.events,
+            report.pages_migrated,
+            report.total_hits(),
+            report.l1_hits,
+            report.l2_hits,
+            report.lds_hits,
+            report.ic_hits,
+            stormed.tenants[0].shootdowns,
+            stormed.tenants[1].shootdowns,
+            (stormed.total_cycles as f64 / quiet.total_cycles.max(1) as f64 - 1.0) * 100.0,
+            coherent,
+        ));
+    }
+    out
+}
+
+/// The tenancy figure family (`all --tenants` and the `tenancy`
+/// binary run this): the tenant-count sweep plus the churn stress
+/// scenario. Not part of the default [`battery`] — the paper's own
+/// figures are single-tenant, and the frozen battery output must stay
+/// byte-identical.
+pub fn tenancy_battery(scale: Scale, mode: &RunMode) -> Vec<FigureResult> {
+    let (solo, ms) = tenancy_matrices(scale, mode);
+    let mut refs: Vec<&Matrix> = vec![&solo];
+    refs.extend(ms.iter().map(|(_, _, m)| m));
+    vec![
+        FigureResult::from_matrices("tenancy_sweep", tenancy_sweep_from(&ms), &refs),
+        FigureResult::without_cells("tenancy_storm", tenancy_storm(scale)),
+    ]
+}
+
 /// Runs every table and figure of the paper under one execution mode
 /// and returns each as a [`FigureResult`], in paper order. The main
 /// matrix is shared across Figs 13b/13c/14ab/15 (and the baseline
@@ -896,6 +1173,45 @@ mod tests {
         assert!(t.contains("8 CUs"));
         assert!(t.contains("512 entries"));
         assert!(t.contains("32 walkers"));
+    }
+
+    #[test]
+    fn tenancy_sweep_cell_is_valid_exact_and_sampled() {
+        // One sweep point (2 tenants, every policy would be 9x the
+        // cost), checked under both execution modes: every tenanted
+        // cell must carry slowdowns and satisfy the schema-v5 tenancy
+        // invariants, exact and sampled alike.
+        for mode in [
+            RunMode::exact(),
+            RunMode::sampled(SamplingConfig::new(256, 1_024, 256)),
+        ] {
+            let solo = tenancy_solo_matrix(Scale::tiny(), &mode);
+            let m = tenancy_matrix(Scale::tiny(), 2, SharingPolicy::SubEntry, &solo, &mode);
+            for s in m.baseline.iter().chain(&m.variants[0].1) {
+                assert_eq!(s.tenants.len(), 2, "{}: two tenant records", s.app);
+                assert!(
+                    s.tenants.iter().all(|t| t.slowdown() > 0.0),
+                    "{}: solo bases filled",
+                    s.app
+                );
+                let problems = gtr_core::export::check_tenancy_invariants(s);
+                assert!(problems.is_empty(), "{}: {problems:?}", s.app);
+            }
+        }
+    }
+
+    #[test]
+    fn tenancy_storm_reports_every_policy() {
+        let t = tenancy_storm(Scale::tiny());
+        for policy in SharingPolicy::all() {
+            assert!(t.contains(&policy.to_string()), "missing {policy}");
+        }
+        assert!(t.contains("pages migrated"));
+        assert!(
+            !t.contains("  0 pages migrated"),
+            "storm must hit resident pages:\n{t}"
+        );
+        assert!(t.contains("coherent"));
     }
 
     #[test]

@@ -122,6 +122,20 @@ pub fn load_or_capture(app: &AppTrace, gpu: &GpuConfig, warmup: u64, dir: Option
     ck
 }
 
+/// Stamps every per-tenant record of `stats` with the solo-run cycle
+/// baseline that [`gtr_core::stats::TenantStats::slowdown`] divides
+/// by. The basis is the solo run's kernel-cycle sum — the measured
+/// clock, which is what the tenanted cells' per-tenant `cycles` also
+/// report — so the ratio is like-for-like in exact *and* sampled mode
+/// (TENANCY.md §4). Intended for replicated sweeps where every tenant
+/// runs a copy of the same application; a no-op on untenanted stats.
+pub fn fill_solo_cycles(stats: &mut RunStats, solo: &RunStats) {
+    let solo_cycles: u64 = solo.kernels.iter().map(|k| k.cycles).sum();
+    for t in &mut stats.tenants {
+        t.solo_cycles = solo_cycles;
+    }
+}
+
 /// A named machine+reach configuration for a run matrix.
 #[derive(Debug, Clone)]
 pub struct Variant {
@@ -494,10 +508,20 @@ impl Matrix {
     /// the way the struct holds them. `validate_stats` checks this
     /// shape in CI.
     pub fn to_json(&self) -> gtr_sim::json::Json {
-        use gtr_core::export::{run_stats_to_json, STATS_SCHEMA_VERSION};
+        use gtr_core::export::{run_stats_schema_version, run_stats_to_json};
         use gtr_sim::json::Json;
+        // The header mirrors the cells' conditional stamp: v5 only
+        // when some cell is tenanted, so untenanted matrix documents
+        // stay byte-identical to their pre-tenancy form.
+        let version = self
+            .baseline
+            .iter()
+            .chain(self.variants.iter().flat_map(|(_, runs)| runs))
+            .map(run_stats_schema_version)
+            .max()
+            .unwrap_or(gtr_core::export::STATS_SCHEMA_VERSION_UNTENANTED);
         Json::Obj(vec![
-            ("schema_version".into(), Json::from(STATS_SCHEMA_VERSION)),
+            ("schema_version".into(), Json::from(version)),
             ("kind".into(), Json::from("matrix")),
             (
                 "apps".into(),
@@ -671,6 +695,62 @@ mod tests {
         let one = fingerprint(&run(1));
         for workers in [2, 8] {
             assert_eq!(one, fingerprint(&run(workers)), "workers={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn tenanted_matrix_is_worker_count_invariant() {
+        // The tenancy model's determinism claim (TENANCY.md §5): a
+        // multi-tenant cell — including its per-tenant attribution —
+        // is a pure function of its (app, variant) inputs, so the
+        // matrix fingerprint and every tenant record are identical
+        // for any worker count.
+        use gtr_vm::tenancy::SharingPolicy;
+        let apps =
+            vec![AppTrace::replicate(&suite::by_name("GUPS", Scale::tiny()).unwrap(), 2)];
+        let run = |workers| {
+            Matrix::run_apps_with_threads(
+                &apps,
+                Variant::new(
+                    "baseline-2t",
+                    ReachConfig::baseline().with_tenancy(2, SharingPolicy::SubEntry),
+                ),
+                vec![Variant::new(
+                    "IC+LDS-2t",
+                    ReachConfig::ic_plus_lds().with_tenancy(2, SharingPolicy::SubEntry),
+                )],
+                workers,
+            )
+        };
+        let one = run(1);
+        assert_eq!(one.baseline[0].tenants.len(), 2, "tenanted cells carry tenant records");
+        for workers in [2, 8] {
+            let many = run(workers);
+            assert_eq!(fingerprint(&one), fingerprint(&many), "workers={workers} diverged");
+            assert_eq!(
+                one.baseline[0].tenants, many.baseline[0].tenants,
+                "per-tenant attribution diverged at workers={workers}"
+            );
+            assert_eq!(one.variants[0].1[0].tenants, many.variants[0].1[0].tenants);
+        }
+    }
+
+    #[test]
+    fn fill_solo_cycles_enables_slowdown() {
+        use gtr_vm::tenancy::SharingPolicy;
+        let app = suite::by_name("GUPS", Scale::tiny()).unwrap();
+        let solo = run_one(&app, GpuConfig::default(), ReachConfig::baseline());
+        let mut shared = run_one(
+            &AppTrace::replicate(&app, 2),
+            GpuConfig::default(),
+            ReachConfig::baseline().with_tenancy(2, SharingPolicy::Shared),
+        );
+        assert!(shared.tenants.iter().all(|t| t.slowdown() == 0.0), "no solo basis yet");
+        fill_solo_cycles(&mut shared, &solo);
+        let basis: u64 = solo.kernels.iter().map(|k| k.cycles).sum();
+        for t in &shared.tenants {
+            assert_eq!(t.solo_cycles, basis);
+            assert!(t.slowdown() > 0.0, "tenant {} has a slowdown now", t.vmid);
         }
     }
 

@@ -2,6 +2,8 @@
 
 use gtr_sim::Cycle;
 
+pub use gtr_vm::tenancy::{SharingPolicy, TenancyConfig, MAX_TENANTS};
+
 /// Replacement policy of the reconfigurable I-cache (§4.3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Replacement {
@@ -134,6 +136,12 @@ pub struct ReachConfig {
     /// Extra latency of a remote (other-CU) LDS access under home
     /// hashing.
     pub lds_remote_latency: Cycle,
+    /// Multi-tenant capacity sharing across every tagged structure
+    /// (L1/L2 TLB, LDS-Tx, IC-Tx); `None` — the default, and the only
+    /// configuration the paper evaluates — leaves the structures
+    /// untenanted and bit-identical to the frozen anchors. See
+    /// TENANCY.md and [`TenancyConfig`].
+    pub tenancy: Option<TenancyConfig>,
 }
 
 impl Default for ReachConfig {
@@ -161,6 +169,7 @@ impl ReachConfig {
             fill_policy: TxFillPolicy::VictimCache,
             lds_home_hashing: false,
             lds_remote_latency: 20,
+            tenancy: None,
         }
     }
 
@@ -243,6 +252,14 @@ impl ReachConfig {
     /// paper's deferred duplication-limiting optimization).
     pub fn with_lds_home_hashing(mut self) -> Self {
         self.lds_home_hashing = true;
+        self
+    }
+
+    /// Builder-style: run `tenants` concurrent address spaces under a
+    /// [`SharingPolicy`] (TENANCY.md; arXiv 2404.18361's multi-instance
+    /// scenario).
+    pub fn with_tenancy(mut self, tenants: u8, policy: SharingPolicy) -> Self {
+        self.tenancy = Some(TenancyConfig::new(tenants, policy));
         self
     }
 
@@ -361,6 +378,9 @@ mod tests {
         assert!(ReachConfig::ic_only().icache_enabled);
         let both = ReachConfig::ic_plus_lds();
         assert!(both.lds_enabled && both.icache_enabled && both.flush_opt);
+        assert!(both.tenancy.is_none(), "the paper's configs are untenanted");
+        let mt = ReachConfig::ic_plus_lds().with_tenancy(4, SharingPolicy::SubEntry);
+        assert_eq!(mt.tenancy, Some(TenancyConfig::new(4, SharingPolicy::SubEntry)));
     }
 
     #[test]

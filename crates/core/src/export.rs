@@ -17,7 +17,7 @@ use gtr_sim::hist::{AttrSlot, CycleAttribution, Hist};
 use gtr_sim::json::Json;
 use gtr_sim::stats::{FiveNumberSummary, HitMiss};
 
-use crate::stats::{EpochStats, KernelStats, RunStats, SamplingMeta};
+use crate::stats::{EpochStats, KernelStats, RunStats, SamplingMeta, TenantStats};
 
 /// Schema identifier stamped into every exported stats document, bumped
 /// when fields change incompatibly.
@@ -38,7 +38,27 @@ use crate::stats::{EpochStats, KernelStats, RunStats, SamplingMeta};
 ///   on matrix documents (per-figure name / cell counts / worst
 ///   error bound, written by `all --stats-out`). v3 documents still
 ///   parse: the bound defaults to 0 and `figures` to absent.
-pub const STATS_SCHEMA_VERSION: u64 = 4;
+/// * **v5** — adds the `tenants` array (per-tenant [`TenantStats`]
+///   under multi-tenancy; TENANCY.md §4). **Stamped only on tenanted
+///   documents**: an untenanted run carries no `tenants` field and
+///   stamps v4, so every pre-tenancy export byte stays identical —
+///   the tenancy-off frozen anchors diff clean. v4 documents still
+///   parse with `tenants` empty.
+pub const STATS_SCHEMA_VERSION: u64 = 5;
+
+/// The version stamped on documents that carry no v5 field (see the
+/// v5 note above: untenanted exports must stay byte-identical).
+pub const STATS_SCHEMA_VERSION_UNTENANTED: u64 = 4;
+
+/// The schema version a [`RunStats`] document stamps: v5 only when it
+/// carries the `tenants` array.
+pub fn run_stats_schema_version(s: &RunStats) -> u64 {
+    if s.tenants.is_empty() {
+        STATS_SCHEMA_VERSION_UNTENANTED
+    } else {
+        STATS_SCHEMA_VERSION
+    }
+}
 
 fn hit_miss_to_json(hm: &HitMiss) -> Json {
     Json::Obj(vec![
@@ -176,6 +196,44 @@ fn attribution_from_json(j: &Json) -> Option<CycleAttribution> {
     Some(a)
 }
 
+fn tenant_to_json(t: &TenantStats) -> Json {
+    Json::Obj(vec![
+        ("vmid".into(), Json::from(t.vmid as u64)),
+        ("app".into(), Json::from(t.app.as_str())),
+        ("cycles".into(), Json::from(t.cycles)),
+        ("instructions".into(), Json::from(t.instructions)),
+        ("translation_requests".into(), Json::from(t.translation_requests)),
+        ("l1_tlb".into(), hit_miss_to_json(&t.l1_tlb)),
+        ("lds_tx".into(), hit_miss_to_json(&t.lds_tx)),
+        ("ic_tx".into(), hit_miss_to_json(&t.ic_tx)),
+        ("l2_tlb".into(), hit_miss_to_json(&t.l2_tlb)),
+        ("page_walks".into(), Json::from(t.page_walks)),
+        ("shootdowns".into(), Json::from(t.shootdowns)),
+        ("solo_cycles".into(), Json::from(t.solo_cycles)),
+        // Derived, like `ptw_pki`: validated for presence on parse but
+        // recomputed from the counters, so it cannot drift.
+        ("slowdown".into(), Json::from(t.slowdown())),
+    ])
+}
+
+fn tenant_from_json(j: &Json) -> Option<TenantStats> {
+    j.get("slowdown")?.as_f64()?;
+    Some(TenantStats {
+        vmid: j.get("vmid")?.as_u64()? as u8,
+        app: j.get("app")?.as_str()?.to_string(),
+        cycles: j.get("cycles")?.as_u64()?,
+        instructions: j.get("instructions")?.as_u64()?,
+        translation_requests: j.get("translation_requests")?.as_u64()?,
+        l1_tlb: hit_miss_from_json(j.get("l1_tlb")?)?,
+        lds_tx: hit_miss_from_json(j.get("lds_tx")?)?,
+        ic_tx: hit_miss_from_json(j.get("ic_tx")?)?,
+        l2_tlb: hit_miss_from_json(j.get("l2_tlb")?)?,
+        page_walks: j.get("page_walks")?.as_u64()?,
+        shootdowns: j.get("shootdowns")?.as_u64()?,
+        solo_cycles: j.get("solo_cycles")?.as_u64()?,
+    })
+}
+
 fn sampling_to_json(m: &SamplingMeta) -> Json {
     Json::Obj(vec![
         ("warmup_window".into(), Json::from(m.warmup_window)),
@@ -294,8 +352,8 @@ fn epoch_from_json(j: &Json) -> Option<EpochStats> {
 /// as a JSON object. Field order matches the struct declaration so
 /// exported files diff cleanly.
 pub fn run_stats_to_json(s: &RunStats) -> Json {
-    Json::Obj(vec![
-        ("schema_version".into(), Json::from(STATS_SCHEMA_VERSION)),
+    let mut fields = vec![
+        ("schema_version".into(), Json::from(run_stats_schema_version(s))),
         ("app".into(), Json::from(s.app.as_str())),
         ("total_cycles".into(), Json::from(s.total_cycles)),
         ("instructions".into(), Json::from(s.instructions)),
@@ -347,7 +405,16 @@ pub fn run_stats_to_json(s: &RunStats) -> Json {
                 None => Json::Null,
             },
         ),
-    ])
+    ];
+    // v5: the `tenants` array only exists on tenanted documents (the
+    // conditional keeps untenanted exports byte-identical to v4).
+    if !s.tenants.is_empty() {
+        fields.push((
+            "tenants".into(),
+            Json::Arr(s.tenants.iter().map(tenant_to_json).collect()),
+        ));
+    }
+    Json::Obj(fields)
 }
 
 /// [`run_stats_to_json`] rendered compactly (no whitespace) with a
@@ -460,6 +527,17 @@ pub fn run_stats_from_json(j: &Json) -> Option<RunStats> {
             }
         } else {
             None
+        },
+        tenants: if version >= 5 {
+            // A v5 stamp means the document is tenanted (untenanted
+            // runs stamp v4), so the array must be present.
+            j.get("tenants")?
+                .as_arr()?
+                .iter()
+                .map(tenant_from_json)
+                .collect::<Option<Vec<_>>>()?
+        } else {
+            Vec::new()
         },
     })
 }
@@ -652,6 +730,48 @@ pub fn check_sampling_invariants(s: &RunStats) -> Vec<String> {
             "side_cache_error_bound_pct {} not finite/non-negative",
             m.side_cache_error_bound_pct
         ));
+    }
+    problems
+}
+
+/// Validates the schema-v5 tenancy invariants: tenants are listed in
+/// VM-ID order (tenant *i* owns address space *i*), and because
+/// kernels run serially and the per-tenant counters are kernel-
+/// boundary deltas, the per-tenant sums must telescope to the run's
+/// global totals (TENANCY.md §4). Always empty for untenanted
+/// documents (no `tenants` array).
+pub fn check_tenancy_invariants(s: &RunStats) -> Vec<String> {
+    let mut problems = Vec::new();
+    if s.tenants.is_empty() {
+        return problems;
+    }
+    for (i, t) in s.tenants.iter().enumerate() {
+        if t.vmid as usize != i {
+            problems.push(format!("tenant {} carries vmid {} (must be VM-ID order)", i, t.vmid));
+        }
+        if !t.slowdown().is_finite() || t.slowdown() < 0.0 {
+            problems.push(format!("tenant {} slowdown {} not finite/non-negative", i, t.slowdown()));
+        }
+    }
+    let sum = |f: fn(&TenantStats) -> u64| s.tenants.iter().map(f).sum::<u64>();
+    let kernel_cycles: u64 = s.kernels.iter().map(|k| k.cycles).sum();
+    let checks: [(&str, u64, u64); 11] = [
+        ("cycles", sum(|t| t.cycles), kernel_cycles),
+        ("instructions", sum(|t| t.instructions), s.instructions),
+        ("translation_requests", sum(|t| t.translation_requests), s.translation_requests),
+        ("l1_tlb hits", sum(|t| t.l1_tlb.hits), s.l1_tlb.hits),
+        ("l1_tlb misses", sum(|t| t.l1_tlb.misses), s.l1_tlb.misses),
+        ("lds_tx hits", sum(|t| t.lds_tx.hits), s.lds_tx.hits),
+        ("lds_tx misses", sum(|t| t.lds_tx.misses), s.lds_tx.misses),
+        ("ic_tx hits", sum(|t| t.ic_tx.hits), s.ic_tx.hits),
+        ("ic_tx misses", sum(|t| t.ic_tx.misses), s.ic_tx.misses),
+        ("l2_tlb hits", sum(|t| t.l2_tlb.hits), s.l2_tlb.hits),
+        ("page_walks", sum(|t| t.page_walks), s.page_walks),
+    ];
+    for (name, got, want) in checks {
+        if got != want {
+            problems.push(format!("per-tenant {name} sum to {got} != run total {want}"));
+        }
     }
     problems
 }
@@ -1073,6 +1193,93 @@ mod tests {
         let Json::Obj(mut f3) = run_stats_to_json(&s) else { panic!("object") };
         f3.retain(|(k, _)| k != "sampling");
         assert!(run_stats_from_json(&Json::Obj(f3)).is_none());
+    }
+
+    /// A two-tenant split of [`sample_stats`]'s counters: every field
+    /// sums to the corresponding global, so the tenancy invariants
+    /// hold by construction.
+    fn tenanted_stats() -> RunStats {
+        let mut s = sample_stats();
+        s.kernels = vec![
+            KernelStats { name: "a".into(), cycles: 60, instructions: 8, ..Default::default() },
+            KernelStats { name: "b".into(), cycles: 39, instructions: 4, ..Default::default() },
+        ];
+        s.tenants = vec![
+            TenantStats {
+                vmid: 0,
+                app: "a".into(),
+                cycles: 60,
+                instructions: 6_000,
+                translation_requests: 3_000,
+                l1_tlb: HitMiss { hits: 2_000, misses: 1_000 },
+                lds_tx: HitMiss { hits: 150, misses: 850 },
+                ic_tx: HitMiss { hits: 60, misses: 940 },
+                l2_tlb: HitMiss { hits: 400, misses: 600 },
+                page_walks: 600,
+                shootdowns: 3,
+                solo_cycles: 50,
+            },
+            TenantStats {
+                vmid: 1,
+                app: "b".into(),
+                cycles: 39,
+                instructions: 4_000,
+                translation_requests: 2_000,
+                l1_tlb: HitMiss { hits: 1_000, misses: 1_000 },
+                lds_tx: HitMiss { hits: 50, misses: 950 },
+                ic_tx: HitMiss { hits: 40, misses: 760 },
+                l2_tlb: HitMiss { hits: 300, misses: 700 },
+                page_walks: 700,
+                shootdowns: 0,
+                solo_cycles: 0,
+            },
+        ];
+        s
+    }
+
+    #[test]
+    fn untenanted_document_stamps_v4_without_tenants_field() {
+        let s = sample_stats();
+        assert_eq!(run_stats_schema_version(&s), STATS_SCHEMA_VERSION_UNTENANTED);
+        let text = run_stats_to_json_string(&s);
+        assert!(!text.contains("\"tenants\""), "no v5 field on an untenanted export");
+        assert!(text.contains("\"schema_version\":4"));
+    }
+
+    #[test]
+    fn tenanted_stats_round_trip_and_stamp_v5() {
+        let s = tenanted_stats();
+        assert_eq!(run_stats_schema_version(&s), STATS_SCHEMA_VERSION);
+        let text = run_stats_to_json_string(&s);
+        assert!(text.contains("\"schema_version\":5"));
+        let parsed = Json::parse(&text).expect("well-formed JSON");
+        let back = run_stats_from_json(&parsed).expect("schema-complete");
+        assert_eq!(back, s);
+        // Byte stability through a second round trip.
+        assert_eq!(run_stats_to_json_string(&back), text);
+        // A v5 stamp without the array must reject.
+        let Json::Obj(mut fields) = run_stats_to_json(&s) else { panic!("object") };
+        fields.retain(|(k, _)| k != "tenants");
+        assert!(run_stats_from_json(&Json::Obj(fields)).is_none());
+    }
+
+    #[test]
+    fn tenancy_invariants_catch_violations() {
+        let s = tenanted_stats();
+        assert!(check_tenancy_invariants(&s).is_empty(), "sample is valid");
+        assert!(check_tenancy_invariants(&sample_stats()).is_empty(), "untenanted is exempt");
+        // A counter drifts from the global total.
+        let mut s1 = tenanted_stats();
+        s1.tenants[0].page_walks += 1;
+        assert!(!check_tenancy_invariants(&s1).is_empty());
+        // Cycles must sum to the serial kernel cycles.
+        let mut s2 = tenanted_stats();
+        s2.tenants[1].cycles += 1;
+        assert!(!check_tenancy_invariants(&s2).is_empty());
+        // VM-ID order is part of the contract.
+        let mut s3 = tenanted_stats();
+        s3.tenants.swap(0, 1);
+        assert!(!check_tenancy_invariants(&s3).is_empty());
     }
 
     #[test]

@@ -15,10 +15,23 @@
 //! of Fig 13a's second bar is selected, which lets translations evict
 //! instructions. §4.3.3's kernel-boundary flush invalidates instruction
 //! lines so the next kernel starts with reclaimable capacity.
+//!
+//! # Multi-tenancy
+//!
+//! With a [`TenancyConfig`] installed ([`TxIcache::set_tenancy`]) the
+//! *translation* side honors the three sharing policies of
+//! `gtr_vm::tenancy` (TENANCY.md §3): *partitioned* stripes the
+//! direct-mapped Tx line space across tenants, *shared* keeps the
+//! untenanted full-key tag check, and *sub-entry* (arXiv 2404.18361
+//! §4) tags lanes with a canonical VM-ID-zeroed key plus a per-tenant
+//! valid mask. The *instruction* side is never partitioned —
+//! concurrent kernels already share fetch capacity set-associatively
+//! and instruction lines carry no address-space state to isolate.
 
 use gtr_sim::resource::TrackedPort;
 use gtr_sim::stats::HitMiss;
-use gtr_vm::addr::{Ppn, Translation, TranslationKey};
+use gtr_vm::addr::{Ppn, Translation, TranslationKey, VmId};
+use gtr_vm::tenancy::{self, TenancyConfig, MAX_TENANTS};
 
 use crate::compress::{match_mask, TagGroup};
 use crate::config::{Replacement, TxPerLine};
@@ -43,13 +56,17 @@ struct TxSlab {
     keys: [TranslationKey; TX_LANES],
     ppns: [Ppn; TX_LANES],
     last_use: [u64; TX_LANES],
+    /// Per-tenant valid masks per lane, meaningful only under
+    /// sub-entry sharing (arXiv 2404.18361 §4): bit *t* set means
+    /// tenant *t* shares the lane's canonical-key translation.
+    tmasks: [u8; TX_LANES],
     /// Occupancy bitmask over the first `tx_per_line.slots()` lanes.
     valid: u32,
 }
 
 impl TxSlab {
     /// A fresh slab holding only `(key, ppn)` in lane 0.
-    fn first(tag: u64, key: TranslationKey, ppn: Ppn, tick: u64) -> Box<Self> {
+    fn first(tag: u64, key: TranslationKey, ppn: Ppn, tick: u64, tmask: u8) -> Box<Self> {
         let mut tags = TagGroup::icache();
         assert!(tags.try_admit(tag), "empty group admits");
         let mut slab = Box::new(Self {
@@ -58,9 +75,10 @@ impl TxSlab {
             keys: [TranslationKey::for_vpn(gtr_vm::addr::Vpn(0)); TX_LANES],
             ppns: [Ppn(0); TX_LANES],
             last_use: [0; TX_LANES],
+            tmasks: [0; TX_LANES],
             valid: 0,
         });
-        slab.set(0, key, ppn, tick);
+        slab.set(0, key, ppn, tick, tmask);
         slab
     }
 
@@ -78,16 +96,26 @@ impl TxSlab {
         None
     }
 
-    fn set(&mut self, i: usize, key: TranslationKey, ppn: Ppn, tick: u64) {
+    fn set(&mut self, i: usize, key: TranslationKey, ppn: Ppn, tick: u64, tmask: u8) {
         self.vpns[i] = key.vpn.0;
         self.keys[i] = key;
         self.ppns[i] = ppn;
         self.last_use[i] = tick;
+        self.tmasks[i] = tmask;
         self.valid |= 1 << i;
     }
 
     fn resident(&self) -> usize {
         self.valid.count_ones() as usize
+    }
+
+    /// The translation forwarded when lane `i` is displaced: the full
+    /// key, or under sub-entry sharing the canonical key retagged with
+    /// its lowest-numbered sharer ([`tenancy::representative`]).
+    fn victim(&self, i: usize, sub: bool) -> Translation {
+        let key =
+            if sub { tenancy::representative(self.keys[i], self.tmasks[i]) } else { self.keys[i] };
+        Translation::new(key, self.ppns[i])
     }
 }
 
@@ -174,6 +202,9 @@ pub struct TxIcache {
     assoc: usize,
     tx_per_line: TxPerLine,
     replacement: Replacement,
+    /// Capacity-sharing policy between concurrent tenants; `None`
+    /// (the default) is bit-identical to the untenanted structure.
+    tenancy: Option<TenancyConfig>,
     tick: u64,
     fills_this_kernel: u64,
     port: TrackedPort,
@@ -198,11 +229,34 @@ impl TxIcache {
             assoc,
             tx_per_line,
             replacement,
+            tenancy: None,
             tick: 0,
             fills_this_kernel: 0,
             port: TrackedPort::new(),
             stats: TxIcacheStats::default(),
         }
+    }
+
+    /// Installs a tenancy policy (TENANCY.md §3). Must be called while
+    /// the structure holds no translations, so every resident entry
+    /// was inserted under one consistent tagging scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any translation is already resident.
+    pub fn set_tenancy(&mut self, tenancy: TenancyConfig) {
+        assert!(self.resident_tx() == 0, "tenancy policy must be set before first insert");
+        self.tenancy = Some(tenancy);
+    }
+
+    fn sub_entry(&self) -> bool {
+        self.tenancy.is_some_and(|t| t.sub_entry())
+    }
+
+    /// The key stored in the tag lanes: canonical (VM-ID-zeroed) under
+    /// sub-entry sharing, the full key otherwise.
+    fn store_key(&self, key: TranslationKey) -> TranslationKey {
+        if self.sub_entry() { tenancy::canonical(key) } else { key }
     }
 
     /// Total lines.
@@ -331,7 +385,19 @@ impl TxIcache {
 
     /// Direct-mapped line index for a translation (Fig 9).
     fn tx_line_index(&self, key: TranslationKey) -> usize {
-        (key.vpn.0 as usize) % self.lines.len()
+        let vpn = key.vpn.0 as usize;
+        match self.tenancy {
+            // Partitioned: tenant `t` owns the Tx line stripe ≡ `t`
+            // (mod tenants); remainder lines when the count does not
+            // divide are nobody's quota. `is_tx_line` shares this
+            // remap, so the mode-bit gate and the lookup agree.
+            Some(t) if t.partitioned() => {
+                let tenants = t.tenants as usize;
+                let per = (self.lines.len() / tenants).max(1);
+                ((vpn % per) * tenants + key.vmid.raw() as usize) % self.lines.len()
+            }
+            _ => vpn % self.lines.len(),
+        }
     }
 
     fn tx_tag(&self, key: TranslationKey) -> u64 {
@@ -355,13 +421,23 @@ impl TxIcache {
         let tick = self.tick;
         let idx = self.tx_line_index(key);
         let slots = self.tx_per_line.slots();
+        let skey = self.store_key(key);
+        let sub = self.sub_entry();
+        let bit = TenancyConfig::mask_bit(key.vmid);
         let line = &mut self.lines[idx];
         if let LineState::Tx(slab) = &mut line.state {
-            if let Some(i) = slab.find(slots, key) {
-                slab.last_use[i] = tick;
-                line.last_use = tick;
-                self.stats.tx_lookups.hit();
-                return Some(Translation::new(slab.keys[i], slab.ppns[i]));
+            if let Some(i) = slab.find(slots, skey) {
+                // A sub-entry hit needs the requester's valid-mask bit
+                // on top of the canonical tag match; without it the
+                // lookup misses and does not refresh LRU.
+                if !sub || slab.tmasks[i] & bit != 0 {
+                    slab.last_use[i] = tick;
+                    line.last_use = tick;
+                    self.stats.tx_lookups.hit();
+                    let hit_key = if sub { key } else { slab.keys[i] };
+                    let ppn = slab.ppns[i];
+                    return Some(Translation::new(hit_key, ppn));
+                }
             }
         }
         self.stats.tx_lookups.miss();
@@ -376,13 +452,16 @@ impl TxIcache {
         let tag = self.tx_tag(tx.key);
         let slots_per_line = self.tx_per_line.slots();
         let naive = self.replacement == Replacement::NaiveLru;
+        let skey = self.store_key(tx.key);
+        let sub = self.sub_entry();
+        let bit = TenancyConfig::mask_bit(tx.key.vmid);
         let line = &mut self.lines[idx];
         match &mut line.state {
             LineState::Inst { .. } => {
                 if naive {
                     // Fig 13a bar 2: translations may evict instructions.
                     self.stats.inst_evicted_by_tx += 1;
-                    line.state = LineState::Tx(TxSlab::first(tag, tx.key, tx.ppn, tick));
+                    line.state = LineState::Tx(TxSlab::first(tag, skey, tx.ppn, tick, bit));
                     line.last_use = tick;
                     self.stats.tx_inserts += 1;
                     IcInsert::Inserted { evicted: None }
@@ -392,15 +471,26 @@ impl TxIcache {
                 }
             }
             LineState::Invalid => {
-                line.state = LineState::Tx(TxSlab::first(tag, tx.key, tx.ppn, tick));
+                line.state = LineState::Tx(TxSlab::first(tag, skey, tx.ppn, tick, bit));
                 line.last_use = tick;
                 self.stats.tx_inserts += 1;
                 IcInsert::Inserted { evicted: None }
             }
             LineState::Tx(slab) => {
                 line.last_use = tick;
-                if let Some(i) = slab.find(slots_per_line, tx.key) {
-                    slab.ppns[i] = tx.ppn;
+                // Refresh on re-insert; under sub-entry sharing a
+                // PPN-matching insert merges the tenant into the lane's
+                // valid mask, a PPN conflict rebases the lane to the
+                // inserting tenant alone (arXiv 2404.18361 §4).
+                if let Some(i) = slab.find(slots_per_line, skey) {
+                    if sub && slab.ppns[i] == tx.ppn {
+                        slab.tmasks[i] |= bit;
+                    } else {
+                        if sub {
+                            slab.tmasks[i] = bit;
+                        }
+                        slab.ppns[i] = tx.ppn;
+                    }
                     slab.last_use[i] = tick;
                     self.stats.tx_inserts += 1;
                     return IcInsert::Inserted { evicted: None };
@@ -410,7 +500,7 @@ impl TxIcache {
                     self.stats.compression_conflicts += 1;
                     let mru = ones(slab.valid)
                         .max_by_key(|&i| slab.last_use[i])
-                        .map(|i| Translation::new(slab.keys[i], slab.ppns[i]));
+                        .map(|i| slab.victim(i, sub));
                     let dropped = slab.resident();
                     slab.valid = 0;
                     slab.tags.clear();
@@ -421,15 +511,15 @@ impl TxIcache {
                     let i = ones(slab.valid)
                         .min_by_key(|&i| slab.last_use[i])
                         .expect("full line non-empty");
+                    evicted = Some(slab.victim(i, sub));
                     slab.valid &= !(1 << i);
                     slab.tags.retire();
                     self.stats.tx_evictions += 1;
-                    evicted = Some(Translation::new(slab.keys[i], slab.ppns[i]));
                 }
                 assert!(slab.tags.try_admit(tag), "tag checked to fit");
                 let free = (!slab.valid).trailing_zeros() as usize;
                 debug_assert!(free < slots_per_line, "slot available");
-                slab.set(free, tx.key, tx.ppn, tick);
+                slab.set(free, skey, tx.ppn, tick, bit);
                 self.stats.tx_inserts += 1;
                 IcInsert::Inserted { evicted }
             }
@@ -437,11 +527,30 @@ impl TxIcache {
     }
 
     /// Shootdown: invalidates `key` if present.
+    ///
+    /// Under sub-entry sharing only the shooting tenant's valid-mask
+    /// bit is cleared; the lane survives for its co-sharers and is
+    /// freed only when the mask empties (arXiv 2404.18361 §4.3).
     pub fn shootdown(&mut self, key: TranslationKey) -> bool {
         let idx = self.tx_line_index(key);
         let slots = self.tx_per_line.slots();
+        let skey = self.store_key(key);
+        let sub = self.sub_entry();
+        let bit = TenancyConfig::mask_bit(key.vmid);
         if let LineState::Tx(slab) = &mut self.lines[idx].state {
-            if let Some(i) = slab.find(slots, key) {
+            if let Some(i) = slab.find(slots, skey) {
+                if sub {
+                    if slab.tmasks[i] & bit == 0 {
+                        return false;
+                    }
+                    slab.tmasks[i] &= !bit;
+                    self.stats.shootdowns += 1;
+                    if slab.tmasks[i] == 0 {
+                        slab.valid &= !(1 << i);
+                        slab.tags.retire();
+                    }
+                    return true;
+                }
                 slab.valid &= !(1 << i);
                 slab.tags.retire();
                 self.stats.shootdowns += 1;
@@ -449,6 +558,36 @@ impl TxIcache {
             }
         }
         false
+    }
+
+    /// Drops every translation visible to `vmid` (tenant teardown /
+    /// churn); returns the number of visibility losses. Under
+    /// sub-entry sharing this clears the tenant's bit across all
+    /// lanes, freeing only lanes whose mask empties.
+    pub fn invalidate_vmid(&mut self, vmid: VmId) -> usize {
+        let sub = self.sub_entry();
+        let bit = TenancyConfig::mask_bit(vmid);
+        let mut lost = 0;
+        for line in &mut self.lines {
+            let LineState::Tx(slab) = &mut line.state else { continue };
+            for i in ones(slab.valid) {
+                if sub {
+                    if slab.tmasks[i] & bit != 0 {
+                        slab.tmasks[i] &= !bit;
+                        lost += 1;
+                        if slab.tmasks[i] == 0 {
+                            slab.valid &= !(1 << i);
+                            slab.tags.retire();
+                        }
+                    }
+                } else if slab.keys[i].vmid == vmid {
+                    slab.valid &= !(1 << i);
+                    slab.tags.retire();
+                    lost += 1;
+                }
+            }
+        }
+        lost
     }
 
     // ----- measurement ------------------------------------------------------
@@ -484,14 +623,34 @@ impl TxIcache {
     }
 
     /// Iterates over resident translations (sharing analysis).
+    ///
+    /// Under sub-entry sharing each lane expands to one translation
+    /// per set mask bit, retagged with that sharer's VM-ID, so
+    /// coherence checks can validate against every sharer's page
+    /// table.
     pub fn iter_tx(&self) -> impl Iterator<Item = Translation> + '_ {
-        self.lines.iter().flat_map(|l| {
+        let sub = self.sub_entry();
+        self.lines.iter().flat_map(move |l| {
             let slab = match &l.state {
                 LineState::Tx(slab) => Some(slab),
                 _ => None,
             };
-            slab.into_iter()
-                .flat_map(|s| ones(s.valid).map(|i| Translation::new(s.keys[i], s.ppns[i])))
+            slab.into_iter().flat_map(move |s| {
+                ones(s.valid).flat_map(move |i| {
+                    let (key, ppn) = (s.keys[i], s.ppns[i]);
+                    let mask = if sub { s.tmasks[i] } else { 1 << key.vmid.raw() };
+                    (0..MAX_TENANTS as u8).filter(move |b| mask & (1u8 << b) != 0).map(
+                        move |b| {
+                            let k = if sub {
+                                TranslationKey { vmid: VmId::new(b), ..key }
+                            } else {
+                                key
+                            };
+                            Translation::new(k, ppn)
+                        },
+                    )
+                })
+            })
         })
     }
 
@@ -675,5 +834,126 @@ mod tests {
         assert!(c.shootdown(t.key));
         assert!(!c.shootdown(t.key));
         assert_eq!(c.resident_tx(), 0);
+    }
+
+    mod tenancy {
+        use super::*;
+        use gtr_vm::addr::VmId;
+        use gtr_vm::tenancy::{SharingPolicy, TenancyConfig};
+
+        fn keyed(v: u64, vm: u8) -> Translation {
+            let key = TranslationKey {
+                vpn: Vpn(v),
+                vmid: VmId::new(vm),
+                vrf: gtr_vm::addr::VrfId::new(0),
+            };
+            Translation::new(key, Ppn(v + 1))
+        }
+
+        fn tenanted(policy: SharingPolicy, tenants: u8) -> TxIcache {
+            let mut c = ic(Replacement::InstructionAware, TxPerLine::Eight);
+            c.set_tenancy(TenancyConfig::new(tenants, policy));
+            c
+        }
+
+        #[test]
+        fn partitioned_stripes_tx_lines_by_tenant() {
+            let mut c = tenanted(SharingPolicy::Partitioned, 2);
+            // Same VPN, two tenants: distinct direct-mapped lines.
+            c.insert_tx(keyed(7, 0));
+            c.insert_tx(keyed(7, 1));
+            assert_eq!(c.resident_tx(), 2);
+            assert!(c.is_tx_line(keyed(7, 0).key), "mode gate follows the remap");
+            assert_eq!(c.lookup_tx(keyed(7, 0).key), Some(keyed(7, 0)));
+            assert_eq!(c.lookup_tx(keyed(7, 1).key), Some(keyed(7, 1)));
+            // Overflowing tenant 0's line must only evict tenant 0.
+            let per = c.line_count() as u64 / 2;
+            for i in 1..=16u64 {
+                if let IcInsert::Inserted { evicted: Some(e) } = c.insert_tx(keyed(7 + i * per, 0))
+                {
+                    assert_eq!(e.key.vmid.raw(), 0, "no cross-tenant eviction");
+                }
+            }
+            assert!(c.lookup_tx(keyed(7, 1).key).is_some(), "tenant 1 untouched");
+        }
+
+        #[test]
+        fn shared_policy_checks_vmid_on_hit() {
+            let mut c = tenanted(SharingPolicy::Shared, 2);
+            c.insert_tx(keyed(3, 0));
+            assert!(c.lookup_tx(keyed(3, 0).key).is_some());
+            assert!(c.lookup_tx(keyed(3, 1).key).is_none(), "foreign vmid must miss");
+        }
+
+        #[test]
+        fn sub_entry_merges_and_shoots_per_tenant() {
+            let mut c = tenanted(SharingPolicy::SubEntry, 3);
+            let k = |vm| keyed(5, vm).key;
+            c.insert_tx(Translation::new(k(0), Ppn(42)));
+            c.insert_tx(Translation::new(k(1), Ppn(42)));
+            c.insert_tx(Translation::new(k(2), Ppn(42)));
+            assert_eq!(c.resident_tx(), 1, "three tenants share one lane");
+            assert_eq!(c.iter_tx().count(), 3, "iter expands per sharer");
+            assert!(c.shootdown(k(1)));
+            assert!(c.lookup_tx(k(1)).is_none());
+            assert!(c.lookup_tx(k(0)).is_some(), "co-sharers survive");
+            assert!(c.lookup_tx(k(2)).is_some());
+            // PPN conflict rebases to the inserting tenant alone.
+            c.insert_tx(Translation::new(k(1), Ppn(99)));
+            assert!(c.lookup_tx(k(0)).is_none(), "stale sharers evicted");
+            assert_eq!(c.lookup_tx(k(1)), Some(Translation::new(k(1), Ppn(99))));
+        }
+
+        #[test]
+        fn sub_entry_victim_carries_representative_vmid() {
+            let mut c = tenanted(SharingPolicy::SubEntry, 2);
+            let n = c.line_count() as u64;
+            let at = |i: u64, vm: u8| keyed(5 + i * n, vm);
+            c.insert_tx(Translation::new(at(0, 0).key, Ppn(42)));
+            c.insert_tx(Translation::new(at(0, 1).key, Ppn(42)));
+            for i in 1..8u64 {
+                c.insert_tx(at(i, 1));
+            }
+            // Line full; next insert evicts the LRU shared lane on
+            // behalf of its lowest sharer, tenant 0.
+            match c.insert_tx(at(8, 1)) {
+                IcInsert::Inserted { evicted: Some(e) } => {
+                    assert_eq!(e.key.vpn, Vpn(5));
+                    assert_eq!(e.key.vmid.raw(), 0, "lowest-numbered sharer");
+                }
+                other => panic!("expected eviction: {other:?}"),
+            }
+        }
+
+        #[test]
+        fn invalidate_vmid_counts_visibility_losses() {
+            let mut c = tenanted(SharingPolicy::SubEntry, 2);
+            c.insert_tx(Translation::new(keyed(5, 0).key, Ppn(42)));
+            c.insert_tx(Translation::new(keyed(5, 1).key, Ppn(42)));
+            c.insert_tx(keyed(9, 0));
+            assert_eq!(c.invalidate_vmid(VmId::new(0)), 2);
+            assert_eq!(c.resident_tx(), 1, "shared lane survives for tenant 1");
+            assert!(c.lookup_tx(keyed(5, 1).key).is_some());
+        }
+
+        #[test]
+        fn single_tenant_shared_matches_untenanted() {
+            let mut plain = ic(Replacement::InstructionAware, TxPerLine::Eight);
+            let mut shared = tenanted(SharingPolicy::Shared, 1);
+            for i in 0..2048u64 {
+                assert_eq!(plain.insert_tx(tx(i * 3)), shared.insert_tx(tx(i * 3)));
+                assert_eq!(plain.lookup_tx(tx(i).key), shared.lookup_tx(tx(i).key));
+            }
+            assert_eq!(plain.resident_tx(), shared.resident_tx());
+            assert_eq!(plain.stats().tx_evictions, shared.stats().tx_evictions);
+        }
+
+        #[test]
+        #[should_panic(expected = "before first insert")]
+        fn set_tenancy_rejects_warm_structure() {
+            let mut c = ic(Replacement::InstructionAware, TxPerLine::Eight);
+            c.insert_tx(tx(1));
+            c.set_tenancy(TenancyConfig::new(2, SharingPolicy::Shared));
+        }
     }
 }

@@ -9,9 +9,23 @@
 //! follow §4.2.4: an application allocation may overwrite Tx segments
 //! at any time (no data movement — translations are clean), but a
 //! translation insert can never claim an App segment.
+//!
+//! # Multi-tenancy
+//!
+//! With a [`TenancyConfig`] installed ([`TxLds::set_tenancy`]) the
+//! structure honors the three sharing policies of `gtr_vm::tenancy`
+//! (TENANCY.md §3): *partitioned* stripes the segments across tenants
+//! (tenant *i* owns every segment ≡ *i* mod `tenants`, so no tenant
+//! can evict another's translations); *shared* is the untenanted
+//! full-key tag check; *sub-entry* (arXiv 2404.18361 §4) tags ways
+//! with a canonical VM-ID-zeroed key plus a per-tenant valid mask, so
+//! PPN-matching tenants collapse onto one way each owning one mask
+//! bit. Sub-entry victims are forwarded on behalf of their
+//! lowest-numbered sharer (see `gtr_vm::tenancy::representative`).
 
 use gtr_sim::stats::HitMiss;
-use gtr_vm::addr::{Ppn, Translation, TranslationKey};
+use gtr_vm::addr::{Ppn, Translation, TranslationKey, VmId};
+use gtr_vm::tenancy::{self, TenancyConfig, MAX_TENANTS};
 
 use crate::compress::{match_mask, TagGroup};
 use crate::config::SegmentSize;
@@ -52,6 +66,10 @@ struct Segment {
     keys: [TranslationKey; MAX_WAYS],
     ppns: [Ppn; MAX_WAYS],
     last_use: [u64; MAX_WAYS],
+    /// Per-tenant valid masks per way, meaningful only under sub-entry
+    /// sharing (arXiv 2404.18361 §4): bit *t* set means tenant *t*
+    /// shares the way's canonical-key translation.
+    tmasks: [u8; MAX_WAYS],
     /// Occupancy bitmask over the first `ways()` lanes.
     valid: u32,
 }
@@ -65,6 +83,7 @@ impl Segment {
             keys: [TranslationKey::for_vpn(gtr_vm::addr::Vpn(0)); MAX_WAYS],
             ppns: [Ppn(0); MAX_WAYS],
             last_use: [0; MAX_WAYS],
+            tmasks: [0; MAX_WAYS],
             valid: 0,
         }
     }
@@ -83,12 +102,22 @@ impl Segment {
         None
     }
 
-    fn set(&mut self, i: usize, key: TranslationKey, ppn: Ppn, tick: u64) {
+    fn set(&mut self, i: usize, key: TranslationKey, ppn: Ppn, tick: u64, tmask: u8) {
         self.vpns[i] = key.vpn.0;
         self.keys[i] = key;
         self.ppns[i] = ppn;
         self.last_use[i] = tick;
+        self.tmasks[i] = tmask;
         self.valid |= 1 << i;
+    }
+
+    /// The translation forwarded when way `i` is displaced: the full
+    /// key, or under sub-entry sharing the canonical key retagged with
+    /// its lowest-numbered sharer ([`tenancy::representative`]).
+    fn victim(&self, i: usize, sub: bool) -> Translation {
+        let key =
+            if sub { tenancy::representative(self.keys[i], self.tmasks[i]) } else { self.keys[i] };
+        Translation::new(key, self.ppns[i])
     }
 
     fn resident(&self) -> usize {
@@ -172,6 +201,9 @@ pub struct TxLds {
     /// would only ever see VPNs congruent to its CU id and leave 7/8 of
     /// its segments idle.
     index_shift: u32,
+    /// Capacity-sharing policy between concurrent tenants; `None`
+    /// (the default) is bit-identical to the untenanted structure.
+    tenancy: Option<TenancyConfig>,
     tick: u64,
     stats: TxLdsStats,
 }
@@ -192,9 +224,32 @@ impl TxLds {
             segment_bytes: seg,
             ways: segment_size.ways(),
             index_shift: 0,
+            tenancy: None,
             tick: 0,
             stats: TxLdsStats::default(),
         }
+    }
+
+    /// Installs a tenancy policy (TENANCY.md §3). Must be called while
+    /// the structure holds no translations, so every resident entry
+    /// was inserted under one consistent tagging scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any translation is already resident.
+    pub fn set_tenancy(&mut self, tenancy: TenancyConfig) {
+        assert!(self.resident() == 0, "tenancy policy must be set before first insert");
+        self.tenancy = Some(tenancy);
+    }
+
+    fn sub_entry(&self) -> bool {
+        self.tenancy.is_some_and(|t| t.sub_entry())
+    }
+
+    /// The key stored in the tag lanes: canonical (VM-ID-zeroed) under
+    /// sub-entry sharing, the full key otherwise.
+    fn store_key(&self, key: TranslationKey) -> TranslationKey {
+        if self.sub_entry() { tenancy::canonical(key) } else { key }
     }
 
     /// Sets the number of low VPN bits to skip before segment indexing
@@ -216,7 +271,18 @@ impl TxLds {
     }
 
     fn index(&self, key: TranslationKey) -> usize {
-        ((key.vpn.0 >> self.index_shift) as usize) % self.segments.len()
+        let vpn = (key.vpn.0 >> self.index_shift) as usize;
+        match self.tenancy {
+            // Partitioned: tenant `t` owns the segment stripe ≡ `t`
+            // (mod tenants); any remainder segments when the count does
+            // not divide go unused (they are nobody's quota).
+            Some(t) if t.partitioned() => {
+                let tenants = t.tenants as usize;
+                let per = (self.segments.len() / tenants).max(1);
+                ((vpn % per) * tenants + key.vmid.raw() as usize) % self.segments.len()
+            }
+            _ => vpn % self.segments.len(),
+        }
     }
 
     fn tag(&self, key: TranslationKey) -> u64 {
@@ -238,18 +304,26 @@ impl TxLds {
         let tick = self.tick;
         let idx = self.index(key);
         let ways = self.ways;
+        let skey = self.store_key(key);
+        let sub = self.sub_entry();
+        let bit = TenancyConfig::mask_bit(key.vmid);
         let seg = &mut self.segments[idx];
         if seg.mode != SegmentMode::Tx {
             self.stats.lookups.miss();
             return None;
         }
-        match seg.find(ways, key) {
-            Some(i) => {
+        match seg.find(ways, skey) {
+            // A sub-entry hit needs the requester's valid-mask bit on
+            // top of the canonical tag match; a bare tag match without
+            // the bit misses (and does not refresh LRU — the requester
+            // holds no stake in the entry yet).
+            Some(i) if !sub || seg.tmasks[i] & bit != 0 => {
                 seg.last_use[i] = tick;
                 self.stats.lookups.hit();
-                Some(Translation::new(seg.keys[i], seg.ppns[i]))
+                let hit_key = if sub { key } else { seg.keys[i] };
+                Some(Translation::new(hit_key, seg.ppns[i]))
             }
-            None => {
+            _ => {
                 self.stats.lookups.miss();
                 None
             }
@@ -263,6 +337,9 @@ impl TxLds {
         let idx = self.index(tx.key);
         let tag = self.tag(tx.key);
         let ways = self.ways;
+        let skey = self.store_key(tx.key);
+        let sub = self.sub_entry();
+        let bit = TenancyConfig::mask_bit(tx.key.vmid);
         let seg = &mut self.segments[idx];
         match seg.mode {
             SegmentMode::App => {
@@ -273,14 +350,25 @@ impl TxLds {
                 seg.mode = SegmentMode::Tx;
                 seg.tags.clear();
                 assert!(seg.tags.try_admit(tag), "empty group admits");
-                seg.set(0, tx.key, tx.ppn, tick);
+                seg.set(0, skey, tx.ppn, tick, bit);
                 self.stats.inserts += 1;
                 LdsInsert::Inserted { evicted: None }
             }
             SegmentMode::Tx => {
-                // Refresh on re-insert of the same key.
-                if let Some(i) = seg.find(ways, tx.key) {
-                    seg.ppns[i] = tx.ppn;
+                // Refresh on re-insert of the same key; under sub-entry
+                // sharing a PPN-matching insert *merges* (the tenant
+                // joins the way's valid mask, arXiv 2404.18361 §4)
+                // while a PPN conflict rebases the way to the inserting
+                // tenant alone — the old sharers' mapping is stale.
+                if let Some(i) = seg.find(ways, skey) {
+                    if sub && seg.ppns[i] == tx.ppn {
+                        seg.tmasks[i] |= bit;
+                    } else {
+                        if sub {
+                            seg.tmasks[i] = bit;
+                        }
+                        seg.ppns[i] = tx.ppn;
+                    }
                     seg.last_use[i] = tick;
                     self.stats.inserts += 1;
                     return LdsInsert::Inserted { evicted: None };
@@ -291,9 +379,8 @@ impl TxLds {
                     // express the new tag. Evict everything and re-base;
                     // only the most-recently-used victim is forwarded.
                     self.stats.compression_conflicts += 1;
-                    let mru = ones(seg.valid)
-                        .max_by_key(|&i| seg.last_use[i])
-                        .map(|i| Translation::new(seg.keys[i], seg.ppns[i]));
+                    let mru =
+                        ones(seg.valid).max_by_key(|&i| seg.last_use[i]).map(|i| seg.victim(i, sub));
                     let dropped = seg.drop_all_tx();
                     self.stats.evictions += dropped as u64;
                     self.stats.conflict_drops += dropped.saturating_sub(1) as u64;
@@ -303,15 +390,15 @@ impl TxLds {
                     let i = ones(seg.valid)
                         .min_by_key(|&i| seg.last_use[i])
                         .expect("full segment non-empty");
+                    evicted = Some(seg.victim(i, sub));
                     seg.valid &= !(1 << i);
                     seg.tags.retire();
                     self.stats.evictions += 1;
-                    evicted = Some(Translation::new(seg.keys[i], seg.ppns[i]));
                 }
                 assert!(seg.tags.try_admit(tag), "tag checked to fit");
                 let free = (!seg.valid).trailing_zeros() as usize;
                 debug_assert!(free < ways, "a slot was freed or available");
-                seg.set(free, tx.key, tx.ppn, tick);
+                seg.set(free, skey, tx.ppn, tick, bit);
                 self.stats.inserts += 1;
                 LdsInsert::Inserted { evicted }
             }
@@ -353,14 +440,33 @@ impl TxLds {
     }
 
     /// Shootdown: invalidates `key` if present; returns whether it was.
+    ///
+    /// Under sub-entry sharing only the shooting tenant's valid-mask
+    /// bit is cleared; the way survives for its co-sharers and is
+    /// freed only when the mask empties (arXiv 2404.18361 §4.3).
     pub fn shootdown(&mut self, key: TranslationKey) -> bool {
         let idx = self.index(key);
         let ways = self.ways;
+        let skey = self.store_key(key);
+        let sub = self.sub_entry();
+        let bit = TenancyConfig::mask_bit(key.vmid);
         let seg = &mut self.segments[idx];
         if seg.mode != SegmentMode::Tx {
             return false;
         }
-        if let Some(i) = seg.find(ways, key) {
+        if let Some(i) = seg.find(ways, skey) {
+            if sub {
+                if seg.tmasks[i] & bit == 0 {
+                    return false;
+                }
+                seg.tmasks[i] &= !bit;
+                self.stats.shootdowns += 1;
+                if seg.tmasks[i] == 0 {
+                    seg.valid &= !(1 << i);
+                    seg.tags.retire();
+                }
+                return true;
+            }
             seg.valid &= !(1 << i);
             seg.tags.retire();
             self.stats.shootdowns += 1;
@@ -368,6 +474,38 @@ impl TxLds {
         } else {
             false
         }
+    }
+
+    /// Drops every translation visible to `vmid` (tenant teardown /
+    /// churn); returns the number of visibility losses. Under
+    /// sub-entry sharing this clears the tenant's bit across all ways,
+    /// freeing only ways whose mask empties.
+    pub fn invalidate_vmid(&mut self, vmid: VmId) -> usize {
+        let sub = self.sub_entry();
+        let bit = TenancyConfig::mask_bit(vmid);
+        let mut lost = 0;
+        for seg in &mut self.segments {
+            if seg.mode != SegmentMode::Tx {
+                continue;
+            }
+            for i in ones(seg.valid) {
+                if sub {
+                    if seg.tmasks[i] & bit != 0 {
+                        seg.tmasks[i] &= !bit;
+                        lost += 1;
+                        if seg.tmasks[i] == 0 {
+                            seg.valid &= !(1 << i);
+                            seg.tags.retire();
+                        }
+                    }
+                } else if seg.keys[i].vmid == vmid {
+                    seg.valid &= !(1 << i);
+                    seg.tags.retire();
+                    lost += 1;
+                }
+            }
+        }
+        lost
     }
 
     /// Translations currently resident (Fig 15's "entries gained").
@@ -389,11 +527,23 @@ impl TxLds {
     }
 
     /// Iterates over resident translations (Fig 14a sharing analysis).
+    ///
+    /// Under sub-entry sharing each way expands to one translation per
+    /// set mask bit, with the canonical key retagged by that sharer's
+    /// VM-ID — so coherence checks can validate the mapping against
+    /// every sharing tenant's page table.
     pub fn iter(&self) -> impl Iterator<Item = Translation> + '_ {
-        self.segments
-            .iter()
-            .filter(|s| s.mode == SegmentMode::Tx)
-            .flat_map(|s| ones(s.valid).map(|i| Translation::new(s.keys[i], s.ppns[i])))
+        let sub = self.sub_entry();
+        self.segments.iter().filter(|s| s.mode == SegmentMode::Tx).flat_map(move |s| {
+            ones(s.valid).flat_map(move |i| {
+                let (key, ppn) = (s.keys[i], s.ppns[i]);
+                let mask = if sub { s.tmasks[i] } else { 1 << key.vmid.raw() };
+                (0..MAX_TENANTS as u8).filter(move |b| mask & (1u8 << b) != 0).map(move |b| {
+                    let k = if sub { TranslationKey { vmid: VmId::new(b), ..key } } else { key };
+                    Translation::new(k, ppn)
+                })
+            })
+        })
     }
 
     /// Accumulated statistics.
@@ -602,5 +752,149 @@ mod tests {
         l.insert(tx(1));
         l.insert(tx(2));
         assert_eq!(l.iter().count(), 2);
+    }
+
+    mod tenancy {
+        use super::*;
+        use gtr_vm::addr::VmId;
+        use gtr_vm::tenancy::{SharingPolicy, TenancyConfig};
+
+        fn keyed(v: u64, vm: u8) -> Translation {
+            let key = TranslationKey {
+                vpn: Vpn(v),
+                vmid: VmId::new(vm),
+                vrf: gtr_vm::addr::VrfId::new(0),
+            };
+            Translation::new(key, Ppn(v + 1))
+        }
+
+        fn tenanted(policy: SharingPolicy, tenants: u8) -> TxLds {
+            let mut l = lds();
+            l.set_tenancy(TenancyConfig::new(tenants, policy));
+            l
+        }
+
+        #[test]
+        fn partitioned_stripes_segments_by_tenant() {
+            let mut l = tenanted(SharingPolicy::Partitioned, 2);
+            // Same VPN, two tenants: the stripe remap must land them in
+            // different segments, so neither can evict the other.
+            l.insert(keyed(7, 0));
+            l.insert(keyed(7, 1));
+            assert_eq!(l.resident(), 2);
+            assert_eq!(l.lookup(keyed(7, 0).key), Some(keyed(7, 0)));
+            assert_eq!(l.lookup(keyed(7, 1).key), Some(keyed(7, 1)));
+            // Fill tenant 0's segment to overflow: victims must all be
+            // tenant 0's own translations.
+            let per = l.segment_count() / 2;
+            for i in 0..8u64 {
+                if let LdsInsert::Inserted { evicted: Some(e) } =
+                    l.insert(keyed(7 + i * per as u64, 0))
+                {
+                    assert_eq!(e.key.vmid.raw(), 0, "no cross-tenant eviction");
+                }
+            }
+            assert!(l.lookup(keyed(7, 1).key).is_some(), "tenant 1 untouched");
+        }
+
+        #[test]
+        fn shared_policy_checks_vmid_on_hit() {
+            let mut l = tenanted(SharingPolicy::Shared, 2);
+            l.insert(keyed(3, 0));
+            assert!(l.lookup(keyed(3, 0).key).is_some());
+            assert!(l.lookup(keyed(3, 1).key).is_none(), "foreign vmid must miss");
+        }
+
+        #[test]
+        fn sub_entry_merges_on_ppn_match() {
+            let mut l = tenanted(SharingPolicy::SubEntry, 2);
+            let k0 = keyed(5, 0).key;
+            let k1 = keyed(5, 1).key;
+            l.insert(Translation::new(k0, Ppn(42)));
+            l.insert(Translation::new(k1, Ppn(42)));
+            assert_eq!(l.resident(), 1, "PPN-matching tenants share one way");
+            assert_eq!(l.lookup(k0), Some(Translation::new(k0, Ppn(42))));
+            assert_eq!(l.lookup(k1), Some(Translation::new(k1, Ppn(42))));
+            assert_eq!(l.iter().count(), 2, "iter expands one entry per sharer");
+        }
+
+        #[test]
+        fn sub_entry_ppn_conflict_rebases() {
+            let mut l = tenanted(SharingPolicy::SubEntry, 2);
+            let k0 = keyed(5, 0).key;
+            let k1 = keyed(5, 1).key;
+            l.insert(Translation::new(k0, Ppn(42)));
+            l.insert(Translation::new(k1, Ppn(99)));
+            assert_eq!(l.resident(), 1);
+            assert!(l.lookup(k0).is_none(), "stale sharer evicted from the mask");
+            assert_eq!(l.lookup(k1), Some(Translation::new(k1, Ppn(99))));
+        }
+
+        #[test]
+        fn sub_entry_shootdown_clears_one_bit() {
+            let mut l = tenanted(SharingPolicy::SubEntry, 2);
+            let k0 = keyed(5, 0).key;
+            let k1 = keyed(5, 1).key;
+            l.insert(Translation::new(k0, Ppn(42)));
+            l.insert(Translation::new(k1, Ppn(42)));
+            assert!(l.shootdown(k0));
+            assert!(l.lookup(k0).is_none());
+            assert!(l.lookup(k1).is_some(), "co-sharer survives the shootdown");
+            assert!(!l.shootdown(k0), "bit already clear");
+            assert!(l.shootdown(k1));
+            assert_eq!(l.resident(), 0, "entry dies when its mask empties");
+        }
+
+        #[test]
+        fn sub_entry_victim_carries_representative_vmid() {
+            let mut l = tenanted(SharingPolicy::SubEntry, 2);
+            let n = l.segment_count() as u64;
+            let seg5 = |i: u64, vm: u8| keyed(5 + i * n, vm);
+            // One shared way (tenants 0+1) plus two singles fills the set.
+            l.insert(Translation::new(seg5(0, 0).key, Ppn(42)));
+            l.insert(Translation::new(seg5(0, 1).key, Ppn(42)));
+            l.insert(seg5(1, 0));
+            l.insert(seg5(2, 0));
+            // Next insert evicts the LRU (the shared way): forwarded on
+            // behalf of its lowest sharer, tenant 0.
+            match l.insert(seg5(3, 1)) {
+                LdsInsert::Inserted { evicted: Some(e) } => {
+                    assert_eq!(e.key.vpn, Vpn(5));
+                    assert_eq!(e.key.vmid.raw(), 0, "lowest-numbered sharer");
+                }
+                other => panic!("expected eviction: {other:?}"),
+            }
+        }
+
+        #[test]
+        fn invalidate_vmid_counts_visibility_losses() {
+            let mut l = tenanted(SharingPolicy::SubEntry, 2);
+            l.insert(Translation::new(keyed(5, 0).key, Ppn(42)));
+            l.insert(Translation::new(keyed(5, 1).key, Ppn(42)));
+            l.insert(keyed(9, 0));
+            assert_eq!(l.invalidate_vmid(VmId::new(0)), 2);
+            assert_eq!(l.resident(), 1, "shared way survives for tenant 1");
+            assert!(l.lookup(keyed(5, 1).key).is_some());
+        }
+
+        #[test]
+        fn single_tenant_shared_matches_untenanted() {
+            let mut plain = lds();
+            let mut shared = tenanted(SharingPolicy::Shared, 1);
+            for i in 0..2048u64 {
+                assert_eq!(plain.insert(tx(i * 3)), shared.insert(tx(i * 3)));
+                assert_eq!(plain.lookup(tx(i).key), shared.lookup(tx(i).key));
+            }
+            assert_eq!(plain.resident(), shared.resident());
+            assert_eq!(plain.stats().evictions, shared.stats().evictions);
+        }
+
+        #[test]
+        #[should_panic(expected = "before first insert")]
+        fn set_tenancy_rejects_warm_structure() {
+            let mut l = lds();
+            l.insert(tx(1));
+            l.set_tenancy(TenancyConfig::new(2, SharingPolicy::Shared));
+        }
     }
 }

@@ -4,7 +4,7 @@ use gtr_sim::hist::{CycleAttribution, Hist};
 use gtr_sim::stats::{FiveNumberSummary, HitMiss, Sampler};
 
 /// Per-kernel measurement record (Figs 5a and 11).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct KernelStats {
     /// Kernel name.
     pub name: String,
@@ -183,6 +183,60 @@ impl SamplingMeta {
     }
 }
 
+/// Per-tenant measurement record under multi-tenancy (TENANCY.md §4;
+/// exported as the `tenants` array of schema v5).
+///
+/// Kernels run serially, so per-kernel counter deltas attribute
+/// exactly to the launching tenant's address space — the per-tenant
+/// fields sum to the corresponding [`RunStats`] globals (the invariant
+/// `export::check_tenancy_invariants` gates).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantStats {
+    /// The tenant's VM-ID (its address space; `gtr_vm::tenancy`).
+    pub vmid: u8,
+    /// Workload label: the first kernel name attributed to this
+    /// tenant (harnesses may overwrite it with the app name).
+    pub app: String,
+    /// Measured-clock cycles spent inside this tenant's kernels. The
+    /// same basis solo runs report, in exact *and* sampled mode, so
+    /// `cycles / solo_cycles` is a like-for-like slowdown.
+    pub cycles: u64,
+    /// Ops executed by this tenant's kernels.
+    pub instructions: u64,
+    /// Translation requests issued during this tenant's kernels.
+    pub translation_requests: u64,
+    /// L1 TLB hits/misses during this tenant's kernels.
+    pub l1_tlb: HitMiss,
+    /// Reconfigurable-LDS lookup hits/misses during this tenant's
+    /// kernels.
+    pub lds_tx: HitMiss,
+    /// Reconfigurable-I-cache lookup hits/misses during this tenant's
+    /// kernels.
+    pub ic_tx: HitMiss,
+    /// L2 TLB hits/misses during this tenant's kernels.
+    pub l2_tlb: HitMiss,
+    /// IOMMU page walks during this tenant's kernels.
+    pub page_walks: u64,
+    /// Pages shot down in this tenant's address space (driver events).
+    pub shootdowns: u64,
+    /// Cycles the same workload takes running alone on the GPU
+    /// (filled by the sweep harness from a solo run; 0 when unknown).
+    pub solo_cycles: u64,
+}
+
+impl TenantStats {
+    /// Fairness metric: shared-run cycles over solo-run cycles
+    /// (TENANCY.md §4). ≥ 1 in practice; 0 when no solo baseline was
+    /// recorded.
+    pub fn slowdown(&self) -> f64 {
+        if self.solo_cycles > 0 && self.cycles > 0 {
+            self.cycles as f64 / self.solo_cycles as f64
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Everything measured over one application run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
@@ -275,6 +329,11 @@ pub struct RunStats {
     /// for exact (fully detailed) runs. When present, `total_cycles`
     /// is an extrapolation — see [`SamplingMeta`].
     pub sampling: Option<SamplingMeta>,
+    /// Per-tenant accounting under multi-tenancy
+    /// (`ReachConfig::tenancy`), one entry per tenant in VM-ID order;
+    /// empty for untenanted runs, whose export stays schema v4
+    /// byte-identical (the field is introduced by schema v5).
+    pub tenants: Vec<TenantStats>,
 }
 
 impl RunStats {

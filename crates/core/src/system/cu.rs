@@ -37,19 +37,27 @@ pub(super) struct Cu {
 
 impl Cu {
     /// Builds one cold compute unit for the machine configuration.
+    /// With `reach.tenancy` set, the CU's L1 TLB and reconfigurable
+    /// LDS are born under that sharing policy (TENANCY.md §3).
     pub(super) fn new(gpu: &GpuConfig, reach: &ReachConfig) -> Self {
+        let mut l1_tlb = Tlb::new(gpu.l1_tlb);
+        let mut tx_lds = TxLds::new(gpu.lds_bytes, reach.segment_size).with_index_shift(
+            if reach.lds_home_hashing {
+                (gpu.cus as u32).trailing_zeros()
+            } else {
+                0
+            },
+        );
+        if let Some(tenancy) = reach.tenancy {
+            l1_tlb.set_tenancy(Some(tenancy));
+            tx_lds.set_tenancy(tenancy);
+        }
         Cu {
-            l1_tlb: Tlb::new(gpu.l1_tlb),
+            l1_tlb,
             l1_port: Server::new(1),
             pending: FastMap::with_capacity(1024),
             l1d: Cache::new(gpu.l1d),
-            tx_lds: TxLds::new(gpu.lds_bytes, reach.segment_size).with_index_shift(
-                if reach.lds_home_hashing {
-                    (gpu.cus as u32).trailing_zeros()
-                } else {
-                    0
-                },
-            ),
+            tx_lds,
             lds_port: TrackedPort::new(),
             simds: (0..gpu.simds_per_cu).map(|_| Pipeline::new(4, 4)).collect(),
             next_simd: 0,

@@ -64,7 +64,7 @@ use crate::config::{ReachConfig, SamplingConfig};
 use crate::driver::{DriverSchedule, ShootdownReport};
 use crate::icache_tx::TxIcache;
 use crate::obs::{ObsRecorder, VictimLifetimes};
-use crate::stats::{EpochStats, KernelStats, RunStats, SamplingMeta};
+use crate::stats::{EpochStats, KernelStats, RunStats, SamplingMeta, TenantStats};
 use crate::victim;
 
 use cu::{Cu, SampleMode, WaveRt, WgRt};
@@ -73,6 +73,25 @@ use shared::{PteMem, SharedHierarchy};
 /// Physical region instruction code occupies (disjoint from data
 /// frames and page-table nodes).
 const CODE_PHYS_BASE_LINE: u64 = (1u64 << 45) / 64;
+
+/// Cumulative translation-side counters read at kernel boundaries for
+/// per-tenant attribution (TENANCY.md §4). Kernels run serially, so
+/// the delta between two boundary snapshots belongs entirely to the
+/// kernel in between — the hot translate paths never touch per-tenant
+/// state, and per-tenant sums telescope to the run's global totals.
+#[derive(Debug, Clone, Copy, Default)]
+struct TenantSnap {
+    requests: u64,
+    l1_hits: u64,
+    l1_misses: u64,
+    lds_hits: u64,
+    lds_misses: u64,
+    ic_hits: u64,
+    ic_misses: u64,
+    l2_hits: u64,
+    l2_misses: u64,
+    walks: u64,
+}
 
 /// The complete simulated system.
 #[derive(Debug)]
@@ -119,6 +138,19 @@ pub struct System {
     sc_ff_hits: u64,
     code_bases: HashMap<String, u64>,
     next_code_line: u64,
+    // multi-tenancy (TENANCY.md §4)
+    /// Cached `reach.tenancy.is_some()`, mirroring `trace_on`: the
+    /// per-kernel attribution sites cost one predictable branch on a
+    /// plain bool for the (default) untenanted case.
+    tenancy_on: bool,
+    /// Per-tenant accumulators, indexed by VM-ID; grown on first
+    /// attribution and padded to the configured tenant count in
+    /// `finalize`. Empty unless `tenancy_on`.
+    tenant_acc: Vec<TenantStats>,
+    /// Counter snapshot at the last kernel boundary: kernels run
+    /// serially, so the delta since this snapshot belongs entirely to
+    /// the kernel that just retired (its launching tenant).
+    last_tenant_snap: TenantSnap,
     /// Reused by `global_access` so the per-access coalescing result
     /// and per-page completion times never reallocate.
     scratch_coalesced: CoalescedAccess,
@@ -211,6 +243,9 @@ impl System {
             sc_ff_hits: 0,
             code_bases: HashMap::new(),
             next_code_line: CODE_PHYS_BASE_LINE,
+            tenancy_on: reach.tenancy.is_some(),
+            tenant_acc: Vec::new(),
+            last_tenant_snap: TenantSnap::default(),
             scratch_coalesced: CoalescedAccess::default(),
             scratch_page_done: Vec::with_capacity(64),
             trace: Box::new(NullSink),
@@ -381,6 +416,8 @@ impl System {
         self.next_epoch = self.epoch_len;
         self.shootdown_report = ShootdownReport::default();
         self.obs = ObsRecorder::default();
+        self.tenant_acc.clear();
+        self.last_tenant_snap = TenantSnap::default();
         for cu in &mut self.cus {
             cu.l1_tlb.reset_stats();
             cu.tx_lds.reset_stats();
@@ -404,6 +441,14 @@ impl System {
     /// Counters from executed driver events.
     pub fn shootdown_report(&self) -> ShootdownReport {
         self.shootdown_report
+    }
+
+    /// The demand-mapped pages of one address space, sorted by VPN —
+    /// the deterministic victim pool for driver-event scenarios (the
+    /// tenancy shootdown storm migrates a slice of these; migrating
+    /// an unmapped page is a silent no-op).
+    pub fn mapped_vpns(&self, vmid: gtr_vm::addr::VmId) -> Vec<Vpn> {
+        self.shared.page_tables[vmid.raw() as usize].mapped_vpns()
     }
 
     /// Verifies that every translation cached anywhere (L1 TLBs, L2
@@ -472,6 +517,8 @@ impl System {
             trace_on,
             obs,
             obs_on,
+            tenancy_on,
+            tenant_acc,
             ..
         } = self;
         let SharedHierarchy { page_tables, l2_tlb, icaches, iommu, .. } = shared;
@@ -487,6 +534,16 @@ impl System {
                     continue; // page was never touched: nothing to shoot down
                 }
                 shootdown_report.pages_migrated += 1;
+                if *tenancy_on {
+                    // Shootdowns hit an address space, not a kernel:
+                    // attribute by the migrated page's VM-ID directly
+                    // (may precede that tenant's first kernel boundary).
+                    let idx = vmid.raw() as usize;
+                    if tenant_acc.len() <= idx {
+                        tenant_acc.resize_with(idx + 1, TenantStats::default);
+                    }
+                    tenant_acc[idx].shootdowns += 1;
+                }
                 let key = TranslationKey {
                     vpn: *vpn,
                     vmid: *vmid,
@@ -615,6 +672,13 @@ impl System {
                 icache_utilization_pct: util,
                 lds_bytes_per_wg: kernel.lds_bytes_per_wg(),
             });
+            if self.tenancy_on {
+                self.attribute_kernel_to_tenant(
+                    kernel,
+                    end - t,
+                    self.instructions - insts_before,
+                );
+            }
             t = end;
             prev_kernel = Some(kernel.name());
             self.sample_peak_entries();
@@ -1714,6 +1778,65 @@ impl System {
         }
     }
 
+    /// Reads the cumulative counters the per-tenant attribution deltas
+    /// against — the same sources `epoch_snapshot` and `finalize`
+    /// aggregate, so the tenancy sums-to-globals invariant holds by
+    /// construction.
+    fn tenant_snapshot(&self) -> TenantSnap {
+        let mut s = TenantSnap {
+            requests: self.translation_requests,
+            walks: self.shared.iommu.walks(),
+            ..TenantSnap::default()
+        };
+        for cu in &self.cus {
+            let l1 = cu.l1_tlb.stats();
+            s.l1_hits += l1.hits;
+            s.l1_misses += l1.misses;
+            let lds = cu.tx_lds.stats().lookups;
+            s.lds_hits += lds.hits;
+            s.lds_misses += lds.misses;
+        }
+        for ic in &self.shared.icaches {
+            let tx = ic.stats().tx_lookups;
+            s.ic_hits += tx.hits;
+            s.ic_misses += tx.misses;
+        }
+        let l2 = self.shared.l2_tlb.stats();
+        s.l2_hits += l2.hits;
+        s.l2_misses += l2.misses;
+        s
+    }
+
+    /// Credits the counter movement since the last kernel boundary to
+    /// the retired kernel's tenant. Called from [`Self::run`] only when
+    /// `tenancy_on`; the accumulator grows on demand and is padded to
+    /// the configured tenant count in `finalize`.
+    fn attribute_kernel_to_tenant(&mut self, kernel: &KernelDesc, cycles: Cycle, instructions: u64) {
+        let snap = self.tenant_snapshot();
+        let prev = self.last_tenant_snap;
+        self.last_tenant_snap = snap;
+        let idx = kernel.vm_id().raw() as usize;
+        if self.tenant_acc.len() <= idx {
+            self.tenant_acc.resize_with(idx + 1, TenantStats::default);
+        }
+        let t = &mut self.tenant_acc[idx];
+        if t.app.is_empty() {
+            t.app = kernel.name().to_string();
+        }
+        t.cycles += cycles;
+        t.instructions += instructions;
+        t.translation_requests += snap.requests - prev.requests;
+        t.l1_tlb.hits += snap.l1_hits - prev.l1_hits;
+        t.l1_tlb.misses += snap.l1_misses - prev.l1_misses;
+        t.lds_tx.hits += snap.lds_hits - prev.lds_hits;
+        t.lds_tx.misses += snap.lds_misses - prev.lds_misses;
+        t.ic_tx.hits += snap.ic_hits - prev.ic_hits;
+        t.ic_tx.misses += snap.ic_misses - prev.ic_misses;
+        t.l2_tlb.hits += snap.l2_hits - prev.l2_hits;
+        t.l2_tlb.misses += snap.l2_misses - prev.l2_misses;
+        t.page_walks += snap.walks - prev.walks;
+    }
+
     fn finalize(&mut self, app: &AppTrace, t_end: Cycle, kernels: Vec<KernelStats>) -> RunStats {
         self.sample_peak_entries();
         let sampling_meta = self.finish_sampling(t_end);
@@ -1764,6 +1887,20 @@ impl System {
         // Entries still resident stay censored: only completed
         // lifetimes made it into the histograms.
         let obs = std::mem::take(&mut self.obs);
+        let tenants = if let Some(tc) = self.reach.tenancy {
+            // Pad to the configured tenant count (a tenant whose
+            // workload never launched still appears, zeroed) and stamp
+            // the VM-IDs the index order implies.
+            if self.tenant_acc.len() < tc.tenants as usize {
+                self.tenant_acc.resize_with(tc.tenants as usize, TenantStats::default);
+            }
+            for (i, t) in self.tenant_acc.iter_mut().enumerate() {
+                t.vmid = i as u8;
+            }
+            std::mem::take(&mut self.tenant_acc)
+        } else {
+            Vec::new()
+        };
         RunStats {
             app: app.name().to_string(),
             // A sampled run reports detail cycles + CPI extrapolation
@@ -1806,6 +1943,7 @@ impl System {
             victim_reuse_lds: obs.victim.reuse_lds,
             victim_reuse_ic: obs.victim.reuse_ic,
             sampling: sampling_meta,
+            tenants,
         }
     }
 }
@@ -1990,6 +2128,72 @@ mod tests {
         // Cycle time may wobble slightly from second-order interleaving
         // effects; allow 5% slack on top of the walk reduction.
         assert!(big.total_cycles as f64 <= small.total_cycles as f64 * 1.05);
+    }
+
+    #[test]
+    fn tenant_sums_telescope_to_globals_under_every_policy() {
+        use gtr_vm::tenancy::SharingPolicy;
+        let solo = simple_app(512, 8, 16);
+        for policy in SharingPolicy::all() {
+            let app = AppTrace::replicate(&solo, 2);
+            let stats = run_app(&app, ReachConfig::ic_plus_lds().with_tenancy(2, policy));
+            assert_eq!(stats.tenants.len(), 2, "{policy}: one record per tenant");
+            assert!(
+                stats.tenants.iter().all(|t| t.instructions > 0 && t.cycles > 0),
+                "{policy}: both tenants executed"
+            );
+            let problems = crate::export::check_tenancy_invariants(&stats);
+            assert!(problems.is_empty(), "{policy}: {problems:?}");
+        }
+    }
+
+    #[test]
+    fn single_tenant_run_matches_untenanted_bit_for_bit() {
+        use gtr_vm::tenancy::SharingPolicy;
+        let app = simple_app(512, 8, 16);
+        let base = run_app(&app, ReachConfig::ic_plus_lds());
+        let untenanted = crate::export::run_stats_to_json_string(&base);
+        for policy in SharingPolicy::all() {
+            let mut t1 = run_app(&app, ReachConfig::ic_plus_lds().with_tenancy(1, policy));
+            assert_eq!(t1.tenants.len(), 1, "{policy}");
+            assert_eq!(t1.tenants[0].instructions, t1.instructions, "{policy}");
+            // After dropping the per-tenant appendix, the export must
+            // be byte-identical to the tenancy-off run: one tenant
+            // shares nothing, partitions nothing, and sub-entry masks
+            // collapse to plain vmid tags.
+            t1.tenants.clear();
+            assert_eq!(
+                crate::export::run_stats_to_json_string(&t1),
+                untenanted,
+                "{policy}: single-tenant run must not perturb the model"
+            );
+        }
+    }
+
+    #[test]
+    fn shootdowns_attributed_to_the_owning_tenant() {
+        use crate::driver::MigrationEvent;
+        use gtr_vm::addr::VmId;
+        use gtr_vm::tenancy::SharingPolicy;
+        let app = AppTrace::replicate(&simple_app(256, 4, 8), 2);
+        // Migrate pages only in tenant 1's address space, triggered
+        // deep enough into the run that tenant 1's kernel (launched
+        // second) has demand-mapped them.
+        let schedule = DriverSchedule::new().migrate(MigrationEvent {
+            after_translations: 3000,
+            pages: (0..16).map(|v| (VmId::new(1), Vpn(v))).collect(),
+        });
+        let mut sys = System::new(
+            GpuConfig::default(),
+            ReachConfig::ic_plus_lds().with_tenancy(2, SharingPolicy::SubEntry),
+        )
+        .with_driver_schedule(schedule);
+        let stats = sys.run(&app);
+        let report = sys.shootdown_report();
+        assert!(report.pages_migrated > 0, "some touched pages migrated");
+        assert_eq!(stats.tenants[0].shootdowns, 0);
+        assert_eq!(stats.tenants[1].shootdowns, report.pages_migrated);
+        sys.check_translation_coherence();
     }
 
     #[test]

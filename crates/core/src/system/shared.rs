@@ -76,8 +76,9 @@ impl PteAccess for PteMem<'_> {
 /// per-CU boundary of the Fig-12 path, plus the page tables and DRAM.
 #[derive(Debug)]
 pub(super) struct SharedHierarchy {
-    /// One page table per 2-bit address space (§7.2 multi-application
-    /// scenarios); single-app traces only touch space 0.
+    /// One page table per 3-bit address space (§7.2 multi-application
+    /// scenarios and the `gtr_vm::tenancy` model's up-to-8 concurrent
+    /// tenants); single-app traces only touch space 0.
     pub(super) page_tables: Vec<PageTable>,
     pub(super) iommu: Iommu,
     pub(super) l2_tlb: Tlb,
@@ -94,9 +95,30 @@ pub(super) struct SharedHierarchy {
 
 impl SharedHierarchy {
     /// Builds the cold shared hierarchy for a machine configuration.
+    /// With `reach.tenancy` set, the L2 TLB and the reconfigurable
+    /// I-caches are born under that sharing policy, mirroring the
+    /// per-CU structures in [`Cu::new`](super::cu::Cu::new)
+    /// (TENANCY.md §3).
     pub(super) fn new(gpu: &GpuConfig, reach: &ReachConfig) -> Self {
+        let mut l2_tlb = Tlb::new(gpu.l2_tlb);
+        let mut icaches: Vec<TxIcache> = (0..gpu.icache_count())
+            .map(|_| {
+                TxIcache::new(
+                    gpu.icache_bytes,
+                    gpu.icache_assoc,
+                    reach.tx_per_line,
+                    reach.replacement,
+                )
+            })
+            .collect();
+        if let Some(tenancy) = reach.tenancy {
+            l2_tlb.set_tenancy(Some(tenancy));
+            for ic in &mut icaches {
+                ic.set_tenancy(tenancy);
+            }
+        }
         Self {
-            page_tables: (0..4)
+            page_tables: (0..8)
                 .map(|i| {
                     PageTable::with_ids(
                         gpu.page_size,
@@ -106,19 +128,10 @@ impl SharedHierarchy {
                 })
                 .collect(),
             iommu: Iommu::new(gpu.iommu),
-            l2_tlb: Tlb::new(gpu.l2_tlb),
+            l2_tlb,
             l2_port: Timeline::new(),
             mem: MemorySystem::new(gpu.memory),
-            icaches: (0..gpu.icache_count())
-                .map(|_| {
-                    TxIcache::new(
-                        gpu.icache_bytes,
-                        gpu.icache_assoc,
-                        reach.tx_per_line,
-                        reach.replacement,
-                    )
-                })
-                .collect(),
+            icaches,
             fetch_fill: (0..gpu.icache_count()).map(|_| Timeline::new()).collect(),
             side_cache: None,
         }

@@ -216,6 +216,67 @@ impl AppTrace {
         AppTrace::new(format!("{}+{}", a.name(), b.name()), kernels)
     }
 
+    /// Generalizes [`Self::interleave`] to up to eight co-resident
+    /// applications (the `gtr_vm::tenancy` tenant limit): kernel
+    /// launches round-robin across the inputs, tenant *i*'s kernels
+    /// run in address space *i*, and names are prefixed with the
+    /// source application so instruction footprints stay distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice or more than eight applications.
+    pub fn interleave_many(apps: &[&AppTrace]) -> AppTrace {
+        assert!(
+            !apps.is_empty() && apps.len() <= 8,
+            "tenancy supports 1..=8 co-resident applications, got {}",
+            apps.len()
+        );
+        let mut kernels = Vec::with_capacity(apps.iter().map(|a| a.kernels.len()).sum());
+        let mut iters: Vec<_> = apps.iter().map(|a| a.kernels.iter()).collect();
+        loop {
+            let mut any = false;
+            for (vm, it) in iters.iter_mut().enumerate() {
+                if let Some(k) = it.next() {
+                    any = true;
+                    kernels.push(
+                        KernelDesc::new(
+                            format!("{}::{}", apps[vm].name(), k.name()),
+                            k.code_lines(),
+                            k.lds_bytes_per_wg(),
+                            k.workgroups().to_vec(),
+                        )
+                        .with_vm_id(VmId::new(vm as u8)),
+                    );
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        let name = apps.iter().map(|a| a.name()).collect::<Vec<_>>().join("+");
+        AppTrace::new(name, kernels)
+    }
+
+    /// `tenants` co-resident copies of the same workload, one per
+    /// address space — the homogeneous tenant-count sweep of the
+    /// tenancy figures. Each copy's kernels are re-tagged with the
+    /// tenant index (distinct processes don't share code regions),
+    /// and the trace name encodes the tenant count so checkpoint
+    /// caching never conflates different sweep points.
+    pub fn replicate(app: &AppTrace, tenants: u8) -> AppTrace {
+        assert!(
+            (1..=8).contains(&tenants),
+            "tenancy supports 1..=8 tenants, got {tenants}"
+        );
+        let copies: Vec<AppTrace> = (0..tenants)
+            .map(|t| AppTrace::new(format!("{}@t{}", app.name(), t), app.kernels.clone()))
+            .collect();
+        let refs: Vec<&AppTrace> = copies.iter().collect();
+        let mut out = Self::interleave_many(&refs);
+        out.name = format!("{}x{}", app.name(), tenants);
+        out
+    }
+
     /// Number of distinct kernel names.
     pub fn distinct_kernels(&self) -> usize {
         let mut names: Vec<&str> = self.kernels.iter().map(KernelDesc::name).collect();
@@ -273,5 +334,51 @@ mod tests {
         assert_eq!(m.kernels()[1].vm_id(), VmId::new(1));
         // The tail of the longer app keeps flowing.
         assert_eq!(m.kernels()[3].name(), "A::x");
+    }
+
+    #[test]
+    fn interleave_many_round_robins_up_to_eight_tenants() {
+        let k = |n: &str| KernelDesc::new(n, 1, 0, vec![]);
+        let apps: Vec<AppTrace> = (0..4)
+            .map(|i| AppTrace::new(format!("A{i}"), vec![k("x"), k("x")]))
+            .collect();
+        let refs: Vec<&AppTrace> = apps.iter().collect();
+        let m = AppTrace::interleave_many(&refs);
+        assert_eq!(m.name(), "A0+A1+A2+A3");
+        assert_eq!(m.kernels().len(), 8);
+        for (i, kd) in m.kernels().iter().enumerate() {
+            assert_eq!(kd.vm_id(), VmId::new((i % 4) as u8));
+        }
+        // Two apps reproduces `interleave`'s schedule.
+        let two = AppTrace::interleave_many(&refs[..2]);
+        let legacy = AppTrace::interleave(&apps[0], &apps[1]);
+        assert_eq!(two.kernels(), legacy.kernels());
+    }
+
+    #[test]
+    fn replicate_tags_copies_with_tenant_index() {
+        let k = |n: &str| KernelDesc::new(n, 1, 0, vec![]);
+        let app = AppTrace::new("G", vec![k("k1"), k("k2")]);
+        let r = AppTrace::replicate(&app, 3);
+        assert_eq!(r.name(), "Gx3");
+        assert_eq!(r.kernels().len(), 6);
+        assert_eq!(r.kernels()[0].name(), "G@t0::k1");
+        assert_eq!(r.kernels()[1].name(), "G@t1::k1");
+        assert_eq!(r.kernels()[2].name(), "G@t2::k1");
+        assert_eq!(r.kernels()[4].vm_id(), VmId::new(1));
+        // Code regions stay distinct across tenants (separate
+        // processes), so all 6 launches carry distinct names modulo
+        // the per-tenant pair.
+        assert_eq!(r.distinct_kernels(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8")]
+    fn interleave_many_rejects_more_than_eight() {
+        let k = KernelDesc::new("k", 1, 0, vec![]);
+        let apps: Vec<AppTrace> =
+            (0..9).map(|i| AppTrace::new(format!("A{i}"), vec![k.clone()])).collect();
+        let refs: Vec<&AppTrace> = apps.iter().collect();
+        let _ = AppTrace::interleave_many(&refs);
     }
 }

@@ -1,6 +1,13 @@
 //! Address-space newtypes: virtual/physical addresses, page numbers,
 //! page sizes, and the address-space identifiers the paper's tag
-//! layouts carry (2-bit VM-ID and 2-bit VRF-ID, Fig 7a / Fig 10b).
+//! layouts carry (Fig 7a / Fig 10b: a VM-ID and a 2-bit VRF-ID).
+//!
+//! The paper's tag layout reserves 2 bits of VM-ID; the tenancy model
+//! ([`crate::tenancy`], after arXiv 2404.18361's MIG-style
+//! multi-instance scenarios) widens it to 3 bits so up to eight
+//! concurrent address spaces fit. The widening is hash-compatible:
+//! VM-IDs below 4 produce exactly the [`FastKey::hash64`] values the
+//! 2-bit layout produced.
 
 use std::fmt;
 
@@ -189,18 +196,20 @@ impl fmt::Display for PageSize {
     }
 }
 
-/// 2-bit address-space identifier carried in every translation tag
-/// (Fig 7a).
+/// Address-space identifier carried in every translation tag (Fig 7a;
+/// 2 bits in the paper, widened to 3 bits for the tenancy model of
+/// [`crate::tenancy`] so up to [`crate::tenancy::MAX_TENANTS`] address
+/// spaces coexist).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VmId(u8);
 
 impl VmId {
-    /// Creates a VM-ID, keeping the low 2 bits.
+    /// Creates a VM-ID, keeping the low 3 bits.
     pub fn new(raw: u8) -> Self {
-        Self(raw & 0b11)
+        Self(raw & 0b111)
     }
 
-    /// Raw 2-bit value.
+    /// Raw 3-bit value.
     pub fn raw(self) -> u8 {
         self.0
     }
@@ -251,8 +260,14 @@ impl fmt::Display for TranslationKey {
 impl FastKey for TranslationKey {
     fn hash64(self) -> u64 {
         // VPNs are at most 36 bits (48-bit VA, >=4 KB pages), so the
-        // 2-bit identifiers pack losslessly into the top byte.
-        self.vpn.0 ^ ((self.vmid.raw() as u64) << 56) ^ ((self.vrf.raw() as u64) << 58)
+        // identifiers pack losslessly into the top byte. The VM-ID's
+        // low 2 bits keep the paper's Fig-7a positions (bits 56-57);
+        // the tenancy widening's third bit goes to bit 61 so every
+        // VM-ID < 4 hashes exactly as it did under the 2-bit layout.
+        self.vpn.0
+            ^ (((self.vmid.raw() & 0b11) as u64) << 56)
+            ^ ((self.vrf.raw() as u64) << 58)
+            ^ (((self.vmid.raw() >> 2) as u64) << 61)
     }
 }
 
@@ -312,9 +327,35 @@ mod tests {
     }
 
     #[test]
-    fn vmid_vrf_clamp_to_two_bits() {
-        assert_eq!(VmId::new(0xFF).raw(), 0b11);
-        assert_eq!(VrfId::new(0b100).raw(), 0);
+    fn vmid_vrf_clamp() {
+        assert_eq!(VmId::new(0xFF).raw(), 0b111, "VM-ID is 3 bits");
+        assert_eq!(VmId::new(0b1000).raw(), 0);
+        assert_eq!(VrfId::new(0b100).raw(), 0, "VRF-ID stays 2 bits");
+    }
+
+    #[test]
+    fn widened_vmid_hash_is_backward_compatible() {
+        // The 3-bit widening must not move any hash the old 2-bit
+        // layout produced: FastMap layouts (and therefore every
+        // deterministic structure walk) stay bit-identical for
+        // single-tenant and 4-way multi-app runs.
+        for vm in 0..4u8 {
+            for vrf in 0..4u8 {
+                let key = TranslationKey {
+                    vpn: Vpn(0xABCD),
+                    vmid: VmId::new(vm),
+                    vrf: VrfId::new(vrf),
+                };
+                let legacy = 0xABCDu64 ^ ((vm as u64) << 56) ^ ((vrf as u64) << 58);
+                assert_eq!(key.hash64(), legacy, "vm{vm}/vrf{vrf}");
+            }
+        }
+        // And VM-IDs 4..8 must not collide with their low-2-bit twins.
+        for vm in 4..8u8 {
+            let hi = TranslationKey { vpn: Vpn(1), vmid: VmId::new(vm), vrf: VrfId::new(0) };
+            let lo = TranslationKey { vpn: Vpn(1), vmid: VmId::new(vm - 4), vrf: VrfId::new(0) };
+            assert_ne!(hi.hash64(), lo.hash64(), "vm{vm} aliases vm{}", vm - 4);
+        }
     }
 
     #[test]

@@ -37,5 +37,6 @@ pub mod iommu;
 pub mod page_table;
 pub mod pwc;
 pub mod shootdown;
+pub mod tenancy;
 pub mod tlb;
 pub mod walk;

@@ -127,6 +127,17 @@ impl PageTable {
         self.mappings.len()
     }
 
+    /// The currently mapped VPNs, sorted ascending (deterministic
+    /// regardless of map iteration order). Driver-event scenarios use
+    /// this as the victim pool when picking pages to migrate — a
+    /// migration of an unmapped page is a silent no-op, so callers
+    /// that want a storm to actually hit must pick resident pages.
+    pub fn mapped_vpns(&self) -> Vec<Vpn> {
+        let mut vpns: Vec<Vpn> = self.mappings.iter().map(|(&vpn, _)| vpn).collect();
+        vpns.sort_unstable_by_key(|v| v.0);
+        vpns
+    }
+
     /// Builds the [`TranslationKey`] for a virtual address in this
     /// table's address space.
     pub fn key_for(&self, va: VirtAddr, vmid: VmId, vrf: VrfId) -> TranslationKey {

@@ -4,6 +4,16 @@
 //! processor parses it and broadcasts the victim VPN to every structure
 //! that may cache the translation — the TLBs *and*, with the
 //! reconfigurable architecture, the LDS and I-cache controllers.
+//!
+//! Under multi-tenancy ([`crate::tenancy`]) the shootdown key carries
+//! the shooting tenant's VM-ID, so a broadcast only invalidates that
+//! tenant's visibility: full-key-tagged structures drop exactly the
+//! matching entry, and sub-entry-shared structures (arXiv 2404.18361
+//! §4.3) clear one bit of the shared entry's per-tenant valid mask,
+//! leaving co-sharers hitting. This is what makes tenant churn — one
+//! client's pages migrating mid-kernel — an *isolation* stress rather
+//! than a broadcast flush: see the shootdown-storm scenario in
+//! EXPERIMENTS.md and `examples/shootdown_storm.rs`.
 
 use gtr_sim::Cycle;
 

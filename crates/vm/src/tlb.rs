@@ -6,11 +6,23 @@
 //! reconfigurable architecture routes L1-TLB victims into the idle
 //! LDS segments (§4.2) and I-cache lines (§4.3) organized as a victim
 //! cache between the two TLB levels (Fig 12).
+//!
+//! Multi-tenancy ([`Tlb::set_tenancy`], TENANCY.md): under
+//! [`Partitioned`](crate::tenancy::SharingPolicy::Partitioned) each
+//! tenant holds at most `assoc / tenants` ways of every set and
+//! evictions never cross VM-IDs; under
+//! [`SubEntry`](crate::tenancy::SharingPolicy::SubEntry) (arXiv
+//! 2404.18361 §4) entries are tagged by the canonical VM-ID-zeroed key
+//! plus a per-tenant valid mask, so tenants whose mappings agree on
+//! the PPN share one physical entry. The default
+//! ([`Shared`](crate::tenancy::SharingPolicy::Shared), or no tenancy
+//! at all) is the paper's full-key tag check.
 
 use gtr_sim::fastmap::FastMap;
 use gtr_sim::stats::HitMiss;
 
 use crate::addr::{Ppn, Translation, TranslationKey, VmId};
+use crate::tenancy::{self, TenancyConfig};
 
 /// Configuration of one TLB instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +69,10 @@ struct Slot {
     prev: u32,
     next: u32,
     used: bool,
+    /// Per-tenant valid mask (sub-entry sharing, TENANCY.md §3.3):
+    /// bit *i* means tenant *i* may hit this entry. Always a single
+    /// bit outside sub-entry sharing.
+    mask: u8,
 }
 
 impl Slot {
@@ -67,6 +83,7 @@ impl Slot {
             prev: NIL,
             next: NIL,
             used: false,
+            mask: 0,
         }
     }
 }
@@ -100,11 +117,14 @@ pub struct Tlb {
     tail: Vec<u32>,
     /// Per-set free-list head (unused slots chained through `next`).
     free: Vec<u32>,
-    /// key -> slot id, so lookups never scan ways.
+    /// key -> slot id, so lookups never scan ways. Under sub-entry
+    /// sharing the key is the canonical (VM-ID-zeroed) form.
     index: FastMap<TranslationKey, u32>,
     len: usize,
     stats: HitMiss,
     evictions: u64,
+    /// Multi-tenant sharing policy; `None` = the untenanted default.
+    tenancy: Option<TenancyConfig>,
 }
 
 impl Tlb {
@@ -123,6 +143,7 @@ impl Tlb {
             len: 0,
             stats: HitMiss::new(),
             evictions: 0,
+            tenancy: None,
         };
         tlb.init_lists();
         tlb
@@ -195,16 +216,59 @@ impl Tlb {
         ((v ^ (v >> 7) ^ (v >> 14)) as usize) % self.nsets
     }
 
+    /// Sets the multi-tenant sharing policy (TENANCY.md). Must be
+    /// called on an empty TLB: the policy decides the tag form
+    /// (full-key vs canonical+mask), which cannot change under live
+    /// entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the TLB already holds entries.
+    pub fn set_tenancy(&mut self, tenancy: Option<TenancyConfig>) {
+        assert!(self.is_empty(), "tenancy policy must be set before first insert");
+        self.tenancy = tenancy;
+    }
+
+    /// The tag under which `key` is stored: canonical under sub-entry
+    /// sharing, the full key otherwise.
+    fn store_key(&self, key: TranslationKey) -> TranslationKey {
+        match &self.tenancy {
+            Some(t) if t.sub_entry() => tenancy::canonical(key),
+            _ => key,
+        }
+    }
+
+    /// Whether slot `i` is visible to `key`'s tenant (sub-entry valid
+    /// mask; always true outside sub-entry sharing).
+    fn mask_allows(&self, i: u32, key: TranslationKey) -> bool {
+        match &self.tenancy {
+            Some(t) if t.sub_entry() => {
+                self.slots[i as usize].mask & TenancyConfig::mask_bit(key.vmid) != 0
+            }
+            _ => true,
+        }
+    }
+
     /// Looks up a key, updating LRU state and hit/miss counters.
     pub fn lookup(&mut self, key: TranslationKey) -> Option<Translation> {
-        match self.index.get(key).copied() {
-            Some(i) => {
+        match self.index.get(self.store_key(key)).copied() {
+            Some(i) if self.mask_allows(i, key) => {
                 let s = i as usize / self.config.assoc;
                 self.detach(s, i);
                 self.push_mru(s, i);
                 self.stats.hit();
                 let sl = &self.slots[i as usize];
-                Some(Translation::new(sl.key, sl.ppn))
+                // Return the requester's key (== the stored key except
+                // under sub-entry canonicalization) so promotions
+                // upstream carry the right tenant.
+                Some(Translation::new(self.hit_key(key, sl.key), sl.ppn))
+            }
+            Some(_) => {
+                // Canonical tag present but the tenant's mask bit is
+                // clear: a miss, and no LRU refresh (the entry is not
+                // this tenant's to warm).
+                self.stats.miss();
+                None
             }
             None => {
                 self.stats.miss();
@@ -215,10 +279,22 @@ impl Tlb {
 
     /// Checks presence without perturbing LRU or counters.
     pub fn probe(&self, key: TranslationKey) -> Option<Translation> {
-        self.index.get(key).map(|&i| {
-            let sl = &self.slots[i as usize];
-            Translation::new(sl.key, sl.ppn)
-        })
+        let i = *self.index.get(self.store_key(key))?;
+        if !self.mask_allows(i, key) {
+            return None;
+        }
+        let sl = &self.slots[i as usize];
+        Some(Translation::new(self.hit_key(key, sl.key), sl.ppn))
+    }
+
+    /// The key a hit reports back: the stored key normally (identical
+    /// to the request), the requester's own key under sub-entry
+    /// canonicalization.
+    fn hit_key(&self, request: TranslationKey, stored: TranslationKey) -> TranslationKey {
+        match &self.tenancy {
+            Some(t) if t.sub_entry() => request,
+            _ => stored,
+        }
     }
 
     /// Batched [`Self::probe`] over one wavefront's deduped keys: bit
@@ -232,7 +308,20 @@ impl Tlb {
     ///
     /// Panics if `keys.len() > 64`.
     pub fn probe_many(&self, keys: &[TranslationKey]) -> u64 {
-        self.index.contains_many(keys)
+        match &self.tenancy {
+            // Sub-entry residency depends on the per-tenant mask, not
+            // just tag presence — fall back to per-key probes.
+            Some(t) if t.sub_entry() => {
+                let mut mask = 0u64;
+                for (i, &key) in keys.iter().enumerate() {
+                    if self.probe(key).is_some() {
+                        mask |= 1 << i;
+                    }
+                }
+                mask
+            }
+            _ => self.index.contains_many(keys),
+        }
     }
 
     /// Inserts a translation, returning the evicted victim if the set
@@ -244,67 +333,213 @@ impl Tlb {
     /// victim's LDS segment (§4.2), then its direct-mapped I-cache
     /// line (§4.3), then the L2 TLB.
     pub fn insert(&mut self, tx: Translation) -> Option<Translation> {
-        if let Some(&i) = self.index.get(tx.key) {
+        let skey = self.store_key(tx.key);
+        let bit = TenancyConfig::mask_bit(tx.key.vmid);
+        let sub_entry = matches!(&self.tenancy, Some(t) if t.sub_entry());
+        if let Some(&i) = self.index.get(skey) {
             let s = i as usize / self.config.assoc;
-            self.slots[i as usize].ppn = tx.ppn;
+            {
+                let sl = &mut self.slots[i as usize];
+                if sub_entry {
+                    if sl.ppn == tx.ppn {
+                        // PPN-aligned mappings merge: the tenant joins
+                        // the entry's sharer mask (2404.18361 §4).
+                        sl.mask |= bit;
+                    } else {
+                        // Conflicting frame: the entry is rebased to
+                        // the inserting tenant's mapping and every
+                        // previous sharer loses visibility.
+                        sl.ppn = tx.ppn;
+                        sl.mask = bit;
+                    }
+                } else {
+                    sl.ppn = tx.ppn;
+                }
+            }
             self.detach(s, i);
             self.push_mru(s, i);
             return None;
         }
-        let s = self.set_index(tx.key);
-        let fi = self.free[s];
-        if fi != NIL {
-            self.free[s] = self.slots[fi as usize].next;
-            let sl = &mut self.slots[fi as usize];
-            sl.key = tx.key;
-            sl.ppn = tx.ppn;
-            sl.used = true;
-            self.push_mru(s, fi);
-            self.index.insert(tx.key, fi);
-            self.len += 1;
-            return None;
-        }
-        let v = self.tail[s];
+        let s = self.set_index(skey);
+        // Static partitioning: a tenant at its per-set quota replaces
+        // its own LRU entry even when free ways remain — those ways
+        // are other tenants' reserved capacity (TENANCY.md §3.1).
+        let forced = match &self.tenancy {
+            Some(t) if t.partitioned() => {
+                let quota = (self.config.assoc / t.tenants as usize).max(1);
+                if self.count_in_set(s, tx.key.vmid) >= quota {
+                    self.lru_in_set(s, |sl| sl.key.vmid == tx.key.vmid)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        let v = match forced {
+            Some(v) => v,
+            None => {
+                let fi = self.free[s];
+                if fi != NIL {
+                    self.free[s] = self.slots[fi as usize].next;
+                    let sl = &mut self.slots[fi as usize];
+                    sl.key = skey;
+                    sl.ppn = tx.ppn;
+                    sl.used = true;
+                    sl.mask = bit;
+                    self.push_mru(s, fi);
+                    self.index.insert(skey, fi);
+                    self.len += 1;
+                    return None;
+                }
+                match &self.tenancy {
+                    // Set full while this tenant is under quota: some
+                    // tenant is over its quota (quota remainders are
+                    // first-come) — reclaim that tenant's LRU entry.
+                    Some(t) if t.partitioned() => {
+                        let quota = (self.config.assoc / t.tenants as usize).max(1);
+                        self.lru_over_quota(s, quota).unwrap_or(self.tail[s])
+                    }
+                    _ => self.tail[s],
+                }
+            }
+        };
         debug_assert_ne!(v, NIL, "full set is non-empty");
         let victim = {
             let sl = &self.slots[v as usize];
-            Translation::new(sl.key, sl.ppn)
+            // A sub-entry victim is forwarded on behalf of its
+            // lowest-numbered sharer (tenancy::representative).
+            let vkey = if sub_entry {
+                tenancy::representative(sl.key, sl.mask)
+            } else {
+                sl.key
+            };
+            (Translation::new(vkey, sl.ppn), sl.key)
         };
-        self.index.remove(victim.key);
+        self.index.remove(victim.1);
         self.detach(s, v);
         {
             let sl = &mut self.slots[v as usize];
-            sl.key = tx.key;
+            sl.key = skey;
             sl.ppn = tx.ppn;
+            sl.mask = bit;
         }
         self.push_mru(s, v);
-        self.index.insert(tx.key, v);
+        self.index.insert(skey, v);
         self.evictions += 1;
-        Some(victim)
+        Some(victim.0)
+    }
+
+    /// Used entries in set `s` owned by `vmid` (recency-list walk; the
+    /// associativity is small, Table 1).
+    fn count_in_set(&self, s: usize, vmid: VmId) -> usize {
+        let mut n = 0;
+        let mut i = self.head[s];
+        while i != NIL {
+            if self.slots[i as usize].key.vmid == vmid {
+                n += 1;
+            }
+            i = self.slots[i as usize].next;
+        }
+        n
+    }
+
+    /// The least-recently-used slot in set `s` matching `pred`, walking
+    /// from the LRU end.
+    fn lru_in_set(&self, s: usize, pred: impl Fn(&Slot) -> bool) -> Option<u32> {
+        let mut i = self.tail[s];
+        while i != NIL {
+            if pred(&self.slots[i as usize]) {
+                return Some(i);
+            }
+            i = self.slots[i as usize].prev;
+        }
+        None
+    }
+
+    /// The LRU slot of any tenant holding more than `quota` entries in
+    /// set `s`.
+    fn lru_over_quota(&self, s: usize, quota: usize) -> Option<u32> {
+        self.lru_in_set(s, |sl| self.count_in_set(s, sl.key.vmid) > quota)
     }
 
     /// Invalidates a single key (TLB shootdown, §7.1 — the runtime
     /// page-migration protocol must also reach translations cached in
     /// the reconfigurable structures); returns whether it was present.
+    ///
+    /// Under sub-entry sharing only the shooting tenant's mask bit is
+    /// cleared; the physical entry survives while other tenants still
+    /// share it (2404.18361 §4.3) and dies when the mask empties.
     pub fn invalidate(&mut self, key: TranslationKey) -> bool {
-        match self.index.remove(key) {
-            Some(i) => {
-                let s = i as usize / self.config.assoc;
-                self.detach(s, i);
+        let skey = self.store_key(key);
+        if let Some(t) = self.tenancy {
+            if t.sub_entry() {
+                let Some(&i) = self.index.get(skey) else { return false };
+                let bit = TenancyConfig::mask_bit(key.vmid);
                 let sl = &mut self.slots[i as usize];
-                sl.used = false;
-                sl.prev = NIL;
-                sl.next = self.free[s];
-                self.free[s] = i;
-                self.len -= 1;
+                if sl.mask & bit == 0 {
+                    return false;
+                }
+                sl.mask &= !bit;
+                if sl.mask == 0 {
+                    self.remove_slot(skey, i);
+                }
+                return true;
+            }
+        }
+        match self.index.remove(skey) {
+            Some(i) => {
+                self.free_slot(i);
                 true
             }
             None => false,
         }
     }
 
-    /// Invalidates every entry belonging to an address space.
+    /// Unlinks slot `i` (whose index key is `skey`) and returns it to
+    /// its set's free list.
+    fn remove_slot(&mut self, skey: TranslationKey, i: u32) {
+        self.index.remove(skey);
+        self.free_slot(i);
+    }
+
+    fn free_slot(&mut self, i: u32) {
+        let s = i as usize / self.config.assoc;
+        self.detach(s, i);
+        let sl = &mut self.slots[i as usize];
+        sl.used = false;
+        sl.mask = 0;
+        sl.prev = NIL;
+        sl.next = self.free[s];
+        self.free[s] = i;
+        self.len -= 1;
+    }
+
+    /// Invalidates every entry belonging to an address space. Under
+    /// sub-entry sharing this clears the tenant's bit from every
+    /// shared entry (freeing those it was the last sharer of) and
+    /// returns the number of entries the tenant lost visibility to.
     pub fn invalidate_vmid(&mut self, vmid: VmId) -> usize {
+        if let Some(t) = self.tenancy {
+            if t.sub_entry() {
+                let bit = TenancyConfig::mask_bit(vmid);
+                let doomed: Vec<(TranslationKey, u32)> = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, sl)| sl.used && sl.mask & bit != 0)
+                    .map(|(i, sl)| (sl.key, i as u32))
+                    .collect();
+                let n = doomed.len();
+                for (skey, i) in doomed {
+                    let sl = &mut self.slots[i as usize];
+                    sl.mask &= !bit;
+                    if sl.mask == 0 {
+                        self.remove_slot(skey, i);
+                    }
+                }
+                return n;
+            }
+        }
         let doomed: Vec<TranslationKey> = self
             .slots
             .iter()
@@ -356,12 +591,31 @@ impl Tlb {
     }
 
     /// Iterates over all resident translations (for duplication
-    /// analysis, Fig 14a).
+    /// analysis, Fig 14a, and coherence checks). Under sub-entry
+    /// sharing each physical entry expands to one logical translation
+    /// per set mask bit, with the sharer's VM-ID reconstructed — so a
+    /// shared entry checks against *every* sharer's page table.
     pub fn iter(&self) -> impl Iterator<Item = Translation> + '_ {
-        self.slots
-            .iter()
-            .filter(|sl| sl.used)
-            .map(|sl| Translation::new(sl.key, sl.ppn))
+        let sub_entry = matches!(&self.tenancy, Some(t) if t.sub_entry());
+        self.slots.iter().filter(|sl| sl.used).flat_map(move |sl| {
+            let mask = if sub_entry { sl.mask } else { 0 };
+            let shared: Vec<Translation> = if sub_entry {
+                (0..tenancy::MAX_TENANTS as u8)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| {
+                        let key = TranslationKey {
+                            vpn: sl.key.vpn,
+                            vmid: VmId::new(i),
+                            vrf: sl.key.vrf,
+                        };
+                        Translation::new(key, sl.ppn)
+                    })
+                    .collect()
+            } else {
+                vec![Translation::new(sl.key, sl.ppn)]
+            };
+            shared.into_iter()
+        })
     }
 }
 
@@ -511,5 +765,157 @@ mod tests {
     #[should_panic(expected = "multiple of assoc")]
     fn bad_geometry_panics() {
         let _ = TlbConfig::set_associative(10, 4, 1);
+    }
+
+    mod tenancy {
+        use super::*;
+        use crate::addr::{VmId, VrfId};
+        use crate::tenancy::{SharingPolicy, TenancyConfig};
+
+        fn key(vm: u8, v: u64) -> TranslationKey {
+            TranslationKey { vpn: Vpn(v), vmid: VmId::new(vm), vrf: VrfId::default() }
+        }
+
+        fn tenant_tlb(entries: usize, tenants: u8, policy: SharingPolicy) -> Tlb {
+            let mut t = Tlb::new(TlbConfig::fully_associative(entries, 1));
+            t.set_tenancy(Some(TenancyConfig::new(tenants, policy)));
+            t
+        }
+
+        #[test]
+        fn partitioned_never_evicts_across_vmid() {
+            // 4 ways, 2 tenants => 2-way quota each. Tenant 0 fills its
+            // quota and keeps inserting: only its own entries may die.
+            let mut t = tenant_tlb(4, 2, SharingPolicy::Partitioned);
+            t.insert(Translation::new(key(1, 100), Ppn(100)));
+            t.insert(Translation::new(key(1, 101), Ppn(101)));
+            for v in 0..8u64 {
+                if let Some(victim) = t.insert(Translation::new(key(0, v), Ppn(v))) {
+                    assert_eq!(victim.key.vmid.raw(), 0, "evicted a co-tenant's entry");
+                }
+            }
+            // Tenant 1's reserved ways survived the storm.
+            assert!(t.probe(key(1, 100)).is_some());
+            assert!(t.probe(key(1, 101)).is_some());
+            // Tenant 0 holds exactly its quota.
+            let t0 = t.iter().filter(|e| e.key.vmid.raw() == 0).count();
+            assert_eq!(t0, 2);
+        }
+
+        #[test]
+        fn partitioned_quota_applies_even_with_free_ways() {
+            // 8 ways, 4 tenants => 2-way quota. A lone tenant at quota
+            // must recycle its own LRU entry, not claim idle ways that
+            // belong to absent tenants.
+            let mut t = tenant_tlb(8, 4, SharingPolicy::Partitioned);
+            for v in 0..5u64 {
+                t.insert(Translation::new(key(2, v), Ppn(v)));
+            }
+            assert_eq!(t.len(), 2, "static partition caps the tenant at its quota");
+            assert!(t.probe(key(2, 3)).is_some());
+            assert!(t.probe(key(2, 4)).is_some());
+        }
+
+        #[test]
+        fn shared_policy_checks_vmid_on_hit() {
+            let mut t = tenant_tlb(4, 2, SharingPolicy::Shared);
+            t.insert(Translation::new(key(0, 7), Ppn(70)));
+            assert!(t.lookup(key(0, 7)).is_some());
+            assert!(t.lookup(key(1, 7)).is_none(), "full-key tag check crosses no VM-ID");
+        }
+
+        #[test]
+        fn sub_entry_hit_requires_ppn_match_at_merge() {
+            let mut t = tenant_tlb(4, 2, SharingPolicy::SubEntry);
+            t.insert(Translation::new(key(0, 7), Ppn(70)));
+            // Tenant 1 cannot hit before merging.
+            assert!(t.lookup(key(1, 7)).is_none());
+            // Same PPN: merges into the same physical entry.
+            t.insert(Translation::new(key(1, 7), Ppn(70)));
+            assert_eq!(t.len(), 1, "PPN-aligned mappings share one entry");
+            assert_eq!(t.lookup(key(0, 7)).unwrap().ppn, Ppn(70));
+            let hit = t.lookup(key(1, 7)).unwrap();
+            assert_eq!(hit.ppn, Ppn(70));
+            assert_eq!(hit.key.vmid.raw(), 1, "hit reports the requester's tenant");
+        }
+
+        #[test]
+        fn sub_entry_ppn_conflict_rebases_entry() {
+            let mut t = tenant_tlb(4, 2, SharingPolicy::SubEntry);
+            t.insert(Translation::new(key(0, 7), Ppn(70)));
+            t.insert(Translation::new(key(1, 7), Ppn(71))); // different frame
+            assert_eq!(t.len(), 1);
+            assert!(t.lookup(key(0, 7)).is_none(), "conflicting sharer lost visibility");
+            assert_eq!(t.lookup(key(1, 7)).unwrap().ppn, Ppn(71));
+        }
+
+        #[test]
+        fn sub_entry_shootdown_clears_one_tenant_bit() {
+            let mut t = tenant_tlb(4, 2, SharingPolicy::SubEntry);
+            t.insert(Translation::new(key(0, 7), Ppn(70)));
+            t.insert(Translation::new(key(1, 7), Ppn(70)));
+            assert!(t.invalidate(key(0, 7)));
+            assert!(t.lookup(key(0, 7)).is_none());
+            assert!(t.lookup(key(1, 7)).is_some(), "co-sharer survives the shootdown");
+            assert_eq!(t.len(), 1);
+            assert!(t.invalidate(key(1, 7)));
+            assert_eq!(t.len(), 0, "entry dies when its mask empties");
+            assert!(!t.invalidate(key(1, 7)));
+        }
+
+        #[test]
+        fn sub_entry_iter_expands_sharers() {
+            let mut t = tenant_tlb(4, 3, SharingPolicy::SubEntry);
+            t.insert(Translation::new(key(0, 7), Ppn(70)));
+            t.insert(Translation::new(key(2, 7), Ppn(70)));
+            let mut vms: Vec<u8> = t.iter().map(|e| e.key.vmid.raw()).collect();
+            vms.sort_unstable();
+            assert_eq!(vms, vec![0, 2], "one logical translation per sharer");
+        }
+
+        #[test]
+        fn sub_entry_victim_carries_representative_tenant() {
+            let mut t = tenant_tlb(1, 2, SharingPolicy::SubEntry);
+            t.insert(Translation::new(key(1, 7), Ppn(70)));
+            let victim = t.insert(Translation::new(key(0, 9), Ppn(90))).unwrap();
+            assert_eq!(victim.key.vpn, Vpn(7));
+            assert_eq!(victim.key.vmid.raw(), 1, "victim forwarded for its lowest sharer");
+        }
+
+        #[test]
+        fn sub_entry_invalidate_vmid_keeps_co_sharers() {
+            let mut t = tenant_tlb(8, 2, SharingPolicy::SubEntry);
+            t.insert(Translation::new(key(0, 1), Ppn(10)));
+            t.insert(Translation::new(key(1, 1), Ppn(10)));
+            t.insert(Translation::new(key(1, 2), Ppn(20)));
+            assert_eq!(t.invalidate_vmid(VmId::new(1)), 2);
+            assert_eq!(t.len(), 1, "shared entry survives, solo entry dies");
+            assert!(t.probe(key(0, 1)).is_some());
+            assert!(t.probe(key(1, 1)).is_none());
+        }
+
+        #[test]
+        fn single_tenant_shared_matches_untenanted_behavior() {
+            // The solo-equivalence anchor: 1-tenant Shared must walk
+            // the exact same states as no tenancy at all.
+            let mut plain = Tlb::new(TlbConfig::set_associative(8, 4, 1));
+            let mut solo = Tlb::new(TlbConfig::set_associative(8, 4, 1));
+            solo.set_tenancy(Some(TenancyConfig::new(1, SharingPolicy::Shared)));
+            for v in 0..32u64 {
+                let tx = Translation::new(key(0, v * 3), Ppn(v));
+                assert_eq!(plain.insert(tx), solo.insert(tx), "insert {v}");
+                assert_eq!(plain.lookup(key(0, v)), solo.lookup(key(0, v)));
+            }
+            assert_eq!(plain.stats().hits, solo.stats().hits);
+            assert_eq!(plain.len(), solo.len());
+        }
+
+        #[test]
+        #[should_panic(expected = "before first insert")]
+        fn tenancy_rejects_live_entries() {
+            let mut t = Tlb::new(TlbConfig::fully_associative(2, 1));
+            t.insert(Translation::new(key(0, 1), Ppn(1)));
+            t.set_tenancy(Some(TenancyConfig::new(2, SharingPolicy::SubEntry)));
+        }
     }
 }

@@ -1,58 +1,85 @@
-//! Multi-application scenario (§7.2): two tenants' kernels interleave
-//! on the GPU, each in its own address space, sharing the TLBs and the
-//! reconfigurable structures.
+//! First-class multi-tenancy (§7.2, TENANCY.md): several tenants'
+//! kernels interleave on the GPU, each in its own address space, and
+//! the victim structures share capacity under an explicit
+//! [`SharingPolicy`].
 //!
-//! The paper argues the private per-CU LDS keeps working in
-//! multi-application deployments while the shared I-cache simply has
-//! less idle capacity — the scheme must still win, and it must never
-//! mix the tenants' translations (distinct VM-IDs).
+//! Two scenarios:
+//!
+//! 1. **Heterogeneous pair** — ATAX and BICG interleaved
+//!    ([`AppTrace::interleave_many`]), the paper's own §7.2 setup,
+//!    under every sharing policy.
+//! 2. **Homogeneous quad** — four copies of ATAX
+//!    ([`AppTrace::replicate`]), the page-dedup best case where
+//!    sub-entry sharing collapses the tenants' content-identical
+//!    pages onto shared entries (arXiv 2404.18361 §4). Per-tenant
+//!    slowdowns come from the exported [`TenantStats`].
 //!
 //! ```sh
 //! cargo run --release --example multi_tenant
 //! ```
 
 use gpu_translation_reach::core_arch::config::ReachConfig;
+use gpu_translation_reach::core_arch::stats::TenantStats;
 use gpu_translation_reach::core_arch::system::System;
 use gpu_translation_reach::gpu::config::GpuConfig;
 use gpu_translation_reach::gpu::kernel::AppTrace;
+use gpu_translation_reach::vm::tenancy::SharingPolicy;
 use gpu_translation_reach::workloads::{scale::Scale, suite};
 
 fn main() {
     let scale = Scale::quick();
+
+    // --- Scenario 1: the paper's §7.2 pair, per policy. -------------
     let a = suite::by_name("ATAX", scale).unwrap();
     let b = suite::by_name("BICG", scale).unwrap();
-    let merged = AppTrace::interleave(&a, &b);
+    let merged = AppTrace::interleave_many(&[&a, &b]);
     println!(
-        "tenants: {} + {} => {} ({} interleaved kernel launches)",
+        "tenants: {} + {} => {} ({} interleaved kernel launches)\n",
         a.name(),
         b.name(),
         merged.name(),
         merged.kernels().len()
     );
-
+    println!("{:<12} {:>12} {:>9} {:>10}  per-tenant cycles", "policy", "cycles", "walks", "speedup");
     let base = System::new(GpuConfig::default(), ReachConfig::baseline()).run(&merged);
-    let mut sys = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds());
-    let reach = sys.run(&merged);
+    for policy in SharingPolicy::all() {
+        let reach = ReachConfig::ic_plus_lds().with_tenancy(2, policy);
+        let mut sys = System::new(GpuConfig::default(), reach);
+        let stats = sys.run(&merged);
+        let per_tenant: Vec<String> = stats
+            .tenants
+            .iter()
+            .map(|t: &TenantStats| format!("{}={}", t.app, t.cycles))
+            .collect();
+        println!(
+            "{:<12} {:>12} {:>9} {:>9.2}x  {}",
+            policy.to_string(),
+            stats.total_cycles,
+            stats.page_walks,
+            base.total_cycles as f64 / stats.total_cycles as f64,
+            per_tenant.join(" ")
+        );
+        // Both tenants map their matrices at the same virtual base;
+        // the VM-ID (or, under sub-entry sharing, the per-tenant valid
+        // mask) keeps every cached translation coherent with the right
+        // tenant's page table.
+        sys.check_translation_coherence();
+    }
 
-    println!(
-        "baseline: {:>10} cycles, {:>7} walks",
-        base.total_cycles, base.page_walks
-    );
-    println!(
-        "IC+LDS:   {:>10} cycles, {:>7} walks, {} victim hits",
-        reach.total_cycles,
-        reach.page_walks,
-        reach.victim_hits()
-    );
-    println!(
-        "multi-tenant speedup: {:.2}x (walks at {:.0}% of baseline)",
-        base.total_cycles as f64 / reach.total_cycles as f64,
-        reach.page_walks as f64 * 100.0 / base.page_walks.max(1) as f64
-    );
-
-    // Both tenants map their matrices at the same virtual base; the
-    // VM-ID keeps every cached translation coherent with the right
-    // tenant's page table.
-    let checked = sys.check_translation_coherence();
-    println!("coherence check: {checked} cached translations verified across both address spaces");
+    // --- Scenario 2: four identical tenants, slowdown vs solo. ------
+    let solo = System::new(GpuConfig::default(), ReachConfig::ic_plus_lds()).run(&a);
+    let solo_cycles: u64 = solo.kernels.iter().map(|k| k.cycles).sum();
+    let quad = AppTrace::replicate(&a, 4);
+    println!("\nfour {} tenants (IC+LDS; solo basis {} cycles):", a.name(), solo_cycles);
+    for policy in SharingPolicy::all() {
+        let reach = ReachConfig::ic_plus_lds().with_tenancy(4, policy);
+        let mut stats = System::new(GpuConfig::default(), reach).run(&quad);
+        for t in &mut stats.tenants {
+            t.solo_cycles = solo_cycles;
+        }
+        let slowdowns: Vec<String> =
+            stats.tenants.iter().map(|t| format!("{:.2}x", t.slowdown())).collect();
+        println!("{:<12} per-tenant slowdown: {}", policy.to_string(), slowdowns.join(" "));
+    }
+    println!("\n(the tenancy sweep figure runs this at scale: `cargo run --release -p gtr-bench --bin tenancy`)");
 }

@@ -1,101 +1,84 @@
-//! TLB shootdowns with the reconfigurable structures (§7.1).
+//! TLB shootdowns with the reconfigurable structures (§7.1,
+//! TENANCY.md §6) — driven through the first-class driver API.
 //!
 //! With translations cached in the LDS and I-cache, the driver's
 //! PM4-style shootdown packet must invalidate those structures too.
-//! This example migrates pages mid-workload and shows (a) the
-//! shootdown finding stale entries in every structure and (b) the
-//! page-table migration being picked up by subsequent walks.
+//! This example attaches a [`DriverSchedule`] to a two-tenant system
+//! and churns tenant 1 — migrating slices of its resident footprint
+//! mid-run — showing (a) the shootdown finding stale entries in every
+//! structure (per-CU L1 TLBs, shared L2 TLB, LDS segments, I-cache
+//! lines), (b) the per-tenant attribution of the shootdowns, and
+//! (c) post-run coherence: no stale frame survives anywhere.
 //!
 //! ```sh
 //! cargo run --release --example shootdown_storm
 //! ```
 
-use gpu_translation_reach::core_arch::config::SegmentSize;
-use gpu_translation_reach::core_arch::icache_tx::TxIcache;
-use gpu_translation_reach::core_arch::lds_tx::TxLds;
-use gpu_translation_reach::core_arch::config::{Replacement, TxPerLine};
-use gpu_translation_reach::vm::addr::{PageSize, TranslationKey, VirtAddr, Vpn};
-use gpu_translation_reach::vm::page_table::PageTable;
-use gpu_translation_reach::vm::shootdown::{run_shootdown, ShootdownConfig, TranslationSink};
-use gpu_translation_reach::vm::tlb::{Tlb, TlbConfig};
-
-/// Adapter: the reconfigurable LDS as a shootdown sink.
-struct LdsSink<'a>(&'a mut TxLds);
-impl TranslationSink for LdsSink<'_> {
-    fn shootdown(&mut self, key: TranslationKey) -> bool {
-        self.0.shootdown(key)
-    }
-    fn sink_name(&self) -> &'static str {
-        "reconfigurable-lds"
-    }
-}
-
-/// Adapter: the reconfigurable I-cache as a shootdown sink.
-struct IcSink<'a>(&'a mut TxIcache);
-impl TranslationSink for IcSink<'_> {
-    fn shootdown(&mut self, key: TranslationKey) -> bool {
-        self.0.shootdown(key)
-    }
-    fn sink_name(&self) -> &'static str {
-        "reconfigurable-icache"
-    }
-}
+use gpu_translation_reach::core_arch::config::ReachConfig;
+use gpu_translation_reach::core_arch::driver::{DriverSchedule, MigrationEvent};
+use gpu_translation_reach::core_arch::system::System;
+use gpu_translation_reach::gpu::config::GpuConfig;
+use gpu_translation_reach::gpu::kernel::AppTrace;
+use gpu_translation_reach::vm::addr::{VmId, Vpn};
+use gpu_translation_reach::vm::tenancy::SharingPolicy;
+use gpu_translation_reach::workloads::{scale::Scale, suite};
 
 fn main() {
-    let mut pt = PageTable::new(PageSize::Size4K);
-    pt.map_range(VirtAddr::new(0), 1024);
+    let app = AppTrace::replicate(&suite::by_name("ATAX", Scale::quick()).unwrap(), 2);
+    let reach = ReachConfig::ic_plus_lds().with_tenancy(2, SharingPolicy::Shared);
 
-    // Populate every structure with translations for a hot region.
-    let mut l1 = Tlb::new(TlbConfig::fully_associative(32, 108));
-    let mut l2 = Tlb::new(TlbConfig::set_associative(512, 16, 188));
-    let mut lds = TxLds::new(16 * 1024, SegmentSize::Bytes32);
-    let mut ic = TxIcache::new(16 * 1024, 8, TxPerLine::Eight, Replacement::InstructionAware);
-    for v in 0..1024u64 {
-        let tx = pt.map_vpn(Vpn(v));
-        l1.insert(tx);
-        l2.insert(tx);
-        lds.insert(tx);
-        ic.insert_tx(tx);
-    }
+    // Undisturbed run: fixes the churn trigger points and the victim
+    // pool (pages tenant 1 actually demand-maps — migrating an
+    // unmapped page is a no-op).
+    let mut quiet_sys = System::new(GpuConfig::default(), reach);
+    let quiet = quiet_sys.run(&app);
+    let pool = quiet_sys.mapped_vpns(VmId::new(1));
     println!(
-        "populated: L1={} L2={} LDS={} IC={} cached translations",
-        l1.len(),
-        l2.len(),
-        lds.resident(),
-        ic.resident_tx()
+        "quiet run: {} cycles, {} walks; tenant 1 maps {} pages",
+        quiet.total_cycles,
+        quiet.page_walks,
+        pool.len()
     );
 
-    // The OS migrates the 32 hottest pages (the ones still resident
-    // in every structure, including the 32-entry L1 TLB); every cached
-    // copy must die.
-    let cfg = ShootdownConfig::default();
-    let mut total_hits = 0;
-    let mut t = 0;
-    for v in 992..1024u64 {
-        let key = TranslationKey::for_vpn(Vpn(v));
-        let old = pt.translate(Vpn(v)).expect("page was mapped");
-        let migrated = pt.migrate(Vpn(v)).expect("page was mapped");
-        let outcome = run_shootdown(
-            t,
-            key,
-            &cfg,
-            &mut [&mut l1, &mut l2, &mut LdsSink(&mut lds), &mut IcSink(&mut ic)],
-        );
-        total_hits += outcome.sinks_hit;
-        t = outcome.done;
-        // The re-walked translation must point at the new frame.
-        assert_ne!(migrated.ppn, old, "migration moved the frame");
+    // The storm: four churn events, each migrating 32 pages spread
+    // across tenant 1's footprint, triggered at 2/6 .. 5/6 of the
+    // quiet run's translation volume.
+    let stride = (pool.len() / 32).max(1);
+    let pages: Vec<(VmId, Vpn)> =
+        pool.iter().step_by(stride).take(32).map(|&v| (VmId::new(1), v)).collect();
+    let mut schedule = DriverSchedule::new();
+    for k in 2..=5u64 {
+        schedule = schedule.migrate(MigrationEvent {
+            after_translations: quiet.translation_requests * k / 6,
+            pages: pages.clone(),
+        });
     }
+
+    let mut sys = System::new(GpuConfig::default(), reach).with_driver_schedule(schedule);
+    let stormed = sys.run(&app);
+    let report = sys.shootdown_report();
     println!(
-        "32 migrations: {total_hits} stale copies invalidated across 4 structures, \
-         storm completed at cycle {t}"
+        "storm: {} events, {} pages migrated, {} stale copies invalidated",
+        report.events, report.pages_migrated, report.total_hits()
     );
     println!(
-        "remaining: L1={} L2={} LDS={} IC={}",
-        l1.len(),
-        l2.len(),
-        lds.resident(),
-        ic.resident_tx()
+        "  stale copies by structure: L1 TLB {} / L2 TLB {} / LDS {} / I-cache {}",
+        report.l1_hits, report.l2_hits, report.lds_hits, report.ic_hits
     );
-    assert_eq!(total_hits, 32 * 4, "every structure held every migrated page");
+    println!(
+        "  per-tenant shootdowns: t0={} t1={} (churn hits only tenant 1)",
+        stormed.tenants[0].shootdowns, stormed.tenants[1].shootdowns
+    );
+    println!(
+        "  churn overhead: {:+.2}% cycles, {:+.1}% walks",
+        (stormed.total_cycles as f64 / quiet.total_cycles as f64 - 1.0) * 100.0,
+        (stormed.page_walks as f64 / quiet.page_walks.max(1) as f64 - 1.0) * 100.0
+    );
+    assert_eq!(stormed.tenants[0].shootdowns, 0, "tenant 0 was never migrated");
+    assert!(report.pages_migrated > 0, "the storm must hit resident pages");
+
+    // After the shootdown protocol has run, every cached translation
+    // must agree with the (migrated) page tables.
+    let checked = sys.check_translation_coherence();
+    println!("coherence: {checked} cached translations verified against the migrated tables");
 }

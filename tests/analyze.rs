@@ -9,6 +9,7 @@ use gpu_translation_reach::bench::analyze::{
 use gpu_translation_reach::core_arch::config::ReachConfig;
 use gpu_translation_reach::core_arch::export::{
     run_stats_from_json, run_stats_to_json_string, STATS_SCHEMA_VERSION,
+    STATS_SCHEMA_VERSION_UNTENANTED,
 };
 use gpu_translation_reach::core_arch::stats::RunStats;
 use gpu_translation_reach::core_arch::system::System;
@@ -106,7 +107,12 @@ fn v1_stats_check_reports_clear_error() {
 fn committed_v2_fixture_is_byte_stable_and_replay_consistent() {
     let text = fixture("gups_ic_lds_tiny.json");
     let j = Json::parse(&text).expect("fixture parses");
-    assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(STATS_SCHEMA_VERSION));
+    // An untenanted document stamps the untenanted version (TENANCY.md
+    // §4): committed pre-tenancy fixtures stay byte-identical.
+    assert_eq!(
+        j.get("schema_version").and_then(Json::as_u64),
+        Some(STATS_SCHEMA_VERSION_UNTENANTED)
+    );
     let s = run_stats_from_json(&j).expect("fixture matches schema");
     assert!(s.dist_enabled, "committed fixture records distributions");
     assert_eq!(run_stats_to_json_string(&s), text, "fixture must be byte-stable");

@@ -12,7 +12,7 @@
 
 use gpu_translation_reach::bench::figures;
 use gpu_translation_reach::bench::harness::RunMode;
-use gpu_translation_reach::core_arch::export::STATS_SCHEMA_VERSION;
+use gpu_translation_reach::core_arch::export::STATS_SCHEMA_VERSION_UNTENANTED;
 use gpu_translation_reach::sim::shard::{merge_ordered, ShardEntry};
 use gpu_translation_reach::workloads::scale::Scale;
 
@@ -37,10 +37,13 @@ fn matrix_json(workers: usize, sampled: bool) -> String {
 #[test]
 fn exact_matrix_is_byte_identical_across_worker_counts() {
     let reference = matrix_json(1, false);
+    // An untenanted matrix stamps the untenanted version (TENANCY.md
+    // §4; the tenanted twin of this battery lives in harness.rs).
+    let v = STATS_SCHEMA_VERSION_UNTENANTED;
     assert!(
-        reference.contains(&format!("\"schema_version\":{STATS_SCHEMA_VERSION}"))
-            || reference.contains(&format!("\"schema_version\": {STATS_SCHEMA_VERSION}")),
-        "exported document must carry schema v{STATS_SCHEMA_VERSION}"
+        reference.contains(&format!("\"schema_version\":{v}"))
+            || reference.contains(&format!("\"schema_version\": {v}")),
+        "untenanted exported document must carry schema v{v}"
     );
     for workers in [2, 4, 8] {
         assert_eq!(
