@@ -1,6 +1,6 @@
 #!/bin/sh
 # Tier-1 gate: build, test, docs, simulator-throughput regression
-# check, and observability schema validation.
+# check, observability schema validation, and the host-profile smoke.
 set -eu
 cd "$(dirname "$0")"
 
@@ -108,12 +108,17 @@ echo "sampled paper-scale smoke: ${SMOKE_ELAPSED}s (budget ${SMOKE_BUDGET_S}s)"
 # already ran above for the matrix export). The export's `figures`
 # array must validate — validate_stats checks every figure sampled
 # every cell it simulated, so a silent fallback to exact simulation
-# fails here. Budget-gated like the cell smoke (locally ~12 s).
+# fails here. The same run records a host-side span profile
+# (`--prof`, ARCHITECTURE's host-side profiling section) under a
+# pinned 4-worker pool — profiling must not perturb the export, and
+# the emitted Chrome trace must be well-formed. Budget-gated like the
+# cell smoke (locally ~12 s).
 BATTERY_BUDGET_S=300
 BATTERY_START=$(date +%s)
 rm -rf "$CI_OUT/battery-ckpt"
-cargo run --release -q -p gtr-bench --bin all -- --scale tiny --sample \
+cargo run --release -q -p gtr-bench --bin all -- --scale tiny --sample --threads 4 \
     --checkpoint-dir "$CI_OUT/battery-ckpt" --stats-out "$CI_OUT/matrix_sampled.json" \
+    --prof "$CI_OUT/prof_trace.json" \
     > "$CI_OUT/battery_sampled.txt"
 BATTERY_ELAPSED=$(( $(date +%s) - BATTERY_START ))
 cargo run --release -q -p gtr-bench --bin validate_stats -- "$CI_OUT/matrix_sampled.json"
@@ -124,6 +129,26 @@ if [ "$BATTERY_ELAPSED" -gt "$BATTERY_BUDGET_S" ]; then
     exit 1
 fi
 echo "sampled full battery: ${BATTERY_ELAPSED}s (budget ${BATTERY_BUDGET_S}s)"
+
+# Host-profile smoke: the battery's Chrome trace must be non-empty,
+# parseable (balanced B/E per lane — gtr-analyze re-parses it with
+# the repo's own JSON machinery), and carry at least one span on each
+# of the four pinned worker lanes. The summary must render the
+# per-phase breakdown it promises.
+[ -s "$CI_OUT/prof_trace.json" ] || {
+    echo "battery --prof run produced no trace" >&2; exit 1; }
+cargo run --release -q -p gtr-bench --bin gtr-analyze -- \
+    --prof-summary "$CI_OUT/prof_trace.json" --expect-workers 4 \
+    > "$CI_OUT/prof_summary.txt"
+grep -q "per-phase breakdown" "$CI_OUT/prof_summary.txt" || {
+    echo "profile summary is missing its per-phase breakdown" >&2; exit 1; }
+
+# BENCH-history rot gate: the committed perf baselines must stay
+# parseable end to end — gtr-analyze fails on any record that does
+# not round-trip through the report schemas (e.g. a hand-edit that
+# breaks the history's JSON shape).
+cargo run --release -q -p gtr-bench --bin gtr-analyze -- \
+    --bench-history BENCH_sim_throughput.json BENCH_matrix_paper.json
 
 # Paper-scale anchors: the sampled main-matrix cycle sum must match
 # the committed BENCH_matrix_paper.json bit for bit, and --exact

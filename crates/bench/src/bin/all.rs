@@ -26,6 +26,12 @@
 //! machine's available parallelism). Results are bit-identical for
 //! any value — only wall time changes.
 //!
+//! `--prof <out.json>` records a host-side span profile of the whole
+//! battery (one timeline lane per worker thread, figure/checkpoint/
+//! cell spans) and writes it as a Chrome trace — load it in Perfetto
+//! or summarize with `gtr-analyze --prof-summary`. Profiling observes
+//! host time only; simulated results stay byte-identical.
+//!
 //! `--tenants` appends the multi-tenancy figure family (the
 //! tenant-count sweep and the shootdown-storm churn scenario,
 //! TENANCY.md) to the battery; their metadata joins the exported
@@ -35,9 +41,12 @@
 //! finer control (`--tenants N`, `--policy`).
 
 use gtr_bench::harness::RunMode;
+use gtr_bench::profile;
+use gtr_sim::prof;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let prof_out = profile::arm_from_args(&args);
     let scale = scale_from_args(&args);
     let sample = args.iter().any(|a| a == "--sample");
     let pretty = args.iter().any(|a| a == "--pretty");
@@ -84,12 +93,11 @@ fn main() {
 
     let tenants = args.iter().any(|a| a == "--tenants");
 
-    let t = std::time::Instant::now();
+    let t = prof::Stopwatch::start();
     let (mut figs, m) = gtr_bench::figures::battery_with_main(scale, &mode);
     if tenants {
         figs.extend(gtr_bench::figures::tenancy_battery(scale, &mode));
     }
-    let wall = t.elapsed();
     println!(
         "{}",
         figs.iter().map(|f| f.text.as_str()).collect::<Vec<_>>().join("\n")
@@ -102,10 +110,11 @@ fn main() {
                 f.name, f.cells, f.sampled_cells, f.error_bound_pct, f.side_cache_error_bound_pct
             );
         }
-        println!("(full battery in {:.2}s)", wall.as_secs_f64());
+        println!("(full battery in {})", t.report());
     }
 
     if csv_dir.is_none() && stats_out.is_none() {
+        profile::finish(prof_out.as_deref());
         return;
     }
     // With --percentiles the export matrix needs distribution
@@ -117,6 +126,7 @@ fn main() {
         m
     };
     if let Some(dir) = csv_dir {
+        let _span = prof::span("export:csv");
         std::fs::create_dir_all(&dir).expect("create csv dir");
         std::fs::write(format!("{dir}/fig13b_improvement.csv"), m.improvement_csv())
             .expect("write csv");
@@ -133,6 +143,7 @@ fn main() {
         eprintln!("CSV written to {dir}/");
     }
     if let Some(path) = stats_out {
+        let _span = prof::span("export:stats");
         let mut j = m.to_json();
         if let gtr_sim::json::Json::Obj(fields) = &mut j {
             fields.push(("figures".to_string(), gtr_bench::figures::figures_json(&figs)));
@@ -148,6 +159,7 @@ fn main() {
         std::fs::write(&path, doc).expect("write stats JSON");
         eprintln!("matrix stats written to {path}");
     }
+    profile::finish(prof_out.as_deref());
 }
 
 fn scale_from_args(args: &[String]) -> gtr_workloads::scale::Scale {

@@ -1,6 +1,7 @@
-//! `gtr-analyze` — trace replay and stats comparison.
+//! `gtr-analyze` — trace replay, stats comparison, and host-profile
+//! reporting.
 //!
-//! Two modes, both built on [`gtr_bench::analyze`]:
+//! Four modes:
 //!
 //! ```sh
 //! # Independently reconstruct a run's statistics from its JSONL trace
@@ -10,14 +11,24 @@
 //! # Compare two stats documents metric by metric; exit 1 if any
 //! # relative delta exceeds the tolerance (percent, default 0):
 //! gtr-analyze --diff run.json golden.json --tolerance 5
+//!
+//! # Summarize a Chrome trace written by a `--prof` run: top spans,
+//! # per-worker utilization, phase breakdown, critical path:
+//! gtr-analyze --prof-summary trace.json --expect-workers 4
+//!
+//! # Per-commit trend over the committed BENCH history files, with
+//! # threshold-based regression verdicts:
+//! gtr-analyze --bench-history BENCH_sim_throughput.json BENCH_matrix_paper.json
 //! ```
 //!
 //! The replay check is the strongest consistency oracle the artifact
 //! set has: the trace and the stats are produced by different code
 //! paths inside the simulator, so agreement means neither lost an
-//! event. `ci.sh` runs both modes on every build.
+//! event. `ci.sh` runs both modes on every build, plus the profile
+//! modes as smoke/rot gates.
 
 use gtr_bench::analyze::{check_against_stats, diff_stats, missing_metrics, replay_jsonl};
+use gtr_bench::{perf, profile};
 use gtr_core::stats::RunStats;
 use gtr_sim::json::Json;
 
@@ -25,10 +36,17 @@ fn usage() -> ! {
     eprintln!(
         "usage: gtr-analyze --replay <trace.jsonl> --stats <stats.json>\n\
          \x20      gtr-analyze --diff <a.json> <b.json> [--tolerance PCT]\n\
+         \x20      gtr-analyze --prof-summary <trace.json> [--expect-workers N]\n\
+         \x20      gtr-analyze --bench-history <BENCH.json>... [--tolerance PCT]\n\
          --replay  reconstruct statistics from the trace and verify them\n\
          \x20         against the exported stats document (exit 1 on divergence)\n\
          --diff    per-metric relative comparison of two stats documents\n\
-         --tolerance PCT  allowed relative delta in percent (default 0)"
+         --prof-summary    summarize a Chrome trace from a --prof run\n\
+         --expect-workers N  fail unless >= N worker lanes carry spans\n\
+         --bench-history   per-commit trend of BENCH history files\n\
+         --tolerance PCT  allowed relative delta in percent\n\
+         \x20         (default 0 for --diff, {} for --bench-history)",
+        perf::REGRESSION_TOLERANCE_PCT
     );
     std::process::exit(2);
 }
@@ -43,6 +61,34 @@ fn main() {
             })
         })
     };
+    if let Some(trace_path) = str_flag("--prof-summary") {
+        let expect = str_flag("--expect-workers").map(|v| {
+            v.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("--expect-workers must be an integer");
+                usage()
+            })
+        });
+        prof_summary_mode(&trace_path, expect);
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--bench-history") {
+        let files: Vec<&String> =
+            args[pos + 1..].iter().take_while(|a| !a.starts_with("--")).collect();
+        if files.is_empty() {
+            eprintln!("--bench-history needs at least one BENCH history file");
+            usage()
+        }
+        let tolerance = str_flag("--tolerance")
+            .map(|v| {
+                v.parse::<f64>().unwrap_or_else(|_| {
+                    eprintln!("--tolerance must be a number (percent)");
+                    usage()
+                })
+            })
+            .unwrap_or(perf::REGRESSION_TOLERANCE_PCT);
+        bench_history_mode(&files, tolerance);
+        return;
+    }
     match (str_flag("--replay"), args.iter().any(|a| a == "--diff")) {
         (Some(trace_path), false) => {
             let Some(stats_path) = str_flag("--stats") else {
@@ -170,6 +216,52 @@ fn diff_mode(path_a: &str, path_b: &str, tolerance: f64) {
         std::process::exit(1);
     }
     println!("{} metrics within {:.3}% tolerance", rows.len(), tolerance * 100.0);
+}
+
+fn prof_summary_mode(trace_path: &str, expect_workers: Option<usize>) {
+    let text = std::fs::read_to_string(trace_path).unwrap_or_else(|e| {
+        eprintln!("{trace_path}: {e}");
+        std::process::exit(1);
+    });
+    let trace = profile::parse_chrome_trace(&text).unwrap_or_else(|e| {
+        eprintln!("{trace_path}: {e}");
+        std::process::exit(1);
+    });
+    if trace.spans.is_empty() {
+        eprintln!("{trace_path}: trace carries no completed spans");
+        std::process::exit(1);
+    }
+    print!("{}", profile::summary(&trace));
+    if let Some(n) = expect_workers {
+        if let Err(e) = profile::expect_workers(&trace, n) {
+            eprintln!("{trace_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nworker-lane check: >= {n} populated worker lanes present");
+    }
+}
+
+fn bench_history_mode(files: &[&String], tolerance_pct: f64) {
+    let mut failed = false;
+    for (i, path) in files.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        let text = std::fs::read_to_string(path.as_str()).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        });
+        match profile::bench_history_report(path_short(path), &text, tolerance_pct) {
+            Ok(report) => print!("{report}"),
+            Err(e) => {
+                eprintln!("{e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }
 
 /// Last path component, for compact table headers.

@@ -26,9 +26,12 @@
 //!
 //! Any mode accepts `--threads N` to pin the matrix worker-thread
 //! count (default: available parallelism; results are bit-identical
-//! for any value) and `--stats-out <path>` to write the measured
+//! for any value), `--stats-out <path>` to write the measured
 //! report JSON to a chosen file (the repo-root baseline is only
-//! touched by the default measure mode).
+//! touched by the default measure mode), and `--prof <out.json>` to
+//! write the measurement's host-profile Chrome trace (the harness
+//! self-profiles either way — that's where the report's `phases`
+//! come from — `--prof` just exports the timeline).
 
 use gtr_bench::perf::{
     append_history, check_against, check_matrix_against, latest_matrix_report, latest_report,
@@ -37,8 +40,26 @@ use gtr_bench::perf::{
 };
 use gtr_workloads::scale::Scale;
 
+/// `cpu_ms` is `None` when the platform can't separate CPU from wall
+/// time; print that honestly instead of a fabricated number.
+fn fmt_cpu_ms(cpu_ms: Option<f64>) -> String {
+    match cpu_ms {
+        Some(ms) => format!("{ms:.1} ms"),
+        None => "n/a".to_string(),
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let prof_out = args.iter().position(|a| a == "--prof").map(|i| {
+        if i + 1 >= args.len() {
+            eprintln!("--prof needs an output path for the Chrome trace");
+            std::process::exit(2);
+        }
+        let path = args.remove(i + 1);
+        args.remove(i);
+        std::path::PathBuf::from(path)
+    });
     let stats_out = args.iter().position(|a| a == "--stats-out").map(|i| {
         if i + 1 >= args.len() {
             eprintln!("--stats-out needs a path");
@@ -74,7 +95,7 @@ fn main() {
     {
         eprintln!(
             "unknown argument `{bad}` (expected --check, --dry-run, --paper, --exact, \
-             --threads <N> or --stats-out <path>)"
+             --threads <N>, --stats-out <path> or --prof <out.json>)"
         );
         std::process::exit(2);
     }
@@ -83,7 +104,7 @@ fn main() {
         std::process::exit(2);
     }
     if paper {
-        run_paper(check, dry_run, stats_out, workers, exact);
+        run_paper(check, dry_run, stats_out, prof_out, workers, exact);
         return;
     }
 
@@ -94,13 +115,14 @@ fn main() {
     eprintln!("measuring tiny-scale main matrix (4 variants x Table-2 suite)...");
     let report = measure_workers(Scale::tiny(), "tiny", workers);
     println!(
-        "wall {:.1} ms | cpu {:.1} ms | {} simulated cycles | {:.2} M simulated cycles/s (commit {})",
+        "wall {:.1} ms | cpu {} | {} simulated cycles | {:.2} M simulated cycles/s (commit {})",
         report.wall_ms,
-        report.cpu_ms,
+        fmt_cpu_ms(report.cpu_ms),
         report.sim_cycles,
         report.cycles_per_sec / 1e6,
         report.commit
     );
+    gtr_bench::profile::finish(prof_out.as_deref());
 
     if let Some(out) = &stats_out {
         std::fs::write(out, report.to_json()).expect("write --stats-out JSON");
@@ -133,7 +155,14 @@ fn main() {
 /// The `--paper` variant of the harness: the checkpointed sampled
 /// paper-scale matrix, measured in matrix cells per second, with an
 /// optional exact-mode sweep alongside.
-fn run_paper(check: bool, dry_run: bool, stats_out: Option<String>, workers: usize, exact: bool) {
+fn run_paper(
+    check: bool,
+    dry_run: bool,
+    stats_out: Option<String>,
+    prof_out: Option<std::path::PathBuf>,
+    workers: usize,
+    exact: bool,
+) {
     let path = gtr_bench::perf::repo_root().join(PAPER_BASELINE_FILE);
     let history = std::fs::read_to_string(&path).unwrap_or_default();
     let baseline = latest_matrix_report(&history);
@@ -144,13 +173,18 @@ fn run_paper(check: bool, dry_run: bool, stats_out: Option<String>, workers: usi
     }
     let report = measure_paper_workers(workers, exact);
     println!(
-        "wall {:.1} ms | cpu {:.1} ms | {} cells | {} simulated cycles | {:.2} cells/s (commit {})",
-        report.wall_ms, report.cpu_ms, report.cells, report.sim_cycles, report.cells_per_sec,
+        "wall {:.1} ms | cpu {} | {} cells | {} simulated cycles | {:.2} cells/s (commit {})",
+        report.wall_ms,
+        fmt_cpu_ms(report.cpu_ms),
+        report.cells,
+        report.sim_cycles,
+        report.cells_per_sec,
         report.commit
     );
     if let (Some(cycles), Some(rate)) = (report.exact_sim_cycles, report.exact_cells_per_sec) {
         println!("exact: {cycles} simulated cycles | {rate:.2} cells/s");
     }
+    gtr_bench::profile::finish(prof_out.as_deref());
 
     if let Some(out) = &stats_out {
         std::fs::write(out, report.to_json()).expect("write --stats-out JSON");

@@ -9,9 +9,11 @@
 //!     --epochs 100000 --stats-out gups.json --trace gups.jsonl
 //! ```
 
+use gtr_bench::profile;
 use gtr_core::config::ReachConfig;
 use gtr_core::system::System;
 use gtr_gpu::config::GpuConfig;
+use gtr_sim::prof;
 use gtr_sim::trace::JsonlSink;
 use gtr_vm::addr::PageSize;
 use gtr_workloads::scale::Scale;
@@ -21,7 +23,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: run_app <APP> <CONFIG> [--quick|--tiny] [--sharers N] [--pages 4k|64k|2m] [--l2-tlb N] [--ducati]\n\
          \x20              [--epochs N] [--stats-out FILE.json] [--pretty] [--trace FILE.jsonl] [--percentiles]\n\
-         \x20              [--sample] [--checkpoint-dir DIR] [--threads N]\n\
+         \x20              [--sample] [--checkpoint-dir DIR] [--threads N] [--prof FILE.json]\n\
          APP:    {}\n\
          CONFIG: baseline | lds | ic | ic+lds\n\
          --threads N         accepted for sweep-script uniformity; a single-app run is one\n\
@@ -33,7 +35,9 @@ fn usage() -> ! {
          --percentiles       record latency/lifetime distributions; print the per-path latency table\n\
          --sample            interval-sampled run: warmup, then alternating detailed/fast-forward windows\n\
          --checkpoint-dir D  cache the warmup as a checkpoint in D; later runs on the same (app, GPU)\n\
-         \x20                 restore it instead of re-warming",
+         \x20                 restore it instead of re-warming\n\
+         --prof FILE         write a host-side span profile of the run as a Chrome trace\n\
+         \x20                 (Perfetto-loadable; summarize with gtr-analyze --prof-summary)",
         suite::TABLE2.iter().map(|i| i.name).collect::<Vec<_>>().join(" | ")
     );
     std::process::exit(2);
@@ -41,6 +45,10 @@ fn usage() -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let prof_out = profile::arm_from_args(&args);
+    // Flag values (paths, counts) must not shadow the two leading
+    // positionals, so APP and CONFIG have to come first — as in every
+    // usage example above.
     let mut positional = args.iter().filter(|a| !a.starts_with("--"));
     let Some(app_name) = positional.next() else { usage() };
     let config_name = positional.next().map(String::as_str).unwrap_or("ic+lds");
@@ -140,9 +148,11 @@ fn main() {
         eprintln!("--checkpoint-dir requires --sample");
         usage()
     }
-    let start = std::time::Instant::now();
-    let s = sys.run(&app);
-    let wall = start.elapsed();
+    let start = prof::Stopwatch::start();
+    let s = {
+        let _span = prof::span_with("run", || format!("{app_name}:{config_name}"));
+        sys.run(&app)
+    };
 
     println!("app: {} | config: {config_name} | {} kernels, {} wave-ops", s.app, s.kernels.len(), s.instructions);
     println!("cycles:              {}", s.total_cycles);
@@ -210,8 +220,9 @@ fn main() {
             }
         }
     }
-    println!("(simulated in {:.2}s)", wall.as_secs_f64());
+    println!("(simulated in {})", start.report());
     if let Some(path) = str_flag("--stats-out") {
+        let _span = prof::span("export:stats");
         let doc = if args.iter().any(|a| a == "--pretty") {
             gtr_core::export::run_stats_to_json_string_pretty(&s)
         } else {
@@ -224,4 +235,5 @@ fn main() {
     if let Some(path) = trace_path {
         eprintln!("trace written to {path}");
     }
+    profile::finish(prof_out.as_deref());
 }

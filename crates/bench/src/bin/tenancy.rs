@@ -29,14 +29,21 @@
 //!   JSON document (`tenancy_<N>t_<policy>.json`) plus the untenanted
 //!   solo anchor (`tenancy_solo.json`, schema v4) for
 //!   `validate_stats`; `--pretty` indents the documents.
+//! * `--prof <out.json>` — record a host-side span profile of the
+//!   sweep and write it as a Chrome trace (Perfetto-loadable;
+//!   summarize with `gtr-analyze --prof-summary`). Simulated results
+//!   stay byte-identical.
 
 use gtr_bench::figures::{self, TENANCY_COUNTS};
 use gtr_bench::harness::RunMode;
+use gtr_bench::profile;
+use gtr_sim::prof;
 use gtr_vm::tenancy::SharingPolicy;
 use gtr_workloads::scale::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let prof_out = profile::arm_from_args(&args);
     let scale = scale_from_args(&args);
     let sample = args.iter().any(|a| a == "--sample");
     let pretty = args.iter().any(|a| a == "--pretty");
@@ -78,17 +85,17 @@ fn main() {
         mode = mode.with_workers(n);
     }
 
-    let t = std::time::Instant::now();
+    let t = prof::Stopwatch::start();
     let (solo, ms) = figures::tenancy_matrices_subset(scale, &counts, &policies, &mode);
     println!("{}", figures::tenancy_sweep_from(&ms));
     if !no_storm {
         println!("{}", figures::tenancy_storm(scale));
     }
     eprintln!(
-        "tenancy sweep: {} matrices ({} cells) in {:.2}s",
+        "tenancy sweep: {} matrices ({} cells) in {}",
         ms.len(),
         ms.iter().map(|(_, _, m)| m.baseline.len() + m.variants[0].1.len()).sum::<usize>(),
-        t.elapsed().as_secs_f64()
+        t.report()
     );
 
     if let Some(dir) = stats_out {
@@ -105,11 +112,13 @@ fn main() {
             std::fs::write(&path, doc).expect("write stats JSON");
             eprintln!("stats written to {path}");
         };
+        let _span = prof::span("export:stats");
         write(format!("{dir}/tenancy_solo.json"), solo.to_json());
         for (n, policy, m) in &ms {
             write(format!("{dir}/tenancy_{n}t_{policy}.json"), m.to_json());
         }
     }
+    profile::finish(prof_out.as_deref());
 }
 
 /// Reads the value of `--flag value`.

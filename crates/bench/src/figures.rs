@@ -1068,13 +1068,18 @@ pub fn tenancy_storm(scale: Scale) -> String {
 /// figures are single-tenant, and the frozen battery output must stay
 /// byte-identical.
 pub fn tenancy_battery(scale: Scale, mode: &RunMode) -> Vec<FigureResult> {
-    let (solo, ms) = tenancy_matrices(scale, mode);
-    let mut refs: Vec<&Matrix> = vec![&solo];
-    refs.extend(ms.iter().map(|(_, _, m)| m));
-    vec![
-        FigureResult::from_matrices("tenancy_sweep", tenancy_sweep_from(&ms), &refs),
-        FigureResult::without_cells("tenancy_storm", tenancy_storm(scale)),
-    ]
+    let sweep = {
+        let _s = gtr_sim::prof::span_with("figure", || "tenancy_sweep".to_string());
+        let (solo, ms) = tenancy_matrices(scale, mode);
+        let mut refs: Vec<&Matrix> = vec![&solo];
+        refs.extend(ms.iter().map(|(_, _, m)| m));
+        FigureResult::from_matrices("tenancy_sweep", tenancy_sweep_from(&ms), &refs)
+    };
+    let storm = {
+        let _s = gtr_sim::prof::span_with("figure", || "tenancy_storm".to_string());
+        FigureResult::without_cells("tenancy_storm", tenancy_storm(scale))
+    };
+    vec![sweep, storm]
 }
 
 /// Runs every table and figure of the paper under one execution mode
@@ -1089,42 +1094,102 @@ pub fn battery(scale: Scale, mode: &RunMode) -> Vec<FigureResult> {
 /// [`battery`] plus the main matrix it ran, so `all --stats-out` can
 /// export the matrix without re-simulating it.
 pub fn battery_with_main(scale: Scale, mode: &RunMode) -> (Vec<FigureResult>, Matrix) {
+    // One profiler span per figure family: the span covers the
+    // figure's matrix sweeps *and* its rendering, so a `--prof` trace
+    // of the battery attributes the whole wall clock figure by figure
+    // (the matrices fan out to worker lanes underneath).
+    fn fig(name: &'static str) -> gtr_sim::prof::Span {
+        gtr_sim::prof::span_with("figure", || name.to_string())
+    }
     let mut out = Vec::with_capacity(17);
-    out.push(FigureResult::without_cells("table1", table1()));
-    let base = baseline_matrix(scale, mode);
-    out.push(FigureResult::from_matrices("table2", table2_from(scale, &base), &[&base]));
-    let m = fig02_03_matrix(scale, mode);
-    out.push(FigureResult::from_matrices("fig02_03", fig02_03_from(&m), &[&m]));
-    out.push(FigureResult::from_matrices("fig04_05", fig04_05_from(&base), &[&base]));
-    let m = fig11_matrix(scale, mode);
-    out.push(FigureResult::from_matrices("fig11", fig11_from(&m), &[&m]));
-    let m = fig13a_matrix(scale, mode);
-    out.push(FigureResult::from_matrices("fig13a", fig13a_from(&m), &[&m]));
-    let main = main_matrix_mode(scale, false, mode);
-    out.push(FigureResult::from_matrices("fig13b", fig13b_from(&main), &[&main]));
-    out.push(FigureResult::from_matrices("fig13c", fig13c_from(&main), &[&main]));
-    out.push(FigureResult::from_matrices("fig14ab", fig14ab_from(&main), &[&main]));
-    let per_size = fig14c_matrices(scale, mode);
-    let refs: Vec<&Matrix> = per_size.iter().map(|(_, m)| m).collect();
-    out.push(FigureResult::from_matrices("fig14c", fig14c_from(&per_size), &refs));
-    out.push(FigureResult::from_matrices("fig15", fig15_from(&main), &[&main]));
-    let m = fig16a_matrix(scale, mode);
-    out.push(FigureResult::from_matrices("fig16a", fig16a_from(&m), &[&m]));
-    let m = fig16b_matrix(scale, mode);
-    out.push(FigureResult::from_matrices("fig16b", fig16b_from(&m), &[&m]));
-    let m = fig16c_matrix(scale, mode);
-    out.push(FigureResult::from_matrices("fig16c", fig16c_from(&m), &[&m]));
-    let m = ablation_segment_size_matrix(scale, mode);
-    out.push(FigureResult::from_matrices(
-        "ablation_segment_size",
-        ablation_segment_size_from(&m),
-        &[&m],
-    ));
-    let ms = ablation_matrices(scale, mode);
-    let refs: Vec<&Matrix> = ms.iter().collect();
-    out.push(FigureResult::from_matrices("ablations", ablations_from(&ms), &refs));
-    let m = multi_app_matrix(scale, mode);
-    out.push(FigureResult::from_matrices("multi_app", multi_app_from(&m), &[&m]));
+    {
+        let _s = fig("table1");
+        out.push(FigureResult::without_cells("table1", table1()));
+    }
+    let base = {
+        let _s = fig("table2");
+        let base = baseline_matrix(scale, mode);
+        out.push(FigureResult::from_matrices("table2", table2_from(scale, &base), &[&base]));
+        base
+    };
+    {
+        let _s = fig("fig02_03");
+        let m = fig02_03_matrix(scale, mode);
+        out.push(FigureResult::from_matrices("fig02_03", fig02_03_from(&m), &[&m]));
+    }
+    {
+        let _s = fig("fig04_05");
+        out.push(FigureResult::from_matrices("fig04_05", fig04_05_from(&base), &[&base]));
+    }
+    {
+        let _s = fig("fig11");
+        let m = fig11_matrix(scale, mode);
+        out.push(FigureResult::from_matrices("fig11", fig11_from(&m), &[&m]));
+    }
+    {
+        let _s = fig("fig13a");
+        let m = fig13a_matrix(scale, mode);
+        out.push(FigureResult::from_matrices("fig13a", fig13a_from(&m), &[&m]));
+    }
+    let main = {
+        let _s = fig("fig13b");
+        let main = main_matrix_mode(scale, false, mode);
+        out.push(FigureResult::from_matrices("fig13b", fig13b_from(&main), &[&main]));
+        main
+    };
+    {
+        let _s = fig("fig13c");
+        out.push(FigureResult::from_matrices("fig13c", fig13c_from(&main), &[&main]));
+    }
+    {
+        let _s = fig("fig14ab");
+        out.push(FigureResult::from_matrices("fig14ab", fig14ab_from(&main), &[&main]));
+    }
+    {
+        let _s = fig("fig14c");
+        let per_size = fig14c_matrices(scale, mode);
+        let refs: Vec<&Matrix> = per_size.iter().map(|(_, m)| m).collect();
+        out.push(FigureResult::from_matrices("fig14c", fig14c_from(&per_size), &refs));
+    }
+    {
+        let _s = fig("fig15");
+        out.push(FigureResult::from_matrices("fig15", fig15_from(&main), &[&main]));
+    }
+    {
+        let _s = fig("fig16a");
+        let m = fig16a_matrix(scale, mode);
+        out.push(FigureResult::from_matrices("fig16a", fig16a_from(&m), &[&m]));
+    }
+    {
+        let _s = fig("fig16b");
+        let m = fig16b_matrix(scale, mode);
+        out.push(FigureResult::from_matrices("fig16b", fig16b_from(&m), &[&m]));
+    }
+    {
+        let _s = fig("fig16c");
+        let m = fig16c_matrix(scale, mode);
+        out.push(FigureResult::from_matrices("fig16c", fig16c_from(&m), &[&m]));
+    }
+    {
+        let _s = fig("ablation_segment_size");
+        let m = ablation_segment_size_matrix(scale, mode);
+        out.push(FigureResult::from_matrices(
+            "ablation_segment_size",
+            ablation_segment_size_from(&m),
+            &[&m],
+        ));
+    }
+    {
+        let _s = fig("ablations");
+        let ms = ablation_matrices(scale, mode);
+        let refs: Vec<&Matrix> = ms.iter().collect();
+        out.push(FigureResult::from_matrices("ablations", ablations_from(&ms), &refs));
+    }
+    {
+        let _s = fig("multi_app");
+        let m = multi_app_matrix(scale, mode);
+        out.push(FigureResult::from_matrices("multi_app", multi_app_from(&m), &[&m]));
+    }
     (out, main)
 }
 

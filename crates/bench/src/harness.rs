@@ -11,6 +11,7 @@ use gtr_core::system::System;
 use gtr_ducati::Ducati;
 use gtr_gpu::config::GpuConfig;
 use gtr_gpu::kernel::AppTrace;
+use gtr_sim::prof;
 use gtr_sim::stats::geomean;
 use gtr_workloads::scale::Scale;
 use gtr_workloads::suite;
@@ -104,13 +105,18 @@ pub fn load_or_capture(app: &AppTrace, gpu: &GpuConfig, warmup: u64, dir: Option
     let fp = stream_fingerprint(gpu);
     let path = dir.map(|d| d.join(format!("ckpt_{}_{fp:016x}_{warmup}.bin", app.name())));
     if let Some(p) = &path {
+        let _probe = prof::span_with("ckpt:probe", || app.name().to_string());
         if let Ok(bytes) = std::fs::read(p) {
             if let Some(ck) = Checkpoint::from_bytes(&bytes) {
                 if ck.matches(app.name(), gpu, warmup) {
+                    prof::add("ckpt.cache_hit", 1);
                     return ck;
                 }
             }
         }
+    }
+    if path.is_some() {
+        prof::add("ckpt.cache_miss", 1);
     }
     let ck = Checkpoint::capture(app, gpu, warmup);
     if let Some(p) = &path {
@@ -314,6 +320,8 @@ impl Matrix {
         let mut all_variants = vec![baseline];
         all_variants.extend(variants);
         let nv = all_variants.len();
+        let _matrix_span =
+            prof::span_with("matrix", || format!("{}x{} cells", apps.len(), nv));
         // (checkpoints laid out app-major, variant→gpu index, gpu count)
         let shared: Option<(Vec<Arc<Checkpoint>>, Vec<usize>, usize)> = match &mode.sampling {
             Some(cfg) if cfg.warmup > 0 => {
@@ -340,6 +348,9 @@ impl Matrix {
                 let warmup = cfg.warmup;
                 let dir = mode.checkpoint_dir.as_deref();
                 let checkpoints = crate::pool::run_indexed(apps.len() * ng, workers, |i| {
+                    let _span = prof::span_with("ckpt:acquire", || {
+                        format!("{}#{}", apps[i / ng].name(), i % ng)
+                    });
                     Arc::new(load_or_capture(&apps[i / ng], gpus[i % ng], warmup, dir))
                 });
                 Some((checkpoints, gpu_of_variant, ng))
@@ -348,6 +359,12 @@ impl Matrix {
         };
         let cells: Vec<RunStats> = crate::pool::run_indexed(apps.len() * nv, workers, |i| {
             let (a, v) = (i / nv, i % nv);
+            // The span runs on whichever pool worker claimed the cell,
+            // so the trace shows cells laid out across worker lanes;
+            // `#i` is the shard stamp (the deterministic item index).
+            let _span = prof::span_with("cell", || {
+                format!("{}x{}#{i}", apps[a].name(), all_variants[v].label)
+            });
             let ck = shared
                 .as_ref()
                 .map(|(cks, gpu_of_variant, ng)| &*cks[a * ng + gpu_of_variant[v]]);

@@ -16,7 +16,9 @@
 //! regression harness behind the `perf` binary and
 //! `BENCH_sim_throughput.json`. [`analyze`] is the trace-replay
 //! consistency checker and stats differ behind the `gtr-analyze`
-//! binary.
+//! binary. [`profile`] is the consuming half of the host-side span
+//! profiler ([`gtr_sim::prof`]): the `--prof` flag plumbing,
+//! Chrome-trace summarization, and BENCH-history trend reports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,3 +28,4 @@ pub mod figures;
 pub mod harness;
 pub mod perf;
 pub mod pool;
+pub mod profile;

@@ -13,20 +13,32 @@
 //! fails CI when throughput regresses more than
 //! [`REGRESSION_TOLERANCE_PCT`]).
 //!
-//! No external dependencies: JSON is emitted and parsed by hand (the
-//! schema is flat and owned by this module), so the harness works in
-//! fully offline environments.
+//! No external dependencies: JSON is emitted by hand and parsed
+//! through [`gtr_sim::json`] (the schema is owned by this module), so
+//! the harness works in fully offline environments.
 //!
 //! Baseline files hold a **history**: a JSON array of records, one
 //! per measured commit, newest last. `--check` gates against the last
 //! record; the default (re-baseline) mode appends a record instead of
-//! overwriting, so throughput evolution stays reviewable in-repo.
-//! Files written before the history format (a bare object) still
-//! parse as a one-record history.
+//! overwriting, so throughput evolution stays reviewable in-repo
+//! (`gtr-analyze --bench-history` prints the trend). Files written
+//! before the history format (a bare object) still parse as a
+//! one-record history.
+//!
+//! Measurements run with the host profiler ([`gtr_sim::prof`])
+//! enabled, and each record carries a `phases` object — the fastest
+//! pass's wall/CPU time attributed to checkpoint acquisition, cell
+//! simulation, and result merging — so a regression can be localized
+//! from the committed history alone. On platforms without CPU clocks
+//! the `cpu_ms` fields are an explicit JSON `null` (the gate falls
+//! back to wall time and warns once); older records without a
+//! `cpu_ms` key parse as CPU = wall, matching how they were measured.
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use gtr_sim::json::Json;
+use gtr_sim::prof;
 use gtr_workloads::scale::Scale;
 
 use crate::figures;
@@ -43,6 +55,24 @@ pub const REGRESSION_TOLERANCE_PCT: f64 = 20.0;
 /// reported. Repeating suppresses one-off scheduler/co-tenant noise.
 pub const MEASURE_PASSES: usize = 3;
 
+/// Wall/CPU time attributed to one named phase of a measured sweep
+/// (the fastest pass), from host-profiler span totals.
+///
+/// `wall_ms` sums span durations **across worker threads**, so on a
+/// parallel sweep it is thread-milliseconds, not elapsed wall clock
+/// (the `replay` phase additionally nests inside `cells` — phases
+/// attribute time, they do not partition it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTotal {
+    /// Phase name (`"checkpoint"`, `"cells"`, `"replay"`, `"merge"`).
+    pub name: String,
+    /// Summed span wall time, ms.
+    pub wall_ms: f64,
+    /// Summed per-thread CPU time, ms; `None` where the platform has
+    /// no per-thread CPU clocks (serialized as JSON `null`).
+    pub cpu_ms: Option<f64>,
+}
+
 /// One throughput measurement of the tiny-scale main matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
@@ -53,74 +83,145 @@ pub struct PerfReport {
     /// Wall-clock time of the fastest sweep in milliseconds.
     pub wall_ms: f64,
     /// Process CPU time (utime + stime) of the fastest sweep in
-    /// milliseconds. Falls back to `wall_ms` where `/proc/self/stat`
-    /// is unavailable. CPU time is what the regression gate tracks:
-    /// unlike wall clock it is insensitive to co-tenant machine load.
-    pub cpu_ms: f64,
+    /// milliseconds; `None` (serialized as JSON `null`) where the
+    /// platform exposes no CPU clocks. CPU time is what the
+    /// regression gate tracks when present: unlike wall clock it is
+    /// insensitive to co-tenant machine load.
+    pub cpu_ms: Option<f64>,
     /// Total simulated cycles across every matrix cell.
     pub sim_cycles: u64,
-    /// `sim_cycles / cpu seconds` — the tracked throughput metric.
+    /// `sim_cycles / cpu seconds` (wall seconds where CPU time is
+    /// unavailable) — the tracked throughput metric.
     pub cycles_per_sec: f64,
+    /// Per-phase breakdown of the fastest pass. Empty when measured
+    /// with the profiler off (records older than the `phases` field).
+    pub phases: Vec<PhaseTotal>,
+}
+
+fn fmt_opt_ms(v: Option<f64>) -> String {
+    match v {
+        Some(ms) => format!("{ms:.1}"),
+        None => "null".to_string(),
+    }
+}
+
+fn phases_json(phases: &[PhaseTotal]) -> String {
+    let body: Vec<String> = phases
+        .iter()
+        .map(|p| {
+            format!(
+                "    \"{}\": {{\"wall_ms\": {:.1}, \"cpu_ms\": {}}}",
+                p.name,
+                p.wall_ms,
+                fmt_opt_ms(p.cpu_ms)
+            )
+        })
+        .collect();
+    format!(",\n  \"phases\": {{\n{}\n  }}", body.join(",\n"))
+}
+
+fn parse_opt_ms(j: &Json, key: &str, legacy: Option<f64>) -> Option<Option<f64>> {
+    match j.get(key) {
+        None => Some(legacy),     // key absent: pre-CPU-tracking record
+        Some(Json::Null) => Some(None), // explicit null: no CPU clocks
+        Some(v) => Some(Some(v.as_f64()?)),
+    }
+}
+
+fn parse_phases(j: &Json) -> Vec<PhaseTotal> {
+    let Some(fields) = j.get("phases").and_then(Json::fields) else {
+        return Vec::new();
+    };
+    fields
+        .iter()
+        .filter_map(|(name, v)| {
+            Some(PhaseTotal {
+                name: name.clone(),
+                wall_ms: v.get("wall_ms")?.as_f64()?,
+                cpu_ms: match v.get("cpu_ms") {
+                    None | Some(Json::Null) => None,
+                    Some(c) => Some(c.as_f64()?),
+                },
+            })
+        })
+        .collect()
 }
 
 impl PerfReport {
     /// Serializes the report as pretty-printed JSON (stable key order).
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\n  \"commit\": \"{}\",\n  \"scale\": \"{}\",\n  \"wall_ms\": {:.1},\n  \"cpu_ms\": {:.1},\n  \"sim_cycles\": {},\n  \"cycles_per_sec\": {:.0}\n}}\n",
-            self.commit, self.scale, self.wall_ms, self.cpu_ms, self.sim_cycles, self.cycles_per_sec
-        )
+        let mut s = format!(
+            "{{\n  \"commit\": \"{}\",\n  \"scale\": \"{}\",\n  \"wall_ms\": {:.1},\n  \"cpu_ms\": {},\n  \"sim_cycles\": {},\n  \"cycles_per_sec\": {:.0}",
+            self.commit,
+            self.scale,
+            self.wall_ms,
+            fmt_opt_ms(self.cpu_ms),
+            self.sim_cycles,
+            self.cycles_per_sec
+        );
+        if !self.phases.is_empty() {
+            s.push_str(&phases_json(&self.phases));
+        }
+        s.push_str("\n}\n");
+        s
     }
 
     /// Parses a report written by [`PerfReport::to_json`]. Returns
-    /// `None` when a field is missing or malformed.
+    /// `None` when a field is missing or malformed. A record without
+    /// a `cpu_ms` key predates CPU tracking and parses as CPU = wall
+    /// (how it was measured); an explicit `null` parses as `None`.
     pub fn from_json(s: &str) -> Option<Self> {
-        let wall_ms = json_num(s, "wall_ms")?;
+        let j = Json::parse(s).ok()?;
+        let wall_ms = j.get("wall_ms")?.as_f64()?;
         Some(Self {
-            commit: json_str(s, "commit")?,
-            scale: json_str(s, "scale")?,
+            commit: j.get("commit")?.as_str()?.to_string(),
+            scale: j.get("scale")?.as_str()?.to_string(),
             wall_ms,
-            // Absent in baselines written before CPU-time tracking.
-            cpu_ms: json_num(s, "cpu_ms").unwrap_or(wall_ms),
-            sim_cycles: json_num(s, "sim_cycles")? as u64,
-            cycles_per_sec: json_num(s, "cycles_per_sec")?,
+            cpu_ms: parse_opt_ms(&j, "cpu_ms", Some(wall_ms))?,
+            sim_cycles: j.get("sim_cycles")?.as_u64()?,
+            cycles_per_sec: j.get("cycles_per_sec")?.as_f64()?,
+            phases: parse_phases(&j),
         })
     }
-}
-
-fn json_field<'a>(s: &'a str, key: &str) -> Option<&'a str> {
-    let pat = format!("\"{key}\"");
-    let rest = &s[s.find(&pat)? + pat.len()..];
-    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
-    let end = rest.find([',', '\n', '}'])?;
-    Some(rest[..end].trim())
-}
-
-fn json_str(s: &str, key: &str) -> Option<String> {
-    json_field(s, key)?
-        .strip_prefix('"')?
-        .strip_suffix('"')
-        .map(str::to_string)
-}
-
-fn json_num(s: &str, key: &str) -> Option<f64> {
-    json_field(s, key)?.parse().ok()
 }
 
 /// Splits a baseline document into per-record object substrings, in
 /// file order (oldest first, newest last). Accepts both the history
 /// format (a JSON array of records) and the pre-history format (one
-/// bare object, which yields a one-element history). Records are flat
-/// objects — no nested braces — so lexical `{`..`}` matching is exact.
+/// bare object, which yields a one-element history). Brace depth is
+/// tracked (records contain a nested `phases` object) and string
+/// contents are skipped, so any record this module emits splits
+/// exactly.
 pub fn split_history(s: &str) -> Vec<&str> {
     let mut records = Vec::new();
     let mut start = None;
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
     for (i, c) in s.char_indices() {
+        if in_str {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
         match c {
-            '{' if start.is_none() => start = Some(i),
+            '"' => in_str = true,
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
             '}' => {
-                if let Some(b) = start.take() {
-                    records.push(&s[b..=i]);
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(b) = start.take() {
+                        records.push(&s[b..=i]);
+                    }
                 }
             }
             _ => {}
@@ -135,12 +236,15 @@ pub fn split_history(s: &str) -> Vec<&str> {
 /// instead — re-measuring on a dirty tree keeps one record per
 /// commit, as the history is meant to read as one point per PR.
 pub fn append_history(existing: &str, record: &str) -> String {
+    fn record_commit(s: &str) -> Option<String> {
+        Some(Json::parse(s).ok()?.get("commit")?.as_str()?.to_string())
+    }
     let mut records: Vec<String> =
         split_history(existing).into_iter().map(str::to_string).collect();
     let same_commit = records
         .last()
-        .zip(json_str(record, "commit"))
-        .is_some_and(|(last, commit)| json_str(last, "commit").as_ref() == Some(&commit));
+        .zip(record_commit(record))
+        .is_some_and(|(last, commit)| record_commit(last).as_ref() == Some(&commit));
     if same_commit {
         records.pop();
     }
@@ -161,19 +265,58 @@ pub fn latest_matrix_report(s: &str) -> Option<MatrixPerfReport> {
     MatrixPerfReport::from_json(split_history(s).last()?)
 }
 
-/// Process CPU time (utime + stime) in milliseconds, read from
-/// `/proc/self/stat`. `None` on non-Linux systems or parse failure.
+/// Process CPU time in milliseconds ([`prof::process_cpu_ms`]).
+/// `None` on platforms without CPU clocks — warned about once, and
+/// recorded as an explicit `null` rather than silently substituting
+/// wall time into a field named "cpu".
 fn cpu_time_ms() -> Option<f64> {
-    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
-    // The comm field may contain spaces/parens; fields resume after
-    // the *last* ')'. utime and stime are stat fields 14 and 15,
-    // i.e. tokens 11 and 12 counting from the state field.
-    let rest = &stat[stat.rfind(')')? + 1..];
-    let mut tok = rest.split_whitespace();
-    let utime: u64 = tok.nth(11)?.parse().ok()?;
-    let stime: u64 = tok.next()?.parse().ok()?;
-    // Kernel clock ticks are USER_HZ = 100 on every mainstream build.
-    Some((utime + stime) as f64 * 10.0)
+    let v = prof::process_cpu_ms();
+    if v.is_none() {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| {
+            eprintln!(
+                "warning: process CPU time is unavailable on this platform; \
+                 BENCH records will carry \"cpu_ms\": null and throughput \
+                 gates fall back to wall clock"
+            );
+        });
+    }
+    v
+}
+
+/// `sim_cycles`- or `cells`-per-second denominator: CPU seconds when
+/// available, wall seconds otherwise.
+fn rate_seconds(wall_ms: f64, cpu_ms: Option<f64>) -> f64 {
+    (cpu_ms.unwrap_or(wall_ms) / 1e3).max(1e-9)
+}
+
+/// The phase attribution of one measured pass: the delta of
+/// [`prof::totals_by_name`] across the pass, mapped onto the stable
+/// BENCH phase names. Span names nested inside `ckpt:acquire`
+/// (probe/decode/capture) are not double-counted; `replay` nests
+/// inside `cells` by construction (documented on [`PhaseTotal`]).
+fn phase_delta(before: &[prof::NameTotal], after: &[prof::NameTotal]) -> Vec<PhaseTotal> {
+    let find = |set: &[prof::NameTotal], name: &str| -> (f64, Option<f64>) {
+        set.iter()
+            .find(|t| t.name == name)
+            .map_or((0.0, None), |t| (t.wall_ms, t.cpu_ms))
+    };
+    let mut out = Vec::new();
+    for (phase, span) in [
+        ("checkpoint", "ckpt:acquire"),
+        ("cells", "cell"),
+        ("replay", "ckpt:replay"),
+        ("merge", "pool:merge"),
+    ] {
+        let (w0, c0) = find(before, span);
+        let (w1, c1) = find(after, span);
+        let wall_ms = w1 - w0;
+        let cpu_ms = c1.map(|c1| c1 - c0.unwrap_or(0.0));
+        if wall_ms > 0.0 {
+            out.push(PhaseTotal { name: phase.to_string(), wall_ms, cpu_ms });
+        }
+    }
+    out
 }
 
 /// One timed sweep result: fastest pass of `passes` runs of the main
@@ -181,24 +324,31 @@ fn cpu_time_ms() -> Option<f64> {
 /// identical across passes.
 struct SweepTiming {
     wall_ms: f64,
-    cpu_ms: f64,
+    cpu_ms: Option<f64>,
     cells: u64,
     sim_cycles: u64,
+    phases: Vec<PhaseTotal>,
 }
 
 fn timed_sweeps(scale: Scale, mode: &RunMode, passes: usize, what: &str) -> SweepTiming {
-    let mut best: Option<(f64, f64)> = None; // (wall_ms, cpu_ms)
+    // Measurements profile themselves so every BENCH record carries a
+    // phase breakdown. The profiler only observes host time — it
+    // cannot perturb the simulated cycle totals asserted below.
+    prof::enable();
+    let mut best: Option<(f64, Option<f64>, Vec<PhaseTotal>)> = None;
     let mut sim_cycles = 0u64;
     let mut cells = 0u64;
     for pass in 0..passes {
+        let totals0 = prof::totals_by_name();
         let cpu0 = cpu_time_ms();
         let t = Instant::now();
         let m = figures::main_matrix_mode(scale, false, mode);
         let wall_ms = t.elapsed().as_secs_f64() * 1e3;
         let cpu_ms = match (cpu0, cpu_time_ms()) {
-            (Some(a), Some(b)) => b - a,
-            _ => wall_ms,
+            (Some(a), Some(b)) => Some(b - a),
+            _ => None,
         };
+        let phases = phase_delta(&totals0, &prof::totals_by_name());
         let cycles: u64 = m
             .baseline
             .iter()
@@ -211,12 +361,17 @@ fn timed_sweeps(scale: Scale, mode: &RunMode, passes: usize, what: &str) -> Swee
         } else {
             assert_eq!(cycles, sim_cycles, "non-deterministic {what} sweep");
         }
-        if best.is_none_or(|(_, c)| cpu_ms < c) {
-            best = Some((wall_ms, cpu_ms));
+        // Fastest pass by CPU time (wall where CPU is unavailable).
+        let cost = cpu_ms.unwrap_or(wall_ms);
+        if best
+            .as_ref()
+            .is_none_or(|(w, c, _)| cost < c.unwrap_or(*w))
+        {
+            best = Some((wall_ms, cpu_ms, phases));
         }
     }
-    let (wall_ms, cpu_ms) = best.expect("at least one measurement pass");
-    SweepTiming { wall_ms, cpu_ms, cells, sim_cycles }
+    let (wall_ms, cpu_ms, phases) = best.expect("at least one measurement pass");
+    SweepTiming { wall_ms, cpu_ms, cells, sim_cycles, phases }
 }
 
 /// Runs the main (Fig 13/14/15) matrix at `scale` [`MEASURE_PASSES`]
@@ -234,7 +389,8 @@ pub fn measure_workers(scale: Scale, scale_label: &str, workers: usize) -> PerfR
         wall_ms: t.wall_ms,
         cpu_ms: t.cpu_ms,
         sim_cycles: t.sim_cycles,
-        cycles_per_sec: t.sim_cycles as f64 / (t.cpu_ms / 1e3).max(1e-9),
+        cycles_per_sec: t.sim_cycles as f64 / rate_seconds(t.wall_ms, t.cpu_ms),
+        phases: t.phases,
     }
 }
 
@@ -269,10 +425,11 @@ pub struct MatrixPerfReport {
     pub scale: String,
     /// Wall-clock time of the fastest pass in milliseconds.
     pub wall_ms: f64,
-    /// Process CPU time of the fastest pass in milliseconds (falls
-    /// back to wall time off-Linux). The regression gate tracks
-    /// cells/sec derived from this.
-    pub cpu_ms: f64,
+    /// Process CPU time of the fastest pass in milliseconds; `None`
+    /// (JSON `null`) where the platform exposes no CPU clocks. The
+    /// regression gate tracks cells/sec derived from this when
+    /// present (wall time otherwise).
+    pub cpu_ms: Option<f64>,
     /// Matrix cells simulated per pass (apps × variants).
     pub cells: u64,
     /// Sum of every cell's `total_cycles` — the determinism anchor:
@@ -288,14 +445,23 @@ pub struct MatrixPerfReport {
     /// Exact-mode matrix throughput in cells per CPU second, recorded
     /// by `perf --paper --exact`.
     pub exact_cells_per_sec: Option<f64>,
+    /// Per-phase breakdown of the fastest **sampled** pass (the
+    /// steady-state `all --sample` cost this baseline tracks). Empty
+    /// in records older than the `phases` field.
+    pub phases: Vec<PhaseTotal>,
 }
 
 impl MatrixPerfReport {
     /// Serializes the report as pretty-printed JSON (stable key order).
     pub fn to_json(&self) -> String {
         let mut s = format!(
-            "{{\n  \"commit\": \"{}\",\n  \"scale\": \"{}\",\n  \"wall_ms\": {:.1},\n  \"cpu_ms\": {:.1},\n  \"cells\": {},\n  \"sim_cycles\": {},\n  \"cells_per_sec\": {:.2}",
-            self.commit, self.scale, self.wall_ms, self.cpu_ms, self.cells, self.sim_cycles,
+            "{{\n  \"commit\": \"{}\",\n  \"scale\": \"{}\",\n  \"wall_ms\": {:.1},\n  \"cpu_ms\": {},\n  \"cells\": {},\n  \"sim_cycles\": {},\n  \"cells_per_sec\": {:.2}",
+            self.commit,
+            self.scale,
+            self.wall_ms,
+            fmt_opt_ms(self.cpu_ms),
+            self.cells,
+            self.sim_cycles,
             self.cells_per_sec
         );
         if let (Some(cycles), Some(rate)) = (self.exact_sim_cycles, self.exact_cells_per_sec) {
@@ -303,22 +469,30 @@ impl MatrixPerfReport {
                 ",\n  \"exact_sim_cycles\": {cycles},\n  \"exact_cells_per_sec\": {rate:.2}"
             ));
         }
+        if !self.phases.is_empty() {
+            s.push_str(&phases_json(&self.phases));
+        }
         s.push_str("\n}\n");
         s
     }
 
-    /// Parses a report written by [`MatrixPerfReport::to_json`].
+    /// Parses a report written by [`MatrixPerfReport::to_json`]. The
+    /// `cpu_ms` compatibility contract matches
+    /// [`PerfReport::from_json`].
     pub fn from_json(s: &str) -> Option<Self> {
+        let j = Json::parse(s).ok()?;
+        let wall_ms = j.get("wall_ms")?.as_f64()?;
         Some(Self {
-            commit: json_str(s, "commit")?,
-            scale: json_str(s, "scale")?,
-            wall_ms: json_num(s, "wall_ms")?,
-            cpu_ms: json_num(s, "cpu_ms")?,
-            cells: json_num(s, "cells")? as u64,
-            sim_cycles: json_num(s, "sim_cycles")? as u64,
-            cells_per_sec: json_num(s, "cells_per_sec")?,
-            exact_sim_cycles: json_num(s, "exact_sim_cycles").map(|v| v as u64),
-            exact_cells_per_sec: json_num(s, "exact_cells_per_sec"),
+            commit: j.get("commit")?.as_str()?.to_string(),
+            scale: j.get("scale")?.as_str()?.to_string(),
+            wall_ms,
+            cpu_ms: parse_opt_ms(&j, "cpu_ms", Some(wall_ms))?,
+            cells: j.get("cells")?.as_u64()?,
+            sim_cycles: j.get("sim_cycles")?.as_u64()?,
+            cells_per_sec: j.get("cells_per_sec")?.as_f64()?,
+            exact_sim_cycles: j.get("exact_sim_cycles").and_then(Json::as_u64),
+            exact_cells_per_sec: j.get("exact_cells_per_sec").and_then(Json::as_f64),
+            phases: parse_phases(&j),
         })
     }
 }
@@ -345,7 +519,7 @@ pub fn measure_paper_workers(workers: usize, exact: bool) -> MatrixPerfReport {
     let (exact_sim_cycles, exact_cells_per_sec) = if exact {
         let mode = RunMode::exact().with_workers(workers);
         let e = timed_sweeps(scale, &mode, PAPER_MEASURE_PASSES, "exact paper");
-        (Some(e.sim_cycles), Some(e.cells as f64 / (e.cpu_ms / 1e3).max(1e-9)))
+        (Some(e.sim_cycles), Some(e.cells as f64 / rate_seconds(e.wall_ms, e.cpu_ms)))
     } else {
         (None, None)
     };
@@ -356,9 +530,10 @@ pub fn measure_paper_workers(workers: usize, exact: bool) -> MatrixPerfReport {
         cpu_ms: t.cpu_ms,
         cells: t.cells,
         sim_cycles: t.sim_cycles,
-        cells_per_sec: t.cells as f64 / (t.cpu_ms / 1e3).max(1e-9),
+        cells_per_sec: t.cells as f64 / rate_seconds(t.wall_ms, t.cpu_ms),
         exact_sim_cycles,
         exact_cells_per_sec,
+        phases: t.phases,
     }
 }
 
@@ -485,9 +660,13 @@ mod tests {
             commit: "abc1234".into(),
             scale: "tiny".into(),
             wall_ms: 1234.5,
-            cpu_ms: 1200.0,
+            cpu_ms: Some(1200.0),
             sim_cycles: 987_654_321,
             cycles_per_sec: 800_000_000.0,
+            phases: vec![
+                PhaseTotal { name: "checkpoint".into(), wall_ms: 34.5, cpu_ms: Some(30.0) },
+                PhaseTotal { name: "cells".into(), wall_ms: 1100.0, cpu_ms: Some(1080.0) },
+            ],
         };
         let parsed = PerfReport::from_json(&r.to_json()).expect("round trip");
         assert_eq!(parsed.commit, r.commit);
@@ -495,6 +674,53 @@ mod tests {
         assert_eq!(parsed.sim_cycles, r.sim_cycles);
         assert!((parsed.wall_ms - r.wall_ms).abs() < 0.1);
         assert!((parsed.cycles_per_sec - r.cycles_per_sec).abs() < 1.0);
+        assert_eq!(parsed.phases.len(), 2);
+        assert_eq!(parsed.phases[0].name, "checkpoint");
+        assert!((parsed.phases[1].wall_ms - 1100.0).abs() < 0.1);
+        assert_eq!(parsed.phases[1].cpu_ms, Some(1080.0));
+    }
+
+    #[test]
+    fn cpu_ms_null_and_legacy_shapes() {
+        // Explicit null (platform without CPU clocks) parses as None…
+        let mut r = PerfReport {
+            commit: "abc".into(),
+            scale: "tiny".into(),
+            wall_ms: 100.0,
+            cpu_ms: None,
+            sim_cycles: 1,
+            cycles_per_sec: 10.0,
+            phases: vec![PhaseTotal { name: "cells".into(), wall_ms: 90.0, cpu_ms: None }],
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"cpu_ms\": null"), "explicit null, not an omitted key: {json}");
+        let parsed = PerfReport::from_json(&json).expect("null cpu_ms parses");
+        assert_eq!(parsed.cpu_ms, None);
+        assert_eq!(parsed.phases[0].cpu_ms, None);
+        // …while a record with no cpu_ms key at all (pre-CPU-tracking
+        // baseline) parses as CPU = wall, how it was measured.
+        r.phases.clear();
+        let legacy = r.to_json().replace("  \"cpu_ms\": null,\n", "");
+        assert!(!legacy.contains("cpu_ms"));
+        let parsed = PerfReport::from_json(&legacy).expect("legacy record parses");
+        assert_eq!(parsed.cpu_ms, Some(100.0));
+    }
+
+    #[test]
+    fn history_splits_records_with_nested_phases() {
+        let mut r1 = matrix_report("aaa1111");
+        r1.phases = vec![
+            PhaseTotal { name: "checkpoint".into(), wall_ms: 50.0, cpu_ms: Some(48.0) },
+            PhaseTotal { name: "cells".into(), wall_ms: 9000.0, cpu_ms: Some(8800.0) },
+        ];
+        let mut r2 = matrix_report("bbb2222");
+        r2.phases = r1.phases.clone();
+        let doc = append_history(&r1.to_json(), &r2.to_json());
+        let records = split_history(&doc);
+        assert_eq!(records.len(), 2, "nested phases object must not split records: {doc}");
+        let parsed = MatrixPerfReport::from_json(records[1]).expect("record parses");
+        assert_eq!(parsed.commit, "bbb2222");
+        assert_eq!(parsed.phases.len(), 2);
     }
 
     fn matrix_report(commit: &str) -> MatrixPerfReport {
@@ -502,12 +728,13 @@ mod tests {
             commit: commit.into(),
             scale: "paper".into(),
             wall_ms: 10000.0,
-            cpu_ms: 9800.0,
+            cpu_ms: Some(9800.0),
             cells: 40,
             sim_cycles: 44_523_456,
             cells_per_sec: 4.08,
             exact_sim_cycles: None,
             exact_cells_per_sec: None,
+            phases: Vec::new(),
         }
     }
 
@@ -590,9 +817,10 @@ mod tests {
             commit: "base".into(),
             scale: "tiny".into(),
             wall_ms: 1000.0,
-            cpu_ms: 1000.0,
+            cpu_ms: Some(1000.0),
             sim_cycles: 1_000_000,
             cycles_per_sec: 1000.0,
+            phases: Vec::new(),
         };
         let mut m = base.clone();
         m.cycles_per_sec = 900.0; // -10%: within tolerance
@@ -621,5 +849,11 @@ mod tests {
         let parsed = PerfReport::from_json(&json).expect("schema round-trips");
         assert_eq!(parsed.sim_cycles, report.sim_cycles);
         assert_eq!(parsed.scale, "tiny");
+        // Measurements self-profile: the record must attribute the
+        // sweep's cost to phases, with cell simulation dominating.
+        assert!(
+            parsed.phases.iter().any(|p| p.name == "cells" && p.wall_ms > 0.0),
+            "missing cells phase in {json}"
+        );
     }
 }

@@ -21,6 +21,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use gtr_sim::prof;
 use gtr_sim::shard::{merge_ordered, ShardEntry};
 
 /// Number of workers to use by default: the machine's available
@@ -55,13 +56,32 @@ pub fn run_indexed<T: Send>(
             let next = &next;
             let f = &f;
             s.spawn(move || {
+                // Lanes are keyed by name, so worker slot N keeps one
+                // profiler timeline even though the scoped threads are
+                // respawned for every sweep. Work items run under this
+                // binding: any spans the item opens (the harness's
+                // per-cell spans) land on this worker's lane.
+                if prof::is_enabled() {
+                    prof::set_lane(&format!("worker-{worker}"));
+                }
                 let mut mine: Vec<ShardEntry<T>> = Vec::new();
+                let mut prev: Option<usize> = None;
                 loop {
                     // Steal the next unclaimed cell.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
+                    if prof::is_enabled() {
+                        // A non-contiguous claim means another worker
+                        // took the item in between — a steal in the
+                        // shared-queue sense.
+                        if prev.is_some_and(|p| i != p + 1) {
+                            prof::add("pool.steals", 1);
+                        }
+                        prof::counter("pool.queue_depth", n.saturating_sub(i + 1) as u64);
+                    }
+                    prev = Some(i);
                     // The merge key is the item index (as the cycle
                     // stamp): indices are unique across workers, so
                     // the merged order is exactly index order.
@@ -77,6 +97,7 @@ pub fn run_indexed<T: Send>(
         }
     });
     let buffers = buffers.into_inner().expect("worker panicked holding results");
+    let _merge_span = prof::span("pool:merge");
     let merged = merge_ordered(buffers);
     assert_eq!(merged.len(), n, "every cell claimed exactly once");
     merged.into_iter().map(|e| e.payload).collect()

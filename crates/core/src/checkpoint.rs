@@ -154,6 +154,7 @@ impl Checkpoint {
     /// translation stream. Costs functional (not detailed) simulation
     /// time, once per [`CheckpointKey`].
     pub fn capture(app: &AppTrace, gpu: &GpuConfig, warmup_insts: u64) -> Self {
+        let _span = gtr_sim::prof::span_with("ckpt:capture", || app.name().to_string());
         let mut sys = System::new(gpu.clone(), ReachConfig::baseline());
         let stream = sys.run_functional_capture(app, warmup_insts);
         Self {
@@ -201,9 +202,13 @@ impl Checkpoint {
     /// Deserializes; `None` on wrong magic/version, truncation,
     /// trailing bytes, or a checksum mismatch (bit rot).
     pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let _span = gtr_sim::prof::span("ckpt:decode");
         let (payload, sum_bytes) = bytes.split_at_checked(bytes.len().checked_sub(8)?)?;
-        if u64::from_le_bytes(sum_bytes.try_into().ok()?) != fingerprint_bytes(payload) {
-            return None;
+        {
+            let _sum = gtr_sim::prof::span("ckpt:checksum");
+            if u64::from_le_bytes(sum_bytes.try_into().ok()?) != fingerprint_bytes(payload) {
+                return None;
+            }
         }
         let mut r = ArenaReader::new(payload);
         if r.get_u32()? != MAGIC || r.get_u32()? != VERSION {

@@ -371,6 +371,7 @@ impl System {
     /// any [`ReachConfig`] variant. Measurement state is then reset so
     /// a subsequent [`Self::run`] measures only post-warmup behavior.
     pub fn restore_checkpoint(&mut self, ck: &crate::checkpoint::Checkpoint) {
+        let _span = gtr_sim::prof::span_with("ckpt:replay", || ck.app().to_string());
         let saved = (self.trace_on, self.obs_on, self.ff_on);
         self.trace_on = false;
         self.obs_on = false;
@@ -1594,11 +1595,16 @@ impl System {
                 self.sample_mode = SampleMode::Detail;
                 self.ff_on = false;
                 self.sample_boundary = self.instructions + cfg.detail;
+                // Host-profiler instant mark (guest state untouched):
+                // interval transitions paint the detail/fast-forward
+                // cadence onto the worker's timeline lane.
+                gtr_sim::prof::mark("sample:detail");
             }
             SampleMode::Detail => {
                 self.sample_mode = SampleMode::Fastforward;
                 self.ff_on = true;
                 self.sample_boundary = self.instructions + cfg.fastforward;
+                gtr_sim::prof::mark("sample:ff");
             }
         }
     }

@@ -28,6 +28,10 @@
 //!   behind the schema-v2 stats export),
 //! * [`rng`] — a tiny seeded `SplitMix64` generator so that core
 //!   simulation code does not need an external RNG dependency,
+//! * [`prof`] — a zero-cost-when-off *host-side* span profiler
+//!   (RAII spans, per-worker timeline lanes, Chrome Trace Event
+//!   Format writer) for the experiment harness — guest cycles are
+//!   covered by [`trace`]/`hist`, host wall/CPU time by this,
 //! * [`shard`] — per-shard ordered buffers with a deterministic
 //!   epoch-barrier merge (`(cycle, shard, seq)` total order), the
 //!   discipline that keeps partitioned simulation bit-reproducible
@@ -57,6 +61,7 @@ pub mod event;
 pub mod fastmap;
 pub mod hist;
 pub mod json;
+pub mod prof;
 pub mod resource;
 pub mod rng;
 pub mod shard;

@@ -1,0 +1,745 @@
+//! Host-side span profiler: wall/CPU timelines for the harness.
+//!
+//! Everything else in this workspace measures *guest* time — simulated
+//! GPU cycles ([`crate::trace`], `gtr_core::obs`). This module measures
+//! *host* time: where the harness process itself spends its wall clock
+//! and CPU while sweeping a matrix — checkpoint capture and replay,
+//! interval-sampling transitions, the work-stealing cell pool, figure
+//! construction, export. It follows the same zero-cost-when-off
+//! discipline as [`crate::trace::TraceSink`]: every emission site
+//! checks [`is_enabled`] (one relaxed atomic load) before constructing
+//! anything, so a run without `--prof` pays a predictable
+//! never-taken branch and nothing else. Profiling never feeds back
+//! into simulation state, so enabling it cannot perturb determinism:
+//! stats exports are byte-identical with profiling on or off.
+//!
+//! # Model
+//!
+//! * A **span** is an RAII guard ([`span`] / [`span_with`]) with a
+//!   `&'static str` name and an optional dynamic label; it records
+//!   wall time (and per-thread CPU time where the platform exposes
+//!   it) from construction to drop.
+//! * A **lane** is a named append-only buffer of spans, counter
+//!   samples and instant marks. Each thread writes to exactly one
+//!   lane (default `"main"`); pool workers call [`set_lane`] with
+//!   `"worker-N"` so that worker *N* owns one timeline across every
+//!   matrix in the run, matching the Chrome-trace convention of one
+//!   row per thread.
+//! * [`counter`] records a timestamped sample (a Chrome `C` event:
+//!   queue depth over time), [`add`] bumps a monotonic total (steal
+//!   events, checkpoint cache hits), and [`mark`] drops an instant
+//!   event (sampling interval transitions).
+//! * [`write_chrome_trace`] serializes everything as a Chrome Trace
+//!   Event Format document — loadable in Perfetto or
+//!   `chrome://tracing` — via the workspace's own [`crate::json`]
+//!   tree (no serde; the environment is offline).
+//!
+//! # Example
+//!
+//! ```
+//! use gtr_sim::prof;
+//!
+//! prof::enable();
+//! {
+//!     let _outer = prof::span("battery");
+//!     let _inner = prof::span_with("figure", || "fig02_03".to_string());
+//!     prof::add("ckpt.cache_hit", 1);
+//! }
+//! let snap = prof::snapshot();
+//! assert!(snap.lanes.iter().any(|l| l.spans.len() >= 2));
+//! ```
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+// ---------------------------------------------------------------------------
+// Global state: enabled flag, epoch, lane registry.
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static REGISTRY: OnceLock<Mutex<Vec<Arc<Mutex<Lane>>>>> = OnceLock::new();
+
+thread_local! {
+    static CURRENT_LANE: RefCell<Option<Arc<Mutex<Lane>>>> = const { RefCell::new(None) };
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Mutex<Lane>>>> {
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Microseconds since the profiler epoch (first [`enable`] call).
+fn now_us() -> f64 {
+    epoch().elapsed().as_secs_f64() * 1e6
+}
+
+/// Turns profiling on for the whole process. Idempotent. The first
+/// call pins the trace epoch (timestamp zero).
+pub fn enable() {
+    epoch();
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Whether profiling is on. Emission sites must check this before
+/// constructing labels or events — when it returns `false` the caller
+/// should do nothing (the `TraceSink` discipline).
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears every lane's recorded spans, samples, marks and counter
+/// totals. Lanes stay registered (threads keep their lane binding)
+/// and the enabled flag and epoch are untouched. Used between
+/// measurement passes that want a fresh window.
+pub fn reset() {
+    let reg = registry().lock().expect("prof registry poisoned");
+    for lane in reg.iter() {
+        let mut lane = lane.lock().expect("prof lane poisoned");
+        lane.spans.clear();
+        lane.samples.clear();
+        lane.marks.clear();
+        lane.adds.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lanes.
+// ---------------------------------------------------------------------------
+
+/// One thread's timeline: spans, counter samples and instant marks.
+#[derive(Debug, Default)]
+struct Lane {
+    name: String,
+    spans: Vec<SpanRec>,
+    samples: Vec<CounterSample>,
+    marks: Vec<MarkRec>,
+    /// Monotonic totals bumped by [`add`], merged across lanes at
+    /// snapshot time.
+    adds: Vec<(&'static str, u64)>,
+}
+
+/// Binds the calling thread to the lane named `name`, creating it on
+/// first use. Threads that never call this write to the `"main"`
+/// lane. Lanes are keyed by *name*, not thread identity: a pool that
+/// respawns its workers per sweep still produces one `worker-N`
+/// timeline per worker slot. No-op while profiling is off.
+pub fn set_lane(name: &str) {
+    if !is_enabled() {
+        return;
+    }
+    let lane = lane_by_name(name);
+    CURRENT_LANE.with(|c| *c.borrow_mut() = Some(lane));
+}
+
+fn lane_by_name(name: &str) -> Arc<Mutex<Lane>> {
+    let mut reg = registry().lock().expect("prof registry poisoned");
+    for lane in reg.iter() {
+        if lane.lock().expect("prof lane poisoned").name == name {
+            return Arc::clone(lane);
+        }
+    }
+    let lane = Arc::new(Mutex::new(Lane { name: name.to_string(), ..Lane::default() }));
+    reg.push(Arc::clone(&lane));
+    lane
+}
+
+/// Runs `f` with the calling thread's lane (binding `"main"` first if
+/// the thread has none yet).
+fn with_lane(f: impl FnOnce(&mut Lane)) {
+    CURRENT_LANE.with(|c| {
+        let mut cur = c.borrow_mut();
+        if cur.is_none() {
+            *cur = Some(lane_by_name("main"));
+        }
+        let lane = cur.as_ref().expect("lane just bound");
+        f(&mut lane.lock().expect("prof lane poisoned"));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// CPU-time probes (std-only; Linux procfs, None elsewhere).
+// ---------------------------------------------------------------------------
+
+/// Parses a Linux `/proc/*/stat` line into CPU milliseconds
+/// (utime + stime, USER_HZ = 100 on every Linux ABI). Returns `None`
+/// on any shape surprise.
+fn stat_line_cpu_ms(stat: &str) -> Option<f64> {
+    // Fields 14 (utime) and 15 (stime), counted 1-based from the pid;
+    // the comm field can contain spaces, so split after the last ')'.
+    let rest = &stat[stat.rfind(')')? + 1..];
+    let mut it = rest.split_whitespace();
+    let utime: f64 = it.nth(11)?.parse().ok()?;
+    let stime: f64 = it.next()?.parse().ok()?;
+    Some((utime + stime) * 10.0)
+}
+
+static PROC_CPU_OK: AtomicBool = AtomicBool::new(true);
+static THREAD_CPU_OK: AtomicBool = AtomicBool::new(true);
+
+fn procfs_cpu_ms(path: &str, ok: &AtomicBool) -> Option<f64> {
+    if !ok.load(Ordering::Relaxed) {
+        return None;
+    }
+    match std::fs::read_to_string(path).ok().as_deref().and_then(stat_line_cpu_ms) {
+        Some(ms) => Some(ms),
+        None => {
+            // Cache the failure: off-Linux every probe would otherwise
+            // retry the filesystem on each span.
+            ok.store(false, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// CPU time consumed by the whole process so far, in milliseconds, or
+/// `None` where the platform does not expose it (non-Linux). Callers
+/// that persist the value should record an explicit `null` rather
+/// than silently substituting wall time.
+pub fn process_cpu_ms() -> Option<f64> {
+    procfs_cpu_ms("/proc/self/stat", &PROC_CPU_OK)
+}
+
+/// CPU time consumed by the calling thread so far, in milliseconds,
+/// or `None` where unavailable.
+pub fn thread_cpu_ms() -> Option<f64> {
+    procfs_cpu_ms("/proc/thread-self/stat", &THREAD_CPU_OK)
+}
+
+// ---------------------------------------------------------------------------
+// Spans, counters, marks.
+// ---------------------------------------------------------------------------
+
+/// One completed span as recorded in a lane.
+#[derive(Debug, Clone)]
+pub struct SpanRec {
+    /// Static span name (the aggregation key), e.g. `"cell"`.
+    pub name: &'static str,
+    /// Dynamic label, e.g. `"GUPS×IC+LDS#3"`. Empty when unlabeled.
+    pub label: String,
+    /// Start, microseconds since the profiler epoch.
+    pub start_us: f64,
+    /// End, microseconds since the profiler epoch.
+    pub end_us: f64,
+    /// Thread CPU time spent inside the span, if the platform
+    /// exposes per-thread CPU clocks.
+    pub cpu_ms: Option<f64>,
+}
+
+/// One timestamped counter sample ([`counter`]).
+#[derive(Debug, Clone)]
+pub struct CounterSample {
+    /// Counter name, e.g. `"pool.queue_depth"`.
+    pub name: &'static str,
+    /// Sample time, microseconds since the profiler epoch.
+    pub ts_us: f64,
+    /// Sampled value.
+    pub value: u64,
+}
+
+/// One instant event ([`mark`]).
+#[derive(Debug, Clone)]
+pub struct MarkRec {
+    /// Mark name, e.g. `"sample:detail"`.
+    pub name: &'static str,
+    /// Event time, microseconds since the profiler epoch.
+    pub ts_us: f64,
+}
+
+struct SpanLive {
+    name: &'static str,
+    label: String,
+    start: Instant,
+    start_us: f64,
+    cpu0: Option<f64>,
+}
+
+/// RAII span guard: records a [`SpanRec`] into the calling thread's
+/// lane on drop. Inert (records nothing) when profiling is off.
+pub struct Span {
+    live: Option<SpanLive>,
+    /// Spans time a single thread's work; keep the guard on the
+    /// thread that opened it.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(live) = self.live.take() {
+            let end_us = live.start_us + live.start.elapsed().as_secs_f64() * 1e6;
+            let cpu_ms = match (live.cpu0, thread_cpu_ms()) {
+                (Some(a), Some(b)) => Some(b - a),
+                _ => None,
+            };
+            with_lane(|lane| {
+                lane.spans.push(SpanRec {
+                    name: live.name,
+                    label: live.label,
+                    start_us: live.start_us,
+                    end_us,
+                    cpu_ms,
+                });
+            });
+        }
+    }
+}
+
+/// Opens an unlabeled span. Zero-cost when profiling is off.
+pub fn span(name: &'static str) -> Span {
+    span_inner(name, String::new())
+}
+
+/// Opens a span whose label is computed only when profiling is on —
+/// the closure is never called (no formatting, no allocation) while
+/// the profiler is off.
+pub fn span_with(name: &'static str, label: impl FnOnce() -> String) -> Span {
+    if !is_enabled() {
+        return Span { live: None, _not_send: PhantomData };
+    }
+    span_inner(name, label())
+}
+
+fn span_inner(name: &'static str, label: String) -> Span {
+    if !is_enabled() {
+        return Span { live: None, _not_send: PhantomData };
+    }
+    Span {
+        live: Some(SpanLive {
+            name,
+            label,
+            start: Instant::now(),
+            start_us: now_us(),
+            cpu0: thread_cpu_ms(),
+        }),
+        _not_send: PhantomData,
+    }
+}
+
+/// Records a timestamped counter sample (a Chrome `C` event) in the
+/// calling thread's lane. No-op when profiling is off.
+pub fn counter(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let ts_us = now_us();
+    with_lane(|lane| lane.samples.push(CounterSample { name, ts_us, value }));
+}
+
+/// Bumps a monotonic total (steal events, cache hits). Totals are
+/// merged across lanes in [`ProfSnapshot::counters`]. No-op when
+/// profiling is off.
+pub fn add(name: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_lane(|lane| {
+        if let Some(slot) = lane.adds.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 += delta;
+        } else {
+            lane.adds.push((name, delta));
+        }
+    });
+}
+
+/// Drops an instant event (a Chrome `i` event) in the calling
+/// thread's lane. No-op when profiling is off.
+pub fn mark(name: &'static str) {
+    if !is_enabled() {
+        return;
+    }
+    let ts_us = now_us();
+    with_lane(|lane| lane.marks.push(MarkRec { name, ts_us }));
+}
+
+// ---------------------------------------------------------------------------
+// Stopwatch: the one way binaries report elapsed time.
+// ---------------------------------------------------------------------------
+
+/// Wall + process-CPU stopwatch backing every binary's "ran in ..."
+/// print, so they all report the same two numbers the same way
+/// (instead of ad-hoc `Instant::now()` wall-only prints).
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+    cpu0: Option<f64>,
+}
+
+impl Stopwatch {
+    /// Starts the stopwatch.
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now(), cpu0: process_cpu_ms() }
+    }
+
+    /// Wall time elapsed since [`Stopwatch::start`].
+    pub fn wall(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Process CPU time elapsed since [`Stopwatch::start`], or `None`
+    /// where the platform does not expose CPU clocks.
+    pub fn cpu_ms(&self) -> Option<f64> {
+        match (self.cpu0, process_cpu_ms()) {
+            (Some(a), Some(b)) => Some(b - a),
+            _ => None,
+        }
+    }
+
+    /// `"3.21s wall, 11.84s cpu"` — or `"3.21s wall, cpu n/a"` where
+    /// CPU time is unavailable (the absence is stated, not papered
+    /// over with wall time).
+    pub fn report(&self) -> String {
+        let wall = self.wall().as_secs_f64();
+        match self.cpu_ms() {
+            Some(cpu) => format!("{:.2}s wall, {:.2}s cpu", wall, cpu / 1e3),
+            None => format!("{wall:.2}s wall, cpu n/a"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots and aggregation.
+// ---------------------------------------------------------------------------
+
+/// A copy of one lane's recorded timeline.
+#[derive(Debug, Clone)]
+pub struct LaneSnapshot {
+    /// Lane name (`"main"`, `"worker-0"`, ...).
+    pub name: String,
+    /// Completed spans, in completion order.
+    pub spans: Vec<SpanRec>,
+    /// Counter samples, in emission order.
+    pub samples: Vec<CounterSample>,
+    /// Instant marks, in emission order.
+    pub marks: Vec<MarkRec>,
+}
+
+/// A copy of the whole profiler state at one moment.
+#[derive(Debug, Clone)]
+pub struct ProfSnapshot {
+    /// All lanes, ordered `"main"` first, then `worker-N` by N, then
+    /// the rest by name — the Chrome-trace row order.
+    pub lanes: Vec<LaneSnapshot>,
+    /// Monotonic totals from [`add`], merged across lanes and sorted
+    /// by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+fn lane_sort_key(name: &str) -> (u8, u64, String) {
+    if name == "main" {
+        return (0, 0, String::new());
+    }
+    if let Some(n) = name.strip_prefix("worker-").and_then(|s| s.parse::<u64>().ok()) {
+        return (1, n, String::new());
+    }
+    (2, 0, name.to_string())
+}
+
+/// Copies out the current profiler state (non-destructive: recording
+/// continues unaffected).
+pub fn snapshot() -> ProfSnapshot {
+    let reg = registry().lock().expect("prof registry poisoned");
+    let mut lanes: Vec<LaneSnapshot> = Vec::new();
+    let mut totals: Vec<(String, u64)> = Vec::new();
+    for lane in reg.iter() {
+        let lane = lane.lock().expect("prof lane poisoned");
+        lanes.push(LaneSnapshot {
+            name: lane.name.clone(),
+            spans: lane.spans.clone(),
+            samples: lane.samples.clone(),
+            marks: lane.marks.clone(),
+        });
+        for (name, v) in &lane.adds {
+            if let Some(slot) = totals.iter_mut().find(|(n, _)| n == name) {
+                slot.1 += v;
+            } else {
+                totals.push((name.to_string(), *v));
+            }
+        }
+    }
+    lanes.sort_by_key(|l| lane_sort_key(&l.name));
+    totals.sort();
+    ProfSnapshot { lanes, counters: totals }
+}
+
+/// Aggregate wall/CPU totals for one span name across all lanes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NameTotal {
+    /// Span name.
+    pub name: String,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Summed span wall time, ms. Spans on different workers overlap
+    /// in real time, so this is *thread-seconds*, not elapsed wall.
+    pub wall_ms: f64,
+    /// Summed per-thread CPU time, ms; `None` when no span on this
+    /// name had a CPU reading (non-Linux hosts).
+    pub cpu_ms: Option<f64>,
+}
+
+/// Sums completed spans by name across all lanes, sorted by name.
+/// Non-destructive; diff two calls to attribute one phase of a run.
+pub fn totals_by_name() -> Vec<NameTotal> {
+    let snap = snapshot();
+    let mut out: Vec<NameTotal> = Vec::new();
+    for lane in &snap.lanes {
+        for s in &lane.spans {
+            let wall = (s.end_us - s.start_us) / 1e3;
+            match out.iter_mut().find(|t| t.name == s.name) {
+                Some(t) => {
+                    t.count += 1;
+                    t.wall_ms += wall;
+                    if let Some(c) = s.cpu_ms {
+                        t.cpu_ms = Some(t.cpu_ms.unwrap_or(0.0) + c);
+                    }
+                }
+                None => out.push(NameTotal {
+                    name: s.name.to_string(),
+                    count: 1,
+                    wall_ms: wall,
+                    cpu_ms: s.cpu_ms,
+                }),
+            }
+        }
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Chrome Trace Event Format writer.
+// ---------------------------------------------------------------------------
+
+/// What [`write_chrome_trace`] wrote, for log lines and smoke checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Number of timeline lanes emitted.
+    pub lanes: usize,
+    /// Number of completed spans across all lanes.
+    pub spans: usize,
+    /// Total Chrome events emitted (metadata + B/E + C + i).
+    pub events: usize,
+}
+
+fn ev(ph: &str, name: Option<&str>, tid: usize, ts: Option<f64>) -> Vec<(String, Json)> {
+    let mut fields = vec![("ph".to_string(), Json::from(ph))];
+    if let Some(n) = name {
+        fields.push(("name".to_string(), Json::from(n)));
+    }
+    fields.push(("pid".to_string(), Json::from(1u64)));
+    fields.push(("tid".to_string(), Json::from(tid)));
+    if let Some(t) = ts {
+        fields.push(("ts".to_string(), Json::from(t)));
+    }
+    fields
+}
+
+/// Serializes a snapshot as a Chrome Trace Event Format document
+/// (`{"traceEvents": [...]}`), loadable in Perfetto or
+/// `chrome://tracing`. Span events are emitted as balanced `B`/`E`
+/// pairs per lane; the static span name rides in `cat` (the
+/// aggregation key) and labeled spans render as `name:label`.
+/// Aggregate counter totals land in a `gtrCounters` root key that
+/// trace viewers ignore.
+pub fn chrome_trace(snap: &ProfSnapshot) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    for (tid, lane) in snap.lanes.iter().enumerate() {
+        // Lane name row header.
+        let mut meta = ev("M", Some("thread_name"), tid, None);
+        meta.push((
+            "args".to_string(),
+            Json::Obj(vec![("name".to_string(), Json::from(lane.name.as_str()))]),
+        ));
+        events.push(Json::Obj(meta));
+
+        // RAII guarantees spans on one thread nest properly; rebuild
+        // the B/E stream by sweeping spans in start order (ties:
+        // longest first, so parents open before children) and closing
+        // every span that ends at or before the next one starts.
+        let mut order: Vec<&SpanRec> = lane.spans.iter().collect();
+        order.sort_by(|a, b| {
+            a.start_us
+                .total_cmp(&b.start_us)
+                .then(b.end_us.total_cmp(&a.end_us))
+        });
+        let mut open: Vec<f64> = Vec::new();
+        for s in &order {
+            while open.last().is_some_and(|&end| end <= s.start_us) {
+                let end = open.pop().expect("non-empty checked");
+                events.push(Json::Obj(ev("E", None, tid, Some(end))));
+            }
+            let display = if s.label.is_empty() {
+                s.name.to_string()
+            } else {
+                format!("{}:{}", s.name, s.label)
+            };
+            let mut b = ev("B", Some(&display), tid, Some(s.start_us));
+            b.push(("cat".to_string(), Json::from(s.name)));
+            if let Some(cpu) = s.cpu_ms {
+                b.push((
+                    "args".to_string(),
+                    Json::Obj(vec![("cpu_ms".to_string(), Json::from(cpu))]),
+                ));
+            }
+            events.push(Json::Obj(b));
+            open.push(s.end_us);
+        }
+        while let Some(end) = open.pop() {
+            events.push(Json::Obj(ev("E", None, tid, Some(end))));
+        }
+
+        for m in &lane.marks {
+            let mut i = ev("i", Some(m.name), tid, Some(m.ts_us));
+            i.push(("s".to_string(), Json::from("t")));
+            events.push(Json::Obj(i));
+        }
+        for c in &lane.samples {
+            let mut e = ev("C", Some(c.name), tid, Some(c.ts_us));
+            e.push((
+                "args".to_string(),
+                Json::Obj(vec![("value".to_string(), Json::from(c.value))]),
+            ));
+            events.push(Json::Obj(e));
+        }
+    }
+    let counters = snap
+        .counters
+        .iter()
+        .map(|(n, v)| (n.clone(), Json::from(*v)))
+        .collect();
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(events)),
+        ("displayTimeUnit".to_string(), Json::from("ms")),
+        ("gtrCounters".to_string(), Json::Obj(counters)),
+    ])
+}
+
+/// Snapshots the profiler and writes the Chrome trace to `path`.
+pub fn write_chrome_trace(path: &std::path::Path) -> std::io::Result<TraceStats> {
+    let snap = snapshot();
+    let doc = chrome_trace(&snap);
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .map(<[Json]>::len)
+        .unwrap_or(0);
+    let mut text = String::new();
+    doc.write_compact(&mut text);
+    text.push('\n');
+    std::fs::write(path, text)?;
+    Ok(TraceStats {
+        lanes: snap.lanes.len(),
+        spans: snap.lanes.iter().map(|l| l.spans.len()).sum(),
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_line_parses_utime_stime() {
+        // comm contains spaces and a ')': split must use the LAST ')'.
+        let line = "1234 (weird) name) S 1 1 1 0 -1 4194560 100 0 0 0 250 75 0 0 20 0 1 0 100 0 0";
+        assert_eq!(stat_line_cpu_ms(line), Some((250.0 + 75.0) * 10.0));
+        assert_eq!(stat_line_cpu_ms("garbage"), None);
+    }
+
+    #[test]
+    fn lane_order_is_main_then_workers_then_rest() {
+        let mut names = vec!["worker-10", "aux", "worker-2", "main", "worker-0"];
+        names.sort_by_key(|n| lane_sort_key(n));
+        assert_eq!(names, vec!["main", "worker-0", "worker-2", "worker-10", "aux"]);
+    }
+
+    #[test]
+    fn chrome_trace_emits_balanced_nested_events() {
+        // Hand-built snapshot: a parent span enclosing two children,
+        // plus a disjoint later span — B/E counts must balance and
+        // the document must round-trip through the JSON parser.
+        let snap = ProfSnapshot {
+            lanes: vec![LaneSnapshot {
+                name: "main".to_string(),
+                spans: vec![
+                    SpanRec { name: "child", label: "a".into(), start_us: 10.0, end_us: 20.0, cpu_ms: None },
+                    SpanRec { name: "parent", label: String::new(), start_us: 0.0, end_us: 50.0, cpu_ms: Some(1.0) },
+                    SpanRec { name: "child", label: "b".into(), start_us: 30.0, end_us: 40.0, cpu_ms: None },
+                    SpanRec { name: "late", label: String::new(), start_us: 60.0, end_us: 70.0, cpu_ms: None },
+                ],
+                samples: vec![CounterSample { name: "q", ts_us: 5.0, value: 3 }],
+                marks: vec![MarkRec { name: "m", ts_us: 15.0 }],
+            }],
+            counters: vec![("pool.steals".to_string(), 2)],
+        };
+        let doc = chrome_trace(&snap);
+        let text = doc.to_string();
+        let back = Json::parse(&text).expect("trace JSON parses");
+        let events = back.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+        let ph = |p: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some(p))
+                .count()
+        };
+        assert_eq!(ph("B"), 4);
+        assert_eq!(ph("E"), 4);
+        assert_eq!(ph("M"), 1);
+        assert_eq!(ph("C"), 1);
+        assert_eq!(ph("i"), 1);
+        // Nesting: sweep the B/E stream, depth must never go negative
+        // and must end at zero.
+        let mut depth: i64 = 0;
+        for e in events {
+            match e.get("ph").and_then(Json::as_str) {
+                Some("B") => depth += 1,
+                Some("E") => {
+                    depth -= 1;
+                    assert!(depth >= 0, "E without matching B");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0);
+        assert_eq!(
+            back.get("gtrCounters").and_then(|c| c.get("pool.steals")).and_then(Json::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn spans_record_once_enabled() {
+        enable();
+        set_lane("prof-unit-test");
+        {
+            let _outer = span("outer");
+            let _inner = span_with("inner", || "label".to_string());
+            add("hits", 2);
+            add("hits", 3);
+            counter("depth", 7);
+            mark("tick");
+        }
+        let snap = snapshot();
+        let lane = snap
+            .lanes
+            .iter()
+            .find(|l| l.name == "prof-unit-test")
+            .expect("lane registered");
+        assert!(lane.spans.iter().any(|s| s.name == "outer"));
+        assert!(lane.spans.iter().any(|s| s.name == "inner" && s.label == "label"));
+        assert!(lane.spans.iter().all(|s| s.end_us >= s.start_us));
+        assert_eq!(lane.samples.len(), 1);
+        assert_eq!(lane.marks.len(), 1);
+        assert!(snap.counters.iter().any(|(n, v)| n == "hits" && *v >= 5));
+        let totals = totals_by_name();
+        assert!(totals.iter().any(|t| t.name == "outer" && t.count >= 1));
+    }
+}

@@ -1,0 +1,112 @@
+//! Host-profiler integration battery: profiling must observe, never
+//! perturb.
+//!
+//! The span profiler (`gtr_sim::prof`, ARCHITECTURE's host-side
+//! profiling section) hooks the hottest paths of the harness — worker
+//! claims, checkpoint capture/replay, every matrix cell — so the one
+//! property that matters above all is that turning it on changes
+//! *nothing* observable in simulated results: exported schema-v4 and
+//! schema-v5 documents must stay byte-identical, and the tiny-matrix
+//! cycle anchor must hold exactly. The trace itself must also be
+//! well-formed: parseable by the repo's own JSON machinery, balanced
+//! begin/end per lane, and carrying one populated timeline per worker
+//! slot.
+//!
+//! Everything lives in one `#[test]` because the profiler's enabled
+//! flag is process-global and sticky: the prof-off runs must complete
+//! before the first `enable()`, which parallel test threads could not
+//! guarantee.
+
+use gpu_translation_reach::bench::harness::RunMode;
+use gpu_translation_reach::bench::{figures, profile};
+use gpu_translation_reach::sim::prof;
+use gpu_translation_reach::vm::tenancy::SharingPolicy;
+use gpu_translation_reach::workloads::scale::Scale;
+
+/// The tiny-scale main-matrix cycle anchor (`perf --check` and ci.sh
+/// gate the same constant).
+const TINY_ANCHOR: u64 = 3_977_625;
+
+/// The exact tiny main matrix under 4 workers: its compact schema-v4
+/// document and its summed cycle anchor.
+fn main_matrix_json() -> (String, u64) {
+    let mode = RunMode::exact().with_workers(4);
+    let m = figures::main_matrix_mode(Scale::tiny(), false, &mode);
+    let cycles = m
+        .baseline
+        .iter()
+        .chain(m.variants.iter().flat_map(|(_, stats)| stats.iter()))
+        .map(|s| s.total_cycles)
+        .sum();
+    let mut s = String::new();
+    m.to_json().write_compact(&mut s);
+    (s, cycles)
+}
+
+/// One tenanted matrix (2 tenants, first sharing policy) plus the
+/// untenanted solo anchor: compact schema-v5 and schema-v4 documents.
+fn tenancy_json() -> (String, String) {
+    let policy = SharingPolicy::all()[0];
+    let (solo, ms) =
+        figures::tenancy_matrices_subset(Scale::tiny(), &[2], &[policy], &RunMode::exact());
+    let mut v4 = String::new();
+    solo.to_json().write_compact(&mut v4);
+    let mut v5 = String::new();
+    ms[0].2.to_json().write_compact(&mut v5);
+    (v4, v5)
+}
+
+#[test]
+fn profiling_is_invisible_to_results_and_emits_a_wellformed_trace() {
+    // -- Prof OFF: reference documents. ------------------------------
+    assert!(!prof::is_enabled(), "profiler must start disabled");
+    let (matrix_off, cycles_off) = main_matrix_json();
+    let (solo_off, tenancy_off) = tenancy_json();
+    assert_eq!(cycles_off, TINY_ANCHOR, "tiny main-matrix anchor moved");
+
+    // -- Prof ON: identical bytes, identical anchor. -----------------
+    prof::enable();
+    let (matrix_on, cycles_on) = main_matrix_json();
+    assert_eq!(cycles_on, TINY_ANCHOR, "profiling perturbed the cycle anchor");
+    assert_eq!(
+        matrix_on, matrix_off,
+        "schema-v4 export must be byte-identical with profiling on"
+    );
+    let (solo_on, tenancy_on) = tenancy_json();
+    assert_eq!(
+        solo_on, solo_off,
+        "solo (schema-v4) tenancy export must be byte-identical with profiling on"
+    );
+    assert_eq!(
+        tenancy_on, tenancy_off,
+        "schema-v5 tenancy export must be byte-identical with profiling on"
+    );
+
+    // -- The emitted Chrome trace is well-formed. --------------------
+    // Fresh window so the trace covers exactly one 4-worker sweep.
+    prof::reset();
+    let (_, cycles) = main_matrix_json();
+    assert_eq!(cycles, TINY_ANCHOR);
+    let path = std::env::temp_dir().join(format!("gtr_prof_test_{}.json", std::process::id()));
+    let stats = prof::write_chrome_trace(&path).expect("write chrome trace");
+    assert!(stats.spans > 0, "trace carries no spans");
+    let text = std::fs::read_to_string(&path).expect("read trace back");
+    let _ = std::fs::remove_file(&path);
+    // parse_chrome_trace re-parses with gtr_sim::json and rejects any
+    // unbalanced B/E pair per lane — both CI smoke properties.
+    let trace = profile::parse_chrome_trace(&text).expect("trace parses with balanced B/E");
+    profile::expect_workers(&trace, 4)
+        .expect("all four worker lanes must carry at least one span");
+    assert!(
+        trace.spans.iter().any(|s| s.cat == "cell"),
+        "worker lanes must carry cell spans"
+    );
+    assert!(
+        trace.spans.iter().any(|s| s.cat == "matrix" && s.lane == "main"),
+        "the matrix span must sit on the main lane"
+    );
+    // The summary renderer must digest its own writer's output.
+    let summary = profile::summary(&trace);
+    assert!(summary.contains("per-worker utilization"), "{summary}");
+    assert!(summary.contains("per-phase breakdown"), "{summary}");
+}
