@@ -146,9 +146,91 @@ grep -q "per-phase breakdown" "$CI_OUT/prof_summary.txt" || {
 # BENCH-history rot gate: the committed perf baselines must stay
 # parseable end to end — gtr-analyze fails on any record that does
 # not round-trip through the report schemas (e.g. a hand-edit that
-# breaks the history's JSON shape).
-cargo run --release -q -p gtr-bench --bin gtr-analyze -- \
-    --bench-history BENCH_sim_throughput.json BENCH_matrix_paper.json
+# breaks the history's JSON shape). With no file arguments the tool
+# discovers every BENCH_*.json at the repo root by glob, so new
+# baseline families are gated automatically.
+cargo run --release -q -p gtr-bench --bin gtr-analyze -- --bench-history
+
+# gtr-serve smoke: start the sweep service on a loopback port, submit
+# a tiny batch containing a duplicate cell, and prove the dedupe
+# layer end to end: the counters must show exactly one simulation for
+# the duplicated pair, every streamed stats document must validate,
+# and a resubmission must be answered 100% from the cache without
+# re-entering the simulator. The server binary is invoked directly
+# from target/release — a background `cargo run` would contend on the
+# build lock, so build it by name first (the root `cargo build` only
+# covers the root package's targets). Budget-gated (locally ~1 s).
+cargo build --release -q -p gtr-bench --bin gtr-serve
+SERVE_BUDGET_S=120
+SERVE_START=$(date +%s)
+rm -rf "$CI_OUT/serve" "$CI_OUT/serve-cache"
+mkdir -p "$CI_OUT/serve"
+target/release/gtr-serve --listen 127.0.0.1:0 --port-file "$CI_OUT/serve/addr" \
+    --cache-dir "$CI_OUT/serve-cache" 2> "$CI_OUT/serve/server.log" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+i=0
+while [ ! -s "$CI_OUT/serve/addr" ] && [ "$i" -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+[ -s "$CI_OUT/serve/addr" ] || {
+    echo "gtr-serve never wrote its --port-file" >&2; exit 1; }
+SERVE_ADDR=$(cat "$CI_OUT/serve/addr")
+
+# One batch: two distinct cells plus an exact duplicate, then a
+# counters probe. The blank line flushes the batch before the probe.
+printf '%s\n' \
+    '{"app":"GUPS","config":"baseline","scale":"tiny","mode":"exact"}' \
+    '{"app":"GUPS","config":"ic+lds","scale":"tiny","mode":"exact"}' \
+    '{"app":"GUPS","config":"ic+lds","scale":"tiny","mode":"exact"}' \
+    '' \
+    '{"cmd":"stats"}' > "$CI_OUT/serve/batch.jsonl"
+target/release/gtr-serve --connect "$SERVE_ADDR" --submit "$CI_OUT/serve/batch.jsonl" \
+    --out-dir "$CI_OUT/serve/cold" > "$CI_OUT/serve/cold.txt"
+grep -q '"source":"coalesced"' "$CI_OUT/serve/cold.txt" || {
+    echo "serve smoke: the duplicate cell did not coalesce" >&2
+    cat "$CI_OUT/serve/cold.txt" >&2; exit 1; }
+grep -q '"simulations":2' "$CI_OUT/serve/cold.txt" || {
+    echo "serve smoke: expected exactly one simulation for the duplicated pair" >&2
+    cat "$CI_OUT/serve/cold.txt" >&2; exit 1; }
+[ "$(ls "$CI_OUT/serve/cold" | wc -l)" -eq 3 ] || {
+    echo "serve smoke: expected three streamed documents" >&2; exit 1; }
+cargo run --release -q -p gtr-bench --bin validate_stats -- "$CI_OUT"/serve/cold/resp_*.json
+
+# Resubmission: 100% cache hits, and the simulation counter is frozen
+# — memoized cells never re-enter the simulator.
+target/release/gtr-serve --connect "$SERVE_ADDR" --submit "$CI_OUT/serve/batch.jsonl" \
+    --out-dir "$CI_OUT/serve/hot" > "$CI_OUT/serve/hot.txt"
+if grep -q '"source":"computed"\|"source":"coalesced"' "$CI_OUT/serve/hot.txt"; then
+    echo "serve smoke: resubmitted cells must be pure cache hits" >&2
+    cat "$CI_OUT/serve/hot.txt" >&2; exit 1
+fi
+[ "$(grep -c '"source":"cache"' "$CI_OUT/serve/hot.txt")" -eq 3 ] || {
+    echo "serve smoke: expected three cache-sourced responses" >&2; exit 1; }
+grep -q '"simulations":2' "$CI_OUT/serve/hot.txt" || {
+    echo "serve smoke: the hot pass re-entered the simulator" >&2
+    cat "$CI_OUT/serve/hot.txt" >&2; exit 1; }
+cargo run --release -q -p gtr-bench --bin validate_stats -- "$CI_OUT"/serve/hot/resp_*.json
+cmp -s "$CI_OUT/serve/cold/resp_000.json" "$CI_OUT/serve/hot/resp_000.json" || {
+    echo "serve smoke: cached response bytes differ from the computed ones" >&2; exit 1; }
+
+printf '{"cmd":"shutdown"}\n' > "$CI_OUT/serve/shutdown.jsonl"
+target/release/gtr-serve --connect "$SERVE_ADDR" --submit "$CI_OUT/serve/shutdown.jsonl" \
+    > "$CI_OUT/serve/shutdown.txt"
+grep -q '"ok":"shutdown"' "$CI_OUT/serve/shutdown.txt" || {
+    echo "serve smoke: shutdown was not acknowledged" >&2; exit 1; }
+wait "$SERVE_PID" || { echo "gtr-serve exited non-zero" >&2; exit 1; }
+trap - EXIT
+SERVE_ELAPSED=$(( $(date +%s) - SERVE_START ))
+if [ "$SERVE_ELAPSED" -gt "$SERVE_BUDGET_S" ]; then
+    echo "serve smoke took ${SERVE_ELAPSED}s (budget ${SERVE_BUDGET_S}s)" >&2
+    exit 1
+fi
+echo "serve smoke: ${SERVE_ELAPSED}s (budget ${SERVE_BUDGET_S}s)"
+
+# Serve-latency invariants (BENCH_serve_latency.json): the tiny exact
+# sweep served cold then hot, gated on machine-independent facts —
+# 100% hot hit rate, one simulation per distinct cell, hot p50 at
+# least 100x faster than cold.
+cargo run --release -p gtr-bench --bin perf -- --serve --check
 
 # Paper-scale anchors: the sampled main-matrix cycle sum must match
 # the committed BENCH_matrix_paper.json bit for bit, and --exact

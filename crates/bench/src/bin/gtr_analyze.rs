@@ -17,7 +17,9 @@
 //! gtr-analyze --prof-summary trace.json --expect-workers 4
 //!
 //! # Per-commit trend over the committed BENCH history files, with
-//! # threshold-based regression verdicts:
+//! # threshold-based regression verdicts; with no file arguments every
+//! # BENCH_*.json at the repo root is discovered by glob:
+//! gtr-analyze --bench-history
 //! gtr-analyze --bench-history BENCH_sim_throughput.json BENCH_matrix_paper.json
 //! ```
 //!
@@ -37,13 +39,14 @@ fn usage() -> ! {
         "usage: gtr-analyze --replay <trace.jsonl> --stats <stats.json>\n\
          \x20      gtr-analyze --diff <a.json> <b.json> [--tolerance PCT]\n\
          \x20      gtr-analyze --prof-summary <trace.json> [--expect-workers N]\n\
-         \x20      gtr-analyze --bench-history <BENCH.json>... [--tolerance PCT]\n\
+         \x20      gtr-analyze --bench-history [<BENCH.json>...] [--tolerance PCT]\n\
          --replay  reconstruct statistics from the trace and verify them\n\
          \x20         against the exported stats document (exit 1 on divergence)\n\
          --diff    per-metric relative comparison of two stats documents\n\
          --prof-summary    summarize a Chrome trace from a --prof run\n\
          --expect-workers N  fail unless >= N worker lanes carry spans\n\
-         --bench-history   per-commit trend of BENCH history files\n\
+         --bench-history   per-commit trend of BENCH history files (no\n\
+         \x20         arguments: every BENCH_*.json at the repo root)\n\
          --tolerance PCT  allowed relative delta in percent\n\
          \x20         (default 0 for --diff, {} for --bench-history)",
         perf::REGRESSION_TOLERANCE_PCT
@@ -72,11 +75,21 @@ fn main() {
         return;
     }
     if let Some(pos) = args.iter().position(|a| a == "--bench-history") {
-        let files: Vec<&String> =
-            args[pos + 1..].iter().take_while(|a| !a.starts_with("--")).collect();
+        let mut files: Vec<String> =
+            args[pos + 1..].iter().take_while(|a| !a.starts_with("--")).cloned().collect();
         if files.is_empty() {
-            eprintln!("--bench-history needs at least one BENCH history file");
-            usage()
+            // No explicit list: discover every committed BENCH history
+            // at the repo root by glob, sorted for stable output. New
+            // BENCH files are covered by the rot gate automatically
+            // instead of rotting outside a hardcoded list.
+            files = discover_bench_files();
+            if files.is_empty() {
+                eprintln!(
+                    "--bench-history found no BENCH_*.json files in {}",
+                    perf::repo_root().display()
+                );
+                std::process::exit(1);
+            }
         }
         let tolerance = str_flag("--tolerance")
             .map(|v| {
@@ -241,7 +254,25 @@ fn prof_summary_mode(trace_path: &str, expect_workers: Option<usize>) {
     }
 }
 
-fn bench_history_mode(files: &[&String], tolerance_pct: f64) {
+/// Every `BENCH_*.json` history file at the repository root, sorted
+/// by name.
+fn discover_bench_files() -> Vec<String> {
+    let root = perf::repo_root();
+    let Ok(entries) = std::fs::read_dir(&root) else {
+        return Vec::new();
+    };
+    let mut files: Vec<String> = entries
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            (name.starts_with("BENCH_") && name.ends_with(".json"))
+                .then(|| root.join(name).to_string_lossy().into_owned())
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn bench_history_mode(files: &[String], tolerance_pct: f64) {
     let mut failed = false;
     for (i, path) in files.iter().enumerate() {
         if i > 0 {

@@ -1,0 +1,171 @@
+//! `gtr-serve` — the sweep service: experiment cells as queries.
+//!
+//! Server mode binds a TCP listener and answers JSONL cell requests
+//! from the memoized result cache, coalescing duplicates and batching
+//! cold cells onto the work-stealing pool (see
+//! [`gtr_bench::serve`]). Client mode submits a request file to a
+//! running server and prints (or saves) the streamed responses.
+//!
+//! ```text
+//! gtr-serve --listen 127.0.0.1:0 --port-file target/serve.addr \
+//!           --cache-dir target/serve-cache --checkpoint-dir target/ckpt
+//! gtr-serve --connect 127.0.0.1:45817 --submit batch.jsonl --out-dir target/resp
+//! ```
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gtr_bench::harness::atomic_write;
+use gtr_bench::serve::{run_server, submit_lines, ServeState};
+use gtr_sim::json::Json;
+use gtr_sim::prof;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gtr-serve --listen ADDR [--threads N] [--cache-dir DIR] \
+         [--checkpoint-dir DIR] [--port-file PATH] [--prof PATH]\n\
+         \x20      gtr-serve --connect ADDR --submit FILE [--out-dir DIR]\n\
+         \n\
+         Server mode accepts line-delimited JSON cell requests\n\
+         ({{\"app\":..,\"config\":..,\"scale\":..,\"mode\":..,\"tenants\":..,\"policy\":..}})\n\
+         plus {{\"cmd\":\"stats\"}} and {{\"cmd\":\"shutdown\"}} control lines, and\n\
+         streams back a header line + stats document per cell.\n\
+         \n\
+         --listen ADDR          bind address (port 0 picks a free port)\n\
+         --threads N            cold-cell pool workers (default: machine)\n\
+         --cache-dir DIR        on-disk memoized result cache\n\
+         --checkpoint-dir DIR   warmup checkpoint cache for sampled cells\n\
+         --port-file PATH       write the bound address here (atomic rename)\n\
+         --prof PATH            profile the server; Chrome trace on shutdown\n\
+         \n\
+         Client mode:\n\
+         --connect ADDR         server address\n\
+         --submit FILE          JSONL request file to send\n\
+         --out-dir DIR          also save each stats document as resp_NNN.json"
+    );
+    std::process::exit(2);
+}
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("gtr-serve: {flag} needs a value");
+        usage();
+    }
+    args.remove(pos);
+    Some(args.remove(pos))
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let listen = take_value(&mut args, "--listen");
+    let connect = take_value(&mut args, "--connect");
+    let submit = take_value(&mut args, "--submit");
+    let out_dir = take_value(&mut args, "--out-dir").map(PathBuf::from);
+    let threads: usize = take_value(&mut args, "--threads")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(0);
+    let cache_dir = take_value(&mut args, "--cache-dir").map(PathBuf::from);
+    let checkpoint_dir = take_value(&mut args, "--checkpoint-dir").map(PathBuf::from);
+    let port_file = take_value(&mut args, "--port-file").map(PathBuf::from);
+    let prof_out = take_value(&mut args, "--prof").map(PathBuf::from);
+    if !args.is_empty() {
+        eprintln!("gtr-serve: unknown argument {:?}", args[0]);
+        usage();
+    }
+    match (listen, connect) {
+        (Some(addr), None) => serve(addr, threads, cache_dir, checkpoint_dir, port_file, prof_out),
+        (None, Some(addr)) => {
+            let Some(file) = submit else {
+                eprintln!("gtr-serve: --connect needs --submit FILE");
+                usage();
+            };
+            client(addr, file, out_dir);
+        }
+        _ => usage(),
+    }
+}
+
+fn serve(
+    addr: String,
+    threads: usize,
+    cache_dir: Option<PathBuf>,
+    checkpoint_dir: Option<PathBuf>,
+    port_file: Option<PathBuf>,
+    prof_out: Option<PathBuf>,
+) {
+    if prof_out.is_some() {
+        prof::enable();
+        prof::set_lane("serve-main");
+    }
+    let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
+        eprintln!("gtr-serve: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    let local = listener.local_addr().expect("bound listener has an address");
+    if let Some(pf) = &port_file {
+        // Atomic rename: a polling launcher never reads a half-written
+        // address.
+        if let Err(e) = atomic_write(pf, format!("{local}\n").as_bytes()) {
+            eprintln!("gtr-serve: cannot write --port-file {}: {e}", pf.display());
+            std::process::exit(1);
+        }
+    }
+    eprintln!("gtr-serve: listening on {local}");
+    let state = Arc::new(ServeState::new(threads, cache_dir, checkpoint_dir));
+    if let Err(e) = run_server(Arc::clone(&state), listener) {
+        eprintln!("gtr-serve: server error: {e}");
+        std::process::exit(1);
+    }
+    if let Some(path) = prof_out {
+        match prof::write_chrome_trace(&path) {
+            Ok(_) => eprintln!("gtr-serve: wrote profile to {}", path.display()),
+            Err(e) => eprintln!("gtr-serve: cannot write profile: {e}"),
+        }
+    }
+}
+
+fn client(addr: String, file: String, out_dir: Option<PathBuf>) {
+    let text = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+        eprintln!("gtr-serve: cannot read {file}: {e}");
+        std::process::exit(1);
+    });
+    let lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let sock_addr = addr.parse().unwrap_or_else(|e| {
+        eprintln!("gtr-serve: invalid address {addr}: {e}");
+        std::process::exit(1);
+    });
+    let responses = submit_lines(sock_addr, &lines).unwrap_or_else(|e| {
+        eprintln!("gtr-serve: submit failed: {e}");
+        std::process::exit(1);
+    });
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("gtr-serve: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        });
+    }
+    let mut doc_idx = 0usize;
+    let mut expect_doc = false;
+    for line in &responses {
+        println!("{line}");
+        if expect_doc {
+            // The line after a cell header is that cell's stats
+            // document — save it byte-identically (compact + '\n').
+            if let Some(dir) = &out_dir {
+                let path = dir.join(format!("resp_{doc_idx:03}.json"));
+                if let Err(e) = std::fs::write(&path, format!("{line}\n")) {
+                    eprintln!("gtr-serve: cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+            doc_idx += 1;
+            expect_doc = false;
+            continue;
+        }
+        expect_doc = Json::parse(line)
+            .ok()
+            .is_some_and(|j| j.get("cell").is_some());
+    }
+}

@@ -23,6 +23,13 @@
 //!   **unsampled** paper-scale matrix and records its cell throughput
 //!   and cycle anchor in the report's `exact_*` fields (budget-gated
 //!   in CI — every cell simulates in full).
+//! * `... --bin perf -- --serve` — same three modes for `gtr-serve`
+//!   result-cache latency: the tiny exact sweep is submitted
+//!   cell-by-cell against an in-process server, cold (empty cache)
+//!   then hot (memoized); the baseline is `BENCH_serve_latency.json`
+//!   and `--check` gates machine-independent invariants (100% hot hit
+//!   rate, one simulation per distinct cell, hot p50 >= 100x faster
+//!   than cold).
 //!
 //! Any mode accepts `--threads N` to pin the matrix worker-thread
 //! count (default: available parallelism; results are bit-identical
@@ -34,9 +41,10 @@
 //! come from — `--prof` just exports the timeline).
 
 use gtr_bench::perf::{
-    append_history, check_against, check_matrix_against, latest_matrix_report, latest_report,
-    measure_paper_workers, measure_workers, BASELINE_FILE, PAPER_BASELINE_FILE,
-    REGRESSION_TOLERANCE_PCT,
+    append_history, check_against, check_matrix_against, check_serve_against,
+    latest_matrix_report, latest_report, latest_serve_report, measure_paper_workers,
+    measure_serve, measure_workers, BASELINE_FILE, PAPER_BASELINE_FILE,
+    REGRESSION_TOLERANCE_PCT, SERVE_BASELINE_FILE,
 };
 use gtr_workloads::scale::Scale;
 
@@ -89,19 +97,27 @@ fn main() {
     let dry_run = args.iter().any(|a| a == "--dry-run");
     let paper = args.iter().any(|a| a == "--paper");
     let exact = args.iter().any(|a| a == "--exact");
-    if let Some(bad) = args
-        .iter()
-        .find(|a| *a != "--check" && *a != "--dry-run" && *a != "--paper" && *a != "--exact")
-    {
+    let serve = args.iter().any(|a| a == "--serve");
+    if let Some(bad) = args.iter().find(|a| {
+        *a != "--check" && *a != "--dry-run" && *a != "--paper" && *a != "--exact" && *a != "--serve"
+    }) {
         eprintln!(
             "unknown argument `{bad}` (expected --check, --dry-run, --paper, --exact, \
-             --threads <N>, --stats-out <path> or --prof <out.json>)"
+             --serve, --threads <N>, --stats-out <path> or --prof <out.json>)"
         );
         std::process::exit(2);
     }
     if exact && !paper {
         eprintln!("--exact only applies to --paper (tiny measurements are always exact)");
         std::process::exit(2);
+    }
+    if serve && paper {
+        eprintln!("--serve and --paper are separate measurements; pick one");
+        std::process::exit(2);
+    }
+    if serve {
+        run_serve(check, dry_run, stats_out, workers);
+        return;
     }
     if paper {
         run_paper(check, dry_run, stats_out, prof_out, workers, exact);
@@ -146,6 +162,56 @@ fn main() {
     if let Some(base) = &baseline {
         let delta = (report.cycles_per_sec / base.cycles_per_sec - 1.0) * 100.0;
         println!("previous record: {:.2} M cycles/s ({delta:+.1}%)", base.cycles_per_sec / 1e6);
+    }
+    std::fs::write(&path, append_history(&history, &report.to_json()))
+        .expect("write baseline JSON");
+    println!("appended to {}", path.display());
+}
+
+/// The `--serve` variant of the harness: `gtr-serve` result-cache
+/// latency, cold pass vs hot pass against an in-process server. The
+/// gate checks invariants of the measured record (100% hot hit rate,
+/// one simulation per distinct cell, hot p50 at least 100x faster
+/// than cold) rather than machine-dependent latencies.
+fn run_serve(check: bool, dry_run: bool, stats_out: Option<String>, workers: usize) {
+    let path = gtr_bench::perf::repo_root().join(SERVE_BASELINE_FILE);
+    let history = std::fs::read_to_string(&path).unwrap_or_default();
+    let baseline = latest_serve_report(&history);
+
+    eprintln!("measuring gtr-serve latency (tiny exact sweep, cold then hot)...");
+    let report = measure_serve(workers);
+    println!(
+        "{} cells | cold p50 {} us | hot p50 {} us ({:.0}x) | hot hits {:.1}% | {} simulations (commit {})",
+        report.cells,
+        report.cold_p50_us,
+        report.hot_p50_us,
+        report.speedup_p50,
+        report.hot_hit_rate_pct,
+        report.simulations,
+        report.commit
+    );
+
+    if let Some(out) = &stats_out {
+        std::fs::write(out, report.to_json()).expect("write --stats-out JSON");
+        eprintln!("report written to {out}");
+    }
+
+    if check {
+        match check_serve_against(baseline.as_ref(), &report) {
+            Ok(verdict) => println!("OK: {verdict}"),
+            Err(msg) => {
+                eprintln!("SERVE REGRESSION: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if dry_run {
+        print!("{}", report.to_json());
+        return;
+    }
+    if let Some(base) = &baseline {
+        println!("previous record: hot p50 {} us (commit {})", base.hot_p50_us, base.commit);
     }
     std::fs::write(&path, append_history(&history, &report.to_json()))
         .expect("write baseline JSON");

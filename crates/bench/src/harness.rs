@@ -97,6 +97,38 @@ impl RunMode {
     }
 }
 
+/// Writes `bytes` to `path` atomically: the data lands in a uniquely
+/// named temporary file in the target directory first and is then
+/// renamed into place. `rename(2)` is atomic on POSIX filesystems, so
+/// a concurrent reader — another serve worker, or a second sweep
+/// sharing the same `--checkpoint-dir` — observes either the old file
+/// or the complete new one, never a torn prefix. Writers racing on
+/// the same path both succeed; last rename wins with identical
+/// content (captures are deterministic). The temporary is removed on
+/// write failure so a full disk cannot strand partials that a later
+/// directory count would miscount.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("atomic_write needs a file path"))?;
+    let tmp_name = format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    );
+    let tmp = path.with_file_name(tmp_name);
+    if let Err(e) = std::fs::write(&tmp, bytes) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
 /// Loads a checkpoint from the disk cache or captures it fresh (and
 /// saves it back when a cache directory is given). File names encode
 /// the app, stream fingerprint, and warmup window; cached files that
@@ -123,7 +155,7 @@ pub fn load_or_capture(app: &AppTrace, gpu: &GpuConfig, warmup: u64, dir: Option
         if let Some(parent) = p.parent() {
             let _ = std::fs::create_dir_all(parent);
         }
-        let _ = std::fs::write(p, ck.to_bytes());
+        let _ = atomic_write(p, &ck.to_bytes());
     }
     ck
 }

@@ -29,3 +29,4 @@ pub mod harness;
 pub mod perf;
 pub mod pool;
 pub mod profile;
+pub mod serve;

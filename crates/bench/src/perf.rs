@@ -595,6 +595,236 @@ pub fn check_matrix_against(
     }
 }
 
+/// File name of the committed serve-latency baseline, at the repo
+/// root.
+pub const SERVE_BASELINE_FILE: &str = "BENCH_serve_latency.json";
+
+/// Hot cells must answer at least this many times faster than cold
+/// cells at the median — the headline `gtr-serve` invariant: a hot
+/// cell is one cache probe, never a simulation.
+pub const SERVE_SPEEDUP_FLOOR: u64 = 100;
+
+/// One latency measurement of the `gtr-serve` result cache: the tiny
+/// exact (app × config) sweep submitted cell-by-cell against an
+/// in-process server, cold (empty cache) then hot (fully memoized).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServePerfReport {
+    /// Git commit the measurement was taken at (or `"unknown"`).
+    pub commit: String,
+    /// Workload scale label (`"tiny"` for the committed baseline).
+    pub scale: String,
+    /// Distinct cells submitted per pass.
+    pub cells: u64,
+    /// Cold-pass per-cell service latency, median, microseconds.
+    pub cold_p50_us: u64,
+    /// Cold-pass p90 latency, microseconds.
+    pub cold_p90_us: u64,
+    /// Cold-pass p99 latency, microseconds.
+    pub cold_p99_us: u64,
+    /// Hot-pass (memoized) median latency, microseconds — the
+    /// record-kind marker `gtr-analyze --bench-history` detects serve
+    /// records by.
+    pub hot_p50_us: u64,
+    /// Hot-pass p90 latency, microseconds.
+    pub hot_p90_us: u64,
+    /// Hot-pass p99 latency, microseconds.
+    pub hot_p99_us: u64,
+    /// Percentage of hot-pass requests answered from the cache
+    /// (anything under 100 means a memoized cell re-entered the
+    /// simulator — a correctness failure, not a perf number).
+    pub hot_hit_rate_pct: f64,
+    /// Simulations the server ran across both passes; equals `cells`
+    /// when dedupe/memoization worked perfectly.
+    pub simulations: u64,
+    /// `cold_p50_us / hot_p50_us` — the headline speedup.
+    pub speedup_p50: f64,
+}
+
+impl ServePerfReport {
+    /// Serializes the report as pretty-printed JSON (stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"commit\": \"{}\",\n  \"scale\": \"{}\",\n  \"cells\": {},\n  \
+             \"cold_p50_us\": {},\n  \"cold_p90_us\": {},\n  \"cold_p99_us\": {},\n  \
+             \"hot_p50_us\": {},\n  \"hot_p90_us\": {},\n  \"hot_p99_us\": {},\n  \
+             \"hot_hit_rate_pct\": {:.1},\n  \"simulations\": {},\n  \"speedup_p50\": {:.1}\n}}\n",
+            self.commit,
+            self.scale,
+            self.cells,
+            self.cold_p50_us,
+            self.cold_p90_us,
+            self.cold_p99_us,
+            self.hot_p50_us,
+            self.hot_p90_us,
+            self.hot_p99_us,
+            self.hot_hit_rate_pct,
+            self.simulations,
+            self.speedup_p50
+        )
+    }
+
+    /// Parses a report written by [`ServePerfReport::to_json`].
+    pub fn from_json(s: &str) -> Option<Self> {
+        let j = Json::parse(s).ok()?;
+        let u = |k: &str| j.get(k)?.as_u64();
+        Some(Self {
+            commit: j.get("commit")?.as_str()?.to_string(),
+            scale: j.get("scale")?.as_str()?.to_string(),
+            cells: u("cells")?,
+            cold_p50_us: u("cold_p50_us")?,
+            cold_p90_us: u("cold_p90_us")?,
+            cold_p99_us: u("cold_p99_us")?,
+            hot_p50_us: u("hot_p50_us")?,
+            hot_p90_us: u("hot_p90_us")?,
+            hot_p99_us: u("hot_p99_us")?,
+            hot_hit_rate_pct: j.get("hot_hit_rate_pct")?.as_f64()?,
+            simulations: u("simulations")?,
+            speedup_p50: j.get("speedup_p50")?.as_f64()?,
+        })
+    }
+}
+
+/// The newest (last) record of a [`ServePerfReport`] history document.
+pub fn latest_serve_report(s: &str) -> Option<ServePerfReport> {
+    ServePerfReport::from_json(split_history(s).last()?)
+}
+
+/// Parses the cell-response header lines out of one pass's response
+/// stream into a latency histogram plus the count of cache-sourced
+/// answers.
+fn serve_pass_latencies(responses: &[String]) -> (gtr_sim::hist::Hist, u64) {
+    let mut hist = gtr_sim::hist::Hist::default();
+    let mut cache_hits = 0u64;
+    for line in responses {
+        let Ok(j) = Json::parse(line) else { continue };
+        if j.get("cell").is_none() {
+            continue; // stats documents and control lines
+        }
+        if let Some(us) = j.get("micros").and_then(Json::as_u64) {
+            hist.record(us);
+        }
+        if j.get("source").and_then(Json::as_str) == Some("cache") {
+            cache_hits += 1;
+        }
+    }
+    (hist, cache_hits)
+}
+
+/// Measures `gtr-serve` cell latency against an in-process server on
+/// a loopback port: the tiny exact (Table-2 suite × 4 configs) sweep,
+/// submitted one cell per batch so every response header's `micros`
+/// is that cell's own service time. The cold pass starts from an
+/// empty result cache (`target/serve-perf-cache` is cleared first);
+/// the hot pass resubmits the identical cells and must be answered
+/// entirely from the memo.
+pub fn measure_serve(workers: usize) -> ServePerfReport {
+    use crate::serve::{run_server, submit_lines, ServeState};
+    use gtr_workloads::suite;
+
+    let cache_dir = repo_root().join("target").join("serve-perf-cache");
+    let _ = std::fs::remove_dir_all(&cache_dir); // the cold pass must be cold
+    let state = std::sync::Arc::new(ServeState::new(workers, Some(cache_dir), None));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("bound listener has an address");
+    let server = {
+        let state = std::sync::Arc::clone(&state);
+        std::thread::spawn(move || run_server(state, listener))
+    };
+    // One request per batch — a blank line flushes after every cell —
+    // so latency percentiles measure cells, not whole-batch waits.
+    let mut lines = Vec::new();
+    for app in suite::all(Scale::tiny()) {
+        for config in ["baseline", "lds", "ic", "ic+lds"] {
+            lines.push(format!(
+                "{{\"app\":\"{}\",\"config\":\"{config}\",\"scale\":\"tiny\",\"mode\":\"exact\"}}",
+                app.name()
+            ));
+            lines.push(String::new());
+        }
+    }
+    let cold = submit_lines(addr, &lines).expect("cold serve pass");
+    let hot = submit_lines(addr, &lines).expect("hot serve pass");
+    let ctl = submit_lines(
+        addr,
+        &["{\"cmd\":\"stats\"}".to_string(), "{\"cmd\":\"shutdown\"}".to_string()],
+    )
+    .expect("stats + shutdown");
+    let _ = server.join();
+    let (cold_hist, _) = serve_pass_latencies(&cold);
+    let (hot_hist, hot_hits) = serve_pass_latencies(&hot);
+    let simulations = ctl
+        .first()
+        .and_then(|l| Json::parse(l).ok())
+        .and_then(|j| j.get("counters")?.get("simulations")?.as_u64())
+        .unwrap_or(0);
+    let cells = cold_hist.count();
+    let hot_p50 = hot_hist.p50();
+    ServePerfReport {
+        commit: git_commit(),
+        scale: "tiny".to_string(),
+        cells,
+        cold_p50_us: cold_hist.p50(),
+        cold_p90_us: cold_hist.p90(),
+        cold_p99_us: cold_hist.p99(),
+        hot_p50_us: hot_p50,
+        hot_p90_us: hot_hist.p90(),
+        hot_p99_us: hot_hist.p99(),
+        hot_hit_rate_pct: if cells == 0 { 0.0 } else { hot_hits as f64 * 100.0 / cells as f64 },
+        simulations,
+        speedup_p50: cold_hist.p50() as f64 / hot_p50.max(1) as f64,
+    }
+}
+
+/// Gates a serve measurement. Unlike the throughput gates this checks
+/// *invariants of the measured record itself* — they must hold on any
+/// machine, so a slow CI box cannot mask a caching bug:
+///
+/// * the hot pass is 100% cache hits,
+/// * the server ran exactly one simulation per distinct cell
+///   (memoized cells never re-entered the simulator),
+/// * hot-cell p50 is at least [`SERVE_SPEEDUP_FLOOR`]× faster than
+///   cold-cell p50.
+///
+/// The committed baseline is reported for context but not gated on —
+/// microsecond-scale latencies are machine noise, not regressions.
+pub fn check_serve_against(
+    baseline: Option<&ServePerfReport>,
+    measured: &ServePerfReport,
+) -> Result<String, String> {
+    if measured.cells == 0 {
+        return Err("serve measurement answered zero cells".to_string());
+    }
+    if measured.hot_hit_rate_pct < 100.0 {
+        return Err(format!(
+            "hot pass hit rate {:.1}% — memoized cells re-entered the simulator",
+            measured.hot_hit_rate_pct
+        ));
+    }
+    if measured.simulations != measured.cells {
+        return Err(format!(
+            "{} simulations for {} distinct cells — dedupe/memoization leaked",
+            measured.simulations, measured.cells
+        ));
+    }
+    if measured.hot_p50_us.max(1).saturating_mul(SERVE_SPEEDUP_FLOOR) > measured.cold_p50_us {
+        return Err(format!(
+            "hot p50 {} us vs cold p50 {} us — under the {SERVE_SPEEDUP_FLOOR}x floor",
+            measured.hot_p50_us, measured.cold_p50_us
+        ));
+    }
+    let mut verdict = format!(
+        "cold p50 {} us -> hot p50 {} us ({:.0}x), {} cells, hot hits 100%",
+        measured.cold_p50_us, measured.hot_p50_us, measured.speedup_p50, measured.cells
+    );
+    if let Some(base) = baseline {
+        verdict.push_str(&format!(
+            "; baseline hot p50 {} us (commit {})",
+            base.hot_p50_us, base.commit
+        ));
+    }
+    Ok(verdict)
+}
+
 /// Current `HEAD` commit hash, or `"unknown"` outside a git checkout.
 pub fn git_commit() -> String {
     std::process::Command::new("git")
@@ -832,6 +1062,67 @@ mod tests {
         assert!(check_against(None, &m).is_ok(), "missing baseline is not a failure");
         m.sim_cycles = 1_000_001; // determinism anchor moved
         assert!(check_against(Some(&base), &m).is_err(), "cycle drift must fail");
+    }
+
+    fn serve_report(commit: &str) -> ServePerfReport {
+        ServePerfReport {
+            commit: commit.into(),
+            scale: "tiny".into(),
+            cells: 40,
+            cold_p50_us: 120_000,
+            cold_p90_us: 300_000,
+            cold_p99_us: 500_000,
+            hot_p50_us: 80,
+            hot_p90_us: 150,
+            hot_p99_us: 400,
+            hot_hit_rate_pct: 100.0,
+            simulations: 40,
+            speedup_p50: 1500.0,
+        }
+    }
+
+    #[test]
+    fn serve_report_round_trips_through_history() {
+        let r1 = serve_report("aaa1111");
+        let mut r2 = serve_report("bbb2222");
+        r2.hot_p50_us = 95;
+        let doc = append_history(&r1.to_json(), &r2.to_json());
+        let records = split_history(&doc);
+        assert_eq!(records.len(), 2);
+        let parsed = ServePerfReport::from_json(records[0]).expect("record parses");
+        assert_eq!(parsed, r1);
+        assert_eq!(latest_serve_report(&doc).unwrap().hot_p50_us, 95);
+        // Serve records are not mistakable for the other two kinds.
+        assert!(PerfReport::from_json(records[0]).is_none());
+        assert!(MatrixPerfReport::from_json(records[0]).is_none());
+    }
+
+    #[test]
+    fn serve_check_gates_invariants_not_machines() {
+        let good = serve_report("head");
+        assert!(check_serve_against(None, &good).is_ok());
+        assert!(check_serve_against(Some(&serve_report("base")), &good).is_ok());
+        let mut m = good.clone();
+        m.hot_hit_rate_pct = 97.5;
+        assert!(check_serve_against(None, &m).is_err(), "hot miss must fail");
+        let mut m = good.clone();
+        m.simulations = 41;
+        assert!(check_serve_against(None, &m).is_err(), "dedupe leak must fail");
+        let mut m = good.clone();
+        m.hot_p50_us = m.cold_p50_us / (SERVE_SPEEDUP_FLOOR - 1);
+        assert!(check_serve_against(None, &m).is_err(), "under the speedup floor");
+        let mut m = good.clone();
+        m.cells = 0;
+        m.simulations = 0;
+        assert!(check_serve_against(None, &m).is_err(), "empty measurement");
+        // A slow machine that preserves the invariants still passes:
+        // the baseline is context, not a gate.
+        let mut slow = good.clone();
+        slow.hot_p50_us = 300;
+        slow.cold_p50_us = 3_000_000;
+        let mut base = serve_report("base");
+        base.hot_p50_us = 10;
+        assert!(check_serve_against(Some(&base), &slow).is_ok());
     }
 
     /// Satellite: the measurement path at tiny scale emits well-formed

@@ -414,11 +414,13 @@ fn phases_line(phases: &[perf::PhaseTotal]) -> String {
 }
 
 /// Renders the per-commit trend of one committed BENCH history file.
-/// Record kind (throughput vs matrix) is detected per record by its
-/// `cells_per_sec` key; each line carries the delta against the
-/// previous record and a verdict against `tolerance_pct` (the
-/// regression gate's threshold). Fails — the CI rot gate — when the
-/// document contains no records or any record does not parse.
+/// Record kind is detected per record by a marker key —
+/// `cells_per_sec` for matrix-throughput records, `hot_p50_us` for
+/// serve-latency records, plain throughput otherwise; each line
+/// carries the delta against the previous record and a verdict
+/// against `tolerance_pct` (the regression gate's threshold). Fails —
+/// the CI rot gate — when the document contains no records or any
+/// record does not parse.
 pub fn bench_history_report(label: &str, text: &str, tolerance_pct: f64) -> Result<String, String> {
     let records = perf::split_history(text);
     if records.is_empty() {
@@ -428,10 +430,29 @@ pub fn bench_history_report(label: &str, text: &str, tolerance_pct: f64) -> Resu
     let mut prev_rate: Option<f64> = None;
     let mut last_phases: Vec<perf::PhaseTotal> = Vec::new();
     for (i, rec) in records.iter().enumerate() {
-        let is_matrix = Json::parse(rec)
-            .map_err(|e| format!("{label}: record {i} is not valid JSON: {e}"))?
-            .get("cells_per_sec")
-            .is_some();
+        let parsed =
+            Json::parse(rec).map_err(|e| format!("{label}: record {i} is not valid JSON: {e}"))?;
+        if parsed.get("hot_p50_us").is_some() {
+            // Serve-latency record: the tracked rate is the hot/cold
+            // speedup (higher is better, like every other rate here);
+            // the anchor column carries the distinct-cell count.
+            let r = perf::ServePerfReport::from_json(rec)
+                .ok_or_else(|| format!("{label}: record {i} does not match the serve schema"))?;
+            let delta = prev_rate.map(|p| (r.speedup_p50 / p - 1.0) * 100.0);
+            let trend = match delta {
+                Some(d) => format!("{d:+7.1}%  {}", verdict(d, tolerance_pct)),
+                None => "      —  (first)".to_string(),
+            };
+            out.push_str(&format!(
+                "  {i:>2}  {:<9} {:<6} {:>12.1} {:<8} {trend:<18} \
+                 [cold p50 {}us -> hot p50 {}us; cells {}]\n",
+                r.commit, r.scale, r.speedup_p50, "x hot", r.cold_p50_us, r.hot_p50_us, r.cells
+            ));
+            prev_rate = Some(r.speedup_p50);
+            last_phases = Vec::new();
+            continue;
+        }
+        let is_matrix = parsed.get("cells_per_sec").is_some();
         let (commit, scale, rate, unit, cpu, anchor, extra, phases) = if is_matrix {
             let r = MatrixPerfReport::from_json(rec)
                 .ok_or_else(|| format!("{label}: record {i} does not match the matrix schema"))?;
@@ -612,6 +633,32 @@ mod tests {
         // The rot gate: an unparseable record fails the whole report.
         assert!(bench_history_report("x", "[{\"commit\": 3}]", 20.0).is_err());
         assert!(bench_history_report("x", "", 20.0).is_err());
+    }
+
+    #[test]
+    fn serve_history_tracks_speedup() {
+        let mk = |commit: &str, speedup: f64| perf::ServePerfReport {
+            commit: commit.into(),
+            scale: "tiny".into(),
+            cells: 40,
+            cold_p50_us: 120_000,
+            cold_p90_us: 250_000,
+            cold_p99_us: 400_000,
+            hot_p50_us: (120_000.0 / speedup) as u64,
+            hot_p90_us: 200,
+            hot_p99_us: 500,
+            hot_hit_rate_pct: 100.0,
+            simulations: 40,
+            speedup_p50: speedup,
+        };
+        let mut doc = perf::append_history("", &mk("aaa", 1500.0).to_json());
+        doc = perf::append_history(&doc, &mk("bbb", 900.0).to_json());
+        let report = bench_history_report("BENCH_serve_latency.json", &doc, 20.0).expect("parses");
+        assert!(report.contains("2 record(s)"), "{report}");
+        assert!(report.contains("x hot"), "{report}");
+        assert!(report.contains("cold p50 120000us"), "{report}");
+        assert!(report.contains("cells 40"), "{report}");
+        assert!(report.contains("REGRESS"), "900 after 1500 is beyond 20%: {report}");
     }
 
     #[test]

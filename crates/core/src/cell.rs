@@ -1,0 +1,171 @@
+//! Experiment-cell identity for the result cache behind `gtr-serve`.
+//!
+//! A *cell* is one point of the experiment space: `(app, machine,
+//! reach config, execution mode)`. [`CellKey`] is its identity — the
+//! key the serve layer memoizes completed stats documents under.
+//!
+//! The key extends the [`CheckpointKey`](crate::checkpoint::CheckpointKey)
+//! discipline rather than replacing it. A checkpoint is keyed by the
+//! *stream-shaping* GPU fields only, because timing-side knobs cannot
+//! change the captured translation stream — that is what lets one
+//! capture serve a whole sweep axis. A **result** is the opposite:
+//! every timing-side knob (TLB geometry, latencies, I-cache sharing,
+//! the reach configuration itself, sampling windows, tenancy) changes
+//! the simulated outcome, so all of them must enter the key. `CellKey`
+//! therefore carries both fingerprints side by side:
+//!
+//! * [`CellKey::stream_fingerprint`] — the checkpoint-sharing class
+//!   ([`stream_fingerprint`]); cells that agree here can share one
+//!   warmup capture even though their results differ.
+//! * [`CellKey::timing_fingerprint`] — everything that determines the
+//!   result beyond the stream: the full `GpuConfig`, the
+//!   `ReachConfig` (including tenancy), and a mode descriptor (scale,
+//!   exact vs sampled, sampling windows).
+//!
+//! Fingerprints hash the `Debug` renderings of the configuration
+//! structs, the same construction [`stream_fingerprint`] uses: any
+//! new field added to a config struct automatically invalidates old
+//! cache entries instead of silently colliding with them.
+
+use gtr_gpu::config::GpuConfig;
+
+use crate::checkpoint::{fingerprint_str, stream_fingerprint};
+use crate::config::ReachConfig;
+
+/// The identity of one experiment cell — the memoization key of the
+/// serve layer's result cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    /// Application (trace) name the cell runs. Replicated multi-tenant
+    /// traces carry the tenant count in their name, so a 4-tenant cell
+    /// never collides with its solo twin.
+    pub app: String,
+    /// The checkpoint-sharing class: [`stream_fingerprint`] of the
+    /// cell's GPU configuration. Unchanged by timing-side sweeps.
+    pub stream_fingerprint: u64,
+    /// Fingerprint over the full timing-relevant configuration: the
+    /// whole `GpuConfig`, the `ReachConfig`, and the execution-mode
+    /// descriptor. Changed by *any* knob that can change the result.
+    pub timing_fingerprint: u64,
+}
+
+impl CellKey {
+    /// The key of a cell running `app` on `gpu` under `reach` in the
+    /// execution mode described by `mode`. The descriptor must encode
+    /// everything about the run that the two config structs do not:
+    /// scale label, exact vs sampled, sampling windows, side caches.
+    /// Callers with the same semantics must render it identically —
+    /// the serve layer builds it in exactly one place.
+    pub fn new(app: &str, gpu: &GpuConfig, reach: &ReachConfig, mode: &str) -> Self {
+        Self {
+            app: app.to_string(),
+            stream_fingerprint: stream_fingerprint(gpu),
+            timing_fingerprint: fingerprint_str(&format!(
+                "gpu={gpu:?} reach={reach:?} mode={mode}"
+            )),
+        }
+    }
+
+    /// The single 64-bit fingerprint the on-disk result cache files
+    /// are named and validated by (FNV-1a over the key's fields).
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_str(&format!(
+            "app={} stream={:016x} timing={:016x}",
+            self.app, self.stream_fingerprint, self.timing_fingerprint
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SamplingConfig;
+
+    fn key(gpu: &GpuConfig, reach: &ReachConfig, mode: &str) -> CellKey {
+        CellKey::new("GUPS", gpu, reach, mode)
+    }
+
+    #[test]
+    fn timing_side_gpu_knobs_change_cell_key_but_not_stream_class() {
+        // The property that separates CellKey from CheckpointKey:
+        // sweeping a timing-side knob must produce a *different result
+        // cache entry* while still *sharing the warmup checkpoint*.
+        let base_gpu = GpuConfig::default();
+        let reach = ReachConfig::ic_plus_lds();
+        let base = key(&base_gpu, &reach, "exact");
+        for (label, gpu) in [
+            ("l2-tlb", base_gpu.clone().with_l2_tlb_entries(65_536)),
+            ("sharers", base_gpu.clone().with_icache_sharers(8)),
+        ] {
+            let k = key(&gpu, &reach, "exact");
+            assert_eq!(
+                k.stream_fingerprint, base.stream_fingerprint,
+                "{label}: timing-side knob must stay in the checkpoint-sharing class"
+            );
+            assert_ne!(
+                k.timing_fingerprint, base.timing_fingerprint,
+                "{label}: timing-side knob must change the result identity"
+            );
+            assert_ne!(k.fingerprint(), base.fingerprint());
+        }
+    }
+
+    #[test]
+    fn stream_shaping_knobs_change_both_fingerprints() {
+        use gtr_vm::addr::PageSize;
+        let reach = ReachConfig::ic_plus_lds();
+        let base = key(&GpuConfig::default(), &reach, "exact");
+        let big_pages = key(
+            &GpuConfig::default().with_page_size(PageSize::Size2M),
+            &reach,
+            "exact",
+        );
+        assert_ne!(big_pages.stream_fingerprint, base.stream_fingerprint);
+        assert_ne!(big_pages.fingerprint(), base.fingerprint());
+    }
+
+    #[test]
+    fn reach_and_mode_enter_the_key() {
+        let gpu = GpuConfig::default();
+        let base = key(&gpu, &ReachConfig::ic_plus_lds(), "exact");
+        let lds = key(&gpu, &ReachConfig::lds_only(), "exact");
+        assert_ne!(lds.fingerprint(), base.fingerprint(), "reach config");
+        let cfg = SamplingConfig::paper_default();
+        let sampled = key(&gpu, &ReachConfig::ic_plus_lds(), &format!("sampled {cfg:?}"));
+        assert_ne!(sampled.fingerprint(), base.fingerprint(), "execution mode");
+        // Different sampling windows are different cells too.
+        let other = key(
+            &gpu,
+            &ReachConfig::ic_plus_lds(),
+            &format!("sampled {:?}", cfg.scaled(0.1)),
+        );
+        assert_ne!(other.fingerprint(), sampled.fingerprint(), "sampling windows");
+    }
+
+    #[test]
+    fn tenancy_enters_the_key_via_reach_and_app_name() {
+        use gtr_vm::tenancy::SharingPolicy;
+        let gpu = GpuConfig::default();
+        let solo = key(&gpu, &ReachConfig::ic_plus_lds(), "exact");
+        let tenanted = key(
+            &gpu,
+            &ReachConfig::ic_plus_lds().with_tenancy(4, SharingPolicy::SubEntry),
+            "exact",
+        );
+        assert_ne!(tenanted.fingerprint(), solo.fingerprint(), "tenancy config");
+        let other_policy = key(
+            &gpu,
+            &ReachConfig::ic_plus_lds().with_tenancy(4, SharingPolicy::Shared),
+            "exact",
+        );
+        assert_ne!(other_policy.fingerprint(), tenanted.fingerprint(), "sharing policy");
+    }
+
+    #[test]
+    fn key_is_deterministic() {
+        let a = key(&GpuConfig::default(), &ReachConfig::baseline(), "exact");
+        let b = key(&GpuConfig::default(), &ReachConfig::baseline(), "exact");
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -132,6 +132,45 @@ fn version_bumped_cache_file_is_recaptured() {
     assert_eq!(ck.app(), "GUPS");
 }
 
+/// Two writers racing on the same cache directory can never leave a
+/// torn capture behind: `atomic_write` stages into a unique temp file
+/// and renames into place, so every observable file state is either
+/// absent or a complete, decodable capture. Interleaved concurrent
+/// sweeps (the serve workers' situation, or two `all` invocations
+/// sharing `--checkpoint-dir`) must agree with a cold run exactly.
+#[test]
+fn two_concurrent_writers_never_tear_the_cache() {
+    let scratch = ScratchDir::new("two-writers");
+    let mode = sampled_into(scratch.path());
+    let clean_sum = cycle_sum(&run_matrix(&mode));
+    // Fresh directory per round so both writers genuinely capture.
+    for round in 0..3 {
+        let _ = std::fs::remove_dir_all(scratch.path());
+        std::fs::create_dir_all(scratch.path()).expect("recreate scratch dir");
+        let sums: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| s.spawn(|| cycle_sum(&run_matrix(&mode))))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("writer thread")).collect()
+        });
+        for sum in sums {
+            assert_eq!(sum, clean_sum, "round {round}: racing writers must match a cold run");
+        }
+        // Whichever writer renamed last, the surviving file is whole
+        // and no temp staging files leak.
+        let files: Vec<_> = std::fs::read_dir(scratch.path())
+            .expect("read cache dir")
+            .map(|e| e.expect("dir entry").path())
+            .collect();
+        assert_eq!(files.len(), 1, "round {round}: staging files must not leak: {files:?}");
+        let bytes = std::fs::read(&files[0]).expect("read survivor");
+        assert!(
+            Checkpoint::from_bytes(&bytes).is_some(),
+            "round {round}: the surviving cache file must decode completely"
+        );
+    }
+}
+
 /// A cache shared across figure families never poisons results: the
 /// same directory serves an exact run (which must ignore it) and a
 /// second sampled run (which must reuse it without re-capturing).
