@@ -78,6 +78,34 @@ if [ "$TENANCY_ELAPSED" -gt "$TENANCY_BUDGET_S" ]; then
 fi
 echo "tenancy smoke: ${TENANCY_ELAPSED}s (budget ${TENANCY_BUDGET_S}s)"
 
+# Contiguity smoke: the page-backing-mode comparison ({4 KB, 2 MB,
+# fragmented-2 MB, coalesced} x {baseline, LDS, IC, IC+LDS}) at tiny
+# scale under a pinned 4-worker pool. The coalesced matrix must stamp
+# schema v6 and carry the `coalescing` object validate_stats checks
+# against the coalescing invariants; the plain-4K matrix must stay
+# schema v4 — coalescing is strictly opt-in. Budget-gated (locally
+# ~3 s).
+CONTIG_BUDGET_S=120
+CONTIG_START=$(date +%s)
+rm -rf "$CI_OUT/contiguity"
+cargo run --release -q -p gtr-bench --bin contiguity -- --tiny --no-sweep --threads 4 \
+    --stats-out "$CI_OUT/contiguity" > "$CI_OUT/contiguity_smoke.txt" 2>/dev/null
+CONTIG_ELAPSED=$(( $(date +%s) - CONTIG_START ))
+grep -q "^coalesced" "$CI_OUT/contiguity_smoke.txt" || {
+    echo "contiguity smoke output is missing the coalesced mode row" >&2; exit 1; }
+grep -q '"schema_version":6' "$CI_OUT/contiguity/contiguity_coalesced.json" || {
+    echo "coalesced matrix export lost its schema-v6 stamp" >&2; exit 1; }
+grep -q '"coalescing":{' "$CI_OUT/contiguity/contiguity_coalesced.json" || {
+    echo "coalesced matrix export carries no coalescing stats" >&2; exit 1; }
+grep -q '"schema_version":4' "$CI_OUT/contiguity/contiguity_4K.json" || {
+    echo "plain-4K contiguity export must stay schema v4" >&2; exit 1; }
+cargo run --release -q -p gtr-bench --bin validate_stats -- "$CI_OUT"/contiguity/*.json
+if [ "$CONTIG_ELAPSED" -gt "$CONTIG_BUDGET_S" ]; then
+    echo "contiguity smoke took ${CONTIG_ELAPSED}s (budget ${CONTIG_BUDGET_S}s)" >&2
+    exit 1
+fi
+echo "contiguity smoke: ${CONTIG_ELAPSED}s (budget ${CONTIG_BUDGET_S}s)"
+
 # Sampled paper-scale smoke cell: one app, two variants, full paper
 # scale under interval sampling. The first run captures the warmup
 # checkpoint, the second must reuse it from the cache; both stats

@@ -39,6 +39,13 @@
 //! single-tenant, and the default battery output stays byte-identical
 //! to its pre-tenancy form. The standalone `tenancy` binary offers
 //! finer control (`--tenants N`, `--policy`).
+//!
+//! `--page-modes` appends the contiguity figure family (the
+//! {4 KB, 2 MB, fragmented-2 MB, coalesced} page-backing comparison
+//! and the allocator-fragmentation sweep) the same way. Off by
+//! default for the same byte-stability reason; the standalone
+//! `contiguity` binary offers finer control (`--no-modes`,
+//! `--no-sweep`, per-matrix `--stats-out`).
 
 use gtr_bench::harness::RunMode;
 use gtr_bench::profile;
@@ -92,11 +99,15 @@ fn main() {
     }
 
     let tenants = args.iter().any(|a| a == "--tenants");
+    let page_modes = args.iter().any(|a| a == "--page-modes");
 
     let t = prof::Stopwatch::start();
     let (mut figs, m) = gtr_bench::figures::battery_with_main(scale, &mode);
     if tenants {
         figs.extend(gtr_bench::figures::tenancy_battery(scale, &mode));
+    }
+    if page_modes {
+        figs.extend(gtr_bench::figures::contiguity_battery(scale, &mode));
     }
     println!(
         "{}",

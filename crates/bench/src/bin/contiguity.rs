@@ -1,0 +1,140 @@
+//! `contiguity` — the contiguity-aware-reach sweep (allocator page
+//! layouts × coalesced TLB entries).
+//!
+//! Runs the page-backing-mode comparison ({4 KB, 2 MB,
+//! fragmented-2 MB, coalesced} × {baseline, LDS, IC, IC+LDS}) and the
+//! allocator-fragmentation sweep (f ∈ 0..1 × {baseline,
+//! IC+LDS+coalesce}), then prints both figures.
+//!
+//! ```sh
+//! cargo run --release -p gtr-bench --bin contiguity -- --tiny
+//! cargo run --release -p gtr-bench --bin contiguity -- --scale paper --sample
+//! cargo run --release -p gtr-bench --bin contiguity -- --tiny --no-sweep
+//! ```
+//!
+//! Flags:
+//!
+//! * `--scale <tiny|quick|paper>` (or `--tiny`/`--quick`) — workload
+//!   scale (default paper).
+//! * `--no-modes` / `--no-sweep` — skip the page-mode comparison or
+//!   the fragmentation sweep.
+//! * `--sample` — run under checkpointed interval sampling;
+//!   `--checkpoint-dir <dir>` caches warmup checkpoints (default
+//!   `target/ckpt-cache`). Each page layout captures its own
+//!   checkpoints (the layout is stream-shaping); the coalescing knob
+//!   is timing-side and shares them.
+//! * `--threads N` — pin the matrix worker count; results are
+//!   bit-identical for any value.
+//! * `--stats-out <dir>` — write each matrix as a JSON document
+//!   (`contiguity_<mode>.json`, `contiguity_frag<permille>.json`;
+//!   schema v6 where coalescing ran, v4 otherwise) for
+//!   `validate_stats`; `--pretty` indents the documents.
+//! * `--prof <out.json>` — record a host-side span profile (Chrome
+//!   trace). Simulated results stay byte-identical.
+
+use gtr_bench::figures;
+use gtr_bench::harness::RunMode;
+use gtr_bench::profile;
+use gtr_sim::prof;
+use gtr_workloads::scale::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let prof_out = profile::arm_from_args(&args);
+    let scale = scale_from_args(&args);
+    let sample = args.iter().any(|a| a == "--sample");
+    let pretty = args.iter().any(|a| a == "--pretty");
+    let no_modes = args.iter().any(|a| a == "--no-modes");
+    let no_sweep = args.iter().any(|a| a == "--no-sweep");
+    let stats_out = str_flag(&args, "--stats-out");
+    let mut mode = if sample {
+        let dir = str_flag(&args, "--checkpoint-dir")
+            .unwrap_or_else(|| "target/ckpt-cache".to_string());
+        RunMode::sampled(figures::sampling_for(scale)).with_checkpoint_dir(dir)
+    } else {
+        RunMode::exact()
+    };
+    if let Some(v) = str_flag(&args, "--threads") {
+        let n = v.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("--threads needs a worker count");
+            std::process::exit(2);
+        });
+        mode = mode.with_workers(n);
+    }
+
+    let t = prof::Stopwatch::start();
+    let mut cells = 0usize;
+    let mut exports: Vec<(String, gtr_sim::json::Json)> = Vec::new();
+    if !no_modes {
+        let ms = figures::contiguity_matrices(scale, &mode);
+        println!("{}", figures::contiguity_page_modes_from(&ms));
+        for (label, m) in &ms {
+            cells += m.baseline.len() + m.variants.iter().map(|(_, v)| v.len()).sum::<usize>();
+            exports.push((format!("contiguity_{label}.json"), m.to_json()));
+        }
+    }
+    if !no_sweep {
+        let ms = figures::fragmentation_matrices(scale, &mode);
+        println!("{}", figures::contiguity_frag_sweep_from(&ms));
+        for (f, m) in &ms {
+            cells += m.baseline.len() + m.variants.iter().map(|(_, v)| v.len()).sum::<usize>();
+            exports.push((
+                format!("contiguity_frag{:03}.json", (f * 1000.0).round() as u32),
+                m.to_json(),
+            ));
+        }
+    }
+    eprintln!("contiguity sweep: {cells} cells in {}", t.report());
+
+    if let Some(dir) = stats_out {
+        std::fs::create_dir_all(&dir).expect("create stats dir");
+        let _span = prof::span("export:stats");
+        for (name, j) in exports {
+            let mut doc = if pretty {
+                j.to_string()
+            } else {
+                let mut s = String::new();
+                j.write_compact(&mut s);
+                s
+            };
+            doc.push('\n');
+            let path = format!("{dir}/{name}");
+            std::fs::write(&path, doc).expect("write stats JSON");
+            eprintln!("stats written to {path}");
+        }
+    }
+    profile::finish(prof_out.as_deref());
+}
+
+/// Reads the value of `--flag value`.
+fn str_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+            .to_string()
+    })
+}
+
+fn scale_from_args(args: &[String]) -> Scale {
+    if let Some(v) = str_flag(args, "--scale") {
+        return match v.as_str() {
+            "tiny" => Scale::tiny(),
+            "quick" => Scale::quick(),
+            "paper" => Scale::paper(),
+            other => {
+                eprintln!("--scale needs tiny|quick|paper (got {other:?})");
+                std::process::exit(2);
+            }
+        };
+    }
+    if args.iter().any(|a| a == "--quick") {
+        Scale::quick()
+    } else if args.iter().any(|a| a == "--tiny") {
+        Scale::tiny()
+    } else {
+        Scale::paper()
+    }
+}

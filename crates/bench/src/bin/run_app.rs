@@ -16,16 +16,23 @@ use gtr_gpu::config::GpuConfig;
 use gtr_sim::prof;
 use gtr_sim::trace::JsonlSink;
 use gtr_vm::addr::PageSize;
+use gtr_vm::alloc::PageLayout;
 use gtr_workloads::scale::Scale;
 use gtr_workloads::suite;
 
 fn usage() -> ! {
     eprintln!(
         "usage: run_app <APP> <CONFIG> [--quick|--tiny] [--sharers N] [--pages 4k|64k|2m] [--l2-tlb N] [--ducati]\n\
+         \x20              [--frag F] [--frag-seed N] [--coalesce [MAX]]\n\
          \x20              [--epochs N] [--stats-out FILE.json] [--pretty] [--trace FILE.jsonl] [--percentiles]\n\
          \x20              [--sample] [--checkpoint-dir DIR] [--threads N] [--prof FILE.json]\n\
          APP:    {}\n\
          CONFIG: baseline | lds | ic | ic+lds\n\
+         --frag F            back the footprint with the contiguity-aware allocator at\n\
+         \x20                 fragmentation F in [0,1] (0 = fully contiguous, 1 = 4 KB scatter)\n\
+         --frag-seed N       permutation seed for --frag (default: the sweep's frozen seed)\n\
+         --coalesce [MAX]    let TLB entries coalesce contiguous runs up to 2^MAX pages\n\
+         \x20                 (default MAX covers a full 2 MB region)\n\
          --threads N         accepted for sweep-script uniformity; a single-app run is one\n\
          \x20                 deterministic simulation (matrix parallelism lives in all/perf)\n\
          --epochs N          sample cumulative counters every N cycles into the stats epoch series\n\
@@ -60,7 +67,7 @@ fn main() {
     } else {
         Scale::paper()
     };
-    let reach = match config_name {
+    let mut reach = match config_name {
         "baseline" => ReachConfig::baseline(),
         "lds" => ReachConfig::lds_only(),
         "ic" => ReachConfig::ic_only(),
@@ -98,6 +105,32 @@ fn main() {
                 usage()
             }
         });
+    }
+    if let Some(i) = args.iter().position(|a| a == "--frag") {
+        let f = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|f| (0.0..=1.0).contains(f))
+            .unwrap_or_else(|| {
+                eprintln!("--frag needs a fraction in [0, 1]");
+                usage()
+            });
+        let seed = flag_value("--frag-seed")
+            .map(|n| n as u64)
+            .unwrap_or(gtr_bench::figures::CONTIGUITY_FRAG_SEED);
+        gpu = gpu.with_page_layout(PageLayout::contig(f, seed));
+    } else if args.iter().any(|a| a == "--frag-seed") {
+        eprintln!("--frag-seed requires --frag");
+        usage()
+    }
+    if let Some(i) = args.iter().position(|a| a == "--coalesce") {
+        // The span cap is optional: bare `--coalesce` covers a full
+        // 2 MB region, `--coalesce MAX` caps runs at 2^MAX pages.
+        let max = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<u8>().ok())
+            .unwrap_or(gtr_bench::figures::COALESCE_MAX_SPAN_LOG2);
+        reach = reach.with_tlb_coalescing(max);
     }
 
     let Some(app) = suite::by_name(app_name, scale) else {
@@ -169,6 +202,16 @@ fn main() {
     println!("tx shared across CUs: {:.0}%", s.tx_shared_fraction * 100.0);
     println!("LDS req/WG:          {}", s.lds_request_summary);
     println!("IC utilization:      {}", s.icache_utilization_summary);
+    if let Some(co) = &s.coalescing {
+        println!(
+            "coalesced reach:     {:.2}x ({} of {} inserts coalesced, {} covered hits, {} shootdown splits)",
+            co.reach_multiplier(),
+            co.entries_coalesced,
+            co.inserts,
+            co.coalesced_hits,
+            co.shootdown_splits
+        );
+    }
     if !s.epochs.is_empty() {
         println!("epochs:              {} samples every {} cycles", s.epochs.len(), s.epoch_len);
     }

@@ -15,7 +15,11 @@
 //!   internally consistent), and — when the record is a schema-v5
 //!   tenanted document — the tenancy invariants (per-tenant counters
 //!   sum to the run totals, VM-IDs are ordered, slowdowns are finite;
-//!   TENANCY.md §4). Matrix documents with a schema-v4
+//!   TENANCY.md §4), and — when the record carries a schema-v6
+//!   `coalescing` object — the coalescing invariants (coalesced
+//!   entries never exceed inserts, span pages account for the
+//!   coalescing they claim, the reach multiplier is a finite ratio
+//!   ≥ 1). Matrix documents with a schema-v4
 //!   `figures` array additionally have every figure entry checked
 //!   (named, cell counts consistent, error bounds finite and
 //!   non-negative, exact figures bound-free).
@@ -26,8 +30,8 @@
 //! against a tiny-matrix export so schema drift fails the build.
 
 use gtr_core::export::{
-    check_distribution_invariants, check_epoch_invariants, check_sampling_invariants,
-    check_tenancy_invariants, run_stats_from_json,
+    check_coalescing_invariants, check_distribution_invariants, check_epoch_invariants,
+    check_sampling_invariants, check_tenancy_invariants, run_stats_from_json,
 };
 use gtr_sim::json::Json;
 
@@ -173,6 +177,7 @@ fn validate_run(j: &Json) -> Result<(), String> {
     problems.extend(check_distribution_invariants(&s, version));
     problems.extend(check_sampling_invariants(&s));
     problems.extend(check_tenancy_invariants(&s));
+    problems.extend(check_coalescing_invariants(&s));
     if problems.is_empty() {
         Ok(())
     } else {

@@ -22,6 +22,7 @@ use gtr_core::config::{ReachConfig, Replacement, SamplingConfig, SegmentSize, Tx
 use gtr_core::stats::RunStats;
 use gtr_gpu::config::GpuConfig;
 use gtr_vm::addr::PageSize;
+use gtr_vm::alloc::{PageLayout, REGION_PAGES_LOG2};
 use gtr_vm::tenancy::SharingPolicy;
 use gtr_workloads::scale::Scale;
 use gtr_workloads::suite;
@@ -1060,6 +1061,215 @@ pub fn tenancy_storm(scale: Scale) -> String {
         ));
     }
     out
+}
+
+/// The deterministic allocator seed of the contiguity figure family
+/// (the fragmentation knob hashes `(seed, vpn)`, so the broken-out
+/// page set is a pure function of this constant).
+pub const CONTIGUITY_FRAG_SEED: u64 = 0xC0A1_E5CE;
+
+/// Maximum coalesced-entry reach the figures grant: one entry may map
+/// up to a whole 2 MB allocator region (2^9 × 4 KB pages).
+pub const COALESCE_MAX_SPAN_LOG2: u8 = REGION_PAGES_LOG2 as u8;
+
+/// The fragmentation fraction emulating a *fragmented* huge-page
+/// backing: a quarter of the 4 KB pages break out of their region.
+pub const FRAG2M_FRACTION: f64 = 0.25;
+
+/// The fragmentation fractions the allocator sweep visits.
+pub const FRAG_SWEEP: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// One page-backing mode of the contiguity figure family: a label, the
+/// machine it implies, and the coalesced-entry limit (``None`` = plain
+/// 4 KB entries).
+fn contiguity_modes() -> Vec<(&'static str, GpuConfig, Option<u8>)> {
+    let contig = |f: f64| {
+        GpuConfig::default().with_page_layout(PageLayout::contig(f, CONTIGUITY_FRAG_SEED))
+    };
+    vec![
+        // The classic baseline: 4 KB pages, scattered frames.
+        ("4K", GpuConfig::default(), None),
+        // True 2 MB pages: the page-table level itself maps 2 MB.
+        ("2M", GpuConfig::default().with_page_size(PageSize::Size2M), None),
+        // Fragmented-2MB: the OS *wanted* huge pages but a quarter of
+        // the 4 KB frames broke out; coalesced entries recover the
+        // surviving runs.
+        ("frag2M", contig(FRAG2M_FRACTION), Some(COALESCE_MAX_SPAN_LOG2)),
+        // Contiguity-aware allocation: fully contiguous regions mapped
+        // by coalesced variable-reach entries.
+        ("coalesced", contig(0.0), Some(COALESCE_MAX_SPAN_LOG2)),
+    ]
+}
+
+/// Resolves a page-mode name from the serve protocol / CLI vocabulary
+/// (`4k | 2m | frag2m | coalesced`, case-insensitive) into the GPU
+/// config and coalesced-entry limit of the matching
+/// [`contiguity_modes`] entry; `None` for unknown names. Keeping the
+/// lookup here means `gtr-serve` cells and the figure battery agree on
+/// what each mode means — a served `frag2m` cell is byte-identical to
+/// the same cell inside [`contiguity_matrices`].
+pub fn page_mode_config(name: &str) -> Option<(GpuConfig, Option<u8>)> {
+    let canon = match name.to_ascii_lowercase().as_str() {
+        "4k" => "4K",
+        "2m" => "2M",
+        "frag2m" => "frag2M",
+        "coalesced" => "coalesced",
+        _ => return None,
+    };
+    contiguity_modes()
+        .into_iter()
+        .find(|(label, _, _)| *label == canon)
+        .map(|(_, gpu, coalesce)| (gpu, coalesce))
+}
+
+/// The per-page-mode matrices of the contiguity family, in
+/// [`contiguity_modes`] order: each mode runs {baseline, LDS, IC,
+/// IC+LDS} on its machine, with coalesced TLB entries switched on for
+/// the coalescing modes. The page layout is stream-shaping (it decides
+/// every PPN), so under sampling each mode captures its own warmup
+/// checkpoints; the coalescing knob itself is timing-side and shares
+/// them.
+pub fn contiguity_matrices(scale: Scale, mode: &RunMode) -> Vec<(&'static str, Matrix)> {
+    contiguity_modes()
+        .into_iter()
+        .map(|(label, gpu, coalesce)| {
+            let reach = |r: ReachConfig| match coalesce {
+                Some(max) => r.with_tlb_coalescing(max),
+                None => r,
+            };
+            let m = Matrix::run_with_mode(
+                scale,
+                Variant::with_gpu("baseline", gpu.clone(), reach(ReachConfig::baseline())),
+                vec![
+                    Variant::with_gpu("LDS", gpu.clone(), reach(ReachConfig::lds_only())),
+                    Variant::with_gpu("IC", gpu.clone(), reach(ReachConfig::ic_only())),
+                    Variant::with_gpu("IC+LDS", gpu, reach(ReachConfig::ic_plus_lds())),
+                ],
+                mode,
+            );
+            (label, m)
+        })
+        .collect()
+}
+
+/// The allocator-fragmentation sweep matrices, in [`FRAG_SWEEP`]
+/// order: at each fragmentation fraction `f`, a plain baseline and a
+/// coalescing IC+LDS machine run on the *same* `Contig(f)` layout, so
+/// the improvement column shows how the coalescing benefit decays as
+/// contiguity fragments away.
+pub fn fragmentation_matrices(scale: Scale, mode: &RunMode) -> Vec<(f64, Matrix)> {
+    FRAG_SWEEP
+        .iter()
+        .map(|&f| {
+            let gpu =
+                GpuConfig::default().with_page_layout(PageLayout::contig(f, CONTIGUITY_FRAG_SEED));
+            let m = Matrix::run_with_mode(
+                scale,
+                Variant::with_gpu("baseline", gpu.clone(), ReachConfig::baseline()),
+                vec![Variant::with_gpu(
+                    "IC+LDS+coalesce",
+                    gpu,
+                    ReachConfig::ic_plus_lds().with_tlb_coalescing(COALESCE_MAX_SPAN_LOG2),
+                )],
+                mode,
+            );
+            (f, m)
+        })
+        .collect()
+}
+
+/// Sums one variant's coalescing aggregates across a matrix's apps;
+/// `None` when the cells carry no v6 stats (coalescing off).
+fn summed_coalescing(runs: &[RunStats]) -> Option<gtr_core::stats::CoalescingStats> {
+    let mut acc: Option<gtr_core::stats::CoalescingStats> = None;
+    for s in runs {
+        if let Some(c) = &s.coalescing {
+            let a = acc.get_or_insert_with(Default::default);
+            a.inserts += c.inserts;
+            a.entries_coalesced += c.entries_coalesced;
+            a.span_pages += c.span_pages;
+            a.coalesced_hits += c.coalesced_hits;
+            a.shootdown_splits += c.shootdown_splits;
+        }
+    }
+    acc
+}
+
+/// Renders prebuilt [`contiguity_matrices`] output: the per-mode
+/// geomean improvements plus the coalescing telemetry of each mode's
+/// IC+LDS cells.
+pub fn contiguity_page_modes_from(ms: &[(&'static str, Matrix)]) -> String {
+    let mut out = String::from(
+        "### Contiguity: geomean improvement by page backing (vs same-layout baseline)\n\
+         mode        LDS       IC   IC+LDS | reach(x)  cov-hits   splits\n",
+    );
+    for (label, m) in ms {
+        let mut line = format!("{label:<9}");
+        for v in 0..m.variants.len() {
+            line.push_str(&format!(" {:>+7.1}%", m.geomean_improvement(v)));
+        }
+        match summed_coalescing(&m.variants[m.variants.len() - 1].1) {
+            Some(c) => line.push_str(&format!(
+                " | {:>7.2} {:>9} {:>8}\n",
+                c.reach_multiplier(),
+                c.coalesced_hits,
+                c.shootdown_splits
+            )),
+            None => line.push_str(" |    (4 KB entries)\n"),
+        }
+        out.push_str(&line);
+    }
+    out
+}
+
+/// Renders prebuilt [`fragmentation_matrices`] output: IC+LDS-with-
+/// coalescing improvement and reach multiplier vs the fragmentation
+/// knob.
+pub fn contiguity_frag_sweep_from(ms: &[(f64, Matrix)]) -> String {
+    let mut out = String::from(
+        "### Contiguity: allocator-fragmentation sweep (IC+LDS + coalesced entries)\n\
+         frag     IC+LDS | reach(x)  coalesced/inserts\n",
+    );
+    for (f, m) in ms {
+        let c = summed_coalescing(&m.variants[0].1).unwrap_or_default();
+        out.push_str(&format!(
+            "{f:<5} {:>+8.1}% | {:>7.2} {:>10}/{}\n",
+            m.geomean_improvement(0),
+            c.reach_multiplier(),
+            c.entries_coalesced,
+            c.inserts,
+        ));
+    }
+    out
+}
+
+/// The contiguity figure family (`all --page-modes` and the
+/// `contiguity` binary run this): the page-backing-mode comparison
+/// plus the allocator-fragmentation sweep. Not part of the default
+/// [`battery`] — the paper's own figures run the scatter layout, and
+/// the frozen battery output must stay byte-identical.
+pub fn contiguity_battery(scale: Scale, mode: &RunMode) -> Vec<FigureResult> {
+    let modes = {
+        let _s = gtr_sim::prof::span_with("figure", || "contiguity_page_modes".to_string());
+        let ms = contiguity_matrices(scale, mode);
+        let refs: Vec<&Matrix> = ms.iter().map(|(_, m)| m).collect();
+        FigureResult::from_matrices(
+            "contiguity_page_modes",
+            contiguity_page_modes_from(&ms),
+            &refs,
+        )
+    };
+    let sweep = {
+        let _s = gtr_sim::prof::span_with("figure", || "contiguity_frag_sweep".to_string());
+        let ms = fragmentation_matrices(scale, mode);
+        let refs: Vec<&Matrix> = ms.iter().map(|(_, m)| m).collect();
+        FigureResult::from_matrices(
+            "contiguity_frag_sweep",
+            contiguity_frag_sweep_from(&ms),
+            &refs,
+        )
+    };
+    vec![modes, sweep]
 }
 
 /// The tenancy figure family (`all --tenants` and the `tenancy`

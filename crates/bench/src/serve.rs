@@ -2,9 +2,10 @@
 //!
 //! Turns the batch harness inside out — instead of regenerating whole
 //! figure matrices, clients submit individual experiment cells
-//! `(app, config, scale, mode, tenancy)` over a line-delimited JSONL
-//! protocol and get schema-v4/v5 stats documents streamed back. Three
-//! layers (ARCHITECTURE's serving section):
+//! `(app, config, scale, mode, tenancy, page mode)` over a
+//! line-delimited JSONL protocol and get schema-v4/v5/v6 stats
+//! documents streamed back. Three layers (ARCHITECTURE's serving
+//! section):
 //!
 //! 1. **Admission/dedupe** — every request resolves to a
 //!    [`CellKey`](gtr_core::cell::CellKey); completed cells are
@@ -31,6 +32,7 @@
 //! ```text
 //! {"app":"GUPS","config":"ic+lds","scale":"tiny","mode":"exact"}
 //! {"app":"ATAX","config":"baseline","scale":"tiny","mode":"sampled","tenants":2,"policy":"subentry"}
+//! {"app":"GUPS","config":"ic+lds","scale":"tiny","mode":"exact","page_mode":"coalesced"}
 //! {"cmd":"stats"}      -> one {"counters":{...}} line
 //! {"cmd":"shutdown"}   -> one {"ok":"shutdown"} line; the listener stops
 //! ```
@@ -74,7 +76,8 @@ pub const RESULT_CACHE_VERSION: u32 = 1;
 const RESULT_MAGIC: u32 = 0x4754_5252;
 
 /// A memoized cell result: the streamed stats document plus its
-/// stamped schema version (4 untenanted, 5 tenanted).
+/// stamped schema version (4 untenanted, 5 tenanted, 6 when the cell
+/// ran with coalesced TLB entries).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CachedResult {
     /// Schema version the document carries.
@@ -162,6 +165,13 @@ pub struct CellRequest {
     /// Sharing policy, required when `tenants >= 2`:
     /// `partitioned | shared | subentry`.
     pub policy: Option<String>,
+    /// Page-backing mode (absent = plain 4 KB pages on scattered
+    /// frames): `4k | 2m | frag2m | coalesced`, the contiguity figure
+    /// family's vocabulary
+    /// ([`page_mode_config`](crate::figures::page_mode_config)). The
+    /// coalescing modes switch coalesced TLB entries on, so their
+    /// documents stamp schema v6.
+    pub page_mode: Option<String>,
 }
 
 /// Parses one request line.
@@ -185,6 +195,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         mode: field("mode").unwrap_or_else(|| "exact".to_string()),
         tenants: j.get("tenants").and_then(Json::as_u64).unwrap_or(0),
         policy: field("policy"),
+        page_mode: field("page_mode"),
     }))
 }
 
@@ -229,12 +240,24 @@ impl CellRequest {
             "paper" => Scale::paper(),
             other => return Err(format!("unknown scale {other:?} (tiny|quick|paper)")),
         };
-        let reach_solo = match self.config.as_str() {
+        let mut reach_solo = match self.config.as_str() {
             "baseline" => ReachConfig::baseline(),
             "lds" => ReachConfig::lds_only(),
             "ic" => ReachConfig::ic_only(),
             "ic+lds" | "ic_lds" => ReachConfig::ic_plus_lds(),
             other => return Err(format!("unknown config {other:?} (baseline|lds|ic|ic+lds)")),
+        };
+        let gpu = match self.page_mode.as_deref() {
+            None => GpuConfig::default(),
+            Some(pm) => {
+                let Some((gpu, coalesce)) = crate::figures::page_mode_config(pm) else {
+                    return Err(format!("unknown page_mode {pm:?} (4k|2m|frag2m|coalesced)"));
+                };
+                if let Some(max) = coalesce {
+                    reach_solo = reach_solo.with_tlb_coalescing(max);
+                }
+                gpu
+            }
         };
         let Some(base_app) = suite::by_name(&self.app, scale) else {
             return Err(format!("unknown app {:?}", self.app));
@@ -244,10 +267,13 @@ impl CellRequest {
             "sampled" => Some(crate::figures::sampling_for(scale)),
             other => return Err(format!("unknown mode {other:?} (exact|sampled)")),
         };
-        let gpu = GpuConfig::default();
         let mode_desc = mode_descriptor(&self.scale, sampling.as_ref());
-        let solo_label =
+        let mut solo_label =
             format!("{}/{}/{}/{}", self.app, self.config, self.scale, self.mode);
+        if let Some(pm) = &self.page_mode {
+            solo_label.push('/');
+            solo_label.push_str(pm);
+        }
         if self.tenants <= 1 {
             if self.policy.is_some() {
                 return Err("\"policy\" only applies to tenanted requests".to_string());
@@ -853,6 +879,7 @@ mod tests {
             mode: "exact".to_string(),
             tenants: 0,
             policy: None,
+            page_mode: None,
         }
     }
 
@@ -873,8 +900,49 @@ mod tests {
                 mode: "exact".to_string(),
                 tenants: 0,
                 policy: None,
+                page_mode: None,
             })
         );
+        let r = parse_request("{\"app\":\"GUPS\",\"page_mode\":\"coalesced\"}")
+            .expect("page_mode parses");
+        let Request::Cell(req) = r else { panic!("cell request") };
+        assert_eq!(req.page_mode.as_deref(), Some("coalesced"));
+    }
+
+    #[test]
+    fn page_modes_resolve_to_distinct_cells() {
+        let mut r = cell_line("GUPS", "ic+lds");
+        r.page_mode = Some("turbo".to_string());
+        assert!(r.resolve().is_err(), "unknown page mode");
+
+        let base = cell_line("GUPS", "ic+lds").resolve().expect("valid");
+        let mut fingerprints = vec![base.key.fingerprint()];
+        for pm in ["2m", "frag2m", "coalesced"] {
+            let mut r = cell_line("GUPS", "ic+lds");
+            r.page_mode = Some(pm.to_string());
+            let cell = r.resolve().expect("valid page mode");
+            assert!(cell.label.ends_with(pm), "page mode labels the cell");
+            fingerprints.push(cell.key.fingerprint());
+        }
+        fingerprints.sort_unstable();
+        fingerprints.dedup();
+        assert_eq!(fingerprints.len(), 4, "every page mode is its own cell");
+
+        // `4k` is spelled-out default: same machine, same result
+        // identity, so it shares the default mode's cache entries.
+        let mut r = cell_line("GUPS", "ic+lds");
+        r.page_mode = Some("4k".to_string());
+        let four_k = r.resolve().expect("valid");
+        assert_eq!(four_k.key.fingerprint(), base.key.fingerprint());
+
+        // The coalescing modes must produce schema-v6 documents end to
+        // end: run one and check the stamped version.
+        let state = ServeState::new(2, None, None);
+        let mut r = cell_line("GUPS", "ic+lds");
+        r.page_mode = Some("coalesced".to_string());
+        let responses = state.handle_batch(&[r.resolve().expect("valid")]);
+        assert_eq!(responses[0].result.schema_version, 6);
+        assert!(responses[0].result.doc.contains("\"coalescing\""));
     }
 
     #[test]

@@ -114,7 +114,10 @@ pub fn fingerprint_str(s: &str) -> u64 {
 /// * `waves_per_cu()` (= `simds_per_cu × waves_per_simd`) — the wave
 ///   slots that gate how many workgroups dispatch concurrently;
 /// * `lds_bytes` — the LDS allocator capacity that gates workgroup
-///   dispatch for LDS-hungry kernels.
+///   dispatch for LDS-hungry kernels;
+/// * `page_layout` — the frame-allocation policy (and its
+///   fragmentation seed/threshold) decides every PPN the walker
+///   returns, and the stream records resolved PPNs.
 ///
 /// Everything else is timing-side and deliberately excluded: TLB
 /// geometries and latencies (`l1_tlb`, `l2_tlb`, `l2_tlb_perfect`),
@@ -128,12 +131,13 @@ pub fn fingerprint_str(s: &str) -> u64 {
 /// [`ReachConfig::baseline`].
 pub fn stream_fingerprint(gpu: &GpuConfig) -> u64 {
     fingerprint_str(&format!(
-        "page_size={:?} coalescing={} cus={} waves_per_cu={} lds_bytes={}",
+        "page_size={:?} coalescing={} cus={} waves_per_cu={} lds_bytes={} page_layout={:?}",
         gpu.page_size,
         gpu.coalescing,
         gpu.cus,
         gpu.waves_per_cu(),
         gpu.lds_bytes,
+        gpu.page_layout,
     ))
 }
 

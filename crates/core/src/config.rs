@@ -142,6 +142,16 @@ pub struct ReachConfig {
     /// untenanted and bit-identical to the frozen anchors. See
     /// TENANCY.md and [`TenancyConfig`].
     pub tenancy: Option<TenancyConfig>,
+    /// Coalesced (variable-reach) TLB entries (arXiv 2110.08613):
+    /// `Some(max)` lets one entry in every tagged structure (L1/L2
+    /// TLB, LDS-Tx, IC-Tx) map up to `2^max` physically contiguous
+    /// pages, with the span detected at page-walk time from the
+    /// allocator's layout (see `gtr_vm::alloc::PageLayout`). `None` —
+    /// the default and the paper's configuration — is bit-identical to
+    /// the frozen anchors. Timing-side: this knob never shapes the
+    /// memory stream, so it is deliberately absent from
+    /// `CheckpointKey`'s stream fingerprint.
+    pub tlb_coalescing: Option<u8>,
 }
 
 impl Default for ReachConfig {
@@ -170,6 +180,7 @@ impl ReachConfig {
             lds_home_hashing: false,
             lds_remote_latency: 20,
             tenancy: None,
+            tlb_coalescing: None,
         }
     }
 
@@ -260,6 +271,16 @@ impl ReachConfig {
     /// scenario).
     pub fn with_tenancy(mut self, tenants: u8, policy: SharingPolicy) -> Self {
         self.tenancy = Some(TenancyConfig::new(tenants, policy));
+        self
+    }
+
+    /// Builder-style: enable coalesced TLB entries with runs of up to
+    /// `2^max_span_log2` pages. Pair with a contiguity-aware
+    /// `gtr_vm::alloc::PageLayout` on the GPU config — under the
+    /// default scatter layout no run ever exceeds one page and the
+    /// knob changes nothing but lookup order.
+    pub fn with_tlb_coalescing(mut self, max_span_log2: u8) -> Self {
+        self.tlb_coalescing = Some(max_span_log2);
         self
     }
 

@@ -17,7 +17,7 @@ use gtr_sim::hist::{AttrSlot, CycleAttribution, Hist};
 use gtr_sim::json::Json;
 use gtr_sim::stats::{FiveNumberSummary, HitMiss};
 
-use crate::stats::{EpochStats, KernelStats, RunStats, SamplingMeta, TenantStats};
+use crate::stats::{CoalescingStats, EpochStats, KernelStats, RunStats, SamplingMeta, TenantStats};
 
 /// Schema identifier stamped into every exported stats document, bumped
 /// when fields change incompatibly.
@@ -44,19 +44,34 @@ use crate::stats::{EpochStats, KernelStats, RunStats, SamplingMeta, TenantStats}
 ///   stamps v4, so every pre-tenancy export byte stays identical —
 ///   the tenancy-off frozen anchors diff clean. v4 documents still
 ///   parse with `tenants` empty.
-pub const STATS_SCHEMA_VERSION: u64 = 5;
+/// * **v6** — adds the `coalescing` object ([`CoalescingStats`]:
+///   coalesced-entry inserts, pages of reach, covering hits,
+///   split-on-shootdown counts) for runs with
+///   `ReachConfig::tlb_coalescing` enabled. Same conditional-stamp
+///   discipline as v5: a non-coalescing run carries no `coalescing`
+///   field and stamps v5 (tenanted) or v4, so every pre-coalescing
+///   export byte stays identical. v5/v4 documents still parse with
+///   `coalescing` absent.
+pub const STATS_SCHEMA_VERSION: u64 = 6;
 
-/// The version stamped on documents that carry no v5 field (see the
-/// v5 note above: untenanted exports must stay byte-identical).
+/// The version stamped on tenanted documents that carry no v6 field
+/// (see the v6 note above).
+pub const STATS_SCHEMA_VERSION_TENANTED: u64 = 5;
+
+/// The version stamped on documents that carry neither the v5 nor the
+/// v6 field (untenanted, non-coalescing exports stay byte-identical).
 pub const STATS_SCHEMA_VERSION_UNTENANTED: u64 = 4;
 
-/// The schema version a [`RunStats`] document stamps: v5 only when it
-/// carries the `tenants` array.
+/// The schema version a [`RunStats`] document stamps: v6 only when it
+/// carries the `coalescing` object, v5 only when it carries the
+/// `tenants` array, v4 otherwise.
 pub fn run_stats_schema_version(s: &RunStats) -> u64 {
-    if s.tenants.is_empty() {
+    if s.coalescing.is_some() {
+        STATS_SCHEMA_VERSION
+    } else if s.tenants.is_empty() {
         STATS_SCHEMA_VERSION_UNTENANTED
     } else {
-        STATS_SCHEMA_VERSION
+        STATS_SCHEMA_VERSION_TENANTED
     }
 }
 
@@ -231,6 +246,30 @@ fn tenant_from_json(j: &Json) -> Option<TenantStats> {
         page_walks: j.get("page_walks")?.as_u64()?,
         shootdowns: j.get("shootdowns")?.as_u64()?,
         solo_cycles: j.get("solo_cycles")?.as_u64()?,
+    })
+}
+
+fn coalescing_to_json(c: &CoalescingStats) -> Json {
+    Json::Obj(vec![
+        ("inserts".into(), Json::from(c.inserts)),
+        ("entries_coalesced".into(), Json::from(c.entries_coalesced)),
+        ("span_pages".into(), Json::from(c.span_pages)),
+        ("coalesced_hits".into(), Json::from(c.coalesced_hits)),
+        ("shootdown_splits".into(), Json::from(c.shootdown_splits)),
+        // Derived, like `ptw_pki`: validated for presence on parse but
+        // recomputed from the counters, so it cannot drift.
+        ("reach_multiplier".into(), Json::from(c.reach_multiplier())),
+    ])
+}
+
+fn coalescing_from_json(j: &Json) -> Option<CoalescingStats> {
+    j.get("reach_multiplier")?.as_f64()?;
+    Some(CoalescingStats {
+        inserts: j.get("inserts")?.as_u64()?,
+        entries_coalesced: j.get("entries_coalesced")?.as_u64()?,
+        span_pages: j.get("span_pages")?.as_u64()?,
+        coalesced_hits: j.get("coalesced_hits")?.as_u64()?,
+        shootdown_splits: j.get("shootdown_splits")?.as_u64()?,
     })
 }
 
@@ -414,6 +453,11 @@ pub fn run_stats_to_json(s: &RunStats) -> Json {
             Json::Arr(s.tenants.iter().map(tenant_to_json).collect()),
         ));
     }
+    // v6: the `coalescing` object only exists when coalesced entries
+    // were enabled (same byte-stability discipline as `tenants`).
+    if let Some(co) = &s.coalescing {
+        fields.push(("coalescing".into(), coalescing_to_json(co)));
+    }
     Json::Obj(fields)
 }
 
@@ -528,16 +572,25 @@ pub fn run_stats_from_json(j: &Json) -> Option<RunStats> {
         } else {
             None
         },
-        tenants: if version >= 5 {
-            // A v5 stamp means the document is tenanted (untenanted
-            // runs stamp v4), so the array must be present.
-            j.get("tenants")?
+        tenants: match j.get("tenants") {
+            Some(arr) => arr
                 .as_arr()?
                 .iter()
                 .map(tenant_from_json)
-                .collect::<Option<Vec<_>>>()?
-        } else {
-            Vec::new()
+                .collect::<Option<Vec<_>>>()?,
+            // A v5 stamp means the document is tenanted (untenanted
+            // runs stamp v4), so the array must be present. A v6 stamp
+            // only promises the `coalescing` object — an untenanted
+            // coalescing run legitimately omits `tenants`.
+            None if version == 5 => return None,
+            None => Vec::new(),
+        },
+        coalescing: match j.get("coalescing") {
+            Some(obj) => Some(coalescing_from_json(obj)?),
+            // A v6 stamp means coalescing was on, so the object must
+            // be present; older documents parse with it absent.
+            None if version >= 6 => return None,
+            None => None,
         },
     })
 }
@@ -772,6 +825,61 @@ pub fn check_tenancy_invariants(s: &RunStats) -> Vec<String> {
         if got != want {
             problems.push(format!("per-tenant {name} sum to {got} != run total {want}"));
         }
+    }
+    problems
+}
+
+/// Validates the schema-v6 coalescing invariants: a covering entry is
+/// only born from an insert, every insert covers at least one page and
+/// a coalesced insert at least two, and the derived reach multiplier
+/// must be a finite value ≥ 1. Always empty when `coalescing` is
+/// absent (non-coalescing documents carry no v6 field).
+pub fn check_coalescing_invariants(s: &RunStats) -> Vec<String> {
+    let mut problems = Vec::new();
+    let Some(c) = &s.coalescing else {
+        return problems;
+    };
+    if c.entries_coalesced > c.inserts {
+        problems.push(format!(
+            "entries_coalesced {} > inserts {}",
+            c.entries_coalesced, c.inserts
+        ));
+    }
+    // Every insert covers ≥ 1 page; a coalesced one covers ≥ 2 pages.
+    let min_pages = c.inserts + c.entries_coalesced;
+    if c.span_pages < min_pages {
+        problems.push(format!(
+            "span_pages {} < inserts + entries_coalesced {min_pages}",
+            c.span_pages
+        ));
+    }
+    if c.entries_coalesced == 0 {
+        // Nothing ever coalesced: no page of extra reach, no covering
+        // hit, and nothing for a shootdown to split.
+        if c.span_pages != c.inserts {
+            problems.push(format!(
+                "no entry coalesced but span_pages {} != inserts {}",
+                c.span_pages, c.inserts
+            ));
+        }
+        if c.coalesced_hits != 0 {
+            problems.push(format!(
+                "no entry coalesced but coalesced_hits = {}",
+                c.coalesced_hits
+            ));
+        }
+        if c.shootdown_splits != 0 {
+            problems.push(format!(
+                "no entry coalesced but shootdown_splits = {}",
+                c.shootdown_splits
+            ));
+        }
+    }
+    if !c.reach_multiplier().is_finite() || c.reach_multiplier() < 1.0 {
+        problems.push(format!(
+            "reach_multiplier {} not finite/≥1",
+            c.reach_multiplier()
+        ));
     }
     problems
 }
@@ -1249,7 +1357,7 @@ mod tests {
     #[test]
     fn tenanted_stats_round_trip_and_stamp_v5() {
         let s = tenanted_stats();
-        assert_eq!(run_stats_schema_version(&s), STATS_SCHEMA_VERSION);
+        assert_eq!(run_stats_schema_version(&s), STATS_SCHEMA_VERSION_TENANTED);
         let text = run_stats_to_json_string(&s);
         assert!(text.contains("\"schema_version\":5"));
         let parsed = Json::parse(&text).expect("well-formed JSON");
@@ -1261,6 +1369,84 @@ mod tests {
         let Json::Obj(mut fields) = run_stats_to_json(&s) else { panic!("object") };
         fields.retain(|(k, _)| k != "tenants");
         assert!(run_stats_from_json(&Json::Obj(fields)).is_none());
+    }
+
+    /// [`sample_stats`] with the coalescing aggregate attached: 100
+    /// inserts, 40 of them covering (260 pages total), 55 covering
+    /// hits, 3 split by shootdowns.
+    fn coalesced_stats() -> RunStats {
+        let mut s = sample_stats();
+        s.coalescing = Some(CoalescingStats {
+            inserts: 100,
+            entries_coalesced: 40,
+            span_pages: 260,
+            coalesced_hits: 55,
+            shootdown_splits: 3,
+        });
+        s
+    }
+
+    #[test]
+    fn coalesced_stats_round_trip_and_stamp_v6() {
+        let s = coalesced_stats();
+        assert_eq!(run_stats_schema_version(&s), STATS_SCHEMA_VERSION);
+        let text = run_stats_to_json_string(&s);
+        assert!(text.contains("\"schema_version\":6"));
+        assert!(text.contains("\"reach_multiplier\":2.6"));
+        // An untenanted coalescing document carries no `tenants` array.
+        assert!(!text.contains("\"tenants\""));
+        let parsed = Json::parse(&text).expect("well-formed JSON");
+        let back = run_stats_from_json(&parsed).expect("schema-complete");
+        assert_eq!(back, s);
+        assert_eq!(run_stats_to_json_string(&back), text, "byte-stable");
+        // A v6 stamp without the object must reject.
+        let Json::Obj(mut fields) = run_stats_to_json(&s) else { panic!("object") };
+        fields.retain(|(k, _)| k != "coalescing");
+        assert!(run_stats_from_json(&Json::Obj(fields)).is_none());
+        // Tenancy and coalescing compose: both conditional fields.
+        let mut both = tenanted_stats();
+        both.coalescing = s.coalescing;
+        assert_eq!(run_stats_schema_version(&both), STATS_SCHEMA_VERSION);
+        let bt = run_stats_to_json_string(&both);
+        assert!(bt.contains("\"tenants\"") && bt.contains("\"coalescing\""));
+        let bb = run_stats_from_json(&Json::parse(&bt).unwrap()).expect("parses");
+        assert_eq!(bb, both);
+    }
+
+    #[test]
+    fn non_coalescing_document_carries_no_v6_field() {
+        let text = run_stats_to_json_string(&sample_stats());
+        assert!(!text.contains("\"coalescing\""), "no v6 field when coalescing is off");
+        assert!(text.contains("\"schema_version\":4"));
+        let tt = run_stats_to_json_string(&tenanted_stats());
+        assert!(!tt.contains("\"coalescing\""));
+        assert!(tt.contains("\"schema_version\":5"));
+    }
+
+    #[test]
+    fn coalescing_invariants_catch_violations() {
+        let s = coalesced_stats();
+        assert!(check_coalescing_invariants(&s).is_empty(), "sample is valid");
+        assert!(check_coalescing_invariants(&sample_stats()).is_empty(), "absent is exempt");
+        // More coalesced entries than inserts.
+        let mut s1 = coalesced_stats();
+        s1.coalescing.as_mut().unwrap().entries_coalesced = 101;
+        assert!(!check_coalescing_invariants(&s1).is_empty());
+        // Too few pages for the coalesced-insert count.
+        let mut s2 = coalesced_stats();
+        s2.coalescing.as_mut().unwrap().span_pages = 120;
+        assert!(!check_coalescing_invariants(&s2).is_empty());
+        // Covering hits without any coalesced insert.
+        let mut s3 = coalesced_stats();
+        let c3 = s3.coalescing.as_mut().unwrap();
+        c3.entries_coalesced = 0;
+        c3.span_pages = c3.inserts;
+        assert!(!check_coalescing_invariants(&s3).is_empty());
+        // All-zero (coalescing on, nothing coalesced) is valid.
+        let mut s4 = coalesced_stats();
+        s4.coalescing = Some(CoalescingStats::default());
+        assert!(check_coalescing_invariants(&s4).is_empty());
+        assert_eq!(s4.coalescing.unwrap().reach_multiplier(), 1.0);
     }
 
     #[test]

@@ -30,8 +30,9 @@
 
 use gtr_sim::resource::TrackedPort;
 use gtr_sim::stats::HitMiss;
-use gtr_vm::addr::{Ppn, Translation, TranslationKey, VmId};
+use gtr_vm::addr::{Ppn, Translation, TranslationKey, VmId, Vpn};
 use gtr_vm::tenancy::{self, TenancyConfig, MAX_TENANTS};
+use gtr_vm::tlb::CoalescingCounters;
 
 use crate::compress::{match_mask, TagGroup};
 use crate::config::{Replacement, TxPerLine};
@@ -60,25 +61,30 @@ struct TxSlab {
     /// sub-entry sharing (arXiv 2404.18361 §4): bit *t* set means
     /// tenant *t* shares the lane's canonical-key translation.
     tmasks: [u8; TX_LANES],
+    /// Coalesced reach per lane: the lane covers `2^span` contiguous
+    /// pages from its (span-aligned) base VPN. Always 0 with
+    /// coalescing off.
+    spans: [u8; TX_LANES],
     /// Occupancy bitmask over the first `tx_per_line.slots()` lanes.
     valid: u32,
 }
 
 impl TxSlab {
     /// A fresh slab holding only `(key, ppn)` in lane 0.
-    fn first(tag: u64, key: TranslationKey, ppn: Ppn, tick: u64, tmask: u8) -> Box<Self> {
+    fn first(tag: u64, key: TranslationKey, ppn: Ppn, tick: u64, tmask: u8, span: u8) -> Box<Self> {
         let mut tags = TagGroup::icache();
         assert!(tags.try_admit(tag), "empty group admits");
         let mut slab = Box::new(Self {
             tags,
             vpns: [0; TX_LANES],
-            keys: [TranslationKey::for_vpn(gtr_vm::addr::Vpn(0)); TX_LANES],
+            keys: [TranslationKey::for_vpn(Vpn(0)); TX_LANES],
             ppns: [Ppn(0); TX_LANES],
             last_use: [0; TX_LANES],
             tmasks: [0; TX_LANES],
+            spans: [0; TX_LANES],
             valid: 0,
         });
-        slab.set(0, key, ppn, tick, tmask);
+        slab.set(0, key, ppn, tick, tmask, span);
         slab
     }
 
@@ -96,12 +102,13 @@ impl TxSlab {
         None
     }
 
-    fn set(&mut self, i: usize, key: TranslationKey, ppn: Ppn, tick: u64, tmask: u8) {
+    fn set(&mut self, i: usize, key: TranslationKey, ppn: Ppn, tick: u64, tmask: u8, span: u8) {
         self.vpns[i] = key.vpn.0;
         self.keys[i] = key;
         self.ppns[i] = ppn;
         self.last_use[i] = tick;
         self.tmasks[i] = tmask;
+        self.spans[i] = span;
         self.valid |= 1 << i;
     }
 
@@ -111,11 +118,12 @@ impl TxSlab {
 
     /// The translation forwarded when lane `i` is displaced: the full
     /// key, or under sub-entry sharing the canonical key retagged with
-    /// its lowest-numbered sharer ([`tenancy::representative`]).
+    /// its lowest-numbered sharer ([`tenancy::representative`]). A
+    /// coalesced lane forwards its whole span.
     fn victim(&self, i: usize, sub: bool) -> Translation {
         let key =
             if sub { tenancy::representative(self.keys[i], self.tmasks[i]) } else { self.keys[i] };
-        Translation::new(key, self.ppns[i])
+        Translation::with_span(key, self.ppns[i], self.spans[i])
     }
 }
 
@@ -179,6 +187,11 @@ pub struct TxIcacheStats {
     pub conflict_drops: u64,
     /// Shootdowns that found an entry.
     pub shootdowns: u64,
+    /// Coalesced-entry counters (all zero with coalescing off). Here
+    /// `splits` counts covering lanes conservatively *dropped* whole by
+    /// a single-page shootdown (victim caches hold clean copies, so no
+    /// buddy bookkeeping is needed).
+    pub coalescing: CoalescingCounters,
 }
 
 /// One reconfigurable I-cache instance (shared by a group of CUs).
@@ -205,6 +218,10 @@ pub struct TxIcache {
     /// Capacity-sharing policy between concurrent tenants; `None`
     /// (the default) is bit-identical to the untenanted structure.
     tenancy: Option<TenancyConfig>,
+    /// Coalesced (variable-reach) lanes: `Some(max)` lets one lane map
+    /// up to `2^max` contiguous pages; `None` is the classic
+    /// one-page-per-lane default.
+    coalescing: Option<u8>,
     tick: u64,
     fills_this_kernel: u64,
     port: TrackedPort,
@@ -230,6 +247,7 @@ impl TxIcache {
             tx_per_line,
             replacement,
             tenancy: None,
+            coalescing: None,
             tick: 0,
             fills_this_kernel: 0,
             port: TrackedPort::new(),
@@ -247,6 +265,19 @@ impl TxIcache {
     pub fn set_tenancy(&mut self, tenancy: TenancyConfig) {
         assert!(self.resident_tx() == 0, "tenancy policy must be set before first insert");
         self.tenancy = Some(tenancy);
+    }
+
+    /// Enables coalesced (variable-reach) lanes: one lane may hold a
+    /// run of up to `2^max_span_log2` contiguous pages (arXiv
+    /// 2110.08613), mirroring [`gtr_vm::tlb::Tlb::set_coalescing`].
+    /// Must be called while no translations are resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any translation is already resident.
+    pub fn set_coalescing(&mut self, max_span_log2: Option<u8>) {
+        assert!(self.resident_tx() == 0, "coalescing must be set before first insert");
+        self.coalescing = max_span_log2;
     }
 
     fn sub_entry(&self) -> bool {
@@ -411,41 +442,101 @@ impl TxIcache {
         matches!(self.lines[self.tx_line_index(key)].state, LineState::Tx(_))
     }
 
+    /// Whether a translation lookup for `key` could possibly hit: the
+    /// key's own direct-mapped line is Tx-mode, or — under coalescing —
+    /// any span-base line is (a wide entry lives in its *base* VPN's
+    /// line, which can differ from the probed page's). This is the
+    /// routing gate the system charges the Tx-lookup latency against;
+    /// with coalescing off it is exactly [`Self::is_tx_line`].
+    pub fn may_hold_tx(&self, key: TranslationKey) -> bool {
+        if self.is_tx_line(key) {
+            return true;
+        }
+        let Some(max) = self.coalescing else { return false };
+        let mut prev = key.vpn.0;
+        for k in 1..=max {
+            let bvpn = key.vpn.0 & !((1u64 << k) - 1);
+            if bvpn == prev {
+                continue;
+            }
+            prev = bvpn;
+            if self.is_tx_line(TranslationKey { vpn: Vpn(bvpn), ..key }) {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Looks up a translation. A hit refreshes LRU and returns a copy
     /// for promotion to the requesting CU's L1 TLB; the entry stays
     /// resident so the other CUs sharing this I-cache can still hit it
     /// (removal would make one CU's promotion steal entries its three
     /// neighbours are about to need).
+    ///
+    /// Under coalescing a miss on the exact key falls back to probing
+    /// the masked base of every span level and hits iff a resident
+    /// lane's span covers `key`; the hit returns the base-normalized
+    /// run entry (callers derive the page's frame via
+    /// [`Translation::ppn_for`]).
     pub fn lookup_tx(&mut self, key: TranslationKey) -> Option<Translation> {
         self.tick += 1;
         let tick = self.tick;
-        let idx = self.tx_line_index(key);
         let slots = self.tx_per_line.slots();
-        let skey = self.store_key(key);
         let sub = self.sub_entry();
         let bit = TenancyConfig::mask_bit(key.vmid);
-        let line = &mut self.lines[idx];
-        if let LineState::Tx(slab) = &mut line.state {
+        let max = self.coalescing.unwrap_or(0);
+        let mut prev = u64::MAX;
+        for k in 0..=max {
+            let bvpn = key.vpn.0 & !((1u64 << k) - 1); // k=0: the exact key
+            if bvpn == prev {
+                continue;
+            }
+            prev = bvpn;
+            let bkey = TranslationKey { vpn: Vpn(bvpn), ..key };
+            let idx = self.tx_line_index(bkey);
+            let skey = self.store_key(bkey);
+            let line = &mut self.lines[idx];
+            let LineState::Tx(slab) = &mut line.state else { continue };
+            // A sub-entry hit needs the requester's valid-mask bit on
+            // top of the canonical tag match; without it the lookup
+            // misses and does not refresh LRU. A covering match must
+            // additionally reach the probed page.
             if let Some(i) = slab.find(slots, skey) {
-                // A sub-entry hit needs the requester's valid-mask bit
-                // on top of the canonical tag match; without it the
-                // lookup misses and does not refresh LRU.
-                if !sub || slab.tmasks[i] & bit != 0 {
-                    slab.last_use[i] = tick;
-                    line.last_use = tick;
-                    self.stats.tx_lookups.hit();
-                    let hit_key = if sub { key } else { slab.keys[i] };
-                    let ppn = slab.ppns[i];
-                    return Some(Translation::new(hit_key, ppn));
+                if (sub && slab.tmasks[i] & bit == 0)
+                    || key.vpn.0 - bvpn >= (1u64 << slab.spans[i])
+                {
+                    continue;
                 }
+                slab.last_use[i] = tick;
+                line.last_use = tick;
+                let hit_key = if sub { bkey } else { slab.keys[i] };
+                let hit = Translation::with_span(hit_key, slab.ppns[i], slab.spans[i]);
+                self.stats.tx_lookups.hit();
+                if k > 0 {
+                    self.stats.coalescing.hits += 1;
+                }
+                return Some(hit);
             }
         }
         self.stats.tx_lookups.miss();
         None
     }
 
-    /// Inserts a translation candidate (an L1-TLB or LDS victim).
+    /// Inserts a translation candidate (an L1-TLB or LDS victim). A
+    /// coalesced victim occupies one lane covering its whole span.
     pub fn insert_tx(&mut self, tx: Translation) -> IcInsert {
+        let r = self.insert_tx_inner(tx);
+        if self.coalescing.is_some() && !matches!(r, IcInsert::Bypassed) {
+            self.stats.coalescing.inserts += 1;
+            self.stats.coalescing.span_pages += 1u64 << tx.span_log2;
+            if tx.span_log2 > 0 {
+                self.stats.coalescing.coalesced += 1;
+            }
+        }
+        r
+    }
+
+    fn insert_tx_inner(&mut self, tx: Translation) -> IcInsert {
         self.tick += 1;
         let tick = self.tick;
         let idx = self.tx_line_index(tx.key);
@@ -461,7 +552,8 @@ impl TxIcache {
                 if naive {
                     // Fig 13a bar 2: translations may evict instructions.
                     self.stats.inst_evicted_by_tx += 1;
-                    line.state = LineState::Tx(TxSlab::first(tag, skey, tx.ppn, tick, bit));
+                    line.state =
+                        LineState::Tx(TxSlab::first(tag, skey, tx.ppn, tick, bit, tx.span_log2));
                     line.last_use = tick;
                     self.stats.tx_inserts += 1;
                     IcInsert::Inserted { evicted: None }
@@ -471,7 +563,8 @@ impl TxIcache {
                 }
             }
             LineState::Invalid => {
-                line.state = LineState::Tx(TxSlab::first(tag, skey, tx.ppn, tick, bit));
+                line.state =
+                    LineState::Tx(TxSlab::first(tag, skey, tx.ppn, tick, bit, tx.span_log2));
                 line.last_use = tick;
                 self.stats.tx_inserts += 1;
                 IcInsert::Inserted { evicted: None }
@@ -491,6 +584,9 @@ impl TxIcache {
                         }
                         slab.ppns[i] = tx.ppn;
                     }
+                    // The refresh's span wins (the newest walk knows
+                    // best whether the run widened or narrowed).
+                    slab.spans[i] = tx.span_log2;
                     slab.last_use[i] = tick;
                     self.stats.tx_inserts += 1;
                     return IcInsert::Inserted { evicted: None };
@@ -519,7 +615,7 @@ impl TxIcache {
                 assert!(slab.tags.try_admit(tag), "tag checked to fit");
                 let free = (!slab.valid).trailing_zeros() as usize;
                 debug_assert!(free < slots_per_line, "slot available");
-                slab.set(free, skey, tx.ppn, tick, bit);
+                slab.set(free, skey, tx.ppn, tick, bit, tx.span_log2);
                 self.stats.tx_inserts += 1;
                 IcInsert::Inserted { evicted }
             }
@@ -531,7 +627,61 @@ impl TxIcache {
     /// Under sub-entry sharing only the shooting tenant's valid-mask
     /// bit is cleared; the lane survives for its co-sharers and is
     /// freed only when the mask empties (arXiv 2404.18361 §4.3).
+    ///
+    /// Under coalescing every lane whose span covers `key` is dropped
+    /// *whole* — unlike the TLB's buddy split, a victim cache holds
+    /// clean copies, so conservatively losing the run's other pages is
+    /// always safe (they refill on the next walk).
     pub fn shootdown(&mut self, key: TranslationKey) -> bool {
+        let Some(max) = self.coalescing else { return self.shootdown_exact(key) };
+        let slots = self.tx_per_line.slots();
+        let sub = self.sub_entry();
+        let bit = TenancyConfig::mask_bit(key.vmid);
+        let mut any = false;
+        let mut prev = u64::MAX;
+        for k in 0..=max {
+            let bvpn = key.vpn.0 & !((1u64 << k) - 1); // k=0: the exact key
+            if bvpn == prev {
+                continue;
+            }
+            prev = bvpn;
+            let bkey = TranslationKey { vpn: Vpn(bvpn), ..key };
+            let idx = self.tx_line_index(bkey);
+            let skey = self.store_key(bkey);
+            let span;
+            {
+                let LineState::Tx(slab) = &mut self.lines[idx].state else { continue };
+                let Some(i) = slab.find(slots, skey) else { continue };
+                if key.vpn.0 - bvpn >= (1u64 << slab.spans[i]) {
+                    continue; // resident lane does not reach the shot page
+                }
+                span = slab.spans[i];
+                if sub {
+                    if slab.tmasks[i] & bit == 0 {
+                        continue;
+                    }
+                    slab.tmasks[i] &= !bit;
+                    if slab.tmasks[i] == 0 {
+                        slab.valid &= !(1 << i);
+                        slab.tags.retire();
+                    }
+                } else {
+                    slab.valid &= !(1 << i);
+                    slab.tags.retire();
+                }
+            }
+            self.stats.shootdowns += 1;
+            if span > 0 {
+                self.stats.coalescing.splits += 1;
+            }
+            any = true;
+        }
+        any
+    }
+
+    /// The classic (non-coalescing) shootdown path, byte-identical to
+    /// the pre-coalescing behavior.
+    fn shootdown_exact(&mut self, key: TranslationKey) -> bool {
         let idx = self.tx_line_index(key);
         let slots = self.tx_per_line.slots();
         let skey = self.store_key(key);
@@ -637,18 +787,21 @@ impl TxIcache {
             };
             slab.into_iter().flat_map(move |s| {
                 ones(s.valid).flat_map(move |i| {
-                    let (key, ppn) = (s.keys[i], s.ppns[i]);
+                    let (key, ppn, span) = (s.keys[i], s.ppns[i], s.spans[i]);
                     let mask = if sub { s.tmasks[i] } else { 1 << key.vmid.raw() };
-                    (0..MAX_TENANTS as u8).filter(move |b| mask & (1u8 << b) != 0).map(
-                        move |b| {
-                            let k = if sub {
-                                TranslationKey { vmid: VmId::new(b), ..key }
-                            } else {
-                                key
-                            };
-                            Translation::new(k, ppn)
-                        },
-                    )
+                    (0..(1u64 << span)).flat_map(move |o| {
+                        (0..MAX_TENANTS as u8).filter(move |b| mask & (1u8 << b) != 0).map(
+                            move |b| {
+                                let vpn = Vpn(key.vpn.0 + o);
+                                let k = if sub {
+                                    TranslationKey { vpn, vmid: VmId::new(b), ..key }
+                                } else {
+                                    TranslationKey { vpn, ..key }
+                                };
+                                Translation::new(k, Ppn(ppn.0 + o))
+                            },
+                        )
+                    })
                 })
             })
         })
@@ -954,6 +1107,127 @@ mod tests {
             let mut c = ic(Replacement::InstructionAware, TxPerLine::Eight);
             c.insert_tx(tx(1));
             c.set_tenancy(TenancyConfig::new(2, SharingPolicy::Shared));
+        }
+    }
+
+    mod coalescing {
+        use super::*;
+
+        fn co_ic(max: u8) -> TxIcache {
+            let mut c = ic(Replacement::InstructionAware, TxPerLine::Eight);
+            c.set_coalescing(Some(max));
+            c
+        }
+
+        /// One span-3 run: vpns 40..48 -> ppns 500..508.
+        fn span3() -> Translation {
+            Translation::with_span(TranslationKey::for_vpn(Vpn(40)), Ppn(500), 3)
+        }
+
+        fn key(v: u64) -> TranslationKey {
+            TranslationKey::for_vpn(Vpn(v))
+        }
+
+        #[test]
+        fn covered_pages_hit_through_base_line() {
+            let mut c = co_ic(4);
+            c.insert_tx(span3());
+            assert_eq!(c.resident_tx(), 1, "one lane holds the whole run");
+            for v in 40..48u64 {
+                assert!(c.may_hold_tx(key(v)), "routing gate must see the run at vpn {v}");
+                let hit = c.lookup_tx(key(v)).expect("covered page must hit");
+                assert_eq!(hit.key.vpn, Vpn(40));
+                assert_eq!(hit.ppn_for(Vpn(v)), Ppn(500 + (v - 40)));
+            }
+            assert!(c.lookup_tx(key(48)).is_none());
+            assert_eq!(c.stats().tx_lookups.hits, 8);
+            assert_eq!(c.stats().coalescing.hits, 7, "exact-base hit is not a covering hit");
+        }
+
+        #[test]
+        fn insert_counters_measure_reach() {
+            let mut c = co_ic(4);
+            c.insert_tx(span3());
+            c.insert_tx(tx(100));
+            let co = c.stats().coalescing;
+            assert_eq!(co.inserts, 2);
+            assert_eq!(co.coalesced, 1);
+            assert_eq!(co.span_pages, 9);
+        }
+
+        #[test]
+        fn bypassed_inserts_do_not_count_reach() {
+            let mut c = co_ic(4);
+            // Fill every line with instructions so inserts bypass.
+            for set in 0..32u64 {
+                for way in 0..8u64 {
+                    c.fetch(set + way * 32);
+                }
+            }
+            assert_eq!(c.insert_tx(span3()), IcInsert::Bypassed);
+            assert_eq!(c.stats().coalescing, CoalescingCounters::default());
+        }
+
+        #[test]
+        fn shootdown_drops_the_whole_covering_lane() {
+            let mut c = co_ic(4);
+            c.insert_tx(span3());
+            assert!(c.shootdown(key(42)));
+            for v in 40..48u64 {
+                assert!(c.lookup_tx(key(v)).is_none(), "victim caches drop the run whole ({v})");
+            }
+            assert_eq!(c.resident_tx(), 0);
+            assert_eq!(c.stats().coalescing.splits, 1);
+            assert!(!c.shootdown(key(42)));
+        }
+
+        #[test]
+        fn iter_expands_covered_pages() {
+            let mut c = co_ic(4);
+            c.insert_tx(span3());
+            let pages: Vec<(u64, u64)> = c.iter_tx().map(|e| (e.key.vpn.0, e.ppn.0)).collect();
+            assert_eq!(pages.len(), 8);
+            for (vpn, ppn) in pages {
+                assert_eq!(ppn - 500, vpn - 40);
+            }
+        }
+
+        #[test]
+        fn victims_keep_their_span() {
+            let mut c = co_ic(4);
+            let n = c.line_count() as u64;
+            // Nine runs direct-mapped onto the same line overflow its
+            // eight lanes; the LRU run is forwarded whole.
+            let run = |i: u64| {
+                Translation::with_span(TranslationKey::for_vpn(Vpn(40 + i * 8 * n)), Ppn(500), 3)
+            };
+            for i in 0..8 {
+                assert!(matches!(c.insert_tx(run(i)), IcInsert::Inserted { evicted: None }));
+            }
+            match c.insert_tx(run(8)) {
+                IcInsert::Inserted { evicted: Some(e) } => {
+                    assert_eq!(e.key, run(0).key);
+                    assert_eq!(e.span_log2, 3, "Fig-12 victims carry the whole run");
+                }
+                other => panic!("expected eviction: {other:?}"),
+            }
+        }
+
+        #[test]
+        fn may_hold_matches_old_gate_when_off() {
+            let mut c = ic(Replacement::InstructionAware, TxPerLine::Eight);
+            c.insert_tx(tx(7));
+            for v in 0..64u64 {
+                assert_eq!(c.may_hold_tx(key(v)), c.is_tx_line(key(v)), "vpn {v}");
+            }
+        }
+
+        #[test]
+        #[should_panic(expected = "before first insert")]
+        fn set_coalescing_rejects_warm_structure() {
+            let mut c = ic(Replacement::InstructionAware, TxPerLine::Eight);
+            c.insert_tx(tx(1));
+            c.set_coalescing(Some(4));
         }
     }
 }

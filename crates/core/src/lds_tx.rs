@@ -24,8 +24,9 @@
 //! lowest-numbered sharer (see `gtr_vm::tenancy::representative`).
 
 use gtr_sim::stats::HitMiss;
-use gtr_vm::addr::{Ppn, Translation, TranslationKey, VmId};
+use gtr_vm::addr::{Ppn, Translation, TranslationKey, VmId, Vpn};
 use gtr_vm::tenancy::{self, TenancyConfig, MAX_TENANTS};
+use gtr_vm::tlb::CoalescingCounters;
 
 use crate::compress::{match_mask, TagGroup};
 use crate::config::SegmentSize;
@@ -70,6 +71,10 @@ struct Segment {
     /// sharing (arXiv 2404.18361 §4): bit *t* set means tenant *t*
     /// shares the way's canonical-key translation.
     tmasks: [u8; MAX_WAYS],
+    /// Coalesced reach per way: the way covers `2^span` contiguous
+    /// pages from its (span-aligned) base VPN. Always 0 with
+    /// coalescing off.
+    spans: [u8; MAX_WAYS],
     /// Occupancy bitmask over the first `ways()` lanes.
     valid: u32,
 }
@@ -84,6 +89,7 @@ impl Segment {
             ppns: [Ppn(0); MAX_WAYS],
             last_use: [0; MAX_WAYS],
             tmasks: [0; MAX_WAYS],
+            spans: [0; MAX_WAYS],
             valid: 0,
         }
     }
@@ -102,22 +108,25 @@ impl Segment {
         None
     }
 
-    fn set(&mut self, i: usize, key: TranslationKey, ppn: Ppn, tick: u64, tmask: u8) {
+    fn set(&mut self, i: usize, key: TranslationKey, ppn: Ppn, tick: u64, tmask: u8, span: u8) {
         self.vpns[i] = key.vpn.0;
         self.keys[i] = key;
         self.ppns[i] = ppn;
         self.last_use[i] = tick;
         self.tmasks[i] = tmask;
+        self.spans[i] = span;
         self.valid |= 1 << i;
     }
 
     /// The translation forwarded when way `i` is displaced: the full
     /// key, or under sub-entry sharing the canonical key retagged with
-    /// its lowest-numbered sharer ([`tenancy::representative`]).
+    /// its lowest-numbered sharer ([`tenancy::representative`]). A
+    /// coalesced way forwards its whole span — the Fig-12 fill flow
+    /// moves the covered run downstream in one entry.
     fn victim(&self, i: usize, sub: bool) -> Translation {
         let key =
             if sub { tenancy::representative(self.keys[i], self.tmasks[i]) } else { self.keys[i] };
-        Translation::new(key, self.ppns[i])
+        Translation::with_span(key, self.ppns[i], self.spans[i])
     }
 
     fn resident(&self) -> usize {
@@ -173,6 +182,11 @@ pub struct TxLdsStats {
     pub conflict_drops: u64,
     /// Shootdown invalidations that found an entry.
     pub shootdowns: u64,
+    /// Coalesced-entry counters (all zero with coalescing off). Here
+    /// `splits` counts covering ways conservatively *dropped* whole by
+    /// a single-page shootdown — a victim cache holds clean copies, so
+    /// dropping the run is always safe and needs no buddy bookkeeping.
+    pub coalescing: CoalescingCounters,
 }
 
 /// One CU's reconfigurable LDS.
@@ -204,6 +218,10 @@ pub struct TxLds {
     /// Capacity-sharing policy between concurrent tenants; `None`
     /// (the default) is bit-identical to the untenanted structure.
     tenancy: Option<TenancyConfig>,
+    /// Coalesced (variable-reach) ways: `Some(max)` lets one way map up
+    /// to `2^max` contiguous pages; `None` is the classic
+    /// one-page-per-way default.
+    coalescing: Option<u8>,
     tick: u64,
     stats: TxLdsStats,
 }
@@ -225,9 +243,23 @@ impl TxLds {
             ways: segment_size.ways(),
             index_shift: 0,
             tenancy: None,
+            coalescing: None,
             tick: 0,
             stats: TxLdsStats::default(),
         }
+    }
+
+    /// Enables coalesced (variable-reach) ways: one way may hold a
+    /// run of up to `2^max_span_log2` contiguous pages (arXiv
+    /// 2110.08613), mirroring [`gtr_vm::tlb::Tlb::set_coalescing`].
+    /// Must be called while no translations are resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any translation is already resident.
+    pub fn set_coalescing(&mut self, max_span_log2: Option<u8>) {
+        assert!(self.resident() == 0, "coalescing must be set before first insert");
+        self.coalescing = max_span_log2;
     }
 
     /// Installs a tenancy policy (TENANCY.md §3). Must be called while
@@ -294,44 +326,104 @@ impl TxLds {
         self.segments[self.index(key)].mode
     }
 
+    /// Whether a lookup for `key` could possibly hit: the key's own
+    /// segment is Tx, or — under coalescing — any span-base segment is
+    /// (a wide entry lives in its *base* VPN's segment, which can
+    /// differ from the probed page's). This is the Fig-12 routing gate
+    /// the system charges LDS lookup latency against; with coalescing
+    /// off it is exactly the classic `segment_mode(key) == Tx` test.
+    pub fn may_hold(&self, key: TranslationKey) -> bool {
+        if self.segments[self.index(key)].mode == SegmentMode::Tx {
+            return true;
+        }
+        let Some(max) = self.coalescing else { return false };
+        let mut prev = key.vpn.0;
+        for k in 1..=max {
+            let bvpn = key.vpn.0 & !((1u64 << k) - 1);
+            if bvpn == prev {
+                continue;
+            }
+            prev = bvpn;
+            let bkey = TranslationKey { vpn: Vpn(bvpn), ..key };
+            if self.segments[self.index(bkey)].mode == SegmentMode::Tx {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Looks up a translation. A hit refreshes the entry's LRU
     /// position and returns a copy for promotion into the L1 TLB; the
     /// entry itself stays resident (translations are clean, so
     /// duplication between the LDS and a TLB is harmless — the same
     /// duplication the per-CU L1 TLBs already exhibit, Fig 14a).
+    ///
+    /// Under coalescing a miss on the exact key falls back to probing
+    /// the masked base of every span level and hits iff a resident
+    /// way's span covers `key`; the hit returns the base-normalized
+    /// run entry (callers derive the page's frame via
+    /// [`Translation::ppn_for`]).
     pub fn lookup(&mut self, key: TranslationKey) -> Option<Translation> {
         self.tick += 1;
         let tick = self.tick;
-        let idx = self.index(key);
         let ways = self.ways;
-        let skey = self.store_key(key);
         let sub = self.sub_entry();
         let bit = TenancyConfig::mask_bit(key.vmid);
-        let seg = &mut self.segments[idx];
-        if seg.mode != SegmentMode::Tx {
-            self.stats.lookups.miss();
-            return None;
-        }
-        match seg.find(ways, skey) {
+        let max = self.coalescing.unwrap_or(0);
+        let mut prev = u64::MAX;
+        for k in 0..=max {
+            let bvpn = key.vpn.0 & !((1u64 << k) - 1); // k=0: the exact key
+            if bvpn == prev {
+                continue;
+            }
+            prev = bvpn;
+            let bkey = TranslationKey { vpn: Vpn(bvpn), ..key };
+            let idx = self.index(bkey);
+            let skey = self.store_key(bkey);
+            let seg = &mut self.segments[idx];
+            if seg.mode != SegmentMode::Tx {
+                continue;
+            }
             // A sub-entry hit needs the requester's valid-mask bit on
             // top of the canonical tag match; a bare tag match without
             // the bit misses (and does not refresh LRU — the requester
-            // holds no stake in the entry yet).
-            Some(i) if !sub || seg.tmasks[i] & bit != 0 => {
+            // holds no stake in the entry yet). A covering match must
+            // additionally reach the probed page.
+            if let Some(i) = seg.find(ways, skey) {
+                if (sub && seg.tmasks[i] & bit == 0) || key.vpn.0 - bvpn >= (1u64 << seg.spans[i])
+                {
+                    continue;
+                }
                 seg.last_use[i] = tick;
+                let hit_key =
+                    if sub { TranslationKey { vpn: Vpn(bvpn), ..key } } else { seg.keys[i] };
+                let hit = Translation::with_span(hit_key, seg.ppns[i], seg.spans[i]);
                 self.stats.lookups.hit();
-                let hit_key = if sub { key } else { seg.keys[i] };
-                Some(Translation::new(hit_key, seg.ppns[i]))
-            }
-            _ => {
-                self.stats.lookups.miss();
-                None
+                if k > 0 {
+                    self.stats.coalescing.hits += 1;
+                }
+                return Some(hit);
             }
         }
+        self.stats.lookups.miss();
+        None
     }
 
-    /// Inserts an L1-TLB victim (Fig 12 flows ❶→❷→…).
+    /// Inserts an L1-TLB victim (Fig 12 flows ❶→❷→…). A coalesced
+    /// victim occupies one way covering its whole span.
     pub fn insert(&mut self, tx: Translation) -> LdsInsert {
+        let r = self.insert_inner(tx);
+        if self.coalescing.is_some() && !matches!(r, LdsInsert::Bypassed) {
+            self.stats.coalescing.inserts += 1;
+            self.stats.coalescing.span_pages += 1u64 << tx.span_log2;
+            if tx.span_log2 > 0 {
+                self.stats.coalescing.coalesced += 1;
+            }
+        }
+        r
+    }
+
+    fn insert_inner(&mut self, tx: Translation) -> LdsInsert {
         self.tick += 1;
         let tick = self.tick;
         let idx = self.index(tx.key);
@@ -350,7 +442,7 @@ impl TxLds {
                 seg.mode = SegmentMode::Tx;
                 seg.tags.clear();
                 assert!(seg.tags.try_admit(tag), "empty group admits");
-                seg.set(0, skey, tx.ppn, tick, bit);
+                seg.set(0, skey, tx.ppn, tick, bit, tx.span_log2);
                 self.stats.inserts += 1;
                 LdsInsert::Inserted { evicted: None }
             }
@@ -369,6 +461,9 @@ impl TxLds {
                         }
                         seg.ppns[i] = tx.ppn;
                     }
+                    // The refresh's span wins (the newest walk knows
+                    // best whether the run widened or narrowed).
+                    seg.spans[i] = tx.span_log2;
                     seg.last_use[i] = tick;
                     self.stats.inserts += 1;
                     return LdsInsert::Inserted { evicted: None };
@@ -398,7 +493,7 @@ impl TxLds {
                 assert!(seg.tags.try_admit(tag), "tag checked to fit");
                 let free = (!seg.valid).trailing_zeros() as usize;
                 debug_assert!(free < ways, "a slot was freed or available");
-                seg.set(free, skey, tx.ppn, tick, bit);
+                seg.set(free, skey, tx.ppn, tick, bit, tx.span_log2);
                 self.stats.inserts += 1;
                 LdsInsert::Inserted { evicted }
             }
@@ -444,7 +539,65 @@ impl TxLds {
     /// Under sub-entry sharing only the shooting tenant's valid-mask
     /// bit is cleared; the way survives for its co-sharers and is
     /// freed only when the mask empties (arXiv 2404.18361 §4.3).
+    ///
+    /// Under coalescing every way whose span covers `key` is dropped
+    /// *whole* — unlike the TLB's buddy split, a victim cache holds
+    /// clean copies, so conservatively losing the run's other pages is
+    /// always safe and needs no fragment bookkeeping (they refill on
+    /// the next walk).
     pub fn shootdown(&mut self, key: TranslationKey) -> bool {
+        let Some(max) = self.coalescing else { return self.shootdown_exact(key) };
+        let ways = self.ways;
+        let sub = self.sub_entry();
+        let bit = TenancyConfig::mask_bit(key.vmid);
+        let mut any = false;
+        let mut prev = u64::MAX;
+        for k in 0..=max {
+            let bvpn = key.vpn.0 & !((1u64 << k) - 1); // k=0: the exact key
+            if bvpn == prev {
+                continue;
+            }
+            prev = bvpn;
+            let bkey = TranslationKey { vpn: Vpn(bvpn), ..key };
+            let idx = self.index(bkey);
+            let skey = self.store_key(bkey);
+            let span;
+            {
+                let seg = &mut self.segments[idx];
+                if seg.mode != SegmentMode::Tx {
+                    continue;
+                }
+                let Some(i) = seg.find(ways, skey) else { continue };
+                if key.vpn.0 - bvpn >= (1u64 << seg.spans[i]) {
+                    continue; // resident way does not reach the shot page
+                }
+                span = seg.spans[i];
+                if sub {
+                    if seg.tmasks[i] & bit == 0 {
+                        continue;
+                    }
+                    seg.tmasks[i] &= !bit;
+                    if seg.tmasks[i] == 0 {
+                        seg.valid &= !(1 << i);
+                        seg.tags.retire();
+                    }
+                } else {
+                    seg.valid &= !(1 << i);
+                    seg.tags.retire();
+                }
+            }
+            self.stats.shootdowns += 1;
+            if span > 0 {
+                self.stats.coalescing.splits += 1;
+            }
+            any = true;
+        }
+        any
+    }
+
+    /// The classic (non-coalescing) shootdown path, byte-identical to
+    /// the pre-coalescing behavior.
+    fn shootdown_exact(&mut self, key: TranslationKey) -> bool {
         let idx = self.index(key);
         let ways = self.ways;
         let skey = self.store_key(key);
@@ -532,15 +685,27 @@ impl TxLds {
     /// set mask bit, with the canonical key retagged by that sharer's
     /// VM-ID — so coherence checks can validate the mapping against
     /// every sharing tenant's page table.
+    /// A coalesced way expands to one logical single-page translation
+    /// per covered page, so coherence checks validate the run
+    /// arithmetic against the page table page by page.
     pub fn iter(&self) -> impl Iterator<Item = Translation> + '_ {
         let sub = self.sub_entry();
         self.segments.iter().filter(|s| s.mode == SegmentMode::Tx).flat_map(move |s| {
             ones(s.valid).flat_map(move |i| {
-                let (key, ppn) = (s.keys[i], s.ppns[i]);
+                let (key, ppn, span) = (s.keys[i], s.ppns[i], s.spans[i]);
                 let mask = if sub { s.tmasks[i] } else { 1 << key.vmid.raw() };
-                (0..MAX_TENANTS as u8).filter(move |b| mask & (1u8 << b) != 0).map(move |b| {
-                    let k = if sub { TranslationKey { vmid: VmId::new(b), ..key } } else { key };
-                    Translation::new(k, ppn)
+                (0..(1u64 << span)).flat_map(move |o| {
+                    (0..MAX_TENANTS as u8).filter(move |b| mask & (1u8 << b) != 0).map(
+                        move |b| {
+                            let vpn = Vpn(key.vpn.0 + o);
+                            let k = if sub {
+                                TranslationKey { vpn, vmid: VmId::new(b), ..key }
+                            } else {
+                                TranslationKey { vpn, ..key }
+                            };
+                            Translation::new(k, Ppn(ppn.0 + o))
+                        },
+                    )
                 })
             })
         })
@@ -895,6 +1060,126 @@ mod tests {
             let mut l = lds();
             l.insert(tx(1));
             l.set_tenancy(TenancyConfig::new(2, SharingPolicy::Shared));
+        }
+    }
+
+    mod coalescing {
+        use super::*;
+
+        fn co_lds(max: u8) -> TxLds {
+            let mut l = lds();
+            l.set_coalescing(Some(max));
+            l
+        }
+
+        /// One span-3 run: vpns 40..48 -> ppns 500..508.
+        fn span3() -> Translation {
+            Translation::with_span(TranslationKey::for_vpn(Vpn(40)), Ppn(500), 3)
+        }
+
+        fn key(v: u64) -> TranslationKey {
+            TranslationKey::for_vpn(Vpn(v))
+        }
+
+        #[test]
+        fn covered_pages_hit_through_base_segment() {
+            let mut l = co_lds(4);
+            l.insert(span3());
+            assert_eq!(l.resident(), 1, "one way holds the whole run");
+            for v in 40..48u64 {
+                assert!(l.may_hold(key(v)), "routing gate must see the run at vpn {v}");
+                let hit = l.lookup(key(v)).expect("covered page must hit");
+                assert_eq!(hit.key.vpn, Vpn(40));
+                assert_eq!(hit.ppn_for(Vpn(v)), Ppn(500 + (v - 40)));
+            }
+            assert!(l.lookup(key(48)).is_none());
+            assert_eq!(l.stats().lookups.hits, 8);
+            assert_eq!(l.stats().coalescing.hits, 7, "exact-base hit is not a covering hit");
+        }
+
+        #[test]
+        fn insert_counters_measure_reach() {
+            let mut l = co_lds(4);
+            l.insert(span3());
+            l.insert(tx(100));
+            let co = l.stats().coalescing;
+            assert_eq!(co.inserts, 2);
+            assert_eq!(co.coalesced, 1);
+            assert_eq!(co.span_pages, 9);
+        }
+
+        #[test]
+        fn bypassed_inserts_do_not_count_reach() {
+            let mut l = co_lds(4);
+            l.on_app_allocate(0, 16 * 1024); // every segment App
+            assert_eq!(l.insert(span3()), LdsInsert::Bypassed);
+            assert_eq!(l.stats().coalescing, CoalescingCounters::default());
+        }
+
+        #[test]
+        fn shootdown_drops_the_whole_covering_way() {
+            let mut l = co_lds(4);
+            l.insert(span3());
+            assert!(l.shootdown(key(42)));
+            for v in 40..48u64 {
+                assert!(l.lookup(key(v)).is_none(), "victim caches drop the run whole ({v})");
+            }
+            assert_eq!(l.resident(), 0);
+            assert_eq!(l.stats().coalescing.splits, 1);
+            assert!(!l.shootdown(key(42)));
+        }
+
+        #[test]
+        fn iter_expands_covered_pages() {
+            let mut l = co_lds(4);
+            l.insert(span3());
+            let pages: Vec<(u64, u64)> = l.iter().map(|e| (e.key.vpn.0, e.ppn.0)).collect();
+            assert_eq!(pages.len(), 8);
+            for (vpn, ppn) in pages {
+                assert_eq!(ppn - 500, vpn - 40);
+            }
+        }
+
+        #[test]
+        fn victims_keep_their_span() {
+            let mut l = co_lds(4);
+            let n = l.segment_count() as u64;
+            // Fill the base segment of vpn 40 with three runs, then a
+            // fourth insert to the same segment evicts the LRU run.
+            let run = |i: u64| {
+                Translation::with_span(TranslationKey::for_vpn(Vpn(40 + i * 8 * n)), Ppn(500), 3)
+            };
+            l.insert(run(0));
+            l.insert(run(1));
+            l.insert(run(2));
+            match l.insert(run(3)) {
+                LdsInsert::Inserted { evicted: Some(e) } => {
+                    assert_eq!(e.key, run(0).key);
+                    assert_eq!(e.span_log2, 3, "Fig-12 victims carry the whole run");
+                }
+                other => panic!("expected eviction: {other:?}"),
+            }
+        }
+
+        #[test]
+        fn may_hold_matches_old_gate_when_off() {
+            let mut l = lds();
+            l.insert(tx(7));
+            for v in 0..64u64 {
+                assert_eq!(
+                    l.may_hold(key(v)),
+                    l.segment_mode(key(v)) == SegmentMode::Tx,
+                    "vpn {v}"
+                );
+            }
+        }
+
+        #[test]
+        #[should_panic(expected = "before first insert")]
+        fn set_coalescing_rejects_warm_structure() {
+            let mut l = lds();
+            l.insert(tx(1));
+            l.set_coalescing(Some(4));
         }
     }
 }

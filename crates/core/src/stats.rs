@@ -237,6 +237,54 @@ impl TenantStats {
     }
 }
 
+/// Aggregate coalesced-entry accounting (exported as the `coalescing`
+/// object of schema v6; `None`/absent when `ReachConfig::tlb_coalescing`
+/// is off, keeping older schemas byte-identical).
+///
+/// Sums the [`gtr_vm::tlb::CoalescingCounters`] of every structure that
+/// holds translations — the per-CU L1 TLBs, the reconfigurable LDS
+/// segments, the shared L2 TLB, and the reconfigurable I-caches.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoalescingStats {
+    /// Total entry inserts while coalescing was enabled.
+    pub inserts: u64,
+    /// Inserts whose entry covered more than one 4 KB page.
+    pub entries_coalesced: u64,
+    /// Pages covered across all inserts (sum of `2^span` per insert).
+    pub span_pages: u64,
+    /// Lookup hits served through a covering (non-exact-base) probe —
+    /// hits that a 4 KB-entry TLB of the same geometry would have
+    /// missed.
+    pub coalesced_hits: u64,
+    /// Covering entries split into buddy fragments (TLBs) or
+    /// conservatively dropped whole (victim structures, which hold
+    /// clean copies) by single-page shootdowns.
+    pub shootdown_splits: u64,
+}
+
+impl CoalescingStats {
+    /// Average pages mapped per installed entry — the translation-reach
+    /// multiplier coalescing bought (1.0 when nothing coalesced).
+    pub fn reach_multiplier(&self) -> f64 {
+        if self.inserts == 0 {
+            1.0
+        } else {
+            self.span_pages as f64 / self.inserts as f64
+        }
+    }
+
+    /// Builds the exported aggregate from summed raw counters.
+    pub fn from_counters(c: &gtr_vm::tlb::CoalescingCounters) -> Self {
+        Self {
+            inserts: c.inserts,
+            entries_coalesced: c.coalesced,
+            span_pages: c.span_pages,
+            coalesced_hits: c.hits,
+            shootdown_splits: c.splits,
+        }
+    }
+}
+
 /// Everything measured over one application run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
@@ -334,6 +382,11 @@ pub struct RunStats {
     /// empty for untenanted runs, whose export stays schema v4
     /// byte-identical (the field is introduced by schema v5).
     pub tenants: Vec<TenantStats>,
+    /// Coalesced-entry accounting summed over every translation-holding
+    /// structure; `None` when `ReachConfig::tlb_coalescing` is off, so
+    /// non-coalescing exports stay on their previous schema version
+    /// byte-identically (the field is introduced by schema v6).
+    pub coalescing: Option<CoalescingStats>,
 }
 
 impl RunStats {

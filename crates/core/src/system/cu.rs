@@ -52,6 +52,10 @@ impl Cu {
             l1_tlb.set_tenancy(Some(tenancy));
             tx_lds.set_tenancy(tenancy);
         }
+        if let Some(max) = reach.tlb_coalescing {
+            l1_tlb.set_coalescing(Some(max));
+            tx_lds.set_coalescing(Some(max));
+        }
         Cu {
             l1_tlb,
             l1_port: Server::new(1),

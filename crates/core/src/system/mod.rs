@@ -57,6 +57,7 @@ use gtr_sim::trace::{NullSink, TraceEvent, TracePath, TraceSink, TxStructure};
 use gtr_sim::Cycle;
 use gtr_vm::addr::{Ppn, Translation, TranslationKey, VirtAddr, Vpn};
 use gtr_vm::coalescer::CoalescedAccess;
+use gtr_vm::page_table::PageTable;
 use gtr_vm::tlb::Tlb;
 
 use crate::checkpoint::CheckpointEntry;
@@ -1203,7 +1204,7 @@ impl System {
         if let Some(tx) = cus[cu_idx].l1_tlb.lookup(key) {
             // A hit on an entry whose miss is still in flight waits for it.
             let done = cus[cu_idx].pending.get(key).map_or(t0, |&(d, _)| t0.max(d));
-            return (done, tx.ppn, 0);
+            return (done, tx.ppn_for(key.vpn), 0);
         }
         // L1 miss: sharing analysis tracks which CUs want each VPN.
         *vpn_cus.get_or_insert(key.vpn.0, 0) |= 1 << (cu_idx % 8);
@@ -1228,16 +1229,17 @@ impl System {
             t += reach.mux_latency;
             let home = Self::lds_home(reach, cus.len(), key, cu_idx);
             let remote = if home == cu_idx { 0 } else { reach.lds_remote_latency };
-            if cus[home].tx_lds.segment_mode(key) == crate::lds_tx::SegmentMode::Tx {
+            if cus[home].tx_lds.may_hold(key) {
                 let occupancy = 1;
                 let port_done = cus[home].lds_port.access(t + remote, occupancy);
                 t = port_done - occupancy + reach.lds_tx_lookup_latency() + remote;
                 if let Some(tx) = cus[home].tx_lds.lookup(key) {
+                    let ppn = tx.ppn_for(key.vpn);
                     let sink = Self::sink_opt(trace, *trace_on);
                     let vl = Self::obs_opt(obs, *obs_on);
                     Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, t, sink, vl);
-                    cus[cu_idx].pending.insert(key, (t, tx.ppn));
-                    return (t, tx.ppn, 2);
+                    cus[cu_idx].pending.insert(key, (t, ppn));
+                    return (t, ppn, 2);
                 }
             }
         }
@@ -1246,16 +1248,17 @@ impl System {
         if reach.icache_enabled {
             t += reach.mux_latency;
             let ic = &mut icaches[ic_idx];
-            if ic.is_tx_line(key) {
+            if ic.may_hold_tx(key) {
                 let occupancy = 1;
                 let port_done = ic.port_mut().access(t, occupancy);
                 t = port_done - occupancy + reach.ic_tx_lookup_latency();
                 if let Some(tx) = ic.lookup_tx(key) {
+                    let ppn = tx.ppn_for(key.vpn);
                     let sink = Self::sink_opt(trace, *trace_on);
                     let vl = Self::obs_opt(obs, *obs_on);
                     Self::promote(reach, cus, cu_idx, ic, l2_tlb, tx, t, sink, vl);
-                    cus[cu_idx].pending.insert(key, (t, tx.ppn));
-                    return (t, tx.ppn, 3);
+                    cus[cu_idx].pending.insert(key, (t, ppn));
+                    return (t, ppn, 3);
                 }
             }
         }
@@ -1268,7 +1271,7 @@ impl System {
             let ppn = page_table
                 .translate(key.vpn)
                 .expect("footprint is demand-mapped before translation");
-            let tx = Translation::new(key, ppn);
+            let tx = Self::attach_span(reach, page_table, Translation::new(key, ppn));
             l2_tlb.lookup(key); // count the access
             let sink = Self::sink_opt(trace, *trace_on);
             let vl = Self::obs_opt(obs, *obs_on);
@@ -1277,11 +1280,12 @@ impl System {
             return (t, ppn, 4);
         }
         if let Some(tx) = l2_tlb.lookup(key) {
+            let ppn = tx.ppn_for(key.vpn);
             let sink = Self::sink_opt(trace, *trace_on);
             let vl = Self::obs_opt(obs, *obs_on);
             Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, t, sink, vl);
-            cus[cu_idx].pending.insert(key, (t, tx.ppn));
-            return (t, tx.ppn, 4);
+            cus[cu_idx].pending.insert(key, (t, ppn));
+            return (t, ppn, 4);
         }
         // --- Side cache (DUCATI) ---
         if let Some(sc) = side_cache.as_mut() {
@@ -1305,9 +1309,13 @@ impl System {
             let mut pte = PteMem(mem);
             iommu.translate(t, key, page_table, &mut pte)
         };
-        let tx = outcome
-            .translation
-            .expect("footprint is demand-mapped before translation");
+        let tx = Self::attach_span(
+            reach,
+            page_table,
+            outcome
+                .translation
+                .expect("footprint is demand-mapped before translation"),
+        );
         t = outcome.done;
         if *obs_on {
             // Walk-latency tagging: attribute the IOMMU service time to
@@ -1345,12 +1353,13 @@ impl System {
         let sink = Self::sink_opt(trace, *trace_on);
         let vl = Self::obs_opt(obs, *obs_on);
         Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, t, sink, vl);
-        cus[cu_idx].pending.insert(key, (t, tx.ppn));
+        let ppn = tx.ppn_for(key.vpn);
+        cus[cu_idx].pending.insert(key, (t, ppn));
         if cus[cu_idx].pending.len() > 512 {
             let horizon = now;
             cus[cu_idx].pending.retain(|_, (d, _)| *d > horizon);
         }
-        (t, tx.ppn, 5)
+        (t, ppn, 5)
     }
 
     /// The functional-warming twin of [`Self::translate_inner`]: walks
@@ -1393,28 +1402,30 @@ impl System {
 
         let ic_idx = cu_idx / gpu.cus_per_icache;
         if let Some(tx) = cus[cu_idx].l1_tlb.lookup(key) {
-            return (tx.ppn, 0);
+            return (tx.ppn_for(key.vpn), 0);
         }
         *vpn_cus.get_or_insert(key.vpn.0, 0) |= 1 << (cu_idx % 8);
         if reach.lds_enabled {
             let home = Self::lds_home(reach, cus.len(), key, cu_idx);
-            if cus[home].tx_lds.segment_mode(key) == crate::lds_tx::SegmentMode::Tx {
+            if cus[home].tx_lds.may_hold(key) {
                 if let Some(tx) = cus[home].tx_lds.lookup(key) {
+                    let ppn = tx.ppn_for(key.vpn);
                     let sink = Self::sink_opt(trace, *trace_on);
                     let vl = Self::obs_opt(obs, *obs_on);
                     Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, now, sink, vl);
-                    return (tx.ppn, 2);
+                    return (ppn, 2);
                 }
             }
         }
         if reach.icache_enabled {
             let ic = &mut icaches[ic_idx];
-            if ic.is_tx_line(key) {
+            if ic.may_hold_tx(key) {
                 if let Some(tx) = ic.lookup_tx(key) {
+                    let ppn = tx.ppn_for(key.vpn);
                     let sink = Self::sink_opt(trace, *trace_on);
                     let vl = Self::obs_opt(obs, *obs_on);
                     Self::promote(reach, cus, cu_idx, ic, l2_tlb, tx, now, sink, vl);
-                    return (tx.ppn, 3);
+                    return (ppn, 3);
                 }
             }
         }
@@ -1423,7 +1434,7 @@ impl System {
             let ppn = page_table
                 .translate(key.vpn)
                 .expect("footprint is demand-mapped before translation");
-            let tx = Translation::new(key, ppn);
+            let tx = Self::attach_span(reach, page_table, Translation::new(key, ppn));
             l2_tlb.lookup(key); // count the access
             let sink = Self::sink_opt(trace, *trace_on);
             let vl = Self::obs_opt(obs, *obs_on);
@@ -1431,10 +1442,11 @@ impl System {
             return (ppn, 4);
         }
         if let Some(tx) = l2_tlb.lookup(key) {
+            let ppn = tx.ppn_for(key.vpn);
             let sink = Self::sink_opt(trace, *trace_on);
             let vl = Self::obs_opt(obs, *obs_on);
             Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, now, sink, vl);
-            return (tx.ppn, 4);
+            return (ppn, 4);
         }
         // --- Side cache (DUCATI), functional twin of the timed path ---
         if let Some(sc) = side_cache.as_mut() {
@@ -1452,9 +1464,13 @@ impl System {
             }
         }
         let outcome = iommu.translate_functional(key, page_table);
-        let tx = outcome
-            .translation
-            .expect("footprint is demand-mapped before translation");
+        let tx = Self::attach_span(
+            reach,
+            page_table,
+            outcome
+                .translation
+                .expect("footprint is demand-mapped before translation"),
+        );
         if *obs_on {
             obs.iommu_lat[outcome.level.index()].record(0);
         }
@@ -1485,7 +1501,7 @@ impl System {
         let sink = Self::sink_opt(trace, *trace_on);
         let vl = Self::obs_opt(obs, *obs_on);
         Self::promote(reach, cus, cu_idx, &mut icaches[ic_idx], l2_tlb, tx, now, sink, vl);
-        (tx.ppn, 5)
+        (tx.ppn_for(key.vpn), 5)
     }
 
     /// Reborrows the trace sink as the `Option` the fill-flow helpers
@@ -1507,6 +1523,27 @@ impl System {
             Some(&mut obs.victim)
         } else {
             None
+        }
+    }
+
+    /// Upgrades a freshly walked translation to a coalesced
+    /// (variable-reach) entry when `reach.tlb_coalescing` is enabled:
+    /// the page table reports the largest power-of-two-aligned
+    /// contiguous run containing the page (uniform protection, one
+    /// address space by construction), and the translation is
+    /// normalized to that run's base. With coalescing off this is the
+    /// identity, keeping the baseline path bit-exact.
+    fn attach_span(reach: &ReachConfig, page_table: &PageTable, tx: Translation) -> Translation {
+        match reach.tlb_coalescing {
+            Some(max) if max > 0 => {
+                let span = page_table.contiguity_span(tx.key.vpn, max);
+                if span > 0 {
+                    Translation::with_span(tx.key, tx.ppn, span)
+                } else {
+                    tx
+                }
+            }
+            _ => tx,
         }
     }
 
@@ -1893,6 +1930,17 @@ impl System {
         // Entries still resident stay censored: only completed
         // lifetimes made it into the histograms.
         let obs = std::mem::take(&mut self.obs);
+        let coalescing = self.reach.tlb_coalescing.map(|_| {
+            let mut co = self.shared.l2_tlb.coalescing_counters();
+            for cu in &self.cus {
+                co.merge(&cu.l1_tlb.coalescing_counters());
+                co.merge(&cu.tx_lds.stats().coalescing);
+            }
+            for ic in &self.shared.icaches {
+                co.merge(&ic.stats().coalescing);
+            }
+            crate::stats::CoalescingStats::from_counters(&co)
+        });
         let tenants = if let Some(tc) = self.reach.tenancy {
             // Pad to the configured tenant count (a tenant whose
             // workload never launched still appears, zeroed) and stamp
@@ -1950,6 +1998,7 @@ impl System {
             victim_reuse_ic: obs.victim.reuse_ic,
             sampling: sampling_meta,
             tenants,
+            coalescing,
         }
     }
 }

@@ -117,6 +117,12 @@ impl SharedHierarchy {
                 ic.set_tenancy(tenancy);
             }
         }
+        if let Some(max) = reach.tlb_coalescing {
+            l2_tlb.set_coalescing(Some(max));
+            for ic in &mut icaches {
+                ic.set_coalescing(Some(max));
+            }
+        }
         Self {
             page_tables: (0..8)
                 .map(|i| {
@@ -125,6 +131,7 @@ impl SharedHierarchy {
                         gtr_vm::addr::VmId::new(i),
                         gtr_vm::addr::VrfId::default(),
                     )
+                    .with_layout(gpu.page_layout)
                 })
                 .collect(),
             iommu: Iommu::new(gpu.iommu),

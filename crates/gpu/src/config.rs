@@ -3,6 +3,7 @@
 use gtr_mem::cache::CacheConfig;
 use gtr_mem::system::MemorySystemConfig;
 use gtr_vm::addr::PageSize;
+use gtr_vm::alloc::PageLayout;
 use gtr_vm::iommu::IommuConfig;
 use gtr_vm::tlb::TlbConfig;
 
@@ -49,6 +50,13 @@ pub struct GpuConfig {
     /// SIMT page-level coalescing before the L1 TLB (ablation knob;
     /// always on in real hardware and in the paper's baseline).
     pub coalescing: bool,
+    /// Frame-allocation policy of every page table in the system:
+    /// the historical odd-multiplier scatter (the default, matching
+    /// all frozen anchors) or a contiguity-aware allocator with a
+    /// fragmentation knob (`gtr_vm::alloc`). Stream-shaping: the
+    /// layout changes every PPN the page walker returns, so it is part
+    /// of `CheckpointKey`'s stream fingerprint.
+    pub page_layout: PageLayout,
 }
 
 impl Default for GpuConfig {
@@ -73,6 +81,7 @@ impl Default for GpuConfig {
             page_size: PageSize::Size4K,
             l2_tlb_perfect: false,
             coalescing: true,
+            page_layout: PageLayout::Scatter,
         }
     }
 }
@@ -115,6 +124,15 @@ impl GpuConfig {
     /// Sets the page size everywhere it matters.
     pub fn with_page_size(mut self, size: PageSize) -> Self {
         self.page_size = size;
+        self
+    }
+
+    /// Sets the frame-allocation policy of every page table (see
+    /// [`PageLayout`]). `PageLayout::contig(0.0, seed)` emulates a
+    /// contiguity-aware allocator; intermediate fragmentation
+    /// fractions emulate a fragmented huge-page backing.
+    pub fn with_page_layout(mut self, layout: PageLayout) -> Self {
+        self.page_layout = layout;
         self
     }
 

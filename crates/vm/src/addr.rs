@@ -272,28 +272,74 @@ impl FastKey for TranslationKey {
 }
 
 /// A completed translation: key plus the physical frame it maps to.
+///
+/// A translation may be *coalesced* (arXiv 2110.08613): `span_log2`
+/// says it covers the whole power-of-two-aligned run of
+/// `2^span_log2` contiguous pages starting at `key.vpn`, with
+/// physically contiguous frames starting at `ppn`. The stored form is
+/// always *base-normalized* — `key.vpn` is aligned to the span and
+/// `ppn` is the base page's frame — so `span_log2 == 0` (the value
+/// [`Translation::new`] produces) is exactly the classic one-page
+/// translation and every pre-coalescing call site is unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Translation {
-    /// The virtual side.
+    /// The virtual side (the base page of the covered run).
     pub key: TranslationKey,
-    /// The physical frame.
+    /// The physical frame of the base page.
     pub ppn: Ppn,
+    /// log2 of the number of contiguous pages this entry covers.
+    pub span_log2: u8,
 }
 
 impl Translation {
-    /// Creates a translation.
+    /// Creates a classic single-page translation (`span_log2 == 0`).
     pub fn new(key: TranslationKey, ppn: Ppn) -> Self {
-        Self { key, ppn }
+        Self { key, ppn, span_log2: 0 }
+    }
+
+    /// Creates a coalesced translation covering `2^span_log2` pages,
+    /// normalizing `(key, ppn)` to the base of the aligned run the
+    /// page belongs to (so any covered page may be passed in).
+    pub fn with_span(key: TranslationKey, ppn: Ppn, span_log2: u8) -> Self {
+        debug_assert!(span_log2 < 32, "span exceeds any plausible region");
+        let base = key.vpn.0 & !((1u64 << span_log2) - 1);
+        let delta = key.vpn.0 - base;
+        Self {
+            key: TranslationKey { vpn: Vpn(base), ..key },
+            ppn: Ppn(ppn.0 - delta),
+            span_log2,
+        }
+    }
+
+    /// Number of pages this entry covers (`2^span_log2`).
+    pub fn pages(&self) -> u64 {
+        1u64 << self.span_log2
+    }
+
+    /// Whether `vpn` falls inside the covered run.
+    pub fn covers(&self, vpn: Vpn) -> bool {
+        vpn.0.wrapping_sub(self.key.vpn.0) < self.pages()
+    }
+
+    /// The frame of a covered page (contiguity arithmetic).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `vpn` is outside the covered run.
+    pub fn ppn_for(&self, vpn: Vpn) -> Ppn {
+        debug_assert!(self.covers(vpn), "page outside coalesced span");
+        Ppn(self.ppn.0 + (vpn.0 - self.key.vpn.0))
     }
 
     /// Translates a full virtual address to its physical counterpart.
     ///
     /// # Panics
     ///
-    /// Panics (debug) if `va` is not inside this translation's page.
+    /// Panics (debug) if `va` is not inside this translation's span.
     pub fn apply(&self, va: VirtAddr, size: PageSize) -> PhysAddr {
-        debug_assert_eq!(va.vpn(size), self.key.vpn, "address outside mapped page");
-        PhysAddr::new(self.ppn.base(size).raw() + va.page_offset(size))
+        let vpn = va.vpn(size);
+        debug_assert!(self.covers(vpn), "address outside mapped span");
+        PhysAddr::new(self.ppn_for(vpn).base(size).raw() + va.page_offset(size))
     }
 }
 
@@ -364,6 +410,27 @@ mod tests {
         let tx = Translation::new(key, Ppn(9));
         let va = VirtAddr::new(5 * 4096 + 123);
         assert_eq!(tx.apply(va, PageSize::Size4K).raw(), 9 * 4096 + 123);
+    }
+
+    #[test]
+    fn with_span_normalizes_to_the_aligned_base() {
+        // Page 6 inside a 4-page run [4..8) mapped at frames [90..94).
+        let tx = Translation::with_span(TranslationKey::for_vpn(Vpn(6)), Ppn(92), 2);
+        assert_eq!(tx.key.vpn, Vpn(4));
+        assert_eq!(tx.ppn, Ppn(90));
+        assert_eq!(tx.pages(), 4);
+        for (v, p) in [(4u64, 90u64), (5, 91), (6, 92), (7, 93)] {
+            assert!(tx.covers(Vpn(v)));
+            assert_eq!(tx.ppn_for(Vpn(v)), Ppn(p));
+        }
+        assert!(!tx.covers(Vpn(3)));
+        assert!(!tx.covers(Vpn(8)));
+        // Applying an address of a non-base covered page works.
+        let va = VirtAddr::new(5 * 4096 + 7);
+        assert_eq!(tx.apply(va, PageSize::Size4K).raw(), 91 * 4096 + 7);
+        // Span 0 via with_span is exactly `new`.
+        let single = Translation::with_span(TranslationKey::for_vpn(Vpn(9)), Ppn(3), 0);
+        assert_eq!(single, Translation::new(TranslationKey::for_vpn(Vpn(9)), Ppn(3)));
     }
 
     #[test]

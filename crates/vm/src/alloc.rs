@@ -1,0 +1,210 @@
+//! Deterministic contiguity-aware page allocation (the Mosaic-style
+//! axis; arXiv 1804.11265 and arXiv 2110.08613).
+//!
+//! The baseline page table scatters every freshly allocated frame with
+//! an odd multiplier — a fully fragmented layout in which no two
+//! virtually adjacent pages are ever physically adjacent. Real
+//! allocators sit somewhere between that and a contiguity-aware
+//! allocator that hands out whole aligned blocks. [`PageLayout`]
+//! models the spectrum with one knob:
+//!
+//! * [`PageLayout::Scatter`] — the historical default, bit-identical
+//!   to every frozen anchor;
+//! * [`PageLayout::Contig`] — VPNs map region-contiguously (one
+//!   aligned run of [`REGION_PAGES_LOG2`]² pages per virtual region)
+//!   except for a deterministic, seed-controlled fraction of pages
+//!   that "break out" into a scattered pool, emulating fragmentation.
+//!
+//! The break-out predicate is a pure hash of `(seed, vpn)` compared
+//! against the per-mille fragmentation threshold, so the broken-out
+//! sets are *nested* across thresholds: raising `f` only ever breaks
+//! more pages out, which is what makes the contiguity-run statistics
+//! provably monotone (see `tests/alloc_properties.rs`).
+
+use crate::addr::{Ppn, Vpn};
+
+/// log2 pages per allocation region: 512 × 4 KB = one 2 MB region,
+/// matching the huge-page granularity the fragmented-2 MB mode emulates
+/// and bounding the reach of one coalesced TLB entry.
+pub const REGION_PAGES_LOG2: u32 = 9;
+
+/// Parameters of the contiguity-aware allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocConfig {
+    /// Fragmentation threshold in per-mille: out of every 1000 hash
+    /// buckets, how many break out of their region into the scattered
+    /// pool. `0` = fully contiguous, `1000` = fully scattered.
+    pub frag_per_mille: u16,
+    /// Seed of the deterministic break-out hash. A different seed
+    /// fragments a *different* page subset (a new stream-shaping
+    /// identity; see `CheckpointKey`).
+    pub seed: u64,
+}
+
+/// Which frame-allocation policy a page table uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PageLayout {
+    /// Odd-multiplier scatter (the historical allocator; every frozen
+    /// anchor and committed artifact was produced under this layout).
+    #[default]
+    Scatter,
+    /// Region-contiguous allocation with a fragmentation knob.
+    Contig(AllocConfig),
+}
+
+impl PageLayout {
+    /// Contiguity-aware layout from a `[0.0, 1.0]` fragmentation
+    /// fraction (clamped) and a break-out seed.
+    pub fn contig(fragmentation: f64, seed: u64) -> Self {
+        let f = if fragmentation.is_nan() { 0.0 } else { fragmentation.clamp(0.0, 1.0) };
+        PageLayout::Contig(AllocConfig { frag_per_mille: (f * 1000.0).round() as u16, seed })
+    }
+
+    /// The fragmentation fraction, or `None` for [`PageLayout::Scatter`]
+    /// (which is "fragmentation 1.0 without a contiguous pool" — a
+    /// different thing than `contig(1.0, _)`, whose scattered pool is
+    /// still deterministic per seed).
+    pub fn fragmentation(&self) -> Option<f64> {
+        match self {
+            PageLayout::Scatter => None,
+            PageLayout::Contig(c) => Some(c.frag_per_mille as f64 / 1000.0),
+        }
+    }
+}
+
+/// SplitMix64-style avalanche of `(seed, vpn)` — the allocator's only
+/// source of "randomness", so layouts are a pure function of the
+/// configuration.
+pub fn hash64(seed: u64, vpn: Vpn) -> u64 {
+    let mut z = seed ^ vpn.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Whether `vpn` breaks out of its contiguous region into the
+/// scattered pool. Nested across thresholds: `breaks_out` at `f1`
+/// implies `breaks_out` at every `f2 >= f1` for the same seed.
+pub fn breaks_out(cfg: &AllocConfig, vpn: Vpn) -> bool {
+    hash64(cfg.seed, vpn) % 1000 < cfg.frag_per_mille as u64
+}
+
+/// Contiguity-run statistics of a VPN→PPN layout: a *run* is a maximal
+/// range of consecutive VPNs whose PPNs are also consecutive (the unit
+/// a variable-reach TLB entry can cover).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContiguityStats {
+    /// Total mapped pages measured.
+    pub pages: u64,
+    /// Number of maximal contiguous runs.
+    pub runs: u64,
+    /// Length of the longest run, in pages.
+    pub max_run: u64,
+}
+
+impl ContiguityStats {
+    /// Mean run length in pages (0 when nothing is mapped).
+    pub fn mean_run(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.pages as f64 / self.runs as f64
+        }
+    }
+}
+
+/// Measures contiguity runs over `(vpn, ppn)` pairs sorted ascending
+/// by VPN (as [`crate::page_table::PageTable::mapped_vpns`] returns
+/// them).
+///
+/// # Panics
+///
+/// Panics (debug) if the pairs are not strictly VPN-sorted.
+pub fn contiguity_runs(pairs: &[(Vpn, Ppn)]) -> ContiguityStats {
+    let mut stats = ContiguityStats { pages: pairs.len() as u64, ..Default::default() };
+    let mut run = 0u64;
+    let mut prev: Option<(Vpn, Ppn)> = None;
+    for &(vpn, ppn) in pairs {
+        if let Some((pv, pp)) = prev {
+            debug_assert!(pv.0 < vpn.0, "contiguity_runs requires VPN-sorted input");
+            if vpn.0 == pv.0 + 1 && ppn.0 == pp.0 + 1 {
+                run += 1;
+            } else {
+                stats.runs += 1;
+                stats.max_run = stats.max_run.max(run);
+                run = 1;
+            }
+        } else {
+            run = 1;
+        }
+        prev = Some((vpn, ppn));
+    }
+    if run > 0 {
+        stats.runs += 1;
+        stats.max_run = stats.max_run.max(run);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contig_constructor_clamps_and_rounds() {
+        assert_eq!(
+            PageLayout::contig(0.25, 7),
+            PageLayout::Contig(AllocConfig { frag_per_mille: 250, seed: 7 })
+        );
+        assert_eq!(
+            PageLayout::contig(-3.0, 0),
+            PageLayout::Contig(AllocConfig { frag_per_mille: 0, seed: 0 })
+        );
+        assert_eq!(
+            PageLayout::contig(9.0, 0),
+            PageLayout::Contig(AllocConfig { frag_per_mille: 1000, seed: 0 })
+        );
+        assert_eq!(PageLayout::contig(f64::NAN, 0).fragmentation(), Some(0.0));
+        assert_eq!(PageLayout::Scatter.fragmentation(), None);
+    }
+
+    #[test]
+    fn break_out_sets_are_nested_across_thresholds() {
+        for seed in [0u64, 1, 0xC0FFEE] {
+            for vpn in 0..4096u64 {
+                let mut was_out = false;
+                for per_mille in [0u16, 100, 500, 900, 1000] {
+                    let out = breaks_out(&AllocConfig { frag_per_mille: per_mille, seed }, Vpn(vpn));
+                    assert!(!was_out || out, "seed {seed} vpn {vpn}: un-broke at {per_mille}");
+                    was_out = out;
+                }
+                assert!(was_out, "per-mille 1000 must break every page out");
+            }
+        }
+    }
+
+    #[test]
+    fn run_statistics_count_maximal_runs() {
+        // vpn: 0 1 2 | 5 6 | 9 — ppns contiguous within groups.
+        let pairs = [
+            (Vpn(0), Ppn(100)),
+            (Vpn(1), Ppn(101)),
+            (Vpn(2), Ppn(102)),
+            (Vpn(5), Ppn(200)),
+            (Vpn(6), Ppn(201)),
+            (Vpn(9), Ppn(50)),
+        ];
+        let s = contiguity_runs(&pairs);
+        assert_eq!(s.pages, 6);
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.max_run, 3);
+        assert!((s.mean_run() - 2.0).abs() < 1e-12);
+        assert_eq!(contiguity_runs(&[]), ContiguityStats::default());
+    }
+
+    #[test]
+    fn adjacent_vpns_with_noncontiguous_ppns_split_runs() {
+        let pairs = [(Vpn(0), Ppn(10)), (Vpn(1), Ppn(12))];
+        assert_eq!(contiguity_runs(&pairs).runs, 2);
+    }
+}

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod alloc;
 pub mod coalescer;
 pub mod iommu;
 pub mod page_table;

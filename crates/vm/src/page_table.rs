@@ -10,6 +10,7 @@
 use gtr_sim::fastmap::FastMap;
 
 use crate::addr::{PageSize, PhysAddr, Ppn, TranslationKey, Translation, VirtAddr, VmId, Vpn, VrfId};
+use crate::alloc::{self, PageLayout};
 
 /// Physical region where page-table pages are allocated. Keeping the
 /// tables away from data frames makes walk traffic visibly distinct in
@@ -80,6 +81,13 @@ pub struct PageTable {
     /// the simulator's per-access critical path (demand-map check plus
     /// every walk), so leaf lookups avoid SipHash entirely.
     mappings: FastMap<Vpn, Ppn>,
+    /// Per-page protection bits (defaults to 0 for every mapped page;
+    /// only set explicitly by permission-boundary scenarios). A
+    /// coalesced span never crosses a protection change — see
+    /// [`Self::contiguity_span`].
+    prots: FastMap<Vpn, u8>,
+    /// Frame-allocation policy (see [`PageLayout`]).
+    layout: PageLayout,
     next_data_frame: u64,
     next_table_node: u64,
     vmid: VmId,
@@ -100,6 +108,8 @@ impl PageTable {
             level_bits,
             nodes: FastMap::with_capacity(256),
             mappings: FastMap::with_capacity(1024),
+            prots: FastMap::with_capacity(16),
+            layout: PageLayout::Scatter,
             next_data_frame: 1, // frame 0 reserved
             next_table_node: 0,
             vmid: VmId::default(),
@@ -110,6 +120,27 @@ impl PageTable {
     /// Creates a page table owned by a specific address space.
     pub fn with_ids(page_size: PageSize, vmid: VmId, vrf: VrfId) -> Self {
         Self { vmid, vrf, ..Self::new(page_size) }
+    }
+
+    /// Builder-style: sets the frame-allocation policy. Must be chosen
+    /// before the first mapping (layouts are a property of the whole
+    /// address space, not of individual pages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if pages are already mapped.
+    pub fn with_layout(mut self, layout: PageLayout) -> Self {
+        assert!(
+            self.mappings.len() == 0,
+            "page layout must be chosen before the first mapping"
+        );
+        self.layout = layout;
+        self
+    }
+
+    /// The frame-allocation policy in effect.
+    pub fn layout(&self) -> PageLayout {
+        self.layout
     }
 
     /// The page size this table maps at.
@@ -158,6 +189,10 @@ impl PageTable {
 
     /// Maps a specific VPN (idempotent) and returns the translation.
     pub fn map_vpn(&mut self, vpn: Vpn) -> Translation {
+        self.map_vpn_inner(vpn, false)
+    }
+
+    fn map_vpn_inner(&mut self, vpn: Vpn, force_scatter: bool) -> Translation {
         let page_size = self.page_size;
         if let Some(&ppn) = self.mappings.get(vpn) {
             return Translation::new(
@@ -176,12 +211,43 @@ impl PageTable {
                 self.nodes.insert(Self::node_key(level, prefix), base);
             }
         }
-        // Scatter frames with a fixed odd multiplier so consecutive
-        // virtual pages do not all land in the same DRAM bank.
-        let frame = self.next_data_frame;
-        self.next_data_frame += 1;
-        let scatter = frame.wrapping_mul(0x9E37_79B1) & ((1u64 << (40 - page_size.bits())) - 1);
-        let ppn = Ppn(scatter | 1 << (40 - page_size.bits()));
+        let ppn = match self.layout {
+            // Scatter frames with a fixed odd multiplier so consecutive
+            // virtual pages do not all land in the same DRAM bank.
+            PageLayout::Scatter => {
+                let frame = self.next_data_frame;
+                self.next_data_frame += 1;
+                let scatter =
+                    frame.wrapping_mul(0x9E37_79B1) & ((1u64 << (40 - page_size.bits())) - 1);
+                Ppn(scatter | 1 << (40 - page_size.bits()))
+            }
+            // Contiguity-aware allocation: two disjoint frame pools
+            // told apart by the bit just below the data-region marker.
+            // The contiguous pool maps a whole virtual region to one
+            // aligned physical run (region index permuted so regions
+            // scatter across DRAM while staying internally contiguous);
+            // broken-out, migrated, and region-overflow pages fall into
+            // a scattered pool driven by the sequential frame counter.
+            PageLayout::Contig(cfg) => {
+                let marker = 1u64 << (40 - page_size.bits());
+                let pool_bit = marker >> 1;
+                let region_bits =
+                    (40 - page_size.bits() - 1).saturating_sub(alloc::REGION_PAGES_LOG2);
+                let region = vpn.0 >> alloc::REGION_PAGES_LOG2;
+                let contiguous = !force_scatter
+                    && region < (1u64 << region_bits)
+                    && !alloc::breaks_out(&cfg, vpn);
+                if contiguous {
+                    let perm = region.wrapping_mul(0x9E37_79B1) & ((1u64 << region_bits) - 1);
+                    let slot = vpn.0 & ((1u64 << alloc::REGION_PAGES_LOG2) - 1);
+                    Ppn(marker | pool_bit | (perm << alloc::REGION_PAGES_LOG2) | slot)
+                } else {
+                    let frame = self.next_data_frame;
+                    self.next_data_frame += 1;
+                    Ppn(marker | (frame.wrapping_mul(0x9E37_79B1) & (pool_bit - 1)))
+                }
+            }
+        };
         self.mappings.insert(vpn, ppn);
         Translation::new(TranslationKey { vpn, vmid: self.vmid, vrf: self.vrf }, ppn)
     }
@@ -208,9 +274,70 @@ impl PageTable {
 
     /// Re-maps an existing VPN to a fresh frame (page migration),
     /// returning the new translation, or `None` if it was not mapped.
+    /// Under a contiguity-aware layout the new frame always comes from
+    /// the scattered pool — a migrated page leaves its region's run
+    /// (which is also what guarantees the frame actually moves).
     pub fn migrate(&mut self, vpn: Vpn) -> Option<Translation> {
         self.unmap(vpn)?;
-        Some(self.map_vpn(vpn))
+        Some(self.map_vpn_inner(vpn, true))
+    }
+
+    /// Sets a page's protection bits (permission-boundary scenarios;
+    /// pages default to protection 0).
+    pub fn set_prot(&mut self, vpn: Vpn, prot: u8) {
+        self.prots.insert(vpn, prot);
+    }
+
+    /// A page's protection bits (0 unless [`Self::set_prot`] changed
+    /// them).
+    pub fn prot(&self, vpn: Vpn) -> u8 {
+        self.prots.get(vpn).copied().unwrap_or(0)
+    }
+
+    /// The widest coalescible span around `vpn`: the largest
+    /// `k <= max_log2` such that the whole `2^k`-aligned block
+    /// containing `vpn` is mapped physically contiguously (frame
+    /// arithmetic `ppn(v) = ppn(base) + (v - base)` holds for every
+    /// page) with uniform protection bits. Returns 0 (a classic
+    /// single-page entry) when `vpn` itself is unmapped or has no
+    /// contiguous aligned neighborhood — so span detection can never
+    /// *invent* reach, only discover what the allocator produced.
+    pub fn contiguity_span(&self, vpn: Vpn, max_log2: u8) -> u8 {
+        if self.translate(vpn).is_none() {
+            return 0;
+        }
+        let prot = self.prot(vpn);
+        let mut span: u8 = 0;
+        let mut base = vpn.0; // base of the verified aligned block
+        while span < max_log2 {
+            let k = span + 1;
+            let nb = vpn.0 & !((1u64 << k) - 1);
+            let half = 1u64 << span;
+            let Some(nb_ppn) = self.translate(Vpn(nb)) else { break };
+            // The already-verified half must chain off the new base...
+            if self.translate(Vpn(base)).map(|p| p.0) != Some(nb_ppn.0 + (base - nb)) {
+                break;
+            }
+            // ...and every page of the sibling half must extend the run.
+            let sib = if nb == base { base + half } else { nb };
+            let mut ok = true;
+            for o in 0..half {
+                let v = Vpn(sib + o);
+                match self.translate(v) {
+                    Some(p) if p.0 == nb_ppn.0 + (sib + o - nb) && self.prot(v) == prot => {}
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                break;
+            }
+            base = nb;
+            span = k;
+        }
+        span
     }
 
     /// VPN prefix identifying the page-table *entry* read at `level`
@@ -348,6 +475,109 @@ mod tests {
     fn walk_path_none_for_unmapped() {
         let pt = PageTable::new(PageSize::Size4K);
         assert!(pt.walk_path(Vpn(99)).is_none());
+    }
+
+    #[test]
+    fn contig_layout_maps_regions_physically_contiguous() {
+        let mut pt =
+            PageTable::new(PageSize::Size4K).with_layout(PageLayout::contig(0.0, 1));
+        pt.map_range(VirtAddr::new(0), 1024); // two full regions
+        let p0 = pt.translate(Vpn(0)).unwrap();
+        for v in 1..512u64 {
+            assert_eq!(pt.translate(Vpn(v)), Some(Ppn(p0.0 + v)), "vpn {v}");
+        }
+        let p512 = pt.translate(Vpn(512)).unwrap();
+        assert_ne!(p512.0, p0.0 + 512, "regions must not chain into one run");
+        for v in 513..1024u64 {
+            assert_eq!(pt.translate(Vpn(v)), Some(Ppn(p512.0 + (v - 512))), "vpn {v}");
+        }
+        assert_eq!(pt.contiguity_span(Vpn(300), 9), 9, "a full region is one max span");
+    }
+
+    #[test]
+    fn broken_out_pages_leave_the_contiguous_pool() {
+        let layout = PageLayout::contig(0.5, 0xC0FFEE);
+        let mut pt = PageTable::new(PageSize::Size4K).with_layout(layout);
+        pt.map_range(VirtAddr::new(0), 512);
+        let PageLayout::Contig(cfg) = layout else { unreachable!() };
+        let pool_bit = 1u64 << (40 - 12 - 1);
+        let (mut seen_out, mut seen_in) = (false, false);
+        for v in 0..512u64 {
+            let ppn = pt.translate(Vpn(v)).unwrap();
+            if crate::alloc::breaks_out(&cfg, Vpn(v)) {
+                assert_eq!(ppn.0 & pool_bit, 0, "broken-out vpn {v} must scatter");
+                seen_out = true;
+            } else {
+                assert_ne!(ppn.0 & pool_bit, 0, "kept vpn {v} must stay contiguous");
+                seen_in = true;
+            }
+        }
+        assert!(seen_out && seen_in, "f=0.5 should populate both pools");
+    }
+
+    #[test]
+    fn layouts_are_bijections() {
+        for layout in [
+            PageLayout::Scatter,
+            PageLayout::contig(0.0, 3),
+            PageLayout::contig(0.3, 3),
+            PageLayout::contig(1.0, 3),
+        ] {
+            let mut pt = PageTable::new(PageSize::Size4K).with_layout(layout);
+            let mut frames = std::collections::HashSet::new();
+            for i in 0..2000u64 {
+                let tx = pt.map_vpn(Vpn(i * 7)); // stride keeps regions partial
+                assert!(frames.insert(tx.ppn), "frame reused at page {i} under {layout:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn migrate_under_contig_layout_moves_to_the_scattered_pool() {
+        let mut pt =
+            PageTable::new(PageSize::Size4K).with_layout(PageLayout::contig(0.0, 9));
+        let tx = pt.map(VirtAddr::new(0x8000));
+        let moved = pt.migrate(tx.key.vpn).unwrap();
+        assert_ne!(tx.ppn, moved.ppn, "migration must move the frame");
+        let pool_bit = 1u64 << (40 - 12 - 1);
+        assert_eq!(moved.ppn.0 & pool_bit, 0, "migrated page joins the scattered pool");
+        // And migrating again moves again (scattered pool never reuses
+        // a live frame).
+        let again = pt.migrate(tx.key.vpn).unwrap();
+        assert_ne!(moved.ppn, again.ppn);
+    }
+
+    #[test]
+    fn contiguity_span_respects_prot_and_mapping_boundaries() {
+        let mut pt =
+            PageTable::new(PageSize::Size4K).with_layout(PageLayout::contig(0.0, 2));
+        pt.map_range(VirtAddr::new(0), 16);
+        assert_eq!(pt.contiguity_span(Vpn(5), 4), 4);
+        assert_eq!(pt.contiguity_span(Vpn(5), 2), 2, "max caps the span");
+        assert_eq!(pt.contiguity_span(Vpn(99), 4), 0, "unmapped page has no span");
+        // A protection change at page 6 fences spans on both sides.
+        pt.set_prot(Vpn(6), 1);
+        assert_eq!(pt.contiguity_span(Vpn(5), 4), 1, "block [4,6) still uniform");
+        assert_eq!(pt.contiguity_span(Vpn(6), 4), 0, "odd page out is alone");
+        assert_eq!(pt.contiguity_span(Vpn(0), 4), 2, "block [0,4) unaffected");
+        // A hole fences spans too.
+        pt.unmap(Vpn(12));
+        assert_eq!(pt.contiguity_span(Vpn(13), 4), 0);
+        assert_eq!(pt.contiguity_span(Vpn(14), 4), 1);
+        // Under the scatter layout nothing ever coalesces.
+        let mut sc = PageTable::new(PageSize::Size4K);
+        sc.map_range(VirtAddr::new(0), 16);
+        for v in 0..16u64 {
+            assert_eq!(sc.contiguity_span(Vpn(v), 4), 0, "vpn {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first mapping")]
+    fn layout_change_after_mapping_panics() {
+        let mut pt = PageTable::new(PageSize::Size4K);
+        pt.map(VirtAddr::new(0));
+        let _ = pt.with_layout(PageLayout::contig(0.0, 0));
     }
 
     #[test]

@@ -21,8 +21,41 @@
 use gtr_sim::fastmap::FastMap;
 use gtr_sim::stats::HitMiss;
 
-use crate::addr::{Ppn, Translation, TranslationKey, VmId};
+use crate::addr::{Ppn, Translation, TranslationKey, VmId, Vpn};
 use crate::tenancy::{self, TenancyConfig};
+
+/// Counters for coalesced (variable-reach) entries, ticked only while
+/// coalescing is enabled on the owning structure — with coalescing off
+/// no branch that touches them is ever taken, preserving the
+/// zero-cost-when-off discipline. Shared by the TLBs and the
+/// reconfigurable LDS/I-cache victim structures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoalescingCounters {
+    /// Total entry inserts while coalescing was enabled.
+    pub inserts: u64,
+    /// Inserts whose entry covered more than one page.
+    pub coalesced: u64,
+    /// Total pages covered across all inserts (sum of `2^span`); the
+    /// ratio `span_pages / inserts` is the structure's reach
+    /// multiplier.
+    pub span_pages: u64,
+    /// Lookup hits served through a covering (non-exact-base) probe.
+    pub hits: u64,
+    /// Covering entries split (TLBs) or conservatively dropped (victim
+    /// structures) by a single-page shootdown.
+    pub splits: u64,
+}
+
+impl CoalescingCounters {
+    /// Accumulates another structure's counters into this one.
+    pub fn merge(&mut self, o: &CoalescingCounters) {
+        self.inserts += o.inserts;
+        self.coalesced += o.coalesced;
+        self.span_pages += o.span_pages;
+        self.hits += o.hits;
+        self.splits += o.splits;
+    }
+}
 
 /// Configuration of one TLB instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +106,10 @@ struct Slot {
     /// bit *i* means tenant *i* may hit this entry. Always a single
     /// bit outside sub-entry sharing.
     mask: u8,
+    /// Coalesced reach: this entry covers `2^span` contiguous pages
+    /// starting at the (span-aligned) `key.vpn`. Always 0 outside
+    /// coalescing mode.
+    span: u8,
 }
 
 impl Slot {
@@ -84,6 +121,7 @@ impl Slot {
             next: NIL,
             used: false,
             mask: 0,
+            span: 0,
         }
     }
 }
@@ -125,6 +163,12 @@ pub struct Tlb {
     evictions: u64,
     /// Multi-tenant sharing policy; `None` = the untenanted default.
     tenancy: Option<TenancyConfig>,
+    /// Coalesced (variable-reach) entries: `Some(max)` lets one entry
+    /// map up to `2^max` contiguous pages; `None` = the classic
+    /// one-page-per-entry default.
+    coalescing: Option<u8>,
+    /// Coalescing counters (only ticked while `coalescing` is on).
+    co: CoalescingCounters,
 }
 
 impl Tlb {
@@ -144,6 +188,8 @@ impl Tlb {
             stats: HitMiss::new(),
             evictions: 0,
             tenancy: None,
+            coalescing: None,
+            co: CoalescingCounters::default(),
         };
         tlb.init_lists();
         tlb
@@ -229,6 +275,29 @@ impl Tlb {
         self.tenancy = tenancy;
     }
 
+    /// Enables coalesced (variable-reach) entries: one entry may map up
+    /// to `2^max_span_log2` physically contiguous pages (arXiv
+    /// 2110.08613). Must be called on an empty TLB — the tag form
+    /// (base-masked probes on lookup) cannot change under live entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the TLB already holds entries.
+    pub fn set_coalescing(&mut self, max_span_log2: Option<u8>) {
+        assert!(self.is_empty(), "coalescing must be set before first insert");
+        self.coalescing = max_span_log2;
+    }
+
+    /// The coalescing limit in effect (`None` = off).
+    pub fn coalescing(&self) -> Option<u8> {
+        self.coalescing
+    }
+
+    /// Coalescing counters (all zero unless coalescing is enabled).
+    pub fn coalescing_counters(&self) -> CoalescingCounters {
+        self.co
+    }
+
     /// The tag under which `key` is stored: canonical under sub-entry
     /// sharing, the full key otherwise.
     fn store_key(&self, key: TranslationKey) -> TranslationKey {
@@ -249,7 +318,10 @@ impl Tlb {
         }
     }
 
-    /// Looks up a key, updating LRU state and hit/miss counters.
+    /// Looks up a key, updating LRU state and hit/miss counters. Under
+    /// coalescing a miss on the exact tag falls back to base-masked
+    /// probes at every span level, so one wide entry answers for every
+    /// page it covers.
     pub fn lookup(&mut self, key: TranslationKey) -> Option<Translation> {
         match self.index.get(self.store_key(key)).copied() {
             Some(i) if self.mask_allows(i, key) => {
@@ -261,40 +333,94 @@ impl Tlb {
                 // Return the requester's key (== the stored key except
                 // under sub-entry canonicalization) so promotions
                 // upstream carry the right tenant.
-                Some(Translation::new(self.hit_key(key, sl.key), sl.ppn))
+                Some(self.hit_translation(key, sl.key, sl.ppn, sl.span))
             }
-            Some(_) => {
-                // Canonical tag present but the tenant's mask bit is
-                // clear: a miss, and no LRU refresh (the entry is not
-                // this tenant's to warm).
-                self.stats.miss();
-                None
-            }
-            None => {
-                self.stats.miss();
-                None
+            // Canonical tag present but the tenant's mask bit is
+            // clear: a miss (modulo a covering span entry), and no LRU
+            // refresh (the entry is not this tenant's to warm).
+            Some(_) | None => self.lookup_covering(key),
+        }
+    }
+
+    /// The coalescing fall-back of [`Self::lookup`]: probes the base
+    /// key of every span level and hits iff a resident entry's span
+    /// covers `key`. Counts the terminal miss, so lookup counters stay
+    /// one-tick-per-call exactly as before.
+    fn lookup_covering(&mut self, key: TranslationKey) -> Option<Translation> {
+        if let Some(max) = self.coalescing {
+            let mut prev = key.vpn.0;
+            for k in 1..=max {
+                let bvpn = key.vpn.0 & !((1u64 << k) - 1);
+                if bvpn == prev {
+                    continue; // aligned: same base key as the level below
+                }
+                prev = bvpn;
+                let bkey = TranslationKey { vpn: Vpn(bvpn), ..key };
+                let Some(&i) = self.index.get(self.store_key(bkey)) else { continue };
+                if !self.mask_allows(i, key) {
+                    continue;
+                }
+                let sl = self.slots[i as usize];
+                if key.vpn.0 - bvpn >= (1u64 << sl.span) {
+                    continue;
+                }
+                let s = i as usize / self.config.assoc;
+                self.detach(s, i);
+                self.push_mru(s, i);
+                self.stats.hit();
+                self.co.hits += 1;
+                return Some(self.hit_translation(key, sl.key, sl.ppn, sl.span));
             }
         }
+        self.stats.miss();
+        None
     }
 
     /// Checks presence without perturbing LRU or counters.
     pub fn probe(&self, key: TranslationKey) -> Option<Translation> {
-        let i = *self.index.get(self.store_key(key))?;
-        if !self.mask_allows(i, key) {
-            return None;
+        if let Some(&i) = self.index.get(self.store_key(key)) {
+            if self.mask_allows(i, key) {
+                let sl = &self.slots[i as usize];
+                return Some(self.hit_translation(key, sl.key, sl.ppn, sl.span));
+            }
         }
-        let sl = &self.slots[i as usize];
-        Some(Translation::new(self.hit_key(key, sl.key), sl.ppn))
+        let max = self.coalescing?;
+        let mut prev = key.vpn.0;
+        for k in 1..=max {
+            let bvpn = key.vpn.0 & !((1u64 << k) - 1);
+            if bvpn == prev {
+                continue;
+            }
+            prev = bvpn;
+            let bkey = TranslationKey { vpn: Vpn(bvpn), ..key };
+            let Some(&i) = self.index.get(self.store_key(bkey)) else { continue };
+            if !self.mask_allows(i, key) {
+                continue;
+            }
+            let sl = &self.slots[i as usize];
+            if key.vpn.0 - bvpn < (1u64 << sl.span) {
+                return Some(self.hit_translation(key, sl.key, sl.ppn, sl.span));
+            }
+        }
+        None
     }
 
-    /// The key a hit reports back: the stored key normally (identical
-    /// to the request), the requester's own key under sub-entry
-    /// canonicalization.
-    fn hit_key(&self, request: TranslationKey, stored: TranslationKey) -> TranslationKey {
-        match &self.tenancy {
-            Some(t) if t.sub_entry() => request,
+    /// The translation a hit reports back: the *base-normalized* entry
+    /// (callers derive a covered page's frame via
+    /// [`Translation::ppn_for`]), keyed by the stored key normally and
+    /// by the requester's identifiers under sub-entry canonicalization.
+    fn hit_translation(
+        &self,
+        request: TranslationKey,
+        stored: TranslationKey,
+        ppn: Ppn,
+        span: u8,
+    ) -> Translation {
+        let key = match &self.tenancy {
+            Some(t) if t.sub_entry() => TranslationKey { vpn: stored.vpn, ..request },
             _ => stored,
-        }
+        };
+        Translation::with_span(key, ppn, span)
     }
 
     /// Batched [`Self::probe`] over one wavefront's deduped keys: bit
@@ -308,19 +434,20 @@ impl Tlb {
     ///
     /// Panics if `keys.len() > 64`.
     pub fn probe_many(&self, keys: &[TranslationKey]) -> u64 {
-        match &self.tenancy {
-            // Sub-entry residency depends on the per-tenant mask, not
-            // just tag presence — fall back to per-key probes.
-            Some(t) if t.sub_entry() => {
-                let mut mask = 0u64;
-                for (i, &key) in keys.iter().enumerate() {
-                    if self.probe(key).is_some() {
-                        mask |= 1 << i;
-                    }
+        let sub_entry = matches!(&self.tenancy, Some(t) if t.sub_entry());
+        // Sub-entry residency depends on the per-tenant mask, and
+        // coalesced residency on base-masked covering probes — neither
+        // is pure tag presence, so both fall back to per-key probes.
+        if sub_entry || self.coalescing.is_some() {
+            let mut mask = 0u64;
+            for (i, &key) in keys.iter().enumerate() {
+                if self.probe(key).is_some() {
+                    mask |= 1 << i;
                 }
-                mask
             }
-            _ => self.index.contains_many(keys),
+            mask
+        } else {
+            self.index.contains_many(keys)
         }
     }
 
@@ -333,6 +460,20 @@ impl Tlb {
     /// victim's LDS segment (§4.2), then its direct-mapped I-cache
     /// line (§4.3), then the L2 TLB.
     pub fn insert(&mut self, tx: Translation) -> Option<Translation> {
+        if self.coalescing.is_some() {
+            self.co.inserts += 1;
+            self.co.span_pages += 1u64 << tx.span_log2;
+            if tx.span_log2 > 0 {
+                self.co.coalesced += 1;
+            }
+        }
+        self.insert_inner(tx)
+    }
+
+    /// [`Self::insert`] without the coalescing counters — shootdown
+    /// buddy-fragment reinserts go through here so a storm of splits
+    /// does not masquerade as allocator-produced reach.
+    fn insert_inner(&mut self, tx: Translation) -> Option<Translation> {
         let skey = self.store_key(tx.key);
         let bit = TenancyConfig::mask_bit(tx.key.vmid);
         let sub_entry = matches!(&self.tenancy, Some(t) if t.sub_entry());
@@ -355,6 +496,10 @@ impl Tlb {
                 } else {
                     sl.ppn = tx.ppn;
                 }
+                // The refresh's span wins (a refresh may widen a
+                // single-page entry into a coalesced one or narrow a
+                // stale wide one — the newest walk knows best).
+                sl.span = tx.span_log2;
             }
             self.detach(s, i);
             self.push_mru(s, i);
@@ -386,6 +531,7 @@ impl Tlb {
                     sl.ppn = tx.ppn;
                     sl.used = true;
                     sl.mask = bit;
+                    sl.span = tx.span_log2;
                     self.push_mru(s, fi);
                     self.index.insert(skey, fi);
                     self.len += 1;
@@ -407,13 +553,15 @@ impl Tlb {
         let victim = {
             let sl = &self.slots[v as usize];
             // A sub-entry victim is forwarded on behalf of its
-            // lowest-numbered sharer (tenancy::representative).
+            // lowest-numbered sharer (tenancy::representative). A
+            // coalesced victim keeps its span — the Fig-12 fill flow
+            // moves the whole covered run downstream in one entry.
             let vkey = if sub_entry {
                 tenancy::representative(sl.key, sl.mask)
             } else {
                 sl.key
             };
-            (Translation::new(vkey, sl.ppn), sl.key)
+            (Translation::with_span(vkey, sl.ppn, sl.span), sl.key)
         };
         self.index.remove(victim.1);
         self.detach(s, v);
@@ -422,6 +570,7 @@ impl Tlb {
             sl.key = skey;
             sl.ppn = tx.ppn;
             sl.mask = bit;
+            sl.span = tx.span_log2;
         }
         self.push_mru(s, v);
         self.index.insert(skey, v);
@@ -470,6 +619,78 @@ impl Tlb {
     /// cleared; the physical entry survives while other tenants still
     /// share it (2404.18361 §4.3) and dies when the mask empties.
     pub fn invalidate(&mut self, key: TranslationKey) -> bool {
+        let Some(max) = self.coalescing else {
+            return self.invalidate_exact(key);
+        };
+        // Coalescing: the page may be covered by its exact-key entry
+        // AND by wider entries at the masked bases of every span level
+        // (a split fragment and a covering run can coexist) — never
+        // early-return; scan all distinct bases.
+        let mut any = false;
+        let mut prev = u64::MAX;
+        for k in 0..=max {
+            let bvpn = key.vpn.0 & !((1u64 << k) - 1); // k=0: the exact key
+            if bvpn == prev {
+                continue;
+            }
+            prev = bvpn;
+            let bkey = TranslationKey { vpn: Vpn(bvpn), ..key };
+            let skey = self.store_key(bkey);
+            let Some(&i) = self.index.get(skey) else { continue };
+            let sl = self.slots[i as usize];
+            if key.vpn.0 - bvpn >= (1u64 << sl.span) {
+                continue; // resident entry does not reach the shot page
+            }
+            if let Some(t) = self.tenancy {
+                if t.sub_entry() {
+                    // Conservative under sub-entry sharing: clear the
+                    // shooter's bit on the whole covering entry (no
+                    // per-tenant fragment bookkeeping in the mask form).
+                    let bit = TenancyConfig::mask_bit(key.vmid);
+                    let slm = &mut self.slots[i as usize];
+                    if slm.mask & bit == 0 {
+                        continue;
+                    }
+                    slm.mask &= !bit;
+                    if slm.mask == 0 {
+                        self.remove_slot(skey, i);
+                    }
+                    if sl.span > 0 {
+                        self.co.splits += 1;
+                    }
+                    any = true;
+                    continue;
+                }
+            }
+            self.remove_slot(skey, i);
+            any = true;
+            if sl.span > 0 {
+                // Split on shootdown (2110.08613): drop only the shot
+                // page by decomposing the remainder into its buddy
+                // blocks — for every level j below the span, the
+                // 2^j-aligned buddy of the shot page within the run
+                // survives as its own (narrower) entry.
+                self.co.splits += 1;
+                for j in 0..sl.span {
+                    let bb = (key.vpn.0 ^ (1u64 << j)) & !((1u64 << j) - 1);
+                    let frag = Translation::with_span(
+                        TranslationKey { vpn: Vpn(bb), ..sl.key },
+                        Ppn(sl.ppn.0 + (bb - bvpn)),
+                        j,
+                    );
+                    // Fragment reinserts may evict unrelated entries;
+                    // those victims are simply dropped (dropping a
+                    // cached translation is always safe).
+                    let _ = self.insert_inner(frag);
+                }
+            }
+        }
+        any
+    }
+
+    /// The classic (non-coalescing) shootdown path, byte-identical to
+    /// the pre-coalescing behavior.
+    fn invalidate_exact(&mut self, key: TranslationKey) -> bool {
         let skey = self.store_key(key);
         if let Some(t) = self.tenancy {
             if t.sub_entry() {
@@ -540,14 +761,18 @@ impl Tlb {
                 return n;
             }
         }
-        let doomed: Vec<TranslationKey> = self
+        // Whole-tenant teardown removes entries outright (never the
+        // coalescing split path: buddy fragments would resurrect pages
+        // of the very address space being torn down).
+        let doomed: Vec<(TranslationKey, u32)> = self
             .slots
             .iter()
-            .filter(|sl| sl.used && sl.key.vmid == vmid)
-            .map(|sl| sl.key)
+            .enumerate()
+            .filter(|(_, sl)| sl.used && sl.key.vmid == vmid)
+            .map(|(i, sl)| (sl.key, i as u32))
             .collect();
-        for &key in &doomed {
-            self.invalidate(key);
+        for &(key, i) in &doomed {
+            self.remove_slot(key, i);
         }
         doomed.len()
     }
@@ -588,32 +813,42 @@ impl Tlb {
     pub fn reset_stats(&mut self) {
         self.stats = HitMiss::new();
         self.evictions = 0;
+        self.co = CoalescingCounters::default();
     }
 
     /// Iterates over all resident translations (for duplication
     /// analysis, Fig 14a, and coherence checks). Under sub-entry
     /// sharing each physical entry expands to one logical translation
     /// per set mask bit, with the sharer's VM-ID reconstructed — so a
-    /// shared entry checks against *every* sharer's page table.
+    /// shared entry checks against *every* sharer's page table. A
+    /// coalesced entry likewise expands to one logical single-page
+    /// translation per covered page, so coherence checks validate the
+    /// contiguity arithmetic against the page table page by page.
     pub fn iter(&self) -> impl Iterator<Item = Translation> + '_ {
         let sub_entry = matches!(&self.tenancy, Some(t) if t.sub_entry());
         self.slots.iter().filter(|sl| sl.used).flat_map(move |sl| {
             let mask = if sub_entry { sl.mask } else { 0 };
-            let shared: Vec<Translation> = if sub_entry {
-                (0..tenancy::MAX_TENANTS as u8)
-                    .filter(|i| mask & (1 << i) != 0)
-                    .map(|i| {
-                        let key = TranslationKey {
-                            vpn: sl.key.vpn,
-                            vmid: VmId::new(i),
-                            vrf: sl.key.vrf,
-                        };
-                        Translation::new(key, sl.ppn)
-                    })
-                    .collect()
-            } else {
-                vec![Translation::new(sl.key, sl.ppn)]
-            };
+            let mut shared: Vec<Translation> = Vec::new();
+            for o in 0..(1u64 << sl.span) {
+                let vpn = Vpn(sl.key.vpn.0 + o);
+                let ppn = Ppn(sl.ppn.0 + o);
+                if sub_entry {
+                    shared.extend(
+                        (0..tenancy::MAX_TENANTS as u8)
+                            .filter(|i| mask & (1 << i) != 0)
+                            .map(|i| {
+                                let key = TranslationKey {
+                                    vpn,
+                                    vmid: VmId::new(i),
+                                    vrf: sl.key.vrf,
+                                };
+                                Translation::new(key, ppn)
+                            }),
+                    );
+                } else {
+                    shared.push(Translation::new(TranslationKey { vpn, ..sl.key }, ppn));
+                }
+            }
             shared.into_iter()
         })
     }
@@ -916,6 +1151,190 @@ mod tests {
             let mut t = Tlb::new(TlbConfig::fully_associative(2, 1));
             t.insert(Translation::new(key(0, 1), Ppn(1)));
             t.set_tenancy(Some(TenancyConfig::new(2, SharingPolicy::SubEntry)));
+        }
+    }
+
+    mod coalescing {
+        use super::*;
+
+        fn co_tlb(entries: usize, max: u8) -> Tlb {
+            let mut t = Tlb::new(TlbConfig::fully_associative(entries, 1));
+            t.set_coalescing(Some(max));
+            t
+        }
+
+        /// One span-3 entry: vpns 40..48 -> ppns 500..508.
+        fn span3() -> Translation {
+            Translation::with_span(k(40), Ppn(500), 3)
+        }
+
+        #[test]
+        fn covered_pages_hit_with_run_arithmetic() {
+            let mut t = co_tlb(8, 4);
+            t.insert(span3());
+            assert_eq!(t.len(), 1);
+            for v in 40..48u64 {
+                let hit = t.lookup(k(v)).expect("covered page must hit");
+                assert_eq!(hit.key.vpn, Vpn(40), "hit reports the base entry");
+                assert_eq!(hit.ppn_for(Vpn(v)), Ppn(500 + (v - 40)));
+            }
+            assert!(t.lookup(k(39)).is_none());
+            assert!(t.lookup(k(48)).is_none());
+            assert_eq!(t.stats().hits, 8);
+            assert_eq!(t.stats().misses, 2);
+            // Exact-base hit is not a covering hit; the other 7 are.
+            assert_eq!(t.coalescing_counters().hits, 7);
+        }
+
+        #[test]
+        fn probe_agrees_with_lookup_everywhere() {
+            let mut t = co_tlb(8, 4);
+            t.insert(span3());
+            t.insert(Translation::new(k(100), Ppn(9)));
+            for v in 0..160u64 {
+                let p = t.probe(k(v));
+                let l = t.lookup(k(v));
+                assert_eq!(p, l, "probe/lookup diverge at vpn {v}");
+            }
+        }
+
+        #[test]
+        fn insert_counters_measure_reach() {
+            let mut t = co_tlb(8, 4);
+            t.insert(span3());
+            t.insert(Translation::new(k(100), Ppn(9)));
+            let co = t.coalescing_counters();
+            assert_eq!(co.inserts, 2);
+            assert_eq!(co.coalesced, 1);
+            assert_eq!(co.span_pages, 8 + 1);
+            t.reset_stats();
+            assert_eq!(t.coalescing_counters(), CoalescingCounters::default());
+        }
+
+        #[test]
+        fn single_page_shootdown_splits_into_buddies() {
+            let mut t = co_tlb(16, 4);
+            t.insert(span3());
+            // Shoot vpn 42 out of the 40..48 run.
+            assert!(t.invalidate(k(42)));
+            assert!(t.probe(k(42)).is_none(), "shot page must not survive");
+            for v in (40..48u64).filter(|&v| v != 42) {
+                let hit = t.probe(k(v)).expect("survivor lost");
+                assert_eq!(hit.ppn_for(Vpn(v)), Ppn(500 + (v - 40)), "survivor remapped");
+            }
+            // Buddy decomposition of 8 minus one page: spans {0,1,2}.
+            assert_eq!(t.len(), 3);
+            assert_eq!(t.coalescing_counters().splits, 1);
+            // Splitting must not count as allocator-produced reach.
+            assert_eq!(t.coalescing_counters().inserts, 1);
+        }
+
+        #[test]
+        fn shooting_the_base_page_also_splits() {
+            let mut t = co_tlb(16, 4);
+            t.insert(span3());
+            assert!(t.invalidate(k(40)));
+            assert!(t.probe(k(40)).is_none());
+            for v in 41..48u64 {
+                assert_eq!(t.probe(k(v)).unwrap().ppn_for(Vpn(v)), Ppn(500 + (v - 40)));
+            }
+        }
+
+        #[test]
+        fn repeated_shootdowns_drain_the_run_completely() {
+            let mut t = co_tlb(16, 4);
+            t.insert(span3());
+            for v in 40..48u64 {
+                assert!(t.invalidate(k(v)), "page {v} already gone");
+                for w in 40..48u64 {
+                    assert_eq!(t.probe(k(w)).is_some(), w > v, "page {w} after shooting {v}");
+                }
+            }
+            assert!(t.is_empty());
+        }
+
+        #[test]
+        fn fragment_and_covering_entry_can_both_die() {
+            // An exact single-page entry AND a covering wide entry for
+            // the same vpn can coexist (e.g. after a refresh); one
+            // shootdown must reach both.
+            let mut t = co_tlb(16, 4);
+            t.insert(span3());
+            t.insert(Translation::new(k(42), Ppn(777)));
+            assert!(t.invalidate(k(42)));
+            assert!(t.probe(k(42)).is_none(), "stale translation survived the shootdown");
+        }
+
+        #[test]
+        fn victims_keep_their_span() {
+            let mut t = co_tlb(1, 4);
+            t.insert(span3());
+            let victim = t.insert(Translation::new(k(100), Ppn(9))).unwrap();
+            assert_eq!(victim.key.vpn, Vpn(40));
+            assert_eq!(victim.span_log2, 3, "Fig-12 victims carry the whole run");
+        }
+
+        #[test]
+        fn iter_expands_covered_pages() {
+            let mut t = co_tlb(8, 4);
+            t.insert(span3());
+            let pages: Vec<(u64, u64)> = t.iter().map(|e| (e.key.vpn.0, e.ppn.0)).collect();
+            assert_eq!(pages.len(), 8);
+            for (vpn, ppn) in pages {
+                assert_eq!(ppn - 500, vpn - 40);
+            }
+        }
+
+        #[test]
+        fn invalidate_vmid_never_resurrects_fragments() {
+            use crate::addr::{VmId, VrfId};
+            let mut t = co_tlb(8, 4);
+            let key1 = TranslationKey { vpn: Vpn(40), vmid: VmId::new(1), vrf: VrfId::default() };
+            t.insert(Translation::with_span(key1, Ppn(500), 3));
+            assert_eq!(t.invalidate_vmid(VmId::new(1)), 1);
+            assert!(t.is_empty(), "teardown must not buddy-split the dying tenant");
+        }
+
+        #[test]
+        fn coalescing_off_never_coalesces() {
+            let mut t = Tlb::new(TlbConfig::fully_associative(8, 1));
+            // span-0 inserts only (the system never builds spans with
+            // coalescing off); no covering scan happens on lookup.
+            t.insert(tx(40));
+            assert!(t.lookup(k(41)).is_none());
+            assert_eq!(t.coalescing_counters(), CoalescingCounters::default());
+        }
+
+        #[test]
+        fn sub_entry_covering_shootdown_clears_only_the_shooter() {
+            use crate::addr::{VmId, VrfId};
+            use crate::tenancy::{SharingPolicy, TenancyConfig};
+            let mut t = Tlb::new(TlbConfig::fully_associative(8, 1));
+            t.set_tenancy(Some(TenancyConfig::new(2, SharingPolicy::SubEntry)));
+            t.set_coalescing(Some(4));
+            let key = |vm: u8| TranslationKey {
+                vpn: Vpn(40),
+                vmid: VmId::new(vm),
+                vrf: VrfId::default(),
+            };
+            t.insert(Translation::with_span(key(0), Ppn(500), 3));
+            t.insert(Translation::with_span(key(1), Ppn(500), 3));
+            // Tenant 0 shoots a covered page: conservatively loses the
+            // whole run, tenant 1 keeps it.
+            let shot = TranslationKey { vpn: Vpn(42), ..key(0) };
+            assert!(t.invalidate(shot));
+            assert!(t.probe(shot).is_none());
+            assert!(t.probe(TranslationKey { vpn: Vpn(41), ..key(0) }).is_none());
+            assert!(t.probe(TranslationKey { vpn: Vpn(42), ..key(1) }).is_some());
+            assert_eq!(t.coalescing_counters().splits, 1);
+        }
+
+        #[test]
+        #[should_panic(expected = "before first insert")]
+        fn coalescing_rejects_live_entries() {
+            let mut t = Tlb::new(TlbConfig::fully_associative(2, 1));
+            t.insert(tx(1));
+            t.set_coalescing(Some(4));
         }
     }
 }

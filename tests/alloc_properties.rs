@@ -1,0 +1,215 @@
+//! Property battery for the contiguity-aware page allocator
+//! (`gtr_vm::alloc`, `PageLayout::Contig`): the layout is a bijection
+//! for every seed and fragmentation fraction, its contiguity-run
+//! statistics degrade monotonically in the fragmentation knob, and
+//! `f = 0` produces exactly one maximal run per allocation region.
+//!
+//! Driven by the workspace's seeded [`SplitMix64`] generator, like
+//! `tests/properties.rs`: every case is fully determined by its seed.
+
+use std::collections::HashSet;
+
+use gpu_translation_reach::sim::rng::SplitMix64;
+use gpu_translation_reach::vm::addr::{PageSize, Ppn, Vpn};
+use gpu_translation_reach::vm::alloc::{
+    contiguity_runs, ContiguityStats, PageLayout, REGION_PAGES_LOG2,
+};
+use gpu_translation_reach::vm::page_table::PageTable;
+
+/// Runs `case` once per seed; panics carry the seed for replay.
+fn check_cases(cases: u64, case: impl Fn(&mut SplitMix64)) {
+    for seed in 0..cases {
+        let mut rng = SplitMix64::new(0xA110C ^ seed);
+        case(&mut rng);
+    }
+}
+
+fn contig_table(f: f64, seed: u64) -> PageTable {
+    PageTable::new(PageSize::Size4K).with_layout(PageLayout::contig(f, seed))
+}
+
+/// The VPN-sorted `(vpn, ppn)` pairs of a table, as
+/// [`contiguity_runs`] expects them.
+fn layout_pairs(pt: &PageTable) -> Vec<(Vpn, Ppn)> {
+    let mut vpns = pt.mapped_vpns();
+    vpns.sort_unstable_by_key(|v| v.0);
+    vpns.iter().map(|&v| (v, pt.translate(v).expect("mapped"))).collect()
+}
+
+/// A random mix of region-clustered and isolated VPNs — the footprint
+/// shape the properties are quantified over.
+fn random_vpns(rng: &mut SplitMix64) -> Vec<Vpn> {
+    let region_pages = 1u64 << REGION_PAGES_LOG2;
+    let mut vpns: HashSet<u64> = HashSet::new();
+    for _ in 0..(1 + rng.next_below(4)) {
+        let base = rng.next_below(1 << 20) & !(region_pages - 1);
+        let start = rng.next_below(region_pages);
+        let len = 1 + rng.next_below(region_pages - start);
+        for v in start..start + len {
+            vpns.insert(base + v);
+        }
+    }
+    for _ in 0..rng.next_below(64) {
+        vpns.insert(rng.next_below(1 << 20));
+    }
+    let mut vpns: Vec<Vpn> = vpns.into_iter().map(Vpn).collect();
+    // Map order is allocation order for the scattered pool — shuffle
+    // so the properties do not secretly depend on sorted insertion.
+    for i in (1..vpns.len()).rev() {
+        vpns.swap(i, rng.next_below(i as u64 + 1) as usize);
+    }
+    vpns
+}
+
+/// For any seed and fragmentation fraction, the layout is a bijection:
+/// distinct VPNs always land on distinct frames, and remapping an
+/// already-mapped VPN returns the same frame (idempotence).
+#[test]
+fn contig_layout_is_bijective_for_any_seed_and_fragmentation() {
+    check_cases(24, |rng| {
+        let f = rng.next_below(1001) as f64 / 1000.0;
+        let seed = rng.next_u64();
+        let mut pt = contig_table(f, seed);
+        let vpns = random_vpns(rng);
+        let mut frames: HashSet<u64> = HashSet::new();
+        for &v in &vpns {
+            let t = pt.map_vpn(v);
+            assert!(
+                frames.insert(t.ppn.0),
+                "f={f} seed={seed:#x}: frame {:?} reused at vpn {v:?}",
+                t.ppn
+            );
+        }
+        for &v in &vpns {
+            let before = pt.translate(v).expect("mapped");
+            assert_eq!(pt.map_vpn(v).ppn, before, "remap must be idempotent");
+        }
+    });
+}
+
+/// Contiguity-run statistics are monotone in the fragmentation knob:
+/// raising `f` over the same footprint (same seed, same map order)
+/// never lengthens the longest run, never raises the mean run length,
+/// and never decreases the number of runs. This is the macroscopic
+/// consequence of the nested break-out sets — more fragmentation can
+/// only cut runs, never heal them.
+#[test]
+fn run_statistics_monotone_in_fragmentation() {
+    check_cases(16, |rng| {
+        let seed = rng.next_u64();
+        let vpns = random_vpns(rng);
+        let mut prev: Option<(f64, ContiguityStats)> = None;
+        for f in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let mut pt = contig_table(f, seed);
+            for &v in &vpns {
+                pt.map_vpn(v);
+            }
+            let stats = contiguity_runs(&layout_pairs(&pt));
+            assert_eq!(stats.pages, vpns.len() as u64);
+            if let Some((pf, p)) = prev {
+                assert!(
+                    stats.max_run <= p.max_run,
+                    "seed {seed:#x}: max_run grew from {} (f={pf}) to {} (f={f})",
+                    p.max_run,
+                    stats.max_run
+                );
+                assert!(
+                    stats.mean_run() <= p.mean_run() + 1e-12,
+                    "seed {seed:#x}: mean_run grew from {} (f={pf}) to {} (f={f})",
+                    p.mean_run(),
+                    stats.mean_run()
+                );
+                assert!(
+                    stats.runs >= p.runs,
+                    "seed {seed:#x}: runs shrank from {} (f={pf}) to {} (f={f})",
+                    p.runs,
+                    stats.runs
+                );
+            }
+            prev = Some((f, stats));
+        }
+    });
+}
+
+/// At `f = 0.0` every fully mapped region is one maximal run: mapping
+/// N whole regions yields exactly N runs of exactly `2^REGION_PAGES_LOG2`
+/// pages — region permutation scatters regions across DRAM but never
+/// fuses two of them into a longer run.
+#[test]
+fn zero_fragmentation_yields_one_maximal_run_per_region() {
+    check_cases(16, |rng| {
+        let region_pages = 1u64 << REGION_PAGES_LOG2;
+        let seed = rng.next_u64();
+        let mut pt = contig_table(0.0, seed);
+        let mut regions: HashSet<u64> = HashSet::new();
+        for _ in 0..(2 + rng.next_below(6)) {
+            regions.insert(rng.next_below(1 << 11));
+        }
+        for &r in &regions {
+            for v in 0..region_pages {
+                pt.map_vpn(Vpn(r * region_pages + v));
+            }
+        }
+        let stats = contiguity_runs(&layout_pairs(&pt));
+        assert_eq!(stats.pages, regions.len() as u64 * region_pages);
+        assert_eq!(
+            stats.runs,
+            regions.len() as u64,
+            "seed {seed:#x}: each region must be exactly one maximal run"
+        );
+        assert_eq!(stats.max_run, region_pages);
+        assert!((stats.mean_run() - region_pages as f64).abs() < 1e-9);
+    });
+}
+
+/// The two extremes bracket the knob: `f = 0` maximizes contiguity on
+/// a whole-region footprint, `f = 1` destroys it completely (every
+/// page breaks out into the scattered pool, whose odd-multiplier
+/// permutation never produces adjacent frames for adjacent pages).
+#[test]
+fn full_fragmentation_leaves_no_runs() {
+    let region_pages = 1u64 << REGION_PAGES_LOG2;
+    let mut pt = contig_table(1.0, 0xF00D);
+    for v in 0..4 * region_pages {
+        pt.map_vpn(Vpn(v));
+    }
+    let stats = contiguity_runs(&layout_pairs(&pt));
+    assert_eq!(stats.pages, 4 * region_pages);
+    assert_eq!(stats.runs, stats.pages, "every page must be its own run");
+    assert_eq!(stats.max_run, 1);
+}
+
+/// `contiguity_span` agrees with the allocator end to end: under
+/// `f = 0` a fully mapped region grants the full region span at every
+/// page, and the span the page table reports is always *true* — frame
+/// arithmetic holds for every page the span claims to cover.
+#[test]
+fn reported_spans_are_honest() {
+    check_cases(12, |rng| {
+        let region_pages = 1u64 << REGION_PAGES_LOG2;
+        let f = [0.0, 0.1, 0.3][rng.next_below(3) as usize];
+        let seed = rng.next_u64();
+        let mut pt = contig_table(f, seed);
+        let base = rng.next_below(1 << 12) * region_pages;
+        for v in 0..region_pages {
+            pt.map_vpn(Vpn(base + v));
+        }
+        let max = REGION_PAGES_LOG2 as u8;
+        for v in 0..region_pages {
+            let vpn = Vpn(base + v);
+            let span = pt.contiguity_span(vpn, max);
+            if f == 0.0 {
+                assert_eq!(span, max, "seed {seed:#x}: f=0 must grant the full region");
+            }
+            let span_base = vpn.0 & !((1u64 << span) - 1);
+            let base_ppn = pt.translate(Vpn(span_base)).expect("span base mapped");
+            for o in 0..(1u64 << span) {
+                assert_eq!(
+                    pt.translate(Vpn(span_base + o)),
+                    Some(Ppn(base_ppn.0 + o)),
+                    "seed {seed:#x} f={f}: span {span} at {vpn:?} is not contiguous"
+                );
+            }
+        }
+    });
+}

@@ -224,6 +224,7 @@ fn instruction_aware_never_evicts_instructions() {
 
 use gpu_translation_reach::core_arch::checkpoint::{stream_fingerprint, Checkpoint, CheckpointKey};
 use gpu_translation_reach::gpu::config::GpuConfig;
+use gpu_translation_reach::vm::alloc::PageLayout;
 use gpu_translation_reach::workloads::scale::Scale;
 use gpu_translation_reach::workloads::suite;
 
@@ -310,6 +311,11 @@ fn stream_shaping_config_changes_key_and_stream() {
             g.cus = 4;
             g
         }),
+        ("layout=contig(0)", GpuConfig::default().with_page_layout(PageLayout::contig(0.0, 1))),
+        (
+            "layout=contig(0.25)",
+            GpuConfig::default().with_page_layout(PageLayout::contig(0.25, 1)),
+        ),
     ];
     for app in STREAM_APPS {
         let base_key = CheckpointKey::new(app, &default_gpu, CAPTURE_WARMUP);
@@ -325,6 +331,81 @@ fn stream_shaping_config_changes_key_and_stream() {
                 base_stream,
                 "{app}: {what} keyed differently but captured the same \
                  stream — invalidation would be unnecessary"
+            );
+        }
+    }
+}
+
+/// The allocator's fragmentation fraction AND its break-out seed are
+/// both stream-shaping: any two distinct `(f, seed)` layouts key
+/// differently and provably capture different translation streams — a
+/// checkpoint captured under one layout can never warm a run under
+/// another (the PPNs themselves differ).
+#[test]
+fn page_layout_fraction_and_seed_are_stream_shaping() {
+    let layouts: Vec<(String, GpuConfig)> = [(0.0, 7u64), (0.25, 7), (0.25, 8), (0.5, 7)]
+        .iter()
+        .map(|&(f, seed)| {
+            (
+                format!("contig({f}, seed {seed})"),
+                GpuConfig::default().with_page_layout(PageLayout::contig(f, seed)),
+            )
+        })
+        .collect();
+    for app in STREAM_APPS {
+        let mut seen: Vec<(String, CheckpointKey, Vec<u8>)> = vec![(
+            "scatter".to_string(),
+            CheckpointKey::new(app, &GpuConfig::default(), CAPTURE_WARMUP),
+            capture_stream(app, &GpuConfig::default()),
+        )];
+        for (what, gpu) in &layouts {
+            let key = CheckpointKey::new(app, gpu, CAPTURE_WARMUP);
+            let stream = capture_stream(app, gpu);
+            for (prev, pkey, pstream) in &seen {
+                assert_ne!(&key, pkey, "{app}: {what} must key differently from {prev}");
+                assert_ne!(
+                    &stream, pstream,
+                    "{app}: {what} keyed differently from {prev} but captured \
+                     the same stream — invalidation would be unnecessary"
+                );
+            }
+            seen.push((what.clone(), key, stream));
+        }
+    }
+}
+
+/// The coalesced-TLB-entry knob is timing-side: it changes which
+/// entries the TLBs *hold*, never which translations the workload
+/// *requests* — so it shares warmup checkpoints (same
+/// `stream_fingerprint`) while producing its own result-cache entries
+/// (different `timing_fingerprint`). This is the CheckpointKey hazard
+/// the contiguity sweep rests on: page layouts capture per-layout
+/// checkpoints, the coalescing sweep on top of each layout reuses
+/// them.
+#[test]
+fn coalescing_knob_is_timing_side_in_the_cell_key() {
+    use gpu_translation_reach::core_arch::cell::CellKey;
+    use gpu_translation_reach::core_arch::config::ReachConfig;
+    for gpu in [
+        GpuConfig::default(),
+        GpuConfig::default().with_page_layout(PageLayout::contig(0.25, 7)),
+    ] {
+        let plain = CellKey::new("GUPS", &gpu, &ReachConfig::ic_plus_lds(), "exact");
+        for max in [1u8, 9] {
+            let co = CellKey::new(
+                "GUPS",
+                &gpu,
+                &ReachConfig::ic_plus_lds().with_tlb_coalescing(max),
+                "exact",
+            );
+            assert_eq!(
+                co.stream_fingerprint, plain.stream_fingerprint,
+                "coalescing (max {max}) must stay in the checkpoint-sharing class"
+            );
+            assert_ne!(
+                co.fingerprint(),
+                plain.fingerprint(),
+                "coalescing (max {max}) must be its own result cell"
             );
         }
     }

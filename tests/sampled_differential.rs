@@ -225,3 +225,76 @@ fn sampled_figures_are_deterministic() {
     let b = figures::fig13a_mode(tiny(), &sampled());
     assert_eq!(a, b);
 }
+
+/// (a) for the new allocator-fragmentation axis: at every
+/// fragmentation fraction the sampled geomean of the coalescing
+/// IC+LDS variant lands within the bounds the sampled cells report.
+/// Each fragmentation fraction is its own translation stream (the
+/// layout decides every PPN), so this also exercises per-layout
+/// checkpoint capture. Also asserts the axis's physical trend on the
+/// exact sweep: the aggregate reach multiplier never *increases* as
+/// fragmentation destroys contiguity.
+#[test]
+fn fragmentation_sweep_within_bounds_and_reach_decays() {
+    let exact = figures::fragmentation_matrices(tiny(), &RunMode::exact());
+    let samp = figures::fragmentation_matrices(tiny(), &sampled());
+    assert_eq!(exact.len(), figures::FRAG_SWEEP.len());
+    let mut prev_reach = f64::INFINITY;
+    for ((f, e), (fs, s)) in exact.iter().zip(samp.iter()) {
+        assert_eq!(f, fs);
+        let ge = e.geomean_improvement(0);
+        let gs = s.geomean_improvement(0);
+        let bound = reported_bound(s, 0);
+        assert!(
+            (ge - gs).abs() <= bound,
+            "f={f}: sampled geomean {gs:+.2}% vs exact {ge:+.2}% \
+             exceeds the reported bound {bound:.2}%"
+        );
+        // Every coalescing cell must export v6 stats; aggregate them
+        // for the trend check.
+        let mut agg = gpu_translation_reach::core_arch::stats::CoalescingStats::default();
+        for cell in &e.variants[0].1 {
+            let co = cell.coalescing.as_ref().expect("coalescing cell exports v6 stats");
+            agg.inserts += co.inserts;
+            agg.span_pages += co.span_pages;
+        }
+        let reach = agg.span_pages as f64 / agg.inserts.max(1) as f64;
+        assert!(
+            reach <= prev_reach + 1e-9,
+            "f={f}: reach multiplier {reach:.3} grew past {prev_reach:.3} \
+             as fragmentation increased"
+        );
+        prev_reach = reach;
+        // Baseline cells run with coalescing off on the same layout:
+        // they must not carry v6 stats.
+        assert!(
+            e.baseline.iter().all(|c| c.coalescing.is_none()),
+            "f={f}: non-coalescing baseline must not export coalescing stats"
+        );
+    }
+    // The endpoints are meaningfully apart: full contiguity must grant
+    // real multi-page reach, full fragmentation essentially none.
+    let first = &exact[0].1.variants[0].1;
+    let reach_at = |cells: &[gpu_translation_reach::core_arch::stats::RunStats]| {
+        let (mut sp, mut ins) = (0u64, 0u64);
+        for c in cells {
+            let co = c.coalescing.as_ref().expect("v6");
+            sp += co.span_pages;
+            ins += co.inserts;
+        }
+        sp as f64 / ins.max(1) as f64
+    };
+    let last = &exact[exact.len() - 1].1.variants[0].1;
+    assert!(
+        reach_at(first) > 1.5,
+        "f=0 should coalesce aggressively (reach {:.3})",
+        reach_at(first)
+    );
+    // At f=1 no two adjacent pages are ever physically adjacent, so
+    // every span is 0 and the multiplier collapses to exactly 1.
+    assert!(
+        reach_at(last) < 1.0 + 1e-9,
+        "f=1 should destroy all reach (got {:.3})",
+        reach_at(last)
+    );
+}

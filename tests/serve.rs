@@ -58,6 +58,7 @@ fn request(app: &str, config: &str, mode: &str) -> CellRequest {
         mode: mode.to_string(),
         tenants: 0,
         policy: None,
+        page_mode: None,
     }
 }
 
